@@ -1,0 +1,58 @@
+// Ablation on the overlap factor alpha -- the new model parameter this paper
+// introduces. The paper conservatively fixes alpha = 10 and flags studying
+// real-application alphas as future work; this bench quantifies how the
+// optimal waste of each protocol depends on it.
+//
+// For each alpha, phi is chosen optimally per protocol: the full (phi, P)
+// plane is searched (phi on a fine grid, P by the closed form), because a
+// larger alpha makes small-phi transfers cheap (theta grows slower), which
+// is precisely what the triple protocol exploits.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace dckpt;
+using namespace dckpt::bench;
+
+
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto context = parse_bench_args(
+      argc, argv,
+      "Ablation: sensitivity of the optimal waste to the overlap factor");
+  if (!context) return 0;
+
+  print_header("Ablation -- overlap factor alpha (Base scenario, M = 7 h)",
+               "phi chosen optimally per protocol and alpha; waste at the "
+               "closed-form optimal period.");
+  auto scenario = model::base_scenario();
+  util::TextTable table({"alpha", "Protocol", "best phi/R", "P*", "Waste"});
+  auto csv = context->csv(
+      "ablation_alpha", {"alpha", "protocol", "best_phi_over_R", "waste"});
+  for (double alpha : {0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0}) {
+    auto params = scenario.params.with_mtbf(scenario.default_mtbf);
+    params.alpha = alpha;
+    for (auto protocol : model::kPaperProtocols) {
+      const auto joint =
+          model::optimal_overhead_and_period(protocol, params, 60);
+      table.add_row({util::format_fixed(alpha, 1),
+                     std::string(model::protocol_name(protocol)),
+                     util::format_fixed(
+                         joint.overhead / params.remote_blocking, 3),
+                     util::format_duration(joint.optimum.period),
+                     util::format_percent(joint.optimum.waste, 2)});
+      if (csv) {
+        csv->write_row({util::format_fixed(alpha, 2),
+                        std::string(model::protocol_name(protocol)),
+                        util::format_fixed(
+                            joint.overhead / params.remote_blocking, 4),
+                        util::format_fixed(joint.optimum.waste, 6)});
+      }
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  if (csv) std::printf("[csv] wrote %s\n", csv->path().c_str());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Baseline comparison against centralized stable-storage checkpointing
+// (Young / Daly), the approach whose scalability wall motivates the paper
+// (Sec. VII): the global footprint grows with the node count while the
+// buddy protocols checkpoint a single node's memory over the fast network.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dckpt;
+  using namespace dckpt::bench;
+  const auto context = parse_bench_args(
+      argc, argv, "Baseline: centralized Young/Daly vs buddy checkpointing");
+  if (!context) return 0;
+
+  print_header(
+      "Centralized (Young/Daly) vs distributed buddy checkpointing",
+      "Base scenario hardware. The centralized checkpoint time scales as\n"
+      "C = delta * n / eta, with eta the parallel-I/O aggregation factor\n"
+      "of the storage system (number of concurrent writers it sustains).");
+
+  const auto scenario = model::base_scenario();
+  const double mtbf = scenario.default_mtbf;
+  const auto params = scenario.at_phi_ratio(0.25).with_mtbf(mtbf);
+
+  util::TextTable table({"Scheme", "Ckpt cost", "Period", "Waste"});
+  auto csv =
+      context->csv("ablation_centralized", {"scheme", "ckpt_s", "period_s",
+                                           "waste"});
+  auto add = [&](const std::string& name, double ckpt, double period,
+                 double waste_value) {
+    table.add_row({name, util::format_duration(ckpt),
+                   util::format_duration(period),
+                   util::format_percent(waste_value, 2)});
+    if (csv) {
+      csv->write_row({name, util::format_fixed(ckpt, 3),
+                      util::format_fixed(period, 3),
+                      util::format_fixed(waste_value, 6)});
+    }
+  };
+
+  // Centralized variants: an aggregation factor eta of 64/256/1024
+  // concurrent writers into stable storage.
+  for (double eta : {64.0, 256.0, 1024.0}) {
+    model::CentralizedParams central;
+    central.checkpoint =
+        params.local_ckpt * static_cast<double>(params.nodes) / eta;
+    central.recovery = central.checkpoint;
+    central.downtime = params.downtime;
+    central.mtbf = mtbf;
+    const double period =
+        std::max(model::daly_period(central), central.checkpoint);
+    add("Centralized Daly (eta=" + util::format_fixed(eta, 0) + ")",
+        central.checkpoint, period, model::centralized_waste(central, period));
+  }
+
+  for (auto protocol : model::kPaperProtocols) {
+    const auto opt = model::optimal_period_closed_form(protocol, params);
+    add(std::string(model::protocol_name(protocol)),
+        params.local_ckpt + params.theta(), opt.period, opt.waste);
+  }
+  std::printf("%s", table.render().c_str());
+  if (csv) std::printf("[csv] wrote %s\n", csv->path().c_str());
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Ablation: heterogeneous node reliability ("lemon" nodes). The analytic
+// model assumes iid exponential nodes; real fleets concentrate failures on
+// a few bad nodes. Holding the *aggregate* platform failure rate constant,
+// this bench simulates fleets where a fraction of lemons carries most of
+// the hazard and measures what happens to waste and survival.
+//
+// Headline: waste barely moves (the renewal argument only sees the
+// aggregate rate), but survival shifts -- concentrated failures revisit the
+// same group's risk windows, so pairs containing a lemon die more often
+// while the rest of the fleet is safer.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/sim_api.hpp"
+
+namespace {
+
+using namespace dckpt;
+using namespace dckpt::bench;
+
+/// Builds a fleet whose total failure rate equals nodes/node_mtbf, with
+/// the nodes listed in `lemon_ids` carrying `share` of it.
+std::vector<std::unique_ptr<util::Distribution>> make_fleet(
+    std::uint64_t nodes, double node_mtbf,
+    const std::vector<std::uint64_t>& lemon_ids, double share) {
+  const double total_rate = static_cast<double>(nodes) / node_mtbf;
+  const auto is_lemon = [&](std::uint64_t node) {
+    return std::find(lemon_ids.begin(), lemon_ids.end(), node) !=
+           lemon_ids.end();
+  };
+  std::vector<std::unique_ptr<util::Distribution>> laws;
+  laws.reserve(nodes);
+  for (std::uint64_t node = 0; node < nodes; ++node) {
+    double rate;
+    if (lemon_ids.empty()) {
+      rate = total_rate / static_cast<double>(nodes);
+    } else if (is_lemon(node)) {
+      rate = total_rate * share / static_cast<double>(lemon_ids.size());
+    } else {
+      rate = total_rate * (1.0 - share) /
+             static_cast<double>(nodes - lemon_ids.size());
+    }
+    laws.push_back(std::make_unique<util::Exponential>(rate));
+  }
+  return laws;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto context = parse_bench_args(
+      argc, argv, "Ablation: lemon nodes vs the iid assumption");
+  if (!context) return 0;
+
+  print_header(
+      "Ablation -- heterogeneous reliability (Base, 24 nodes, M = 10 min "
+      "aggregate)",
+      "x lemons carry 80% of the platform failure rate. 400 trials,\n"
+      "DoubleNBL at the model-optimal period, t_base = 2 h.");
+
+  auto params = model::base_scenario().at_phi_ratio(0.25).with_mtbf(600.0);
+  params.nodes = 24;
+  const auto opt =
+      model::optimal_period_closed_form(model::Protocol::DoubleNbl, params);
+
+  struct Case {
+    const char* label;
+    std::vector<std::uint64_t> lemon_ids;
+  };
+  // "same pair" puts both lemons on buddies 0 and 1; "separated" puts them
+  // in different pairs -- the buddy-placement remedy.
+  const Case cases[] = {{"none", {}},
+                        {"2, same pair", {0, 1}},
+                        {"2, separated", {0, 22}},
+                        {"6, spread", {0, 4, 8, 12, 16, 20}},
+                        {"12, spread", {0, 2, 4, 6, 8, 10,
+                                        12, 14, 16, 18, 20, 22}}};
+
+  util::TextTable table({"lemons", "sim waste", "survival", "Wilson 95%"});
+  auto csv = context->csv("ablation_lemons",
+                          {"lemons", "waste", "survival", "ci_lo", "ci_hi"});
+  for (const auto& test_case : cases) {
+    util::RunningStats waste;
+    util::ProportionEstimate survival;
+    for (std::uint64_t trial = 0; trial < 400; ++trial) {
+      sim::SimConfig config;
+      config.protocol = model::Protocol::DoubleNbl;
+      config.params = params;
+      config.period = opt.period;
+      config.t_base = 7200.0;
+      config.stop_on_fatal = true;
+      config.max_makespan = 1e8;
+      auto injector = std::make_unique<sim::PerNodeInjector>(
+          make_fleet(params.nodes, params.node_mtbf(), test_case.lemon_ids,
+                     0.8),
+          util::Xoshiro256ss(0x1e305 ^ (trial * 0x9e3779b97f4a7c15ULL)));
+      sim::ProtocolSimulation simulation(config, std::move(injector));
+      const auto result = simulation.run();
+      survival.add(!result.fatal);
+      if (!result.fatal && !result.diverged) waste.add(result.waste());
+    }
+    const auto ci = survival.wilson_interval();
+    table.add_row({test_case.label,
+                   util::format_percent(waste.mean(), 2),
+                   util::format_fixed(survival.estimate(), 4),
+                   std::string("[") + util::format_fixed(ci.lo, 3) + ", " +
+                       util::format_fixed(ci.hi, 3) + "]"});
+    if (csv) {
+      csv->write_row({test_case.label,
+                      util::format_fixed(waste.mean(), 6),
+                      util::format_fixed(survival.estimate(), 6),
+                      util::format_fixed(ci.lo, 6),
+                      util::format_fixed(ci.hi, 6)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  if (csv) std::printf("[csv] wrote %s\n", csv->path().c_str());
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation: does the paper's first-order optimal period actually minimize
+// *simulated* waste? For each protocol/MTBF the bench compares the
+// closed-form period (Eq. 9/10/15) against a direct empirical minimization
+// of the Monte-Carlo waste (common random numbers + golden section), and
+// reports how much waste the approximation leaves on the table.
+#include "bench_common.hpp"
+
+#include "sim/optimize.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dckpt;
+  using namespace dckpt::bench;
+  const auto context = parse_bench_args(
+      argc, argv, "Closed-form vs empirically optimal checkpoint period");
+  if (!context) return 0;
+
+  print_header("Ablation -- first-order period vs empirical optimum "
+               "(Base scenario, phi = R/4, 12 nodes)",
+               "sim@P_model: Monte-Carlo waste at the closed-form period;\n"
+               "sim@P_emp: at the empirically optimized period. gap: how "
+               "much the first-order approximation costs.");
+
+  util::TextTable table({"Protocol", "M", "P_model", "P_emp", "sim@P_model",
+                         "sim@P_emp", "gap"});
+  auto csv = context->csv("ablation_period",
+                          {"protocol", "mtbf_s", "p_model", "p_empirical",
+                           "waste_at_model", "waste_at_empirical"});
+  for (auto protocol : model::kPaperProtocols) {
+    for (double mtbf : {600.0, 3600.0}) {
+      auto params = model::base_scenario().at_phi_ratio(0.25).with_mtbf(mtbf);
+      params.nodes = 12;
+      const auto model_opt = model::optimal_period_closed_form(protocol,
+                                                               params);
+      if (!model_opt.feasible) continue;
+
+      sim::SimConfig config;
+      config.protocol = protocol;
+      config.params = params;
+      config.period = model_opt.period;
+      config.t_base = 25.0 * mtbf;
+      config.stop_on_fatal = false;
+
+      sim::MonteCarloOptions mc_options;
+      mc_options.trials = 160;
+      mc_options.seed = 0xc0ffee;
+      const auto at_model = sim::run_monte_carlo(config, mc_options);
+
+      sim::OptimizeOptions opt_options;
+      opt_options.trials_per_eval = 40;
+      opt_options.seed = 0xc0ffee;
+      const auto empirical =
+          sim::optimize_period_empirically(config, opt_options);
+
+      const double gap = at_model.waste.mean() - empirical.waste;
+      table.add_row({std::string(model::protocol_name(protocol)),
+                     util::format_duration(mtbf),
+                     util::format_duration(model_opt.period),
+                     util::format_duration(empirical.period),
+                     util::format_fixed(at_model.waste.mean(), 4),
+                     util::format_fixed(empirical.waste, 4),
+                     util::format_percent(gap, 2)});
+      if (csv) {
+        csv->write_row({std::string(model::protocol_name(protocol)),
+                        util::format_fixed(mtbf, 1),
+                        util::format_fixed(model_opt.period, 3),
+                        util::format_fixed(empirical.period, 3),
+                        util::format_fixed(at_model.waste.mean(), 6),
+                        util::format_fixed(empirical.waste, 6)});
+      }
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  if (csv) std::printf("[csv] wrote %s\n", csv->path().c_str());
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Extension: two-level buddy + stable-storage checkpointing -- the hybrid
+// the paper's conclusion proposes as future work. For each buddy protocol
+// the bench reports the fatal-failure scale (MTBF between unrecoverable
+// events), the optimal global-checkpoint period P2*, and how little waste
+// the protected tier adds once buddy checkpointing absorbs ordinary
+// failures.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dckpt;
+  using namespace dckpt::bench;
+  const auto context = parse_bench_args(
+      argc, argv, "Two-level hierarchy: buddy level 1 + stable storage");
+  if (!context) return 0;
+
+  print_header(
+      "Hierarchical checkpointing (Base scenario, phi = R/4, C_g = 10 min)",
+      "MTBF_fatal = 1/rho: how often level 1 alone would lose the run.\n"
+      "P2*: optimal global-checkpoint period; columns waste the composition\n"
+      "w_total = 1 - (1 - w1)(1 - w2).");
+
+  auto csv = context->csv("ext_hierarchical",
+                          {"mtbf_s", "protocol", "mtbf_fatal_s", "p1", "p2",
+                           "w1", "w2", "w_total"});
+  for (double mtbf : {120.0, 600.0, 3600.0}) {
+    util::TextTable table({"Protocol", "MTBF_fatal", "P1*", "P2*", "w1",
+                           "w2 added", "w total"});
+    for (auto protocol : model::kPaperProtocols) {
+      model::HierarchicalParams params;
+      params.protocol = protocol;
+      params.level1 = model::base_scenario().at_phi_ratio(0.25)
+                          .with_mtbf(mtbf);
+      params.global_ckpt = 600.0;
+      params.global_recovery = 600.0;
+      const auto eval = model::optimize_hierarchical(params);
+      const double mtbf_fatal =
+          model::mean_time_between_fatal(protocol, params.level1);
+      table.add_row(
+          {std::string(model::protocol_name(protocol)),
+           util::format_duration(mtbf_fatal),
+           util::format_duration(eval.level1_period),
+           std::isfinite(eval.level2_period)
+               ? util::format_duration(eval.level2_period)
+               : "never",
+           util::format_percent(eval.level1_waste, 2),
+           util::format_percent(eval.level2_waste, 3),
+           eval.feasible ? util::format_percent(eval.total_waste, 2)
+                         : "stalled"});
+      if (csv) {
+        csv->write_row({util::format_fixed(mtbf, 1),
+                        std::string(model::protocol_name(protocol)),
+                        util::format_scientific(mtbf_fatal, 4),
+                        util::format_fixed(eval.level1_period, 2),
+                        util::format_scientific(eval.level2_period, 4),
+                        util::format_fixed(eval.level1_waste, 6),
+                        util::format_fixed(eval.level2_waste, 6),
+                        util::format_fixed(eval.total_waste, 6)});
+      }
+    }
+    std::printf("--- platform MTBF M = %s ---\n%s\n",
+                util::format_duration(mtbf).c_str(), table.render().c_str());
+  }
+  if (csv) std::printf("[csv] wrote %s\n", csv->path().c_str());
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 4: waste of DoubleBoF / DoubleNBL / Triple for the Base scenario,
+// as a function of phi/R and the platform MTBF M, each protocol at its
+// model-optimal checkpoint period.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dckpt::bench;
+  const auto context = parse_bench_args(
+      argc, argv, "Figure 4: waste surfaces, Base scenario");
+  if (!context) return 0;
+  run_waste_surface(dckpt::model::base_scenario(), *context, "fig4");
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 5: waste of DoubleBoF and Triple relative to DoubleNBL, Base
+// scenario, M = 7 h, as a function of phi/R.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dckpt::bench;
+  const auto context = parse_bench_args(
+      argc, argv, "Figure 5: waste ratios vs DoubleNBL, Base scenario");
+  if (!context) return 0;
+  run_waste_ratio(dckpt::model::base_scenario(), *context, "fig5");
+  return 0;
+}

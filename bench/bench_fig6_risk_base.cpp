@@ -1,0 +1,18 @@
+// Figure 6: relative success probabilities for the Base scenario as a
+// function of the platform MTBF (minutes) and the platform exploitation
+// length (days), with theta = (alpha + 1) R.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dckpt::bench;
+  const auto context = parse_bench_args(
+      argc, argv, "Figure 6: relative success probability, Base scenario");
+  if (!context) return 0;
+  // Paper axes: M in 0..30 minutes, exploitation 1..30 days.
+  const std::vector<double> mtbf_axis = {30.0,  60.0,   120.0, 300.0,
+                                         600.0, 1200.0, 1800.0};
+  const std::vector<double> life_axis = {1.0, 5.0, 10.0, 20.0, 30.0};
+  run_risk_surface(dckpt::model::base_scenario(), *context, "fig6", mtbf_axis,
+                   life_axis, "days", 86400.0);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 7: waste surfaces for the Exa scenario (10^6-node exascale
+// projection), mirroring Figure 4.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dckpt::bench;
+  const auto context = parse_bench_args(
+      argc, argv, "Figure 7: waste surfaces, Exa scenario");
+  if (!context) return 0;
+  run_waste_surface(dckpt::model::exa_scenario(), *context, "fig7");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 8: waste ratios vs DoubleNBL for the Exa scenario, M = 7 h.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dckpt::bench;
+  const auto context = parse_bench_args(
+      argc, argv, "Figure 8: waste ratios vs DoubleNBL, Exa scenario");
+  if (!context) return 0;
+  run_waste_ratio(dckpt::model::exa_scenario(), *context, "fig8");
+  return 0;
+}

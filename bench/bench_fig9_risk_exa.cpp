@@ -1,0 +1,18 @@
+// Figure 9: relative success probabilities for the Exa scenario as a
+// function of the platform MTBF (minutes) and the platform exploitation
+// length (weeks), with theta = (alpha + 1) R.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dckpt::bench;
+  const auto context = parse_bench_args(
+      argc, argv, "Figure 9: relative success probability, Exa scenario");
+  if (!context) return 0;
+  // Paper axes: M in 0..60 minutes, exploitation 0..60 weeks.
+  const std::vector<double> mtbf_axis = {60.0,   300.0,  600.0, 900.0,
+                                         1800.0, 2700.0, 3600.0};
+  const std::vector<double> life_axis = {1.0, 10.0, 20.0, 40.0, 60.0};
+  run_risk_surface(dckpt::model::exa_scenario(), *context, "fig9", mtbf_axis,
+                   life_axis, "weeks", 7.0 * 86400.0);
+  return 0;
+}

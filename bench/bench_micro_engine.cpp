@@ -1,0 +1,161 @@
+// Google-benchmark microbenchmarks of the engine substrates: RNG and
+// distribution sampling throughput, failure-injector event rates, the
+// discrete-event protocol simulator, and the PageStore snapshot/COW path.
+// These bound how large a Monte-Carlo campaign a laptop supports.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "ckpt/delta.hpp"
+#include "ckpt/page_store.hpp"
+#include "model/model_api.hpp"
+#include "net/network.hpp"
+#include "sim/protocol_sim.hpp"
+#include "sim/runner.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dckpt;
+
+void BM_Xoshiro256(benchmark::State& state) {
+  util::Xoshiro256ss rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Xoshiro256);
+
+void BM_ExponentialSample(benchmark::State& state) {
+  util::Xoshiro256ss rng(42);
+  const auto dist = util::Exponential::from_mean(100.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist.sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExponentialSample);
+
+void BM_WeibullSample(benchmark::State& state) {
+  util::Xoshiro256ss rng(42);
+  const auto dist = util::Weibull::from_mean(0.7, 100.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist.sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WeibullSample);
+
+void BM_PerNodeInjector(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint64_t>(state.range(0));
+  const auto dist =
+      util::Exponential::from_mean(1000.0 * static_cast<double>(nodes));
+  sim::PerNodeInjector injector(dist, nodes, util::Xoshiro256ss(7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(injector.peek());
+    injector.pop();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PerNodeInjector)->Arg(64)->Arg(4096)->Arg(262144);
+
+void BM_ProtocolSimulationTrial(benchmark::State& state) {
+  sim::SimConfig config;
+  config.protocol = static_cast<model::Protocol>(state.range(0));
+  config.params = model::base_scenario().at_phi_ratio(0.25);
+  config.params.nodes = 1026;  // divisible by both group sizes
+  config.params.mtbf = 600.0;
+  config.period =
+      model::optimal_period_closed_form(config.protocol, config.params).period;
+  config.t_base = 100000.0;  // ~166 failures per trial
+  config.stop_on_fatal = false;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate_exponential(config, seed++));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::string(model::protocol_name(config.protocol)));
+}
+BENCHMARK(BM_ProtocolSimulationTrial)
+    ->Arg(static_cast<int>(model::Protocol::DoubleNbl))
+    ->Arg(static_cast<int>(model::Protocol::Triple));
+
+void BM_OptimalPeriodNumeric(benchmark::State& state) {
+  const auto params = model::base_scenario().at_phi_ratio(0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model::optimal_period_numeric(model::Protocol::DoubleNbl, params));
+  }
+}
+BENCHMARK(BM_OptimalPeriodNumeric);
+
+void BM_PageStoreSnapshot(benchmark::State& state) {
+  ckpt::PageStore store(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.snapshot(1));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PageStoreSnapshot)->Arg(1 << 20)->Arg(16 << 20);
+
+void BM_PageStoreCowWrite(benchmark::State& state) {
+  ckpt::PageStore store(1 << 20);
+  std::vector<std::byte> data(4096, std::byte{0xAB});
+  std::size_t offset = 0;
+  ckpt::Snapshot snap = store.snapshot(1);
+  for (auto _ : state) {
+    store.write(offset, data);
+    offset = (offset + 4096) % ((1 << 20) - 4096);
+    if (offset == 0) snap = store.snapshot(1);  // re-arm COW
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_PageStoreCowWrite);
+
+void BM_SnapshotDelta(benchmark::State& state) {
+  const std::size_t bytes = 1 << 20;
+  ckpt::PageStore store(bytes);
+  util::Xoshiro256ss rng(3);
+  std::vector<std::byte> payload(4096, std::byte{0x7});
+  ckpt::Snapshot base = store.snapshot(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 16; ++i) {
+      store.write(rng.next_below(bytes / 4096) * 4096, payload);
+    }
+    const ckpt::Snapshot current = store.snapshot(1);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(ckpt::make_delta(base, current));
+    state.PauseTiming();
+    base = current;
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotDelta);
+
+void BM_MaxMinFairRates(benchmark::State& state) {
+  const auto flows_count = static_cast<std::size_t>(state.range(0));
+  net::FlatNetwork network(64, 1e8);
+  util::Xoshiro256ss rng(4);
+  std::vector<net::Flow> flows;
+  for (std::size_t f = 0; f < flows_count; ++f) {
+    const std::uint64_t src = rng.next_below(64);
+    std::uint64_t dst = rng.next_below(64);
+    if (dst == src) dst = (dst + 1) % 64;
+    flows.push_back({src, dst,
+                     (f % 3 == 0) ? 2e7 : dckpt::net::kUncapped});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(network.fair_rates(flows));
+  }
+  state.SetItemsProcessed(state.iterations() * flows_count);
+}
+BENCHMARK(BM_MaxMinFairRates)->Arg(8)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

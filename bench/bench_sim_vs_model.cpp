@@ -1,0 +1,128 @@
+// Model-vs-simulation cross-validation: for a grid of (scenario, protocol,
+// M, phi) points, compares the analytic waste (at the model-optimal period)
+// against the Monte-Carlo mean of the discrete-event simulator, and the
+// analytic success probability against simulated survival on a downsized
+// platform. This is the "comprehensive simulations" leg of the paper's
+// evaluation, which the figures' closed forms rely on.
+#include "bench_common.hpp"
+
+#include "sim/runner.hpp"
+
+namespace {
+
+using namespace dckpt;
+using namespace dckpt::bench;
+
+void waste_validation(const BenchContext& context) {
+  print_header("Simulation vs model: waste",
+               "Simulator: 12-node platform, 60 trials per cell, "
+               "t_base = 25 M. rel-err = (sim - model)/model.");
+  util::TextTable table({"Scenario", "Protocol", "M", "phi/R", "model",
+                         "sim", "+/-", "rel-err"});
+  auto csv = context.csv("sim_vs_model_waste",
+                         {"scenario", "protocol", "mtbf_s", "phi_over_R",
+                          "model_waste", "sim_waste", "sim_ci"});
+  for (const auto& scenario : model::paper_scenarios()) {
+    for (auto protocol : model::kPaperProtocols) {
+      for (double mtbf : {1800.0, 3600.0 * 4}) {
+        for (double ratio : {0.125, 0.5, 1.0}) {
+          auto params = scenario.at_phi_ratio(ratio).with_mtbf(mtbf);
+          params.nodes = 12;
+          const auto opt = model::optimal_period_closed_form(protocol, params);
+          if (!opt.feasible) continue;
+          sim::SimConfig config;
+          config.protocol = protocol;
+          config.params = params;
+          config.period = opt.period;
+          config.t_base = 25.0 * mtbf;
+          config.stop_on_fatal = false;
+          sim::MonteCarloOptions options;
+          options.trials = 60;
+          options.seed = 0x5eed;
+          const auto mc = sim::run_monte_carlo(config, options);
+          const double sim_waste = mc.waste.mean();
+          const double ci = mc.waste.confidence_halfwidth();
+          const double rel = (sim_waste - opt.waste) / opt.waste;
+          table.add_row({scenario.name,
+                         std::string(model::protocol_name(protocol)),
+                         util::format_duration(mtbf),
+                         util::format_fixed(ratio, 3),
+                         util::format_fixed(opt.waste, 4),
+                         util::format_fixed(sim_waste, 4),
+                         util::format_fixed(ci, 4),
+                         util::format_percent(rel, 1)});
+          if (csv) {
+            csv->write_row({scenario.name,
+                            std::string(model::protocol_name(protocol)),
+                            util::format_fixed(mtbf, 1),
+                            util::format_fixed(ratio, 4),
+                            util::format_fixed(opt.waste, 6),
+                            util::format_fixed(sim_waste, 6),
+                            util::format_fixed(ci, 6)});
+          }
+        }
+      }
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  if (csv) std::printf("[csv] wrote %s\n", csv->path().c_str());
+}
+
+void risk_validation(const BenchContext& context) {
+  print_header("Simulation vs model: success probability",
+               "16-node (pairs) / 18-node (triples) platform, brutal MTBF, "
+               "800 trials; model evaluated at the simulated mean makespan.");
+  util::TextTable table({"Protocol", "M", "model P", "sim P", "Wilson 95%"});
+  auto csv = context.csv("sim_vs_model_risk",
+                         {"protocol", "mtbf_s", "model_p", "sim_p", "ci_lo",
+                          "ci_hi"});
+  for (auto protocol : model::kPaperProtocols) {
+    for (double mtbf : {80.0, 240.0}) {
+      // phi = 0 maximizes theta, which separates the protocols' risk
+      // windows: NBL is exposed for D + R + theta_max, BoF only D + 2R.
+      auto params = model::base_scenario().at_phi_ratio(0.0).with_mtbf(mtbf);
+      params.nodes = model::is_triple(protocol) ? 18 : 16;
+      sim::SimConfig config;
+      config.protocol = protocol;
+      config.params = params;
+      config.period = model::min_period(protocol, params) * 2.0;
+      config.t_base = 600.0;
+      config.stop_on_fatal = true;
+      config.max_makespan = 1e7;
+      sim::MonteCarloOptions options;
+      options.trials = 800;
+      options.seed = 0x71;
+      const auto mc = sim::run_monte_carlo(config, options);
+      const double model_p = model::success_probability(
+          protocol, params, mc.makespan.mean());
+      const auto ci = mc.success.wilson_interval();
+      table.add_row({std::string(model::protocol_name(protocol)),
+                     util::format_duration(mtbf),
+                     util::format_fixed(model_p, 4),
+                     util::format_fixed(mc.success.estimate(), 4),
+                     std::string("[") + dckpt::util::format_fixed(ci.lo, 3) +
+                         ", " + dckpt::util::format_fixed(ci.hi, 3) + "]"});
+      if (csv) {
+        csv->write_row({std::string(model::protocol_name(protocol)),
+                        util::format_fixed(mtbf, 1),
+                        util::format_fixed(model_p, 6),
+                        util::format_fixed(mc.success.estimate(), 6),
+                        util::format_fixed(ci.lo, 6),
+                        util::format_fixed(ci.hi, 6)});
+      }
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  if (csv) std::printf("[csv] wrote %s\n", csv->path().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto context = parse_bench_args(
+      argc, argv, "Cross-validation of the analytic model by simulation");
+  if (!context) return 0;
+  waste_validation(*context);
+  risk_validation(*context);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces Table I: the parameters of the Base and Exa scenarios, plus
+// the derived quantities the rest of the evaluation uses (theta range,
+// optimal periods and waste at the paper's reference MTBF of 7 h).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dckpt;
+  using namespace dckpt::bench;
+  const auto context =
+      parse_bench_args(argc, argv, "Table I: scenario parameters");
+  if (!context) return 0;
+
+  print_header("Table I -- scenario parameters",
+               "D: downtime; delta: local checkpoint; phi: overhead sweep; "
+               "R: blocking remote transfer; alpha: overlap factor; n: nodes");
+
+  util::TextTable table({"Scenario", "D", "delta", "phi", "R", "alpha", "n"});
+  for (const auto& scenario : model::paper_scenarios()) {
+    table.add_row({scenario.name,
+                   util::format_fixed(scenario.params.downtime, 0),
+                   util::format_fixed(scenario.params.local_ckpt, 0),
+                   "0 <= phi <= " + util::format_fixed(scenario.phi_max, 0),
+                   util::format_fixed(scenario.params.remote_blocking, 0),
+                   util::format_fixed(scenario.params.alpha, 0),
+                   std::to_string(scenario.params.nodes)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  print_header("Derived quantities (M = 7 h, phi = R/2)",
+               "theta(phi) from the overlap law; optimal periods per "
+               "protocol (Eq. 9/10/15); waste at that period");
+  util::TextTable derived(
+      {"Scenario", "Protocol", "theta", "P*", "Waste@P*", "RiskWindow"});
+  for (const auto& scenario : model::paper_scenarios()) {
+    const auto params = scenario.at_phi_ratio(0.5);
+    for (auto protocol : model::kPaperProtocols) {
+      const auto opt = model::optimal_period_closed_form(protocol, params);
+      derived.add_row(
+          {scenario.name, std::string(model::protocol_name(protocol)),
+           util::format_duration(params.theta()),
+           util::format_duration(opt.period),
+           util::format_percent(opt.waste, 2),
+           util::format_duration(model::risk_window(protocol, params))});
+    }
+  }
+  std::printf("%s", derived.render().c_str());
+  return 0;
+}

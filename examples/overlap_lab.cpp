@@ -1,0 +1,88 @@
+// Overlap lab: measure the overlap factor alpha for *your* application's
+// communication profile, instead of assuming the paper's alpha = 10.
+//
+// Describe the app by its per-step compute time and halo bytes; the lab
+// runs the NIC-contention experiment across pacing targets, fits the
+// paper's linear law, and shows what the measured alpha means for each
+// protocol's optimal waste.
+//
+//   ./overlap_lab --compute 0.05 --halo-mb 16 --nic-mbps 128 --image-mb 512
+#include <cmath>
+#include <cstdio>
+
+#include "model/model_api.hpp"
+#include "net/net_api.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dckpt;
+
+  util::CliParser cli("overlap_lab",
+                      "measure your application's overlap factor alpha");
+  cli.add_option("compute", "0.02", "compute time per step, seconds");
+  cli.add_option("halo-mb", "16", "halo bytes exchanged per step, MiB");
+  cli.add_option("nic-mbps", "128", "NIC bandwidth, MiB/s");
+  cli.add_option("image-mb", "512", "checkpoint image size, MiB");
+  cli.add_option("mtbf", "25200", "platform MTBF for the waste column, s");
+  cli.add_option("delta", "2", "local checkpoint time, s (double protocols)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  net::OverlapWorkload workload;
+  workload.compute_time = cli.get_double("compute");
+  workload.halo_bytes = cli.get_double("halo-mb") * 1024 * 1024;
+  workload.nic_bandwidth = cli.get_double("nic-mbps") * 1024 * 1024;
+  workload.checkpoint_bytes = cli.get_double("image-mb") * 1024 * 1024;
+  workload.validate();
+
+  const double mech_alpha = workload.mechanistic_alpha();
+  std::printf("workload: step = %s (%.0f%% of the NIC busy), "
+              "theta_min = %s\n",
+              util::format_duration(workload.step_time()).c_str(),
+              100.0 * workload.app_demand() / workload.nic_bandwidth,
+              util::format_duration(workload.theta_min()).c_str());
+
+  const auto curve = net::measure_overlap_curve(
+      workload, net::SharingPolicy::Scavenger, 12,
+      std::isfinite(mech_alpha) ? 1.3 * (1.0 + mech_alpha) : 50.0);
+  util::TextTable measured({"theta", "phi", "phi/theta_min"});
+  for (const auto& point : curve) {
+    measured.add_row({util::format_duration(point.theta),
+                      util::format_duration(point.phi),
+                      util::format_fixed(point.phi / workload.theta_min(),
+                                         3)});
+  }
+  std::printf("\nmeasured phi(theta), scavenger scheduling:\n%s\n",
+              measured.render().c_str());
+
+  const double alpha = net::fit_alpha(curve, workload.theta_min());
+  std::printf("fitted alpha = %.2f (mechanistic A/(B-A) = %s)\n\n", alpha,
+              std::isfinite(mech_alpha)
+                  ? util::format_fixed(mech_alpha, 2).c_str()
+                  : "inf");
+
+  // Downstream: protocol waste with the measured alpha.
+  model::Parameters params;
+  params.downtime = 0.0;
+  params.local_ckpt = cli.get_double("delta");
+  params.remote_blocking = workload.theta_min();
+  params.alpha = alpha;
+  params.overhead = 0.0;
+  params.nodes = 10368;
+  params.mtbf = cli.get_double("mtbf");
+  params.validate();
+
+  util::TextTable waste_table({"Protocol", "best phi/R", "P*", "Waste"});
+  for (auto protocol : model::kPaperProtocols) {
+    const auto joint = model::optimal_overhead_and_period(protocol, params);
+    waste_table.add_row(
+        {std::string(model::protocol_name(protocol)),
+         util::format_fixed(joint.overhead / params.remote_blocking, 2),
+         util::format_duration(joint.optimum.period),
+         util::format_percent(joint.optimum.waste, 2)});
+  }
+  std::printf("protocol waste with your measured alpha (phi tuned):\n%s",
+              waste_table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Runtime demo: a real parallel stencil computation protected by real buddy
+// checkpointing. Kills workers mid-run and shows the application surviving
+// with a bit-identical final state.
+//
+//   ./runtime_demo --topology triples --nodes 9 --steps 200 --kill 57:2,130:5
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/runtime_api.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+std::vector<dckpt::runtime::FailureInjection> parse_kills(
+    const std::string& spec) {
+  std::vector<dckpt::runtime::FailureInjection> kills;
+  if (spec.empty()) return kills;
+  std::istringstream stream(spec);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    const auto colon = item.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("--kill expects step:node[,step:node...]");
+    }
+    kills.push_back({std::stoull(item.substr(0, colon)),
+                     std::stoull(item.substr(colon + 1))});
+  }
+  return kills;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dckpt;
+
+  util::CliParser cli("runtime_demo",
+                      "fault-tolerant stencil run with worker kills");
+  cli.add_option("topology", "pairs", "pairs | triples");
+  cli.add_option("nodes", "8", "worker count (multiple of the group size)");
+  cli.add_option("cells", "4096", "cells per worker");
+  cli.add_option("steps", "200", "total iterations");
+  cli.add_option("interval", "25", "checkpoint every k steps");
+  cli.add_option("kill", "57:2,130:5",
+                 "failure injections, step:node comma-separated; '' = none");
+  if (!cli.parse(argc, argv)) return 0;
+
+  runtime::RuntimeConfig config;
+  config.topology = cli.get("topology") == "triples"
+                        ? ckpt::Topology::Triples
+                        : ckpt::Topology::Pairs;
+  config.nodes = static_cast<std::uint64_t>(cli.get_int("nodes"));
+  config.cells_per_node = static_cast<std::size_t>(cli.get_int("cells"));
+  config.total_steps = static_cast<std::uint64_t>(cli.get_int("steps"));
+  config.checkpoint_interval =
+      static_cast<std::uint64_t>(cli.get_int("interval"));
+  const auto kills = parse_kills(cli.get("kill"));
+
+  // Reference: the failure-free execution.
+  runtime::Coordinator reference(config,
+                                 std::make_unique<runtime::HeatKernel>());
+  const auto expected = reference.run();
+
+  runtime::Coordinator coordinator(config,
+                                   std::make_unique<runtime::HeatKernel>());
+  std::printf("running %llu workers (%s), %llu steps, checkpoint every %llu, "
+              "%zu injected failure(s)\n",
+              static_cast<unsigned long long>(config.nodes),
+              cli.get("topology").c_str(),
+              static_cast<unsigned long long>(config.total_steps),
+              static_cast<unsigned long long>(config.checkpoint_interval),
+              kills.size());
+  const auto report = coordinator.run(kills);
+
+  if (report.fatal) {
+    std::printf("FATAL: %s\n", report.fatal_reason.c_str());
+    return 1;
+  }
+  std::printf("\nsurvived: %llu failures, %llu rollbacks, %llu steps "
+              "replayed\n",
+              static_cast<unsigned long long>(report.failures),
+              static_cast<unsigned long long>(report.rollbacks),
+              static_cast<unsigned long long>(report.replayed_steps));
+  std::printf("checkpoints: %llu, %s replicated to buddies, %llu COW pages\n",
+              static_cast<unsigned long long>(report.checkpoints),
+              util::format_bytes(
+                  static_cast<double>(report.bytes_replicated)).c_str(),
+              static_cast<unsigned long long>(report.cow_copies));
+  std::printf("final state hash: %016llx (reference %016llx) -- %s\n",
+              static_cast<unsigned long long>(report.final_hash),
+              static_cast<unsigned long long>(expected.final_hash),
+              report.final_hash == expected.final_hash
+                  ? "BIT-IDENTICAL, failures fully masked"
+                  : "MISMATCH (bug!)");
+  return report.final_hash == expected.final_hash ? 0 : 1;
+}

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Plot the paper's figures from the bench CSV dumps.
+
+Usage:
+    mkdir -p out && for b in build/bench/bench_fig*; do $b --csv out; done
+    python3 scripts/plot_figures.py out
+
+Produces fig4/fig7 waste surfaces (one panel per protocol), fig5/fig8 ratio
+curves and fig6/fig9 success-probability ratio surfaces as PNGs next to the
+CSVs. Requires matplotlib; this script is a convenience for visual
+comparison against the paper and is not part of the build or tests.
+"""
+import csv
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def read_rows(path):
+    with open(path, newline="") as handle:
+        return list(csv.DictReader(handle))
+
+
+def plot_waste_surface(rows, out_png, title, plt):
+    protocols = sorted({r["protocol"] for r in rows})
+    fig, axes = plt.subplots(1, len(protocols), figsize=(5 * len(protocols), 4),
+                             subplot_kw={"projection": "3d"})
+    if len(protocols) == 1:
+        axes = [axes]
+    for axis, protocol in zip(axes, protocols):
+        series = [r for r in rows if r["protocol"] == protocol]
+        xs = [float(r["phi_over_R"]) for r in series]
+        ys = [float(r["mtbf_s"]) for r in series]
+        zs = [float(r["waste"]) for r in series]
+        axis.plot_trisurf(xs, [__import__("math").log10(y) for y in ys], zs,
+                          cmap="viridis", linewidth=0.1)
+        axis.set_xlabel("phi/R")
+        axis.set_ylabel("log10 M [s]")
+        axis.set_zlabel("waste")
+        axis.set_title(protocol)
+    fig.suptitle(title)
+    fig.tight_layout()
+    fig.savefig(out_png, dpi=120)
+    print(f"wrote {out_png}")
+
+
+def plot_ratio_curve(rows, out_png, title, plt):
+    xs = [float(r["phi_over_R"]) for r in rows]
+    fig, axis = plt.subplots(figsize=(6, 4))
+    axis.plot(xs, [float(r["bof_over_nbl"]) for r in rows],
+              label="DoubleBoF / DoubleNBL")
+    axis.plot(xs, [float(r["triple_over_nbl"]) for r in rows],
+              label="Triple / DoubleNBL")
+    axis.axhline(1.0, color="gray", linewidth=0.5)
+    axis.set_xlabel("phi/R")
+    axis.set_ylabel("waste ratio")
+    axis.set_title(title)
+    axis.legend()
+    fig.tight_layout()
+    fig.savefig(out_png, dpi=120)
+    print(f"wrote {out_png}")
+
+
+def plot_risk_surface(rows, out_png, title, plt):
+    fig, axes = plt.subplots(1, 2, figsize=(11, 4),
+                             subplot_kw={"projection": "3d"})
+    panels = [("p_nbl", "p_bof", "P(NBL)/P(BoF)"),
+              ("p_nbl", "p_triple", "P(NBL)/P(Triple)")]
+    for axis, (num, den, label) in zip(axes, panels):
+        xs, ys, zs = [], [], []
+        for r in rows:
+            denominator = float(r[den])
+            if denominator <= 0.0:
+                continue
+            xs.append(float(r["mtbf_s"]) / 60.0)
+            ys.append(float(r["life_s"]) / 86400.0)
+            zs.append(float(r[num]) / denominator)
+        axis.plot_trisurf(xs, ys, zs, cmap="viridis", linewidth=0.1)
+        axis.set_xlabel("M [min]")
+        axis.set_ylabel("life [days]")
+        axis.set_zlabel(label)
+        axis.set_title(label)
+    fig.suptitle(title)
+    fig.tight_layout()
+    fig.savefig(out_png, dpi=120)
+    print(f"wrote {out_png}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    directory = Path(sys.argv[1])
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt  # noqa: F401
+
+    jobs = {
+        "fig4.csv": (plot_waste_surface, "Figure 4: waste, Base"),
+        "fig7.csv": (plot_waste_surface, "Figure 7: waste, Exa"),
+        "fig5.csv": (plot_ratio_curve, "Figure 5: ratios, Base (M = 7h)"),
+        "fig8.csv": (plot_ratio_curve, "Figure 8: ratios, Exa (M = 7h)"),
+        "fig6.csv": (plot_risk_surface, "Figure 6: success ratios, Base"),
+        "fig9.csv": (plot_risk_surface, "Figure 9: success ratios, Exa"),
+    }
+    for name, (plotter, title) in jobs.items():
+        path = directory / name
+        if not path.exists():
+            print(f"skipping {name} (not found)")
+            continue
+        plotter(read_rows(path), directory / (path.stem + ".png"), title, plt)
+
+
+if __name__ == "__main__":
+    main()

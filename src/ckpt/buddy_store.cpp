@@ -1,0 +1,71 @@
+#include "ckpt/buddy_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dckpt::ckpt {
+
+BuddyStore::BuddyStore(std::uint64_t node, std::size_t capacity_images)
+    : node_(node), capacity_(capacity_images) {
+  if (capacity_images == 0) {
+    throw std::invalid_argument("BuddyStore: zero capacity");
+  }
+}
+
+void BuddyStore::stage(const Snapshot& image) {
+  if (image.empty()) throw std::invalid_argument("BuddyStore: empty image");
+  if (!staged_.empty()) {
+    const std::uint64_t current = staged_.begin()->second.version();
+    if (image.version() != current) {
+      throw std::logic_error(
+          "BuddyStore: staging set already holds a different version");
+    }
+  }
+  auto it = staged_.find(image.owner());
+  if (it == staged_.end() && staged_.size() >= capacity_) {
+    throw std::logic_error("BuddyStore: staging capacity exceeded");
+  }
+  staged_.insert_or_assign(image.owner(), image);
+}
+
+void BuddyStore::promote(std::uint64_t version) {
+  if (staged_.empty() || staged_.begin()->second.version() != version) {
+    throw std::logic_error("BuddyStore: no staged set of that version");
+  }
+  committed_ = std::move(staged_);
+  staged_.clear();
+  committed_version_ = version;
+}
+
+void BuddyStore::discard_staged() { staged_.clear(); }
+
+void BuddyStore::restore_committed(const Snapshot& image) {
+  if (image.empty()) throw std::invalid_argument("BuddyStore: empty image");
+  auto it = committed_.find(image.owner());
+  if (it == committed_.end() && committed_.size() >= capacity_) {
+    throw std::logic_error("BuddyStore: committed capacity exceeded");
+  }
+  committed_.insert_or_assign(image.owner(), image);
+  committed_version_ = std::max(committed_version_, image.version());
+}
+
+std::optional<Snapshot> BuddyStore::committed_for(std::uint64_t owner) const {
+  auto it = committed_.find(owner);
+  if (it == committed_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Snapshot> BuddyStore::staged_for(std::uint64_t owner) const {
+  auto it = staged_.find(owner);
+  if (it == staged_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t BuddyStore::resident_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [owner, image] : committed_) total += image.size_bytes();
+  for (const auto& [owner, image] : staged_) total += image.size_bytes();
+  return total;
+}
+
+}  // namespace dckpt::ckpt

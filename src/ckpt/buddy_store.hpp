@@ -1,0 +1,73 @@
+// Versioned in-memory checkpoint storage with atomic set promotion.
+//
+// Coordinated protocols must switch between *global* snapshot sets
+// atomically (paper Sec. IV): at any instant a node holds the last
+// successful set and possibly an unfinished current set. A failure discards
+// the unfinished set; only a completed global exchange promotes it.
+//
+// BuddyStore is the per-node container: it files images by (owner, version)
+// into the staging area, and `promote(version)` moves the staged set into
+// the committed slot. `drop_node(node)` models the loss of a node's memory
+// (its own staged and committed images vanish with it -- callers then
+// recover from the surviving replicas on other nodes).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "ckpt/page_store.hpp"
+
+namespace dckpt::ckpt {
+
+class BuddyStore {
+ public:
+  /// Storage belonging to `node`; `capacity_images` bounds how many images
+  /// the node may hold per slot set (2 for double/triple protocols).
+  explicit BuddyStore(std::uint64_t node, std::size_t capacity_images = 2);
+
+  std::uint64_t node() const noexcept { return node_; }
+
+  /// Files an image into the staging set. Throws when the staging set is
+  /// full with images of other versions or capacity would be exceeded.
+  void stage(const Snapshot& image);
+
+  /// Promotes the staged images of `version` into the committed set,
+  /// replacing it. Throws when nothing of that version is staged.
+  void promote(std::uint64_t version);
+
+  /// Discards any staged images (failure before completion).
+  void discard_staged();
+
+  /// Recovery path: files an image straight into the committed set,
+  /// bypassing staging (used when re-replicating after a failure).
+  /// Capacity-checked like stage().
+  void restore_committed(const Snapshot& image);
+
+  /// Committed image of `owner`, if this node stores one.
+  std::optional<Snapshot> committed_for(std::uint64_t owner) const;
+
+  /// Staged image of `owner`, if present.
+  std::optional<Snapshot> staged_for(std::uint64_t owner) const;
+
+  std::size_t committed_count() const noexcept { return committed_.size(); }
+  std::size_t staged_count() const noexcept { return staged_.size(); }
+
+  /// Version of the committed set (0 when empty).
+  std::uint64_t committed_version() const noexcept {
+    return committed_version_;
+  }
+
+  /// Total bytes resident (committed + staged) -- the paper's "constant
+  /// memory" claim is asserted against this in tests.
+  std::size_t resident_bytes() const;
+
+ private:
+  std::uint64_t node_;
+  std::size_t capacity_;
+  std::map<std::uint64_t, Snapshot> committed_;  ///< keyed by owner
+  std::map<std::uint64_t, Snapshot> staged_;
+  std::uint64_t committed_version_ = 0;
+};
+
+}  // namespace dckpt::ckpt

@@ -1,0 +1,67 @@
+#include "ckpt/delta.hpp"
+
+#include <stdexcept>
+
+namespace dckpt::ckpt {
+
+SnapshotDelta::SnapshotDelta(std::uint64_t owner, std::uint64_t base_version,
+                             std::uint64_t version, std::size_t size_bytes,
+                             std::size_t page_count,
+                             std::vector<DeltaPage> pages)
+    : owner_(owner), base_version_(base_version), version_(version),
+      size_bytes_(size_bytes), page_count_(page_count),
+      pages_(std::move(pages)) {}
+
+std::size_t SnapshotDelta::delta_bytes() const {
+  std::size_t total = 0;
+  for (const auto& entry : pages_) total += entry.page->size();
+  return total;
+}
+
+SnapshotDelta make_delta(const Snapshot& base, const Snapshot& current) {
+  if (base.owner() != current.owner()) {
+    throw std::invalid_argument("make_delta: owner mismatch");
+  }
+  if (base.page_count() != current.page_count() ||
+      base.size_bytes() != current.size_bytes()) {
+    throw std::invalid_argument("make_delta: layout mismatch");
+  }
+  if (base.version() >= current.version()) {
+    throw std::invalid_argument(
+        "make_delta: base must precede current in the snapshot lineage");
+  }
+  std::vector<DeltaPage> changed;
+  for (std::size_t i = 0; i < current.page_count(); ++i) {
+    if (base.pages()[i] != current.pages()[i]) {
+      changed.push_back({i, current.pages()[i]});
+    }
+  }
+  return SnapshotDelta(current.owner(), base.version(), current.version(),
+                       current.size_bytes(), current.page_count(),
+                       std::move(changed));
+}
+
+Snapshot apply_delta(const Snapshot& base, const SnapshotDelta& delta) {
+  if (base.owner() != delta.owner()) {
+    throw std::invalid_argument("apply_delta: owner mismatch");
+  }
+  if (base.version() != delta.base_version()) {
+    throw std::invalid_argument(
+        "apply_delta: delta was taken against a different base version");
+  }
+  if (base.page_count() != delta.page_count() ||
+      base.size_bytes() != delta.size_bytes()) {
+    throw std::invalid_argument("apply_delta: layout mismatch");
+  }
+  std::vector<Snapshot::Page> pages(base.pages());
+  for (const auto& entry : delta.pages()) {
+    if (entry.index >= pages.size()) {
+      throw std::invalid_argument("apply_delta: page index out of range");
+    }
+    pages[entry.index] = entry.page;
+  }
+  return Snapshot(std::move(pages), delta.size_bytes(), delta.version(),
+                  delta.owner());
+}
+
+}  // namespace dckpt::ckpt

@@ -1,0 +1,69 @@
+// Incremental (delta) checkpoints.
+//
+// Successive COW snapshots share every page the application did not touch,
+// so "which pages changed" falls out of pointer identity for free -- the
+// in-process equivalent of fork()-based dirty tracking. A delta carries
+// only the changed pages; applying it to the base reconstructs the full
+// image. This is the classic incremental-checkpoint optimization for buddy
+// protocols: the paper's theta shrinks from S/B to S_dirty/B between full
+// exchanges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ckpt/page_store.hpp"
+
+namespace dckpt::ckpt {
+
+struct DeltaPage {
+  std::size_t index = 0;
+  Snapshot::Page page;
+};
+
+class SnapshotDelta {
+ public:
+  SnapshotDelta() = default;
+  SnapshotDelta(std::uint64_t owner, std::uint64_t base_version,
+                std::uint64_t version, std::size_t size_bytes,
+                std::size_t page_count, std::vector<DeltaPage> pages);
+
+  std::uint64_t owner() const noexcept { return owner_; }
+  std::uint64_t base_version() const noexcept { return base_version_; }
+  std::uint64_t version() const noexcept { return version_; }
+  std::size_t changed_pages() const noexcept { return pages_.size(); }
+
+  /// Bytes a buddy transfer must actually move.
+  std::size_t delta_bytes() const;
+
+  /// Dirty fraction: changed pages / total pages.
+  double dirty_ratio() const noexcept {
+    return page_count_ ? static_cast<double>(pages_.size()) /
+                             static_cast<double>(page_count_)
+                       : 0.0;
+  }
+
+  const std::vector<DeltaPage>& pages() const noexcept { return pages_; }
+  std::size_t size_bytes() const noexcept { return size_bytes_; }
+  std::size_t page_count() const noexcept { return page_count_; }
+
+ private:
+  std::uint64_t owner_ = 0;
+  std::uint64_t base_version_ = 0;
+  std::uint64_t version_ = 0;
+  std::size_t size_bytes_ = 0;
+  std::size_t page_count_ = 0;
+  std::vector<DeltaPage> pages_;
+};
+
+/// Pages of `current` that differ from `base` (by COW identity -- a page
+/// rewritten with identical content counts as changed, like mprotect-based
+/// dirty tracking would). Both snapshots must come from the same store
+/// lineage: same owner, same layout, base.version() < current.version().
+SnapshotDelta make_delta(const Snapshot& base, const Snapshot& current);
+
+/// Reconstructs the full image: base + delta = current. Verifies owner,
+/// layout and version chaining.
+Snapshot apply_delta(const Snapshot& base, const SnapshotDelta& delta);
+
+}  // namespace dckpt::ckpt

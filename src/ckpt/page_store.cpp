@@ -1,0 +1,128 @@
+#include "ckpt/page_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace dckpt::ckpt {
+
+std::uint64_t fnv1a(std::span<const std::byte> data, std::uint64_t seed) {
+  std::uint64_t hash = seed;
+  for (std::byte b : data) {
+    hash ^= static_cast<std::uint64_t>(b);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+// ------------------------------------------------------------------ Snapshot
+
+Snapshot::Snapshot(std::vector<Page> pages, std::size_t size_bytes,
+                   std::uint64_t version, std::uint64_t owner)
+    : pages_(std::move(pages)), size_bytes_(size_bytes), version_(version),
+      owner_(owner) {}
+
+std::uint64_t Snapshot::content_hash() const {
+  if (!hash_valid_) {
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    std::size_t remaining = size_bytes_;
+    for (const auto& page : pages_) {
+      const std::size_t take = std::min(remaining, page->size());
+      hash = fnv1a(std::span(page->data(), take), hash);
+      remaining -= take;
+    }
+    cached_hash_ = hash;
+    hash_valid_ = true;
+  }
+  return cached_hash_;
+}
+
+std::vector<std::byte> Snapshot::to_bytes() const {
+  std::vector<std::byte> out;
+  out.reserve(size_bytes_);
+  std::size_t remaining = size_bytes_;
+  for (const auto& page : pages_) {
+    const std::size_t take = std::min(remaining, page->size());
+    out.insert(out.end(), page->begin(), page->begin() + take);
+    remaining -= take;
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- PageStore
+
+PageStore::PageStore(std::size_t size_bytes, std::size_t page_size)
+    : size_bytes_(size_bytes), page_size_(page_size) {
+  if (size_bytes == 0) throw std::invalid_argument("PageStore: zero size");
+  if (page_size == 0) throw std::invalid_argument("PageStore: zero page size");
+  const std::size_t count = (size_bytes + page_size - 1) / page_size;
+  pages_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pages_.push_back(
+        std::make_shared<std::vector<std::byte>>(page_size, std::byte{0}));
+  }
+}
+
+void PageStore::read(std::size_t offset, std::span<std::byte> out) const {
+  if (offset + out.size() > size_bytes_) {
+    throw std::out_of_range("PageStore::read past end");
+  }
+  std::size_t cursor = 0;
+  while (cursor < out.size()) {
+    const std::size_t pos = offset + cursor;
+    const std::size_t page = pos / page_size_;
+    const std::size_t in_page = pos % page_size_;
+    const std::size_t take =
+        std::min(out.size() - cursor, page_size_ - in_page);
+    std::memcpy(out.data() + cursor, pages_[page]->data() + in_page, take);
+    cursor += take;
+  }
+}
+
+std::vector<std::byte>& PageStore::writable_page(std::size_t index) {
+  MutablePage& page = pages_[index];
+  if (page.use_count() > 1) {
+    // A snapshot still references this page: clone before mutating.
+    page = std::make_shared<std::vector<std::byte>>(*page);
+    ++cow_copies_;
+  }
+  return *page;
+}
+
+void PageStore::write(std::size_t offset, std::span<const std::byte> data) {
+  if (offset + data.size() > size_bytes_) {
+    throw std::out_of_range("PageStore::write past end");
+  }
+  std::size_t cursor = 0;
+  while (cursor < data.size()) {
+    const std::size_t pos = offset + cursor;
+    const std::size_t page = pos / page_size_;
+    const std::size_t in_page = pos % page_size_;
+    const std::size_t take =
+        std::min(data.size() - cursor, page_size_ - in_page);
+    std::memcpy(writable_page(page).data() + in_page, data.data() + cursor,
+                take);
+    cursor += take;
+  }
+}
+
+Snapshot PageStore::snapshot(std::uint64_t owner) {
+  std::vector<Snapshot::Page> shared;
+  shared.reserve(pages_.size());
+  for (const auto& page : pages_) shared.push_back(page);
+  return Snapshot(std::move(shared), size_bytes_, ++version_, owner);
+}
+
+void PageStore::restore(const Snapshot& snapshot_image) {
+  if (snapshot_image.size_bytes() != size_bytes_ ||
+      snapshot_image.page_count() != pages_.size()) {
+    throw std::invalid_argument("PageStore::restore: layout mismatch");
+  }
+  // Re-share the snapshot's pages: restore is O(#pages), not O(bytes).
+  for (std::size_t i = 0; i < pages_.size(); ++i) {
+    pages_[i] = std::const_pointer_cast<std::vector<std::byte>>(
+        snapshot_image.pages()[i]);
+  }
+}
+
+}  // namespace dckpt::ckpt

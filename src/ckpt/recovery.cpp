@@ -1,0 +1,88 @@
+#include "ckpt/recovery.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace dckpt::ckpt {
+
+namespace {
+
+void check_directory(const GroupAssignment& groups,
+                     std::span<BuddyStore* const> stores) {
+  if (stores.size() != groups.nodes()) {
+    throw std::invalid_argument("recovery: store/topology size mismatch");
+  }
+  for (const BuddyStore* store : stores) {
+    if (!store) throw std::invalid_argument("recovery: null store");
+  }
+}
+
+/// Searches the group's surviving stores (excluding `exclude`) for a
+/// committed image of `owner`. Returns nullptr when none exists.
+BuddyStore* find_holder(std::uint64_t owner, std::uint64_t exclude,
+                        const GroupAssignment& groups,
+                        std::span<BuddyStore* const> stores) {
+  for (std::uint64_t member : groups.members(groups.group_of(owner))) {
+    if (member == exclude) continue;
+    if (stores[member]->committed_for(owner)) return stores[member];
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const BuddyStore& locate_replica(std::uint64_t node,
+                                 const GroupAssignment& groups,
+                                 std::span<BuddyStore* const> stores) {
+  check_directory(groups, stores);
+  const BuddyStore* holder = find_holder(node, node, groups, stores);
+  if (!holder) {
+    throw std::runtime_error(
+        "fatal failure: no surviving replica of node " + std::to_string(node));
+  }
+  return *holder;
+}
+
+RecoveryReport recover_node(std::uint64_t node, const GroupAssignment& groups,
+                            std::span<BuddyStore* const> stores,
+                            PageStore& memory, std::uint64_t expected_hash) {
+  const BuddyStore& holder = locate_replica(node, groups, stores);
+  const Snapshot image = *holder.committed_for(node);
+  if (image.content_hash() != expected_hash) {
+    throw std::runtime_error("recovery: checkpoint hash mismatch for node " +
+                             std::to_string(node));
+  }
+  memory.restore(image);
+  RecoveryReport report;
+  report.node = node;
+  report.source = holder.node();
+  report.version = image.version();
+  report.hash_verified = true;
+  return report;
+}
+
+std::size_t restore_replicas(std::uint64_t node, const GroupAssignment& groups,
+                             std::span<BuddyStore* const> stores) {
+  check_directory(groups, stores);
+  std::size_t restored = 0;
+  for (std::uint64_t owner : groups.stored_for(node)) {
+    const BuddyStore* holder = find_holder(owner, node, groups, stores);
+    if (!holder) {
+      throw std::runtime_error(
+          "fatal failure: no surviving replica of node " +
+          std::to_string(owner));
+    }
+    stores[node]->restore_committed(*holder->committed_for(owner));
+    ++restored;
+  }
+  // Pair topology keeps a local copy of the node's own image too.
+  if (groups.topology() == Topology::Pairs) {
+    if (const BuddyStore* holder = find_holder(node, node, groups, stores)) {
+      stores[node]->restore_committed(*holder->committed_for(node));
+      ++restored;
+    }
+  }
+  return restored;
+}
+
+}  // namespace dckpt::ckpt

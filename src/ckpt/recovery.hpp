@@ -1,0 +1,53 @@
+// Recovery paths: rebuild a failed node's state from the surviving replicas.
+//
+// After node p fails, its replacement must (paper Sec. II/IV):
+//   1. fetch p's own committed image (from the buddy that stores it) and
+//      restore it -- recover_node();
+//   2. re-replicate the images p was storing for its buddies, so a later
+//      buddy failure stays survivable -- restore_replicas().
+// Step 2 is exactly what the risk window measures: until it completes, the
+// group cannot take another hit.
+//
+// Stores are addressed through a span of pointers indexed by node id, so
+// callers can keep BuddyStores wherever they live (test vectors, runtime
+// workers).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ckpt/buddy_store.hpp"
+#include "ckpt/page_store.hpp"
+#include "ckpt/ring.hpp"
+
+namespace dckpt::ckpt {
+
+struct RecoveryReport {
+  std::uint64_t node = 0;          ///< recovered node
+  std::uint64_t source = 0;        ///< node that supplied the image
+  std::uint64_t version = 0;       ///< committed version restored
+  bool hash_verified = false;      ///< content hash matched
+};
+
+/// Finds the committed image of `node` on one of its group peers. Throws
+/// std::runtime_error when no surviving replica exists (a fatal failure).
+const BuddyStore& locate_replica(std::uint64_t node,
+                                 const GroupAssignment& groups,
+                                 std::span<BuddyStore* const> stores);
+
+/// Restores `node`'s memory from the surviving replica and verifies the
+/// content hash against `expected_hash`. Throws std::runtime_error on fatal
+/// loss or hash mismatch.
+RecoveryReport recover_node(std::uint64_t node, const GroupAssignment& groups,
+                            std::span<BuddyStore* const> stores,
+                            PageStore& memory, std::uint64_t expected_hash);
+
+/// Step 2: re-files into `node`'s (replacement) storage the committed images
+/// it was holding for its peers -- and, for pair topologies, the node's own
+/// local copy -- fetched from the peers' surviving copies. Returns how many
+/// images were restored.
+std::size_t restore_replicas(std::uint64_t node, const GroupAssignment& groups,
+                             std::span<BuddyStore* const> stores);
+
+}  // namespace dckpt::ckpt

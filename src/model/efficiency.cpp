@@ -1,0 +1,71 @@
+#include "model/efficiency.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "model/risk.hpp"
+
+namespace dckpt::model {
+
+std::vector<ProtocolEvaluation> evaluate_protocols(
+    const std::vector<Protocol>& protocols, const Parameters& params,
+    double mission_time) {
+  std::vector<ProtocolEvaluation> rows;
+  rows.reserve(protocols.size());
+  for (Protocol protocol : protocols) {
+    ProtocolEvaluation row;
+    row.protocol = protocol;
+    row.optimum = optimal_period_closed_form(protocol, params);
+    row.risk_window = risk_window(protocol, params);
+    row.success_probability =
+        success_probability(protocol, params, mission_time);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+double waste_ratio(Protocol candidate, Protocol reference,
+                   const Parameters& params) {
+  const double ref = waste_at_optimal_period(reference, params);
+  const double cand = waste_at_optimal_period(candidate, params);
+  if (ref == 0.0) {
+    return cand == 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  return cand / ref;
+}
+
+Protocol best_protocol_by_waste(const std::vector<Protocol>& protocols,
+                                const Parameters& params) {
+  if (protocols.empty()) {
+    throw std::invalid_argument("best_protocol_by_waste: empty set");
+  }
+  Protocol best = protocols.front();
+  double best_waste = waste_at_optimal_period(best, params);
+  for (Protocol protocol : protocols) {
+    const double w = waste_at_optimal_period(protocol, params);
+    if (w < best_waste) {
+      best_waste = w;
+      best = protocol;
+    }
+  }
+  return best;
+}
+
+Protocol best_protocol_by_risk(const std::vector<Protocol>& protocols,
+                               const Parameters& params, double mission_time) {
+  if (protocols.empty()) {
+    throw std::invalid_argument("best_protocol_by_risk: empty set");
+  }
+  Protocol best = protocols.front();
+  double best_p = success_probability(best, params, mission_time);
+  for (Protocol protocol : protocols) {
+    const double p = success_probability(protocol, params, mission_time);
+    if (p > best_p) {
+      best_p = p;
+      best = protocol;
+    }
+  }
+  return best;
+}
+
+}  // namespace dckpt::model

@@ -1,0 +1,42 @@
+// Cross-protocol comparison utilities: evaluate every protocol at its own
+// optimal period and rank by waste or by success probability -- the queries
+// behind the paper's Figures 5/8 (waste ratios) and the protocol-selection
+// guidance in the conclusion.
+#pragma once
+
+#include <vector>
+
+#include "model/parameters.hpp"
+#include "model/period.hpp"
+#include "model/protocol.hpp"
+
+namespace dckpt::model {
+
+struct ProtocolEvaluation {
+  Protocol protocol = Protocol::DoubleNbl;
+  OptimalPeriod optimum;        ///< period + waste at the optimum
+  double risk_window = 0.0;     ///< exposure window length
+  double success_probability = 0.0;  ///< for the given mission time
+};
+
+/// Evaluates `protocols` on `params`, each at its closed-form optimal
+/// period; `mission_time` feeds the success-probability column.
+std::vector<ProtocolEvaluation> evaluate_protocols(
+    const std::vector<Protocol>& protocols, const Parameters& params,
+    double mission_time);
+
+/// Waste of `candidate` divided by waste of `reference`, both at their own
+/// optimal periods (the paper's Fig. 5/8 y-axis). Returns +inf when the
+/// reference waste is 0.
+double waste_ratio(Protocol candidate, Protocol reference,
+                   const Parameters& params);
+
+/// Protocol with the smallest waste at its optimal period.
+Protocol best_protocol_by_waste(const std::vector<Protocol>& protocols,
+                                const Parameters& params);
+
+/// Protocol with the highest success probability for `mission_time`.
+Protocol best_protocol_by_risk(const std::vector<Protocol>& protocols,
+                               const Parameters& params, double mission_time);
+
+}  // namespace dckpt::model

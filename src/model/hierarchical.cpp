@@ -1,0 +1,87 @@
+#include "model/hierarchical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "model/period.hpp"
+#include "model/risk.hpp"
+#include "model/waste.hpp"
+
+namespace dckpt::model {
+
+void HierarchicalParams::validate() const {
+  level1.validate();
+  if (!(global_ckpt > 0.0) || !std::isfinite(global_ckpt)) {
+    throw std::invalid_argument("HierarchicalParams: global_ckpt must be > 0");
+  }
+  if (!(global_recovery >= 0.0) || !std::isfinite(global_recovery)) {
+    throw std::invalid_argument(
+        "HierarchicalParams: global_recovery must be >= 0");
+  }
+}
+
+double hierarchical_waste(const HierarchicalParams& params, double p1,
+                          double p2) {
+  params.validate();
+  if (!(p2 >= params.global_ckpt)) {
+    throw std::invalid_argument("hierarchical_waste: P2 < global checkpoint");
+  }
+  const double w1 = waste(params.protocol, params.level1, p1);
+  if (w1 >= 1.0) return 1.0;
+  const double rho = fatal_failure_rate(params.protocol, params.level1);
+  const double level2_ff = params.global_ckpt / p2;
+  const double fatal_cost = params.level1.downtime + params.global_recovery +
+                            p2 / 2.0;
+  const double level2_fail = rho * fatal_cost;
+  if (level2_ff >= 1.0 || level2_fail >= 1.0) return 1.0;
+  const double product =
+      (1.0 - w1) * (1.0 - level2_ff) * (1.0 - level2_fail);
+  return std::clamp(1.0 - product, 0.0, 1.0);
+}
+
+HierarchicalEvaluation optimize_hierarchical(
+    const HierarchicalParams& params) {
+  params.validate();
+  HierarchicalEvaluation eval;
+  const auto level1 =
+      optimal_period_closed_form(params.protocol, params.level1);
+  eval.level1_period = level1.period;
+  eval.level1_waste = level1.waste;
+  eval.fatal_rate = fatal_failure_rate(params.protocol, params.level1);
+  if (!level1.feasible) {
+    eval.feasible = false;
+    eval.total_waste = 1.0;
+    return eval;
+  }
+  // Daly skeleton at the fatal-failure scale; clamp into the domain.
+  const double raw =
+      eval.fatal_rate > 0.0
+          ? std::sqrt(2.0 * params.global_ckpt / eval.fatal_rate)
+          : std::numeric_limits<double>::infinity();
+  eval.level2_period = std::isfinite(raw)
+                           ? std::max(raw, params.global_ckpt)
+                           : std::numeric_limits<double>::infinity();
+  if (std::isinf(eval.level2_period)) {
+    // No fatal hazard: level 2 is pure overhead, push it out to "never".
+    eval.level2_waste = 0.0;
+    eval.total_waste = eval.level1_waste;
+    eval.feasible = eval.total_waste < 1.0;
+    return eval;
+  }
+  eval.total_waste =
+      hierarchical_waste(params, eval.level1_period, eval.level2_period);
+  const double keep1 = 1.0 - eval.level1_waste;
+  eval.level2_waste =
+      keep1 > 0.0 ? 1.0 - (1.0 - eval.total_waste) / keep1 : 1.0;
+  eval.feasible = eval.total_waste < 1.0;
+  return eval;
+}
+
+double mean_time_between_fatal(Protocol protocol, const Parameters& params) {
+  const double rho = fatal_failure_rate(protocol, params);
+  return rho > 0.0 ? 1.0 / rho : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace dckpt::model

@@ -1,0 +1,60 @@
+// Two-level (hierarchical) checkpointing model (extension).
+//
+// The paper's conclusion proposes combining in-memory buddy checkpointing
+// with a slower protected tier. This module models exactly that:
+//
+//   Level 1  buddy protocol (any of the five), period P1: absorbs ordinary
+//            node failures with the waste model of Sec. III/V.
+//   Level 2  global checkpoint to stable storage every P2 seconds, blocking
+//            cost C: absorbs *fatal* level-1 failures (a whole group's
+//            copies lost), which now roll the application back to the last
+//            global checkpoint instead of killing it.
+//
+// With rho = fatal_failure_rate(protocol, params) (Eq. 11/16's per-time
+// hazard) the waste composes multiplicatively, in the same renewal-reward
+// first-order style as the paper's Eq. 4-5:
+//
+//   WASTE = 1 - (1 - w1)(1 - C/P2)(1 - rho (D + R_g + P2/2))
+//
+// and the optimal level-2 period is Daly-like:  P2* = sqrt(2 C / rho).
+// Because rho is tiny for sane platforms, P2* is hours-to-days: the stable
+// storage sees a checkpoint rarely -- the scalability win of the hierarchy.
+#pragma once
+
+#include "model/parameters.hpp"
+#include "model/protocol.hpp"
+
+namespace dckpt::model {
+
+struct HierarchicalParams {
+  Protocol protocol = Protocol::Triple;  ///< level-1 buddy protocol
+  Parameters level1;                     ///< platform + overlap parameters
+  double global_ckpt = 600.0;      ///< C: blocking global checkpoint [s]
+  double global_recovery = 600.0;  ///< R_g: reload from stable storage [s]
+
+  void validate() const;
+};
+
+struct HierarchicalEvaluation {
+  double level1_period = 0.0;  ///< P1* (closed form, Sec. III-B/V-B)
+  double level2_period = 0.0;  ///< P2* = sqrt(2 C / rho), clamped >= C
+  double level1_waste = 0.0;   ///< w1 at P1*
+  double level2_waste = 0.0;   ///< combined level-2 overhead factor
+  double total_waste = 0.0;    ///< composed waste
+  double fatal_rate = 0.0;     ///< rho
+  bool feasible = true;
+};
+
+/// Waste of the two-level scheme at explicit periods (P2 >= C > 0).
+double hierarchical_waste(const HierarchicalParams& params, double p1,
+                          double p2);
+
+/// Closed-form optimal pair (P1*, P2*) and the waste there.
+HierarchicalEvaluation optimize_hierarchical(const HierarchicalParams& params);
+
+/// Mean time between *unrecoverable* events without level 2 -- i.e. the
+/// expected platform lifetime a single-level deployment would get before a
+/// restart-from-scratch: 1 / rho.
+double mean_time_between_fatal(Protocol protocol, const Parameters& params);
+
+}  // namespace dckpt::model

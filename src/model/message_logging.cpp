@@ -1,0 +1,91 @@
+#include "model/message_logging.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "model/period.hpp"
+#include "model/waste.hpp"
+#include "util/math.hpp"
+
+namespace dckpt::model {
+
+void MessageLoggingParams::validate() const {
+  platform.validate();
+  if (!(logging_overhead >= 0.0) || !(logging_overhead < 1.0)) {
+    throw std::invalid_argument(
+        "MessageLoggingParams: beta must be in [0, 1)");
+  }
+}
+
+double message_logging_waste(const MessageLoggingParams& params,
+                             double period) {
+  params.validate();
+  const auto& p = params.platform;
+  // Same period structure as DoubleNBL for the local/remote checkpoint.
+  const double ff = waste_fault_free(Protocol::DoubleNbl, p, period);
+  const double failure_cost =
+      expected_failure_cost(Protocol::DoubleNbl, p, period);
+  // Failures arrive every M seconds platform-wide, but with logged
+  // messages only the failed node loses F seconds -- 1/n of the platform's
+  // capacity -- so the platform-level failure waste is F/(n M).
+  const double per_node_fail =
+      failure_cost / (p.mtbf * static_cast<double>(p.nodes));
+  if (ff >= 1.0 || per_node_fail >= 1.0) return 1.0;
+  const double keep = (1.0 - params.logging_overhead) * (1.0 - ff) *
+                      (1.0 - per_node_fail);
+  return std::clamp(1.0 - keep, 0.0, 1.0);
+}
+
+MessageLoggingOptimum optimal_message_logging_period(
+    const MessageLoggingParams& params) {
+  params.validate();
+  const auto& p = params.platform;
+  const double node_mtbf = p.node_mtbf();
+  const double theta = p.theta();
+  MessageLoggingOptimum result;
+  const double raw = std::sqrt(
+      2.0 * (p.local_ckpt + p.overhead) *
+      (node_mtbf - p.downtime - p.recovery() - theta));
+  const double lo = min_period(Protocol::DoubleNbl, p);
+  if (!std::isfinite(raw) || raw < lo) {
+    result.period = lo;
+    result.clamped = true;
+  } else {
+    result.period = raw;
+  }
+  result.waste = message_logging_waste(params, result.period);
+  result.feasible = result.waste < 1.0;
+  return result;
+}
+
+double logging_crossover_mtbf(const MessageLoggingParams& params,
+                              Protocol coordinated, double lo, double hi) {
+  params.validate();
+  if (!(lo > 0.0) || !(hi > lo)) {
+    throw std::invalid_argument("logging_crossover_mtbf: bad bracket");
+  }
+  // Advantage(M) = coordinated waste - logging waste; positive = logging
+  // wins. Monotone decreasing in M to first order (logging's flat beta vs
+  // the coordinated sqrt(1/M) failure term).
+  const auto advantage = [&](double mtbf) {
+    auto log_params = params;
+    log_params.platform = params.platform.with_mtbf(mtbf);
+    const double logging =
+        optimal_message_logging_period(log_params).waste;
+    const double coord = waste_at_optimal_period(
+        coordinated, params.platform.with_mtbf(mtbf));
+    return coord - logging;
+  };
+  const double at_lo = advantage(lo);
+  const double at_hi = advantage(hi);
+  if (at_lo <= 0.0 && at_hi <= 0.0) return 0.0;
+  if (at_lo > 0.0 && at_hi > 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const auto root = util::find_root_bisection(advantage, lo, hi, 1e-3, 200);
+  return root.x;
+}
+
+}  // namespace dckpt::model

@@ -1,0 +1,63 @@
+// Uncoordinated checkpointing with message logging (extension).
+//
+// The paper's conclusion proposes combining in-memory buddy storage "with
+// uncoordinated or hierarchical checkpointing protocols with message
+// logging, in order to further reduce the waste due to failure recovery",
+// citing the observation (intro, [5]) that uncoordinated protocols win by
+// reducing the data re-executed at rollback: with logged messages only the
+// *failed* node rolls back; the other n-1 keep working.
+//
+// First-order model in the paper's style:
+//
+//   WASTE = 1 - (1 - beta)(1 - WASTE_ff)(1 - F/(n M))
+//
+//   beta      message-logging overhead paid on all useful work (payload
+//             copies, determinant logging)
+//   WASTE_ff  (delta + phi)/P -- same buddy checkpoint cost per node
+//   F/(n M)   failures still arrive every M seconds platform-wide, but
+//             each one costs only ONE node's time (1/n of the platform),
+//             F = D + R + theta + P/2 as for DoubleNBL.
+//
+// The optimal period is Young-like at the *node* MTBF scale:
+// P* = sqrt(2 (delta + phi)(n M - D - R - theta)), typically sqrt(n) times
+// the coordinated period. The model exposes the crossover MTBF below which
+// paying beta beats global rollback -- the quantitative version of the
+// paper's closing remark.
+#pragma once
+
+#include "model/parameters.hpp"
+#include "model/protocol.hpp"
+
+namespace dckpt::model {
+
+struct MessageLoggingParams {
+  Parameters platform;   ///< same buddy-checkpoint hardware as the rest
+  double logging_overhead = 0.05;  ///< beta in [0, 1)
+
+  void validate() const;
+};
+
+/// WASTE_ff + per-node failure waste + logging overhead, composed.
+double message_logging_waste(const MessageLoggingParams& params,
+                             double period);
+
+struct MessageLoggingOptimum {
+  double period = 0.0;
+  double waste = 0.0;
+  bool clamped = false;
+  bool feasible = true;
+};
+
+/// Closed-form optimal period (Young-like at the node-MTBF scale).
+MessageLoggingOptimum optimal_message_logging_period(
+    const MessageLoggingParams& params);
+
+/// Platform MTBF below which uncoordinated+logging (at its optimum) beats
+/// `coordinated` (at its optimum) on waste; found by bisection on M over
+/// [lo, hi]. Returns +inf when logging wins everywhere in the bracket and
+/// 0 when it never wins.
+double logging_crossover_mtbf(const MessageLoggingParams& params,
+                              Protocol coordinated, double lo = 10.0,
+                              double hi = 7.0 * 86400.0);
+
+}  // namespace dckpt::model

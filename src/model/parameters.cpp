@@ -1,0 +1,53 @@
+#include "model/parameters.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace dckpt::model {
+
+namespace {
+
+void check(bool ok, const std::string& message) {
+  if (!ok) throw std::invalid_argument("Parameters: " + message);
+}
+
+bool finite_nonneg(double v) { return std::isfinite(v) && v >= 0.0; }
+
+}  // namespace
+
+void Parameters::validate() const {
+  check(finite_nonneg(downtime), "downtime (D) must be finite and >= 0");
+  check(finite_nonneg(local_ckpt), "local_ckpt (delta) must be >= 0");
+  check(std::isfinite(remote_blocking) && remote_blocking > 0.0,
+        "remote_blocking (R) must be > 0");
+  check(finite_nonneg(alpha), "alpha must be >= 0");
+  check(finite_nonneg(overhead), "overhead (phi) must be >= 0");
+  check(overhead <= remote_blocking, "overhead (phi) must be <= R");
+  check(nodes >= 2, "nodes (n) must be >= 2");
+  check(std::isfinite(mtbf) && mtbf > 0.0, "mtbf (M) must be > 0");
+}
+
+std::string Parameters::describe() const {
+  std::ostringstream out;
+  out << "D=" << downtime << "s delta=" << local_ckpt
+      << "s R=" << remote_blocking << "s alpha=" << alpha
+      << " phi=" << overhead << "s n=" << nodes << " M=" << mtbf << "s";
+  return out.str();
+}
+
+double min_period(Protocol protocol, const Parameters& params) {
+  const auto transfer = effective_transfer(protocol, params);
+  if (is_triple(protocol)) return 2.0 * transfer.theta;
+  return params.local_ckpt + transfer.theta;
+}
+
+EffectiveTransfer effective_transfer(Protocol protocol,
+                                     const Parameters& params) {
+  if (protocol == Protocol::DoubleBlocking) {
+    return {params.remote_blocking, params.remote_blocking};
+  }
+  return {params.theta(), params.overhead};
+}
+
+}  // namespace dckpt::model

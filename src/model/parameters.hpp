@@ -1,0 +1,83 @@
+// Platform/protocol parameter set (the paper's notation, Sec. II-III):
+//
+//   D      downtime: failure detection + replacement-node allocation [s]
+//   delta  local checkpoint duration (double protocols' part 1) [s]
+//   R      blocking remote transfer of one checkpoint image (= theta_min) [s]
+//   alpha  overlap speedup factor (see OverlapModel)
+//   phi    chosen computation overhead during an overlapped transfer,
+//          phi in [0, R] [work units = s]
+//   n      number of platform nodes (risk assessment)
+//   mtbf   *platform* MTBF M [s]; individual-node MTBF is n * M
+//
+// Time units and work units coincide (unit application speed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/overlap.hpp"
+#include "model/protocol.hpp"
+
+namespace dckpt::model {
+
+struct Parameters {
+  double downtime = 0.0;          ///< D
+  double local_ckpt = 0.0;        ///< delta
+  double remote_blocking = 1.0;   ///< R = theta_min
+  double alpha = 10.0;            ///< overlap speedup factor
+  double overhead = 0.0;          ///< phi
+  std::uint64_t nodes = 2;        ///< n
+  double mtbf = 3600.0;           ///< platform MTBF M
+
+  /// Throws std::invalid_argument with a precise message when any field is
+  /// out of domain (e.g. phi outside [0, R], n < 2, non-finite values).
+  void validate() const;
+
+  /// Overlap law induced by (R, alpha).
+  OverlapModel overlap() const { return OverlapModel(remote_blocking, alpha); }
+
+  /// theta(phi) under the overlap law.
+  double theta() const { return overlap().theta_of_phi(overhead); }
+
+  /// Recovery time for the faulty node's own image: R = theta_min.
+  double recovery() const noexcept { return remote_blocking; }
+
+  /// Individual-node MTBF (M_ind = n * M) and failure rate lambda = 1/(n*M).
+  double node_mtbf() const noexcept {
+    return mtbf * static_cast<double>(nodes);
+  }
+  double lambda() const noexcept { return 1.0 / node_mtbf(); }
+
+  /// Copy with a different phi (the evaluation sweeps phi at fixed platform).
+  Parameters with_overhead(double phi) const {
+    Parameters p = *this;
+    p.overhead = phi;
+    return p;
+  }
+
+  /// Copy with a different platform MTBF.
+  Parameters with_mtbf(double m) const {
+    Parameters p = *this;
+    p.mtbf = m;
+    return p;
+  }
+
+  std::string describe() const;
+};
+
+/// Shortest admissible period for `protocol` (sigma >= 0):
+/// delta + theta for double protocols, 2 * theta for triples.
+/// DoubleBlocking pins theta = phi = R regardless of `params.overhead`.
+double min_period(Protocol protocol, const Parameters& params);
+
+/// Effective (theta, phi) actually used by `protocol` in fault-free mode.
+/// Identity for all protocols except DoubleBlocking, which forces the
+/// blocking exchange (theta = phi = R).
+struct EffectiveTransfer {
+  double theta = 0.0;
+  double phi = 0.0;
+};
+EffectiveTransfer effective_transfer(Protocol protocol,
+                                     const Parameters& params);
+
+}  // namespace dckpt::model

@@ -1,0 +1,33 @@
+#include "model/protocol.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace dckpt::model {
+
+std::optional<Protocol> protocol_from_name(std::string_view name) noexcept {
+  std::string lowered(name);
+  std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                 [](unsigned char ch) { return std::tolower(ch); });
+  for (Protocol protocol : kAllProtocols) {
+    std::string candidate(protocol_name(protocol));
+    std::transform(candidate.begin(), candidate.end(), candidate.begin(),
+                   [](unsigned char ch) { return std::tolower(ch); });
+    if (candidate == lowered) return protocol;
+  }
+  return std::nullopt;
+}
+
+Protocol parse_protocol_name(const std::string& name) {
+  if (const auto protocol = protocol_from_name(name)) return *protocol;
+  std::string valid;
+  for (Protocol protocol : kAllProtocols) {
+    if (!valid.empty()) valid += "|";
+    valid += std::string(protocol_name(protocol));
+  }
+  throw std::invalid_argument("unknown protocol '" + name + "' (one of " +
+                              valid + ", case-insensitive)");
+}
+
+}  // namespace dckpt::model

@@ -1,0 +1,76 @@
+#include "model/restart.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "model/period.hpp"
+#include "model/risk.hpp"
+#include "model/waste.hpp"
+
+namespace dckpt::model {
+
+double expected_time_with_restarts(double makespan, double rho) {
+  if (!(makespan >= 0.0) || !(rho >= 0.0)) {
+    throw std::invalid_argument("expected_time_with_restarts: negative input");
+  }
+  if (rho == 0.0 || makespan == 0.0) return makespan;
+  const double exponent = rho * makespan;
+  if (exponent > 700.0) return std::numeric_limits<double>::infinity();
+  // (e^(rho T) - 1)/rho; expm1 keeps accuracy when rho T is tiny.
+  return std::expm1(exponent) / rho;
+}
+
+RestartEvaluation evaluate_with_restarts(Protocol protocol,
+                                         const Parameters& params,
+                                         double t_base) {
+  if (!(t_base > 0.0)) {
+    throw std::invalid_argument("evaluate_with_restarts: t_base must be > 0");
+  }
+  RestartEvaluation eval;
+  const auto opt = optimal_period_closed_form(protocol, params);
+  eval.period = opt.period;
+  eval.fatal_rate = fatal_failure_rate(protocol, params);
+  if (!opt.feasible) {
+    eval.feasible = false;
+    eval.makespan = std::numeric_limits<double>::infinity();
+    eval.expected_total = std::numeric_limits<double>::infinity();
+    eval.effective_waste = 1.0;
+    eval.attempts = std::numeric_limits<double>::infinity();
+    return eval;
+  }
+  eval.makespan = expected_makespan(protocol, params, opt.period, t_base);
+  eval.expected_total =
+      expected_time_with_restarts(eval.makespan, eval.fatal_rate);
+  eval.attempts = std::exp(
+      std::min(700.0, eval.fatal_rate * eval.makespan));
+  eval.effective_waste =
+      std::isinf(eval.expected_total)
+          ? 1.0
+          : 1.0 - t_base / eval.expected_total;
+  eval.feasible = eval.effective_waste < 1.0;
+  return eval;
+}
+
+Protocol best_protocol_by_effective_waste(
+    const std::vector<Protocol>& protocols, const Parameters& params,
+    double t_base) {
+  if (protocols.empty()) {
+    throw std::invalid_argument("best_protocol_by_effective_waste: empty set");
+  }
+  Protocol best = protocols.front();
+  double best_waste = evaluate_with_restarts(best, params, t_base)
+                          .effective_waste;
+  for (Protocol protocol : protocols) {
+    const double w =
+        evaluate_with_restarts(protocol, params, t_base).effective_waste;
+    if (w < best_waste) {
+      best_waste = w;
+      best = protocol;
+    }
+  }
+  return best;
+}
+
+}  // namespace dckpt::model

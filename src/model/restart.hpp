@@ -1,0 +1,54 @@
+// Expected completion time under fatal failures (extension).
+//
+// The paper evaluates performance (waste) and risk (success probability)
+// as separate criteria. For job-level planning the two combine naturally:
+// a fatal failure forces a restart from scratch, so the *expected* wall
+// clock to finish is
+//
+//   E[T_total] = (e^(rho T) - 1) / rho
+//
+// for a run of failure-free-makespan T under fatal failures arriving as a
+// Poisson process of rate rho = fatal_failure_rate(protocol, params)
+// (memoryless restarts; standard renewal result, exact when the fatal
+// hazard is constant -- which is the regime of Eq. 11/16). The *effective
+// waste* folds performance and risk into one number:
+//
+//   WASTE_eff = 1 - t_base / E[T_total]
+//
+// which lets DoubleNBL / DoubleBoF / Triple be ranked on a single axis --
+// the comparison the paper's conclusion calls for.
+#pragma once
+
+#include <vector>
+
+#include "model/parameters.hpp"
+#include "model/protocol.hpp"
+
+namespace dckpt::model {
+
+struct RestartEvaluation {
+  double period = 0.0;            ///< checkpoint period used (optimal)
+  double makespan = 0.0;          ///< failure-free-of-fatal makespan T
+  double fatal_rate = 0.0;        ///< rho, fatal failures per second
+  double expected_total = 0.0;    ///< E[T_total] including restarts
+  double effective_waste = 0.0;   ///< 1 - t_base / E[T_total]
+  double attempts = 0.0;          ///< expected number of attempts e^(rho T)
+  bool feasible = true;           ///< false when no progress is possible
+};
+
+/// Expected total time (including restarts) to complete a run whose
+/// fatal-free duration is `makespan`, under fatal rate `rho`.
+double expected_time_with_restarts(double makespan, double rho);
+
+/// Full evaluation of `protocol` on `params` for an application of
+/// `t_base` seconds of work, at the closed-form optimal period.
+RestartEvaluation evaluate_with_restarts(Protocol protocol,
+                                         const Parameters& params,
+                                         double t_base);
+
+/// The protocol minimizing the effective waste (single-axis ranking).
+Protocol best_protocol_by_effective_waste(
+    const std::vector<Protocol>& protocols, const Parameters& params,
+    double t_base);
+
+}  // namespace dckpt::model

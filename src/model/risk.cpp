@@ -1,0 +1,89 @@
+#include "model/risk.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dckpt::model {
+
+namespace {
+
+/// (1 - x)^k computed as exp(k * log1p(-x)) for accuracy at tiny x; 0 when
+/// the first-order hazard x exceeds 1 (formula out of domain -> certain
+/// failure at this order).
+double power_one_minus(double x, double k) {
+  if (x <= 0.0) return 1.0;
+  if (x >= 1.0) return 0.0;
+  return std::exp(k * std::log1p(-x));
+}
+
+}  // namespace
+
+double risk_window(Protocol protocol, const Parameters& params) {
+  params.validate();
+  const auto transfer = effective_transfer(protocol, params);
+  const double d = params.downtime;
+  const double r = params.recovery();
+  switch (protocol) {
+    case Protocol::DoubleNbl:
+      return d + r + transfer.theta;
+    case Protocol::DoubleBof:
+    case Protocol::DoubleBlocking:
+      return d + 2.0 * r;
+    case Protocol::Triple:
+      return d + r + 2.0 * transfer.theta;
+    case Protocol::TripleBof:
+      return d + 3.0 * r;
+  }
+  return 0.0;
+}
+
+double success_probability_double(double lambda, double execution_time,
+                                  double risk, std::uint64_t nodes) {
+  if (lambda < 0.0 || execution_time < 0.0 || risk < 0.0) {
+    throw std::invalid_argument("success_probability_double: negative input");
+  }
+  const double per_pair = 2.0 * lambda * lambda * execution_time * risk;
+  return power_one_minus(per_pair, static_cast<double>(nodes) / 2.0);
+}
+
+double success_probability_triple(double lambda, double execution_time,
+                                  double risk, std::uint64_t nodes) {
+  if (lambda < 0.0 || execution_time < 0.0 || risk < 0.0) {
+    throw std::invalid_argument("success_probability_triple: negative input");
+  }
+  const double per_triple =
+      6.0 * lambda * lambda * lambda * execution_time * risk * risk;
+  return power_one_minus(per_triple, static_cast<double>(nodes) / 3.0);
+}
+
+double success_probability_no_checkpoint(double lambda, double t_base,
+                                         std::uint64_t nodes) {
+  if (lambda < 0.0 || t_base < 0.0) {
+    throw std::invalid_argument("success_probability_no_checkpoint: negative");
+  }
+  return power_one_minus(lambda * t_base, static_cast<double>(nodes));
+}
+
+double success_probability(Protocol protocol, const Parameters& params,
+                           double execution_time) {
+  const double risk = risk_window(protocol, params);
+  const double lambda = params.lambda();
+  if (is_triple(protocol)) {
+    return success_probability_triple(lambda, execution_time, risk,
+                                      params.nodes);
+  }
+  return success_probability_double(lambda, execution_time, risk,
+                                    params.nodes);
+}
+
+double fatal_failure_rate(Protocol protocol, const Parameters& params) {
+  const double risk = risk_window(protocol, params);
+  const double lambda = params.lambda();
+  const double n = static_cast<double>(params.nodes);
+  if (is_triple(protocol)) {
+    return (n / 3.0) * 6.0 * lambda * lambda * lambda * risk * risk;
+  }
+  return (n / 2.0) * 2.0 * lambda * lambda * risk;
+}
+
+}  // namespace dckpt::model

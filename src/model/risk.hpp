@@ -1,0 +1,57 @@
+// Risk model (paper Sec. III-C and V-C).
+//
+// In-memory checkpoint storage is not stable storage: after a failure of
+// node p, the application cannot survive a failure of p's buddy until p has
+// (a) recovered and (b) re-received a replica of the buddy's image. The
+// length of that exposure window is
+//
+//   Risk_nbl    = D + R + theta          (buddy image re-sent overlapped)
+//   Risk_bof    = D + 2R                 (both images blocking)
+//   Risk_tri    = D + R + 2*theta        (two overlapped buddy images)
+//   Risk_tribof = D + 3R                 (Sec. IV, blocking triple variant)
+//
+// With per-node failure rate lambda = 1/(nM) and total execution time T, the
+// first-order fatal-failure probabilities per group give (Eq. 11, 12, 16):
+//
+//   P_double = (1 - 2 lambda^2 T Risk)^(n/2)
+//   P_triple = (1 - 6 lambda^3 T Risk^2)^(n/3)
+//   P_base   = (1 - lambda T_base)^n     (no checkpointing at all)
+//
+// Note: the paper fixes [1]'s missing factor 2 in P_double.
+#pragma once
+
+#include <cstdint>
+
+#include "model/parameters.hpp"
+#include "model/protocol.hpp"
+
+namespace dckpt::model {
+
+/// Exposure-window length after a single failure.
+double risk_window(Protocol protocol, const Parameters& params);
+
+/// Success probability of an execution of expected duration
+/// `execution_time` (the paper also applies this to whole platform
+/// exploitation periods). Dispatches to the pair/triple formula.
+double success_probability(Protocol protocol, const Parameters& params,
+                           double execution_time);
+
+/// Eq. (11): pair-based protocols, explicit risk window.
+double success_probability_double(double lambda, double execution_time,
+                                  double risk, std::uint64_t nodes);
+
+/// Eq. (16): triple-based protocols, explicit risk window.
+double success_probability_triple(double lambda, double execution_time,
+                                  double risk, std::uint64_t nodes);
+
+/// Eq. (12): probability that an unprotected run of length t_base finishes
+/// before any node fails.
+double success_probability_no_checkpoint(double lambda, double t_base,
+                                         std::uint64_t nodes);
+
+/// Expected number of fatal failures per unit time (hazard of the whole
+/// application); useful to compare exposure across protocols without fixing
+/// an execution length.
+double fatal_failure_rate(Protocol protocol, const Parameters& params);
+
+}  // namespace dckpt::model

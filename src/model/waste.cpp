@@ -1,0 +1,162 @@
+#include "model/waste.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dckpt::model {
+
+namespace {
+
+void check_period(Protocol protocol, const Parameters& params, double period) {
+  if (!std::isfinite(period)) {
+    throw std::invalid_argument("waste: period must be finite");
+  }
+  const double lo = min_period(protocol, params);
+  // Tolerate tiny numerical undershoot from optimizers.
+  if (period < lo * (1.0 - 1e-12)) {
+    throw std::invalid_argument("waste: period below min_period");
+  }
+}
+
+}  // namespace
+
+PeriodParts period_parts(Protocol protocol, const Parameters& params,
+                         double period) {
+  params.validate();
+  check_period(protocol, params, period);
+  const auto transfer = effective_transfer(protocol, params);
+  PeriodParts parts;
+  parts.part1 = is_triple(protocol) ? transfer.theta : params.local_ckpt;
+  parts.part2 = transfer.theta;
+  parts.part3 = std::max(0.0, period - parts.part1 - parts.part2);
+  return parts;
+}
+
+double work_per_period(Protocol protocol, const Parameters& params,
+                       double period) {
+  const auto transfer = effective_transfer(protocol, params);
+  if (is_triple(protocol)) return period - 2.0 * transfer.phi;
+  return period - params.local_ckpt - transfer.phi;
+}
+
+ReExecution expected_reexecution(Protocol protocol, const Parameters& params,
+                                 double period) {
+  const auto parts = period_parts(protocol, params, period);
+  const auto transfer = effective_transfer(protocol, params);
+  const double theta = transfer.theta;
+  const double phi = transfer.phi;
+  const double delta = params.local_ckpt;
+  const double sigma = parts.part3;
+  ReExecution re;
+  switch (protocol) {
+    case Protocol::DoubleNbl:
+      // Paper Sec. III-A: re-execution overlapped with re-receiving the
+      // buddy's image (overhead phi spread over the first theta seconds).
+      re.re1 = theta + sigma + delta / 2.0;
+      re.re2 = theta + sigma + delta + theta / 2.0;
+      re.re3 = theta + sigma / 2.0;
+      break;
+    case Protocol::DoubleBof:
+    case Protocol::DoubleBlocking:
+      // Both images already delivered (blocking): re-execution runs at full
+      // speed -- each RE drops the phi overlap overhead.
+      re.re1 = theta + sigma + delta / 2.0 - phi;
+      re.re2 = theta + sigma + delta + theta / 2.0 - phi;
+      re.re3 = theta + sigma / 2.0 - phi;
+      break;
+    case Protocol::Triple:
+      // Paper Sec. V-A.
+      re.re1 = 2.0 * theta + sigma + theta / 2.0;
+      re.re2 = 3.0 * theta / 2.0;
+      re.re3 = 2.0 * theta + sigma / 2.0;
+      break;
+    case Protocol::TripleBof:
+      // Our extension: all three recovery transfers blocking, re-execution at
+      // full speed, so RE_i is exactly the lost work W_lost_i.
+      re.re1 = (period - 2.0 * phi) + theta / 2.0;
+      re.re2 = (theta - phi) + theta / 2.0;
+      re.re3 = 2.0 * (theta - phi) + sigma / 2.0;
+      break;
+  }
+  return re;
+}
+
+double expected_failure_cost(Protocol protocol, const Parameters& params,
+                             double period) {
+  params.validate();
+  check_period(protocol, params, period);
+  const auto transfer = effective_transfer(protocol, params);
+  const double d = params.downtime;
+  const double r = params.recovery();
+  const double theta = transfer.theta;
+  const double phi = transfer.phi;
+  switch (protocol) {
+    case Protocol::DoubleNbl:
+      return d + r + theta + period / 2.0;  // Eq. (7)
+    case Protocol::DoubleBof:
+    case Protocol::DoubleBlocking:
+      return d + 2.0 * r + theta - phi + period / 2.0;  // Eq. (8)
+    case Protocol::Triple:
+      return d + r + theta + period / 2.0;  // Eq. (14)
+    case Protocol::TripleBof:
+      // Derived like Eq. (8) but with two extra blocking transfers and the
+      // 2*phi overlapped overhead removed from the lost-work integral.
+      return d + 3.0 * r + theta + period / 2.0 - 2.0 * phi +
+             phi * theta / period;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+double expected_failure_cost_from_parts(Protocol protocol,
+                                        const Parameters& params,
+                                        double period) {
+  const auto parts = period_parts(protocol, params, period);
+  const auto re = expected_reexecution(protocol, params, period);
+  const double d = params.downtime;
+  const double r = params.recovery();
+  double recovery = r;
+  if (protocol == Protocol::DoubleBof || protocol == Protocol::DoubleBlocking) {
+    recovery = 2.0 * r;
+  } else if (protocol == Protocol::TripleBof) {
+    recovery = 3.0 * r;
+  }
+  return d + recovery +
+         (parts.part1 * re.re1 + parts.part2 * re.re2 + parts.part3 * re.re3) /
+             period;
+}
+
+double waste_fault_free(Protocol protocol, const Parameters& params,
+                        double period) {
+  params.validate();
+  check_period(protocol, params, period);
+  const auto transfer = effective_transfer(protocol, params);
+  if (is_triple(protocol)) return 2.0 * transfer.phi / period;
+  return (params.local_ckpt + transfer.phi) / period;
+}
+
+double waste_failure(Protocol protocol, const Parameters& params,
+                     double period) {
+  return expected_failure_cost(protocol, params, period) / params.mtbf;
+}
+
+double waste(Protocol protocol, const Parameters& params, double period) {
+  const double ff = waste_fault_free(protocol, params, period);
+  const double fail = waste_failure(protocol, params, period);
+  if (ff >= 1.0 || fail >= 1.0) return 1.0;
+  const double total = 1.0 - (1.0 - fail) * (1.0 - ff);  // Eq. (5)
+  return std::clamp(total, 0.0, 1.0);
+}
+
+double expected_makespan(Protocol protocol, const Parameters& params,
+                         double period, double t_base) {
+  if (!(t_base >= 0.0)) {
+    throw std::invalid_argument("expected_makespan: t_base must be >= 0");
+  }
+  const double w = waste(protocol, params, period);
+  if (w >= 1.0) return std::numeric_limits<double>::infinity();
+  return t_base / (1.0 - w);
+}
+
+}  // namespace dckpt::model

@@ -1,0 +1,84 @@
+// Waste model (paper Sec. III and V).
+//
+// For a period P, the expected fraction of resources doing no useful work is
+//
+//   WASTE(P) = 1 - (1 - WASTE_fail)(1 - WASTE_ff)               (Eq. 4-5)
+//   WASTE_ff   = (delta + phi) / P        (double protocols)
+//              = 2 phi / P                (triple protocols)
+//   WASTE_fail = F(P) / M
+//
+// where F is the expected time lost per failure, computed by conditioning on
+// which of the three parts of the period the failure strikes (Eq. 6 / 13):
+//
+//   F = D + recovery + (len1 * RE1 + len2 * RE2 + len3 * RE3) / P
+//
+// Closed forms (validated by unit tests against the RE decomposition):
+//
+//   F_nbl = D + R + theta + P/2                                  (Eq. 7)
+//   F_bof = D + 2R + theta - phi + P/2                           (Eq. 8)
+//   F_tri = D + R + theta + P/2                                  (Eq. 14)
+//
+// DoubleBlocking is DoubleBof evaluated at the blocking point
+// (theta = phi = R). TripleBof is our extension: add the two blocking
+// replacement transfers (2R) and drop the 2*phi overlapped re-execution
+// overhead, mirroring how the paper derives BOF from NBL.
+#pragma once
+
+#include "model/parameters.hpp"
+#include "model/protocol.hpp"
+
+namespace dckpt::model {
+
+/// Lengths of the three parts of the period for `protocol` with period `P`.
+/// Throws if P < min_period(protocol, params).
+struct PeriodParts {
+  double part1 = 0.0;  ///< delta (double) or theta (triple)
+  double part2 = 0.0;  ///< theta
+  double part3 = 0.0;  ///< sigma = P - part1 - part2
+};
+PeriodParts period_parts(Protocol protocol, const Parameters& params,
+                         double period);
+
+/// Work accomplished per fault-free period: W = P - delta - phi (double),
+/// P - 2 phi (triple), P - delta - R (DoubleBlocking).
+double work_per_period(Protocol protocol, const Parameters& params,
+                       double period);
+
+/// Expected re-execution times RE_1..RE_3 conditioned on the failure
+/// striking part 1, 2 or 3 (exposed for unit testing the F closed forms).
+struct ReExecution {
+  double re1 = 0.0;
+  double re2 = 0.0;
+  double re3 = 0.0;
+};
+ReExecution expected_reexecution(Protocol protocol, const Parameters& params,
+                                 double period);
+
+/// Expected total time lost per failure, F(P) (closed form).
+double expected_failure_cost(Protocol protocol, const Parameters& params,
+                             double period);
+
+/// Same value computed from the RE decomposition (Eq. 6/13); used by tests
+/// to certify the closed form.
+double expected_failure_cost_from_parts(Protocol protocol,
+                                        const Parameters& params,
+                                        double period);
+
+/// Fault-free waste WASTE_ff(P).
+double waste_fault_free(Protocol protocol, const Parameters& params,
+                        double period);
+
+/// Failure-induced waste WASTE_fail(P) = F(P) / M.
+double waste_failure(Protocol protocol, const Parameters& params,
+                     double period);
+
+/// Total waste by the product composition (Eq. 5), clamped to [0, 1].
+/// Returns 1 when the platform cannot progress (F >= M or WASTE_ff >= 1).
+double waste(Protocol protocol, const Parameters& params, double period);
+
+/// Expected makespan for an application of fault-free work `t_base`:
+/// T = t_base / (1 - WASTE). Returns +inf when WASTE >= 1.
+double expected_makespan(Protocol protocol, const Parameters& params,
+                         double period, double t_base);
+
+}  // namespace dckpt::model

@@ -1,0 +1,105 @@
+#include "net/flow_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dckpt::net {
+
+FlowSimulator::FlowSimulator(FlatNetwork network)
+    : network_(std::move(network)) {}
+
+void FlowSimulator::submit(const FlowRequest& request) {
+  if (!(request.bytes > 0.0) || !std::isfinite(request.bytes)) {
+    throw std::invalid_argument("FlowSimulator: bytes must be > 0");
+  }
+  if (!(request.start >= 0.0) || !std::isfinite(request.start)) {
+    throw std::invalid_argument("FlowSimulator: start must be >= 0");
+  }
+  pending_.push_back(request);
+}
+
+std::vector<FlowCompletion> FlowSimulator::run() {
+  struct Live {
+    FlowRequest request;
+    double remaining;
+    bool active = false;
+    bool done = false;
+  };
+  std::vector<Live> live;
+  live.reserve(pending_.size());
+  for (const auto& request : pending_) {
+    live.push_back({request, request.bytes, false, false});
+  }
+  pending_.clear();
+
+  std::vector<FlowCompletion> completions;
+  completions.reserve(live.size());
+  double now = 0.0;
+
+  while (completions.size() < live.size()) {
+    // Activate arrivals and find the next arrival beyond `now`.
+    double next_arrival = std::numeric_limits<double>::infinity();
+    for (auto& entry : live) {
+      if (entry.done) continue;
+      if (entry.request.start <= now) {
+        entry.active = true;
+      } else {
+        next_arrival = std::min(next_arrival, entry.request.start);
+      }
+    }
+
+    // Gather the active set and its fair allocation.
+    std::vector<Flow> flows;
+    std::vector<std::size_t> index;
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (live[i].active && !live[i].done) {
+        flows.push_back(live[i].request.flow);
+        index.push_back(i);
+      }
+    }
+    if (flows.empty()) {
+      if (!std::isfinite(next_arrival)) {
+        throw std::logic_error("FlowSimulator: stalled with pending flows");
+      }
+      now = next_arrival;
+      continue;
+    }
+    const auto rates = network_.fair_rates(flows);
+
+    // Next completion under these rates.
+    double next_completion = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < index.size(); ++k) {
+      if (rates[k] > 0.0) {
+        next_completion =
+            std::min(next_completion, now + live[index[k]].remaining / rates[k]);
+      }
+    }
+    const double horizon = std::min(next_completion, next_arrival);
+    if (!std::isfinite(horizon)) {
+      throw std::logic_error("FlowSimulator: no progress possible");
+    }
+    const double dt = horizon - now;
+
+    // Integrate and harvest completions (tolerate float dust).
+    for (std::size_t k = 0; k < index.size(); ++k) {
+      Live& entry = live[index[k]];
+      entry.remaining -= rates[k] * dt;
+      if (entry.remaining <= entry.request.bytes * 1e-12) {
+        entry.done = true;
+        completions.push_back({entry.request.tag, entry.request.start,
+                               horizon, entry.request.bytes});
+      }
+    }
+    now = horizon;
+  }
+
+  std::sort(completions.begin(), completions.end(),
+            [](const FlowCompletion& a, const FlowCompletion& b) {
+              return a.finish < b.finish;
+            });
+  return completions;
+}
+
+}  // namespace dckpt::net

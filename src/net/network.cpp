@@ -1,0 +1,102 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dckpt::net {
+
+FlatNetwork::FlatNetwork(std::uint64_t nodes, double nic_bandwidth)
+    : nodes_(nodes), nic_(nic_bandwidth) {
+  if (nodes < 2) throw std::invalid_argument("FlatNetwork: need >= 2 nodes");
+  if (!(nic_bandwidth > 0.0) || !std::isfinite(nic_bandwidth)) {
+    throw std::invalid_argument("FlatNetwork: bandwidth must be > 0");
+  }
+}
+
+std::vector<double> FlatNetwork::fair_rates(
+    const std::vector<Flow>& flows) const {
+  const std::size_t flow_count = flows.size();
+  std::vector<double> rates(flow_count, 0.0);
+  if (flow_count == 0) return rates;
+
+  // Ports: egress 2i, ingress 2i+1.
+  std::vector<double> remaining(2 * nodes_, nic_);
+  std::vector<int> unfixed_on_port(2 * nodes_, 0);
+  std::vector<bool> fixed(flow_count, false);
+
+  for (const Flow& flow : flows) {
+    if (flow.src >= nodes_ || flow.dst >= nodes_ || flow.src == flow.dst) {
+      throw std::invalid_argument("FlatNetwork: bad flow endpoints");
+    }
+    if (!(flow.rate_cap > 0.0)) {
+      throw std::invalid_argument("FlatNetwork: rate cap must be > 0");
+    }
+    ++unfixed_on_port[2 * flow.src];
+    ++unfixed_on_port[2 * flow.dst + 1];
+  }
+
+  std::size_t fixed_count = 0;
+  while (fixed_count < flow_count) {
+    // Fair share of the tightest port among unfixed flows.
+    double port_share = kUncapped;
+    for (std::size_t p = 0; p < remaining.size(); ++p) {
+      if (unfixed_on_port[p] > 0) {
+        port_share =
+            std::min(port_share, remaining[p] / unfixed_on_port[p]);
+      }
+    }
+    // The binding constraint may instead be some flow's pacing cap.
+    double cap_min = kUncapped;
+    for (std::size_t f = 0; f < flow_count; ++f) {
+      if (!fixed[f]) cap_min = std::min(cap_min, flows[f].rate_cap);
+    }
+    const double level = std::min(port_share, cap_min);
+
+    auto fix_flow = [&](std::size_t f, double rate) {
+      rates[f] = rate;
+      fixed[f] = true;
+      ++fixed_count;
+      remaining[2 * flows[f].src] -= rate;
+      remaining[2 * flows[f].dst + 1] -= rate;
+      --unfixed_on_port[2 * flows[f].src];
+      --unfixed_on_port[2 * flows[f].dst + 1];
+    };
+
+    bool progressed = false;
+    if (cap_min < port_share) {
+      // Cap-limited flows saturate below the water level: fix them first.
+      for (std::size_t f = 0; f < flow_count; ++f) {
+        if (!fixed[f] && flows[f].rate_cap <= level) {
+          fix_flow(f, flows[f].rate_cap);
+          progressed = true;
+        }
+      }
+    } else {
+      // Identify the bottleneck ports *before* fixing anything (fixing
+      // changes the shares), then fix every unfixed flow through one.
+      constexpr double kTolerance = 1.0 + 1e-12;
+      std::vector<bool> bottleneck(remaining.size(), false);
+      for (std::size_t p = 0; p < remaining.size(); ++p) {
+        if (unfixed_on_port[p] > 0 &&
+            remaining[p] / unfixed_on_port[p] <= level * kTolerance) {
+          bottleneck[p] = true;
+        }
+      }
+      for (std::size_t f = 0; f < flow_count; ++f) {
+        if (fixed[f]) continue;
+        if (bottleneck[2 * flows[f].src] ||
+            bottleneck[2 * flows[f].dst + 1]) {
+          fix_flow(f, std::min(level, flows[f].rate_cap));
+          progressed = true;
+        }
+      }
+    }
+    if (!progressed) {
+      throw std::logic_error("FlatNetwork::fair_rates failed to converge");
+    }
+  }
+  return rates;
+}
+
+}  // namespace dckpt::net

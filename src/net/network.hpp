@@ -1,0 +1,45 @@
+// Flat network model with max-min fair bandwidth sharing.
+//
+// The overlap law theta(phi) the paper postulates comes from checkpoint
+// traffic contending with application messages on the node interconnect.
+// To study that mechanism we model the network the way flow-level
+// simulators do: every node has an egress and an ingress port of fixed
+// capacity (full-bisection core), and the rates of concurrently active
+// flows are the max-min fair allocation subject to optional per-flow caps
+// (pacing) -- the classic progressive-filling solution.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace dckpt::net {
+
+inline constexpr double kUncapped = std::numeric_limits<double>::infinity();
+
+/// One point-to-point transfer demand.
+struct Flow {
+  std::uint64_t src = 0;
+  std::uint64_t dst = 0;
+  double rate_cap = kUncapped;  ///< pacing limit [bytes/s]
+};
+
+class FlatNetwork {
+ public:
+  /// `nodes` hosts, each with `nic_bandwidth` bytes/s in each direction.
+  FlatNetwork(std::uint64_t nodes, double nic_bandwidth);
+
+  std::uint64_t nodes() const noexcept { return nodes_; }
+  double nic_bandwidth() const noexcept { return nic_; }
+
+  /// Max-min fair rates for the given concurrently-active flows
+  /// (progressive filling with caps). Flows with src == dst are rejected.
+  /// Complexity O(F^2) -- fine for the flow counts we simulate.
+  std::vector<double> fair_rates(const std::vector<Flow>& flows) const;
+
+ private:
+  std::uint64_t nodes_;
+  double nic_;
+};
+
+}  // namespace dckpt::net

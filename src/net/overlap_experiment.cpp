@@ -1,0 +1,189 @@
+#include "net/overlap_experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace dckpt::net {
+
+void OverlapWorkload::validate() const {
+  if (!(nic_bandwidth > 0.0) || !(compute_time >= 0.0) ||
+      !(halo_bytes > 0.0) || !(checkpoint_bytes > 0.0)) {
+    throw std::invalid_argument("OverlapWorkload: out of domain");
+  }
+}
+
+double OverlapWorkload::step_time() const {
+  return compute_time + halo_bytes / nic_bandwidth;
+}
+
+double OverlapWorkload::app_demand() const {
+  return halo_bytes / step_time();
+}
+
+double OverlapWorkload::theta_min() const {
+  return checkpoint_bytes / nic_bandwidth;
+}
+
+double OverlapWorkload::mechanistic_alpha() const {
+  const double spare = nic_bandwidth - app_demand();
+  if (spare <= 0.0) return kUncapped;
+  return app_demand() / spare;
+}
+
+namespace {
+
+/// Checkpoint rate taken *during halo phases* under each policy.
+///
+/// FairShare: the paced flow and the halo flow share the egress max-min
+/// fair, so the checkpoint keeps min(pace, B/2).
+///
+/// Scavenger: the checkpoint prefers the idle compute windows (full B) and
+/// intrudes on halo phases only enough to hold the pace schedule. The
+/// per-cycle bandwidth balance  B c + y H/(B - y) = pace (c + H/(B - y))
+/// gives the minimal intrusion rate
+///   y = (pace H - c B (B - pace)) / (H - c (B - pace)),  clamped to [0, B).
+double halo_phase_ckpt_rate(const OverlapWorkload& w, double pace,
+                            SharingPolicy policy) {
+  const double b = w.nic_bandwidth;
+  if (policy == SharingPolicy::FairShare) {
+    return std::min(pace, b / 2.0);
+  }
+  const double c = w.compute_time;
+  const double h = w.halo_bytes;
+  const double denominator = h - c * (b - pace);
+  if (denominator <= 0.0) {
+    // Compute windows alone can absorb the whole schedule.
+    return 0.0;
+  }
+  const double numerator = pace * h - c * b * (b - pace);
+  if (numerator <= 0.0) return 0.0;
+  return std::min(numerator / denominator, b * (1.0 - 1e-9));
+}
+
+/// Checkpoint rate during compute windows.
+double compute_phase_ckpt_rate(const OverlapWorkload& w, double pace,
+                               SharingPolicy policy) {
+  // FairShare: the paced flow never exceeds its pacing. Scavenger: the
+  // window is idle, catch up at full NIC speed.
+  return policy == SharingPolicy::FairShare ? pace : w.nic_bandwidth;
+}
+
+}  // namespace
+
+OverlapMeasurement measure_overlap(const OverlapWorkload& workload,
+                                   double theta_target,
+                                   SharingPolicy policy) {
+  workload.validate();
+  const double b = workload.nic_bandwidth;
+  if (!(theta_target >= workload.theta_min() * (1.0 - 1e-12))) {
+    throw std::invalid_argument(
+        "measure_overlap: theta_target below the blocking time");
+  }
+  const double pace = std::min(b, workload.checkpoint_bytes / theta_target);
+  const double ckpt_halo_rate =
+      halo_phase_ckpt_rate(workload, pace, policy);
+  const double ckpt_compute_rate =
+      compute_phase_ckpt_rate(workload, pace, policy);
+  const double halo_rate = b - ckpt_halo_rate;
+  if (halo_rate <= 0.0) {
+    // Fully blocking: the app is frozen for the whole transfer.
+    return {theta_target, workload.theta_min(), workload.theta_min()};
+  }
+  const double halo_duration = workload.halo_bytes / halo_rate;
+  // Scavenger sends at most its per-cycle quota during compute windows.
+  const double cycle = workload.compute_time + halo_duration;
+  const double quota_per_cycle = pace * cycle;
+  const double compute_budget = ckpt_compute_rate * workload.compute_time;
+  const double compute_bytes =
+      policy == SharingPolicy::Scavenger
+          ? std::min(compute_budget, quota_per_cycle)
+          : compute_budget;
+
+  // Cycle-wise integration until the checkpoint drains, with exact partial
+  // phases. Work is counted in fault-free seconds: compute contributes its
+  // duration, a halo phase contributes H/B regardless of how long it took.
+  double remaining = workload.checkpoint_bytes;
+  double now = 0.0;
+  double work = 0.0;
+  const double total = workload.checkpoint_bytes;
+  while (remaining > total * 1e-12) {
+    // Compute window.
+    if (workload.compute_time > 0.0 && compute_bytes > 0.0) {
+      const double window_rate = compute_bytes / workload.compute_time;
+      if (remaining <= compute_bytes) {
+        const double dt = remaining / window_rate;
+        now += dt;
+        work += dt;
+        remaining = 0.0;
+        break;
+      }
+      remaining -= compute_bytes;
+    }
+    now += workload.compute_time;
+    work += workload.compute_time;
+    // Halo window.
+    if (ckpt_halo_rate > 0.0 &&
+        remaining <= ckpt_halo_rate * halo_duration) {
+      const double dt = remaining / ckpt_halo_rate;
+      now += dt;
+      work += dt * halo_rate / b;
+      remaining = 0.0;
+      break;
+    }
+    remaining -= ckpt_halo_rate * halo_duration;
+    now += halo_duration;
+    work += workload.halo_bytes / b;
+    if (ckpt_halo_rate == 0.0 && compute_bytes == 0.0) {
+      throw std::logic_error("measure_overlap: checkpoint cannot progress");
+    }
+  }
+
+  OverlapMeasurement measurement;
+  measurement.theta_target = theta_target;
+  measurement.theta = now;
+  measurement.phi = now - work;
+  return measurement;
+}
+
+std::vector<OverlapMeasurement> measure_overlap_curve(
+    const OverlapWorkload& workload, SharingPolicy policy, int points,
+    double theta_max_factor) {
+  workload.validate();
+  if (points < 2 || !(theta_max_factor > 1.0)) {
+    throw std::invalid_argument("measure_overlap_curve: bad sweep spec");
+  }
+  std::vector<OverlapMeasurement> curve;
+  curve.reserve(points);
+  for (double target : util::log_space(workload.theta_min(),
+                                       workload.theta_min() * theta_max_factor,
+                                       points)) {
+    curve.push_back(measure_overlap(workload, target, policy));
+  }
+  return curve;
+}
+
+double fit_alpha(const std::vector<OverlapMeasurement>& points,
+                 double theta_min) {
+  // theta - theta_min = alpha (theta_min - phi): least squares through the
+  // origin on x = theta_min - phi, y = theta - theta_min.
+  double sxy = 0.0, sxx = 0.0;
+  for (const auto& point : points) {
+    const double x = theta_min - point.phi;
+    const double y = point.theta - theta_min;
+    if (x <= 0.0) continue;  // at or beyond the fully blocking end
+    // Beyond theta_max the law saturates at phi = 0; those points are off
+    // the line by construction and would bias the slope.
+    if (point.phi <= 1e-12 * theta_min) continue;
+    sxy += x * y;
+    sxx += x * x;
+  }
+  if (sxx == 0.0) {
+    throw std::invalid_argument("fit_alpha: no usable points");
+  }
+  return sxy / sxx;
+}
+
+}  // namespace dckpt::net

@@ -1,0 +1,79 @@
+// Mechanistic measurement of the paper's overlap law.
+//
+// The paper *postulates* theta(phi) = theta_min + alpha (theta_min - phi)
+// and treats alpha as a given. Here we measure phi(theta) from first
+// principles: an application alternates compute bursts with halo exchanges
+// on its NIC while a checkpoint transfer of S bytes, paced to finish in a
+// target theta, contends for the same egress port. Two sharing policies:
+//
+//   FairShare  checkpoint and halo traffic split the NIC max-min fair
+//              (TCP-like);
+//   Scavenger  the checkpoint only uses bandwidth the application leaves
+//              idle (background/priority queuing, what Charm++-style
+//              runtimes approximate).
+//
+// The fluid analysis of the Scavenger policy reproduces the paper's linear
+// law exactly, with a mechanistic overlap factor
+//
+//   alpha = A / (B - A),   A = average app egress demand, B = NIC bandwidth
+//
+// (alpha = 10 corresponds to the app using ~91% of the NIC -- the paper's
+// "conservative assumption on the communication-to-computation ratio").
+// The bench bench_ablation_overlap_law compares both measured curves with
+// the paper's line.
+#pragma once
+
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace dckpt::net {
+
+enum class SharingPolicy { FairShare, Scavenger };
+
+struct OverlapWorkload {
+  double nic_bandwidth = 128.0 * 1024 * 1024;  ///< B [bytes/s]
+  double compute_time = 0.01;                  ///< c per step [s]
+  double halo_bytes = 12.0 * 1024 * 1024;      ///< H per step
+  double checkpoint_bytes = 512.0 * 1024 * 1024;  ///< S
+
+  void validate() const;
+
+  /// Fault-free step duration c + H/B.
+  double step_time() const;
+
+  /// Average application egress demand A = H / step_time.
+  double app_demand() const;
+
+  /// Blocking checkpoint transfer time theta_min = S / B.
+  double theta_min() const;
+
+  /// Mechanistic overlap factor alpha = A / (B - A); +inf when the app
+  /// saturates the NIC.
+  double mechanistic_alpha() const;
+};
+
+struct OverlapMeasurement {
+  double theta_target = 0.0;  ///< requested transfer duration (pacing)
+  double theta = 0.0;         ///< measured transfer duration
+  double phi = 0.0;           ///< measured lost work during the transfer
+};
+
+/// Runs the contention experiment for one pacing target
+/// (theta_target >= theta_min). Returns the measured (theta, phi).
+OverlapMeasurement measure_overlap(const OverlapWorkload& workload,
+                                   double theta_target,
+                                   SharingPolicy policy);
+
+/// Sweeps `points` pacing targets between theta_min and `theta_max_factor`
+/// times theta_min (log-spaced).
+std::vector<OverlapMeasurement> measure_overlap_curve(
+    const OverlapWorkload& workload, SharingPolicy policy, int points = 12,
+    double theta_max_factor = 20.0);
+
+/// Least-squares fit of the paper's linear law theta = theta_min +
+/// alpha (theta_min - phi) to measured points; returns alpha.
+double fit_alpha(const std::vector<OverlapMeasurement>& points,
+                 double theta_min);
+
+}  // namespace dckpt::net

@@ -1,0 +1,234 @@
+#include "runtime/coordinator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ckpt/recovery.hpp"
+
+namespace dckpt::runtime {
+
+void RuntimeConfig::validate() const {
+  const auto gs =
+      static_cast<std::uint64_t>(topology == ckpt::Topology::Pairs ? 2 : 3);
+  if (nodes == 0 || nodes % gs != 0) {
+    throw std::invalid_argument(
+        "RuntimeConfig: nodes must be a positive multiple of the group size");
+  }
+  if (cells_per_node == 0) {
+    throw std::invalid_argument("RuntimeConfig: cells_per_node must be > 0");
+  }
+  if (checkpoint_interval == 0) {
+    throw std::invalid_argument(
+        "RuntimeConfig: checkpoint_interval must be > 0");
+  }
+  if (total_steps == 0) {
+    throw std::invalid_argument("RuntimeConfig: total_steps must be > 0");
+  }
+  if (staging_steps > checkpoint_interval) {
+    throw std::invalid_argument(
+        "RuntimeConfig: staging_steps must be <= checkpoint_interval");
+  }
+}
+
+std::uint64_t state_hash(std::span<const double> state) {
+  return ckpt::fnv1a(std::as_bytes(state));
+}
+
+Coordinator::Coordinator(RuntimeConfig config, std::unique_ptr<Kernel> kernel)
+    : config_(config), kernel_(std::move(kernel)),
+      groups_(config.nodes, config.topology), pool_(config.threads),
+      committed_hashes_(config.nodes, 0) {
+  config_.validate();
+  if (!kernel_) throw std::invalid_argument("Coordinator: null kernel");
+  workers_.reserve(config_.nodes);
+  for (std::uint64_t node = 0; node < config_.nodes; ++node) {
+    workers_.emplace_back(node, config_.cells_per_node,
+                          node * config_.cells_per_node, *kernel_);
+  }
+}
+
+std::vector<ckpt::BuddyStore*> Coordinator::store_directory() {
+  std::vector<ckpt::BuddyStore*> stores;
+  stores.reserve(workers_.size());
+  for (Worker& worker : workers_) stores.push_back(&worker.store());
+  return stores;
+}
+
+void Coordinator::execute_step() {
+  // Jacobi halo capture: all ghosts read before any worker is updated, so
+  // the result is independent of stepping order (and thread count).
+  const std::size_t n = workers_.size();
+  const std::size_t right_idx =
+      kernel_->right_halo_index(config_.cells_per_node);
+  const std::size_t left_idx =
+      kernel_->left_halo_index(config_.cells_per_node);
+  std::vector<double> left_ghost(n, 0.0), right_ghost(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    left_ghost[i] = (i == 0) ? 0.0 : workers_[i - 1].value_at(right_idx);
+    right_ghost[i] = (i + 1 == n) ? 0.0 : workers_[i + 1].value_at(left_idx);
+  }
+  util::parallel_for_chunked(
+      pool_, n, pool_.thread_count(),
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          workers_[i].step(*kernel_, left_ghost[i], right_ghost[i]);
+        }
+      });
+}
+
+void Coordinator::begin_checkpoint(std::uint64_t step) {
+  // Every worker snapshots and stages its image on its buddies (and
+  // locally, for pairs). Snapshots are cheap COW captures; the bytes "sent"
+  // over the (virtual) interconnect are the remote stagings.
+  std::vector<ckpt::Snapshot> images;
+  images.reserve(workers_.size());
+  for (Worker& worker : workers_) images.push_back(worker.take_snapshot());
+
+  staging_version_ = images.front().version();
+  staging_snapshot_step_ = step;
+  staged_bytes_ = 0;
+  staging_hashes_.assign(workers_.size(), 0);
+  for (std::uint64_t node = 0; node < workers_.size(); ++node) {
+    const ckpt::Snapshot& image = images[node];
+    if (config_.topology == ckpt::Topology::Pairs) {
+      workers_[node].store().stage(image);  // local copy
+      workers_[groups_.preferred_buddy(node)].store().stage(image);
+      staged_bytes_ += image.size_bytes();
+    } else {
+      workers_[groups_.preferred_buddy(node)].store().stage(image);
+      workers_[groups_.secondary_buddy(node)].store().stage(image);
+      staged_bytes_ += 2 * image.size_bytes();
+    }
+    staging_hashes_[node] = image.content_hash();
+  }
+  staging_ = true;
+}
+
+void Coordinator::commit_checkpoint(RunReport& report) {
+  // Atomic promotion of the completed set on every node.
+  for (Worker& worker : workers_) worker.store().promote(staging_version_);
+  committed_hashes_ = staging_hashes_;
+  committed_step_ = staging_snapshot_step_;
+  has_commit_ = true;
+  staging_ = false;
+  report.bytes_replicated += staged_bytes_;
+  ++report.checkpoints;
+}
+
+void Coordinator::rollback_all(RunReport& report) {
+  ++report.rollbacks;
+  if (!has_commit_) {
+    // The starting configuration is the implicit first checkpoint set.
+    for (Worker& worker : workers_) {
+      worker.store().discard_staged();
+      worker.initialize(*kernel_);
+    }
+    return;
+  }
+  const auto stores = store_directory();
+  for (Worker& worker : workers_) {
+    worker.store().discard_staged();
+    // Prefer the local copy (pairs); otherwise fetch from a group peer.
+    auto local = worker.store().committed_for(worker.id());
+    const ckpt::Snapshot image =
+        local ? *local
+              : *ckpt::locate_replica(worker.id(), groups_, stores)
+                     .committed_for(worker.id());
+    if (image.content_hash() != committed_hashes_[worker.id()]) {
+      throw std::runtime_error("rollback: committed image hash mismatch");
+    }
+    worker.restore(image);
+  }
+}
+
+RunReport Coordinator::run(std::span<const FailureInjection> failures) {
+  RunReport report;
+  std::vector<FailureInjection> pending(failures.begin(), failures.end());
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const FailureInjection& a, const FailureInjection& b) {
+                     return a.step < b.step;
+                   });
+
+  std::uint64_t step = 0;
+  while (step < config_.total_steps) {
+    // Fire the injections scheduled for this step (each at most once).
+    // destroy() wipes the victim's memory and buddy storage; the rollback
+    // below then restores *every* node from the last committed set -- the
+    // victim necessarily from a surviving peer replica (recovery), the
+    // survivors from their local copy when the topology keeps one.
+    bool failed = false;
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (it->step == step) {
+        if (it->node >= workers_.size()) {
+          throw std::invalid_argument("FailureInjection: node out of range");
+        }
+        workers_[it->node].destroy();
+        ++report.failures;
+        failed = true;
+        it = pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (failed) {
+      // Any in-flight staging set is lost with its victims; abandon it and
+      // fall back to the last committed set (it will be retaken on replay).
+      staging_ = false;
+      try {
+        rollback_all(report);
+        if (has_commit_) {
+          // Re-replicate what the victims were storing for their peers, so
+          // the group can survive the next failure (this is the action whose
+          // duration defines the model's risk window).
+          const auto stores = store_directory();
+          for (Worker& worker : workers_) {
+            if (worker.store().committed_count() == 0) {
+              ckpt::restore_replicas(worker.id(), groups_, stores);
+            }
+          }
+        }
+      } catch (const std::runtime_error& error) {
+        report.fatal = true;
+        report.fatal_reason = error.what();
+        return report;
+      }
+      const std::uint64_t resume = has_commit_ ? committed_step_ : 0;
+      report.replayed_steps += step - resume;
+      step = resume;
+      continue;
+    }
+
+    execute_step();
+    ++step;
+    ++report.steps_executed;
+    // Commit an in-flight set before possibly starting the next one (the
+    // two coincide when staging_steps == checkpoint_interval).
+    if (staging_ && step == staging_commit_at_) {
+      commit_checkpoint(report);
+    }
+    if (step % config_.checkpoint_interval == 0 &&
+        step < config_.total_steps && !staging_) {
+      begin_checkpoint(step);
+      staging_commit_at_ = step + config_.staging_steps;
+      if (config_.staging_steps == 0) commit_checkpoint(report);
+    }
+  }
+
+  for (const Worker& worker : workers_) {
+    report.cow_copies += worker.cow_copies();
+  }
+  report.final_hash = state_hash(global_state());
+  return report;
+}
+
+std::vector<double> Coordinator::global_state() const {
+  std::vector<double> state;
+  state.reserve(config_.nodes * config_.cells_per_node);
+  for (const Worker& worker : workers_) {
+    const auto block = worker.state();
+    state.insert(state.end(), block.begin(), block.end());
+  }
+  return state;
+}
+
+}  // namespace dckpt::runtime

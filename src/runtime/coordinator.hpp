@@ -1,0 +1,117 @@
+// Coordinated fault-tolerant execution: the runtime counterpart of the
+// protocols the model analyses.
+//
+// The Coordinator drives a lockstep iterative computation over a set of
+// Workers, checkpointing every `checkpoint_interval` steps through the buddy
+// storage substrate:
+//
+//   Pairs (double checkpointing): each worker keeps a local copy of its own
+//   image and stages a replica on its buddy; the set commits when every
+//   exchange completed.
+//
+//   Triples: no local copy -- each worker stages its image on its preferred
+//   and secondary buddies (two replicas), rotation as in the paper.
+//
+// Failure injection destroys a worker's memory and buddy storage mid-run.
+// The coordinator then performs the paper's coordinated rollback: survivors
+// restore the last committed set, the replacement node recovers its image
+// from a surviving replica (hash-verified), re-replicates what it stored for
+// its peers, and the lost steps are re-executed. End-to-end correctness is
+// checked by comparing the final state hash against a failure-free run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ckpt/ring.hpp"
+#include "runtime/kernel.hpp"
+#include "runtime/worker.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dckpt::runtime {
+
+struct RuntimeConfig {
+  std::uint64_t nodes = 4;
+  ckpt::Topology topology = ckpt::Topology::Pairs;
+  std::size_t cells_per_node = 512;
+  std::uint64_t checkpoint_interval = 16;  ///< steps between checkpoints
+  std::uint64_t total_steps = 128;
+  std::size_t threads = 0;  ///< stepping pool; 0 = hardware concurrency
+  /// Semi-blocking staging (the paper's non-blocking exchange): the set
+  /// snapshotted at step s commits only at step s + staging_steps; a
+  /// failure in between discards it and rolls back to the *previous*
+  /// committed set -- the real-system analogue of losing the whole
+  /// preceding period when a failure hits parts 1/2. 0 = commit
+  /// immediately (blocking exchange). Must be <= checkpoint_interval.
+  std::uint64_t staging_steps = 0;
+
+  void validate() const;
+};
+
+/// A failure injected just before executing step `step` (0-based).
+struct FailureInjection {
+  std::uint64_t step = 0;
+  std::uint64_t node = 0;
+};
+
+struct RunReport {
+  std::uint64_t steps_executed = 0;   ///< step executions incl. replays
+                                      ///< (= total_steps + replayed_steps)
+  std::uint64_t replayed_steps = 0;   ///< steps re-executed after rollbacks
+  std::uint64_t checkpoints = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t bytes_replicated = 0; ///< checkpoint bytes sent to buddies
+  std::uint64_t cow_copies = 0;       ///< pages duplicated by COW
+  bool fatal = false;                 ///< unrecoverable data loss
+  std::string fatal_reason;
+  std::uint64_t final_hash = 0;       ///< FNV-1a over the global state
+};
+
+class Coordinator {
+ public:
+  Coordinator(RuntimeConfig config, std::unique_ptr<Kernel> kernel);
+
+  /// Runs to completion, injecting `failures` (each fires at most once, in
+  /// step order). Returns the report; on fatal data loss, `fatal` is set and
+  /// execution stops.
+  RunReport run(std::span<const FailureInjection> failures = {});
+
+  /// Global state concatenated across workers (after run()).
+  std::vector<double> global_state() const;
+
+  const RuntimeConfig& config() const noexcept { return config_; }
+
+ private:
+  void begin_checkpoint(std::uint64_t step);
+  void commit_checkpoint(RunReport& report);
+  void rollback_all(RunReport& report);
+  void execute_step();
+  std::vector<ckpt::BuddyStore*> store_directory();
+
+  RuntimeConfig config_;
+  std::unique_ptr<Kernel> kernel_;
+  ckpt::GroupAssignment groups_;
+  std::vector<Worker> workers_;
+  util::ThreadPool pool_;
+  std::vector<std::uint64_t> committed_hashes_;  ///< per node
+  std::uint64_t committed_step_ = 0;             ///< step of last commit
+  bool has_commit_ = false;
+
+  // In-flight (staged, not yet committed) checkpoint set.
+  bool staging_ = false;
+  std::uint64_t staging_snapshot_step_ = 0;
+  std::uint64_t staging_commit_at_ = 0;
+  std::uint64_t staging_version_ = 0;
+  std::vector<std::uint64_t> staging_hashes_;
+  std::uint64_t staged_bytes_ = 0;
+};
+
+/// Hash of a full global state vector (for cross-run comparisons).
+std::uint64_t state_hash(std::span<const double> state);
+
+}  // namespace dckpt::runtime

@@ -1,0 +1,326 @@
+#include "runtime/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "ckpt/recovery.hpp"
+
+namespace dckpt::runtime {
+
+// ---------------------------------------------------------------- kernel
+
+HeatKernel2D::HeatKernel2D(double coefficient) : coefficient_(coefficient) {
+  if (!(coefficient > 0.0) || coefficient > 0.25) {
+    throw std::invalid_argument(
+        "HeatKernel2D: need 0 < c <= 0.25 for stability");
+  }
+}
+
+void HeatKernel2D::initialize(std::size_t row0, std::size_t col0,
+                              std::size_t rows, std::size_t cols,
+                              std::span<double> state) const {
+  if (state.size() != rows * cols) {
+    throw std::invalid_argument("HeatKernel2D: state/block size mismatch");
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double x = static_cast<double>(col0 + c);
+      const double y = static_cast<double>(row0 + r);
+      state[r * cols + c] =
+          std::sin(0.05 * x) * std::cos(0.07 * y) +
+          0.2 * std::sin(0.31 * (x + y));
+    }
+  }
+}
+
+void HeatKernel2D::step(std::span<const double> previous,
+                        std::span<double> next, std::size_t rows,
+                        std::size_t cols, std::span<const double> north,
+                        std::span<const double> south,
+                        std::span<const double> west,
+                        std::span<const double> east) const {
+  if (previous.size() != rows * cols || next.size() != rows * cols ||
+      north.size() != cols || south.size() != cols || west.size() != rows ||
+      east.size() != rows) {
+    throw std::invalid_argument("HeatKernel2D: halo/block size mismatch");
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double up = (r == 0) ? north[c] : previous[(r - 1) * cols + c];
+      const double down =
+          (r + 1 == rows) ? south[c] : previous[(r + 1) * cols + c];
+      const double left = (c == 0) ? west[r] : previous[r * cols + c - 1];
+      const double right =
+          (c + 1 == cols) ? east[r] : previous[r * cols + c + 1];
+      const double centre = previous[r * cols + c];
+      next[r * cols + c] =
+          centre + coefficient_ * (up + down + left + right - 4.0 * centre);
+    }
+  }
+}
+
+std::string HeatKernel2D::name() const { return "heat-diffusion-2d"; }
+
+// ---------------------------------------------------------------- config
+
+void GridConfig::validate() const {
+  if (grid_rows == 0 || grid_cols == 0) {
+    throw std::invalid_argument("GridConfig: empty worker grid");
+  }
+  const auto gs =
+      static_cast<std::uint64_t>(topology == ckpt::Topology::Pairs ? 2 : 3);
+  if (nodes() % gs != 0) {
+    throw std::invalid_argument(
+        "GridConfig: worker count must be a multiple of the group size");
+  }
+  if (block_rows == 0 || block_cols == 0) {
+    throw std::invalid_argument("GridConfig: empty block");
+  }
+  if (checkpoint_interval == 0 || total_steps == 0) {
+    throw std::invalid_argument("GridConfig: zero interval or steps");
+  }
+}
+
+// ----------------------------------------------------------------- block
+
+struct GridCoordinator::Block {
+  std::uint64_t id;
+  std::size_t rows, cols;
+  ckpt::PageStore memory;
+  ckpt::BuddyStore store;
+  std::vector<double> prev, next;
+
+  Block(std::uint64_t node, std::size_t block_rows, std::size_t block_cols)
+      : id(node), rows(block_rows), cols(block_cols),
+        memory(block_rows * block_cols * sizeof(double)), store(node),
+        prev(block_rows * block_cols), next(block_rows * block_cols) {}
+
+  void load(std::span<double> out) const {
+    memory.read(0, std::as_writable_bytes(out));
+  }
+  void save(std::span<const double> data) {
+    memory.write(0, std::as_bytes(data));
+  }
+  double cell(std::size_t r, std::size_t c) const {
+    double value = 0.0;
+    memory.read((r * cols + c) * sizeof(double),
+                std::as_writable_bytes(std::span(&value, 1)));
+    return value;
+  }
+  std::vector<double> row(std::size_t r) const {
+    std::vector<double> out(cols);
+    memory.read(r * cols * sizeof(double), std::as_writable_bytes(
+                                               std::span(out)));
+    return out;
+  }
+  std::vector<double> column(std::size_t c) const {
+    std::vector<double> out(rows);
+    for (std::size_t r = 0; r < rows; ++r) out[r] = cell(r, c);
+    return out;
+  }
+  void destroy() {
+    std::vector<double> poison(rows * cols,
+                               std::numeric_limits<double>::quiet_NaN());
+    save(poison);
+    store = ckpt::BuddyStore(id);
+  }
+};
+
+// ----------------------------------------------------------- coordinator
+
+GridCoordinator::GridCoordinator(GridConfig config,
+                                 std::unique_ptr<GridKernel> kernel)
+    : config_(config), kernel_(std::move(kernel)),
+      groups_(config.nodes(), config.topology), pool_(config.threads),
+      committed_hashes_(config.nodes(), 0) {
+  config_.validate();
+  if (!kernel_) throw std::invalid_argument("GridCoordinator: null kernel");
+  blocks_.reserve(config_.nodes());
+  for (std::uint64_t node = 0; node < config_.nodes(); ++node) {
+    auto block = std::make_unique<Block>(node, config_.block_rows,
+                                         config_.block_cols);
+    const std::size_t grid_r = node / config_.grid_cols;
+    const std::size_t grid_c = node % config_.grid_cols;
+    kernel_->initialize(grid_r * config_.block_rows,
+                        grid_c * config_.block_cols, config_.block_rows,
+                        config_.block_cols, block->next);
+    block->save(block->next);
+    blocks_.push_back(std::move(block));
+  }
+}
+
+GridCoordinator::~GridCoordinator() = default;
+
+std::vector<ckpt::BuddyStore*> GridCoordinator::store_directory() {
+  std::vector<ckpt::BuddyStore*> stores;
+  stores.reserve(blocks_.size());
+  for (auto& block : blocks_) stores.push_back(&block->store);
+  return stores;
+}
+
+void GridCoordinator::execute_step() {
+  // Jacobi halo capture: all four edges of every block read before any
+  // block updates, so results are independent of scheduling.
+  const std::size_t rows = config_.grid_rows, cols = config_.grid_cols;
+  const std::size_t br = config_.block_rows, bc = config_.block_cols;
+  struct Halos {
+    std::vector<double> north, south, west, east;
+  };
+  std::vector<Halos> halos(blocks_.size());
+  for (std::size_t node = 0; node < blocks_.size(); ++node) {
+    const std::size_t gr = node / cols, gc = node % cols;
+    Halos& h = halos[node];
+    h.north = gr > 0 ? blocks_[node - cols]->row(br - 1)
+                     : std::vector<double>(bc, 0.0);
+    h.south = gr + 1 < rows ? blocks_[node + cols]->row(0)
+                            : std::vector<double>(bc, 0.0);
+    h.west = gc > 0 ? blocks_[node - 1]->column(bc - 1)
+                    : std::vector<double>(br, 0.0);
+    h.east = gc + 1 < cols ? blocks_[node + 1]->column(0)
+                           : std::vector<double>(br, 0.0);
+  }
+  util::parallel_for_chunked(
+      pool_, blocks_.size(), pool_.thread_count(),
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t node = begin; node < end; ++node) {
+          Block& block = *blocks_[node];
+          block.load(block.prev);
+          kernel_->step(block.prev, block.next, br, bc, halos[node].north,
+                        halos[node].south, halos[node].west,
+                        halos[node].east);
+          block.save(block.next);
+        }
+      });
+}
+
+void GridCoordinator::checkpoint_all(RunReport& report) {
+  std::vector<ckpt::Snapshot> images;
+  images.reserve(blocks_.size());
+  for (auto& block : blocks_) images.push_back(block->memory.snapshot(block->id));
+  const std::uint64_t version = images.front().version();
+  for (std::uint64_t node = 0; node < blocks_.size(); ++node) {
+    const ckpt::Snapshot& image = images[node];
+    if (config_.topology == ckpt::Topology::Pairs) {
+      blocks_[node]->store.stage(image);
+      blocks_[groups_.preferred_buddy(node)]->store.stage(image);
+      report.bytes_replicated += image.size_bytes();
+    } else {
+      blocks_[groups_.preferred_buddy(node)]->store.stage(image);
+      blocks_[groups_.secondary_buddy(node)]->store.stage(image);
+      report.bytes_replicated += 2 * image.size_bytes();
+    }
+  }
+  for (auto& block : blocks_) block->store.promote(version);
+  for (std::uint64_t node = 0; node < blocks_.size(); ++node) {
+    committed_hashes_[node] = images[node].content_hash();
+  }
+  has_commit_ = true;
+  ++report.checkpoints;
+}
+
+void GridCoordinator::rollback_all(RunReport& report) {
+  ++report.rollbacks;
+  if (!has_commit_) {
+    for (std::uint64_t node = 0; node < blocks_.size(); ++node) {
+      Block& block = *blocks_[node];
+      block.store.discard_staged();
+      const std::size_t gr = node / config_.grid_cols;
+      const std::size_t gc = node % config_.grid_cols;
+      kernel_->initialize(gr * config_.block_rows, gc * config_.block_cols,
+                          config_.block_rows, config_.block_cols,
+                          block.next);
+      block.save(block.next);
+    }
+    return;
+  }
+  const auto stores = store_directory();
+  for (auto& block_ptr : blocks_) {
+    Block& block = *block_ptr;
+    block.store.discard_staged();
+    auto local = block.store.committed_for(block.id);
+    const ckpt::Snapshot image =
+        local ? *local
+              : *ckpt::locate_replica(block.id, groups_, stores)
+                     .committed_for(block.id);
+    if (image.content_hash() != committed_hashes_[block.id]) {
+      throw std::runtime_error("grid rollback: image hash mismatch");
+    }
+    block.memory.restore(image);
+  }
+}
+
+RunReport GridCoordinator::run(std::span<const FailureInjection> failures) {
+  RunReport report;
+  std::vector<FailureInjection> pending(failures.begin(), failures.end());
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const FailureInjection& a, const FailureInjection& b) {
+                     return a.step < b.step;
+                   });
+  std::uint64_t step = 0;
+  while (step < config_.total_steps) {
+    bool failed = false;
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (it->step == step) {
+        if (it->node >= blocks_.size()) {
+          throw std::invalid_argument("FailureInjection: node out of range");
+        }
+        blocks_[it->node]->destroy();
+        ++report.failures;
+        failed = true;
+        it = pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (failed) {
+      try {
+        rollback_all(report);
+        if (has_commit_) {
+          const auto stores = store_directory();
+          for (auto& block : blocks_) {
+            if (block->store.committed_count() == 0) {
+              ckpt::restore_replicas(block->id, groups_, stores);
+            }
+          }
+        }
+      } catch (const std::runtime_error& error) {
+        report.fatal = true;
+        report.fatal_reason = error.what();
+        return report;
+      }
+      const std::uint64_t resume = has_commit_ ? committed_step_ : 0;
+      report.replayed_steps += step - resume;
+      step = resume;
+      continue;
+    }
+    execute_step();
+    ++step;
+    ++report.steps_executed;
+    if (step % config_.checkpoint_interval == 0 &&
+        step < config_.total_steps) {
+      checkpoint_all(report);
+      committed_step_ = step;
+    }
+  }
+  for (const auto& block : blocks_) {
+    report.cow_copies += block->memory.cow_copies();
+  }
+  report.final_hash = state_hash(global_state());
+  return report;
+}
+
+std::vector<double> GridCoordinator::global_state() const {
+  std::vector<double> state;
+  state.reserve(blocks_.size() * config_.block_rows * config_.block_cols);
+  for (const auto& block : blocks_) {
+    std::vector<double> data(block->rows * block->cols);
+    block->load(data);
+    state.insert(state.end(), data.begin(), data.end());
+  }
+  return state;
+}
+
+}  // namespace dckpt::runtime

@@ -1,0 +1,122 @@
+#include "runtime/kernel.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace dckpt::runtime {
+
+HeatKernel::HeatKernel(double coefficient) : coefficient_(coefficient) {
+  if (!(coefficient > 0.0) || coefficient > 0.5) {
+    throw std::invalid_argument("HeatKernel: need 0 < c <= 0.5 for stability");
+  }
+}
+
+void HeatKernel::initialize(std::size_t global_offset,
+                            std::span<double> state) const {
+  // Smooth bump plus a high-frequency ripple: decays visibly under
+  // diffusion and is sensitive to any replay error.
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    const double x = static_cast<double>(global_offset + i);
+    state[i] = std::sin(x * 0.01) + 0.25 * std::sin(x * 0.37);
+  }
+}
+
+void HeatKernel::step(std::span<const double> previous, std::span<double> next,
+                      double left_ghost, double right_ghost) const {
+  const std::size_t n = previous.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double left = (i == 0) ? left_ghost : previous[i - 1];
+    const double right = (i + 1 == n) ? right_ghost : previous[i + 1];
+    next[i] = previous[i] +
+              coefficient_ * (left - 2.0 * previous[i] + right);
+  }
+}
+
+std::string HeatKernel::name() const { return "heat-diffusion-1d"; }
+
+WaveKernel::WaveKernel(double courant) : courant_(courant) {
+  if (!(courant > 0.0) || courant > 1.0) {
+    throw std::invalid_argument("WaveKernel: need 0 < c <= 1 for stability");
+  }
+}
+
+namespace {
+void check_wave_block(std::size_t cells) {
+  if (cells < 2 || cells % 2 != 0) {
+    throw std::invalid_argument(
+        "WaveKernel: block must hold an even number of doubles "
+        "(two time levels)");
+  }
+}
+}  // namespace
+
+void WaveKernel::initialize(std::size_t global_offset,
+                            std::span<double> state) const {
+  check_wave_block(state.size());
+  const std::size_t half = state.size() / 2;
+  // A localized pulse released from rest. The global offset is expressed in
+  // *blocks* of two levels, so physical cell i sits at global_offset/2 + i.
+  // u(t-1) uses the half-step Taylor expansion
+  // u(t-1)(x) = f(x) + c^2/2 (f(x-1) - 2 f(x) + f(x+1)); a plain
+  // u(t-1) = u(t) start would leave a non-decaying checkerboard mode.
+  // Evaluating f analytically keeps the init exact across block borders.
+  const auto f = [](double x) {
+    return std::exp(-1e-4 * (x - 200.0) * (x - 200.0));
+  };
+  const double c2 = courant_ * courant_;
+  for (std::size_t i = 0; i < half; ++i) {
+    const double x = static_cast<double>(global_offset / 2 + i);
+    state[i] = f(x);
+    state[half + i] =
+        f(x) + c2 / 2.0 * (f(x - 1.0) - 2.0 * f(x) + f(x + 1.0));
+  }
+}
+
+void WaveKernel::step(std::span<const double> previous,
+                      std::span<double> next, double left_ghost,
+                      double right_ghost) const {
+  check_wave_block(previous.size());
+  const std::size_t half = previous.size() / 2;
+  const auto curr = previous.first(half);
+  const auto older = previous.subspan(half);
+  const double c2 = courant_ * courant_;
+  for (std::size_t i = 0; i < half; ++i) {
+    const double left = (i == 0) ? left_ghost : curr[i - 1];
+    const double right = (i + 1 == half) ? right_ghost : curr[i + 1];
+    next[i] = 2.0 * curr[i] - older[i] +
+              c2 * (left - 2.0 * curr[i] + right);
+  }
+  // The old current level becomes the new previous level.
+  for (std::size_t i = 0; i < half; ++i) next[half + i] = curr[i];
+}
+
+std::size_t WaveKernel::left_halo_index(std::size_t cells) const {
+  check_wave_block(cells);
+  return 0;  // first cell of u(t)
+}
+
+std::size_t WaveKernel::right_halo_index(std::size_t cells) const {
+  check_wave_block(cells);
+  return cells / 2 - 1;  // last cell of u(t)
+}
+
+std::string WaveKernel::name() const { return "wave-1d-leapfrog"; }
+
+void CounterKernel::initialize(std::size_t global_offset,
+                               std::span<double> state) const {
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    state[i] = static_cast<double>(global_offset + i);
+  }
+}
+
+void CounterKernel::step(std::span<const double> previous,
+                         std::span<double> next, double, double) const {
+  for (std::size_t i = 0; i < previous.size(); ++i) {
+    next[i] = previous[i] + 1.0;
+  }
+}
+
+std::string CounterKernel::name() const { return "counter"; }
+
+}  // namespace dckpt::runtime

@@ -1,0 +1,94 @@
+// Application kernels for the mini fault-tolerant runtime.
+//
+// The runtime executes 1-D domain-decomposed iterative kernels: each worker
+// owns a contiguous block of cells and exchanges one halo cell with each
+// neighbour per step (Jacobi-style, so execution is deterministic under any
+// scheduling). This is the classic shape of the HPC applications the paper
+// targets, small enough to replay in tests.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+namespace dckpt::runtime {
+
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  /// Fills a worker's block with its initial condition. `global_offset` is
+  /// the index of the block's first cell in the global domain.
+  virtual void initialize(std::size_t global_offset,
+                          std::span<double> state) const = 0;
+
+  /// Advances one block by one step. `left_ghost`/`right_ghost` are the
+  /// neighbouring halo values (or boundary values at the domain edges),
+  /// captured before any block was updated.
+  virtual void step(std::span<const double> previous, std::span<double> next,
+                    double left_ghost, double right_ghost) const = 0;
+
+  /// Index (within a block of `cells` doubles) of the value a *left*
+  /// neighbour needs as its right ghost. Default: the first cell. Kernels
+  /// that pack several fields into the state (e.g. two time levels)
+  /// override these to point into the right field.
+  virtual std::size_t left_halo_index(std::size_t cells) const {
+    (void)cells;
+    return 0;
+  }
+  /// Index of the value a *right* neighbour needs as its left ghost.
+  virtual std::size_t right_halo_index(std::size_t cells) const {
+    return cells - 1;
+  }
+
+  virtual std::string name() const = 0;
+};
+
+/// Explicit heat diffusion: u'[i] = u[i] + c (u[i-1] - 2 u[i] + u[i+1]).
+/// Stable for c <= 0.5; boundaries are fixed at 0.
+class HeatKernel final : public Kernel {
+ public:
+  explicit HeatKernel(double coefficient = 0.25);
+
+  void initialize(std::size_t global_offset,
+                  std::span<double> state) const override;
+  void step(std::span<const double> previous, std::span<double> next,
+            double left_ghost, double right_ghost) const override;
+  std::string name() const override;
+
+ private:
+  double coefficient_;
+};
+
+/// Second-order wave equation (leapfrog): the block packs two time levels,
+/// [u(t) | u(t-1)], each of cells/2 values. Fixed (reflecting) boundaries.
+///   u(t+1)[i] = 2 u(t)[i] - u(t-1)[i] + c^2 (u(t)[i-1] - 2 u(t)[i] + u(t)[i+1])
+/// Stable for |c| <= 1. Exercises kernels whose halo is not the block edge.
+class WaveKernel final : public Kernel {
+ public:
+  explicit WaveKernel(double courant = 0.5);
+
+  void initialize(std::size_t global_offset,
+                  std::span<double> state) const override;
+  void step(std::span<const double> previous, std::span<double> next,
+            double left_ghost, double right_ghost) const override;
+  std::size_t left_halo_index(std::size_t cells) const override;
+  std::size_t right_halo_index(std::size_t cells) const override;
+  std::string name() const override;
+
+ private:
+  double courant_;
+};
+
+/// Trivial kernel for tests: every cell counts its steps (ghost-independent),
+/// so the expected state after k steps is closed-form.
+class CounterKernel final : public Kernel {
+ public:
+  void initialize(std::size_t global_offset,
+                  std::span<double> state) const override;
+  void step(std::span<const double> previous, std::span<double> next,
+            double left_ghost, double right_ghost) const override;
+  std::string name() const override;
+};
+
+}  // namespace dckpt::runtime

@@ -1,0 +1,8 @@
+// Umbrella header for the mini fault-tolerant runtime built on the buddy
+// checkpointing substrate.
+#pragma once
+
+#include "runtime/coordinator.hpp"  // IWYU pragma: export
+#include "runtime/grid.hpp"         // IWYU pragma: export
+#include "runtime/kernel.hpp"       // IWYU pragma: export
+#include "runtime/worker.hpp"       // IWYU pragma: export

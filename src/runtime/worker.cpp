@@ -1,0 +1,77 @@
+#include "runtime/worker.hpp"
+
+#include <cstring>
+#include <limits>
+
+namespace dckpt::runtime {
+
+namespace {
+
+std::span<const std::byte> as_bytes(std::span<const double> data) {
+  return {reinterpret_cast<const std::byte*>(data.data()),
+          data.size() * sizeof(double)};
+}
+
+std::span<std::byte> as_writable_bytes(std::span<double> data) {
+  return {reinterpret_cast<std::byte*>(data.data()),
+          data.size() * sizeof(double)};
+}
+
+}  // namespace
+
+Worker::Worker(std::uint64_t id, std::size_t cells, std::size_t global_offset,
+               const Kernel& kernel)
+    : id_(id), cells_(cells), global_offset_(global_offset),
+      memory_(cells * sizeof(double)), store_(id),
+      scratch_prev_(cells), scratch_next_(cells) {
+  initialize(kernel);
+}
+
+void Worker::initialize(const Kernel& kernel) {
+  kernel.initialize(global_offset_, scratch_next_);
+  save(scratch_next_);
+}
+
+void Worker::load(std::span<double> out) const {
+  memory_.read(0, as_writable_bytes(out));
+}
+
+void Worker::save(std::span<const double> data) {
+  memory_.write(0, as_bytes(data));
+}
+
+void Worker::step(const Kernel& kernel, double left_ghost,
+                  double right_ghost) {
+  load(scratch_prev_);
+  kernel.step(scratch_prev_, scratch_next_, left_ghost, right_ghost);
+  save(scratch_next_);
+}
+
+double Worker::value_at(std::size_t cell) const {
+  double value = 0.0;
+  memory_.read(cell * sizeof(double),
+               as_writable_bytes(std::span(&value, 1)));
+  return value;
+}
+
+std::vector<double> Worker::state() const {
+  std::vector<double> out(cells_);
+  load(out);
+  return out;
+}
+
+ckpt::Snapshot Worker::take_snapshot() { return memory_.snapshot(id_); }
+
+void Worker::restore(const ckpt::Snapshot& image) { memory_.restore(image); }
+
+void Worker::destroy() {
+  // Poison the memory so any missed recovery is loudly wrong.
+  std::vector<double> poison(cells_,
+                             std::numeric_limits<double>::quiet_NaN());
+  save(poison);
+  reset_store();
+}
+
+void Worker::reset_store() { store_ = ckpt::BuddyStore(id_); }
+
+}  // namespace dckpt::runtime

@@ -1,0 +1,67 @@
+// One runtime "node": a block of application state backed by a PageStore
+// (so checkpoints get real COW semantics) plus the node's buddy storage.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ckpt/buddy_store.hpp"
+#include "ckpt/page_store.hpp"
+#include "runtime/kernel.hpp"
+
+namespace dckpt::runtime {
+
+class Worker {
+ public:
+  Worker(std::uint64_t id, std::size_t cells, std::size_t global_offset,
+         const Kernel& kernel);
+
+  std::uint64_t id() const noexcept { return id_; }
+  std::size_t cells() const noexcept { return cells_; }
+
+  /// (Re)initializes the state from the kernel's initial condition.
+  void initialize(const Kernel& kernel);
+
+  /// Applies one kernel step given the pre-step ghost cells.
+  void step(const Kernel& kernel, double left_ghost, double right_ghost);
+
+  /// Single cell value (pre-step), used for the neighbours' halos; the
+  /// kernel's {left,right}_halo_index decides which cell a neighbour needs.
+  double value_at(std::size_t cell) const;
+
+  /// Full state copy (tests / final verification).
+  std::vector<double> state() const;
+
+  /// Checkpoint image of the current state.
+  ckpt::Snapshot take_snapshot();
+
+  /// Rolls the state back to a snapshot.
+  void restore(const ckpt::Snapshot& image);
+
+  /// Simulates node loss: memory content is destroyed (overwritten with a
+  /// poison pattern) and the buddy storage is emptied.
+  void destroy();
+
+  ckpt::BuddyStore& store() noexcept { return store_; }
+  const ckpt::BuddyStore& store() const noexcept { return store_; }
+
+  /// Replaces the buddy storage with an empty one (replacement node).
+  void reset_store();
+
+  std::uint64_t cow_copies() const noexcept { return memory_.cow_copies(); }
+
+ private:
+  void load(std::span<double> out) const;
+  void save(std::span<const double> data);
+
+  std::uint64_t id_;
+  std::size_t cells_;
+  std::size_t global_offset_;
+  ckpt::PageStore memory_;
+  ckpt::BuddyStore store_;
+  std::vector<double> scratch_prev_;
+  std::vector<double> scratch_next_;
+};
+
+}  // namespace dckpt::runtime

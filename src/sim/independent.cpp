@@ -1,0 +1,42 @@
+#include "sim/independent.hpp"
+
+#include <algorithm>
+
+#include "model/protocol.hpp"
+
+namespace dckpt::sim {
+
+IndependentResult simulate_independent_groups(const SimConfig& config,
+                                              std::uint64_t seed) {
+  config.validate();
+  const auto group_size =
+      static_cast<std::uint64_t>(model::group_size(config.protocol));
+  const std::uint64_t groups = config.params.nodes / group_size;
+
+  // A group is a private platform: group_size nodes whose members keep the
+  // same individual MTBF, so the group-level MTBF is node_mtbf/group_size.
+  SimConfig group_config = config;
+  group_config.params.nodes = group_size;
+  group_config.params.mtbf =
+      config.params.node_mtbf() / static_cast<double>(group_size);
+
+  IndependentResult result;
+  result.t_base = config.t_base;
+  util::RunningStats makespans;
+  for (std::uint64_t group = 0; group < groups; ++group) {
+    const auto trial = simulate_exponential(
+        group_config, seed ^ (0x9e3779b97f4a7c15ULL * (group + 1)));
+    result.failures += trial.failures;
+    if (trial.fatal) result.fatal = true;
+    if (trial.diverged) {
+      result.makespan = std::max(result.makespan, group_config.max_makespan);
+      continue;
+    }
+    makespans.add(trial.makespan);
+    result.makespan = std::max(result.makespan, trial.makespan);
+  }
+  result.mean_group_makespan = makespans.mean();
+  return result;
+}
+
+}  // namespace dckpt::sim

@@ -1,0 +1,96 @@
+#include "sim/log_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/math.hpp"
+#include "util/stats.hpp"
+
+namespace dckpt::sim {
+
+std::vector<double> trace_gaps(const std::vector<FailureEvent>& events) {
+  std::vector<double> gaps;
+  gaps.reserve(events.size());
+  double previous = 0.0;
+  for (const auto& event : events) {
+    if (event.time < previous) {
+      throw std::invalid_argument("trace_gaps: events not time-sorted");
+    }
+    gaps.push_back(event.time - previous);
+    previous = event.time;
+  }
+  return gaps;
+}
+
+TraceStatistics analyze_trace(const std::vector<FailureEvent>& events) {
+  if (events.size() < 2) {
+    throw std::invalid_argument("analyze_trace: need at least 2 events");
+  }
+  const auto gaps = trace_gaps(events);
+  util::RunningStats stats;
+  for (double gap : gaps) stats.add(gap);
+  std::unordered_set<std::uint64_t> nodes;
+  for (const auto& event : events) nodes.insert(event.node);
+  TraceStatistics out;
+  out.events = events.size();
+  out.span = events.back().time;
+  out.platform_mtbf = stats.mean();
+  out.gap_cv = stats.mean() > 0.0 ? stats.stddev() / stats.mean() : 0.0;
+  out.distinct_nodes = nodes.size();
+  return out;
+}
+
+double ks_statistic(std::vector<double> gaps, const util::Distribution& dist) {
+  if (gaps.empty()) throw std::invalid_argument("ks_statistic: no gaps");
+  std::sort(gaps.begin(), gaps.end());
+  const double n = static_cast<double>(gaps.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < gaps.size(); ++i) {
+    const double model_cdf = dist.cdf(gaps[i]);
+    const double empirical_hi = static_cast<double>(i + 1) / n;
+    const double empirical_lo = static_cast<double>(i) / n;
+    worst = std::max({worst, std::abs(model_cdf - empirical_hi),
+                      std::abs(model_cdf - empirical_lo)});
+  }
+  return worst;
+}
+
+ExponentialFit fit_exponential(const std::vector<FailureEvent>& events) {
+  const auto stats = analyze_trace(events);
+  ExponentialFit fit;
+  fit.mean = stats.platform_mtbf;
+  fit.distribution = util::Exponential::from_mean(fit.mean);
+  fit.ks_statistic = ks_statistic(trace_gaps(events), fit.distribution);
+  return fit;
+}
+
+WeibullFit fit_weibull(const std::vector<FailureEvent>& events) {
+  const auto stats = analyze_trace(events);
+  WeibullFit fit;
+  fit.mean = stats.platform_mtbf;
+  // Method of moments: for Weibull, CV^2 = Gamma(1+2/k)/Gamma(1+1/k)^2 - 1,
+  // monotone decreasing in k. Solve by bisection on k in [0.05, 50].
+  const double target_cv = std::max(stats.gap_cv, 1e-6);
+  const auto cv_of_shape = [](double shape) {
+    const double g1 = std::tgamma(1.0 + 1.0 / shape);
+    const double g2 = std::tgamma(1.0 + 2.0 / shape);
+    return std::sqrt(std::max(0.0, g2 / (g1 * g1) - 1.0));
+  };
+  double lo = 0.05, hi = 50.0;
+  // Clamp target into the achievable range to keep bisection well-posed.
+  const double cv_lo = cv_of_shape(hi);  // small CV at large shape
+  const double cv_hi = cv_of_shape(lo);  // huge CV at small shape
+  const double cv = util::clamp(target_cv, cv_lo * 1.0000001,
+                                cv_hi * 0.9999999);
+  const auto root = util::find_root_bisection(
+      [&](double shape) { return cv_of_shape(shape) - cv; }, lo, hi, 1e-10,
+      200);
+  fit.shape = root.x;
+  fit.distribution = util::Weibull::from_mean(fit.shape, fit.mean);
+  fit.ks_statistic = ks_statistic(trace_gaps(events), fit.distribution);
+  return fit;
+}
+
+}  // namespace dckpt::sim

@@ -1,0 +1,60 @@
+// Failure-log analysis: estimate model parameters from a failure trace.
+//
+// Closes the loop the paper leaves open between measured failure logs and
+// the analytic model: given a (recorded or synthetic) trace, estimate the
+// platform MTBF, fit an exponential and a Weibull inter-arrival law
+// (method of moments), and quantify which fits better with a
+// Kolmogorov-Smirnov statistic. The fitted MTBF plugs straight into
+// model::Parameters::mtbf.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/failure_injector.hpp"
+#include "util/distributions.hpp"
+
+namespace dckpt::sim {
+
+struct TraceStatistics {
+  std::uint64_t events = 0;
+  double span = 0.0;             ///< time covered by the trace
+  double platform_mtbf = 0.0;    ///< mean platform-level inter-arrival gap
+  double gap_cv = 0.0;           ///< coefficient of variation of the gaps
+                                 ///< (1 for exponential, > 1 for clustered)
+  std::uint64_t distinct_nodes = 0;
+};
+
+/// Basic statistics of a time-sorted trace. Throws on < 2 events.
+TraceStatistics analyze_trace(const std::vector<FailureEvent>& events);
+
+struct DistributionFit {
+  double ks_statistic = 0.0;  ///< sup |F_empirical - F_fitted| over the gaps
+  double mean = 0.0;          ///< fitted mean inter-arrival time
+};
+
+struct ExponentialFit : DistributionFit {
+  util::Exponential distribution{1.0};
+};
+
+struct WeibullFit : DistributionFit {
+  util::Weibull distribution{1.0, 1.0};
+  double shape = 1.0;
+};
+
+/// Fits Exponential(mean = mean gap) to the platform-level gaps.
+ExponentialFit fit_exponential(const std::vector<FailureEvent>& events);
+
+/// Fits Weibull by the method of moments (shape from the gap CV via
+/// bisection, scale from the mean) to the platform-level gaps.
+WeibullFit fit_weibull(const std::vector<FailureEvent>& events);
+
+/// Kolmogorov-Smirnov statistic of `gaps` against `dist` (exposed for
+/// testing and for fitting other laws).
+double ks_statistic(std::vector<double> gaps, const util::Distribution& dist);
+
+/// Platform-level inter-arrival gaps of a time-sorted trace (first gap is
+/// from t = 0 to the first event).
+std::vector<double> trace_gaps(const std::vector<FailureEvent>& events);
+
+}  // namespace dckpt::sim

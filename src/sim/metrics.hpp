@@ -1,0 +1,30 @@
+// Result records produced by one simulated execution and by Monte-Carlo
+// aggregation over many executions.
+#pragma once
+
+#include <cstdint>
+
+namespace dckpt::sim {
+
+/// Outcome of a single simulated application execution.
+struct TrialResult {
+  double makespan = 0.0;       ///< wall-clock to finish t_base work
+  double t_base = 0.0;         ///< useful work requested
+  std::uint64_t failures = 0;  ///< non-fatal failures endured
+  bool fatal = false;          ///< a group lost all copies of a checkpoint
+  double fatal_time = 0.0;     ///< when the fatal failure struck (if fatal)
+  bool diverged = false;       ///< hit the makespan cap before finishing
+
+  /// Time-loss breakdown (sums to makespan - t_base for non-fatal runs).
+  double time_checkpointing = 0.0;  ///< part1/part2 slowdown + local ckpt
+  double time_down = 0.0;           ///< downtime D accumulated
+  double time_recovering = 0.0;     ///< recovery transfers
+  double time_reexecuting = 0.0;    ///< lost work re-execution (incl. overlap
+                                    ///< slowdown during re-execution)
+
+  double waste() const noexcept {
+    return makespan > 0.0 ? 1.0 - t_base / makespan : 0.0;
+  }
+};
+
+}  // namespace dckpt::sim

@@ -1,0 +1,60 @@
+#include "sim/optimize.hpp"
+
+#include <algorithm>
+
+#include "model/period.hpp"
+#include "util/math.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dckpt::sim {
+
+EmpiricalOptimum optimize_period_empirically(SimConfig config,
+                                             const OptimizeOptions& options) {
+  config.stop_on_fatal = false;
+  const double lo = model::min_period(config.protocol, config.params);
+  const auto model_opt =
+      model::optimal_period_closed_form(config.protocol, config.params);
+  const double hi =
+      std::max(lo * 1.5, model_opt.period * options.period_hi_factor);
+  config.period = lo;
+  config.validate();
+
+  util::ThreadPool pool(options.threads);
+  MonteCarloOptions mc_options;
+  mc_options.trials = options.trials_per_eval;
+  mc_options.seed = options.seed;  // identical streams for every candidate
+
+  EmpiricalOptimum best;
+  int evaluations = 0;
+  MonteCarloResult at_best;
+  const auto objective = [&](double period) {
+    SimConfig candidate = config;
+    candidate.period = std::max(period, lo);
+    const auto mc = run_monte_carlo(candidate, mc_options, pool);
+    ++evaluations;
+    // Diverged trials mean waste ~ 1; penalize so the search backs off.
+    if (mc.waste.count() == 0) return 1.0;
+    const double penalty =
+        static_cast<double>(mc.diverged) /
+        static_cast<double>(mc.waste.count() + mc.diverged);
+    return mc.waste.mean() * (1.0 - penalty) + penalty;
+  };
+
+  const auto result = util::minimize_golden_section(
+      objective, lo, hi, /*x_tolerance=*/lo * 1e-3 + 1e-6,
+      options.max_iterations);
+
+  best.period = result.x;
+  best.evaluations = evaluations;
+  // Final high-confidence evaluation at the chosen period.
+  SimConfig final_config = config;
+  final_config.period = std::max(result.x, lo);
+  MonteCarloOptions final_options = mc_options;
+  final_options.trials = options.trials_per_eval * 4;
+  const auto final_mc = run_monte_carlo(final_config, final_options, pool);
+  best.waste = final_mc.waste.mean();
+  best.waste_halfwidth = final_mc.waste.confidence_halfwidth();
+  return best;
+}
+
+}  // namespace dckpt::sim

@@ -1,0 +1,40 @@
+// Simulation-side period optimization.
+//
+// The paper picks checkpoint periods from first-order closed forms. This
+// module searches for the *empirically* optimal period by minimizing the
+// Monte-Carlo waste estimate directly, using common random numbers (the
+// same failure streams for every candidate period) so the objective is a
+// smooth deterministic function of P and golden-section search applies.
+// Benches compare the result against Eq. 9/10/15 to quantify how much the
+// first-order approximation leaves on the table.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/protocol_sim.hpp"
+#include "sim/runner.hpp"
+
+namespace dckpt::sim {
+
+struct EmpiricalOptimum {
+  double period = 0.0;        ///< empirically best period
+  double waste = 0.0;         ///< Monte-Carlo waste estimate there
+  double waste_halfwidth = 0.0;  ///< 95% CI half-width at the optimum
+  int evaluations = 0;        ///< objective evaluations performed
+};
+
+struct OptimizeOptions {
+  std::uint64_t trials_per_eval = 40;  ///< Monte-Carlo size per candidate
+  std::uint64_t seed = 0xc0ffee;       ///< common-random-numbers base seed
+  std::size_t threads = 0;
+  int max_iterations = 40;             ///< golden-section iterations
+  double period_hi_factor = 6.0;       ///< upper bracket = factor * P_model
+};
+
+/// Minimizes simulated waste over the period, bracketing around the model's
+/// closed-form optimum. `config.period` is ignored; `config.stop_on_fatal`
+/// is forced off (waste is a conditional-on-survival metric in the paper).
+EmpiricalOptimum optimize_period_empirically(SimConfig config,
+                                             const OptimizeOptions& options);
+
+}  // namespace dckpt::sim

@@ -1,0 +1,349 @@
+#include "sim/protocol_sim.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "model/risk.hpp"
+#include "model/waste.hpp"
+
+namespace dckpt::sim {
+
+namespace {
+
+constexpr double kWorkEpsilon = 1e-9;
+
+enum class Phase { Part1, Part2, Part3, Down, Recover, Reexec };
+
+/// Static per-run protocol geometry, derived once from the config.
+struct Geometry {
+  double part1 = 0.0;
+  double part2 = 0.0;
+  double part3 = 0.0;
+  double rate1 = 0.0;  ///< work rate during part 1
+  double rate2 = 0.0;  ///< work rate during part 2
+  double downtime = 0.0;
+  double recover = 0.0;        ///< blocking recovery transfer time
+  double reexec_overlap = 0.0; ///< degraded window at re-execution start
+  double overlap_rate = 0.0;   ///< work rate inside that window
+  double risk = 0.0;           ///< exposure window length
+  bool commit_after_part1 = false;  ///< triple protocols commit early
+};
+
+Geometry make_geometry(const SimConfig& config) {
+  using model::Protocol;
+  const auto& params = config.params;
+  const auto parts =
+      model::period_parts(config.protocol, params, config.period);
+  const auto transfer = model::effective_transfer(config.protocol, params);
+  const double theta = transfer.theta;
+  const double phi = transfer.phi;
+  const double transfer_rate = (theta - phi) / theta;
+
+  Geometry g;
+  g.part1 = parts.part1;
+  g.part2 = parts.part2;
+  g.part3 = parts.part3;
+  g.rate1 = model::is_triple(config.protocol) ? transfer_rate : 0.0;
+  g.rate2 = transfer_rate;
+  g.downtime = params.downtime;
+  g.risk = model::risk_window(config.protocol, params);
+  g.commit_after_part1 = model::is_triple(config.protocol);
+  g.overlap_rate = transfer_rate;
+  switch (config.protocol) {
+    case Protocol::DoubleNbl:
+      g.recover = params.recovery();
+      g.reexec_overlap = theta;
+      break;
+    case Protocol::DoubleBof:
+    case Protocol::DoubleBlocking:
+      g.recover = 2.0 * params.recovery();
+      g.reexec_overlap = 0.0;
+      break;
+    case Protocol::Triple:
+      g.recover = params.recovery();
+      g.reexec_overlap = 2.0 * theta;
+      break;
+    case Protocol::TripleBof:
+      g.recover = 3.0 * params.recovery();
+      g.reexec_overlap = 0.0;
+      break;
+  }
+  return g;
+}
+
+/// Full mutable engine state.
+struct Engine {
+  const SimConfig& config;
+  const Geometry geo;
+  FailureInjector& injector;
+  RiskTracker risk_tracker;
+  Trace* trace;
+
+  double now = 0.0;
+  double work = 0.0;       ///< current application state level
+  double committed = 0.0;  ///< level of the last committed snapshot set
+  double pending = 0.0;    ///< level captured by the in-flight snapshot
+
+  Phase phase = Phase::Part1;
+  double phase_remaining = 0.0;
+
+  // Failure-handling context.
+  double pre_failure_work = 0.0;       ///< level to restore via re-execution
+  Phase resume_phase = Phase::Part1;   ///< interrupted phase to resume
+  double resume_remaining = 0.0;
+  double overlap_remaining = 0.0;      ///< degraded re-execution window left
+
+  TrialResult result;
+
+  Engine(const SimConfig& cfg, std::unique_ptr<FailureInjector>& inj,
+         Trace* tr)
+      : config(cfg), geo(make_geometry(cfg)), injector(*inj),
+        risk_tracker(cfg.params.nodes, model::group_size(cfg.protocol)),
+        trace(tr) {}
+
+  void record(TraceKind kind, std::uint64_t node = 0) {
+    if (trace) trace->record(now, kind, node, work);
+  }
+
+  double current_rate() const {
+    switch (phase) {
+      case Phase::Part1:
+        return geo.rate1;
+      case Phase::Part2:
+        return geo.rate2;
+      case Phase::Part3:
+        return 1.0;
+      case Phase::Down:
+      case Phase::Recover:
+        return 0.0;
+      case Phase::Reexec:
+        return overlap_remaining > 0.0 ? geo.overlap_rate : 1.0;
+    }
+    return 0.0;
+  }
+
+  bool in_failure_handling() const {
+    return phase == Phase::Down || phase == Phase::Recover ||
+           phase == Phase::Reexec;
+  }
+
+  void start_period() {
+    pending = work;
+    phase = Phase::Part1;
+    phase_remaining = geo.part1;
+    record(TraceKind::PeriodStart);
+    if (geo.part1 == 0.0) end_of_phase();  // degenerate delta = 0
+  }
+
+  /// Charges `dt` of wall-clock at the current phase rate, updating work
+  /// and the loss breakdown.
+  void advance(double dt) {
+    const double rate = current_rate();
+    work += rate * dt;
+    now += dt;
+    switch (phase) {
+      case Phase::Part1:
+      case Phase::Part2:
+        result.time_checkpointing += (1.0 - rate) * dt;
+        break;
+      case Phase::Part3:
+        break;
+      case Phase::Down:
+        result.time_down += dt;
+        break;
+      case Phase::Recover:
+        result.time_recovering += dt;
+        break;
+      case Phase::Reexec:
+        result.time_reexecuting += dt;
+        break;
+    }
+    phase_remaining -= dt;
+    if (phase == Phase::Reexec && overlap_remaining > 0.0) {
+      overlap_remaining -= dt;
+    }
+  }
+
+  void end_of_phase() {
+    switch (phase) {
+      case Phase::Part1:
+        if (geo.commit_after_part1) {
+          committed = pending;
+          record(TraceKind::PreferredCopyDone);
+        } else {
+          record(TraceKind::LocalCheckpointDone);
+        }
+        phase = Phase::Part2;
+        phase_remaining = geo.part2;
+        break;
+      case Phase::Part2:
+        if (!geo.commit_after_part1) committed = pending;
+        record(TraceKind::RemoteExchangeDone);
+        phase = Phase::Part3;
+        phase_remaining = geo.part3;
+        if (geo.part3 == 0.0) start_period();
+        break;
+      case Phase::Part3:
+        start_period();
+        break;
+      case Phase::Down:
+        record(TraceKind::DowntimeEnd);
+        phase = Phase::Recover;
+        phase_remaining = geo.recover;
+        if (phase_remaining == 0.0) end_of_phase();
+        break;
+      case Phase::Recover:
+        record(TraceKind::RecoveryEnd);
+        if (pre_failure_work - work > kWorkEpsilon) {
+          phase = Phase::Reexec;
+          overlap_remaining = geo.reexec_overlap;
+          // Time to re-gain the deficit: degraded window first, then full
+          // speed.
+          phase_remaining = reexec_duration(pre_failure_work - work);
+        } else {
+          resume_interrupted();
+        }
+        break;
+      case Phase::Reexec:
+        record(TraceKind::ReexecutionEnd);
+        resume_interrupted();
+        break;
+    }
+  }
+
+  double reexec_duration(double deficit) const {
+    const double window = geo.reexec_overlap;
+    const double degraded_gain = window * geo.overlap_rate;
+    if (deficit <= degraded_gain || window == 0.0) {
+      return geo.overlap_rate > 0.0
+                 ? deficit / (window > 0.0 ? geo.overlap_rate : 1.0)
+                 : (window > 0.0 ? std::numeric_limits<double>::infinity()
+                                 : deficit);
+    }
+    return window + (deficit - degraded_gain);
+  }
+
+  void resume_interrupted() {
+    phase = resume_phase;
+    phase_remaining = resume_remaining;
+    if (phase_remaining <= 0.0) {
+      end_of_phase();
+    }
+  }
+
+  void handle_failure(const FailureEvent& event) {
+    injector.pop();
+    ++result.failures;
+    record(TraceKind::Failure, event.node);
+    const bool fatal =
+        risk_tracker.on_failure(event.node, event.time, geo.risk);
+    record(TraceKind::RiskWindowOpen, event.node);
+    injector.on_node_replaced(event.node, event.time,
+                              event.time + geo.downtime);
+    if (fatal) {
+      record(TraceKind::FatalFailure, event.node);
+      result.fatal = true;
+      result.fatal_time = event.time;
+      if (config.stop_on_fatal) return;
+    }
+    if (!in_failure_handling()) {
+      // Save the interrupted phase; it resumes at its offset after repair.
+      resume_phase = phase;
+      resume_remaining = phase_remaining;
+      pre_failure_work = work;
+    }
+    // Failures inside Down/Recover/Reexec keep the saved context; the
+    // rollback target and deficit are unchanged.
+    record(TraceKind::Rollback, event.node);
+    work = committed;
+    phase = Phase::Down;
+    phase_remaining = geo.downtime;
+    overlap_remaining = 0.0;
+    if (phase_remaining == 0.0) end_of_phase();
+  }
+
+  TrialResult run() {
+    result.t_base = config.t_base;
+    const double cap = config.max_makespan > 0.0
+                           ? config.max_makespan
+                           : 1e4 * std::max(config.t_base, config.period);
+    start_period();
+    while (config.t_base - work > kWorkEpsilon) {
+      if (now > cap) {
+        result.diverged = true;
+        break;
+      }
+      const double rate = current_rate();
+      double dt = phase_remaining;
+      // The work rate jumps when the degraded re-execution window closes;
+      // never integrate across that boundary.
+      if (phase == Phase::Reexec && overlap_remaining > 0.0) {
+        dt = std::min(dt, overlap_remaining);
+      }
+      // Stop exactly when the application completes mid-phase.
+      if (rate > 0.0) {
+        dt = std::min(dt, (config.t_base - work) / rate);
+      }
+      const FailureEvent next_failure = injector.peek();
+      if (next_failure.time < now + dt) {
+        advance(next_failure.time - now);
+        handle_failure(next_failure);
+        if (result.fatal && config.stop_on_fatal) break;
+        continue;
+      }
+      advance(dt);
+      if (config.t_base - work <= kWorkEpsilon) break;
+      if (phase_remaining <= 1e-12) end_of_phase();
+    }
+    result.makespan = now;
+    record(TraceKind::ApplicationDone);
+    return result;
+  }
+};
+
+}  // namespace
+
+void SimConfig::validate() const {
+  params.validate();
+  if (!(t_base > 0.0) || !std::isfinite(t_base)) {
+    throw std::invalid_argument("SimConfig: t_base must be > 0");
+  }
+  const double lo = model::min_period(protocol, params);
+  if (!(period >= lo * (1.0 - 1e-12))) {
+    throw std::invalid_argument("SimConfig: period below min_period");
+  }
+  if (params.nodes % static_cast<std::uint64_t>(model::group_size(protocol)) !=
+      0) {
+    throw std::invalid_argument(
+        "SimConfig: nodes must be a multiple of the group size");
+  }
+}
+
+ProtocolSimulation::ProtocolSimulation(SimConfig config,
+                                       std::unique_ptr<FailureInjector> injector)
+    : config_(config), injector_(std::move(injector)) {
+  config_.validate();
+  if (!injector_) {
+    throw std::invalid_argument("ProtocolSimulation: null injector");
+  }
+  if (injector_->node_count() != config_.params.nodes) {
+    throw std::invalid_argument(
+        "ProtocolSimulation: injector/params node count mismatch");
+  }
+}
+
+TrialResult ProtocolSimulation::run(Trace* trace) {
+  Engine engine(config_, injector_, trace);
+  return engine.run();
+}
+
+TrialResult simulate_exponential(const SimConfig& config, std::uint64_t seed,
+                                 Trace* trace) {
+  auto injector = std::make_unique<PlatformExponentialInjector>(
+      config.params.mtbf, config.params.nodes, util::Xoshiro256ss(seed));
+  ProtocolSimulation simulation(config, std::move(injector));
+  return simulation.run(trace);
+}
+
+}  // namespace dckpt::sim

@@ -1,0 +1,69 @@
+// Discrete-event execution of one application run under a buddy-checkpointing
+// protocol (the paper's evaluation substrate).
+//
+// The platform is coordinated: any failure rolls every node back to the last
+// committed checkpoint set, so a single global timeline suffices. The engine
+// is an exact event-driven integration of the period structure:
+//
+//   normal operation   Part1 -> Part2 -> Part3 -> Part1 -> ...
+//   failure (any phase)   rollback to committed level, then
+//                         Down(D) -> Recover -> Reexec -> resume the
+//                         interrupted phase at its saved offset
+//
+// Work rates per phase follow the overlap model: 0 during a blocking local
+// checkpoint, (theta - phi)/theta during overlapped transfers, 1 at full
+// speed. Commit points: end of part 2 for pair protocols (both copies in
+// place), end of part 1 for triple protocols (preferred-buddy copy in
+// place). Re-execution runs degraded while recovery transfers are still
+// streaming in (window theta for DoubleNBL, 2*theta for Triple, none for the
+// blocking-on-failure variants), exactly mirroring the model's RE terms.
+//
+// Failures arriving *during* failure handling are processed too (the
+// analytic model neglects them to first order): the rollback target is
+// unchanged and downtime restarts. Fatal failures -- a buddy (or both
+// buddies) struck inside the exposure window -- are detected by RiskTracker.
+#pragma once
+
+#include <memory>
+
+#include "model/parameters.hpp"
+#include "model/protocol.hpp"
+#include "sim/failure_injector.hpp"
+#include "sim/metrics.hpp"
+#include "sim/risk_tracker.hpp"
+#include "sim/trace.hpp"
+
+namespace dckpt::sim {
+
+struct SimConfig {
+  model::Protocol protocol = model::Protocol::DoubleNbl;
+  model::Parameters params;
+  double period = 0.0;  ///< checkpoint period P (>= model::min_period)
+  double t_base = 0.0;  ///< useful work to complete
+  bool stop_on_fatal = true;   ///< end the run at the first fatal failure
+  double max_makespan = 0.0;   ///< livelock guard; 0 = 10^4 * t_base
+
+  void validate() const;
+};
+
+class ProtocolSimulation {
+ public:
+  /// The injector's node count must match params.nodes and be a multiple of
+  /// the protocol's group size.
+  ProtocolSimulation(SimConfig config,
+                     std::unique_ptr<FailureInjector> injector);
+
+  /// Runs one complete execution. Pass a Trace to capture the event log.
+  TrialResult run(Trace* trace = nullptr);
+
+ private:
+  SimConfig config_;
+  std::unique_ptr<FailureInjector> injector_;
+};
+
+/// Convenience: simulate with a platform-level exponential injector seeded
+/// from `seed`.
+TrialResult simulate_exponential(const SimConfig& config, std::uint64_t seed,
+                                 Trace* trace = nullptr);
+
+}  // namespace dckpt::sim

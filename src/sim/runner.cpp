@@ -1,0 +1,75 @@
+#include "sim/runner.hpp"
+
+#include <mutex>
+#include <vector>
+
+namespace dckpt::sim {
+
+namespace {
+
+std::unique_ptr<FailureInjector> make_injector(
+    const SimConfig& config, const MonteCarloOptions& options,
+    const util::Xoshiro256ss& stream) {
+  if (options.weibull) {
+    return std::make_unique<PerNodeInjector>(*options.weibull,
+                                             config.params.nodes, stream);
+  }
+  return std::make_unique<PlatformExponentialInjector>(
+      config.params.mtbf, config.params.nodes, stream);
+}
+
+}  // namespace
+
+MonteCarloResult run_monte_carlo(const SimConfig& config,
+                                 const MonteCarloOptions& options,
+                                 util::ThreadPool& pool) {
+  config.validate();
+
+  // One chunk per thread times a small oversubscription factor keeps the
+  // pool busy while preserving the deterministic chunk->stream mapping.
+  const std::size_t chunks =
+      std::min<std::uint64_t>(options.trials, pool.thread_count() * 4);
+  std::vector<MonteCarloResult> partial(std::max<std::size_t>(chunks, 1));
+
+  util::parallel_for_chunked(
+      pool, options.trials, chunks,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        MonteCarloResult& local = partial[chunk];
+        for (std::size_t trial = begin; trial < end; ++trial) {
+          // Per-trial stream derived by seed mixing (SplitMix64 inside the
+          // Xoshiro constructor): trial k gets the same stream regardless of
+          // chunking or thread count.
+          const util::Xoshiro256ss stream(
+              options.seed ^ (0x9e3779b97f4a7c15ULL * (trial + 1)));
+          ProtocolSimulation simulation(config,
+                                        make_injector(config, options, stream));
+          const TrialResult r = simulation.run();
+          if (r.diverged) {
+            ++local.diverged;
+            continue;
+          }
+          local.waste.add(r.waste());
+          local.makespan.add(r.makespan);
+          local.failures.add(static_cast<double>(r.failures));
+          local.success.add(!r.fatal);
+        }
+      });
+
+  MonteCarloResult total;
+  for (const auto& p : partial) {
+    total.waste.merge(p.waste);
+    total.makespan.merge(p.makespan);
+    total.failures.merge(p.failures);
+    total.success.merge(p.success);
+    total.diverged += p.diverged;
+  }
+  return total;
+}
+
+MonteCarloResult run_monte_carlo(const SimConfig& config,
+                                 const MonteCarloOptions& options) {
+  util::ThreadPool pool(options.threads);
+  return run_monte_carlo(config, options, pool);
+}
+
+}  // namespace dckpt::sim

@@ -1,0 +1,45 @@
+// Monte-Carlo driver: runs many independent executions of a SimConfig and
+// aggregates waste, makespan and fatal-failure statistics.
+//
+// Reproducibility contract: trial k always uses RNG stream k split from the
+// master seed, and trials are distributed over threads with deterministic
+// static chunking -- results are bit-identical for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/protocol_sim.hpp"
+#include "util/distributions.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dckpt::sim {
+
+struct MonteCarloOptions {
+  std::uint64_t trials = 1000;
+  std::uint64_t seed = 0xdc4b7;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+  /// Inter-arrival law for per-node streams; unset = platform exponential
+  /// (matches the paper's assumptions and is O(1) per failure).
+  std::optional<util::Weibull> weibull;
+};
+
+struct MonteCarloResult {
+  util::RunningStats waste;            ///< per-trial waste 1 - t_base/T
+  util::RunningStats makespan;
+  util::RunningStats failures;         ///< failures per trial
+  util::ProportionEstimate success;    ///< trial finished without fatal
+  std::uint64_t diverged = 0;          ///< trials that hit the makespan cap
+};
+
+/// Runs `options.trials` independent executions of `config`.
+MonteCarloResult run_monte_carlo(const SimConfig& config,
+                                 const MonteCarloOptions& options);
+
+/// Same, reusing an existing pool (benches sweep many configs).
+MonteCarloResult run_monte_carlo(const SimConfig& config,
+                                 const MonteCarloOptions& options,
+                                 util::ThreadPool& pool);
+
+}  // namespace dckpt::sim

@@ -1,0 +1,49 @@
+#include "sim/sweep.hpp"
+
+#include "model/period.hpp"
+#include "model/waste.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dckpt::sim {
+
+std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
+  util::ThreadPool pool(spec.threads);
+  std::vector<SweepPoint> rows;
+  for (auto protocol : spec.protocols) {
+    for (double mtbf : spec.mtbfs) {
+      for (double ratio : spec.phi_ratios) {
+        auto params = spec.base.with_mtbf(mtbf).with_overhead(
+            ratio * spec.base.remote_blocking);
+        SweepPoint point;
+        point.protocol = protocol;
+        point.mtbf = mtbf;
+        point.phi = params.overhead;
+        if (spec.period) {
+          point.period = spec.period(protocol, params);
+        } else {
+          const auto opt = model::optimal_period_closed_form(protocol, params);
+          if (!opt.feasible) continue;
+          point.period = opt.period;
+        }
+        point.model_waste =
+            model::waste(protocol, params, point.period);
+        if (point.model_waste >= 1.0) continue;
+
+        SimConfig config;
+        config.protocol = protocol;
+        config.params = params;
+        config.period = point.period;
+        config.t_base = spec.t_base_in_mtbfs * mtbf;
+        config.stop_on_fatal = false;
+        MonteCarloOptions options;
+        options.trials = spec.trials;
+        options.seed = spec.seed;
+        point.result = run_monte_carlo(config, options, pool);
+        rows.push_back(std::move(point));
+      }
+    }
+  }
+  return rows;
+}
+
+}  // namespace dckpt::sim

@@ -1,0 +1,41 @@
+// Parameter-sweep driver: runs Monte-Carlo campaigns over a grid of
+// (protocol, MTBF, phi) points with one shared thread pool, producing a
+// flat result table. Benches and examples use this instead of hand-rolled
+// triple loops.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "model/protocol.hpp"
+#include "sim/runner.hpp"
+
+namespace dckpt::sim {
+
+struct SweepPoint {
+  model::Protocol protocol = model::Protocol::DoubleNbl;
+  double mtbf = 0.0;
+  double phi = 0.0;
+  double period = 0.0;        ///< period actually simulated
+  double model_waste = 0.0;   ///< analytic waste at that period
+  MonteCarloResult result;
+};
+
+struct SweepSpec {
+  std::vector<model::Protocol> protocols;
+  std::vector<double> mtbfs;
+  std::vector<double> phi_ratios;   ///< phi / R
+  model::Parameters base;           ///< template; mtbf/overhead overridden
+  double t_base_in_mtbfs = 25.0;    ///< t_base = factor * M
+  std::uint64_t trials = 60;
+  std::uint64_t seed = 0x5eed;
+  std::size_t threads = 0;
+  /// Optional period override; default: closed-form optimum per point.
+  std::function<double(model::Protocol, const model::Parameters&)> period;
+};
+
+/// Runs the full grid (skipping infeasible points) and returns one row per
+/// feasible point, in (protocol, mtbf, phi) lexicographic order.
+std::vector<SweepPoint> run_sweep(const SweepSpec& spec);
+
+}  // namespace dckpt::sim

@@ -1,0 +1,54 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace dckpt::sim {
+
+const char* trace_kind_name(TraceKind kind) noexcept {
+  switch (kind) {
+    case TraceKind::PeriodStart:
+      return "period-start";
+    case TraceKind::LocalCheckpointDone:
+      return "local-ckpt-done";
+    case TraceKind::RemoteExchangeDone:
+      return "remote-exchange-done";
+    case TraceKind::PreferredCopyDone:
+      return "preferred-copy-done";
+    case TraceKind::Failure:
+      return "failure";
+    case TraceKind::Rollback:
+      return "rollback";
+    case TraceKind::DowntimeEnd:
+      return "downtime-end";
+    case TraceKind::RecoveryEnd:
+      return "recovery-end";
+    case TraceKind::ReexecutionEnd:
+      return "reexecution-end";
+    case TraceKind::RiskWindowOpen:
+      return "risk-window-open";
+    case TraceKind::RiskWindowClose:
+      return "risk-window-close";
+    case TraceKind::FatalFailure:
+      return "FATAL-failure";
+    case TraceKind::ApplicationDone:
+      return "application-done";
+  }
+  return "?";
+}
+
+std::string TraceEvent::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "t=%12.3f  %-22s node=%-6llu work=%.3f",
+                time, trace_kind_name(kind),
+                static_cast<unsigned long long>(node), work_level);
+  return buf;
+}
+
+std::string Trace::render() const {
+  std::ostringstream out;
+  for (const auto& event : events_) out << event.to_string() << "\n";
+  return out.str();
+}
+
+}  // namespace dckpt::sim

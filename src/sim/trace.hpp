@@ -1,0 +1,59 @@
+// Optional event trace of a simulated execution: every phase transition,
+// failure, rollback and commit, timestamped. Used by the trace example and
+// by tests that assert protocol state-machine ordering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dckpt::sim {
+
+enum class TraceKind {
+  PeriodStart,
+  LocalCheckpointDone,   ///< end of part 1 (double protocols)
+  RemoteExchangeDone,    ///< end of part 2 -- snapshot set committed
+  PreferredCopyDone,     ///< end of part 1 (triple) -- snapshot committed
+  Failure,
+  Rollback,
+  DowntimeEnd,
+  RecoveryEnd,
+  ReexecutionEnd,
+  RiskWindowOpen,
+  RiskWindowClose,
+  FatalFailure,
+  ApplicationDone,
+};
+
+const char* trace_kind_name(TraceKind kind) noexcept;
+
+struct TraceEvent {
+  double time = 0.0;
+  TraceKind kind = TraceKind::PeriodStart;
+  std::uint64_t node = 0;     ///< node involved (failures/rollbacks), else 0
+  double work_level = 0.0;    ///< application progress at the event
+  std::string to_string() const;
+};
+
+class Trace {
+ public:
+  /// A disabled trace drops events (zero overhead in Monte-Carlo runs).
+  explicit Trace(bool enabled = false) : enabled_(enabled) {}
+
+  void record(double time, TraceKind kind, std::uint64_t node,
+              double work_level) {
+    if (enabled_) events_.push_back({time, kind, node, work_level});
+  }
+
+  bool enabled() const noexcept { return enabled_; }
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+
+  /// One line per event.
+  std::string render() const;
+
+ private:
+  bool enabled_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace dckpt::sim

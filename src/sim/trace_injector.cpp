@@ -1,0 +1,109 @@
+#include "sim/trace_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace dckpt::sim {
+
+TraceInjector::TraceInjector(std::vector<FailureEvent> events,
+                             std::uint64_t nodes)
+    : events_(std::move(events)), nodes_(nodes) {
+  if (nodes == 0) throw std::invalid_argument("TraceInjector: zero nodes");
+  double previous = -std::numeric_limits<double>::infinity();
+  for (const auto& event : events_) {
+    if (event.time < previous) {
+      throw std::invalid_argument("TraceInjector: events not time-sorted");
+    }
+    if (event.node >= nodes) {
+      throw std::invalid_argument("TraceInjector: node id out of range");
+    }
+    previous = event.time;
+  }
+}
+
+FailureEvent TraceInjector::peek() {
+  if (cursor_ >= events_.size()) {
+    return {std::numeric_limits<double>::infinity(), 0};
+  }
+  return events_[cursor_];
+}
+
+void TraceInjector::pop() {
+  if (cursor_ < events_.size()) ++cursor_;
+}
+
+void TraceInjector::on_node_replaced(std::uint64_t, double, double) {
+  // A recorded trace already reflects whatever replacement policy the
+  // original system had; nothing to reschedule.
+}
+
+std::vector<FailureEvent> load_failure_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_failure_trace: cannot open " + path);
+  std::vector<FailureEvent> events;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    FailureEvent event;
+    if (!(fields >> event.time >> event.node) || event.time < 0.0 ||
+        !std::isfinite(event.time)) {
+      throw std::runtime_error("load_failure_trace: bad line " +
+                               std::to_string(line_number) + " in " + path);
+    }
+    events.push_back(event);
+  }
+  if (!std::is_sorted(events.begin(), events.end(),
+                      [](const FailureEvent& a, const FailureEvent& b) {
+                        return a.time < b.time;
+                      })) {
+    throw std::runtime_error("load_failure_trace: trace not time-sorted: " +
+                             path);
+  }
+  return events;
+}
+
+void save_failure_trace(const std::string& path,
+                        const std::vector<FailureEvent>& events) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_failure_trace: cannot open " + path);
+  out << "# dckpt failure trace: <time_seconds> <node_id>\n";
+  out.precision(9);
+  for (const auto& event : events) {
+    out << std::fixed << event.time << ' ' << event.node << '\n';
+  }
+  if (!out) throw std::runtime_error("save_failure_trace: write failed");
+}
+
+std::vector<FailureEvent> generate_failure_trace(
+    const util::Distribution& inter_arrival, std::uint64_t nodes,
+    double horizon, util::Xoshiro256ss rng) {
+  if (nodes == 0) {
+    throw std::invalid_argument("generate_failure_trace: zero nodes");
+  }
+  if (!(horizon > 0.0)) {
+    throw std::invalid_argument("generate_failure_trace: horizon must be > 0");
+  }
+  std::vector<FailureEvent> events;
+  for (std::uint64_t node = 0; node < nodes; ++node) {
+    double t = inter_arrival.sample(rng);
+    while (t < horizon) {
+      events.push_back({t, node});
+      t += inter_arrival.sample(rng);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FailureEvent& a, const FailureEvent& b) {
+              return a.time < b.time;
+            });
+  return events;
+}
+
+}  // namespace dckpt::sim

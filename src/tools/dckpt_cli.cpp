@@ -1,0 +1,402 @@
+// dckpt -- unified command-line frontend for the double/triple
+// checkpointing toolkit.
+//
+//   dckpt plan       protocol recommendation from machine specs
+//   dckpt simulate   Monte-Carlo campaign for one configuration
+//   dckpt optimize   empirical period optimization (simulation-driven)
+//   dckpt trace-gen  synthesize a failure trace file
+//   dckpt trace-fit  analyze a failure trace, fit exponential/Weibull
+//   dckpt hierarchy  two-level (buddy + stable storage) planning
+//   dckpt spares     spare-pool sizing and its effect on downtime/waste
+//
+// Every subcommand accepts --help.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "model/model_api.hpp"
+#include "net/net_api.hpp"
+#include "sim/sim_api.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dckpt;
+
+void add_platform_options(util::CliParser& cli) {
+  cli.add_option("scenario", "base", "base | exa hardware constants");
+  cli.add_option("mtbf", "25200", "platform MTBF, seconds");
+  cli.add_option("phi-ratio", "0.25", "overhead fraction phi/R in [0,1]");
+  cli.add_option("nodes", "0", "override node count (0 = scenario default)");
+}
+
+model::Parameters platform_from(const util::CliParser& cli) {
+  const auto scenario = cli.get("scenario") == "exa" ? model::exa_scenario()
+                                                     : model::base_scenario();
+  auto params = scenario.at_phi_ratio(cli.get_double("phi-ratio"))
+                    .with_mtbf(cli.get_double("mtbf"));
+  if (const auto nodes = cli.get_int("nodes"); nodes > 0) {
+    params.nodes = static_cast<std::uint64_t>(nodes);
+  }
+  params.validate();
+  return params;
+}
+
+// ---------------------------------------------------------------- plan
+
+int cmd_plan(int argc, const char* const* argv) {
+  util::CliParser cli("dckpt plan", "rank protocols for a platform");
+  add_platform_options(cli);
+  cli.add_option("mission-hours", "24", "mission length for risk/restarts");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto params = platform_from(cli);
+  const double mission = cli.get_double("mission-hours") * 3600.0;
+
+  std::printf("Platform: %s\n\n", params.describe().c_str());
+  util::TextTable table({"Protocol", "P*", "Waste", "Risk window",
+                         "P(success)", "Eff. waste (restarts)"});
+  for (auto protocol : model::kAllProtocols) {
+    const auto opt = model::optimal_period_closed_form(protocol, params);
+    const auto restart =
+        model::evaluate_with_restarts(protocol, params, mission);
+    table.add_row({std::string(model::protocol_name(protocol)),
+                   util::format_duration(opt.period),
+                   opt.feasible ? util::format_percent(opt.waste, 2)
+                                : "stalled",
+                   util::format_duration(model::risk_window(protocol, params)),
+                   util::format_fixed(
+                       model::success_probability(protocol, params, mission),
+                       6),
+                   restart.feasible
+                       ? util::format_percent(restart.effective_waste, 2)
+                       : "stalled"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  const std::vector<model::Protocol> all(model::kAllProtocols.begin(),
+                                         model::kAllProtocols.end());
+  std::printf("recommended (effective waste): %s\n",
+              std::string(model::protocol_name(
+                  model::best_protocol_by_effective_waste(all, params,
+                                                          mission)))
+                  .c_str());
+  return 0;
+}
+
+// ------------------------------------------------------------ simulate
+
+int cmd_simulate(int argc, const char* const* argv) {
+  util::CliParser cli("dckpt simulate", "Monte-Carlo campaign");
+  add_platform_options(cli);
+  cli.add_option("protocol", "triple", "protocol to simulate");
+  cli.add_option("tbase", "100000", "application work, seconds");
+  cli.add_option("trials", "500", "Monte-Carlo trials");
+  cli.add_option("seed", "42", "master seed");
+  cli.add_option("period", "0", "checkpoint period (0 = model optimum)");
+  cli.add_option("weibull-shape", "0",
+                 "use per-node Weibull streams with this shape (0 = exp)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  sim::SimConfig config;
+  config.protocol = dckpt::model::parse_protocol_name(cli.get("protocol"));
+  config.params = platform_from(cli);
+  if (config.params.nodes > 100000) {
+    // Keep per-node bookkeeping tractable for the default CLI path.
+    config.params.nodes = 99996;  // divisible by 2 and 3
+    std::printf("note: node count capped at %llu for simulation\n",
+                static_cast<unsigned long long>(config.params.nodes));
+  }
+  config.t_base = cli.get_double("tbase");
+  config.stop_on_fatal = false;
+  const double period = cli.get_double("period");
+  config.period =
+      period > 0.0
+          ? period
+          : model::optimal_period_closed_form(config.protocol, config.params)
+                .period;
+
+  sim::MonteCarloOptions options;
+  options.trials = static_cast<std::uint64_t>(cli.get_int("trials"));
+  options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  if (const double shape = cli.get_double("weibull-shape"); shape > 0.0) {
+    options.weibull =
+        util::Weibull::from_mean(shape, config.params.node_mtbf());
+  }
+  const auto mc = sim::run_monte_carlo(config, options);
+
+  const double model_waste =
+      model::waste(config.protocol, config.params, config.period);
+  util::TextTable table({"metric", "value"});
+  table.add_row({"period", util::format_duration(config.period)});
+  table.add_row({"model waste", util::format_percent(model_waste, 2)});
+  table.add_row({"sim waste",
+                 util::format_percent(mc.waste.mean(), 2) + " +/- " +
+                     util::format_percent(mc.waste.confidence_halfwidth(), 2)});
+  table.add_row({"mean makespan", util::format_duration(mc.makespan.mean())});
+  table.add_row({"mean failures/run",
+                 util::format_fixed(mc.failures.mean(), 2)});
+  table.add_row({"survival rate",
+                 util::format_fixed(mc.success.estimate(), 4)});
+  table.add_row({"diverged trials", std::to_string(mc.diverged)});
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+// ------------------------------------------------------------ optimize
+
+int cmd_optimize(int argc, const char* const* argv) {
+  util::CliParser cli("dckpt optimize",
+                      "find the empirically optimal period by simulation");
+  add_platform_options(cli);
+  cli.add_option("protocol", "doublenbl", "protocol to optimize");
+  cli.add_option("tbase", "50000", "application work per trial, seconds");
+  cli.add_option("trials", "40", "trials per candidate period");
+  if (!cli.parse(argc, argv)) return 0;
+
+  sim::SimConfig config;
+  config.protocol = dckpt::model::parse_protocol_name(cli.get("protocol"));
+  config.params = platform_from(cli);
+  if (config.params.nodes > 100000) config.params.nodes = 99996;
+  config.t_base = cli.get_double("tbase");
+
+  sim::OptimizeOptions options;
+  options.trials_per_eval = static_cast<std::uint64_t>(cli.get_int("trials"));
+  const auto model_opt =
+      model::optimal_period_closed_form(config.protocol, config.params);
+  const auto empirical = sim::optimize_period_empirically(config, options);
+
+  util::TextTable table({"source", "period", "waste"});
+  table.add_row({"closed form (Eq. 9/10/15)",
+                 util::format_duration(model_opt.period),
+                 util::format_percent(model_opt.waste, 3)});
+  table.add_row({"empirical (simulation)",
+                 util::format_duration(empirical.period),
+                 util::format_percent(empirical.waste, 3) + " +/- " +
+                     util::format_percent(empirical.waste_halfwidth, 3)});
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+// ------------------------------------------------------------ trace-gen
+
+int cmd_trace_gen(int argc, const char* const* argv) {
+  util::CliParser cli("dckpt trace-gen", "synthesize a failure trace file");
+  cli.add_option("out", "failures.trace", "output path");
+  cli.add_option("nodes", "64", "node count");
+  cli.add_option("node-mtbf", "100000", "per-node mean inter-failure, s");
+  cli.add_option("horizon", "1000000", "trace length, seconds");
+  cli.add_option("weibull-shape", "0", "Weibull shape (0 = exponential)");
+  cli.add_option("seed", "1", "random seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto nodes = static_cast<std::uint64_t>(cli.get_int("nodes"));
+  const double mean = cli.get_double("node-mtbf");
+  const double shape = cli.get_double("weibull-shape");
+  util::Xoshiro256ss rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  std::vector<sim::FailureEvent> events;
+  if (shape > 0.0) {
+    events = sim::generate_failure_trace(util::Weibull::from_mean(shape, mean),
+                                         nodes, cli.get_double("horizon"),
+                                         rng);
+  } else {
+    events = sim::generate_failure_trace(util::Exponential::from_mean(mean),
+                                         nodes, cli.get_double("horizon"),
+                                         rng);
+  }
+  sim::save_failure_trace(cli.get("out"), events);
+  std::printf("wrote %zu events to %s\n", events.size(),
+              cli.get("out").c_str());
+  return 0;
+}
+
+// ------------------------------------------------------------ trace-fit
+
+int cmd_trace_fit(int argc, const char* const* argv) {
+  util::CliParser cli("dckpt trace-fit",
+                      "analyze a failure trace and fit distributions");
+  cli.add_option("in", "failures.trace", "trace file to analyze");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto events = sim::load_failure_trace(cli.get("in"));
+  const auto stats = sim::analyze_trace(events);
+  const auto exp_fit = sim::fit_exponential(events);
+  const auto weib_fit = sim::fit_weibull(events);
+
+  util::TextTable table({"quantity", "value"});
+  table.add_row({"events", std::to_string(stats.events)});
+  table.add_row({"span", util::format_duration(stats.span)});
+  table.add_row({"distinct nodes", std::to_string(stats.distinct_nodes)});
+  table.add_row({"platform MTBF", util::format_duration(stats.platform_mtbf)});
+  table.add_row({"gap CV", util::format_fixed(stats.gap_cv, 3)});
+  table.add_row({"exponential KS", util::format_fixed(exp_fit.ks_statistic,
+                                                      4)});
+  table.add_row({"Weibull shape", util::format_fixed(weib_fit.shape, 3)});
+  table.add_row({"Weibull KS", util::format_fixed(weib_fit.ks_statistic, 4)});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("model hint: Parameters::mtbf = %.1f s; %s fits better\n",
+              stats.platform_mtbf,
+              weib_fit.ks_statistic < exp_fit.ks_statistic * 0.9
+                  ? "Weibull (bursty -- expect worse waste than the model)"
+                  : "exponential (the paper's assumption holds)");
+  return 0;
+}
+
+// ------------------------------------------------------------ hierarchy
+
+int cmd_hierarchy(int argc, const char* const* argv) {
+  util::CliParser cli("dckpt hierarchy",
+                      "plan buddy level 1 + stable-storage level 2");
+  add_platform_options(cli);
+  cli.add_option("global-ckpt", "900", "global checkpoint cost, seconds");
+  cli.add_option("global-recovery", "900", "global recovery cost, seconds");
+  if (!cli.parse(argc, argv)) return 0;
+
+  model::HierarchicalParams params;
+  params.level1 = platform_from(cli);
+  params.global_ckpt = cli.get_double("global-ckpt");
+  params.global_recovery = cli.get_double("global-recovery");
+
+  util::TextTable table({"Protocol", "MTBF_fatal", "P1*", "P2*", "w1",
+                         "w total"});
+  for (auto protocol : model::kAllProtocols) {
+    params.protocol = protocol;
+    const auto eval = model::optimize_hierarchical(params);
+    table.add_row({std::string(model::protocol_name(protocol)),
+                   util::format_duration(model::mean_time_between_fatal(
+                       protocol, params.level1)),
+                   util::format_duration(eval.level1_period),
+                   std::isfinite(eval.level2_period)
+                       ? util::format_duration(eval.level2_period)
+                       : "never",
+                   util::format_percent(eval.level1_waste, 2),
+                   eval.feasible ? util::format_percent(eval.total_waste, 2)
+                                 : "stalled"});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+// -------------------------------------------------------------- overlap
+
+int cmd_overlap(int argc, const char* const* argv) {
+  util::CliParser cli("dckpt overlap",
+                      "measure the overlap factor alpha for a workload");
+  cli.add_option("compute", "0.02", "compute time per step, seconds");
+  cli.add_option("halo-mb", "16", "halo bytes per step, MiB");
+  cli.add_option("nic-mbps", "128", "NIC bandwidth, MiB/s");
+  cli.add_option("image-mb", "512", "checkpoint image, MiB");
+  if (!cli.parse(argc, argv)) return 0;
+
+  net::OverlapWorkload workload;
+  workload.compute_time = cli.get_double("compute");
+  workload.halo_bytes = cli.get_double("halo-mb") * 1024 * 1024;
+  workload.nic_bandwidth = cli.get_double("nic-mbps") * 1024 * 1024;
+  workload.checkpoint_bytes = cli.get_double("image-mb") * 1024 * 1024;
+  workload.validate();
+
+  const double mech = workload.mechanistic_alpha();
+  const auto curve = net::measure_overlap_curve(
+      workload, net::SharingPolicy::Scavenger, 10,
+      std::isfinite(mech) ? 1.2 * (1.0 + mech) : 40.0);
+  util::TextTable table({"theta", "phi"});
+  for (const auto& point : curve) {
+    table.add_row({util::format_duration(point.theta),
+                   util::format_duration(point.phi)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("theta_min = %s, fitted alpha = %.2f (mechanistic %.2f)\n",
+              util::format_duration(workload.theta_min()).c_str(),
+              net::fit_alpha(curve, workload.theta_min()), mech);
+  return 0;
+}
+
+// --------------------------------------------------------------- spares
+
+int cmd_spares(int argc, const char* const* argv) {
+  util::CliParser cli("dckpt spares",
+                      "spare-pool sizing and its downtime/waste impact");
+  add_platform_options(cli);
+  cli.add_option("protocol", "doublenbl", "protocol for the waste column");
+  cli.add_option("repair", "3600", "mean spare repair/return time, seconds");
+  cli.add_option("detection", "30", "failure detection time, seconds");
+  cli.add_option("max-spares", "32", "largest pool size to tabulate");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto base = platform_from(cli);
+  const auto protocol = dckpt::model::parse_protocol_name(cli.get("protocol"));
+  model::SparePoolSpec spec;
+  spec.repair_time = cli.get_double("repair");
+  spec.detection = cli.get_double("detection");
+
+  util::TextTable table({"spares", "E[wait]", "D_eff", "Waste@P*"});
+  const auto max_spares =
+      static_cast<std::uint64_t>(cli.get_int("max-spares"));
+  for (std::uint64_t c = 1; c <= max_spares; c *= 2) {
+    spec.spares = c;
+    std::string wait = "unstable", downtime = "-", waste = "-";
+    try {
+      const double w = model::expected_replacement_wait(spec, base.mtbf);
+      const auto params = model::with_spare_pool(base, spec);
+      wait = util::format_duration(w);
+      downtime = util::format_duration(params.downtime);
+      const auto opt = model::optimal_period_closed_form(protocol, params);
+      waste = opt.feasible ? util::format_percent(opt.waste, 2) : "stalled";
+    } catch (const std::invalid_argument&) {
+      // fallthrough: pool unstable at this size
+    }
+    table.add_row({std::to_string(c), wait, downtime, waste});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+void print_usage() {
+  std::fputs(
+      "dckpt -- double/triple checkpointing toolkit\n"
+      "usage: dckpt <command> [options]\n\n"
+      "commands:\n"
+      "  plan        rank protocols for a platform\n"
+      "  simulate    Monte-Carlo campaign for one configuration\n"
+      "  optimize    empirical period optimization\n"
+      "  trace-gen   synthesize a failure trace file\n"
+      "  trace-fit   analyze a failure trace, fit distributions\n"
+      "  hierarchy   two-level (buddy + stable storage) planning\n"
+      "  overlap     measure the overlap factor alpha for a workload\n"
+      "  spares      spare-pool sizing\n\n"
+      "run 'dckpt <command> --help' for the command's options.\n",
+      stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  try {
+    if (command == "plan") return cmd_plan(sub_argc, sub_argv);
+    if (command == "simulate") return cmd_simulate(sub_argc, sub_argv);
+    if (command == "optimize") return cmd_optimize(sub_argc, sub_argv);
+    if (command == "trace-gen") return cmd_trace_gen(sub_argc, sub_argv);
+    if (command == "trace-fit") return cmd_trace_fit(sub_argc, sub_argv);
+    if (command == "hierarchy") return cmd_hierarchy(sub_argc, sub_argv);
+    if (command == "overlap") return cmd_overlap(sub_argc, sub_argv);
+    if (command == "spares") return cmd_spares(sub_argc, sub_argv);
+    if (command == "--help" || command == "-h" || command == "help") {
+      print_usage();
+      return 0;
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "dckpt %s: %s\n", command.c_str(), error.what());
+    return 1;
+  }
+  std::fprintf(stderr, "dckpt: unknown command '%s'\n\n", command.c_str());
+  print_usage();
+  return 1;
+}

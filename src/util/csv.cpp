@@ -1,0 +1,50 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+#include "util/format.hpp"
+
+namespace dckpt::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path), arity_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  if (header.empty()) throw std::invalid_argument("CsvWriter: empty header");
+  write_raw(header);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  if (cells.size() != arity_) {
+    throw std::invalid_argument("CsvWriter: row arity mismatch in " + path_);
+  }
+  write_raw(cells);
+}
+
+void CsvWriter::write_row_numeric(const std::vector<double>& cells) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (double v : cells) row.push_back(format_fixed(v, 9));
+  write_row(row);
+}
+
+void CsvWriter::write_raw(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace dckpt::util

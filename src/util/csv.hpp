@@ -1,0 +1,30 @@
+// Tiny CSV writer (RFC-4180 quoting) so bench binaries can dump the exact
+// series behind each reproduced figure for external plotting.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dckpt::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_row_numeric(const std::vector<double>& cells);
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  void write_raw(const std::vector<std::string>& cells);
+  static std::string escape(const std::string& cell);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+}  // namespace dckpt::util

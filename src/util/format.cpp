@@ -1,0 +1,77 @@
+#include "util/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace dckpt::util {
+
+namespace {
+
+std::string trim_trailing_zeros(std::string s) {
+  if (s.find('.') == std::string::npos) return s;
+  auto last = s.find_last_not_of('0');
+  if (s[last] == '.') --last;
+  s.erase(last + 1);
+  return s;
+}
+
+std::string short_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return trim_trailing_zeros(buf);
+}
+
+}  // namespace
+
+std::string format_duration(double seconds) {
+  struct Unit {
+    double span;
+    const char* suffix;
+  };
+  static constexpr std::array<Unit, 5> kUnits{{{86400.0, "day"},
+                                               {3600.0, "h"},
+                                               {60.0, "min"},
+                                               {1.0, "s"},
+                                               {1e-3, "ms"}}};
+  if (seconds == 0.0) return "0s";
+  const double magnitude = std::abs(seconds);
+  for (const auto& unit : kUnits) {
+    if (magnitude >= unit.span) {
+      return short_number(seconds / unit.span) + unit.suffix;
+    }
+  }
+  return short_number(seconds * 1e3) + "ms";
+}
+
+std::string format_percent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_scientific(double value, int significant) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", significant - 1, value);
+  return buf;
+}
+
+std::string format_bytes(double bytes) {
+  static constexpr std::array<const char*, 6> kSuffixes{"B",   "KiB", "MiB",
+                                                        "GiB", "TiB", "PiB"};
+  std::size_t idx = 0;
+  double v = bytes;
+  while (std::abs(v) >= 1024.0 && idx + 1 < kSuffixes.size()) {
+    v /= 1024.0;
+    ++idx;
+  }
+  return short_number(v) + " " + kSuffixes[idx];
+}
+
+}  // namespace dckpt::util

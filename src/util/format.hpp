@@ -1,0 +1,25 @@
+// Human-readable rendering of durations, rates and fractions for the bench
+// tables (e.g. MTBF axis labels "1min", "4h", "1day" matching the paper's
+// figures).
+#pragma once
+
+#include <string>
+
+namespace dckpt::util {
+
+/// "42s", "3.5min", "7h", "1.2day" -- shortest unit keeping value in [1, u).
+std::string format_duration(double seconds);
+
+/// "12.3%" with the given number of decimals.
+std::string format_percent(double fraction, int decimals = 1);
+
+/// Fixed-decimal double ("0.1234").
+std::string format_fixed(double value, int decimals = 4);
+
+/// Scientific with the given significant digits ("1.23e-07").
+std::string format_scientific(double value, int significant = 3);
+
+/// "1.5 GB/s", "512 MB" style byte quantities (binary units).
+std::string format_bytes(double bytes);
+
+}  // namespace dckpt::util

@@ -1,0 +1,83 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace dckpt::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: lo >= hi");
+  if (bins == 0) throw std::invalid_argument("Histogram: zero bins");
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  idx = std::min(idx, counts_.size() - 1);  // guard float edge at hi_
+  ++counts_[idx];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.counts_.size() != counts_.size() || other.lo_ != lo_ ||
+      other.hi_ != hi_) {
+    throw std::invalid_argument("Histogram::merge: incompatible layout");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
+double Histogram::bin_lower_edge(std::size_t i) const noexcept {
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+double Histogram::quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) return lo_;
+  const double target = q * static_cast<double>(in_range);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double frac =
+          counts_[i] ? (target - cumulative) / static_cast<double>(counts_[i])
+                     : 0.0;
+      return bin_lower_edge(i) + frac * width_;
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(int width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar_len = static_cast<int>(
+        std::llround(static_cast<double>(counts_[i]) /
+                     static_cast<double>(peak) * width));
+    out << "[" << bin_lower_edge(i) << ", " << bin_lower_edge(i) + width_
+        << ") " << std::string(static_cast<std::size_t>(bar_len), '#') << " "
+        << counts_[i] << "\n";
+  }
+  if (underflow_) out << "underflow: " << underflow_ << "\n";
+  if (overflow_) out << "overflow: " << overflow_ << "\n";
+  return out.str();
+}
+
+}  // namespace dckpt::util

@@ -1,0 +1,46 @@
+// Fixed-bin histogram with under/overflow tracking and quantile estimation.
+// Used by the simulator to characterize makespan and lost-work distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dckpt::util {
+
+class Histogram {
+ public:
+  /// `bins` equal-width bins covering [lo, hi). Samples outside the range
+  /// are counted in dedicated underflow/overflow buckets.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void merge(const Histogram& other);
+
+  std::uint64_t total_count() const noexcept { return total_; }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+
+  double bin_lower_edge(std::size_t i) const noexcept;
+  double bin_width() const noexcept { return width_; }
+
+  /// Quantile estimate by linear interpolation within the containing bin.
+  /// q in [0, 1]. In-range samples only (under/overflow excluded).
+  double quantile(double q) const;
+
+  /// Multi-line ASCII rendering (for traces/examples), widest bar = `width`.
+  std::string render(int width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dckpt::util

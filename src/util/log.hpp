@@ -1,0 +1,53 @@
+// Leveled logging with a process-global threshold. Intentionally tiny:
+// the simulator's hot path never logs; this exists for the runtime demo and
+// for debugging protocol state machines (DCKPT_LOG(Debug) << ...).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace dckpt::util {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+const char* log_level_name(LogLevel level);
+
+namespace detail {
+/// Serializes a finished message to stderr (thread-safe).
+void emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, bool enabled) : level_(level), enabled_(enabled) {}
+  ~LogLine() {
+    if (enabled_) emit(level_, stream_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_line(LogLevel level) {
+  return detail::LogLine(level, level >= log_level());
+}
+
+}  // namespace dckpt::util
+
+#define DCKPT_LOG(severity) \
+  ::dckpt::util::log_line(::dckpt::util::LogLevel::severity)

@@ -1,0 +1,64 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dckpt::util {
+
+void RunningStats::add(double x) noexcept {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::standard_error() const noexcept {
+  return count_ > 1 ? stddev() / std::sqrt(static_cast<double>(count_)) : 0.0;
+}
+
+double RunningStats::confidence_halfwidth(double z) const noexcept {
+  return z * standard_error();
+}
+
+ProportionEstimate::Interval ProportionEstimate::wilson_interval(
+    double z) const noexcept {
+  Interval interval;
+  if (trials_ == 0) return interval;
+  const double n = static_cast<double>(trials_);
+  const double p = estimate();
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double spread =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  interval.lo = std::max(0.0, center - spread);
+  interval.hi = std::min(1.0, center + spread);
+  return interval;
+}
+
+}  // namespace dckpt::util

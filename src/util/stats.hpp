@@ -1,0 +1,82 @@
+// Streaming statistics for Monte-Carlo aggregation.
+//
+// RunningStats uses Welford's online algorithm: numerically stable for the
+// millions of trial results the simulation benches accumulate, mergeable so
+// per-thread accumulators can be combined without a reduction order bias.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dckpt::util {
+
+/// Welford online mean/variance with min/max, mergeable across threads.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Combines two accumulators (Chan et al. parallel variance).
+  void merge(const RunningStats& other) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+  /// Standard error of the mean; 0 for n < 2.
+  double standard_error() const noexcept;
+
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+  /// Half-width of the normal-approximation confidence interval around the
+  /// mean. `z` defaults to 1.959964 (95%).
+  double confidence_halfwidth(double z = 1.959964) const noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Bernoulli proportion estimate with Wilson confidence interval -- used for
+/// fatal-failure probabilities, which are often tiny (Wald CI would be 0).
+class ProportionEstimate {
+ public:
+  void add(bool success) noexcept {
+    ++trials_;
+    if (success) ++successes_;
+  }
+
+  void merge(const ProportionEstimate& other) noexcept {
+    trials_ += other.trials_;
+    successes_ += other.successes_;
+  }
+
+  std::uint64_t trials() const noexcept { return trials_; }
+  std::uint64_t successes() const noexcept { return successes_; }
+
+  double estimate() const noexcept {
+    return trials_ ? static_cast<double>(successes_) /
+                         static_cast<double>(trials_)
+                   : 0.0;
+  }
+
+  /// Wilson score interval [lo, hi] at confidence z (default 95%).
+  struct Interval {
+    double lo = 0.0;
+    double hi = 0.0;
+  };
+  Interval wilson_interval(double z = 1.959964) const noexcept;
+
+ private:
+  std::uint64_t trials_ = 0;
+  std::uint64_t successes_ = 0;
+};
+
+}  // namespace dckpt::util

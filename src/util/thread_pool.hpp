@@ -1,0 +1,58 @@
+// Minimal fixed-size thread pool plus a static-chunking parallel_for.
+//
+// The Monte-Carlo runner fans independent trials across cores. Trials are
+// embarrassingly parallel and coarse (milliseconds each), so a simple mutex-
+// guarded queue is fully adequate; no work stealing needed. parallel_for
+// deliberately uses deterministic static chunking so per-chunk RNG streams
+// (split by chunk index) give bit-identical results at any thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dckpt::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the future resolves when it has run.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Blocks until every task enqueued so far has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable idle_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs body(chunk_index, begin, end) over [0, n) split into `chunks` ranges
+/// on `pool`. Chunk boundaries depend only on (n, chunks), never on thread
+/// count or scheduling: reproducibility contract for RNG splitting.
+void parallel_for_chunked(
+    ThreadPool& pool, std::size_t n, std::size_t chunks,
+    const std::function<void(std::size_t chunk_index, std::size_t begin,
+                             std::size_t end)>& body);
+
+}  // namespace dckpt::util

@@ -1,0 +1,98 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace {
+
+using dckpt::util::CliParser;
+
+CliParser make_parser() {
+  CliParser parser("prog", "test program");
+  parser.add_option("mtbf", "3600", "platform MTBF in seconds");
+  parser.add_option("protocol", "triple", "protocol name");
+  parser.add_flag("verbose", "chatty output");
+  return parser;
+}
+
+TEST(CliParserTest, DefaultsApply) {
+  auto parser = make_parser();
+  const std::array argv = {"prog"};
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(parser.get("mtbf"), "3600");
+  EXPECT_DOUBLE_EQ(parser.get_double("mtbf"), 3600.0);
+  EXPECT_EQ(parser.get_int("mtbf"), 3600);
+  EXPECT_FALSE(parser.get_flag("verbose"));
+}
+
+TEST(CliParserTest, SpaceSeparatedValue) {
+  auto parser = make_parser();
+  const std::array argv = {"prog", "--mtbf", "60"};
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(parser.get_int("mtbf"), 60);
+}
+
+TEST(CliParserTest, EqualsSeparatedValue) {
+  auto parser = make_parser();
+  const std::array argv = {"prog", "--protocol=doublenbl"};
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(parser.get("protocol"), "doublenbl");
+}
+
+TEST(CliParserTest, FlagPresence) {
+  auto parser = make_parser();
+  const std::array argv = {"prog", "--verbose"};
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(parser.get_flag("verbose"));
+}
+
+TEST(CliParserTest, PositionalArguments) {
+  auto parser = make_parser();
+  const std::array argv = {"prog", "pos1", "--mtbf", "10", "pos2"};
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "pos1");
+  EXPECT_EQ(parser.positional()[1], "pos2");
+}
+
+TEST(CliParserTest, UnknownOptionFails) {
+  auto parser = make_parser();
+  const std::array argv = {"prog", "--bogus", "1"};
+  EXPECT_FALSE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(CliParserTest, MissingValueFails) {
+  auto parser = make_parser();
+  const std::array argv = {"prog", "--mtbf"};
+  EXPECT_FALSE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(CliParserTest, FlagWithValueFails) {
+  auto parser = make_parser();
+  const std::array argv = {"prog", "--verbose=1"};
+  EXPECT_FALSE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(CliParserTest, HelpReturnsFalse) {
+  auto parser = make_parser();
+  const std::array argv = {"prog", "--help"};
+  EXPECT_FALSE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(CliParserTest, UndeclaredGetThrows) {
+  auto parser = make_parser();
+  const std::array argv = {"prog"};
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW(parser.get("nope"), std::invalid_argument);
+}
+
+TEST(CliParserTest, UsageListsOptions) {
+  auto parser = make_parser();
+  const std::string usage = parser.usage();
+  EXPECT_NE(usage.find("--mtbf"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+  EXPECT_NE(usage.find("--help"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+#include "ckpt/delta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace {
+
+using namespace dckpt::ckpt;
+
+std::vector<std::byte> bytes_of(const std::string& text) {
+  std::vector<std::byte> out(text.size());
+  std::memcpy(out.data(), text.data(), text.size());
+  return out;
+}
+
+TEST(MakeDeltaTest, UntouchedStoreProducesEmptyDelta) {
+  PageStore store(1024, 256);
+  const Snapshot a = store.snapshot(1);
+  const Snapshot b = store.snapshot(1);
+  const auto delta = make_delta(a, b);
+  EXPECT_EQ(delta.changed_pages(), 0u);
+  EXPECT_EQ(delta.delta_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(delta.dirty_ratio(), 0.0);
+}
+
+TEST(MakeDeltaTest, OnlyTouchedPagesIncluded) {
+  PageStore store(4 * 256, 256);
+  const Snapshot base = store.snapshot(1);
+  store.write(0, bytes_of("a"));        // page 0
+  store.write(3 * 256, bytes_of("b"));  // page 3
+  const Snapshot current = store.snapshot(1);
+  const auto delta = make_delta(base, current);
+  ASSERT_EQ(delta.changed_pages(), 2u);
+  EXPECT_EQ(delta.pages()[0].index, 0u);
+  EXPECT_EQ(delta.pages()[1].index, 3u);
+  EXPECT_EQ(delta.delta_bytes(), 512u);
+  EXPECT_DOUBLE_EQ(delta.dirty_ratio(), 0.5);
+}
+
+TEST(MakeDeltaTest, Validation) {
+  PageStore a(512, 256), b(512, 256), c(1024, 256);
+  const Snapshot sa1 = a.snapshot(1);
+  const Snapshot sa2 = a.snapshot(1);
+  const Snapshot sb = b.snapshot(2);
+  const Snapshot sc = c.snapshot(1);
+  EXPECT_THROW(make_delta(sa1, sb), std::invalid_argument);   // owner
+  EXPECT_THROW(make_delta(sa1, sc), std::invalid_argument);   // layout
+  EXPECT_THROW(make_delta(sa2, sa1), std::invalid_argument);  // order
+  EXPECT_THROW(make_delta(sa1, sa1), std::invalid_argument);  // same version
+}
+
+TEST(ApplyDeltaTest, RoundTripReconstructsExactly) {
+  PageStore store(8 * 128, 128);
+  store.write(10, bytes_of("initial content"));
+  const Snapshot base = store.snapshot(7);
+  store.write(300, bytes_of("second write"));
+  store.write(900, bytes_of("third write"));
+  const Snapshot current = store.snapshot(7);
+  const auto delta = make_delta(base, current);
+  const Snapshot rebuilt = apply_delta(base, delta);
+  EXPECT_EQ(rebuilt.content_hash(), current.content_hash());
+  EXPECT_EQ(rebuilt.version(), current.version());
+  EXPECT_EQ(rebuilt.owner(), current.owner());
+  EXPECT_EQ(rebuilt.to_bytes(), current.to_bytes());
+}
+
+TEST(ApplyDeltaTest, ChainOfDeltas) {
+  PageStore store(4 * 256, 256);
+  const Snapshot v1 = store.snapshot(1);
+  store.write(0, bytes_of("x"));
+  const Snapshot v2 = store.snapshot(1);
+  store.write(600, bytes_of("y"));
+  const Snapshot v3 = store.snapshot(1);
+  const auto d12 = make_delta(v1, v2);
+  const auto d23 = make_delta(v2, v3);
+  const Snapshot rebuilt = apply_delta(apply_delta(v1, d12), d23);
+  EXPECT_EQ(rebuilt.content_hash(), v3.content_hash());
+}
+
+TEST(ApplyDeltaTest, WrongBaseRejected) {
+  PageStore store(512, 256);
+  const Snapshot v1 = store.snapshot(1);
+  store.write(0, bytes_of("x"));
+  const Snapshot v2 = store.snapshot(1);
+  store.write(0, bytes_of("y"));
+  const Snapshot v3 = store.snapshot(1);
+  const auto d23 = make_delta(v2, v3);
+  EXPECT_THROW(apply_delta(v1, d23), std::invalid_argument);
+}
+
+TEST(DeltaTest, RestorePathStaysConsistent) {
+  // Rollback to base, new writes, new snapshot: deltas keep working across
+  // restore() because versions keep increasing on the same lineage.
+  PageStore store(4 * 256, 256);
+  const Snapshot base = store.snapshot(1);
+  store.write(0, bytes_of("lost"));
+  store.restore(base);
+  store.write(256, bytes_of("kept"));
+  const Snapshot current = store.snapshot(1);
+  const auto delta = make_delta(base, current);
+  EXPECT_EQ(delta.changed_pages(), 1u);
+  EXPECT_EQ(delta.pages()[0].index, 1u);
+  EXPECT_EQ(apply_delta(base, delta).content_hash(),
+            current.content_hash());
+}
+
+TEST(DeltaTest, DirtyRatioTracksWorkingSetSize) {
+  PageStore store(64 * 256, 256);
+  const Snapshot base = store.snapshot(1);
+  // Touch 8 of 64 pages.
+  for (int i = 0; i < 8; ++i) {
+    store.write(static_cast<std::size_t>(i) * 8 * 256, bytes_of("w"));
+  }
+  const auto delta = make_delta(base, store.snapshot(1));
+  EXPECT_DOUBLE_EQ(delta.dirty_ratio(), 8.0 / 64.0);
+}
+
+}  // namespace

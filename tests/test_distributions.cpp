@@ -1,0 +1,147 @@
+#include "util/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace dckpt::util;
+
+/// Draws `n` samples and checks mean/variance against the analytic moments
+/// within a z-bound derived from the CLT.
+void check_moments(const Distribution& dist, int n = 400000) {
+  Xoshiro256ss rng(0xfeedULL);
+  RunningStats stats;
+  for (int i = 0; i < n; ++i) {
+    const double x = dist.sample(rng);
+    ASSERT_GT(x, 0.0) << dist.name();
+    ASSERT_TRUE(std::isfinite(x)) << dist.name();
+    stats.add(x);
+  }
+  const double se = std::sqrt(dist.variance() / n);
+  EXPECT_NEAR(stats.mean(), dist.mean(), 6.0 * se) << dist.name();
+  // Variance converges slower; allow 10% relative error.
+  EXPECT_NEAR(stats.variance(), dist.variance(), 0.10 * dist.variance())
+      << dist.name();
+}
+
+/// Empirical CDF at a few probe points must match the analytic CDF.
+void check_cdf(const Distribution& dist, int n = 200000) {
+  Xoshiro256ss rng(0xbeefULL);
+  const double probes[] = {0.5 * dist.mean(), dist.mean(), 2.0 * dist.mean()};
+  int below[3] = {0, 0, 0};
+  for (int i = 0; i < n; ++i) {
+    const double x = dist.sample(rng);
+    for (int j = 0; j < 3; ++j) {
+      if (x <= probes[j]) ++below[j];
+    }
+  }
+  for (int j = 0; j < 3; ++j) {
+    const double expected = dist.cdf(probes[j]);
+    EXPECT_NEAR(static_cast<double>(below[j]) / n, expected, 0.01)
+        << dist.name() << " at probe " << probes[j];
+  }
+}
+
+TEST(ExponentialTest, MomentsAndCdf) {
+  const Exponential dist(0.25);
+  EXPECT_DOUBLE_EQ(dist.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(dist.variance(), 16.0);
+  check_moments(dist);
+  check_cdf(dist);
+}
+
+TEST(ExponentialTest, FromMean) {
+  const auto dist = Exponential::from_mean(100.0);
+  EXPECT_DOUBLE_EQ(dist.mean(), 100.0);
+  EXPECT_DOUBLE_EQ(dist.rate(), 0.01);
+}
+
+TEST(ExponentialTest, CdfBasics) {
+  const Exponential dist(1.0);
+  EXPECT_DOUBLE_EQ(dist.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(dist.cdf(-1.0), 0.0);
+  EXPECT_NEAR(dist.cdf(1.0), 1.0 - std::exp(-1.0), 1e-12);
+}
+
+TEST(ExponentialTest, RejectsBadRate) {
+  EXPECT_THROW(Exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(Exponential(-1.0), std::invalid_argument);
+  EXPECT_THROW(Exponential::from_mean(0.0), std::invalid_argument);
+}
+
+TEST(WeibullTest, ShapeOneIsExponential) {
+  const Weibull weibull(1.0, 5.0);
+  EXPECT_NEAR(weibull.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(weibull.variance(), 25.0, 1e-9);
+}
+
+TEST(WeibullTest, MomentsSubExponentialShape) {
+  const auto dist = Weibull::from_mean(0.7, 50.0);
+  EXPECT_NEAR(dist.mean(), 50.0, 1e-9);
+  check_moments(dist);
+  check_cdf(dist);
+}
+
+TEST(WeibullTest, MomentsSuperExponentialShape) {
+  const auto dist = Weibull::from_mean(2.0, 10.0);
+  EXPECT_NEAR(dist.mean(), 10.0, 1e-9);
+  check_moments(dist);
+}
+
+TEST(WeibullTest, RejectsBadParameters) {
+  EXPECT_THROW(Weibull(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Weibull(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(LogNormalTest, Moments) {
+  const auto dist = LogNormal::from_mean(0.5, 20.0);
+  EXPECT_NEAR(dist.mean(), 20.0, 1e-9);
+  check_moments(dist);
+  check_cdf(dist);
+}
+
+TEST(LogNormalTest, RejectsBadSigma) {
+  EXPECT_THROW(LogNormal(0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(LogNormal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(UniformRealTest, MomentsAndCdf) {
+  const UniformReal dist(2.0, 6.0);
+  EXPECT_DOUBLE_EQ(dist.mean(), 4.0);
+  EXPECT_NEAR(dist.variance(), 16.0 / 12.0, 1e-12);
+  EXPECT_DOUBLE_EQ(dist.cdf(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(dist.cdf(4.0), 0.5);
+  EXPECT_DOUBLE_EQ(dist.cdf(7.0), 1.0);
+  check_moments(dist, 100000);
+}
+
+TEST(UniformRealTest, RejectsBadRange) {
+  EXPECT_THROW(UniformReal(5.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(UniformReal(-1.0, 3.0), std::invalid_argument);
+}
+
+TEST(DistributionTest, CloneIsIndependentAndEquivalent) {
+  const auto dist = Weibull::from_mean(0.9, 30.0);
+  const std::unique_ptr<Distribution> copy = dist.clone();
+  EXPECT_EQ(copy->name(), dist.name());
+  Xoshiro256ss a(1), b(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(dist.sample(a), copy->sample(b));
+  }
+}
+
+TEST(StandardNormalTest, MomentsAreStandard) {
+  Xoshiro256ss rng(0xabcULL);
+  RunningStats stats;
+  for (int i = 0; i < 400000; ++i) stats.add(sample_standard_normal(rng));
+  EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0, 0.02);
+}
+
+}  // namespace

@@ -1,0 +1,93 @@
+#include "model/efficiency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/risk.hpp"
+#include "model/scenario.hpp"
+
+namespace {
+
+using namespace dckpt::model;
+
+Parameters params_with(double phi_ratio, double mtbf = 7 * 3600.0) {
+  return base_scenario().at_phi_ratio(phi_ratio).with_mtbf(mtbf);
+}
+
+TEST(EvaluateProtocolsTest, ProducesOneRowPerProtocol) {
+  const auto rows = evaluate_protocols(
+      {Protocol::DoubleNbl, Protocol::Triple}, params_with(0.25), 86400.0);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].protocol, Protocol::DoubleNbl);
+  EXPECT_EQ(rows[1].protocol, Protocol::Triple);
+  for (const auto& row : rows) {
+    EXPECT_GT(row.optimum.period, 0.0);
+    EXPECT_GT(row.risk_window, 0.0);
+    EXPECT_GT(row.success_probability, 0.0);
+    EXPECT_LE(row.success_probability, 1.0);
+  }
+}
+
+TEST(WasteRatioTest, IdenticalProtocolsGiveOne) {
+  EXPECT_DOUBLE_EQ(
+      waste_ratio(Protocol::DoubleNbl, Protocol::DoubleNbl, params_with(0.5)),
+      1.0);
+}
+
+TEST(WasteRatioTest, BofNeverBeatsNblFigure5) {
+  // Fig. 5: DoubleBoF/DoubleNBL >= 1 across the whole phi sweep, converging
+  // to ~1 when overlap is free.
+  for (double ratio : {0.05, 0.2, 0.5, 0.8, 1.0}) {
+    const double r =
+        waste_ratio(Protocol::DoubleBof, Protocol::DoubleNbl,
+                    params_with(ratio));
+    EXPECT_GE(r, 1.0 - 1e-9) << "phi/R = " << ratio;
+  }
+}
+
+TEST(WasteRatioTest, TripleWinsAtLowOverheadFigure5) {
+  // Fig. 5: Triple has much smaller waste for phi/R <= 0.5...
+  EXPECT_LT(waste_ratio(Protocol::Triple, Protocol::DoubleNbl,
+                        params_with(0.1)),
+            0.75);
+  // ...and is within ~15% above NBL in the worst case phi/R -> 1.
+  EXPECT_LT(waste_ratio(Protocol::Triple, Protocol::DoubleNbl,
+                        params_with(1.0)),
+            1.20);
+}
+
+TEST(BestProtocolTest, ByWastePrefersTripleAtLowPhi) {
+  const auto best = best_protocol_by_waste(
+      {Protocol::DoubleNbl, Protocol::DoubleBof, Protocol::Triple},
+      params_with(0.1));
+  EXPECT_EQ(best, Protocol::Triple);
+}
+
+TEST(BestProtocolTest, ByRiskPrefersTriple) {
+  const auto best = best_protocol_by_risk(
+      {Protocol::DoubleNbl, Protocol::DoubleBof, Protocol::Triple},
+      params_with(0.5, 60.0), 30.0 * 86400.0);
+  EXPECT_EQ(best, Protocol::Triple);
+}
+
+TEST(BestProtocolTest, RejectsEmptySets) {
+  EXPECT_THROW(best_protocol_by_waste({}, params_with(0.5)),
+               std::invalid_argument);
+  EXPECT_THROW(best_protocol_by_risk({}, params_with(0.5), 1.0),
+               std::invalid_argument);
+}
+
+TEST(EvaluateProtocolsTest, RiskColumnsConsistentWithRiskModule) {
+  const auto params = params_with(0.5, 600.0);
+  const double mission = 86400.0;
+  const auto rows = evaluate_protocols(
+      {Protocol::DoubleNbl, Protocol::DoubleBof, Protocol::Triple,
+       Protocol::TripleBof},
+      params, mission);
+  for (const auto& row : rows) {
+    EXPECT_DOUBLE_EQ(row.risk_window, risk_window(row.protocol, params));
+    EXPECT_DOUBLE_EQ(row.success_probability,
+                     success_probability(row.protocol, params, mission));
+  }
+}
+
+}  // namespace

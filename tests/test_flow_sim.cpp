@@ -1,0 +1,124 @@
+#include "net/flow_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace dckpt::net;
+
+FlowSimulator make_sim() { return FlowSimulator(FlatNetwork(4, 100.0)); }
+
+TEST(FlowSimulatorTest, SingleFlowDuration) {
+  auto sim = make_sim();
+  sim.submit({{0, 1, kUncapped}, 1000.0, 0.0, 1});
+  const auto done = sim.run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(done[0].finish, 10.0);
+  EXPECT_DOUBLE_EQ(done[0].mean_rate(), 100.0);
+}
+
+TEST(FlowSimulatorTest, PacedFlowRespectsCap) {
+  auto sim = make_sim();
+  sim.submit({{0, 1, 10.0}, 1000.0, 0.0, 7});
+  const auto done = sim.run();
+  EXPECT_DOUBLE_EQ(done[0].finish, 100.0);
+}
+
+TEST(FlowSimulatorTest, TwoContendingFlowsShareThenSpeedUp) {
+  // Equal flows share 50/50; when the short one finishes, the long one
+  // speeds to 100. 500B and 1500B: first done at t=10; second has 1000B
+  // left, done at t=20.
+  auto sim = make_sim();
+  sim.submit({{0, 1, kUncapped}, 500.0, 0.0, 1});
+  sim.submit({{0, 2, kUncapped}, 1500.0, 0.0, 2});
+  const auto done = sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].tag, 1u);
+  EXPECT_DOUBLE_EQ(done[0].finish, 10.0);
+  EXPECT_EQ(done[1].tag, 2u);
+  EXPECT_DOUBLE_EQ(done[1].finish, 20.0);
+}
+
+TEST(FlowSimulatorTest, LateArrivalChangesRates) {
+  // Flow A (2000B) alone until t=10 (1000B done), then shares with B
+  // (500B): both at 50. B finishes at t=20; A's remaining 500B at full
+  // rate: t=25.
+  auto sim = make_sim();
+  sim.submit({{0, 1, kUncapped}, 2000.0, 0.0, 1});
+  sim.submit({{0, 2, kUncapped}, 500.0, 10.0, 2});
+  const auto done = sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].tag, 2u);
+  EXPECT_DOUBLE_EQ(done[0].finish, 20.0);
+  EXPECT_DOUBLE_EQ(done[1].finish, 25.0);
+}
+
+TEST(FlowSimulatorTest, IdleGapBeforeArrival) {
+  auto sim = make_sim();
+  sim.submit({{0, 1, kUncapped}, 100.0, 50.0, 3});
+  const auto done = sim.run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(done[0].start, 50.0);
+  EXPECT_DOUBLE_EQ(done[0].finish, 51.0);
+}
+
+TEST(FlowSimulatorTest, ManyParallelDisjointFlows) {
+  auto sim = FlowSimulator(FlatNetwork(8, 100.0));
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    sim.submit({{i, i + 4, kUncapped}, 1000.0, 0.0, i});
+  }
+  const auto done = sim.run();
+  ASSERT_EQ(done.size(), 4u);
+  for (const auto& completion : done) {
+    EXPECT_DOUBLE_EQ(completion.finish, 10.0);
+  }
+}
+
+TEST(FlowSimulatorTest, ReusableAfterRun) {
+  auto sim = make_sim();
+  sim.submit({{0, 1, kUncapped}, 100.0, 0.0, 1});
+  EXPECT_EQ(sim.run().size(), 1u);
+  sim.submit({{0, 1, kUncapped}, 200.0, 0.0, 2});
+  const auto done = sim.run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].tag, 2u);
+  EXPECT_DOUBLE_EQ(done[0].finish, 2.0);
+}
+
+TEST(FlowSimulatorTest, Validation) {
+  auto sim = make_sim();
+  EXPECT_THROW(sim.submit({{0, 1, kUncapped}, 0.0, 0.0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(sim.submit({{0, 1, kUncapped}, 10.0, -1.0, 1}),
+               std::invalid_argument);
+}
+
+TEST(FlowSimulatorTest, BuddyExchangePattern) {
+  // The double-checkpointing exchange: pairs swap images simultaneously.
+  // Egress and ingress are separate ports, so both directions run at full
+  // bandwidth and the exchange of S bytes takes exactly S/B.
+  auto sim = make_sim();
+  sim.submit({{0, 1, kUncapped}, 4000.0, 0.0, 1});
+  sim.submit({{1, 0, kUncapped}, 4000.0, 0.0, 2});
+  const auto done = sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0].finish, 40.0);
+  EXPECT_DOUBLE_EQ(done[1].finish, 40.0);
+}
+
+TEST(FlowSimulatorTest, TripleForwardingPattern) {
+  // Triple checkpointing, part 1: every node sends its image to its
+  // preferred buddy around the ring 0->1->2->0. Disjoint egress/ingress:
+  // all three complete in S/B.
+  auto sim = make_sim();
+  sim.submit({{0, 1, kUncapped}, 4000.0, 0.0, 1});
+  sim.submit({{1, 2, kUncapped}, 4000.0, 0.0, 2});
+  sim.submit({{2, 0, kUncapped}, 4000.0, 0.0, 3});
+  const auto done = sim.run();
+  ASSERT_EQ(done.size(), 3u);
+  for (const auto& completion : done) {
+    EXPECT_DOUBLE_EQ(completion.finish, 40.0);
+  }
+}
+
+}  // namespace

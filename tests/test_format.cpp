@@ -1,0 +1,47 @@
+#include "util/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace dckpt::util;
+
+TEST(FormatDurationTest, PicksNaturalUnits) {
+  EXPECT_EQ(format_duration(0.0), "0s");
+  EXPECT_EQ(format_duration(42.0), "42s");
+  EXPECT_EQ(format_duration(60.0), "1min");
+  EXPECT_EQ(format_duration(90.0), "1.5min");
+  EXPECT_EQ(format_duration(3600.0), "1h");
+  EXPECT_EQ(format_duration(4.0 * 3600.0), "4h");
+  EXPECT_EQ(format_duration(86400.0), "1day");
+  EXPECT_EQ(format_duration(0.25), "250ms");
+}
+
+TEST(FormatDurationTest, SubMillisecond) {
+  EXPECT_EQ(format_duration(0.0001), "0.1ms");
+}
+
+TEST(FormatPercentTest, DecimalsAndValues) {
+  EXPECT_EQ(format_percent(0.123), "12.3%");
+  EXPECT_EQ(format_percent(0.5, 0), "50%");
+  EXPECT_EQ(format_percent(1.0, 2), "100.00%");
+}
+
+TEST(FormatFixedTest, Decimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-1.0, 0), "-1");
+}
+
+TEST(FormatScientificTest, SignificantDigits) {
+  EXPECT_EQ(format_scientific(0.000123, 3), "1.23e-04");
+  EXPECT_EQ(format_scientific(12345.0, 2), "1.2e+04");
+}
+
+TEST(FormatBytesTest, BinaryUnits) {
+  EXPECT_EQ(format_bytes(512.0), "512 B");
+  EXPECT_EQ(format_bytes(1024.0), "1 KiB");
+  EXPECT_EQ(format_bytes(512.0 * 1024 * 1024), "512 MiB");
+  EXPECT_EQ(format_bytes(1.5 * 1024 * 1024 * 1024), "1.5 GiB");
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+#include "runtime/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+namespace {
+
+using namespace dckpt::runtime;
+using dckpt::ckpt::Topology;
+
+GridConfig small_grid(Topology topology = Topology::Pairs) {
+  GridConfig config;
+  config.grid_rows = 2;
+  config.grid_cols = topology == Topology::Pairs ? 2 : 3;
+  config.topology = topology;
+  config.block_rows = 8;
+  config.block_cols = 8;
+  config.checkpoint_interval = 6;
+  config.total_steps = 30;
+  config.threads = 2;
+  return config;
+}
+
+std::uint64_t reference_hash(const GridConfig& config) {
+  GridCoordinator reference(config, std::make_unique<HeatKernel2D>());
+  const auto report = reference.run();
+  EXPECT_FALSE(report.fatal);
+  return report.final_hash;
+}
+
+TEST(HeatKernel2DTest, RejectsUnstableCoefficient) {
+  EXPECT_THROW(HeatKernel2D(0.0), std::invalid_argument);
+  EXPECT_THROW(HeatKernel2D(0.3), std::invalid_argument);
+}
+
+TEST(HeatKernel2DTest, UniformFieldIsSteadyState) {
+  HeatKernel2D kernel(0.2);
+  std::vector<double> prev(16, 2.0), next(16);
+  const std::vector<double> edge(4, 2.0);
+  kernel.step(prev, next, 4, 4, edge, edge, edge, edge);
+  for (double v : next) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(HeatKernel2DTest, PointSourceSpreadsSymmetrically) {
+  HeatKernel2D kernel(0.25);
+  std::vector<double> prev(25, 0.0), next(25);
+  prev[12] = 1.0;  // centre of a 5x5 block
+  const std::vector<double> zero(5, 0.0);
+  kernel.step(prev, next, 5, 5, zero, zero, zero, zero);
+  EXPECT_DOUBLE_EQ(next[12], 0.0);  // c = 0.25 drains the peak entirely
+  EXPECT_DOUBLE_EQ(next[7], 0.25);  // north neighbour
+  EXPECT_DOUBLE_EQ(next[17], 0.25);
+  EXPECT_DOUBLE_EQ(next[11], 0.25);
+  EXPECT_DOUBLE_EQ(next[13], 0.25);
+  // Mass conserved away from boundaries.
+  EXPECT_NEAR(std::accumulate(next.begin(), next.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(HeatKernel2DTest, HaloCouplesNeighbourBlocks) {
+  HeatKernel2D kernel(0.2);
+  std::vector<double> prev(16, 0.0), hot(16), cold(16);
+  std::vector<double> hot_north(4, 5.0), zero(4, 0.0);
+  kernel.step(prev, hot, 4, 4, hot_north, zero, zero, zero);
+  kernel.step(prev, cold, 4, 4, zero, zero, zero, zero);
+  for (int c = 0; c < 4; ++c) EXPECT_GT(hot[c], cold[c]);
+  for (int c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(hot[4 + c], cold[4 + c]);
+}
+
+TEST(GridConfigTest, Validation) {
+  auto config = small_grid();
+  config.grid_rows = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = small_grid(Topology::Triples);
+  config.grid_cols = 2;  // 4 workers, not divisible by 3
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = small_grid();
+  config.block_cols = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(GridCoordinatorTest, FaultFreeDeterministic) {
+  const auto config = small_grid();
+  EXPECT_EQ(reference_hash(config), reference_hash(config));
+}
+
+TEST(GridCoordinatorTest, ResultIndependentOfThreadCount) {
+  auto config = small_grid();
+  config.threads = 1;
+  const auto h1 = reference_hash(config);
+  config.threads = 4;
+  EXPECT_EQ(reference_hash(config), h1);
+}
+
+TEST(GridCoordinatorTest, EnergyDiffusesGlobally) {
+  const auto config = small_grid();
+  GridCoordinator coordinator(config, std::make_unique<HeatKernel2D>());
+  const auto initial = coordinator.global_state();
+  coordinator.run();
+  const auto final_state = coordinator.global_state();
+  auto energy = [](const std::vector<double>& u) {
+    double e = 0.0;
+    for (double v : u) e += v * v;
+    return e;
+  };
+  EXPECT_LT(energy(final_state), energy(initial));
+}
+
+TEST(GridCoordinatorTest, SingleFailureMaskedPairs) {
+  const auto config = small_grid();
+  const auto expected = reference_hash(config);
+  GridCoordinator coordinator(config, std::make_unique<HeatKernel2D>());
+  const FailureInjection failures[] = {{15, 2}};
+  const auto report = coordinator.run(failures);
+  ASSERT_FALSE(report.fatal) << report.fatal_reason;
+  EXPECT_EQ(report.failures, 1u);
+  EXPECT_EQ(report.replayed_steps, 3u);  // 15 -> checkpoint at 12
+  EXPECT_EQ(report.final_hash, expected);
+}
+
+TEST(GridCoordinatorTest, TriplesSurviveSequentialPair) {
+  const auto config = small_grid(Topology::Triples);
+  const auto expected = reference_hash(config);
+  GridCoordinator coordinator(config, std::make_unique<HeatKernel2D>());
+  const FailureInjection failures[] = {{10, 0}, {11, 1}};
+  const auto report = coordinator.run(failures);
+  ASSERT_FALSE(report.fatal) << report.fatal_reason;
+  EXPECT_EQ(report.final_hash, expected);
+}
+
+TEST(GridCoordinatorTest, PairWipeoutIsFatal) {
+  const auto config = small_grid();
+  GridCoordinator coordinator(config, std::make_unique<HeatKernel2D>());
+  const FailureInjection failures[] = {{10, 0}, {10, 1}};
+  const auto report = coordinator.run(failures);
+  EXPECT_TRUE(report.fatal);
+}
+
+TEST(GridCoordinatorTest, FailureBeforeFirstCheckpoint) {
+  const auto config = small_grid();
+  const auto expected = reference_hash(config);
+  GridCoordinator coordinator(config, std::make_unique<HeatKernel2D>());
+  const FailureInjection failures[] = {{3, 1}};
+  const auto report = coordinator.run(failures);
+  ASSERT_FALSE(report.fatal);
+  EXPECT_EQ(report.replayed_steps, 3u);
+  EXPECT_EQ(report.final_hash, expected);
+}
+
+TEST(GridCoordinatorTest, GlobalStateHasExpectedSize) {
+  const auto config = small_grid();
+  GridCoordinator coordinator(config, std::make_unique<HeatKernel2D>());
+  EXPECT_EQ(coordinator.global_state().size(),
+            config.nodes() * config.block_rows * config.block_cols);
+}
+
+TEST(GridCoordinatorTest, NullKernelRejected) {
+  EXPECT_THROW(GridCoordinator(small_grid(), nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace

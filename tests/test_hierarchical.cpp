@@ -1,0 +1,132 @@
+#include "model/hierarchical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/period.hpp"
+#include "model/risk.hpp"
+#include "model/scenario.hpp"
+#include "model/waste.hpp"
+
+namespace {
+
+using namespace dckpt::model;
+
+HierarchicalParams make_params(double mtbf = 600.0,
+                               Protocol protocol = Protocol::DoubleNbl) {
+  HierarchicalParams params;
+  params.protocol = protocol;
+  params.level1 = base_scenario().at_phi_ratio(0.25).with_mtbf(mtbf);
+  params.global_ckpt = 300.0;
+  params.global_recovery = 300.0;
+  return params;
+}
+
+TEST(HierarchicalWasteTest, ComposesMultiplicatively) {
+  const auto params = make_params();
+  const double p1 =
+      optimal_period_closed_form(params.protocol, params.level1).period;
+  const double p2 = 50000.0;
+  const double w1 = waste(params.protocol, params.level1, p1);
+  const double rho = fatal_failure_rate(params.protocol, params.level1);
+  const double expected =
+      1.0 - (1.0 - w1) * (1.0 - 300.0 / p2) *
+                (1.0 - rho * (params.level1.downtime + 300.0 + p2 / 2.0));
+  EXPECT_NEAR(hierarchical_waste(params, p1, p2), expected, 1e-12);
+}
+
+TEST(HierarchicalWasteTest, ReducesToLevel1WhenLevel2Vanishes) {
+  const auto params = make_params(7 * 3600.0);
+  const double p1 =
+      optimal_period_closed_form(params.protocol, params.level1).period;
+  const double w1 = waste(params.protocol, params.level1, p1);
+  // Long P2 (but still << 1/rho, so the rollback term stays negligible):
+  // level 2 adds (almost) nothing.
+  const double w = hierarchical_waste(params, p1, 1e8);
+  EXPECT_NEAR(w, w1, 1e-3);
+}
+
+TEST(HierarchicalWasteTest, RejectsTooSmallP2) {
+  const auto params = make_params();
+  EXPECT_THROW(hierarchical_waste(params, 200.0, 100.0),
+               std::invalid_argument);
+}
+
+TEST(OptimizeHierarchicalTest, Level2PeriodIsDalyAtFatalScale) {
+  const auto params = make_params(120.0);  // hostile: sizeable fatal rate
+  const auto eval = optimize_hierarchical(params);
+  ASSERT_TRUE(eval.feasible);
+  const double rho = fatal_failure_rate(params.protocol, params.level1);
+  EXPECT_NEAR(eval.level2_period, std::sqrt(2.0 * 300.0 / rho), 1e-6);
+  EXPECT_GT(eval.level2_period, eval.level1_period);
+}
+
+TEST(OptimizeHierarchicalTest, OptimalP2IsNearStationary) {
+  const auto params = make_params(120.0);
+  const auto eval = optimize_hierarchical(params);
+  ASSERT_TRUE(eval.feasible);
+  const double at = hierarchical_waste(params, eval.level1_period,
+                                       eval.level2_period);
+  // First-order optimum: moving P2 by 25% in either direction can only
+  // improve the waste marginally if at all.
+  EXPECT_LE(at, hierarchical_waste(params, eval.level1_period,
+                                   eval.level2_period * 0.75) +
+                    1e-4);
+  EXPECT_LE(at, hierarchical_waste(params, eval.level1_period,
+                                   eval.level2_period * 1.25) +
+                    1e-4);
+}
+
+TEST(OptimizeHierarchicalTest, TripleNeedsLevel2FarLessOften) {
+  // Triple's fatal rate is orders of magnitude below the pairs', so its
+  // optimal global-checkpoint period is far longer.
+  const auto nbl = optimize_hierarchical(make_params(120.0,
+                                                     Protocol::DoubleNbl));
+  const auto tri = optimize_hierarchical(make_params(120.0,
+                                                     Protocol::Triple));
+  ASSERT_TRUE(nbl.feasible);
+  ASSERT_TRUE(tri.feasible);
+  EXPECT_GT(tri.level2_period, 10.0 * nbl.level2_period);
+  EXPECT_LT(tri.level2_waste, nbl.level2_waste);
+}
+
+TEST(OptimizeHierarchicalTest, TotalWasteDecomposes) {
+  const auto params = make_params(300.0);
+  const auto eval = optimize_hierarchical(params);
+  ASSERT_TRUE(eval.feasible);
+  EXPECT_NEAR(1.0 - eval.total_waste,
+              (1.0 - eval.level1_waste) * (1.0 - eval.level2_waste), 1e-9);
+  EXPECT_GE(eval.total_waste, eval.level1_waste);
+}
+
+TEST(OptimizeHierarchicalTest, InfeasibleLevel1Propagates) {
+  const auto params = make_params(10.0);
+  const auto eval = optimize_hierarchical(params);
+  EXPECT_FALSE(eval.feasible);
+  EXPECT_DOUBLE_EQ(eval.total_waste, 1.0);
+}
+
+TEST(MeanTimeBetweenFatalTest, OrderingAndScale) {
+  const auto params = base_scenario().at_phi_ratio(0.25).with_mtbf(120.0);
+  const double nbl = mean_time_between_fatal(Protocol::DoubleNbl, params);
+  const double bof = mean_time_between_fatal(Protocol::DoubleBof, params);
+  const double tri = mean_time_between_fatal(Protocol::Triple, params);
+  EXPECT_GT(bof, nbl);       // shorter risk window -> rarer fatality
+  EXPECT_GT(tri, 100.0 * bof);  // triple needs a third coincident failure
+  EXPECT_GT(nbl, params.mtbf);  // fatal events are rarer than failures
+}
+
+TEST(HierarchicalParamsTest, Validation) {
+  auto params = make_params();
+  params.global_ckpt = 0.0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params = make_params();
+  params.global_recovery = -1.0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params = make_params();
+  params.level1.mtbf = -1.0;
+  EXPECT_THROW(optimize_hierarchical(params), std::invalid_argument);
+}
+
+}  // namespace

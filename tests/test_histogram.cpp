@@ -1,0 +1,88 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using dckpt::util::Histogram;
+
+TEST(HistogramTest, BinsSamplesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.7);
+  h.add(9.99);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(1), 2u);
+  EXPECT_EQ(h.bin(9), 1u);
+  EXPECT_EQ(h.total_count(), 4u);
+}
+
+TEST(HistogramTest, UnderOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.0);  // hi edge counts as overflow (half-open range)
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total_count(), 3u);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(2.0, 6.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower_edge(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower_edge(3), 5.0);
+}
+
+TEST(HistogramTest, QuantileOfUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  dckpt::util::Xoshiro256ss rng(5);
+  for (int i = 0; i < 100000; ++i) h.add(rng.next_double());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(HistogramTest, QuantileClampsArgument) {
+  Histogram h(0.0, 1.0, 10);
+  h.add(0.5);
+  EXPECT_NO_THROW(h.quantile(-1.0));
+  EXPECT_NO_THROW(h.quantile(2.0));
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a(0.0, 10.0, 5), b(0.0, 10.0, 5);
+  a.add(1.0);
+  b.add(1.5);
+  b.add(9.0);
+  a.merge(b);
+  EXPECT_EQ(a.bin(0), 2u);
+  EXPECT_EQ(a.bin(4), 1u);
+  EXPECT_EQ(a.total_count(), 3u);
+}
+
+TEST(HistogramTest, MergeRejectsIncompatible) {
+  Histogram a(0.0, 10.0, 5), b(0.0, 10.0, 6), c(0.0, 9.0, 5);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(HistogramTest, RenderMentionsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string text = h.render();
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find('2'), std::string::npos);
+}
+
+}  // namespace

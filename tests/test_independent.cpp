@@ -1,0 +1,78 @@
+#include "sim/independent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/scenario.hpp"
+#include "model/period.hpp"
+#include "sim/runner.hpp"
+
+namespace {
+
+using namespace dckpt;
+using namespace dckpt::sim;
+
+SimConfig make_config(std::uint64_t nodes = 24, double mtbf = 600.0) {
+  SimConfig config;
+  config.protocol = model::Protocol::DoubleNbl;
+  config.params = model::base_scenario().at_phi_ratio(0.25).with_mtbf(mtbf);
+  config.params.nodes = nodes;
+  config.period =
+      model::optimal_period_closed_form(config.protocol, config.params)
+          .period;
+  config.t_base = 6000.0;
+  config.stop_on_fatal = false;
+  return config;
+}
+
+TEST(IndependentGroupsTest, MakespanIsMaxOverGroups) {
+  const auto result = simulate_independent_groups(make_config(), 7);
+  EXPECT_GE(result.makespan, result.mean_group_makespan);
+  EXPECT_GE(result.makespan, result.t_base);
+  EXPECT_GT(result.failures, 0u);
+}
+
+TEST(IndependentGroupsTest, Deterministic) {
+  const auto a = simulate_independent_groups(make_config(), 9);
+  const auto b = simulate_independent_groups(make_config(), 9);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.failures, b.failures);
+}
+
+TEST(IndependentGroupsTest, FaultFreeLimitMatchesCoordinated) {
+  // Without failures both regimes reduce to the same period structure.
+  auto config = make_config(24, 1e12);
+  const auto independent = simulate_independent_groups(config, 3);
+  const auto coordinated = simulate_exponential(config, 3);
+  EXPECT_NEAR(independent.makespan, coordinated.makespan, 1e-6);
+  EXPECT_DOUBLE_EQ(independent.waste(), coordinated.waste());
+}
+
+TEST(IndependentGroupsTest, BeatsCoordinationUnderHeavyFailures) {
+  // With frequent failures, coordinated recovery stalls everyone for every
+  // failure; private recovery only stalls one group -- so even the slowest
+  // group finishes well before the coordinated run.
+  auto config = make_config(24, 120.0);
+  util::RunningStats coordinated, independent;
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    coordinated.add(simulate_exponential(config, 1000 + seed).makespan);
+    independent.add(
+        simulate_independent_groups(config, 1000 + seed).makespan);
+  }
+  EXPECT_LT(independent.mean(), coordinated.mean());
+}
+
+TEST(IndependentGroupsTest, StragglerPenaltyVisibleAtModerateRates) {
+  // The mean group finishes faster than the max: the straggler gap is the
+  // cost independence pays instead of synchrony.
+  const auto result = simulate_independent_groups(make_config(48, 600.0), 5);
+  EXPECT_GT(result.makespan, result.mean_group_makespan * 1.0001);
+}
+
+TEST(IndependentGroupsTest, ValidatesLikeTheCoordinatedPath) {
+  auto config = make_config();
+  config.period = 1.0;  // below min period
+  EXPECT_THROW(simulate_independent_groups(config, 1),
+               std::invalid_argument);
+}
+
+}  // namespace

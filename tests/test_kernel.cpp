@@ -1,0 +1,166 @@
+#include "runtime/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace {
+
+using dckpt::runtime::CounterKernel;
+using dckpt::runtime::HeatKernel;
+using dckpt::runtime::WaveKernel;
+
+TEST(HeatKernelTest, RejectsUnstableCoefficient) {
+  EXPECT_THROW(HeatKernel(0.0), std::invalid_argument);
+  EXPECT_THROW(HeatKernel(0.6), std::invalid_argument);
+  EXPECT_NO_THROW(HeatKernel(0.5));
+}
+
+TEST(HeatKernelTest, InitializationDependsOnGlobalOffset) {
+  HeatKernel kernel;
+  std::vector<double> a(8), b(8);
+  kernel.initialize(0, a);
+  kernel.initialize(8, b);
+  EXPECT_NE(a, b);
+  // Block decomposition is consistent: cells 8.. of a 16-cell block match
+  // block b at offset 8.
+  std::vector<double> whole(16);
+  kernel.initialize(0, whole);
+  for (int i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(whole[8 + i], b[i]);
+}
+
+TEST(HeatKernelTest, UniformFieldIsFixedPointInteriorly) {
+  HeatKernel kernel(0.25);
+  std::vector<double> prev(6, 3.0), next(6);
+  kernel.step(prev, next, 3.0, 3.0);  // ghosts continue the uniform field
+  for (double v : next) EXPECT_DOUBLE_EQ(v, 3.0);
+}
+
+TEST(HeatKernelTest, DiffusionSmoothsAPeak) {
+  HeatKernel kernel(0.25);
+  std::vector<double> prev(5, 0.0), next(5);
+  prev[2] = 1.0;
+  kernel.step(prev, next, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(next[2], 0.5);   // peak decays
+  EXPECT_DOUBLE_EQ(next[1], 0.25);  // neighbours gain
+  EXPECT_DOUBLE_EQ(next[3], 0.25);
+  // Mass conserved away from the boundary.
+  const double mass =
+      std::accumulate(next.begin(), next.end(), 0.0);
+  EXPECT_NEAR(mass, 1.0, 1e-12);
+}
+
+TEST(HeatKernelTest, GhostCellsCoupleNeighbours) {
+  HeatKernel kernel(0.25);
+  std::vector<double> prev(3, 0.0), with_heat(3), without(3);
+  kernel.step(prev, with_heat, 4.0, 0.0);
+  kernel.step(prev, without, 0.0, 0.0);
+  EXPECT_GT(with_heat[0], without[0]);
+  EXPECT_DOUBLE_EQ(with_heat[1], without[1]);  // interior untouched in 1 step
+}
+
+TEST(HeatKernelTest, EnergyDecaysUnderDiffusion) {
+  HeatKernel kernel(0.25);
+  std::vector<double> state(64), next(64);
+  kernel.initialize(0, state);
+  auto energy = [](const std::vector<double>& u) {
+    double e = 0.0;
+    for (double v : u) e += v * v;
+    return e;
+  };
+  const double e0 = energy(state);
+  for (int step = 0; step < 50; ++step) {
+    kernel.step(state, next, 0.0, 0.0);
+    state.swap(next);
+  }
+  EXPECT_LT(energy(state), e0);
+}
+
+TEST(CounterKernelTest, ClosedFormAfterKSteps) {
+  CounterKernel kernel;
+  std::vector<double> state(4), next(4);
+  kernel.initialize(10, state);
+  EXPECT_DOUBLE_EQ(state[0], 10.0);
+  EXPECT_DOUBLE_EQ(state[3], 13.0);
+  for (int step = 0; step < 7; ++step) {
+    kernel.step(state, next, -1.0, -1.0);
+    state.swap(next);
+  }
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(state[i], 10.0 + i + 7.0);
+}
+
+TEST(WaveKernelTest, RejectsUnstableCourantAndOddBlocks) {
+  EXPECT_THROW(WaveKernel(0.0), std::invalid_argument);
+  EXPECT_THROW(WaveKernel(1.5), std::invalid_argument);
+  WaveKernel kernel;
+  std::vector<double> odd(5), next(5);
+  EXPECT_THROW(kernel.initialize(0, odd), std::invalid_argument);
+  EXPECT_THROW(kernel.step(odd, next, 0.0, 0.0), std::invalid_argument);
+}
+
+TEST(WaveKernelTest, InitialStateIsNearRest) {
+  // Half-step rest initialization: u(t-1) differs from u(t) only by the
+  // O(c^2) Taylor correction.
+  WaveKernel kernel(0.5);
+  std::vector<double> state(512);
+  kernel.initialize(0, state);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_NEAR(state[i], state[256 + i], 0.02) << i;
+  }
+}
+
+TEST(WaveKernelTest, HaloIndicesPointIntoCurrentLevel) {
+  WaveKernel kernel;
+  EXPECT_EQ(kernel.left_halo_index(16), 0u);
+  EXPECT_EQ(kernel.right_halo_index(16), 7u);
+}
+
+TEST(WaveKernelTest, StepShiftsTimeLevels) {
+  WaveKernel kernel(0.5);
+  std::vector<double> prev(8, 0.0), next(8, 0.0);
+  prev[1] = 1.0;  // u(t) pulse, u(t-1) zero
+  kernel.step(prev, next, 0.0, 0.0);
+  // New previous level == old current level.
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(next[4 + i], prev[i]);
+  // Leapfrog at the pulse: 2*1 - 0 + 0.25*(0 - 2 + 0) = 1.5.
+  EXPECT_DOUBLE_EQ(next[1], 1.5);
+  // Neighbours pick up 0.25 * pulse.
+  EXPECT_DOUBLE_EQ(next[0], 0.25);
+  EXPECT_DOUBLE_EQ(next[2], 0.25);
+}
+
+TEST(WaveKernelTest, UnitCourantSplitsAPulseExactly) {
+  // With c = 1 the leapfrog scheme reproduces d'Alembert exactly: a delta
+  // pulse released from rest splits into two half-height pulses travelling
+  // one cell per step.
+  WaveKernel kernel(1.0);
+  const std::size_t half = 64;
+  std::vector<double> state(2 * half, 0.0), next(2 * half, 0.0);
+  state[32] = 1.0;
+  // Half-step rest initialization (see WaveKernel::initialize).
+  for (std::size_t i = 0; i < half; ++i) {
+    const double left = (i == 0) ? 0.0 : state[i - 1];
+    const double right = (i + 1 == half) ? 0.0 : state[i + 1];
+    state[half + i] = state[i] + 0.5 * (left - 2.0 * state[i] + right);
+  }
+  for (int step = 0; step < 10; ++step) {
+    kernel.step(state, next, 0.0, 0.0);
+    state.swap(next);
+  }
+  EXPECT_NEAR(state[22], 0.5, 1e-9);
+  EXPECT_NEAR(state[42], 0.5, 1e-9);
+  EXPECT_NEAR(state[32], 0.0, 1e-9);
+  double total = 0.0;
+  for (std::size_t i = 0; i < half; ++i) total += state[i];
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(KernelTest, Names) {
+  EXPECT_EQ(HeatKernel().name(), "heat-diffusion-1d");
+  EXPECT_EQ(CounterKernel().name(), "counter");
+  EXPECT_EQ(WaveKernel().name(), "wave-1d-leapfrog");
+}
+
+}  // namespace

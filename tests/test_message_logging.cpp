@@ -1,0 +1,137 @@
+#include "model/message_logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/period.hpp"
+#include "model/scenario.hpp"
+#include "model/waste.hpp"
+
+namespace {
+
+using namespace dckpt::model;
+
+MessageLoggingParams make_params(double mtbf = 600.0, double beta = 0.05) {
+  MessageLoggingParams params;
+  params.platform = base_scenario().at_phi_ratio(0.25).with_mtbf(mtbf);
+  params.logging_overhead = beta;
+  return params;
+}
+
+TEST(MessageLoggingWasteTest, ComposesThreeFactors) {
+  const auto params = make_params();
+  const double period = 300.0;
+  const auto& p = params.platform;
+  const double ff = waste_fault_free(Protocol::DoubleNbl, p, period);
+  const double fail =
+      expected_failure_cost(Protocol::DoubleNbl, p, period) /
+      (p.mtbf * static_cast<double>(p.nodes));
+  const double expected = 1.0 - 0.95 * (1.0 - ff) * (1.0 - fail);
+  EXPECT_NEAR(message_logging_waste(params, period), expected, 1e-12);
+}
+
+TEST(MessageLoggingWasteTest, BetaIsAHardFloor) {
+  // Even on a failure-free platform the logging overhead remains.
+  auto params = make_params(1e12, 0.08);
+  const auto opt = optimal_message_logging_period(params);
+  EXPECT_GE(opt.waste, 0.08 - 1e-9);
+  EXPECT_LT(opt.waste, 0.09);
+}
+
+TEST(MessageLoggingWasteTest, Validation) {
+  auto params = make_params();
+  params.logging_overhead = 1.0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params = make_params();
+  params.logging_overhead = -0.1;
+  EXPECT_THROW(message_logging_waste(params, 100.0), std::invalid_argument);
+}
+
+TEST(OptimalLoggingPeriodTest, NodeScaleYoungFormula) {
+  const auto params = make_params(600.0);
+  const auto& p = params.platform;
+  const auto opt = optimal_message_logging_period(params);
+  const double expected = std::sqrt(
+      2.0 * (p.local_ckpt + p.overhead) *
+      (p.node_mtbf() - p.downtime - p.recovery() - p.theta()));
+  ASSERT_FALSE(opt.clamped);
+  EXPECT_NEAR(opt.period, expected, 1e-9);
+}
+
+TEST(OptimalLoggingPeriodTest, MuchLongerThanCoordinatedPeriod) {
+  // Rollbacks are local, so checkpoints can be ~sqrt(n) rarer.
+  const auto params = make_params(600.0);
+  const auto logging = optimal_message_logging_period(params);
+  const auto coordinated =
+      optimal_period_closed_form(Protocol::DoubleNbl, params.platform);
+  EXPECT_GT(logging.period, 10.0 * coordinated.period);
+}
+
+TEST(OptimalLoggingPeriodTest, FailureWasteNearlyVanishes) {
+  // At the optimum, the failure term is ~sqrt(2 delta/(n M)) -- negligible
+  // even on a hostile platform; beta dominates.
+  const auto params = make_params(120.0, 0.05);
+  const auto opt = optimal_message_logging_period(params);
+  ASSERT_TRUE(opt.feasible);
+  EXPECT_LT(opt.waste, 0.08);
+}
+
+TEST(CrossoverTest, LoggingWinsAtLowMtbf) {
+  // On a brutal platform the coordinated protocols waste most of the
+  // machine while logging only pays beta: logging must win.
+  const auto params = make_params(60.0, 0.05);
+  const double logging = optimal_message_logging_period(params).waste;
+  const double coordinated = waste_at_optimal_period(
+      Protocol::DoubleNbl, params.platform);
+  EXPECT_LT(logging, coordinated);
+}
+
+TEST(CrossoverTest, CoordinatedWinsAtHighMtbf) {
+  const auto params = make_params(86400.0, 0.05);
+  const double logging = optimal_message_logging_period(params).waste;
+  const double coordinated = waste_at_optimal_period(
+      Protocol::DoubleNbl, params.platform);
+  EXPECT_GT(logging, coordinated);
+}
+
+TEST(CrossoverTest, BisectionFindsTheBoundary) {
+  const auto params = make_params(600.0, 0.05);
+  const double crossover =
+      logging_crossover_mtbf(params, Protocol::DoubleNbl);
+  ASSERT_TRUE(std::isfinite(crossover));
+  ASSERT_GT(crossover, 0.0);
+  // Just below: logging wins; just above: coordinated wins.
+  auto below = params;
+  below.platform = params.platform.with_mtbf(crossover * 0.8);
+  EXPECT_LT(optimal_message_logging_period(below).waste,
+            waste_at_optimal_period(Protocol::DoubleNbl, below.platform));
+  auto above = params;
+  above.platform = params.platform.with_mtbf(crossover * 1.25);
+  EXPECT_GT(optimal_message_logging_period(above).waste,
+            waste_at_optimal_period(Protocol::DoubleNbl, above.platform));
+}
+
+TEST(CrossoverTest, HigherBetaLowersTheCrossover) {
+  const auto cheap = make_params(600.0, 0.02);
+  const auto pricey = make_params(600.0, 0.15);
+  const double cheap_cross =
+      logging_crossover_mtbf(cheap, Protocol::DoubleNbl);
+  const double pricey_cross =
+      logging_crossover_mtbf(pricey, Protocol::DoubleNbl);
+  EXPECT_GT(cheap_cross, pricey_cross);
+}
+
+TEST(CrossoverTest, DegenerateBrackets) {
+  const auto params = make_params(600.0, 0.0);
+  // Free logging with local rollback: wins across any realistic bracket.
+  EXPECT_TRUE(std::isinf(
+      logging_crossover_mtbf(params, Protocol::DoubleNbl, 10.0, 3600.0)));
+  // Absurdly expensive logging never wins.
+  auto expensive = make_params(600.0, 0.9);
+  EXPECT_DOUBLE_EQ(logging_crossover_mtbf(expensive, Protocol::Triple,
+                                          3600.0, 86400.0),
+                   0.0);
+}
+
+}  // namespace

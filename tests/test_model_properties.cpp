@@ -1,0 +1,233 @@
+// Cross-cutting property tests: invariants that must hold for every
+// protocol, scenario and parameter combination -- the guard rails under
+// the individual formula tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "model/model_api.hpp"
+
+namespace {
+
+using namespace dckpt::model;
+
+class ProtocolScenarioProperty
+    : public ::testing::TestWithParam<std::tuple<Protocol, int, double>> {
+ protected:
+  Protocol protocol() const { return std::get<0>(GetParam()); }
+  Parameters params(double mtbf = 7 * 3600.0) const {
+    return paper_scenarios()[std::get<1>(GetParam())]
+        .at_phi_ratio(std::get<2>(GetParam()))
+        .with_mtbf(mtbf);
+  }
+};
+
+TEST_P(ProtocolScenarioProperty, PeriodPartsSumToPeriod) {
+  const auto p = params();
+  for (double scale : {1.0, 2.0, 7.5}) {
+    const double period = min_period(protocol(), p) * scale;
+    const auto parts = period_parts(protocol(), p, period);
+    EXPECT_NEAR(parts.part1 + parts.part2 + parts.part3, period, 1e-9);
+    EXPECT_GE(parts.part3, -1e-12);
+  }
+}
+
+TEST_P(ProtocolScenarioProperty, SigmaZeroAtMinimumPeriod) {
+  const auto p = params();
+  const auto parts =
+      period_parts(protocol(), p, min_period(protocol(), p));
+  EXPECT_NEAR(parts.part3, 0.0, 1e-9);
+}
+
+TEST_P(ProtocolScenarioProperty, WorkPerPeriodBelowPeriod) {
+  const auto p = params();
+  const double period = min_period(protocol(), p) * 3.0;
+  const double work = work_per_period(protocol(), p, period);
+  EXPECT_LE(work, period);
+  EXPECT_GE(work, 0.0);
+  // Consistency with the fault-free waste: W = P (1 - WASTE_ff).
+  EXPECT_NEAR(work,
+              period * (1.0 - waste_fault_free(protocol(), p, period)),
+              1e-9);
+}
+
+TEST_P(ProtocolScenarioProperty, FailureCostIncreasesWithPeriod) {
+  const auto p = params();
+  const double lo = min_period(protocol(), p);
+  double previous = -1.0;
+  for (double scale : {1.0, 1.5, 2.5, 5.0, 10.0}) {
+    const double f = expected_failure_cost(protocol(), p, lo * scale);
+    EXPECT_GT(f, previous);
+    previous = f;
+  }
+}
+
+TEST_P(ProtocolScenarioProperty, FaultFreeWasteDecreasesWithPeriod) {
+  const auto p = params();
+  const double lo = min_period(protocol(), p);
+  double previous = 2.0;
+  for (double scale : {1.0, 2.0, 4.0, 8.0}) {
+    const double ff = waste_fault_free(protocol(), p, lo * scale);
+    EXPECT_LE(ff, previous + 1e-12);
+    EXPECT_GE(ff, 0.0);
+    EXPECT_LE(ff, 1.0);
+    previous = ff;
+  }
+}
+
+TEST_P(ProtocolScenarioProperty, WasteDecreasesWithMtbf) {
+  const auto base = params();
+  const double period = min_period(protocol(), base) * 3.0;
+  double previous = 1.5;
+  for (double mtbf : {300.0, 1800.0, 7200.0, 86400.0}) {
+    const double w = waste(protocol(), base.with_mtbf(mtbf), period);
+    EXPECT_LE(w, previous + 1e-12) << "M=" << mtbf;
+    previous = w;
+  }
+}
+
+TEST_P(ProtocolScenarioProperty, OptimalWasteDecreasesWithMtbf) {
+  const auto base = params();
+  double previous = 1.5;
+  for (double mtbf : {600.0, 3600.0, 6.0 * 3600.0, 86400.0}) {
+    const double w =
+        waste_at_optimal_period(protocol(), base.with_mtbf(mtbf));
+    EXPECT_LE(w, previous + 1e-12) << "M=" << mtbf;
+    previous = w;
+  }
+}
+
+TEST_P(ProtocolScenarioProperty, OptimalPeriodGrowsWithMtbf) {
+  const auto base = params();
+  double previous = 0.0;
+  for (double mtbf : {1800.0, 7200.0, 12.0 * 3600.0, 86400.0}) {
+    const auto opt =
+        optimal_period_closed_form(protocol(), base.with_mtbf(mtbf));
+    EXPECT_GE(opt.period, previous - 1e-9) << "M=" << mtbf;
+    previous = opt.period;
+  }
+}
+
+TEST_P(ProtocolScenarioProperty, RiskWindowCoversDowntimePlusRecovery) {
+  const auto p = params();
+  EXPECT_GE(risk_window(protocol(), p), p.downtime + p.recovery() - 1e-12);
+}
+
+TEST_P(ProtocolScenarioProperty, SuccessProbabilityWithinUnitInterval) {
+  const auto p = params(600.0);
+  for (double mission : {3600.0, 86400.0, 30.0 * 86400.0}) {
+    const double s = success_probability(protocol(), p, mission);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST_P(ProtocolScenarioProperty, EffectiveWasteAtLeastPlainWaste) {
+  const auto p = params(1800.0);
+  const auto eval = evaluate_with_restarts(protocol(), p, 1e5);
+  if (!eval.feasible) return;
+  const double plain = 1.0 - 1e5 / eval.makespan;
+  EXPECT_GE(eval.effective_waste, plain - 1e-12);
+}
+
+TEST_P(ProtocolScenarioProperty, HierarchyCostsAtLeastLevelOne) {
+  HierarchicalParams h;
+  h.protocol = protocol();
+  h.level1 = params(1800.0);
+  h.global_ckpt = 300.0;
+  h.global_recovery = 300.0;
+  const auto eval = optimize_hierarchical(h);
+  if (!eval.feasible) return;
+  EXPECT_GE(eval.total_waste, eval.level1_waste - 1e-12);
+  EXPECT_GE(eval.level2_period, eval.level1_period);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ProtocolScenarioProperty,
+    ::testing::Combine(::testing::Values(Protocol::DoubleBlocking,
+                                         Protocol::DoubleNbl,
+                                         Protocol::DoubleBof,
+                                         Protocol::Triple,
+                                         Protocol::TripleBof),
+                       ::testing::Values(0, 1),
+                       ::testing::Values(0.1, 0.5, 1.0)));
+
+// ------------------------------------------------- cross-protocol relations
+
+TEST(CrossProtocolProperty, BlockingOnFailureShrinksRiskEverywhere) {
+  for (const auto& scenario : paper_scenarios()) {
+    for (double ratio : {0.0, 0.3, 0.7, 1.0}) {
+      const auto p = scenario.at_phi_ratio(ratio).with_mtbf(3600.0);
+      EXPECT_LE(risk_window(Protocol::DoubleBof, p),
+                risk_window(Protocol::DoubleNbl, p) + 1e-12);
+      EXPECT_LE(risk_window(Protocol::TripleBof, p),
+                risk_window(Protocol::Triple, p) + 1e-12);
+    }
+  }
+}
+
+TEST(CrossProtocolProperty, TripleFaultFreeWinsExactlyWhenPhiBelowDelta) {
+  // WASTE_ff: 2 phi/P (triple) vs (delta + phi)/P (double): the triple is
+  // cheaper per unit period iff phi < delta.
+  for (const auto& scenario : paper_scenarios()) {
+    const auto& base = scenario.params;
+    const double delta = base.local_ckpt;
+    for (double phi : {delta / 2.0, delta, 2.0 * delta}) {
+      if (phi > base.remote_blocking) continue;
+      auto p = base.with_overhead(phi).with_mtbf(7 * 3600.0);
+      const double period =
+          std::max(min_period(Protocol::Triple, p),
+                   min_period(Protocol::DoubleNbl, p)) *
+          2.0;
+      const double tri = waste_fault_free(Protocol::Triple, p, period);
+      const double dbl = waste_fault_free(Protocol::DoubleNbl, p, period);
+      if (phi < delta) {
+        EXPECT_LT(tri, dbl);
+      } else if (phi > delta) {
+        EXPECT_GT(tri, dbl);
+      } else {
+        EXPECT_NEAR(tri, dbl, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(CrossProtocolProperty, FatalRateOrderingMatchesRiskWindows) {
+  const auto p = base_scenario().at_phi_ratio(0.5).with_mtbf(120.0);
+  EXPECT_LT(fatal_failure_rate(Protocol::DoubleBof, p),
+            fatal_failure_rate(Protocol::DoubleNbl, p));
+  EXPECT_LT(fatal_failure_rate(Protocol::Triple, p),
+            fatal_failure_rate(Protocol::DoubleBof, p));
+  EXPECT_LT(fatal_failure_rate(Protocol::TripleBof, p),
+            fatal_failure_rate(Protocol::Triple, p));
+}
+
+TEST(CrossProtocolProperty, BlockingProtocolIsNblAtFullOverheadPoint) {
+  // At phi = R the non-blocking machinery degenerates: theta = R and the
+  // waste of DoubleNbl/DoubleBof/DoubleBlocking nearly coincide (they
+  // differ only through R - phi = 0 terms).
+  for (const auto& scenario : paper_scenarios()) {
+    const auto p = scenario.at_phi_ratio(1.0).with_mtbf(7 * 3600.0);
+    const double period = min_period(Protocol::DoubleNbl, p) * 5.0;
+    const double nbl = waste(Protocol::DoubleNbl, p, period);
+    const double bof = waste(Protocol::DoubleBof, p, period);
+    const double blocking = waste(Protocol::DoubleBlocking, p, period);
+    EXPECT_NEAR(nbl, blocking, 1e-12) << scenario.name;
+    EXPECT_NEAR(bof, blocking, 1e-12) << scenario.name;
+  }
+}
+
+TEST(CrossProtocolProperty, MeanTimeBetweenFatalExceedsPlatformMtbf) {
+  for (const auto& scenario : paper_scenarios()) {
+    for (double mtbf : {120.0, 3600.0}) {
+      const auto p = scenario.at_phi_ratio(0.5).with_mtbf(mtbf);
+      for (auto protocol : kAllProtocols) {
+        EXPECT_GT(mean_time_between_fatal(protocol, p), mtbf)
+            << protocol_name(protocol);
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace dckpt::net;
+
+TEST(FlatNetworkTest, Validation) {
+  EXPECT_THROW(FlatNetwork(1, 100.0), std::invalid_argument);
+  EXPECT_THROW(FlatNetwork(4, 0.0), std::invalid_argument);
+  FlatNetwork network(4, 100.0);
+  EXPECT_THROW(network.fair_rates({{0, 0, kUncapped}}),
+               std::invalid_argument);
+  EXPECT_THROW(network.fair_rates({{0, 9, kUncapped}}),
+               std::invalid_argument);
+  EXPECT_THROW(network.fair_rates({{0, 1, 0.0}}), std::invalid_argument);
+}
+
+TEST(FairRatesTest, SingleFlowGetsFullBandwidth) {
+  FlatNetwork network(4, 100.0);
+  const auto rates = network.fair_rates({{0, 1, kUncapped}});
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 100.0);
+}
+
+TEST(FairRatesTest, TwoFlowsSameEgressSplitEvenly) {
+  FlatNetwork network(4, 100.0);
+  const auto rates =
+      network.fair_rates({{0, 1, kUncapped}, {0, 2, kUncapped}});
+  EXPECT_DOUBLE_EQ(rates[0], 50.0);
+  EXPECT_DOUBLE_EQ(rates[1], 50.0);
+}
+
+TEST(FairRatesTest, DisjointFlowsDoNotInterfere) {
+  FlatNetwork network(4, 100.0);
+  const auto rates =
+      network.fair_rates({{0, 1, kUncapped}, {2, 3, kUncapped}});
+  EXPECT_DOUBLE_EQ(rates[0], 100.0);
+  EXPECT_DOUBLE_EQ(rates[1], 100.0);
+}
+
+TEST(FairRatesTest, CapLimitedFlowReleasesBandwidth) {
+  FlatNetwork network(4, 100.0);
+  const auto rates =
+      network.fair_rates({{0, 1, kUncapped}, {0, 2, 20.0}});
+  EXPECT_DOUBLE_EQ(rates[1], 20.0);
+  EXPECT_DOUBLE_EQ(rates[0], 80.0);
+}
+
+TEST(FairRatesTest, CapAboveFairShareIsInert) {
+  FlatNetwork network(4, 100.0);
+  const auto rates =
+      network.fair_rates({{0, 1, kUncapped}, {0, 2, 90.0}});
+  EXPECT_DOUBLE_EQ(rates[0], 50.0);
+  EXPECT_DOUBLE_EQ(rates[1], 50.0);
+}
+
+TEST(FairRatesTest, IngressContentionCounts) {
+  // Two sources into one destination: the ingress port is the bottleneck.
+  FlatNetwork network(4, 100.0);
+  const auto rates =
+      network.fair_rates({{0, 2, kUncapped}, {1, 2, kUncapped}});
+  EXPECT_DOUBLE_EQ(rates[0], 50.0);
+  EXPECT_DOUBLE_EQ(rates[1], 50.0);
+}
+
+TEST(FairRatesTest, ClassicMaxMinExample) {
+  // Flows: A 0->1, B 0->2, C 3->2. Egress 0 shared by A,B; ingress 2 shared
+  // by B,C. Max-min: A = B = 50 (egress 0 bottleneck), then C fills
+  // ingress 2: C = 50.
+  FlatNetwork network(4, 100.0);
+  const auto rates = network.fair_rates(
+      {{0, 1, kUncapped}, {0, 2, kUncapped}, {3, 2, kUncapped}});
+  EXPECT_DOUBLE_EQ(rates[0], 50.0);
+  EXPECT_DOUBLE_EQ(rates[1], 50.0);
+  EXPECT_DOUBLE_EQ(rates[2], 50.0);
+}
+
+TEST(FairRatesTest, UnbalancedBottleneckFreesCapacity) {
+  // Three flows out of node 0 (share 33.3), one of them capped at 10:
+  // the other two rise to 45 each.
+  FlatNetwork network(4, 100.0);
+  const auto rates = network.fair_rates(
+      {{0, 1, kUncapped}, {0, 2, kUncapped}, {0, 3, 10.0}});
+  EXPECT_DOUBLE_EQ(rates[2], 10.0);
+  EXPECT_DOUBLE_EQ(rates[0], 45.0);
+  EXPECT_DOUBLE_EQ(rates[1], 45.0);
+}
+
+TEST(FairRatesTest, ConservationAndBounds) {
+  FlatNetwork network(6, 100.0);
+  const std::vector<Flow> flows = {{0, 1, kUncapped}, {0, 2, 30.0},
+                                   {3, 1, kUncapped}, {4, 5, 70.0},
+                                   {3, 5, kUncapped}};
+  const auto rates = network.fair_rates(flows);
+  std::vector<double> egress(6, 0.0), ingress(6, 0.0);
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    EXPECT_GT(rates[f], 0.0);
+    EXPECT_LE(rates[f], flows[f].rate_cap);
+    egress[flows[f].src] += rates[f];
+    ingress[flows[f].dst] += rates[f];
+  }
+  for (int p = 0; p < 6; ++p) {
+    EXPECT_LE(egress[p], 100.0 + 1e-9);
+    EXPECT_LE(ingress[p], 100.0 + 1e-9);
+  }
+}
+
+TEST(FairRatesTest, EmptyFlowSet) {
+  FlatNetwork network(4, 100.0);
+  EXPECT_TRUE(network.fair_rates({}).empty());
+}
+
+}  // namespace

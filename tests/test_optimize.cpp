@@ -1,0 +1,87 @@
+#include "sim/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/period.hpp"
+#include "model/scenario.hpp"
+#include "model/waste.hpp"
+
+namespace {
+
+using namespace dckpt;
+using namespace dckpt::sim;
+
+SimConfig base_config(double mtbf = 1500.0) {
+  SimConfig config;
+  config.protocol = model::Protocol::DoubleNbl;
+  config.params = model::base_scenario().at_phi_ratio(0.25).with_mtbf(mtbf);
+  config.params.nodes = 12;
+  config.t_base = 20.0 * mtbf;
+  return config;
+}
+
+OptimizeOptions quick_options() {
+  OptimizeOptions options;
+  options.trials_per_eval = 24;
+  options.threads = 2;
+  options.max_iterations = 25;
+  return options;
+}
+
+TEST(OptimizePeriodTest, LandsNearTheModelOptimum) {
+  const auto config = base_config();
+  const auto model_opt =
+      model::optimal_period_closed_form(config.protocol, config.params);
+  const auto empirical =
+      optimize_period_empirically(config, quick_options());
+  ASSERT_TRUE(model_opt.feasible);
+  // The simulated waste curve is flat near its minimum: accept a factor-2
+  // bracket around the closed form.
+  EXPECT_GT(empirical.period, model_opt.period / 2.0);
+  EXPECT_LT(empirical.period, model_opt.period * 2.0);
+  EXPECT_GT(empirical.evaluations, 10);
+}
+
+TEST(OptimizePeriodTest, EmpiricalWasteNotWorseThanModelPeriodWaste) {
+  // By construction the empirical optimum minimizes simulated waste, so it
+  // can only match or beat simulating at the model's period (same seeds).
+  const auto config = base_config();
+  const auto options = quick_options();
+  const auto empirical = optimize_period_empirically(config, options);
+
+  SimConfig at_model = config;
+  at_model.period =
+      model::optimal_period_closed_form(config.protocol, config.params)
+          .period;
+  at_model.stop_on_fatal = false;
+  MonteCarloOptions mc;
+  mc.trials = options.trials_per_eval * 4;
+  mc.seed = options.seed;
+  mc.threads = 2;
+  const auto model_mc = run_monte_carlo(at_model, mc);
+  EXPECT_LE(empirical.waste,
+            model_mc.waste.mean() + 3.0 * model_mc.waste.standard_error());
+}
+
+TEST(OptimizePeriodTest, ReportsConfidence) {
+  const auto empirical =
+      optimize_period_empirically(base_config(), quick_options());
+  EXPECT_GT(empirical.waste, 0.0);
+  EXPECT_LT(empirical.waste, 1.0);
+  EXPECT_GT(empirical.waste_halfwidth, 0.0);
+  EXPECT_LT(empirical.waste_halfwidth, empirical.waste);
+}
+
+TEST(OptimizePeriodTest, TripleBoundaryOptimumAtZeroOverhead) {
+  // phi = 0: checkpointing is free for Triple, so shorter periods always
+  // win and the search must end at (or very near) the minimum period.
+  SimConfig config = base_config();
+  config.protocol = model::Protocol::Triple;
+  config.params = config.params.with_overhead(0.0);
+  const double lo = model::min_period(config.protocol, config.params);
+  const auto empirical =
+      optimize_period_empirically(config, quick_options());
+  EXPECT_LT(empirical.period, lo * 1.25);
+}
+
+}  // namespace

@@ -1,0 +1,76 @@
+#include "model/overlap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using dckpt::model::OverlapModel;
+
+TEST(OverlapModelTest, EndpointsMatchPaper) {
+  const OverlapModel overlap(4.0, 10.0);
+  // phi = theta_min: fully blocking, theta = theta_min.
+  EXPECT_DOUBLE_EQ(overlap.theta_of_phi(4.0), 4.0);
+  // phi = 0: fully overlapped, theta = (1 + alpha) * theta_min.
+  EXPECT_DOUBLE_EQ(overlap.theta_of_phi(0.0), 44.0);
+  EXPECT_DOUBLE_EQ(overlap.theta_max(), 44.0);
+}
+
+TEST(OverlapModelTest, LinearInterpolation) {
+  const OverlapModel overlap(4.0, 10.0);
+  // theta(phi) = theta_min + alpha (theta_min - phi)
+  EXPECT_DOUBLE_EQ(overlap.theta_of_phi(2.0), 4.0 + 10.0 * 2.0);
+  EXPECT_DOUBLE_EQ(overlap.theta_of_phi(3.0), 4.0 + 10.0 * 1.0);
+}
+
+TEST(OverlapModelTest, PhiOfThetaIsInverse) {
+  const OverlapModel overlap(60.0, 10.0);
+  for (double phi : {0.0, 10.0, 33.3, 59.9, 60.0}) {
+    EXPECT_NEAR(overlap.phi_of_theta(overlap.theta_of_phi(phi)), phi, 1e-9);
+  }
+}
+
+TEST(OverlapModelTest, WorkRateDuringTransfer) {
+  const OverlapModel overlap(4.0, 10.0);
+  // Fully blocking: zero application progress.
+  EXPECT_DOUBLE_EQ(overlap.work_rate_during_transfer(4.0), 0.0);
+  // Fully overlapped: full speed.
+  EXPECT_DOUBLE_EQ(overlap.work_rate_during_transfer(0.0), 1.0);
+  // Intermediate: (theta - phi)/theta in (0, 1).
+  const double rate = overlap.work_rate_during_transfer(2.0);
+  EXPECT_GT(rate, 0.0);
+  EXPECT_LT(rate, 1.0);
+}
+
+TEST(OverlapModelTest, WorkRateIsMonotoneInOverlap) {
+  const OverlapModel overlap(60.0, 10.0);
+  double previous = -1.0;
+  for (double phi = 60.0; phi >= 0.0; phi -= 5.0) {
+    const double rate = overlap.work_rate_during_transfer(phi);
+    EXPECT_GT(rate, previous);
+    previous = rate;
+  }
+}
+
+TEST(OverlapModelTest, AlphaZeroDegenerate) {
+  const OverlapModel overlap(4.0, 0.0);
+  EXPECT_DOUBLE_EQ(overlap.theta_max(), 4.0);
+  EXPECT_DOUBLE_EQ(overlap.theta_of_phi(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(overlap.phi_of_theta(4.0), 4.0);
+  EXPECT_THROW(overlap.phi_of_theta(5.0), std::invalid_argument);
+}
+
+TEST(OverlapModelTest, RejectsOutOfDomain) {
+  const OverlapModel overlap(4.0, 10.0);
+  EXPECT_THROW(overlap.theta_of_phi(-0.1), std::invalid_argument);
+  EXPECT_THROW(overlap.theta_of_phi(4.1), std::invalid_argument);
+  EXPECT_THROW(overlap.phi_of_theta(3.9), std::invalid_argument);
+  EXPECT_THROW(overlap.phi_of_theta(44.1), std::invalid_argument);
+}
+
+TEST(OverlapModelTest, RejectsBadConstruction) {
+  EXPECT_THROW(OverlapModel(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(OverlapModel(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(OverlapModel(1.0, -0.5), std::invalid_argument);
+}
+
+}  // namespace

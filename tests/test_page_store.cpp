@@ -1,0 +1,153 @@
+#include "ckpt/page_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace {
+
+using dckpt::ckpt::fnv1a;
+using dckpt::ckpt::PageStore;
+using dckpt::ckpt::Snapshot;
+
+std::vector<std::byte> bytes_of(const std::string& text) {
+  std::vector<std::byte> out(text.size());
+  std::memcpy(out.data(), text.data(), text.size());
+  return out;
+}
+
+TEST(Fnv1aTest, KnownProperties) {
+  const auto a = bytes_of("hello");
+  const auto b = bytes_of("hellp");
+  EXPECT_NE(fnv1a(a), fnv1a(b));
+  EXPECT_EQ(fnv1a(a), fnv1a(a));
+  EXPECT_EQ(fnv1a({}), 0xcbf29ce484222325ULL);  // seed passes through
+}
+
+TEST(PageStoreTest, ZeroInitialized) {
+  PageStore store(1000, 256);
+  std::vector<std::byte> out(1000);
+  store.read(0, out);
+  for (std::byte b : out) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(PageStoreTest, WriteReadRoundTrip) {
+  PageStore store(4096, 512);
+  const auto data = bytes_of("the quick brown fox");
+  store.write(700, data);  // crosses the 512/1024 page boundary
+  std::vector<std::byte> out(data.size());
+  store.read(700, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(PageStoreTest, PageGeometry) {
+  PageStore store(1000, 256);
+  EXPECT_EQ(store.page_count(), 4u);  // ceil(1000/256)
+  EXPECT_EQ(store.size_bytes(), 1000u);
+  EXPECT_EQ(store.page_size(), 256u);
+}
+
+TEST(PageStoreTest, OutOfRangeAccessesThrow) {
+  PageStore store(100, 64);
+  std::vector<std::byte> buf(10);
+  EXPECT_THROW(store.read(95, buf), std::out_of_range);
+  EXPECT_THROW(store.write(95, buf), std::out_of_range);
+  EXPECT_THROW(PageStore(0, 64), std::invalid_argument);
+  EXPECT_THROW(PageStore(10, 0), std::invalid_argument);
+}
+
+TEST(PageStoreTest, SnapshotIsImmutableUnderLaterWrites) {
+  PageStore store(1024, 256);
+  store.write(0, bytes_of("before"));
+  const Snapshot snap = store.snapshot(7);
+  const std::uint64_t hash_before = snap.content_hash();
+  store.write(0, bytes_of("AFTER!"));
+  EXPECT_EQ(snap.content_hash(), hash_before);
+  // The store sees the new data.
+  std::vector<std::byte> out(6);
+  store.read(0, out);
+  EXPECT_EQ(out, bytes_of("AFTER!"));
+}
+
+TEST(PageStoreTest, CowCopiesOnlyTouchedPages) {
+  PageStore store(4 * 256, 256);
+  const Snapshot snap = store.snapshot(1);
+  EXPECT_EQ(store.cow_copies(), 0u);
+  store.write(0, bytes_of("x"));  // page 0 cloned
+  EXPECT_EQ(store.cow_copies(), 1u);
+  store.write(10, bytes_of("y"));  // page 0 already private
+  EXPECT_EQ(store.cow_copies(), 1u);
+  store.write(3 * 256, bytes_of("z"));  // page 3 cloned
+  EXPECT_EQ(store.cow_copies(), 2u);
+  (void)snap;
+}
+
+TEST(PageStoreTest, NoCowAfterSnapshotDropped) {
+  PageStore store(512, 256);
+  { const Snapshot snap = store.snapshot(1); }
+  store.write(0, bytes_of("w"));
+  EXPECT_EQ(store.cow_copies(), 0u);
+}
+
+TEST(PageStoreTest, RestoreBringsContentBack) {
+  PageStore store(1024, 256);
+  store.write(100, bytes_of("checkpointed"));
+  const Snapshot snap = store.snapshot(2);
+  store.write(100, bytes_of("overwritten!"));
+  store.restore(snap);
+  std::vector<std::byte> out(12);
+  store.read(100, out);
+  EXPECT_EQ(out, bytes_of("checkpointed"));
+}
+
+TEST(PageStoreTest, WritesAfterRestoreDontCorruptSnapshot) {
+  PageStore store(512, 256);
+  store.write(0, bytes_of("golden"));
+  const Snapshot snap = store.snapshot(3);
+  store.restore(snap);
+  store.write(0, bytes_of("dirty!"));  // must COW, not poison the snapshot
+  EXPECT_EQ(snap.to_bytes()[0], std::byte{'g'});
+}
+
+TEST(PageStoreTest, RestoreRejectsLayoutMismatch) {
+  PageStore a(512, 256), b(1024, 256);
+  const Snapshot snap = b.snapshot(1);
+  EXPECT_THROW(a.restore(snap), std::invalid_argument);
+}
+
+TEST(SnapshotTest, MetadataAndVersioning) {
+  PageStore store(300, 128);
+  const Snapshot s1 = store.snapshot(42);
+  const Snapshot s2 = store.snapshot(42);
+  EXPECT_EQ(s1.owner(), 42u);
+  EXPECT_EQ(s1.version(), 1u);
+  EXPECT_EQ(s2.version(), 2u);
+  EXPECT_EQ(s1.size_bytes(), 300u);
+  EXPECT_EQ(s1.page_count(), 3u);
+  EXPECT_FALSE(s1.empty());
+  EXPECT_TRUE(Snapshot().empty());
+}
+
+TEST(SnapshotTest, ToBytesMatchesStoreContent) {
+  PageStore store(600, 256);
+  const auto data = bytes_of("abcdefghij");
+  store.write(590, data);
+  const Snapshot snap = store.snapshot(1);
+  const auto flat = snap.to_bytes();
+  ASSERT_EQ(flat.size(), 600u);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(flat[590 + i], data[i]);
+  }
+}
+
+TEST(SnapshotTest, HashDetectsSingleByteChange) {
+  PageStore store(512, 256);
+  store.write(0, bytes_of("A"));
+  const auto h1 = store.snapshot(1).content_hash();
+  store.write(0, bytes_of("B"));
+  const auto h2 = store.snapshot(1).content_hash();
+  EXPECT_NE(h1, h2);
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+#include "model/parameters.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/protocol.hpp"
+
+namespace {
+
+using namespace dckpt::model;
+
+Parameters valid_params() {
+  Parameters p;
+  p.downtime = 0.0;
+  p.local_ckpt = 2.0;
+  p.remote_blocking = 4.0;
+  p.alpha = 10.0;
+  p.overhead = 1.0;
+  p.nodes = 1024;
+  p.mtbf = 3600.0;
+  return p;
+}
+
+TEST(ParametersTest, ValidSetPasses) {
+  EXPECT_NO_THROW(valid_params().validate());
+}
+
+TEST(ParametersTest, RejectsOutOfDomainFields) {
+  auto bad = valid_params();
+  bad.downtime = -1.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  bad = valid_params();
+  bad.remote_blocking = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  bad = valid_params();
+  bad.overhead = 5.0;  // > R
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  bad = valid_params();
+  bad.nodes = 1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  bad = valid_params();
+  bad.mtbf = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  bad = valid_params();
+  bad.local_ckpt = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(ParametersTest, DerivedQuantities) {
+  const auto p = valid_params();
+  EXPECT_DOUBLE_EQ(p.recovery(), 4.0);
+  EXPECT_DOUBLE_EQ(p.node_mtbf(), 3600.0 * 1024.0);
+  EXPECT_DOUBLE_EQ(p.lambda(), 1.0 / (3600.0 * 1024.0));
+  // theta(phi=1) with R=4, alpha=10: 4 + 10*(4-1) = 34.
+  EXPECT_DOUBLE_EQ(p.theta(), 34.0);
+}
+
+TEST(ParametersTest, WithersCopy) {
+  const auto p = valid_params();
+  const auto q = p.with_overhead(0.0).with_mtbf(60.0);
+  EXPECT_DOUBLE_EQ(q.overhead, 0.0);
+  EXPECT_DOUBLE_EQ(q.mtbf, 60.0);
+  // Original untouched.
+  EXPECT_DOUBLE_EQ(p.overhead, 1.0);
+  EXPECT_DOUBLE_EQ(p.mtbf, 3600.0);
+}
+
+TEST(ParametersTest, DescribeMentionsFields) {
+  const std::string text = valid_params().describe();
+  EXPECT_NE(text.find("R=4"), std::string::npos);
+  EXPECT_NE(text.find("n=1024"), std::string::npos);
+}
+
+TEST(MinPeriodTest, DoubleProtocols) {
+  const auto p = valid_params();
+  // delta + theta(phi) = 2 + 34.
+  EXPECT_DOUBLE_EQ(min_period(Protocol::DoubleNbl, p), 36.0);
+  EXPECT_DOUBLE_EQ(min_period(Protocol::DoubleBof, p), 36.0);
+  // DoubleBlocking pins theta = R: delta + R = 6.
+  EXPECT_DOUBLE_EQ(min_period(Protocol::DoubleBlocking, p), 6.0);
+}
+
+TEST(MinPeriodTest, TripleProtocols) {
+  const auto p = valid_params();
+  EXPECT_DOUBLE_EQ(min_period(Protocol::Triple, p), 68.0);
+  EXPECT_DOUBLE_EQ(min_period(Protocol::TripleBof, p), 68.0);
+}
+
+TEST(EffectiveTransferTest, BlockingPinsThetaAndPhi) {
+  const auto p = valid_params();
+  const auto t = effective_transfer(Protocol::DoubleBlocking, p);
+  EXPECT_DOUBLE_EQ(t.theta, 4.0);
+  EXPECT_DOUBLE_EQ(t.phi, 4.0);
+  const auto nbl = effective_transfer(Protocol::DoubleNbl, p);
+  EXPECT_DOUBLE_EQ(nbl.theta, 34.0);
+  EXPECT_DOUBLE_EQ(nbl.phi, 1.0);
+}
+
+TEST(ProtocolTest, Names) {
+  EXPECT_EQ(protocol_name(Protocol::DoubleNbl), "DoubleNBL");
+  EXPECT_EQ(protocol_name(Protocol::DoubleBof), "DoubleBoF");
+  EXPECT_EQ(protocol_name(Protocol::Triple), "Triple");
+  EXPECT_EQ(protocol_name(Protocol::TripleBof), "TripleBoF");
+  EXPECT_EQ(protocol_name(Protocol::DoubleBlocking), "DoubleBlocking");
+}
+
+TEST(ProtocolTest, FromNameIsCaseInsensitiveInverse) {
+  for (auto protocol : kAllProtocols) {
+    const std::string name(protocol_name(protocol));
+    EXPECT_EQ(protocol_from_name(name), protocol);
+    std::string lower = name;
+    for (auto& ch : lower) ch = static_cast<char>(std::tolower(ch));
+    EXPECT_EQ(protocol_from_name(lower), protocol);
+  }
+  EXPECT_EQ(protocol_from_name("bogus"), std::nullopt);
+  EXPECT_EQ(protocol_from_name(""), std::nullopt);
+}
+
+TEST(ProtocolTest, ParseThrowsWithValidNames) {
+  EXPECT_EQ(parse_protocol_name("triple"), Protocol::Triple);
+  try {
+    parse_protocol_name("nope");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("DoubleNBL"),
+              std::string::npos);
+  }
+}
+
+TEST(ProtocolTest, GroupSizes) {
+  EXPECT_EQ(group_size(dckpt::model::Protocol::DoubleNbl), 2);
+  EXPECT_EQ(group_size(dckpt::model::Protocol::Triple), 3);
+  EXPECT_TRUE(is_triple(Protocol::TripleBof));
+  EXPECT_FALSE(is_triple(Protocol::DoubleBof));
+}
+
+TEST(ProtocolTest, BlockingOnFailureFlags) {
+  EXPECT_FALSE(blocking_on_failure(Protocol::DoubleNbl));
+  EXPECT_TRUE(blocking_on_failure(Protocol::DoubleBof));
+  EXPECT_TRUE(blocking_on_failure(Protocol::DoubleBlocking));
+  EXPECT_FALSE(blocking_on_failure(Protocol::Triple));
+  EXPECT_TRUE(blocking_on_failure(Protocol::TripleBof));
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+#include "model/period.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "model/scenario.hpp"
+#include "model/waste.hpp"
+
+namespace {
+
+using namespace dckpt::model;
+
+TEST(ClosedFormTest, NblMatchesEquation9) {
+  auto p = base_scenario().params.with_overhead(1.0).with_mtbf(7 * 3600.0);
+  const double theta = p.theta();  // 34
+  const double expected =
+      std::sqrt(2.0 * (p.local_ckpt + p.overhead) * (p.mtbf - 4.0 - theta));
+  const auto opt = optimal_period_closed_form(Protocol::DoubleNbl, p);
+  EXPECT_FALSE(opt.clamped);
+  EXPECT_NEAR(opt.period, expected, 1e-9);
+}
+
+TEST(ClosedFormTest, BofMatchesEquation10) {
+  auto p = exa_scenario().params.with_overhead(30.0).with_mtbf(7 * 3600.0);
+  const double theta = p.theta();  // 60 + 10*30 = 360
+  const double expected = std::sqrt(
+      2.0 * (p.local_ckpt + p.overhead) *
+      (p.mtbf - 2.0 * 60.0 - 60.0 - theta + 30.0));
+  const auto opt = optimal_period_closed_form(Protocol::DoubleBof, p);
+  EXPECT_NEAR(opt.period, expected, 1e-9);
+}
+
+TEST(ClosedFormTest, TripleMatchesEquation15) {
+  auto p = base_scenario().params.with_overhead(2.0).with_mtbf(7 * 3600.0);
+  const double theta = p.theta();  // 24
+  const double expected = 2.0 * std::sqrt(2.0 * (p.mtbf - 0.0 - 4.0 - theta));
+  const auto opt = optimal_period_closed_form(Protocol::Triple, p);
+  EXPECT_NEAR(opt.period, expected, 1e-9);
+}
+
+TEST(ClosedFormTest, TripleAtZeroOverheadClampsToMinPeriod) {
+  // phi = 0: checkpointing costs nothing, optimal period is the shortest
+  // admissible one (closed form degenerates to 0).
+  auto p = base_scenario().params.with_overhead(0.0).with_mtbf(7 * 3600.0);
+  const auto opt = optimal_period_closed_form(Protocol::Triple, p);
+  EXPECT_TRUE(opt.clamped);
+  EXPECT_DOUBLE_EQ(opt.period, min_period(Protocol::Triple, p));
+}
+
+TEST(ClosedFormTest, TinyMtbfClampsAndIsInfeasible) {
+  auto p = base_scenario().params.with_overhead(2.0).with_mtbf(15.0);
+  const auto opt = optimal_period_closed_form(Protocol::DoubleNbl, p);
+  EXPECT_TRUE(opt.clamped);  // sqrt of a negative -> NaN -> clamp
+  EXPECT_FALSE(opt.feasible);
+  EXPECT_DOUBLE_EQ(opt.waste, 1.0);
+}
+
+// Closed-form optimum must agree with an independent numeric minimization of
+// the exact waste, across the paper's parameter grid. First-order formulas
+// drop O(1/M) terms, so agreement tightens as M grows; we check the waste
+// values (flat near the optimum) rather than the raw periods.
+class ClosedFormVsNumeric
+    : public ::testing::TestWithParam<std::tuple<Protocol, double, int>> {};
+
+TEST_P(ClosedFormVsNumeric, WasteAtClosedFormNearNumericOptimum) {
+  const auto [protocol, phi_ratio, scenario_index] = GetParam();
+  const auto scenario = paper_scenarios()[scenario_index];
+  const auto params = scenario.at_phi_ratio(phi_ratio).with_mtbf(7 * 3600.0);
+  const auto closed = optimal_period_closed_form(protocol, params);
+  const auto numeric = optimal_period_numeric(protocol, params);
+  ASSERT_TRUE(numeric.feasible);
+  // The numeric optimum is the ground truth; closed form must be within
+  // 2% relative waste of it (and never better, up to tolerance).
+  EXPECT_GE(closed.waste, numeric.waste - 1e-9);
+  EXPECT_LE(closed.waste, numeric.waste * 1.02 + 1e-9)
+      << protocol_name(protocol) << " " << scenario.name
+      << " phi/R=" << phi_ratio << " closed P=" << closed.period
+      << " numeric P=" << numeric.period;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, ClosedFormVsNumeric,
+    ::testing::Combine(
+        ::testing::Values(Protocol::DoubleBlocking, Protocol::DoubleNbl,
+                          Protocol::DoubleBof, Protocol::Triple,
+                          Protocol::TripleBof),
+        ::testing::Values(0.05, 0.25, 0.5, 0.75, 1.0),
+        ::testing::Values(0, 1)));
+
+TEST(NumericOptimumTest, BoundaryOptimumDetected) {
+  auto p = base_scenario().params.with_overhead(0.0).with_mtbf(7 * 3600.0);
+  const auto opt = optimal_period_numeric(Protocol::Triple, p);
+  EXPECT_DOUBLE_EQ(opt.period, min_period(Protocol::Triple, p));
+  EXPECT_TRUE(opt.clamped);
+}
+
+TEST(NumericOptimumTest, InteriorOptimumIsStationary) {
+  auto p = exa_scenario().params.with_overhead(30.0).with_mtbf(7 * 3600.0);
+  const auto opt = optimal_period_numeric(Protocol::DoubleNbl, p);
+  ASSERT_FALSE(opt.clamped);
+  const double h = opt.period * 1e-3;
+  const double at = waste(Protocol::DoubleNbl, p, opt.period);
+  EXPECT_LE(at, waste(Protocol::DoubleNbl, p, opt.period - h) + 1e-12);
+  EXPECT_LE(at, waste(Protocol::DoubleNbl, p, opt.period + h) + 1e-12);
+}
+
+TEST(OptimalPeriodTest, MuchLargerThanCentralizedEquivalent) {
+  // Paper Sec. III-B: with distributed buddy checkpointing, delta is a
+  // *single node* checkpoint, so the optimal period beats the classic
+  // Young period computed with a global checkpoint that is n times larger.
+  auto p = base_scenario().params.with_overhead(1.0).with_mtbf(7 * 3600.0);
+  const auto opt = optimal_period_closed_form(Protocol::DoubleNbl, p);
+  const double global_ckpt = p.local_ckpt * 100.0;  // conservative factor
+  const double young = std::sqrt(2.0 * p.mtbf * global_ckpt);
+  EXPECT_LT(opt.period, young);  // smaller period...
+  const double distributed_waste = opt.waste;
+  // ...but the waste with the distributed scheme stays far below the
+  // centralized fault-free floor global_ckpt / young.
+  EXPECT_LT(distributed_waste, global_ckpt / young);
+}
+
+TEST(JointOptimumTest, TriplePrefersSmallPhiAtHighAlpha) {
+  // With alpha = 10 the triple protocol wants phi as small as possible
+  // (near-free checkpointing); the doubles still pay delta regardless.
+  const auto params =
+      base_scenario().params.with_mtbf(7 * 3600.0);
+  const auto triple =
+      optimal_overhead_and_period(Protocol::Triple, params);
+  EXPECT_LT(triple.overhead, 0.15 * params.remote_blocking);
+  // Joint optimum is no worse than any fixed-phi slice we probe.
+  for (double ratio : {0.0, 0.25, 0.5, 1.0}) {
+    EXPECT_LE(triple.optimum.waste,
+              waste_at_optimal_period(
+                  Protocol::Triple,
+                  params.with_overhead(ratio * params.remote_blocking)) +
+                  1e-12)
+        << ratio;
+  }
+}
+
+TEST(JointOptimumTest, AlphaZeroForcesBlockingPoint) {
+  auto params = base_scenario().params.with_mtbf(7 * 3600.0);
+  params.alpha = 0.0;
+  const auto best =
+      optimal_overhead_and_period(Protocol::DoubleNbl, params);
+  EXPECT_DOUBLE_EQ(best.overhead, params.remote_blocking);
+}
+
+TEST(JointOptimumTest, RejectsTinyGrid) {
+  const auto params = base_scenario().params.with_mtbf(7 * 3600.0);
+  EXPECT_THROW(optimal_overhead_and_period(Protocol::Triple, params, 1),
+               std::invalid_argument);
+}
+
+TEST(WasteAtOptimalPeriodTest, DominantTermScaling) {
+  // WASTE* ~ sqrt(2 delta / M) for large M (paper Sec. III-B): doubling
+  // M/delta ratio by 4 should halve the optimal waste, approximately.
+  auto p = base_scenario().params.with_overhead(0.5);
+  const double w1 = waste_at_optimal_period(Protocol::DoubleNbl,
+                                            p.with_mtbf(3600.0 * 24));
+  const double w2 = waste_at_optimal_period(Protocol::DoubleNbl,
+                                            p.with_mtbf(4.0 * 3600.0 * 24));
+  EXPECT_NEAR(w1 / w2, 2.0, 0.25);
+}
+
+}  // namespace

@@ -1,0 +1,208 @@
+#include "ckpt/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace {
+
+using namespace dckpt::ckpt;
+
+/// A little cluster fixture: n nodes with memory + buddy stores, a helper
+/// to run one full checkpoint round per the topology.
+class Cluster {
+ public:
+  Cluster(std::uint64_t nodes, Topology topology)
+      : groups_(nodes, topology) {
+    for (std::uint64_t node = 0; node < nodes; ++node) {
+      memories_.push_back(std::make_unique<PageStore>(1024, 256));
+      stores_.push_back(std::make_unique<BuddyStore>(node));
+      // Distinct content per node.
+      std::vector<std::byte> fill(1024, static_cast<std::byte>(node + 1));
+      memories_[node]->write(0, fill);
+    }
+  }
+
+  void checkpoint_round() {
+    std::vector<Snapshot> images;
+    for (std::uint64_t node = 0; node < groups_.nodes(); ++node) {
+      images.push_back(memories_[node]->snapshot(node));
+    }
+    const std::uint64_t version = images.front().version();
+    for (std::uint64_t node = 0; node < groups_.nodes(); ++node) {
+      if (groups_.topology() == Topology::Pairs) {
+        stores_[node]->stage(images[node]);
+        stores_[groups_.preferred_buddy(node)]->stage(images[node]);
+      } else {
+        stores_[groups_.preferred_buddy(node)]->stage(images[node]);
+        stores_[groups_.secondary_buddy(node)]->stage(images[node]);
+      }
+      hashes_[node] = images[node].content_hash();
+    }
+    for (auto& store : stores_) store->promote(version);
+  }
+
+  std::vector<BuddyStore*> directory() {
+    std::vector<BuddyStore*> out;
+    for (auto& store : stores_) out.push_back(store.get());
+    return out;
+  }
+
+  void fail_node(std::uint64_t node) {
+    std::vector<std::byte> junk(1024, std::byte{0xFF});
+    memories_[node]->write(0, junk);
+    *stores_[node] = BuddyStore(node);
+  }
+
+  const GroupAssignment& groups() const { return groups_; }
+  PageStore& memory(std::uint64_t node) { return *memories_[node]; }
+  BuddyStore& store(std::uint64_t node) { return *stores_[node]; }
+  std::uint64_t hash(std::uint64_t node) const { return hashes_.at(node); }
+
+ private:
+  GroupAssignment groups_;
+  std::vector<std::unique_ptr<PageStore>> memories_;
+  std::vector<std::unique_ptr<BuddyStore>> stores_;
+  std::map<std::uint64_t, std::uint64_t> hashes_;
+};
+
+TEST(LocateReplicaTest, PairBuddyHoldsImage) {
+  Cluster cluster(4, Topology::Pairs);
+  cluster.checkpoint_round();
+  const auto dir = cluster.directory();
+  EXPECT_EQ(locate_replica(0, cluster.groups(), dir).node(), 1u);
+  EXPECT_EQ(locate_replica(1, cluster.groups(), dir).node(), 0u);
+}
+
+TEST(LocateReplicaTest, ThrowsWhenNoReplicaSurvives) {
+  Cluster cluster(4, Topology::Pairs);
+  cluster.checkpoint_round();
+  cluster.fail_node(1);  // node 0's only replica holder gone
+  const auto dir = cluster.directory();
+  // Node 0's own local copy still exists in its own store, but recovery of
+  // node 0 *after its failure* excludes itself:
+  cluster.fail_node(0);
+  EXPECT_THROW(locate_replica(0, cluster.groups(), dir), std::runtime_error);
+}
+
+TEST(RecoverNodeTest, RestoresContentAndVerifiesHash) {
+  Cluster cluster(4, Topology::Pairs);
+  cluster.checkpoint_round();
+  cluster.fail_node(2);
+  const auto dir = cluster.directory();
+  const auto report = recover_node(2, cluster.groups(), dir,
+                                   cluster.memory(2), cluster.hash(2));
+  EXPECT_EQ(report.node, 2u);
+  EXPECT_EQ(report.source, 3u);
+  EXPECT_TRUE(report.hash_verified);
+  // Memory content is back.
+  std::vector<std::byte> probe(4);
+  cluster.memory(2).read(0, probe);
+  EXPECT_EQ(probe[0], static_cast<std::byte>(3));
+}
+
+TEST(RecoverNodeTest, HashMismatchThrows) {
+  Cluster cluster(4, Topology::Pairs);
+  cluster.checkpoint_round();
+  cluster.fail_node(0);
+  const auto dir = cluster.directory();
+  EXPECT_THROW(
+      recover_node(0, cluster.groups(), dir, cluster.memory(0), 0xdeadbeef),
+      std::runtime_error);
+}
+
+TEST(RecoverNodeTest, TripleRecoversFromEitherBuddy) {
+  Cluster cluster(6, Topology::Triples);
+  cluster.checkpoint_round();
+  cluster.fail_node(0);
+  const auto dir = cluster.directory();
+  const auto report =
+      recover_node(0, cluster.groups(), dir, cluster.memory(0),
+                   cluster.hash(0));
+  EXPECT_TRUE(report.hash_verified);
+  EXPECT_TRUE(report.source == 1 || report.source == 2);
+}
+
+TEST(RecoverNodeTest, TripleSurvivesTwoFailures) {
+  Cluster cluster(3, Topology::Triples);
+  cluster.checkpoint_round();
+  cluster.fail_node(0);
+  cluster.fail_node(1);
+  const auto dir = cluster.directory();
+  // Node 2 still holds copies for both victims (it stores images of its
+  // peers per the rotation).
+  EXPECT_NO_THROW(recover_node(0, cluster.groups(), dir, cluster.memory(0),
+                               cluster.hash(0)));
+  EXPECT_NO_THROW(recover_node(1, cluster.groups(), dir, cluster.memory(1),
+                               cluster.hash(1)));
+}
+
+TEST(RecoverNodeTest, TripleDiesOnThreeFailures) {
+  Cluster cluster(3, Topology::Triples);
+  cluster.checkpoint_round();
+  cluster.fail_node(0);
+  cluster.fail_node(1);
+  cluster.fail_node(2);
+  const auto dir = cluster.directory();
+  EXPECT_THROW(recover_node(0, cluster.groups(), dir, cluster.memory(0),
+                            cluster.hash(0)),
+               std::runtime_error);
+}
+
+TEST(RestoreReplicasTest, PairRefillsBuddyImageAndLocalCopy) {
+  Cluster cluster(4, Topology::Pairs);
+  cluster.checkpoint_round();
+  cluster.fail_node(0);
+  auto dir = cluster.directory();
+  const std::size_t restored =
+      restore_replicas(0, cluster.groups(), dir);
+  EXPECT_EQ(restored, 2u);  // buddy's image + own local copy
+  EXPECT_TRUE(cluster.store(0).committed_for(1));
+  EXPECT_TRUE(cluster.store(0).committed_for(0));
+}
+
+TEST(RestoreReplicasTest, TripleRefillsBothHeldImages) {
+  Cluster cluster(3, Topology::Triples);
+  cluster.checkpoint_round();
+  cluster.fail_node(1);
+  auto dir = cluster.directory();
+  const std::size_t restored = restore_replicas(1, cluster.groups(), dir);
+  EXPECT_EQ(restored, 2u);
+  // Node 1 stores images of the nodes listed by stored_for(1).
+  for (std::uint64_t owner : cluster.groups().stored_for(1)) {
+    EXPECT_TRUE(cluster.store(1).committed_for(owner)) << owner;
+  }
+}
+
+TEST(RestoreReplicasTest, ClosesTheRiskWindow) {
+  // After recovery + re-replication, the *other* member of the pair can fail
+  // and the cluster still recovers -- the exact property the risk window
+  // protects.
+  Cluster cluster(2, Topology::Pairs);
+  cluster.checkpoint_round();
+  cluster.fail_node(0);
+  auto dir = cluster.directory();
+  recover_node(0, cluster.groups(), dir, cluster.memory(0), cluster.hash(0));
+  restore_replicas(0, cluster.groups(), dir);
+  // Now the buddy dies.
+  cluster.fail_node(1);
+  EXPECT_NO_THROW(recover_node(1, cluster.groups(), dir, cluster.memory(1),
+                               cluster.hash(1)));
+}
+
+TEST(RecoveryTest, DirectoryValidation) {
+  Cluster cluster(4, Topology::Pairs);
+  cluster.checkpoint_round();
+  auto dir = cluster.directory();
+  dir.pop_back();
+  EXPECT_THROW(locate_replica(0, cluster.groups(), dir),
+               std::invalid_argument);
+  dir = cluster.directory();
+  dir[1] = nullptr;
+  EXPECT_THROW(locate_replica(0, cluster.groups(), dir),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+#include "model/restart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/risk.hpp"
+#include "model/scenario.hpp"
+
+namespace {
+
+using namespace dckpt::model;
+
+Parameters params_with(double mtbf) {
+  return base_scenario().at_phi_ratio(0.25).with_mtbf(mtbf);
+}
+
+TEST(ExpectedTimeWithRestartsTest, NoHazardIsIdentity) {
+  EXPECT_DOUBLE_EQ(expected_time_with_restarts(1000.0, 0.0), 1000.0);
+  EXPECT_DOUBLE_EQ(expected_time_with_restarts(0.0, 1.0), 0.0);
+}
+
+TEST(ExpectedTimeWithRestartsTest, MatchesClosedForm) {
+  const double t = 5000.0, rho = 1e-4;
+  EXPECT_NEAR(expected_time_with_restarts(t, rho),
+              (std::exp(rho * t) - 1.0) / rho, 1e-6);
+}
+
+TEST(ExpectedTimeWithRestartsTest, TinyHazardIsNearlyLinear) {
+  // E[T] ~ T (1 + rho T / 2) for rho T << 1.
+  const double t = 1000.0, rho = 1e-9;
+  EXPECT_NEAR(expected_time_with_restarts(t, rho),
+              t * (1.0 + rho * t / 2.0), 1e-6);
+}
+
+TEST(ExpectedTimeWithRestartsTest, OverflowSaturatesToInfinity) {
+  EXPECT_TRUE(std::isinf(expected_time_with_restarts(1e6, 1.0)));
+}
+
+TEST(ExpectedTimeWithRestartsTest, RejectsNegativeInputs) {
+  EXPECT_THROW(expected_time_with_restarts(-1.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(expected_time_with_restarts(1.0, -0.1), std::invalid_argument);
+}
+
+TEST(EvaluateWithRestartsTest, BenignPlatformMatchesPlainMakespan) {
+  // Large MTBF: fatal rate is negligible, expected total ~ makespan.
+  const auto params = params_with(7 * 3600.0);
+  const auto eval = evaluate_with_restarts(Protocol::Triple, params, 1e5);
+  EXPECT_TRUE(eval.feasible);
+  EXPECT_NEAR(eval.expected_total, eval.makespan,
+              1e-3 * eval.makespan);
+  EXPECT_NEAR(eval.attempts, 1.0, 1e-3);
+  EXPECT_GT(eval.effective_waste, 0.0);
+  EXPECT_LT(eval.effective_waste, 0.2);
+}
+
+TEST(EvaluateWithRestartsTest, FatalRateMatchesRiskModule) {
+  const auto params = params_with(600.0);
+  const auto eval = evaluate_with_restarts(Protocol::DoubleNbl, params, 1e4);
+  EXPECT_DOUBLE_EQ(eval.fatal_rate,
+                   fatal_failure_rate(Protocol::DoubleNbl, params));
+}
+
+TEST(EvaluateWithRestartsTest, RestartsInflateLongRuns) {
+  // Hostile platform + long job: restarts dominate.
+  const auto params = params_with(60.0);
+  const auto eval =
+      evaluate_with_restarts(Protocol::DoubleNbl, params, 3.0e5);
+  EXPECT_GT(eval.attempts, 1.5);
+  EXPECT_GT(eval.expected_total, eval.makespan * 1.2);
+  EXPECT_GT(eval.effective_waste,
+            1.0 - 3.0e5 / eval.makespan);  // worse than waste alone
+}
+
+TEST(EvaluateWithRestartsTest, InfeasiblePlatformFlagged) {
+  const auto params = params_with(10.0);
+  const auto eval = evaluate_with_restarts(Protocol::DoubleNbl, params, 1e4);
+  EXPECT_FALSE(eval.feasible);
+  EXPECT_DOUBLE_EQ(eval.effective_waste, 1.0);
+  EXPECT_TRUE(std::isinf(eval.expected_total));
+}
+
+TEST(EvaluateWithRestartsTest, RejectsNonPositiveWork) {
+  EXPECT_THROW(
+      evaluate_with_restarts(Protocol::Triple, params_with(3600.0), 0.0),
+      std::invalid_argument);
+}
+
+TEST(BestProtocolByEffectiveWasteTest, TripleWinsBothAxesAtLowPhi) {
+  // Low overhead, moderately failure-prone platform, long job: Triple has
+  // both lower waste (Fig. 5 regime) and a far lower fatal rate, so it must
+  // win the combined metric.
+  const auto params = base_scenario().at_phi_ratio(0.1).with_mtbf(600.0);
+  const auto best = best_protocol_by_effective_waste(
+      {Protocol::DoubleNbl, Protocol::DoubleBof, Protocol::Triple}, params,
+      1e5);
+  EXPECT_EQ(best, Protocol::Triple);
+}
+
+TEST(BestProtocolByEffectiveWasteTest, CombinedMetricCanFlipTheRanking) {
+  // At phi/R = 1 Triple loses on waste alone (Fig. 5), but for a long job
+  // on a failure-heavy platform its lower fatal rate can still make it the
+  // better end-to-end choice.
+  const auto params = base_scenario().at_phi_ratio(1.0).with_mtbf(60.0);
+  const double t_base = 4.0e6;
+  const auto nbl =
+      evaluate_with_restarts(Protocol::DoubleNbl, params, t_base);
+  const auto tri = evaluate_with_restarts(Protocol::Triple, params, t_base);
+  ASSERT_TRUE(nbl.feasible);
+  ASSERT_TRUE(tri.feasible);
+  // Plain waste: NBL wins at phi = R.
+  EXPECT_LT(nbl.makespan, tri.makespan);
+  // Effective (with restarts): Triple wins.
+  EXPECT_LT(tri.effective_waste, nbl.effective_waste);
+}
+
+TEST(BestProtocolByEffectiveWasteTest, RejectsEmptySet) {
+  EXPECT_THROW(
+      best_protocol_by_effective_waste({}, params_with(3600.0), 1.0),
+      std::invalid_argument);
+}
+
+}  // namespace

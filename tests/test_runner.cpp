@@ -1,0 +1,94 @@
+#include "sim/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/scenario.hpp"
+
+namespace {
+
+using namespace dckpt::sim;
+using dckpt::model::Protocol;
+
+SimConfig quick_config() {
+  SimConfig config;
+  config.protocol = Protocol::DoubleNbl;
+  config.params = dckpt::model::base_scenario().params.with_overhead(1.0);
+  config.params.nodes = 12;
+  config.params.mtbf = 500.0;
+  config.period = 100.0;
+  config.t_base = 5000.0;
+  config.stop_on_fatal = false;
+  return config;
+}
+
+TEST(MonteCarloTest, AggregatesRequestedTrials) {
+  MonteCarloOptions options;
+  options.trials = 50;
+  options.threads = 2;
+  const auto result = run_monte_carlo(quick_config(), options);
+  EXPECT_EQ(result.waste.count() + result.diverged, 50u);
+  EXPECT_EQ(result.success.trials(), result.waste.count());
+  EXPECT_GT(result.waste.mean(), 0.0);
+  EXPECT_LT(result.waste.mean(), 1.0);
+  EXPECT_GT(result.failures.mean(), 0.0);
+}
+
+TEST(MonteCarloTest, DeterministicAcrossThreadCounts) {
+  MonteCarloOptions one_thread;
+  one_thread.trials = 40;
+  one_thread.threads = 1;
+  one_thread.seed = 99;
+  MonteCarloOptions four_threads = one_thread;
+  four_threads.threads = 4;
+  const auto a = run_monte_carlo(quick_config(), one_thread);
+  const auto b = run_monte_carlo(quick_config(), four_threads);
+  EXPECT_DOUBLE_EQ(a.waste.mean(), b.waste.mean());
+  EXPECT_DOUBLE_EQ(a.makespan.mean(), b.makespan.mean());
+  EXPECT_EQ(a.success.successes(), b.success.successes());
+}
+
+TEST(MonteCarloTest, DifferentSeedsDiffer) {
+  MonteCarloOptions options;
+  options.trials = 30;
+  options.threads = 2;
+  options.seed = 1;
+  const auto a = run_monte_carlo(quick_config(), options);
+  options.seed = 2;
+  const auto b = run_monte_carlo(quick_config(), options);
+  EXPECT_NE(a.makespan.mean(), b.makespan.mean());
+}
+
+TEST(MonteCarloTest, WeibullOptionUsesPerNodeStreams) {
+  MonteCarloOptions options;
+  options.trials = 20;
+  options.threads = 2;
+  options.weibull = dckpt::util::Weibull::from_mean(
+      0.7, quick_config().params.node_mtbf());
+  const auto result = run_monte_carlo(quick_config(), options);
+  EXPECT_EQ(result.waste.count() + result.diverged, 20u);
+  EXPECT_GT(result.failures.mean(), 0.0);
+}
+
+TEST(MonteCarloTest, SharedPoolOverload) {
+  dckpt::util::ThreadPool pool(2);
+  MonteCarloOptions options;
+  options.trials = 10;
+  const auto a = run_monte_carlo(quick_config(), options, pool);
+  const auto b = run_monte_carlo(quick_config(), options, pool);
+  EXPECT_DOUBLE_EQ(a.waste.mean(), b.waste.mean());
+}
+
+TEST(MonteCarloTest, FatalRunsCountAgainstSuccess) {
+  auto config = quick_config();
+  config.params.mtbf = 20.0;  // brutal failure rate: fatalities happen
+  config.t_base = 2000.0;
+  config.stop_on_fatal = true;
+  config.max_makespan = 1e7;
+  MonteCarloOptions options;
+  options.trials = 60;
+  options.threads = 2;
+  const auto result = run_monte_carlo(config, options);
+  EXPECT_LT(result.success.estimate(), 1.0);
+}
+
+}  // namespace

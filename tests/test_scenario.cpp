@@ -1,0 +1,86 @@
+#include "model/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace dckpt::model;
+
+TEST(ScenarioTest, BaseMatchesTableOne) {
+  const auto s = base_scenario();
+  EXPECT_EQ(s.name, "Base");
+  EXPECT_DOUBLE_EQ(s.params.downtime, 0.0);
+  EXPECT_DOUBLE_EQ(s.params.local_ckpt, 2.0);
+  EXPECT_DOUBLE_EQ(s.params.remote_blocking, 4.0);
+  EXPECT_DOUBLE_EQ(s.params.alpha, 10.0);
+  EXPECT_EQ(s.params.nodes, 324ULL * 32ULL);
+  EXPECT_DOUBLE_EQ(s.phi_max, 4.0);
+}
+
+TEST(ScenarioTest, ExaMatchesTableOne) {
+  const auto s = exa_scenario();
+  EXPECT_EQ(s.name, "Exa");
+  EXPECT_DOUBLE_EQ(s.params.downtime, 60.0);
+  EXPECT_DOUBLE_EQ(s.params.local_ckpt, 30.0);
+  EXPECT_DOUBLE_EQ(s.params.remote_blocking, 60.0);
+  EXPECT_DOUBLE_EQ(s.params.alpha, 10.0);
+  EXPECT_EQ(s.params.nodes, 1000000ULL);
+  EXPECT_DOUBLE_EQ(s.phi_max, 60.0);
+}
+
+TEST(ScenarioTest, DefaultMtbfIsSevenHours) {
+  EXPECT_DOUBLE_EQ(base_scenario().default_mtbf, 7.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(exa_scenario().default_mtbf, 7.0 * 3600.0);
+}
+
+TEST(ScenarioTest, PhiRatioSweep) {
+  const auto s = base_scenario();
+  EXPECT_DOUBLE_EQ(s.at_phi_ratio(0.0).overhead, 0.0);
+  EXPECT_DOUBLE_EQ(s.at_phi_ratio(0.5).overhead, 2.0);
+  EXPECT_DOUBLE_EQ(s.at_phi_ratio(1.0).overhead, 4.0);
+  EXPECT_THROW(s.at_phi_ratio(-0.1), std::invalid_argument);
+  EXPECT_THROW(s.at_phi_ratio(1.1), std::invalid_argument);
+}
+
+TEST(ScenarioTest, PaperScenariosListsBoth) {
+  const auto all = paper_scenarios();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].name, "Base");
+  EXPECT_EQ(all[1].name, "Exa");
+}
+
+TEST(ScenarioTest, ScenarioParamsValidate) {
+  for (const auto& s : paper_scenarios()) {
+    EXPECT_NO_THROW(s.params.validate()) << s.name;
+    EXPECT_NO_THROW(s.at_phi_ratio(1.0).validate()) << s.name;
+  }
+}
+
+TEST(HardwareSpecTest, DerivesBaseLikeNumbers) {
+  HardwareSpec spec;
+  spec.checkpoint_bytes = 512.0 * 1024 * 1024;
+  spec.local_bandwidth = 256.0 * 1024 * 1024;    // ~SSD: 2 s local ckpt
+  spec.network_bandwidth = 128.0 * 1024 * 1024;  // 4 s remote upload
+  spec.nodes = 324 * 32;
+  spec.node_mtbf_years = 10.0;
+  const auto p = spec.derive();
+  EXPECT_DOUBLE_EQ(p.local_ckpt, 2.0);
+  EXPECT_DOUBLE_EQ(p.remote_blocking, 4.0);
+  EXPECT_EQ(p.nodes, 324ULL * 32ULL);
+  // Platform MTBF = node MTBF / n.
+  EXPECT_NEAR(p.mtbf, 10.0 * 365.25 * 86400.0 / (324.0 * 32.0), 1e-6);
+}
+
+TEST(HardwareSpecTest, RejectsBadSpecs) {
+  HardwareSpec spec;
+  spec.local_bandwidth = 0.0;
+  EXPECT_THROW(spec.derive(), std::invalid_argument);
+  spec = HardwareSpec{};
+  spec.nodes = 1;
+  EXPECT_THROW(spec.derive(), std::invalid_argument);
+  spec = HardwareSpec{};
+  spec.node_mtbf_years = -2.0;
+  EXPECT_THROW(spec.derive(), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,175 @@
+// Integration tests: the discrete-event simulator must reproduce the
+// analytical model (waste and risk) in the regimes where the first-order
+// derivation holds. This is the cross-validation the paper performs between
+// its formulas and "comprehensive simulations".
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/model_api.hpp"
+#include "sim/runner.hpp"
+
+namespace {
+
+using namespace dckpt::model;
+using namespace dckpt::sim;
+
+SimConfig config_for(Protocol protocol, double phi, double mtbf,
+                     double t_base) {
+  SimConfig config;
+  config.protocol = protocol;
+  config.params = base_scenario().params.with_overhead(phi).with_mtbf(mtbf);
+  config.params.nodes = 12;
+  config.period = optimal_period_closed_form(protocol, config.params).period;
+  config.t_base = t_base;
+  config.stop_on_fatal = false;  // waste statistics ignore fatality
+  return config;
+}
+
+MonteCarloResult monte_carlo(const SimConfig& config, std::uint64_t trials,
+                             std::uint64_t seed = 0xabc) {
+  MonteCarloOptions options;
+  options.trials = trials;
+  options.threads = 2;
+  options.seed = seed;
+  return run_monte_carlo(config, options);
+}
+
+class SimVsModelWaste : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(SimVsModelWaste, MonteCarloWasteTracksModel) {
+  const Protocol protocol = GetParam();
+  const auto config = config_for(protocol, 1.0, 2000.0, 50000.0);
+  const double model_waste =
+      waste(protocol, config.params, config.period);
+  const auto mc = monte_carlo(config, 80);
+  ASSERT_EQ(mc.diverged, 0u);
+  const double sim_waste = mc.waste.mean();
+  // First-order model vs exact simulation: agree within 12% relative
+  // (and the Monte-Carlo CI must not exclude that band).
+  EXPECT_NEAR(sim_waste, model_waste,
+              0.12 * model_waste + 3.0 * mc.waste.standard_error())
+      << protocol_name(protocol) << " model=" << model_waste
+      << " sim=" << sim_waste;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, SimVsModelWaste,
+                         ::testing::Values(Protocol::DoubleBlocking,
+                                           Protocol::DoubleNbl,
+                                           Protocol::DoubleBof,
+                                           Protocol::Triple,
+                                           Protocol::TripleBof));
+
+TEST(SimVsModelTest, FaultFreeLimitExactAtHugeMtbf) {
+  for (Protocol protocol : kPaperProtocols) {
+    auto config = config_for(protocol, 1.0, 1e12, 20000.0);
+    config.period = 200.0;
+    const auto mc = monte_carlo(config, 3);
+    const double ff = waste_fault_free(protocol, config.params, 200.0);
+    // No failures at M = 1e12: the only deviation is the final partial
+    // period, bounded by P/t_makespan.
+    EXPECT_NEAR(mc.waste.mean(), ff, 200.0 / 20000.0)
+        << protocol_name(protocol);
+  }
+}
+
+TEST(SimVsModelTest, WasteShapeTripleBeatsNblAtLowOverhead) {
+  // Fig. 5's headline in simulation: at phi/R = 0.1, Triple's waste is well
+  // below DoubleNBL's; at phi/R = 1 it is above.
+  const auto low_nbl = monte_carlo(config_for(Protocol::DoubleNbl, 0.4,
+                                              3000.0, 40000.0),
+                                   60);
+  const auto low_tri = monte_carlo(config_for(Protocol::Triple, 0.4, 3000.0,
+                                              40000.0),
+                                   60);
+  EXPECT_LT(low_tri.waste.mean(), low_nbl.waste.mean());
+
+  const auto hi_nbl = monte_carlo(config_for(Protocol::DoubleNbl, 4.0,
+                                             3000.0, 40000.0),
+                                  60);
+  const auto hi_tri = monte_carlo(config_for(Protocol::Triple, 4.0, 3000.0,
+                                             40000.0),
+                                  60);
+  EXPECT_GT(hi_tri.waste.mean(), hi_nbl.waste.mean());
+}
+
+TEST(SimVsModelTest, SuccessProbabilityTracksRiskModel) {
+  // Pick a regime with a sizeable but non-saturated fatal probability.
+  SimConfig config;
+  config.protocol = Protocol::DoubleNbl;
+  config.params = base_scenario().params.with_overhead(4.0);  // theta = R = 4
+  config.params.nodes = 16;
+  config.params.mtbf = 50.0;
+  config.period = min_period(config.protocol, config.params) * 2.0;  // 20 s
+  config.t_base = 500.0;
+  config.stop_on_fatal = true;
+  config.max_makespan = 1e6;
+
+  MonteCarloOptions options;
+  options.trials = 500;
+  options.threads = 2;
+  options.seed = 7;
+  const auto mc = run_monte_carlo(config, options);
+
+  // The model needs the *expected execution time* T; use the simulated mean
+  // makespan of the surviving runs as the best available estimate.
+  const double t_expected = mc.makespan.mean();
+  const double model_success =
+      success_probability(config.protocol, config.params, t_expected);
+  const auto ci = mc.success.wilson_interval();
+  // The first-order model should sit inside (a slightly widened) MC CI.
+  const double slack = 0.05;
+  EXPECT_GT(model_success, ci.lo - slack)
+      << "sim=" << mc.success.estimate() << " model=" << model_success;
+  EXPECT_LT(model_success, ci.hi + slack)
+      << "sim=" << mc.success.estimate() << " model=" << model_success;
+}
+
+TEST(SimVsModelTest, TripleSurvivesWhereDoubleDies) {
+  // Same brutal platform: the triple protocol's success probability must be
+  // dramatically higher (Fig. 6b / 9b in simulation).
+  SimConfig config;
+  config.params = base_scenario().params.with_overhead(4.0);
+  config.params.nodes = 18;
+  config.params.mtbf = 40.0;
+  config.t_base = 500.0;
+  config.stop_on_fatal = true;
+  config.max_makespan = 1e6;
+
+  MonteCarloOptions options;
+  options.trials = 300;
+  options.threads = 2;
+
+  config.protocol = Protocol::DoubleNbl;
+  config.period = min_period(config.protocol, config.params) * 2.0;
+  const auto nbl = run_monte_carlo(config, options);
+
+  config.protocol = Protocol::Triple;
+  config.period = min_period(config.protocol, config.params) * 2.0;
+  const auto tri = run_monte_carlo(config, options);
+
+  EXPECT_GT(tri.success.estimate(), nbl.success.estimate());
+  // Failure odds at least 5x lower for Triple in this regime.
+  const double nbl_fail = 1.0 - nbl.success.estimate();
+  const double tri_fail = 1.0 - tri.success.estimate();
+  ASSERT_GT(nbl_fail, 0.0);
+  EXPECT_LT(tri_fail, nbl_fail / 5.0 + 0.02);
+}
+
+TEST(SimVsModelTest, WeibullFailuresStillComplete) {
+  // The analytic model assumes exponential failures; the simulator also runs
+  // Weibull (shape < 1, clustered) streams. Sanity: runs complete, waste is
+  // higher-variance but in (0, 1).
+  auto config = config_for(Protocol::DoubleNbl, 1.0, 2000.0, 30000.0);
+  MonteCarloOptions options;
+  options.trials = 40;
+  options.threads = 2;
+  options.weibull =
+      dckpt::util::Weibull::from_mean(0.7, config.params.node_mtbf());
+  const auto mc = run_monte_carlo(config, options);
+  ASSERT_EQ(mc.diverged, 0u);
+  EXPECT_GT(mc.waste.mean(), 0.0);
+  EXPECT_LT(mc.waste.mean(), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using dckpt::util::ProportionEstimate;
+using dckpt::util::RunningStats;
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.standard_error(), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  const std::vector<double> data = {1.0, 2.5, -3.0, 7.25, 0.0, 2.0};
+  RunningStats stats;
+  for (double x : data) stats.add(x);
+  double mean = 0.0;
+  for (double x : data) mean += x;
+  mean /= static_cast<double>(data.size());
+  double var = 0.0;
+  for (double x : data) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(data.size() - 1);
+  EXPECT_EQ(stats.count(), data.size());
+  EXPECT_NEAR(stats.mean(), mean, 1e-12);
+  EXPECT_NEAR(stats.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), -3.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 7.25);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  dckpt::util::Xoshiro256ss rng(3);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double() * 10.0 - 5.0;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats b = a;
+  b.merge(empty);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(RunningStatsTest, NumericallyStableAroundLargeOffset) {
+  RunningStats stats;
+  for (int i = 0; i < 1000; ++i) stats.add(1e9 + (i % 2));
+  EXPECT_NEAR(stats.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(stats.variance(), 0.25 * 1000.0 / 999.0, 1e-6);
+}
+
+TEST(RunningStatsTest, ConfidenceHalfwidthShrinks) {
+  RunningStats small, large;
+  dckpt::util::Xoshiro256ss rng(4);
+  for (int i = 0; i < 100; ++i) small.add(rng.next_double());
+  for (int i = 0; i < 10000; ++i) large.add(rng.next_double());
+  EXPECT_GT(small.confidence_halfwidth(), large.confidence_halfwidth());
+}
+
+TEST(ProportionEstimateTest, EstimateAndCounts) {
+  ProportionEstimate p;
+  for (int i = 0; i < 80; ++i) p.add(true);
+  for (int i = 0; i < 20; ++i) p.add(false);
+  EXPECT_EQ(p.trials(), 100u);
+  EXPECT_EQ(p.successes(), 80u);
+  EXPECT_DOUBLE_EQ(p.estimate(), 0.8);
+}
+
+TEST(ProportionEstimateTest, WilsonIntervalContainsEstimate) {
+  ProportionEstimate p;
+  for (int i = 0; i < 95; ++i) p.add(true);
+  for (int i = 0; i < 5; ++i) p.add(false);
+  const auto ci = p.wilson_interval();
+  EXPECT_LT(ci.lo, p.estimate());
+  EXPECT_GT(ci.hi, p.estimate());
+  EXPECT_GE(ci.lo, 0.0);
+  EXPECT_LE(ci.hi, 1.0);
+}
+
+TEST(ProportionEstimateTest, WilsonNonDegenerateAtExtremes) {
+  ProportionEstimate p;
+  for (int i = 0; i < 50; ++i) p.add(true);
+  const auto ci = p.wilson_interval();
+  // All successes: Wald CI would be [1, 1]; Wilson keeps a meaningful lo.
+  EXPECT_LT(ci.lo, 1.0);
+  EXPECT_GT(ci.lo, 0.8);
+  EXPECT_DOUBLE_EQ(ci.hi, 1.0);
+}
+
+TEST(ProportionEstimateTest, MergeAccumulates) {
+  ProportionEstimate a, b;
+  a.add(true);
+  b.add(false);
+  b.add(true);
+  a.merge(b);
+  EXPECT_EQ(a.trials(), 3u);
+  EXPECT_EQ(a.successes(), 2u);
+}
+
+TEST(ProportionEstimateTest, EmptyInterval) {
+  ProportionEstimate p;
+  const auto ci = p.wilson_interval();
+  EXPECT_DOUBLE_EQ(ci.lo, 0.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+#include "sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/scenario.hpp"
+
+namespace {
+
+using namespace dckpt;
+using namespace dckpt::sim;
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.protocols = {model::Protocol::DoubleNbl, model::Protocol::Triple};
+  spec.mtbfs = {1200.0, 4800.0};
+  spec.phi_ratios = {0.25, 1.0};
+  spec.base = model::base_scenario().params;
+  spec.base.nodes = 12;
+  spec.t_base_in_mtbfs = 10.0;
+  spec.trials = 20;
+  spec.threads = 2;
+  return spec;
+}
+
+TEST(SweepTest, ProducesOneRowPerFeasiblePoint) {
+  const auto rows = run_sweep(small_spec());
+  ASSERT_EQ(rows.size(), 8u);  // 2 protocols x 2 MTBFs x 2 ratios
+  for (const auto& row : rows) {
+    EXPECT_GT(row.period, 0.0);
+    EXPECT_GT(row.model_waste, 0.0);
+    EXPECT_LT(row.model_waste, 1.0);
+    EXPECT_EQ(row.result.waste.count(), 20u);
+  }
+}
+
+TEST(SweepTest, OrderIsLexicographic) {
+  const auto rows = run_sweep(small_spec());
+  ASSERT_EQ(rows.size(), 8u);
+  EXPECT_EQ(rows[0].protocol, model::Protocol::DoubleNbl);
+  EXPECT_DOUBLE_EQ(rows[0].mtbf, 1200.0);
+  EXPECT_DOUBLE_EQ(rows[0].phi, 0.25 * 4.0);
+  EXPECT_DOUBLE_EQ(rows[1].phi, 4.0);
+  EXPECT_DOUBLE_EQ(rows[2].mtbf, 4800.0);
+  EXPECT_EQ(rows[4].protocol, model::Protocol::Triple);
+}
+
+TEST(SweepTest, SimTracksModelAcrossTheGrid) {
+  for (const auto& row : run_sweep(small_spec())) {
+    EXPECT_NEAR(row.result.waste.mean(), row.model_waste,
+                0.15 * row.model_waste +
+                    3.0 * row.result.waste.standard_error())
+        << model::protocol_name(row.protocol) << " M=" << row.mtbf
+        << " phi=" << row.phi;
+  }
+}
+
+TEST(SweepTest, InfeasiblePointsAreSkipped) {
+  auto spec = small_spec();
+  spec.mtbfs = {10.0, 1200.0};  // 10 s: no protocol makes progress
+  const auto rows = run_sweep(spec);
+  EXPECT_EQ(rows.size(), 4u);
+  for (const auto& row : rows) EXPECT_DOUBLE_EQ(row.mtbf, 1200.0);
+}
+
+TEST(SweepTest, CustomPeriodFunctionIsUsed) {
+  auto spec = small_spec();
+  spec.mtbfs = {1200.0};
+  spec.phi_ratios = {0.25};
+  spec.period = [](model::Protocol, const model::Parameters&) {
+    return 250.0;
+  };
+  const auto rows = run_sweep(spec);
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& row : rows) EXPECT_DOUBLE_EQ(row.period, 250.0);
+}
+
+TEST(SweepTest, DeterministicAcrossRuns) {
+  const auto a = run_sweep(small_spec());
+  const auto b = run_sweep(small_spec());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].result.waste.mean(), b[i].result.waste.mean());
+  }
+}
+
+}  // namespace

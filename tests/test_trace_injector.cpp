@@ -1,0 +1,149 @@
+#include "sim/trace_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "sim/protocol_sim.hpp"
+#include "model/scenario.hpp"
+
+namespace {
+
+using namespace dckpt::sim;
+
+TEST(TraceInjectorTest, ReplaysScheduleThenGoesSilent) {
+  TraceInjector injector({{1.0, 0}, {2.5, 3}, {9.0, 1}}, 4);
+  EXPECT_EQ(injector.remaining(), 3u);
+  EXPECT_DOUBLE_EQ(injector.peek().time, 1.0);
+  injector.pop();
+  EXPECT_DOUBLE_EQ(injector.peek().time, 2.5);
+  EXPECT_EQ(injector.peek().node, 3u);
+  injector.pop();
+  injector.pop();
+  EXPECT_TRUE(std::isinf(injector.peek().time));
+  EXPECT_EQ(injector.remaining(), 0u);
+  injector.pop();  // idempotent past the end
+  EXPECT_TRUE(std::isinf(injector.peek().time));
+}
+
+TEST(TraceInjectorTest, ReplacementIsANoop) {
+  TraceInjector injector({{1.0, 0}}, 2);
+  injector.on_node_replaced(0, 1.0, 5.0);
+  EXPECT_DOUBLE_EQ(injector.peek().time, 1.0);
+}
+
+TEST(TraceInjectorTest, Validation) {
+  EXPECT_THROW(TraceInjector({{2.0, 0}, {1.0, 0}}, 2), std::invalid_argument);
+  EXPECT_THROW(TraceInjector({{1.0, 5}}, 2), std::invalid_argument);
+  EXPECT_THROW(TraceInjector({}, 0), std::invalid_argument);
+}
+
+class TraceFileTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/dckpt_trace_test.txt";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(TraceFileTest, SaveLoadRoundTrip) {
+  const std::vector<FailureEvent> events = {
+      {0.5, 3}, {12.25, 0}, {100.125, 7}};
+  save_failure_trace(path_, events);
+  const auto loaded = load_failure_trace(path_);
+  ASSERT_EQ(loaded.size(), 3u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded[i].time, events[i].time);
+    EXPECT_EQ(loaded[i].node, events[i].node);
+  }
+}
+
+TEST_F(TraceFileTest, CommentsAndBlanksIgnored) {
+  {
+    std::ofstream out(path_);
+    out << "# header comment\n\n  # indented comment\n1.5 2\n\n3.0 0\n";
+  }
+  const auto loaded = load_failure_trace(path_);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded[0].time, 1.5);
+  EXPECT_EQ(loaded[0].node, 2u);
+}
+
+TEST_F(TraceFileTest, BadLinesRejectedWithLineNumber) {
+  {
+    std::ofstream out(path_);
+    out << "1.0 0\nnot-a-number 3\n";
+  }
+  try {
+    load_failure_trace(path_);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST_F(TraceFileTest, UnsortedFileRejected) {
+  {
+    std::ofstream out(path_);
+    out << "5.0 0\n1.0 1\n";
+  }
+  EXPECT_THROW(load_failure_trace(path_), std::runtime_error);
+}
+
+TEST_F(TraceFileTest, MissingFileRejected) {
+  EXPECT_THROW(load_failure_trace("/nonexistent/trace.txt"),
+               std::runtime_error);
+}
+
+TEST(GenerateFailureTraceTest, RespectsHorizonAndSorting) {
+  const auto dist = dckpt::util::Exponential::from_mean(50.0);
+  const auto events = generate_failure_trace(dist, 8, 1000.0,
+                                             dckpt::util::Xoshiro256ss(3));
+  ASSERT_FALSE(events.empty());
+  double previous = 0.0;
+  for (const auto& event : events) {
+    EXPECT_GE(event.time, previous);
+    EXPECT_LT(event.time, 1000.0);
+    EXPECT_LT(event.node, 8u);
+    previous = event.time;
+  }
+  // ~8 nodes * 1000/50 = 160 expected events.
+  EXPECT_GT(events.size(), 100u);
+  EXPECT_LT(events.size(), 240u);
+}
+
+TEST(GenerateFailureTraceTest, Validation) {
+  const auto dist = dckpt::util::Exponential::from_mean(50.0);
+  EXPECT_THROW(
+      generate_failure_trace(dist, 0, 10.0, dckpt::util::Xoshiro256ss(1)),
+      std::invalid_argument);
+  EXPECT_THROW(
+      generate_failure_trace(dist, 2, 0.0, dckpt::util::Xoshiro256ss(1)),
+      std::invalid_argument);
+}
+
+TEST(TraceDrivenSimulationTest, TraceFeedsProtocolSimulation) {
+  // End-to-end: generate a synthetic log, replay it through the simulator,
+  // and check the failures were actually consumed.
+  SimConfig config;
+  config.protocol = dckpt::model::Protocol::DoubleNbl;
+  config.params = dckpt::model::base_scenario().params.with_overhead(1.0);
+  config.params.nodes = 8;
+  config.params.mtbf = 500.0;  // documents intent; trace drives failures
+  config.period = 100.0;
+  config.t_base = 2000.0;
+  config.stop_on_fatal = false;
+
+  const auto dist = dckpt::util::Exponential::from_mean(
+      500.0 * 8);  // per-node mean matching M = 500 s
+  auto events = generate_failure_trace(dist, 8, 1e5,
+                                       dckpt::util::Xoshiro256ss(11));
+  const auto injector = std::make_unique<TraceInjector>(events, 8);
+  ProtocolSimulation simulation(
+      config, std::make_unique<TraceInjector>(std::move(events), 8));
+  const auto result = simulation.run();
+  EXPECT_GT(result.failures, 0u);
+  EXPECT_GT(result.makespan, config.t_base);
+}
+
+}  // namespace
