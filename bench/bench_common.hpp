@@ -1,13 +1,15 @@
-// Shared plumbing for the figure/table reproduction binaries: CLI with an
-// optional --csv <dir> flag, grid definitions matching the paper's axes, and
-// small print helpers. Each bench prints the figure's data series as aligned
-// text and, when --csv is given, writes the full-resolution grid for
-// external plotting.
+// Shared plumbing for the figure/table reproduction binaries: CLI with
+// optional --csv/--jsonl <dir> flags, grid definitions matching the paper's
+// axes, and small print helpers. Each bench prints the figure's data series
+// as aligned text and, when --csv / --jsonl is given, writes the
+// full-resolution grid for external plotting or machine consumption.
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -16,13 +18,45 @@
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/format.hpp"
+#include "util/json.hpp"
 #include "util/math.hpp"
 #include "util/table.hpp"
 
 namespace dckpt::bench {
 
+/// One JSONL artifact next to a bench's printed table: one JSON object per
+/// `row` call, keys zipped against the header passed at construction.
+class JsonlWriter {
+ public:
+  JsonlWriter(const std::string& path, std::vector<std::string> keys)
+      : path_(path), keys_(std::move(keys)), out_(path) {
+    if (!out_) {
+      throw std::runtime_error("JsonlWriter: cannot open '" + path + "'");
+    }
+  }
+
+  void row(const std::vector<util::JsonValue>& values) {
+    if (values.size() != keys_.size()) {
+      throw std::invalid_argument("JsonlWriter: arity mismatch");
+    }
+    auto record = util::JsonValue::object();
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      record.set(keys_[i], values[i]);
+    }
+    out_ << record.dump() << '\n';
+  }
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::vector<std::string> keys_;
+  std::ofstream out_;
+};
+
 struct BenchContext {
   std::optional<std::string> csv_dir;
+  std::optional<std::string> jsonl_dir;
 
   /// Opens `<csv_dir>/<name>.csv` when --csv was passed, else nullptr.
   std::unique_ptr<util::CsvWriter> csv(
@@ -30,6 +64,14 @@ struct BenchContext {
     if (!csv_dir) return nullptr;
     return std::make_unique<util::CsvWriter>(*csv_dir + "/" + name + ".csv",
                                              header);
+  }
+
+  /// Opens `<jsonl_dir>/<name>.jsonl` when --jsonl was passed, else nullptr.
+  std::unique_ptr<JsonlWriter> jsonl(
+      const std::string& name, const std::vector<std::string>& keys) const {
+    if (!jsonl_dir) return nullptr;
+    return std::make_unique<JsonlWriter>(*jsonl_dir + "/" + name + ".jsonl",
+                                         keys);
   }
 };
 
@@ -39,10 +81,14 @@ inline std::optional<BenchContext> parse_bench_args(int argc,
                                                     const char* description) {
   util::CliParser parser(argv[0] ? argv[0] : "bench", description);
   parser.add_option("csv", "", "directory to write full-resolution CSV grids");
+  parser.add_option("jsonl", "",
+                    "directory to write full-resolution JSONL grids");
   if (!parser.parse(argc, argv)) return std::nullopt;
   BenchContext context;
   const std::string dir = parser.get("csv");
   if (!dir.empty()) context.csv_dir = dir;
+  const std::string jsonl_dir = parser.get("jsonl");
+  if (!jsonl_dir.empty()) context.jsonl_dir = jsonl_dir;
   return context;
 }
 
@@ -98,23 +144,32 @@ inline void run_waste_surface(const model::Scenario& scenario,
                 std::string(model::protocol_name(protocol)).c_str(),
                 table.render().c_str());
   }
-  if (auto csv = context.csv(figure_name,
-                             {"protocol", "phi_over_R", "mtbf_s", "waste"})) {
+  auto csv = context.csv(figure_name,
+                         {"protocol", "phi_over_R", "mtbf_s", "waste"});
+  auto jsonl = context.jsonl(figure_name,
+                             {"protocol", "phi_over_R", "mtbf_s", "waste"});
+  if (csv || jsonl) {
     const auto dense_m = util::log_space(15.0, 86400.0, 25);
     for (auto protocol : model::kPaperProtocols) {
       for (double ratio : phi_ratio_axis(21)) {
         for (double mtbf : dense_m) {
           const auto params = scenario.at_phi_ratio(ratio).with_mtbf(mtbf);
-          csv->write_row({std::string(model::protocol_name(protocol)),
-                          util::format_fixed(ratio, 4),
-                          util::format_fixed(mtbf, 2),
-                          util::format_fixed(
-                              model::waste_at_optimal_period(protocol, params),
-                              6)});
+          const double waste =
+              model::waste_at_optimal_period(protocol, params);
+          if (csv) {
+            csv->write_row({std::string(model::protocol_name(protocol)),
+                            util::format_fixed(ratio, 4),
+                            util::format_fixed(mtbf, 2),
+                            util::format_fixed(waste, 6)});
+          }
+          if (jsonl) {
+            jsonl->row({model::protocol_name(protocol), ratio, mtbf, waste});
+          }
         }
       }
     }
-    std::printf("[csv] wrote %s\n", csv->path().c_str());
+    if (csv) std::printf("[csv] wrote %s\n", csv->path().c_str());
+    if (jsonl) std::printf("[jsonl] wrote %s\n", jsonl->path().c_str());
   }
 }
 
@@ -130,6 +185,8 @@ inline void run_waste_ratio(const model::Scenario& scenario,
       {"phi/R", "DoubleBoF/DoubleNBL", "Triple/DoubleNBL"});
   auto csv = context.csv(figure_name,
                          {"phi_over_R", "bof_over_nbl", "triple_over_nbl"});
+  auto jsonl = context.jsonl(
+      figure_name, {"phi_over_R", "bof_over_nbl", "triple_over_nbl"});
   for (double ratio : phi_ratio_axis(21)) {
     const auto params =
         scenario.at_phi_ratio(ratio).with_mtbf(scenario.default_mtbf);
@@ -140,9 +197,11 @@ inline void run_waste_ratio(const model::Scenario& scenario,
     table.add_row({util::format_fixed(ratio, 2), util::format_fixed(bof, 4),
                    util::format_fixed(tri, 4)});
     if (csv) csv->write_row_numeric({ratio, bof, tri});
+    if (jsonl) jsonl->row({ratio, bof, tri});
   }
   std::printf("%s", table.render().c_str());
   if (csv) std::printf("[csv] wrote %s\n", csv->path().c_str());
+  if (jsonl) std::printf("[jsonl] wrote %s\n", jsonl->path().c_str());
 }
 
 /// Figures 6 and 9: relative success probabilities over (M, platform life).
@@ -190,23 +249,36 @@ inline void run_risk_surface(const model::Scenario& scenario,
     }
     std::printf("--- %s ---\n%s\n", title.c_str(), table.render().c_str());
   }
-  if (auto csv = context.csv(figure_name,
-                             {"mtbf_s", "life_s", "p_nbl", "p_bof", "p_triple",
-                              "p_tripleBof"})) {
+  auto csv = context.csv(figure_name,
+                         {"mtbf_s", "life_s", "p_nbl", "p_bof", "p_triple",
+                          "p_tripleBof"});
+  auto jsonl = context.jsonl(figure_name,
+                             {"mtbf_s", "life_s", "p_nbl", "p_bof",
+                              "p_triple", "p_tripleBof"});
+  if (csv || jsonl) {
     for (double mtbf : mtbf_axis) {
       for (double life : life_axis) {
         const auto params = params_at(mtbf);
         const double t = life * life_unit_seconds;
-        csv->write_row_numeric(
-            {mtbf, t,
-             model::success_probability(model::Protocol::DoubleNbl, params, t),
-             model::success_probability(model::Protocol::DoubleBof, params, t),
-             model::success_probability(model::Protocol::Triple, params, t),
-             model::success_probability(model::Protocol::TripleBof, params,
-                                        t)});
+        const double p_nbl = model::success_probability(
+            model::Protocol::DoubleNbl, params, t);
+        const double p_bof = model::success_probability(
+            model::Protocol::DoubleBof, params, t);
+        const double p_triple =
+            model::success_probability(model::Protocol::Triple, params, t);
+        const double p_triple_bof =
+            model::success_probability(model::Protocol::TripleBof, params, t);
+        if (csv) {
+          csv->write_row_numeric(
+              {mtbf, t, p_nbl, p_bof, p_triple, p_triple_bof});
+        }
+        if (jsonl) {
+          jsonl->row({mtbf, t, p_nbl, p_bof, p_triple, p_triple_bof});
+        }
       }
     }
-    std::printf("[csv] wrote %s\n", csv->path().c_str());
+    if (csv) std::printf("[csv] wrote %s\n", csv->path().c_str());
+    if (jsonl) std::printf("[jsonl] wrote %s\n", jsonl->path().c_str());
   }
 }
 

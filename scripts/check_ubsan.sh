@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Builds the library + tier-1 tests under ASan+UBSan and runs ctest.
+#
+# This is the harness that would have caught the Histogram::add NaN bug
+# (float->size_t cast of NaN is undefined behaviour): UBSan flags the cast
+# the first time a test feeds a non-finite sample through a histogram.
+#
+# Usage:
+#   scripts/check_ubsan.sh             # build + run all tests sanitized
+#   scripts/check_ubsan.sh -R histo    # forward extra args to ctest
+#
+# Env overrides: BUILD_DIR (default build-sanitize), JOBS (default nproc).
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-sanitize}"
+JOBS="${JOBS:-$(nproc)}"
+
+# Benches are skipped: google-benchmark links fine but adds minutes of build
+# for no extra sanitizer coverage beyond what the tests exercise.
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDCKPT_SANITIZE=address,undefined \
+  -DDCKPT_BUILD_BENCH=OFF
+
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+# halt_on_error turns any UB report into a test failure instead of a log line.
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+export ASAN_OPTIONS="detect_leaks=0:strict_string_checks=1"
+
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" "$@"
+
+echo "check_ubsan: all tests clean under ASan+UBSan"

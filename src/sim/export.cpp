@@ -1,0 +1,134 @@
+#include "sim/export.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "model/protocol.hpp"
+
+namespace dckpt::sim {
+
+namespace {
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("export: cannot open '" + path + "' for writing");
+  }
+  return out;
+}
+
+}  // namespace
+
+util::JsonValue to_json(const util::RunningStats& stats) {
+  auto v = util::JsonValue::object();
+  v.set("count", stats.count());
+  if (stats.count() > 0) {
+    // min/max are +/-inf on an empty accumulator, which JSON cannot carry.
+    v.set("mean", stats.mean());
+    v.set("stddev", stats.stddev());
+    v.set("min", stats.min());
+    v.set("max", stats.max());
+  }
+  return v;
+}
+
+util::JsonValue to_json(const util::Histogram& histogram) {
+  auto v = util::JsonValue::object();
+  v.set("lo", histogram.lo());
+  v.set("hi", histogram.hi());
+  auto counts = util::JsonValue::array();
+  for (std::size_t i = 0; i < histogram.bin_count(); ++i) {
+    counts.push_back(histogram.bin(i));
+  }
+  v.set("counts", std::move(counts));
+  v.set("underflow", histogram.underflow());
+  v.set("overflow", histogram.overflow());
+  v.set("nonfinite", histogram.nonfinite());
+  return v;
+}
+
+util::JsonValue to_json(const util::ProportionEstimate& proportion) {
+  auto v = util::JsonValue::object();
+  v.set("trials", proportion.trials());
+  v.set("successes", proportion.successes());
+  v.set("estimate", proportion.estimate());
+  return v;
+}
+
+util::JsonValue to_json(const MonteCarloResult& result) {
+  auto v = util::JsonValue::object();
+  v.set("record", "monte_carlo");
+  v.set("trials", result.waste.count() + result.diverged);
+  v.set("diverged", result.diverged);
+  v.set("waste", to_json(result.waste));
+  v.set("makespan", to_json(result.makespan));
+  v.set("failures", to_json(result.failures));
+  v.set("risk_time", to_json(result.risk_time));
+  v.set("success", to_json(result.success));
+  if (result.metrics) {
+    auto histograms = util::JsonValue::object();
+    histograms.set("waste", to_json(result.metrics->waste));
+    histograms.set("slowdown", to_json(result.metrics->slowdown));
+    histograms.set("failures", to_json(result.metrics->failures));
+    histograms.set("risk_fraction", to_json(result.metrics->risk_fraction));
+    v.set("histograms", std::move(histograms));
+  }
+  return v;
+}
+
+util::JsonValue to_json(const SweepPoint& point) {
+  auto v = util::JsonValue::object();
+  v.set("record", "sweep_point");
+  v.set("protocol", model::protocol_name(point.protocol));
+  v.set("mtbf", point.mtbf);
+  v.set("phi", point.phi);
+  v.set("period", point.period);
+  v.set("model_waste", point.model_waste);
+  v.set("sim", to_json(point.result));
+  return v;
+}
+
+util::JsonValue to_json(const TraceEvent& event) {
+  auto v = util::JsonValue::object();
+  v.set("record", "trace_event");
+  v.set("time", event.time);
+  v.set("kind", trace_kind_id(event.kind));
+  v.set("node", event.node);
+  v.set("work", event.work_level);
+  return v;
+}
+
+void write_metrics_jsonl(std::ostream& out, const MonteCarloResult& result) {
+  out << to_json(result).dump() << '\n';
+}
+
+void write_sweep_jsonl(std::ostream& out,
+                       const std::vector<SweepPoint>& rows) {
+  for (const auto& row : rows) out << to_json(row).dump() << '\n';
+}
+
+void write_trace_jsonl(std::ostream& out, const Trace& trace) {
+  for (const auto& event : trace.events()) {
+    out << to_json(event).dump() << '\n';
+  }
+}
+
+void save_metrics_jsonl(const std::string& path,
+                        const MonteCarloResult& result) {
+  auto out = open_or_throw(path);
+  write_metrics_jsonl(out, result);
+}
+
+void save_sweep_jsonl(const std::string& path,
+                      const std::vector<SweepPoint>& rows) {
+  auto out = open_or_throw(path);
+  write_sweep_jsonl(out, rows);
+}
+
+void save_trace_jsonl(const std::string& path, const Trace& trace) {
+  auto out = open_or_throw(path);
+  write_trace_jsonl(out, trace);
+}
+
+}  // namespace dckpt::sim

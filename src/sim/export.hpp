@@ -1,0 +1,49 @@
+// JSONL export of simulation results: Monte-Carlo metrics records,
+// sweep-point tables and trace event logs, one JSON object per line so
+// downstream tooling can stream-parse arbitrarily large campaigns.
+//
+// Schemas (documented in docs/OBSERVABILITY.md):
+//   metrics record   {"record":"monte_carlo", "trials":..., "waste":{...},
+//                     "makespan":{...}, "failures":{...}, "risk_time":{...},
+//                     "success":{...}, "diverged":..., "histograms":{...}?}
+//   sweep row        {"record":"sweep_point", "protocol":..., "mtbf":...,
+//                     "phi":..., "period":..., "model_waste":...,
+//                     "sim":{<metrics record>}}
+//   trace event      {"record":"trace_event", "time":..., "kind":<stable
+//                     trace_kind_id>, "node":..., "work":...}
+//
+// Numbers use shortest-round-trip formatting, so parse-back compares exactly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hpp"
+#include "sim/sweep.hpp"
+#include "sim/trace.hpp"
+#include "util/json.hpp"
+
+namespace dckpt::sim {
+
+/// JSON object builders (shared by the writers below and by tests).
+util::JsonValue to_json(const util::RunningStats& stats);
+util::JsonValue to_json(const util::Histogram& histogram);
+util::JsonValue to_json(const util::ProportionEstimate& proportion);
+util::JsonValue to_json(const MonteCarloResult& result);
+util::JsonValue to_json(const SweepPoint& point);
+util::JsonValue to_json(const TraceEvent& event);
+
+/// Stream writers: one JSON document per line.
+void write_metrics_jsonl(std::ostream& out, const MonteCarloResult& result);
+void write_sweep_jsonl(std::ostream& out, const std::vector<SweepPoint>& rows);
+void write_trace_jsonl(std::ostream& out, const Trace& trace);
+
+/// File writers; throw std::runtime_error when `path` cannot be opened.
+void save_metrics_jsonl(const std::string& path,
+                        const MonteCarloResult& result);
+void save_sweep_jsonl(const std::string& path,
+                      const std::vector<SweepPoint>& rows);
+void save_trace_jsonl(const std::string& path, const Trace& trace);
+
+}  // namespace dckpt::sim

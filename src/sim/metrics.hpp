@@ -22,6 +22,10 @@ struct TrialResult {
   double time_reexecuting = 0.0;    ///< lost work re-execution (incl. overlap
                                     ///< slowdown during re-execution)
 
+  /// Wall-clock with at least one risk window open (union of the per-failure
+  /// exposure windows; a buddy failure in this time would have been fatal).
+  double time_at_risk = 0.0;
+
   double waste() const noexcept {
     return makespan > 0.0 ? 1.0 - t_base / makespan : 0.0;
   }

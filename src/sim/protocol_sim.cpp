@@ -1,5 +1,6 @@
 #include "sim/protocol_sim.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -93,6 +94,7 @@ struct Engine {
   Phase resume_phase = Phase::Part1;   ///< interrupted phase to resume
   double resume_remaining = 0.0;
   double overlap_remaining = 0.0;      ///< degraded re-execution window left
+  double risk_open_until = 0.0;        ///< latest risk-window expiry seen
 
   TrialResult result;
 
@@ -239,6 +241,12 @@ struct Engine {
     const bool fatal =
         risk_tracker.on_failure(event.node, event.time, geo.risk);
     record(TraceKind::RiskWindowOpen, event.node);
+    // Exposure accounting: windows all have length geo.risk and open in
+    // time order, so the union grows by the part past the furthest expiry
+    // (the full window when the previous one has already closed).
+    const double window_close = event.time + geo.risk;
+    result.time_at_risk += std::min(geo.risk, window_close - risk_open_until);
+    risk_open_until = window_close;
     injector.on_node_replaced(event.node, event.time,
                               event.time + geo.downtime);
     if (fatal) {

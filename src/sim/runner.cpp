@@ -1,9 +1,41 @@
 #include "sim/runner.hpp"
 
 #include <mutex>
+#include <stdexcept>
 #include <vector>
 
 namespace dckpt::sim {
+
+void MetricsSpec::validate() const {
+  if (bins == 0) throw std::invalid_argument("MetricsSpec: zero bins");
+  if (!(max_slowdown > 1.0)) {
+    throw std::invalid_argument("MetricsSpec: max_slowdown must be > 1");
+  }
+  if (!(max_failures > 0.0)) {
+    throw std::invalid_argument("MetricsSpec: max_failures must be > 0");
+  }
+}
+
+MonteCarloMetrics::MonteCarloMetrics(const MetricsSpec& spec)
+    : waste(0.0, 1.0, spec.bins),
+      slowdown(1.0, spec.max_slowdown, spec.bins),
+      failures(0.0, spec.max_failures, spec.bins),
+      risk_fraction(0.0, 1.0, spec.bins) {}
+
+void MonteCarloMetrics::add(const TrialResult& trial) {
+  waste.add(trial.waste());
+  slowdown.add(trial.t_base > 0.0 ? trial.makespan / trial.t_base : 0.0);
+  failures.add(static_cast<double>(trial.failures));
+  risk_fraction.add(trial.makespan > 0.0 ? trial.time_at_risk / trial.makespan
+                                         : 0.0);
+}
+
+void MonteCarloMetrics::merge(const MonteCarloMetrics& other) {
+  waste.merge(other.waste);
+  slowdown.merge(other.slowdown);
+  failures.merge(other.failures);
+  risk_fraction.merge(other.risk_fraction);
+}
 
 namespace {
 
@@ -24,6 +56,7 @@ MonteCarloResult run_monte_carlo(const SimConfig& config,
                                  const MonteCarloOptions& options,
                                  util::ThreadPool& pool) {
   config.validate();
+  if (options.metrics) options.metrics->validate();
 
   // One chunk per thread times a small oversubscription factor keeps the
   // pool busy while preserving the deterministic chunk->stream mapping.
@@ -35,6 +68,7 @@ MonteCarloResult run_monte_carlo(const SimConfig& config,
       pool, options.trials, chunks,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         MonteCarloResult& local = partial[chunk];
+        if (options.metrics) local.metrics.emplace(*options.metrics);
         for (std::size_t trial = begin; trial < end; ++trial) {
           // Per-trial stream derived by seed mixing (SplitMix64 inside the
           // Xoshiro constructor): trial k gets the same stream regardless of
@@ -51,17 +85,22 @@ MonteCarloResult run_monte_carlo(const SimConfig& config,
           local.waste.add(r.waste());
           local.makespan.add(r.makespan);
           local.failures.add(static_cast<double>(r.failures));
+          local.risk_time.add(r.time_at_risk);
           local.success.add(!r.fatal);
+          if (local.metrics) local.metrics->add(r);
         }
       });
 
   MonteCarloResult total;
+  if (options.metrics) total.metrics.emplace(*options.metrics);
   for (const auto& p : partial) {
     total.waste.merge(p.waste);
     total.makespan.merge(p.makespan);
     total.failures.merge(p.failures);
+    total.risk_time.merge(p.risk_time);
     total.success.merge(p.success);
     total.diverged += p.diverged;
+    if (total.metrics && p.metrics) total.metrics->merge(*p.metrics);
   }
   return total;
 }

@@ -11,10 +11,38 @@
 
 #include "sim/protocol_sim.hpp"
 #include "util/distributions.hpp"
+#include "util/histogram.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dckpt::sim {
+
+/// Layout of the optional per-trial distribution collection. Bin edges are
+/// fixed up front (not data-dependent) so per-chunk histograms merge by
+/// plain count addition -- the result is bit-identical for any thread
+/// count, preserving the runner's reproducibility contract.
+struct MetricsSpec {
+  std::size_t bins = 64;
+  double max_slowdown = 4.0;     ///< makespan/t_base range [1, max_slowdown)
+  double max_failures = 1024.0;  ///< failures-per-trial range [0, max_failures)
+
+  void validate() const;
+};
+
+/// Per-trial distributions from one Monte-Carlo campaign. `waste` and
+/// `risk_fraction` (time_at_risk/makespan) are dimensionless in [0, 1);
+/// `slowdown` is makespan in units of t_base; `failures` counts per trial.
+struct MonteCarloMetrics {
+  util::Histogram waste;
+  util::Histogram slowdown;
+  util::Histogram failures;
+  util::Histogram risk_fraction;
+
+  explicit MonteCarloMetrics(const MetricsSpec& spec);
+
+  void add(const TrialResult& trial);
+  void merge(const MonteCarloMetrics& other);
+};
 
 struct MonteCarloOptions {
   std::uint64_t trials = 1000;
@@ -23,14 +51,20 @@ struct MonteCarloOptions {
   /// Inter-arrival law for per-node streams; unset = platform exponential
   /// (matches the paper's assumptions and is O(1) per failure).
   std::optional<util::Weibull> weibull;
+  /// Enables distribution collection; unset keeps the hot loop free of any
+  /// histogram work.
+  std::optional<MetricsSpec> metrics;
 };
 
 struct MonteCarloResult {
   util::RunningStats waste;            ///< per-trial waste 1 - t_base/T
   util::RunningStats makespan;
   util::RunningStats failures;         ///< failures per trial
+  util::RunningStats risk_time;        ///< per-trial exposed wall-clock, s
   util::ProportionEstimate success;    ///< trial finished without fatal
   std::uint64_t diverged = 0;          ///< trials that hit the makespan cap
+  /// Present iff MonteCarloOptions::metrics was set.
+  std::optional<MonteCarloMetrics> metrics;
 };
 
 /// Runs `options.trials` independent executions of `config`.

@@ -1,6 +1,7 @@
 // Umbrella header for the discrete-event checkpoint-protocol simulator.
 #pragma once
 
+#include "sim/export.hpp"            // IWYU pragma: export
 #include "sim/failure_injector.hpp"  // IWYU pragma: export
 #include "sim/independent.hpp"       // IWYU pragma: export
 #include "sim/log_stats.hpp"         // IWYU pragma: export

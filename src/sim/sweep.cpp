@@ -1,17 +1,47 @@
 #include "sim/sweep.hpp"
 
+#include <chrono>
+
 #include "model/period.hpp"
 #include "model/waste.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dckpt::sim {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
 std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
   util::ThreadPool pool(spec.threads);
   std::vector<SweepPoint> rows;
+  SweepProgress progress;
+  progress.points_total =
+      spec.protocols.size() * spec.mtbfs.size() * spec.phi_ratios.size();
+  const auto sweep_start = Clock::now();
+
+  const auto report = [&](const SweepPoint* point, double point_elapsed) {
+    if (!spec.progress) return;
+    progress.elapsed = seconds_since(sweep_start);
+    progress.point_elapsed = point_elapsed;
+    progress.trials_per_sec =
+        progress.elapsed > 0.0
+            ? static_cast<double>(progress.trials_done) / progress.elapsed
+            : 0.0;
+    progress.point = point;
+    spec.progress(progress);
+  };
+
   for (auto protocol : spec.protocols) {
     for (double mtbf : spec.mtbfs) {
       for (double ratio : spec.phi_ratios) {
+        const auto point_start = Clock::now();
         auto params = spec.base.with_mtbf(mtbf).with_overhead(
             ratio * spec.base.remote_blocking);
         SweepPoint point;
@@ -22,12 +52,20 @@ std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
           point.period = spec.period(protocol, params);
         } else {
           const auto opt = model::optimal_period_closed_form(protocol, params);
-          if (!opt.feasible) continue;
+          if (!opt.feasible) {
+            ++progress.points_skipped;
+            report(nullptr, seconds_since(point_start));
+            continue;
+          }
           point.period = opt.period;
         }
         point.model_waste =
             model::waste(protocol, params, point.period);
-        if (point.model_waste >= 1.0) continue;
+        if (point.model_waste >= 1.0) {
+          ++progress.points_skipped;
+          report(nullptr, seconds_since(point_start));
+          continue;
+        }
 
         SimConfig config;
         config.protocol = protocol;
@@ -38,8 +76,12 @@ std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
         MonteCarloOptions options;
         options.trials = spec.trials;
         options.seed = spec.seed;
+        options.metrics = spec.metrics;
         point.result = run_monte_carlo(config, options, pool);
         rows.push_back(std::move(point));
+        ++progress.points_done;
+        progress.trials_done += spec.trials;
+        report(&rows.back(), seconds_since(point_start));
       }
     }
   }

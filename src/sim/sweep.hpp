@@ -5,6 +5,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "model/protocol.hpp"
@@ -21,6 +22,21 @@ struct SweepPoint {
   MonteCarloResult result;
 };
 
+/// Timing/throughput snapshot handed to SweepSpec::progress after every
+/// grid point (completed or skipped as infeasible). All durations are wall
+/// seconds measured on a steady clock.
+struct SweepProgress {
+  std::size_t points_done = 0;     ///< feasible points completed so far
+  std::size_t points_skipped = 0;  ///< infeasible points skipped so far
+  std::size_t points_total = 0;    ///< full grid size
+  std::uint64_t trials_done = 0;   ///< Monte-Carlo trials completed so far
+  double elapsed = 0.0;            ///< since run_sweep started
+  double point_elapsed = 0.0;      ///< the grid point just finished
+  double trials_per_sec = 0.0;     ///< aggregate campaign throughput
+  /// Row just produced; nullptr when the point was skipped as infeasible.
+  const SweepPoint* point = nullptr;
+};
+
 struct SweepSpec {
   std::vector<model::Protocol> protocols;
   std::vector<double> mtbfs;
@@ -32,6 +48,11 @@ struct SweepSpec {
   std::size_t threads = 0;
   /// Optional period override; default: closed-form optimum per point.
   std::function<double(model::Protocol, const model::Parameters&)> period;
+  /// Forwarded to MonteCarloOptions::metrics for every point.
+  std::optional<MetricsSpec> metrics;
+  /// Invoked after each grid point; unset = zero instrumentation cost
+  /// beyond one clock read per point.
+  std::function<void(const SweepProgress&)> progress;
 };
 
 /// Runs the full grid (skipping infeasible points) and returns one row per

@@ -37,6 +37,53 @@ const char* trace_kind_name(TraceKind kind) noexcept {
   return "?";
 }
 
+const char* trace_kind_id(TraceKind kind) noexcept {
+  switch (kind) {
+    case TraceKind::PeriodStart:
+      return "period_start";
+    case TraceKind::LocalCheckpointDone:
+      return "local_checkpoint_done";
+    case TraceKind::RemoteExchangeDone:
+      return "remote_exchange_done";
+    case TraceKind::PreferredCopyDone:
+      return "preferred_copy_done";
+    case TraceKind::Failure:
+      return "failure";
+    case TraceKind::Rollback:
+      return "rollback";
+    case TraceKind::DowntimeEnd:
+      return "downtime_end";
+    case TraceKind::RecoveryEnd:
+      return "recovery_end";
+    case TraceKind::ReexecutionEnd:
+      return "reexecution_end";
+    case TraceKind::RiskWindowOpen:
+      return "risk_window_open";
+    case TraceKind::RiskWindowClose:
+      return "risk_window_close";
+    case TraceKind::FatalFailure:
+      return "fatal_failure";
+    case TraceKind::ApplicationDone:
+      return "application_done";
+  }
+  return "unknown";
+}
+
+std::optional<TraceKind> parse_trace_kind_id(std::string_view id) noexcept {
+  constexpr TraceKind kinds[] = {
+      TraceKind::PeriodStart,    TraceKind::LocalCheckpointDone,
+      TraceKind::RemoteExchangeDone, TraceKind::PreferredCopyDone,
+      TraceKind::Failure,        TraceKind::Rollback,
+      TraceKind::DowntimeEnd,    TraceKind::RecoveryEnd,
+      TraceKind::ReexecutionEnd, TraceKind::RiskWindowOpen,
+      TraceKind::RiskWindowClose, TraceKind::FatalFailure,
+      TraceKind::ApplicationDone};
+  for (TraceKind kind : kinds) {
+    if (id == trace_kind_id(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
 std::string TraceEvent::to_string() const {
   char buf[160];
   std::snprintf(buf, sizeof buf, "t=%12.3f  %-22s node=%-6llu work=%.3f",

@@ -4,7 +4,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace dckpt::sim {
@@ -25,7 +27,15 @@ enum class TraceKind {
   ApplicationDone,
 };
 
+/// Human-oriented label for rendered traces (may change cosmetically).
 const char* trace_kind_name(TraceKind kind) noexcept;
+
+/// Stable machine-oriented identifier used in exported JSONL trace logs.
+/// These strings are a compatibility contract: never renamed, only extended.
+const char* trace_kind_id(TraceKind kind) noexcept;
+
+/// Inverse of trace_kind_id; nullopt for unknown ids.
+std::optional<TraceKind> parse_trace_kind_id(std::string_view id) noexcept;
 
 struct TraceEvent {
   double time = 0.0;

@@ -3,6 +3,7 @@
 //
 //   dckpt plan       protocol recommendation from machine specs
 //   dckpt simulate   Monte-Carlo campaign for one configuration
+//   dckpt sweep      Monte-Carlo campaigns over a (protocol, M, phi) grid
 //   dckpt optimize   empirical period optimization (simulation-driven)
 //   dckpt trace-gen  synthesize a failure trace file
 //   dckpt trace-fit  analyze a failure trace, fit exponential/Weibull
@@ -14,6 +15,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "model/model_api.hpp"
 #include "net/net_api.hpp"
@@ -43,6 +45,22 @@ model::Parameters platform_from(const util::CliParser& cli) {
   }
   params.validate();
   return params;
+}
+
+/// Splits a comma-separated list ("60,3600,86400") into doubles.
+std::vector<double> parse_double_list(const std::string& text) {
+  std::vector<double> values;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto comma = text.find(',', pos);
+    const std::string item =
+        text.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    if (!item.empty()) values.push_back(std::stod(item));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return values;
 }
 
 // ---------------------------------------------------------------- plan
@@ -97,6 +115,11 @@ int cmd_simulate(int argc, const char* const* argv) {
   cli.add_option("period", "0", "checkpoint period (0 = model optimum)");
   cli.add_option("weibull-shape", "0",
                  "use per-node Weibull streams with this shape (0 = exp)");
+  cli.add_option("metrics-out", "",
+                 "write a JSONL metrics record (with per-trial histograms)");
+  cli.add_option("trace-out", "",
+                 "write the JSONL event log of one traced execution");
+  cli.add_option("metrics-bins", "64", "histogram bins for --metrics-out");
   if (!cli.parse(argc, argv)) return 0;
 
   sim::SimConfig config;
@@ -124,7 +147,27 @@ int cmd_simulate(int argc, const char* const* argv) {
     options.weibull =
         util::Weibull::from_mean(shape, config.params.node_mtbf());
   }
+  if (!cli.get("metrics-out").empty()) {
+    sim::MetricsSpec spec;
+    spec.bins = static_cast<std::size_t>(cli.get_int("metrics-bins"));
+    options.metrics = spec;
+  }
   const auto mc = sim::run_monte_carlo(config, options);
+  if (!cli.get("metrics-out").empty()) {
+    sim::save_metrics_jsonl(cli.get("metrics-out"), mc);
+    std::printf("[jsonl] wrote %s\n", cli.get("metrics-out").c_str());
+  }
+  if (!cli.get("trace-out").empty()) {
+    // One extra execution with the event log enabled; uses trial 0's
+    // stream so (under the default exponential law) the trace matches the
+    // first Monte-Carlo trial.
+    sim::Trace trace(true);
+    sim::simulate_exponential(config, options.seed ^ 0x9e3779b97f4a7c15ULL,
+                              &trace);
+    sim::save_trace_jsonl(cli.get("trace-out"), trace);
+    std::printf("[jsonl] wrote %s (%zu events)\n",
+                cli.get("trace-out").c_str(), trace.events().size());
+  }
 
   const double model_waste =
       model::waste(config.protocol, config.params, config.period);
@@ -141,6 +184,100 @@ int cmd_simulate(int argc, const char* const* argv) {
                  util::format_fixed(mc.success.estimate(), 4)});
   table.add_row({"diverged trials", std::to_string(mc.diverged)});
   std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+// --------------------------------------------------------------- sweep
+
+int cmd_sweep(int argc, const char* const* argv) {
+  util::CliParser cli("dckpt sweep",
+                      "Monte-Carlo campaigns over a (protocol, M, phi) grid");
+  cli.add_option("scenario", "base", "base | exa hardware constants");
+  cli.add_option("protocols", "all",
+                 "comma list of protocol names, or 'all' / 'paper'");
+  cli.add_option("mtbfs", "3600,14400,86400", "comma list of MTBFs, seconds");
+  cli.add_option("phi-ratios", "0,0.25,0.5,1",
+                 "comma list of overhead fractions phi/R");
+  cli.add_option("nodes", "0", "override node count (0 = scenario default)");
+  cli.add_option("tbase-mtbfs", "25", "t_base as a multiple of each MTBF");
+  cli.add_option("trials", "60", "Monte-Carlo trials per grid point");
+  cli.add_option("seed", "42", "master seed");
+  cli.add_option("metrics-out", "", "write one JSONL sweep row per point");
+  cli.add_option("metrics-bins", "64", "histogram bins for --metrics-out");
+  cli.add_flag("progress", "print per-point progress and throughput");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto scenario = cli.get("scenario") == "exa" ? model::exa_scenario()
+                                                     : model::base_scenario();
+  sim::SweepSpec spec;
+  const std::string protocols = cli.get("protocols");
+  if (protocols == "all") {
+    spec.protocols.assign(model::kAllProtocols.begin(),
+                          model::kAllProtocols.end());
+  } else if (protocols == "paper") {
+    spec.protocols.assign(model::kPaperProtocols.begin(),
+                          model::kPaperProtocols.end());
+  } else {
+    std::size_t pos = 0;
+    while (pos <= protocols.size()) {
+      const auto comma = protocols.find(',', pos);
+      const std::string item =
+          protocols.substr(pos, comma == std::string::npos
+                                    ? std::string::npos
+                                    : comma - pos);
+      if (!item.empty()) {
+        spec.protocols.push_back(model::parse_protocol_name(item));
+      }
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  spec.mtbfs = parse_double_list(cli.get("mtbfs"));
+  spec.phi_ratios = parse_double_list(cli.get("phi-ratios"));
+  spec.base = scenario.params;
+  if (const auto nodes = cli.get_int("nodes"); nodes > 0) {
+    spec.base.nodes = static_cast<std::uint64_t>(nodes);
+  } else if (spec.base.nodes > 100000) {
+    spec.base.nodes = 99996;  // keep per-node bookkeeping tractable
+  }
+  spec.t_base_in_mtbfs = cli.get_double("tbase-mtbfs");
+  spec.trials = static_cast<std::uint64_t>(cli.get_int("trials"));
+  spec.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  if (!cli.get("metrics-out").empty()) {
+    sim::MetricsSpec metrics;
+    metrics.bins = static_cast<std::size_t>(cli.get_int("metrics-bins"));
+    spec.metrics = metrics;
+  }
+  if (cli.get_flag("progress")) {
+    spec.progress = [](const sim::SweepProgress& p) {
+      std::printf("[sweep] %zu done / %zu skipped / %zu total  "
+                  "point %.2fs  total %.1fs  %.0f trials/s\n",
+                  p.points_done, p.points_skipped, p.points_total,
+                  p.point_elapsed, p.elapsed, p.trials_per_sec);
+      std::fflush(stdout);
+    };
+  }
+
+  const auto rows = sim::run_sweep(spec);
+  util::TextTable table({"protocol", "M", "phi", "P", "model waste",
+                         "sim waste", "mean risk time", "survival"});
+  for (const auto& row : rows) {
+    table.add_row(
+        {std::string(model::protocol_name(row.protocol)),
+         util::format_duration(row.mtbf), util::format_fixed(row.phi, 1),
+         util::format_duration(row.period),
+         util::format_percent(row.model_waste, 2),
+         util::format_percent(row.result.waste.mean(), 2) + " +/- " +
+             util::format_percent(row.result.waste.confidence_halfwidth(), 2),
+         util::format_duration(row.result.risk_time.mean()),
+         util::format_fixed(row.result.success.estimate(), 4)});
+  }
+  std::printf("%s", table.render().c_str());
+  if (!cli.get("metrics-out").empty()) {
+    sim::save_sweep_jsonl(cli.get("metrics-out"), rows);
+    std::printf("[jsonl] wrote %s (%zu rows)\n",
+                cli.get("metrics-out").c_str(), rows.size());
+  }
   return 0;
 }
 
@@ -359,6 +496,7 @@ void print_usage() {
       "commands:\n"
       "  plan        rank protocols for a platform\n"
       "  simulate    Monte-Carlo campaign for one configuration\n"
+      "  sweep       Monte-Carlo campaigns over a (protocol, M, phi) grid\n"
       "  optimize    empirical period optimization\n"
       "  trace-gen   synthesize a failure trace file\n"
       "  trace-fit   analyze a failure trace, fit distributions\n"
@@ -382,6 +520,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "plan") return cmd_plan(sub_argc, sub_argv);
     if (command == "simulate") return cmd_simulate(sub_argc, sub_argv);
+    if (command == "sweep") return cmd_sweep(sub_argc, sub_argv);
     if (command == "optimize") return cmd_optimize(sub_argc, sub_argv);
     if (command == "trace-gen") return cmd_trace_gen(sub_argc, sub_argv);
     if (command == "trace-fit") return cmd_trace_fit(sub_argc, sub_argv);

@@ -1,9 +1,22 @@
 #include "util/cli.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace dckpt::util {
+
+namespace {
+
+[[noreturn]] void exit_invalid_value(const std::string& program,
+                                     const std::string& name,
+                                     const std::string& value) {
+  std::fprintf(stderr, "%s: option --%s: invalid value '%s'\n",
+               program.c_str(), name.c_str(), value.c_str());
+  std::exit(2);
+}
+
+}  // namespace
 
 CliParser::CliParser(std::string program, std::string description)
     : program_(std::move(program)), description_(std::move(description)) {}
@@ -52,8 +65,17 @@ bool CliParser::parse(int argc, const char* const* argv) {
     }
     if (inline_value) {
       values_[name] = *inline_value;
-    } else if (i + 1 < argc) {
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       values_[name] = argv[++i];
+    } else if (i + 1 < argc) {
+      // `--mtbf --trials 5` almost certainly forgot the mtbf value; require
+      // the explicit form for values that really start with a double dash.
+      std::fprintf(stderr,
+                   "%s: option --%s needs a value (got '%s'; use "
+                   "--%s=%s if that is really the value)\n",
+                   program_.c_str(), name.c_str(), argv[i + 1], name.c_str(),
+                   argv[i + 1]);
+      return false;
     } else {
       std::fprintf(stderr, "%s: option --%s needs a value\n", program_.c_str(),
                    name.c_str());
@@ -74,11 +96,27 @@ std::string CliParser::get(const std::string& name) const {
 }
 
 double CliParser::get_double(const std::string& name) const {
-  return std::stod(get(name));
+  const std::string text = get(name);
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) exit_invalid_value(program_, name, text);
+    return value;
+  } catch (const std::logic_error&) {  // invalid_argument / out_of_range
+    exit_invalid_value(program_, name, text);
+  }
 }
 
 std::int64_t CliParser::get_int(const std::string& name) const {
-  return std::stoll(get(name));
+  const std::string text = get(name);
+  try {
+    std::size_t used = 0;
+    const std::int64_t value = std::stoll(text, &used);
+    if (used != text.size()) exit_invalid_value(program_, name, text);
+    return value;
+  } catch (const std::logic_error&) {
+    exit_invalid_value(program_, name, text);
+  }
 }
 
 bool CliParser::get_flag(const std::string& name) const {

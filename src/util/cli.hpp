@@ -22,9 +22,14 @@ class CliParser {
   void add_flag(const std::string& name, const std::string& help);
 
   /// Parses argv. Returns false (after printing usage) on --help or error.
+  /// A space-separated value may not itself start with `--` (catches
+  /// `--mtbf --trials 5` typos); use `--opt=value` to force one through.
   bool parse(int argc, const char* const* argv);
 
   std::string get(const std::string& name) const;
+  /// Numeric getters validate the full token; a malformed or out-of-range
+  /// value prints `program: option --name: invalid value 'x'` and exits(2)
+  /// instead of leaking a raw std::stod exception out of the tool.
   double get_double(const std::string& name) const;
   std::int64_t get_int(const std::string& name) const;
   bool get_flag(const std::string& name) const;

@@ -16,6 +16,10 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 
 void Histogram::add(double x) noexcept {
   ++total_;
+  if (!std::isfinite(x)) {
+    ++nonfinite_;
+    return;
+  }
   if (x < lo_) {
     ++underflow_;
     return;
@@ -37,6 +41,7 @@ void Histogram::merge(const Histogram& other) {
   for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
   underflow_ += other.underflow_;
   overflow_ += other.overflow_;
+  nonfinite_ += other.nonfinite_;
   total_ += other.total_;
 }
 
@@ -46,7 +51,7 @@ double Histogram::bin_lower_edge(std::size_t i) const noexcept {
 
 double Histogram::quantile(double q) const {
   q = std::clamp(q, 0.0, 1.0);
-  const std::uint64_t in_range = total_ - underflow_ - overflow_;
+  const std::uint64_t in_range = total_ - underflow_ - overflow_ - nonfinite_;
   if (in_range == 0) return lo_;
   const double target = q * static_cast<double>(in_range);
   double cumulative = 0.0;
@@ -77,6 +82,7 @@ std::string Histogram::render(int width) const {
   }
   if (underflow_) out << "underflow: " << underflow_ << "\n";
   if (overflow_) out << "overflow: " << overflow_ << "\n";
+  if (nonfinite_) out << "non-finite: " << nonfinite_ << "\n";
   return out.str();
 }
 

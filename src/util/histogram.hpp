@@ -10,8 +10,9 @@ namespace dckpt::util {
 
 class Histogram {
  public:
-  /// `bins` equal-width bins covering [lo, hi). Samples outside the range
-  /// are counted in dedicated underflow/overflow buckets.
+  /// `bins` equal-width bins covering [lo, hi). Finite samples outside the
+  /// range are counted in dedicated underflow/overflow buckets; non-finite
+  /// samples (NaN, +/-Inf) in a separate nonfinite bucket.
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x) noexcept;
@@ -20,9 +21,14 @@ class Histogram {
   std::uint64_t total_count() const noexcept { return total_; }
   std::uint64_t underflow() const noexcept { return underflow_; }
   std::uint64_t overflow() const noexcept { return overflow_; }
+  /// NaN/Inf samples; they belong to no bin (a NaN would otherwise hit an
+  /// undefined float->size_t cast) and are excluded from quantiles.
+  std::uint64_t nonfinite() const noexcept { return nonfinite_; }
   std::size_t bin_count() const noexcept { return counts_.size(); }
   std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
 
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
   double bin_lower_edge(std::size_t i) const noexcept;
   double bin_width() const noexcept { return width_; }
 
@@ -40,6 +46,7 @@ class Histogram {
   std::vector<std::uint64_t> counts_;
   std::uint64_t underflow_ = 0;
   std::uint64_t overflow_ = 0;
+  std::uint64_t nonfinite_ = 0;
   std::uint64_t total_ = 0;
 };
 

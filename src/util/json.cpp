@@ -1,0 +1,381 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace dckpt::util {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want) {
+  throw std::invalid_argument(std::string("JsonValue: not a ") + want);
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no Inf/NaN literal; null is the conventional stand-in.
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, value);
+  out.append(buf, res.ptr);
+}
+
+void append_value(std::string& out, const JsonValue& v);
+
+void append_container(std::string& out, const JsonValue& v) {
+  if (v.is_array()) {
+    out += '[';
+    bool first = true;
+    for (const auto& item : v.items()) {
+      if (!first) out += ',';
+      first = false;
+      append_value(out, item);
+    }
+    out += ']';
+  } else {
+    out += '{';
+    bool first = true;
+    for (const auto& [key, member] : v.members()) {
+      if (!first) out += ',';
+      first = false;
+      append_escaped(out, key);
+      out += ':';
+      append_value(out, member);
+    }
+    out += '}';
+  }
+}
+
+void append_value(std::string& out, const JsonValue& v) {
+  switch (v.type()) {
+    case JsonValue::Type::Null:
+      out += "null";
+      break;
+    case JsonValue::Type::Bool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case JsonValue::Type::Number:
+      append_number(out, v.as_number());
+      break;
+    case JsonValue::Type::String:
+      append_escaped(out, v.as_string());
+      break;
+    case JsonValue::Type::Array:
+    case JsonValue::Type::Object:
+      append_container(out, v);
+      break;
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::invalid_argument("parse_json: " + std::string(what) +
+                                " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return JsonValue(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return JsonValue(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue();
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v = JsonValue::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.set(key, parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v = JsonValue::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      c = text_[pos_++];
+      switch (c) {
+        case '"':
+        case '\\':
+        case '/':
+          out += c;
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          const auto hex = text_.substr(pos_, 4);
+          unsigned code = 0;
+          const auto res =
+              std::from_chars(hex.data(), hex.data() + 4, code, 16);
+          if (res.ec != std::errc() || res.ptr != hex.data() + 4) {
+            fail("bad \\u escape");
+          }
+          pos_ += 4;
+          if (code > 0x7f) fail("non-ASCII \\u escape unsupported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    double value = 0.0;
+    const auto res =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (res.ec != std::errc() || res.ptr != text_.data() + pos_ ||
+        pos_ == start) {
+      fail("bad number");
+    }
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::Bool) type_error("bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (type_ != Type::Number) type_error("number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::String) type_error("string");
+  return string_;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  if (type_ == Type::Null) type_ = Type::Array;
+  if (type_ != Type::Array) type_error("array");
+  array_.push_back(std::move(v));
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (type_ != Type::Array) type_error("array");
+  return array_;
+}
+
+std::size_t JsonValue::size() const {
+  if (type_ == Type::Array) return array_.size();
+  if (type_ == Type::Object) return object_.size();
+  type_error("container");
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue v) {
+  if (type_ == Type::Null) type_ = Type::Object;
+  if (type_ != Type::Object) type_error("object");
+  return object_[key] = std::move(v);
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  if (type_ != Type::Object) type_error("object");
+  auto it = object_.find(key);
+  if (it == object_.end()) {
+    throw std::out_of_range("JsonValue: missing key '" + key + "'");
+  }
+  return it->second;
+}
+
+bool JsonValue::contains(const std::string& key) const {
+  return type_ == Type::Object && object_.count(key) > 0;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::members() const {
+  if (type_ != Type::Object) type_error("object");
+  return object_;
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  append_value(out, *this);
+  return out;
+}
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+std::vector<JsonValue> parse_jsonl(std::string_view text) {
+  std::vector<JsonValue> docs;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                       : eol - pos);
+    bool blank = true;
+    for (char c : line) {
+      if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+    }
+    if (!blank) docs.push_back(parse_json(line));
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  return docs;
+}
+
+}  // namespace dckpt::util

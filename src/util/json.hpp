@@ -1,0 +1,80 @@
+// Minimal JSON value: build documents programmatically, serialize to a
+// compact single line (JSONL-friendly), and parse them back. Numbers are
+// written with shortest round-trip formatting (std::to_chars) so
+// export -> parse -> compare is lossless. Not a general-purpose JSON
+// library: no comments, no \u escapes beyond pass-through, doubles only.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dckpt::util {
+
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+  JsonValue(bool b) : type_(Type::Bool), bool_(b) {}
+  JsonValue(double n) : type_(Type::Number), number_(n) {}
+  JsonValue(int n) : type_(Type::Number), number_(n) {}
+  JsonValue(std::uint64_t n)
+      : type_(Type::Number), number_(static_cast<double>(n)) {}
+  JsonValue(std::string s) : type_(Type::String), string_(std::move(s)) {}
+  JsonValue(const char* s) : type_(Type::String), string_(s) {}
+  JsonValue(std::string_view s) : type_(Type::String), string_(s) {}
+
+  static JsonValue array() {
+    JsonValue v;
+    v.type_ = Type::Array;
+    return v;
+  }
+  static JsonValue object() {
+    JsonValue v;
+    v.type_ = Type::Object;
+    return v;
+  }
+
+  Type type() const noexcept { return type_; }
+  bool is_object() const noexcept { return type_ == Type::Object; }
+  bool is_array() const noexcept { return type_ == Type::Array; }
+
+  /// Scalar accessors; throw std::invalid_argument on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Array access.
+  void push_back(JsonValue v);
+  const std::vector<JsonValue>& items() const;
+  std::size_t size() const;
+
+  /// Object access. `at` throws std::out_of_range on a missing key.
+  JsonValue& set(const std::string& key, JsonValue v);
+  const JsonValue& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+  const std::map<std::string, JsonValue>& members() const;
+
+  /// Compact one-line serialization (no trailing newline).
+  std::string dump() const;
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses one JSON document; throws std::invalid_argument on malformed
+/// input or trailing garbage.
+JsonValue parse_json(std::string_view text);
+
+/// Parses one JSON document per non-empty line.
+std::vector<JsonValue> parse_jsonl(std::string_view text);
+
+}  // namespace dckpt::util

@@ -87,6 +87,61 @@ TEST(CliParserTest, UndeclaredGetThrows) {
   EXPECT_THROW(parser.get("nope"), std::invalid_argument);
 }
 
+TEST(CliParserTest, OptionLikeValueIsRejected) {
+  // `--mtbf --trials 5` used to silently bind mtbf = "--trials".
+  auto parser = make_parser();
+  const std::array argv = {"prog", "--mtbf", "--protocol", "5"};
+  EXPECT_FALSE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(CliParserTest, OptionLikeValueAllowedViaEquals) {
+  auto parser = make_parser();
+  const std::array argv = {"prog", "--protocol=--weird"};
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(parser.get("protocol"), "--weird");
+}
+
+TEST(CliParserTest, NegativeNumberValuesStillParse) {
+  auto parser = make_parser();
+  const std::array argv = {"prog", "--mtbf", "-5"};
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(parser.get_int("mtbf"), -5);
+}
+
+TEST(CliParserDeathTest, InvalidDoubleReportsAndExits) {
+  auto parser = make_parser();
+  const std::array argv = {"prog", "--mtbf", "abc"};
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EXIT(parser.get_double("mtbf"), testing::ExitedWithCode(2),
+              "prog: option --mtbf: invalid value 'abc'");
+}
+
+TEST(CliParserDeathTest, TrailingGarbageReportsAndExits) {
+  auto parser = make_parser();
+  const std::array argv = {"prog", "--mtbf", "12x"};
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EXIT(parser.get_double("mtbf"), testing::ExitedWithCode(2),
+              "invalid value '12x'");
+  EXPECT_EXIT(parser.get_int("mtbf"), testing::ExitedWithCode(2),
+              "invalid value '12x'");
+}
+
+TEST(CliParserDeathTest, OutOfRangeReportsAndExits) {
+  auto parser = make_parser();
+  const std::array argv = {"prog", "--mtbf", "1e999"};
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EXIT(parser.get_double("mtbf"), testing::ExitedWithCode(2),
+              "invalid value '1e999'");
+}
+
+TEST(CliParserDeathTest, FractionalIntReportsAndExits) {
+  auto parser = make_parser();
+  const std::array argv = {"prog", "--mtbf", "12.5"};
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EXIT(parser.get_int("mtbf"), testing::ExitedWithCode(2),
+              "invalid value '12.5'");
+}
+
 TEST(CliParserTest, UsageListsOptions) {
   auto parser = make_parser();
   const std::string usage = parser.usage();

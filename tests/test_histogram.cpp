@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/rng.hpp"
 
 namespace {
@@ -28,6 +30,34 @@ TEST(HistogramTest, UnderOverflow) {
   EXPECT_EQ(h.underflow(), 1u);
   EXPECT_EQ(h.overflow(), 2u);
   EXPECT_EQ(h.total_count(), 3u);
+}
+
+TEST(HistogramTest, NonFiniteSamplesAreRoutedToDedicatedCounter) {
+  // Regression: a NaN used to fall through both range guards into a
+  // float->size_t cast, which is undefined behaviour.
+  Histogram h(0.0, 1.0, 4);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(0.5);
+  EXPECT_EQ(h.nonfinite(), 3u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.total_count(), 4u);
+  EXPECT_EQ(h.bin(2), 1u);
+  // Quantiles cover in-range samples only; the lone 0.5 is the whole mass.
+  EXPECT_NEAR(h.quantile(1.0), 0.75, 0.26);
+  EXPECT_GE(h.quantile(0.0), 0.0);
+}
+
+TEST(HistogramTest, MergeCarriesNonFiniteCounts) {
+  Histogram a(0.0, 1.0, 4), b(0.0, 1.0, 4);
+  a.add(std::numeric_limits<double>::quiet_NaN());
+  b.add(std::numeric_limits<double>::quiet_NaN());
+  b.add(0.1);
+  a.merge(b);
+  EXPECT_EQ(a.nonfinite(), 2u);
+  EXPECT_EQ(a.total_count(), 3u);
 }
 
 TEST(HistogramTest, BinEdges) {

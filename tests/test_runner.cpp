@@ -78,6 +78,48 @@ TEST(MonteCarloTest, SharedPoolOverload) {
   EXPECT_DOUBLE_EQ(a.waste.mean(), b.waste.mean());
 }
 
+TEST(MonteCarloTest, MetricsDisabledByDefault) {
+  MonteCarloOptions options;
+  options.trials = 10;
+  options.threads = 2;
+  const auto result = run_monte_carlo(quick_config(), options);
+  EXPECT_FALSE(result.metrics.has_value());
+  EXPECT_EQ(result.risk_time.count(), 10u);
+  EXPECT_GT(result.risk_time.mean(), 0.0);
+}
+
+TEST(MonteCarloTest, MetricsHistogramsCoverEveryTrial) {
+  MonteCarloOptions options;
+  options.trials = 50;
+  options.threads = 2;
+  options.metrics = MetricsSpec{};
+  const auto result = run_monte_carlo(quick_config(), options);
+  ASSERT_TRUE(result.metrics.has_value());
+  const std::uint64_t completed = options.trials - result.diverged;
+  EXPECT_EQ(result.metrics->waste.total_count(), completed);
+  EXPECT_EQ(result.metrics->slowdown.total_count(), completed);
+  EXPECT_EQ(result.metrics->failures.total_count(), completed);
+  EXPECT_EQ(result.metrics->risk_fraction.total_count(), completed);
+  // Waste and risk fraction live in [0, 1): nothing should leak out of
+  // range, and nothing can be non-finite for completed trials.
+  EXPECT_EQ(result.metrics->waste.underflow(), 0u);
+  EXPECT_EQ(result.metrics->waste.overflow(), 0u);
+  EXPECT_EQ(result.metrics->waste.nonfinite(), 0u);
+  EXPECT_EQ(result.metrics->risk_fraction.nonfinite(), 0u);
+  // Histogram mass should agree with the scalar stats.
+  EXPECT_NEAR(result.metrics->waste.quantile(0.5), result.waste.mean(),
+              3.0 * result.waste.stddev() + 1.0 / 64.0);
+}
+
+TEST(MonteCarloTest, MetricsSpecIsValidated) {
+  MonteCarloOptions options;
+  options.trials = 5;
+  options.metrics = MetricsSpec{};
+  options.metrics->bins = 0;
+  EXPECT_THROW(run_monte_carlo(quick_config(), options),
+               std::invalid_argument);
+}
+
 TEST(MonteCarloTest, FatalRunsCountAgainstSuccess) {
   auto config = quick_config();
   config.params.mtbf = 20.0;  // brutal failure rate: fatalities happen

@@ -74,6 +74,51 @@ TEST(SweepTest, CustomPeriodFunctionIsUsed) {
   for (const auto& row : rows) EXPECT_DOUBLE_EQ(row.period, 250.0);
 }
 
+TEST(SweepTest, ProgressCallbackReportsEveryPoint) {
+  auto spec = small_spec();
+  std::size_t calls = 0;
+  std::uint64_t last_trials = 0;
+  spec.progress = [&](const SweepProgress& p) {
+    ++calls;
+    EXPECT_EQ(p.points_total, 8u);
+    EXPECT_EQ(p.points_done + p.points_skipped, calls);
+    EXPECT_GE(p.elapsed, 0.0);
+    EXPECT_GE(p.point_elapsed, 0.0);
+    EXPECT_GE(p.trials_done, last_trials);
+    last_trials = p.trials_done;
+    ASSERT_NE(p.point, nullptr);  // every point of this grid is feasible
+    EXPECT_EQ(p.point->result.waste.count(), 20u);
+  };
+  const auto rows = run_sweep(spec);
+  EXPECT_EQ(calls, 8u);
+  EXPECT_EQ(rows.size(), 8u);
+  EXPECT_EQ(last_trials, 8u * 20u);
+}
+
+TEST(SweepTest, ProgressReportsSkippedPoints) {
+  auto spec = small_spec();
+  spec.mtbfs = {10.0, 1200.0};  // 10 s: every protocol stalls
+  std::size_t skipped = 0;
+  spec.progress = [&](const SweepProgress& p) {
+    skipped = p.points_skipped;
+    if (p.point == nullptr) {
+      EXPECT_GT(p.points_skipped, 0u);
+    }
+  };
+  run_sweep(spec);
+  EXPECT_EQ(skipped, 4u);
+}
+
+TEST(SweepTest, MetricsSpecPropagatesToEveryPoint) {
+  auto spec = small_spec();
+  spec.metrics = MetricsSpec{};
+  for (const auto& row : run_sweep(spec)) {
+    ASSERT_TRUE(row.result.metrics.has_value());
+    EXPECT_EQ(row.result.metrics->waste.total_count(),
+              row.result.waste.count());
+  }
+}
+
 TEST(SweepTest, DeterministicAcrossRuns) {
   const auto a = run_sweep(small_spec());
   const auto b = run_sweep(small_spec());
