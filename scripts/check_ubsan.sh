@@ -31,4 +31,9 @@ export ASAN_OPTIONS="detect_leaks=0:strict_string_checks=1"
 
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" "$@"
 
+# Chaos smoke on the sanitized binary: the campaign engine exercises the
+# coordinator's failure paths (rollback, re-replication, fatal detection)
+# far harder than any single unit test, so run it under ASan+UBSan too.
+BUILD_DIR="${BUILD_DIR}" "${REPO_ROOT}/scripts/run_chaos_smoke.sh"
+
 echo "check_ubsan: all tests clean under ASan+UBSan"

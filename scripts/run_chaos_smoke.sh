@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Fixed-seed chaos smoke: drives the `dckpt chaos` campaign engine through
+# the scripted schedule families plus a batch of seed-randomized runs on both
+# topologies, and fails if any run is classified `violated` (the CLI exits
+# non-zero in that case). Budgeted to finish in well under 30 seconds -- this
+# is the "did the runtime survival story regress" tripwire, not the full
+# randomized campaign (that lives in test_chaos.cpp under `ctest -L slow`).
+#
+# Usage:
+#   scripts/run_chaos_smoke.sh           # uses ./build
+#   BUILD_DIR=build-sanitize scripts/run_chaos_smoke.sh
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
+DCKPT="${BUILD_DIR}/src/tools/dckpt"
+
+if [[ ! -x "${DCKPT}" ]]; then
+  echo "run_chaos_smoke: ${DCKPT} not found -- build first" >&2
+  exit 1
+fi
+
+echo "== chaos smoke: pairs, scripted + 40 random runs =="
+"${DCKPT}" chaos --topology=pairs --nodes=8 --cells=48 --steps=96 \
+  --interval=12 --staging=4 --rerepl-delay=8 --runs=40 --seed=20260805
+
+echo "== chaos smoke: triples, scripted + 40 random runs =="
+"${DCKPT}" chaos --topology=triples --nodes=9 --cells=48 --steps=96 \
+  --interval=12 --staging=4 --rerepl-delay=8 --runs=40 --seed=20260805
+
+echo "== chaos smoke: spare-pool delay derived from the Erlang model =="
+"${DCKPT}" chaos --topology=pairs --nodes=8 --steps=96 --interval=12 \
+  --spares=4 --repair=1800 --mtbf=900 --step-seconds=5 \
+  --runs=20 --seed=7
+
+echo "== chaos smoke: single-schedule repro (risk-window double hit) =="
+# A buddy loss inside the re-replication window is fatal-but-detected, so
+# this run exits 0 with outcome fatal-detected; a `violated` would exit 1.
+"${DCKPT}" chaos --topology=pairs --nodes=6 --steps=48 --interval=8 \
+  --rerepl-delay=6 --schedule=9:0,10:1
+
+echo "run_chaos_smoke: all campaigns clean (zero violated)"

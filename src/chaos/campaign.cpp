@@ -1,0 +1,212 @@
+#include "chaos/campaign.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dckpt::chaos {
+
+namespace {
+
+/// First counter that diverges between runtime report and oracle, as a
+/// "name: runtime X, oracle Y" diagnosis ("" when they agree). On fatal runs
+/// both sides stop mid-rollback with the same partial counters, so the
+/// comparison is exact there too.
+std::string counter_divergence(const runtime::RunReport& report,
+                               const ShadowPrediction& predicted) {
+  const struct {
+    const char* name;
+    std::uint64_t got;
+    std::uint64_t want;
+  } counters[] = {
+      {"steps_executed", report.steps_executed, predicted.steps_executed},
+      {"replayed_steps", report.replayed_steps, predicted.replayed_steps},
+      {"checkpoints", report.checkpoints, predicted.checkpoints},
+      {"failures", report.failures, predicted.failures},
+      {"rollbacks", report.rollbacks, predicted.rollbacks},
+      {"recoveries", report.recoveries, predicted.recoveries},
+      {"rereplications", report.rereplications, predicted.rereplications},
+      {"risk_steps", report.risk_steps, predicted.risk_steps},
+  };
+  for (const auto& counter : counters) {
+    if (counter.got != counter.want) {
+      return std::string(counter.name) + ": runtime " +
+             std::to_string(counter.got) + ", oracle " +
+             std::to_string(counter.want);
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string_view outcome_name(ChaosOutcome outcome) {
+  switch (outcome) {
+    case ChaosOutcome::Survived: return "survived";
+    case ChaosOutcome::FatalDetected: return "fatal-detected";
+    case ChaosOutcome::Violated: break;
+  }
+  return "violated";
+}
+
+void ChaosCampaignConfig::validate() const {
+  runtime.validate();
+  if (kernel != "heat" && kernel != "wave" && kernel != "counter") {
+    throw std::invalid_argument("ChaosCampaignConfig: unknown kernel '" +
+                                kernel + "'");
+  }
+  if (kernel == "wave" && runtime.cells_per_node % 2 != 0) {
+    throw std::invalid_argument(
+        "ChaosCampaignConfig: wave kernel packs two time levels and needs an "
+        "even cells_per_node");
+  }
+  if (random_runs > 0 && max_failures == 0) {
+    throw std::invalid_argument(
+        "ChaosCampaignConfig: max_failures must be > 0");
+  }
+}
+
+std::unique_ptr<runtime::Kernel> make_kernel(const std::string& name) {
+  if (name == "heat") return std::make_unique<runtime::HeatKernel>();
+  if (name == "wave") return std::make_unique<runtime::WaveKernel>();
+  if (name == "counter") return std::make_unique<runtime::CounterKernel>();
+  throw std::invalid_argument("make_kernel: unknown kernel '" + name + "'");
+}
+
+runtime::RunReport reference_run(const ChaosCampaignConfig& config) {
+  config.validate();
+  runtime::RuntimeConfig rc = config.runtime;
+  rc.threads = 1;  // stepping is thread-count invariant; keep the pool small
+  runtime::Coordinator coordinator(rc, make_kernel(config.kernel));
+  runtime::RunReport report = coordinator.run();
+  if (report.fatal) {
+    throw std::logic_error("reference_run: failure-free run reported fatal");
+  }
+  return report;
+}
+
+ChaosRunResult run_one(const ChaosCampaignConfig& config,
+                       ChaosSchedule schedule, std::uint64_t reference_hash,
+                       std::uint64_t index) {
+  config.validate();
+  validate_schedule(schedule, config.runtime);
+
+  ChaosRunResult result;
+  result.index = index;
+  result.schedule = std::move(schedule);
+  result.repro = repro_command(config, result.schedule);
+  result.predicted = predict_outcome(config.runtime, result.schedule.failures);
+
+  runtime::RuntimeConfig rc = config.runtime;
+  rc.threads = 1;  // the campaign parallelizes across runs, not within them
+  try {
+    runtime::Coordinator coordinator(rc, make_kernel(config.kernel));
+    result.report = coordinator.run(result.schedule.failures);
+  } catch (const std::exception& error) {
+    result.outcome = ChaosOutcome::Violated;
+    result.detail = std::string("runtime threw: ") + error.what();
+    return result;
+  }
+
+  const std::string divergence =
+      counter_divergence(result.report, result.predicted);
+  if (result.report.fatal) {
+    const std::string expected =
+        "fatal failure: no surviving replica of node " +
+        std::to_string(result.predicted.unrecoverable_node);
+    if (!result.predicted.fatal) {
+      result.outcome = ChaosOutcome::Violated;
+      result.detail = "runtime lost data on a survivable schedule: " +
+                      result.report.fatal_reason;
+    } else if (result.report.fatal_reason != expected) {
+      result.outcome = ChaosOutcome::Violated;
+      result.detail = "wrong fatal report: got '" + result.report.fatal_reason +
+                      "', want '" + expected + "'";
+    } else if (!divergence.empty()) {
+      result.outcome = ChaosOutcome::Violated;
+      result.detail = "accounting diverges from the oracle (" + divergence +
+                      ")";
+    } else {
+      result.outcome = ChaosOutcome::FatalDetected;
+      result.detail = result.report.fatal_reason;
+    }
+  } else {
+    if (result.predicted.fatal) {
+      result.outcome = ChaosOutcome::Violated;
+      result.detail =
+          "runtime claims survival of a schedule that destroys every replica "
+          "of node " +
+          std::to_string(result.predicted.unrecoverable_node);
+    } else if (result.report.final_hash != reference_hash) {
+      result.outcome = ChaosOutcome::Violated;
+      result.detail = "final state diverges from the failure-free run";
+    } else if (!divergence.empty()) {
+      result.outcome = ChaosOutcome::Violated;
+      result.detail = "accounting diverges from the oracle (" + divergence +
+                      ")";
+    } else {
+      result.outcome = ChaosOutcome::Survived;
+    }
+  }
+  return result;
+}
+
+ChaosCampaignSummary run_campaign(const ChaosCampaignConfig& config) {
+  config.validate();
+  ChaosCampaignSummary summary;
+  summary.reference_hash = reference_run(config).final_hash;
+
+  std::vector<ChaosSchedule> schedules;
+  if (config.include_scripted) {
+    schedules = scripted_schedules(config.runtime);
+  }
+  util::SplitMix64 seeder(config.campaign_seed);
+  for (std::uint64_t i = 0; i < config.random_runs; ++i) {
+    schedules.push_back(
+        random_schedule(config.runtime, seeder.next(), config.max_failures));
+  }
+
+  // One task per run; results land at their index, so the summary is
+  // identical at any thread count.
+  summary.runs.resize(schedules.size());
+  util::ThreadPool pool(config.threads);
+  util::parallel_for_chunked(
+      pool, schedules.size(), schedules.size(),
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          summary.runs[i] = run_one(config, schedules[i],
+                                    summary.reference_hash, i);
+        }
+      });
+
+  for (const ChaosRunResult& run : summary.runs) {
+    switch (run.outcome) {
+      case ChaosOutcome::Survived: ++summary.survived; break;
+      case ChaosOutcome::FatalDetected: ++summary.fatal_detected; break;
+      case ChaosOutcome::Violated: ++summary.violated; break;
+    }
+  }
+  return summary;
+}
+
+std::string repro_command(const ChaosCampaignConfig& config,
+                          const ChaosSchedule& schedule) {
+  const runtime::RuntimeConfig& rc = config.runtime;
+  std::string cmd = "dckpt chaos";
+  cmd += " --topology=";
+  cmd += rc.topology == ckpt::Topology::Pairs ? "pairs" : "triples";
+  cmd += " --nodes=" + std::to_string(rc.nodes);
+  cmd += " --cells=" + std::to_string(rc.cells_per_node);
+  cmd += " --steps=" + std::to_string(rc.total_steps);
+  cmd += " --interval=" + std::to_string(rc.checkpoint_interval);
+  cmd += " --staging=" + std::to_string(rc.staging_steps);
+  cmd += " --rerepl-delay=" + std::to_string(rc.rereplication_delay_steps);
+  cmd += " --kernel=" + config.kernel;
+  cmd += " --seed=" + std::to_string(schedule.seed);
+  cmd += " --schedule=" + schedule.spec();
+  return cmd;
+}
+
+}  // namespace dckpt::chaos

@@ -1,0 +1,88 @@
+// Chaos campaigns: run the Coordinator through adversarial failure
+// schedules and classify every run against the shadow oracle.
+//
+//   Survived        -- runtime finished, final hash equals the failure-free
+//                      reference, every counter matches the oracle.
+//   FatalDetected   -- the schedule destroys every replica of some node;
+//                      the runtime reported that cleanly ("no surviving
+//                      replica"), exactly when and how the oracle predicted.
+//   Violated        -- anything else: wrong final state, fatal on a
+//                      survivable schedule, silent survival of a fatal one,
+//                      counter divergence, or an unexpected exception. Every
+//                      violation is a bug in the runtime or the oracle.
+//
+// Each run carries a one-line `dckpt chaos ...` repro command (seed and
+// schedule spelled out), so a campaign failure reproduces from the shell.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chaos/schedule.hpp"
+#include "chaos/shadow.hpp"
+#include "runtime/coordinator.hpp"
+
+namespace dckpt::chaos {
+
+enum class ChaosOutcome { Survived, FatalDetected, Violated };
+
+std::string_view outcome_name(ChaosOutcome outcome);
+
+struct ChaosCampaignConfig {
+  runtime::RuntimeConfig runtime;
+  std::string kernel = "heat";      ///< heat | wave | counter
+  std::uint64_t random_runs = 100;  ///< randomized schedules after scripted
+  std::uint64_t campaign_seed = 1;  ///< root seed for the random draws
+  std::uint64_t max_failures = 4;   ///< per random schedule
+  bool include_scripted = true;     ///< prepend scripted_schedules()
+  std::size_t threads = 0;          ///< campaign-level pool; 0 = hardware
+
+  void validate() const;  ///< throws std::invalid_argument
+};
+
+struct ChaosRunResult {
+  std::uint64_t index = 0;
+  ChaosSchedule schedule;
+  ShadowPrediction predicted;
+  runtime::RunReport report;
+  ChaosOutcome outcome = ChaosOutcome::Violated;
+  std::string detail;  ///< violation diagnosis or the runtime's fatal reason
+  std::string repro;   ///< one-line `dckpt chaos ...` command
+};
+
+struct ChaosCampaignSummary {
+  std::vector<ChaosRunResult> runs;  ///< scripted first, then random
+  std::uint64_t survived = 0;
+  std::uint64_t fatal_detected = 0;
+  std::uint64_t violated = 0;
+  std::uint64_t reference_hash = 0;  ///< failure-free final state hash
+};
+
+/// Kernel factory for the names ChaosCampaignConfig::kernel accepts.
+/// Throws std::invalid_argument on an unknown name.
+std::unique_ptr<runtime::Kernel> make_kernel(const std::string& name);
+
+/// Failure-free reference run (single-threaded stepping; the coordinator is
+/// thread-count invariant, so this hash is *the* correct final state).
+runtime::RunReport reference_run(const ChaosCampaignConfig& config);
+
+/// Runs and classifies one schedule. `reference_hash` comes from
+/// reference_run(); `index` only labels the result.
+ChaosRunResult run_one(const ChaosCampaignConfig& config,
+                       ChaosSchedule schedule, std::uint64_t reference_hash,
+                       std::uint64_t index = 0);
+
+/// Full campaign: scripted danger cases (optional) plus `random_runs`
+/// seed-derived random schedules, executed across `threads` workers with
+/// per-run results in deterministic (index) order regardless of thread
+/// count.
+ChaosCampaignSummary run_campaign(const ChaosCampaignConfig& config);
+
+/// The `dckpt chaos` command line that replays `schedule` under `config`.
+std::string repro_command(const ChaosCampaignConfig& config,
+                          const ChaosSchedule& schedule);
+
+}  // namespace dckpt::chaos

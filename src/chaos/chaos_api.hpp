@@ -1,0 +1,7 @@
+// Umbrella header for the chaos campaign engine.
+#pragma once
+
+#include "chaos/campaign.hpp"  // IWYU pragma: export
+#include "chaos/export.hpp"    // IWYU pragma: export
+#include "chaos/schedule.hpp"  // IWYU pragma: export
+#include "chaos/shadow.hpp"    // IWYU pragma: export

@@ -1,0 +1,109 @@
+#include "chaos/export.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "sim/export.hpp"
+
+namespace dckpt::chaos {
+
+namespace {
+
+std::string hex64(std::uint64_t value) {
+  char digits[16];
+  std::string text = "0x";
+  const auto [ptr, ec] = std::to_chars(digits, digits + 16, value, 16);
+  (void)ec;
+  text.append(16 - static_cast<std::size_t>(ptr - digits), '0');
+  text.append(digits, ptr);
+  return text;
+}
+
+}  // namespace
+
+util::JsonValue to_json(const ShadowPrediction& predicted) {
+  auto v = util::JsonValue::object();
+  v.set("fatal", predicted.fatal);
+  if (predicted.fatal) {
+    v.set("fatal_step", predicted.fatal_step);
+    v.set("unrecoverable_node", predicted.unrecoverable_node);
+  }
+  v.set("steps_executed", predicted.steps_executed);
+  v.set("replayed_steps", predicted.replayed_steps);
+  v.set("checkpoints", predicted.checkpoints);
+  v.set("failures", predicted.failures);
+  v.set("rollbacks", predicted.rollbacks);
+  v.set("recoveries", predicted.recoveries);
+  v.set("rereplications", predicted.rereplications);
+  v.set("risk_steps", predicted.risk_steps);
+  return v;
+}
+
+util::JsonValue to_json(const runtime::RunReport& report) {
+  auto v = util::JsonValue::object();
+  v.set("steps_executed", report.steps_executed);
+  v.set("replayed_steps", report.replayed_steps);
+  v.set("checkpoints", report.checkpoints);
+  v.set("failures", report.failures);
+  v.set("rollbacks", report.rollbacks);
+  v.set("bytes_replicated", report.bytes_replicated);
+  v.set("cow_copies", report.cow_copies);
+  v.set("recoveries", report.recoveries);
+  v.set("rereplications", report.rereplications);
+  v.set("risk_steps", report.risk_steps);
+  v.set("fatal", report.fatal);
+  if (report.fatal) {
+    v.set("fatal_reason", report.fatal_reason);
+  } else {
+    v.set("final_hash", hex64(report.final_hash));
+  }
+  return v;
+}
+
+util::JsonValue to_json(const ChaosRunResult& run) {
+  auto v = util::JsonValue::object();
+  v.set("record", "chaos_run");
+  v.set("index", run.index);
+  v.set("name", run.schedule.name);
+  v.set("seed", run.schedule.seed);
+  v.set("schedule", run.schedule.spec());
+  v.set("outcome", outcome_name(run.outcome));
+  if (!run.detail.empty()) v.set("detail", run.detail);
+  v.set("repro", run.repro);
+  v.set("predicted", to_json(run.predicted));
+  v.set("report", to_json(run.report));
+  return v;
+}
+
+util::JsonValue to_json(const ChaosCampaignSummary& summary) {
+  auto v = util::JsonValue::object();
+  v.set("record", "chaos_campaign");
+  v.set("runs", static_cast<std::uint64_t>(summary.runs.size()));
+  v.set("survived", summary.survived);
+  v.set("fatal_detected", summary.fatal_detected);
+  v.set("violated", summary.violated);
+  v.set("reference_hash", hex64(summary.reference_hash));
+  return v;
+}
+
+void write_campaign_jsonl(std::ostream& out,
+                          const ChaosCampaignSummary& summary) {
+  sim::write_jsonl(out, to_json(summary));
+  for (const ChaosRunResult& run : summary.runs) {
+    sim::write_jsonl(out, to_json(run));
+  }
+}
+
+void save_campaign_jsonl(const std::string& path,
+                         const ChaosCampaignSummary& summary) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("chaos export: cannot open '" + path +
+                             "' for writing");
+  }
+  write_campaign_jsonl(out, summary);
+}
+
+}  // namespace dckpt::chaos

@@ -1,0 +1,233 @@
+#include "chaos/schedule.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "ckpt/ring.hpp"
+#include "util/rng.hpp"
+
+namespace dckpt::chaos {
+
+namespace {
+
+std::uint64_t parse_number(std::string_view text, const std::string& entry) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size() || text.empty()) {
+    throw std::invalid_argument("ChaosSchedule: bad entry '" + entry +
+                                "' (want step:node)");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string ChaosSchedule::spec() const {
+  std::string text;
+  for (const auto& failure : failures) {
+    if (!text.empty()) text += ',';
+    text += std::to_string(failure.step) + ':' + std::to_string(failure.node);
+  }
+  return text;
+}
+
+ChaosSchedule ChaosSchedule::parse(const std::string& spec) {
+  if (spec.empty()) {
+    throw std::invalid_argument("ChaosSchedule: empty spec");
+  }
+  ChaosSchedule schedule;
+  schedule.name = "scripted";
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const auto comma = spec.find(',', pos);
+    const std::string entry =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    const auto colon = entry.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("ChaosSchedule: bad entry '" + entry +
+                                  "' (want step:node)");
+    }
+    schedule.failures.push_back(
+        {parse_number(std::string_view(entry).substr(0, colon), entry),
+         parse_number(std::string_view(entry).substr(colon + 1), entry)});
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return schedule;
+}
+
+ChaosSchedule parse_schedule_cli(const std::string& program,
+                                 const std::string& spec) {
+  try {
+    return ChaosSchedule::parse(spec);
+  } catch (const std::invalid_argument&) {
+    std::fprintf(stderr, "%s: option --schedule: invalid value '%s'\n",
+                 program.c_str(), spec.c_str());
+    std::exit(2);
+  }
+}
+
+void validate_schedule(const ChaosSchedule& schedule,
+                       const runtime::RuntimeConfig& config) {
+  for (const auto& failure : schedule.failures) {
+    if (failure.node >= config.nodes) {
+      throw std::invalid_argument("ChaosSchedule '" + schedule.name +
+                                  "': node " + std::to_string(failure.node) +
+                                  " out of range");
+    }
+    if (failure.step >= config.total_steps) {
+      throw std::invalid_argument("ChaosSchedule '" + schedule.name +
+                                  "': step " + std::to_string(failure.step) +
+                                  " never executes");
+    }
+  }
+}
+
+std::vector<ChaosSchedule> scripted_schedules(
+    const runtime::RuntimeConfig& config) {
+  const std::uint64_t interval = config.checkpoint_interval;
+  const std::uint64_t total = config.total_steps;
+  const std::uint64_t gs = config.topology == ckpt::Topology::Pairs ? 2 : 3;
+  const auto step = [&](std::uint64_t s) {  // keep every plan executable
+    return std::min(s, total - 1);
+  };
+
+  std::vector<ChaosSchedule> plans;
+  const std::uint64_t c = step(2 * interval + config.staging_steps + 1);
+  plans.push_back({"single-mid-run", {{c, 0}}, 0});
+  plans.push_back({"before-first-commit", {{step(interval / 2), 0}}, 0});
+  plans.push_back({"last-step", {{total - 1, 1}}, 0});
+  if (config.staging_steps > 0) {
+    // The exchange snapshotted at `interval` is still in flight.
+    plans.push_back({"during-exchange", {{step(interval + 1), 1}}, 0});
+  }
+  plans.push_back({"same-step-group-double", {{c, 0}, {c, 1}}, 0});
+  // Buddy hit one step after the rollback -- inside the re-replication
+  // window whenever the configured delay exceeds the replayed distance.
+  plans.push_back({"risk-window-buddy", {{c, 0}, {step(c + 1), 1}}, 0});
+  if (config.rereplication_delay_steps > 0) {
+    // Buddy hit well past the refill: the window must be closed again.
+    plans.push_back(
+        {"after-risk-window",
+         {{c, 0},
+          {step(c + interval + config.rereplication_delay_steps + 1), 1}},
+         0});
+  }
+  if (config.nodes > gs) {
+    plans.push_back({"cross-group-simultaneous", {{c, 0}, {c, gs}}, 0});
+    plans.push_back(
+        {"cross-group-staggered", {{c, 0}, {step(c + 1), gs + 1}}, 0});
+  }
+  plans.push_back({"repeat-offender", {{c, 0}, {step(c + interval), 0}}, 0});
+  {
+    ChaosSchedule wipe{"group-wipe", {}, 0};
+    for (std::uint64_t member = 0; member < gs; ++member) {
+      wipe.failures.push_back({c, member});
+    }
+    plans.push_back(std::move(wipe));
+  }
+  if (gs == 3) {
+    plans.push_back({"triple-cascade",
+                     {{c, 0}, {step(c + 1), 1}, {step(c + 2), 2}},
+                     0});
+  }
+  for (auto& plan : plans) validate_schedule(plan, config);
+  return plans;
+}
+
+ChaosSchedule random_schedule(const runtime::RuntimeConfig& config,
+                              std::uint64_t seed,
+                              std::uint64_t max_failures) {
+  if (max_failures == 0) {
+    throw std::invalid_argument("random_schedule: max_failures must be > 0");
+  }
+  util::Xoshiro256ss rng(seed);
+  const std::uint64_t total = config.total_steps;
+  const std::uint64_t interval = config.checkpoint_interval;
+  const std::uint64_t gs = config.topology == ckpt::Topology::Pairs ? 2 : 3;
+  const std::uint64_t groups = config.nodes / gs;
+  const std::uint64_t window = std::max<std::uint64_t>(
+      config.rereplication_delay_steps, 1);
+
+  const auto any_step = [&] { return 1 + rng.next_below(total - 1); };
+  const auto any_node = [&] { return rng.next_below(config.nodes); };
+  const auto group_member = [&](std::uint64_t group, std::uint64_t index) {
+    return group * gs + index;
+  };
+
+  ChaosSchedule schedule;
+  schedule.name = "random";
+  schedule.seed = seed;
+  const std::uint64_t count = 1 + rng.next_below(max_failures);
+  while (schedule.failures.size() < count) {
+    switch (rng.next_below(5)) {
+      case 0: {  // uniform single
+        schedule.failures.push_back({any_step(), any_node()});
+        break;
+      }
+      case 1: {  // simultaneous hit inside one group
+        const std::uint64_t group = rng.next_below(groups);
+        const std::uint64_t first = rng.next_below(gs);
+        const std::uint64_t second = (first + 1 + rng.next_below(gs - 1)) % gs;
+        const std::uint64_t at = any_step();
+        schedule.failures.push_back({at, group_member(group, first)});
+        schedule.failures.push_back({at, group_member(group, second)});
+        break;
+      }
+      case 2: {  // buddy hit around the re-replication window
+        const std::uint64_t group = rng.next_below(groups);
+        const std::uint64_t first = rng.next_below(gs);
+        const std::uint64_t second = (first + 1 + rng.next_below(gs - 1)) % gs;
+        const std::uint64_t at = any_step();
+        const std::uint64_t gap = 1 + rng.next_below(window + 2);
+        schedule.failures.push_back({at, group_member(group, first)});
+        schedule.failures.push_back(
+            {std::min(at + gap, total - 1), group_member(group, second)});
+        break;
+      }
+      case 3: {  // just after a checkpoint boundary (exchange window)
+        const std::uint64_t boundaries = std::max<std::uint64_t>(
+            (total - 1) / interval, 1);
+        const std::uint64_t boundary =
+            interval * (1 + rng.next_below(boundaries));
+        const std::uint64_t offset =
+            rng.next_below(std::max<std::uint64_t>(config.staging_steps, 1) +
+                           1);
+        schedule.failures.push_back(
+            {std::min(boundary + offset, total - 1), any_node()});
+        break;
+      }
+      default: {  // repeat offender
+        const std::uint64_t node = any_node();
+        const std::uint64_t at = any_step();
+        schedule.failures.push_back({at, node});
+        schedule.failures.push_back(
+            {std::min(at + 1 + rng.next_below(interval), total - 1), node});
+        break;
+      }
+    }
+  }
+  schedule.failures.resize(count);  // motifs may overshoot by one
+  validate_schedule(schedule, config);
+  return schedule;
+}
+
+std::uint64_t spare_pool_delay_steps(const model::SparePoolSpec& spec,
+                                     double platform_mtbf,
+                                     double step_seconds) {
+  if (!(step_seconds > 0.0) || !std::isfinite(step_seconds)) {
+    throw std::invalid_argument(
+        "spare_pool_delay_steps: step_seconds must be > 0");
+  }
+  const double wait = model::effective_downtime(spec, platform_mtbf);
+  const double steps = std::ceil(wait / step_seconds);
+  return std::max<std::uint64_t>(static_cast<std::uint64_t>(steps), 1);
+}
+
+}  // namespace dckpt::chaos

@@ -1,0 +1,79 @@
+// Chaos schedules: adversarial multi-failure injection plans against the
+// runtime Coordinator.
+//
+// A ChaosSchedule is a named list of FailureInjections plus the seed that
+// generated it (0 for hand-scripted plans), with a textual round-trip form
+// "step:node[,step:node...]" -- the same grammar `runtime_demo --kill` and
+// `dckpt chaos --schedule` speak, so every campaign run is reproducible
+// from the command line.
+//
+// Two sources of schedules:
+//   * scripted_schedules() -- the paper's named danger cases: failures
+//     during the checkpoint exchange, double hits inside the
+//     re-replication risk window, simultaneous losses across and within
+//     groups, and back-to-back hits straddling the spare-allocation delay.
+//   * random_schedule() -- seed-deterministic adversarial draws biased
+//     toward the same timing windows (uniform placement almost never lands
+//     inside a risk window by chance).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/spares.hpp"
+#include "runtime/coordinator.hpp"
+
+namespace dckpt::chaos {
+
+struct ChaosSchedule {
+  std::string name;  ///< scenario family label ("risk-window-buddy", ...)
+  std::vector<runtime::FailureInjection> failures;
+  std::uint64_t seed = 0;  ///< generator seed; 0 = hand-scripted
+
+  /// Round-trip textual form: "step:node,step:node" ("" when empty).
+  std::string spec() const;
+
+  /// Parses the textual form. Throws std::invalid_argument naming the bad
+  /// entry on malformed input (missing colon, non-numeric, trailing junk).
+  static ChaosSchedule parse(const std::string& spec);
+};
+
+/// CLI front door for `--schedule`: parse() with the PR 1 error convention --
+/// on malformed input prints "<program>: option --schedule: invalid value
+/// '<spec>'" to stderr and exits(2).
+ChaosSchedule parse_schedule_cli(const std::string& program,
+                                 const std::string& spec);
+
+/// Validates every injection against `config` (node in range, step below
+/// total_steps). Throws std::invalid_argument otherwise.
+void validate_schedule(const ChaosSchedule& schedule,
+                       const runtime::RuntimeConfig& config);
+
+/// The scripted danger cases for `config` (every schedule valid for it):
+/// single hits, exchange-window hits (when staging_steps > 0), same-group
+/// double hits at the same step and inside the re-replication window,
+/// cross-group simultaneous losses, repeated hits on one node, and a
+/// whole-group wipe. Survivable and fatal plans are both included -- the
+/// campaign's shadow oracle decides which is which.
+std::vector<ChaosSchedule> scripted_schedules(
+    const runtime::RuntimeConfig& config);
+
+/// Seed-deterministic adversarial draw: picks 1..max_failures injections
+/// using a mix of strategies (uniform, buddy hit inside the risk window,
+/// simultaneous same/cross group, exchange window, repeat offender). The
+/// same (config, seed, max_failures) triple always yields the same plan.
+ChaosSchedule random_schedule(const runtime::RuntimeConfig& config,
+                              std::uint64_t seed,
+                              std::uint64_t max_failures = 4);
+
+/// Maps the spare-pool model's expected replacement wait (Erlang-C, from
+/// model/spares) plus detection time onto whole runtime steps of
+/// `step_seconds` each -- the bridge between `model::SparePoolSpec` and
+/// `RuntimeConfig::rereplication_delay_steps`. Always at least 1 step (a
+/// pool never reacts faster than the step that detects the loss).
+std::uint64_t spare_pool_delay_steps(const model::SparePoolSpec& spec,
+                                     double platform_mtbf,
+                                     double step_seconds);
+
+}  // namespace dckpt::chaos

@@ -1,0 +1,124 @@
+#include "chaos/shadow.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "ckpt/ring.hpp"
+
+namespace dckpt::chaos {
+
+ShadowPrediction predict_outcome(
+    const runtime::RuntimeConfig& config,
+    std::span<const runtime::FailureInjection> failures) {
+  config.validate();
+  const ckpt::GroupAssignment groups(config.nodes, config.topology);
+  const bool pairs = config.topology == ckpt::Topology::Pairs;
+
+  std::vector<runtime::FailureInjection> pending(failures.begin(),
+                                                 failures.end());
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const runtime::FailureInjection& a,
+                      const runtime::FailureInjection& b) {
+                     return a.step < b.step;
+                   });
+
+  ShadowPrediction out;
+  std::vector<bool> store_ok(config.nodes, false);  // meaningful post-commit
+  bool has_commit = false;
+  std::uint64_t committed_step = 0;
+  bool staging = false;
+  std::uint64_t snapshot_step = 0;
+  std::uint64_t commit_at = 0;
+  std::vector<std::uint64_t> refill;
+  std::uint64_t refill_due = 0;
+
+  const auto commit = [&] {
+    committed_step = snapshot_step;
+    has_commit = true;
+    staging = false;
+    ++out.checkpoints;
+    std::fill(store_ok.begin(), store_ok.end(), true);
+    refill.clear();
+  };
+
+  std::uint64_t step = 0;
+  while (step < config.total_steps) {
+    bool failed = false;
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (it->step == step) {
+        if (it->node >= config.nodes) {
+          throw std::invalid_argument("FailureInjection: node out of range");
+        }
+        store_ok[it->node] = false;  // destroy() empties the buddy store
+        ++out.failures;
+        failed = true;
+        it = pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (failed) {
+      staging = false;
+      refill.clear();
+      ++out.rollbacks;
+      if (has_commit) {
+        // rollback_all in worker-id order: a node restores from its local
+        // copy when the topology keeps one, else from a group peer
+        // (counted as a recovery); no peer left means fatal data loss.
+        for (std::uint64_t node = 0; node < config.nodes; ++node) {
+          const bool has_local = pairs && store_ok[node];
+          if (has_local) continue;
+          ++out.recoveries;
+          const bool survivable =
+              pairs ? store_ok[groups.preferred_buddy(node)]
+                    : store_ok[groups.preferred_buddy(node)] ||
+                          store_ok[groups.secondary_buddy(node)];
+          if (!survivable) {
+            out.fatal = true;
+            out.fatal_step = step;
+            out.unrecoverable_node = node;
+            return out;
+          }
+        }
+        std::vector<std::uint64_t> empty;
+        for (std::uint64_t node = 0; node < config.nodes; ++node) {
+          if (!store_ok[node]) empty.push_back(node);
+        }
+        if (config.rereplication_delay_steps == 0) {
+          for (const std::uint64_t node : empty) store_ok[node] = true;
+          out.rereplications += empty.size();
+        } else {
+          refill = std::move(empty);
+          refill_due = config.rereplication_delay_steps;
+        }
+      }
+      const std::uint64_t resume = has_commit ? committed_step : 0;
+      out.replayed_steps += step - resume;
+      step = resume;
+      continue;
+    }
+
+    ++step;
+    ++out.steps_executed;
+    if (!refill.empty()) {
+      ++out.risk_steps;
+      if (--refill_due == 0) {
+        for (const std::uint64_t node : refill) store_ok[node] = true;
+        out.rereplications += refill.size();
+        refill.clear();
+      }
+    }
+    if (staging && step == commit_at) commit();
+    if (step % config.checkpoint_interval == 0 && step < config.total_steps &&
+        !staging) {
+      snapshot_step = step;
+      staging = true;
+      commit_at = step + config.staging_steps;
+      if (config.staging_steps == 0) commit();
+    }
+  }
+  return out;
+}
+
+}  // namespace dckpt::chaos

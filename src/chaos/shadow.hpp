@@ -1,0 +1,50 @@
+// Shadow oracle: an abstract replica-state machine that predicts, without
+// touching any application data, what the Coordinator must do under a
+// failure schedule -- survive or report fatal data loss, and with exactly
+// which accounting (rollbacks, replays, checkpoints, recoveries, refills,
+// risk-window steps).
+//
+// The oracle tracks one bit per node -- "this node's buddy storage holds
+// its committed set" -- because store contents are all-or-nothing: a
+// committed exchange fills every store, a destroyed node empties its own,
+// and a re-replication refill restores it wholesale. A rollback is fatal
+// exactly when some node's committed image has no surviving holder.
+//
+// This is deliberately an *independent reimplementation* of the control
+// flow in runtime/coordinator.cpp (same step/commit/refill ordering, none
+// of the data movement): the chaos campaign runs both and any divergence
+// -- outcome or counter -- is classified `violated`, i.e. a bug in one of
+// the two. Property tests drive random schedules through the pair.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "runtime/coordinator.hpp"
+
+namespace dckpt::chaos {
+
+struct ShadowPrediction {
+  bool fatal = false;
+  std::uint64_t fatal_step = 0;          ///< step of the unsurvivable rollback
+  std::uint64_t unrecoverable_node = 0;  ///< first node with no replica left
+  // Mirrors of the RunReport counters the oracle can derive.
+  std::uint64_t steps_executed = 0;
+  std::uint64_t replayed_steps = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t rereplications = 0;
+  std::uint64_t risk_steps = 0;
+};
+
+/// Runs the abstract machine for `config` under `failures` (same contract
+/// as Coordinator::run: each injection fires at most once, in step order).
+/// Throws std::invalid_argument on an out-of-range injection, like the
+/// runtime does.
+ShadowPrediction predict_outcome(
+    const runtime::RuntimeConfig& config,
+    std::span<const runtime::FailureInjection> failures);
+
+}  // namespace dckpt::chaos

@@ -70,8 +70,39 @@ OptimalPeriod optimal_period_numeric(Protocol protocol,
   const auto objective = [&](double period) {
     return waste(protocol, params, period);
   };
-  const auto brent = util::minimize_brent(objective, lo, hi, 1e-10, 300);
-  OptimalPeriod result = finalize(protocol, params, brent.x);
+  // waste() saturates at 1.0, so the objective has flat plateaus wherever the
+  // platform is infeasible -- near lo (period barely above the checkpoint
+  // cost) and for large P (failures dominate). Brent's golden-section steps
+  // can stall on those plateaus and report a boundary, so first locate the
+  // basin with a coarse log-spaced scan and hand Brent the bracketing
+  // sub-interval around the best sample.
+  constexpr int kScanPoints = 64;
+  const double ratio = hi / lo;
+  double best_x = lo;
+  double best_f = objective(lo);
+  double xs[kScanPoints + 1];
+  for (int i = 0; i <= kScanPoints; ++i) {
+    xs[i] = lo * std::pow(ratio, static_cast<double>(i) / kScanPoints);
+    const double f = objective(xs[i]);
+    if (f < best_f) {
+      best_f = f;
+      best_x = xs[i];
+    }
+  }
+  double bracket_lo = lo;
+  double bracket_hi = hi;
+  for (int i = 0; i <= kScanPoints; ++i) {
+    if (xs[i] == best_x) {
+      bracket_lo = i > 0 ? xs[i - 1] : lo;
+      bracket_hi = i < kScanPoints ? xs[i + 1] : hi;
+      break;
+    }
+  }
+  const auto brent =
+      util::minimize_brent(objective, bracket_lo, bracket_hi, 1e-10, 300);
+  OptimalPeriod result = finalize(protocol, params,
+                                  objective(brent.x) <= best_f ? brent.x
+                                                               : best_x);
   // finalize() clamps; the optimizer result is already in-domain, but the
   // boundary optimum (P = lo) is common for TRIPLE at phi ~ 0.
   if (objective(lo) <= result.waste) {

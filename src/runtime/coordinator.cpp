@@ -113,6 +113,9 @@ void Coordinator::commit_checkpoint(RunReport& report) {
   staging_ = false;
   report.bytes_replicated += staged_bytes_;
   ++report.checkpoints;
+  // A committed exchange re-creates every replica: any pending refill is
+  // subsumed and the risk window closes.
+  pending_refill_.clear();
 }
 
 void Coordinator::rollback_all(RunReport& report) {
@@ -130,6 +133,7 @@ void Coordinator::rollback_all(RunReport& report) {
     worker.store().discard_staged();
     // Prefer the local copy (pairs); otherwise fetch from a group peer.
     auto local = worker.store().committed_for(worker.id());
+    if (!local) ++report.recoveries;
     const ckpt::Snapshot image =
         local ? *local
               : *ckpt::locate_replica(worker.id(), groups_, stores)
@@ -174,17 +178,30 @@ RunReport Coordinator::run(std::span<const FailureInjection> failures) {
       // Any in-flight staging set is lost with its victims; abandon it and
       // fall back to the last committed set (it will be retaken on replay).
       staging_ = false;
+      pending_refill_.clear();
       try {
         rollback_all(report);
         if (has_commit_) {
           // Re-replicate what the victims were storing for their peers, so
           // the group can survive the next failure (this is the action whose
-          // duration defines the model's risk window).
-          const auto stores = store_directory();
+          // duration defines the model's risk window). With a configured
+          // delay the refill completes only after `rereplication_delay_steps`
+          // executed steps -- until then the group is one hit from fatal.
+          std::vector<std::uint64_t> empty;
           for (Worker& worker : workers_) {
             if (worker.store().committed_count() == 0) {
-              ckpt::restore_replicas(worker.id(), groups_, stores);
+              empty.push_back(worker.id());
             }
+          }
+          if (config_.rereplication_delay_steps == 0) {
+            const auto stores = store_directory();
+            for (const std::uint64_t node : empty) {
+              ckpt::restore_replicas(node, groups_, stores);
+              ++report.rereplications;
+            }
+          } else {
+            pending_refill_ = std::move(empty);
+            refill_due_steps_ = config_.rereplication_delay_steps;
           }
         }
       } catch (const std::runtime_error& error) {
@@ -201,6 +218,19 @@ RunReport Coordinator::run(std::span<const FailureInjection> failures) {
     execute_step();
     ++step;
     ++report.steps_executed;
+    // Tick the open risk window: once the delay elapses the replacement
+    // nodes' buddy storage is refilled from the surviving replicas.
+    if (!pending_refill_.empty()) {
+      ++report.risk_steps;
+      if (--refill_due_steps_ == 0) {
+        const auto stores = store_directory();
+        for (const std::uint64_t node : pending_refill_) {
+          ckpt::restore_replicas(node, groups_, stores);
+          ++report.rereplications;
+        }
+        pending_refill_.clear();
+      }
+    }
     // Commit an in-flight set before possibly starting the next one (the
     // two coincide when staging_steps == checkpoint_interval).
     if (staging_ && step == staging_commit_at_) {

@@ -48,6 +48,13 @@ struct RuntimeConfig {
   /// preceding period when a failure hits parts 1/2. 0 = commit
   /// immediately (blocking exchange). Must be <= checkpoint_interval.
   std::uint64_t staging_steps = 0;
+  /// Re-replication delay: executed steps between a rollback and the refill
+  /// of the replacement node's buddy storage (detection + spare allocation +
+  /// image transfer). While the refill is pending the victim's group cannot
+  /// survive another member loss -- the runtime realization of the model's
+  /// risk window (paper Sec. III/IV). A committed checkpoint also closes
+  /// the window (it re-creates every replica). 0 = refill immediately.
+  std::uint64_t rereplication_delay_steps = 0;
 
   void validate() const;
 };
@@ -67,6 +74,11 @@ struct RunReport {
   std::uint64_t rollbacks = 0;
   std::uint64_t bytes_replicated = 0; ///< checkpoint bytes sent to buddies
   std::uint64_t cow_copies = 0;       ///< pages duplicated by COW
+  std::uint64_t recoveries = 0;       ///< images restored from a peer replica
+                                      ///< (each one hash-verified)
+  std::uint64_t rereplications = 0;   ///< buddy stores refilled after a loss
+  std::uint64_t risk_steps = 0;       ///< executed steps with a refill pending
+                                      ///< (degraded redundancy)
   bool fatal = false;                 ///< unrecoverable data loss
   std::string fatal_reason;
   std::uint64_t final_hash = 0;       ///< FNV-1a over the global state
@@ -109,6 +121,11 @@ class Coordinator {
   std::uint64_t staging_version_ = 0;
   std::vector<std::uint64_t> staging_hashes_;
   std::uint64_t staged_bytes_ = 0;
+
+  // Nodes whose buddy storage awaits re-replication, and the executed steps
+  // left until the refill completes (the open risk window).
+  std::vector<std::uint64_t> pending_refill_;
+  std::uint64_t refill_due_steps_ = 0;
 };
 
 /// Hash of a full global state vector (for cross-run comparisons).

@@ -114,6 +114,16 @@ void write_trace_jsonl(std::ostream& out, const Trace& trace) {
   }
 }
 
+void write_jsonl(std::ostream& out, const util::JsonValue& value) {
+  out << value.dump() << '\n';
+}
+
+void save_jsonl(const std::string& path,
+                const std::vector<util::JsonValue>& lines) {
+  auto out = open_or_throw(path);
+  for (const auto& line : lines) write_jsonl(out, line);
+}
+
 void save_metrics_jsonl(const std::string& path,
                         const MonteCarloResult& result) {
   auto out = open_or_throw(path);

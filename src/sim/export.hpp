@@ -39,6 +39,12 @@ void write_metrics_jsonl(std::ostream& out, const MonteCarloResult& result);
 void write_sweep_jsonl(std::ostream& out, const std::vector<SweepPoint>& rows);
 void write_trace_jsonl(std::ostream& out, const Trace& trace);
 
+/// Generic JSONL writers for pre-built documents (the chaos layer routes
+/// its records through these): one document per line.
+void write_jsonl(std::ostream& out, const util::JsonValue& value);
+void save_jsonl(const std::string& path,
+                const std::vector<util::JsonValue>& lines);
+
 /// File writers; throw std::runtime_error when `path` cannot be opened.
 void save_metrics_jsonl(const std::string& path,
                         const MonteCarloResult& result);

@@ -58,10 +58,13 @@ MonteCarloResult run_monte_carlo(const SimConfig& config,
   config.validate();
   if (options.metrics) options.metrics->validate();
 
-  // One chunk per thread times a small oversubscription factor keeps the
-  // pool busy while preserving the deterministic chunk->stream mapping.
-  const std::size_t chunks =
-      std::min<std::uint64_t>(options.trials, pool.thread_count() * 4);
+  // A fixed chunk count (not a multiple of the thread count) keeps the pool
+  // busy AND pins the stats merge tree: RunningStats::merge is exact in
+  // content but not in floating-point association, so chunk boundaries must
+  // not move with the thread count or the exported JSONL would differ in the
+  // last ulp between -j1 and -j8 runs.
+  constexpr std::size_t kChunks = 64;
+  const std::size_t chunks = std::min<std::uint64_t>(options.trials, kChunks);
   std::vector<MonteCarloResult> partial(std::max<std::size_t>(chunks, 1));
 
   util::parallel_for_chunked(

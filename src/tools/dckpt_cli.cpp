@@ -9,14 +9,17 @@
 //   dckpt trace-fit  analyze a failure trace, fit exponential/Weibull
 //   dckpt hierarchy  two-level (buddy + stable storage) planning
 //   dckpt spares     spare-pool sizing and its effect on downtime/waste
+//   dckpt chaos      adversarial failure campaigns against the runtime
 //
 // Every subcommand accepts --help.
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "chaos/chaos_api.hpp"
 #include "model/model_api.hpp"
 #include "net/net_api.hpp"
 #include "sim/sim_api.hpp"
@@ -489,6 +492,144 @@ int cmd_spares(int argc, const char* const* argv) {
   return 0;
 }
 
+// --------------------------------------------------------------- chaos
+
+int cmd_chaos(int argc, const char* const* argv) {
+  util::CliParser cli("dckpt chaos",
+                      "adversarial failure campaigns against the runtime");
+  cli.add_option("topology", "pairs", "pairs | triples");
+  cli.add_option("nodes", "8", "node count (multiple of the group size)");
+  cli.add_option("cells", "64", "cells per node");
+  cli.add_option("steps", "96", "total steps");
+  cli.add_option("interval", "12", "checkpoint interval, steps");
+  cli.add_option("staging", "0", "staging (non-blocking exchange) steps");
+  cli.add_option("rerepl-delay", "3",
+                 "re-replication delay, steps (the risk window; 0 = instant)");
+  cli.add_option("kernel", "heat", "heat | wave | counter");
+  cli.add_option("runs", "100", "randomized schedules after the scripted set");
+  cli.add_option("seed", "1", "campaign seed (or schedule seed with "
+                 "--schedule, informational)");
+  cli.add_option("max-failures", "4", "failures per random schedule");
+  cli.add_option("schedule", "",
+                 "run one schedule 'step:node,...' instead of a campaign");
+  cli.add_option("spares", "0",
+                 "derive --rerepl-delay from an Erlang-C pool of this many "
+                 "spares (0 = use --rerepl-delay)");
+  cli.add_option("repair", "3600", "spare repair/return time, seconds");
+  cli.add_option("detection", "30", "failure detection time, seconds");
+  cli.add_option("mtbf", "25200", "platform MTBF for the spare pool, seconds");
+  cli.add_option("step-seconds", "60", "wall-clock seconds per runtime step");
+  cli.add_option("report-out", "", "write campaign + run records as JSONL");
+  cli.add_option("threads", "0", "campaign workers (0 = hardware)");
+  cli.add_flag("random-only", "skip the scripted danger cases");
+  if (!cli.parse(argc, argv)) return 0;
+
+  chaos::ChaosCampaignConfig config;
+  const std::string topology = cli.get("topology");
+  if (topology == "pairs") {
+    config.runtime.topology = ckpt::Topology::Pairs;
+  } else if (topology == "triples") {
+    config.runtime.topology = ckpt::Topology::Triples;
+  } else {
+    std::fprintf(stderr, "dckpt chaos: option --topology: invalid value "
+                 "'%s'\n", topology.c_str());
+    std::exit(2);
+  }
+  config.runtime.nodes = static_cast<std::uint64_t>(cli.get_int("nodes"));
+  config.runtime.cells_per_node =
+      static_cast<std::size_t>(cli.get_int("cells"));
+  config.runtime.total_steps =
+      static_cast<std::uint64_t>(cli.get_int("steps"));
+  config.runtime.checkpoint_interval =
+      static_cast<std::uint64_t>(cli.get_int("interval"));
+  config.runtime.staging_steps =
+      static_cast<std::uint64_t>(cli.get_int("staging"));
+  config.runtime.rereplication_delay_steps =
+      static_cast<std::uint64_t>(cli.get_int("rerepl-delay"));
+  config.kernel = cli.get("kernel");
+  config.random_runs = static_cast<std::uint64_t>(cli.get_int("runs"));
+  config.campaign_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.max_failures =
+      static_cast<std::uint64_t>(cli.get_int("max-failures"));
+  config.include_scripted = !cli.get_flag("random-only");
+  config.threads = static_cast<std::size_t>(cli.get_int("threads"));
+
+  if (const auto spares = cli.get_int("spares"); spares > 0) {
+    // Bridge from the spare-pool model: expected allocation wait -> steps.
+    model::SparePoolSpec spec;
+    spec.spares = static_cast<std::uint64_t>(spares);
+    spec.repair_time = cli.get_double("repair");
+    spec.detection = cli.get_double("detection");
+    config.runtime.rereplication_delay_steps = chaos::spare_pool_delay_steps(
+        spec, cli.get_double("mtbf"), cli.get_double("step-seconds"));
+    std::printf("spare pool: %lld spares -> re-replication delay %llu "
+                "steps\n",
+                static_cast<long long>(spares),
+                static_cast<unsigned long long>(
+                    config.runtime.rereplication_delay_steps));
+  }
+
+  const auto print_violation = [](const chaos::ChaosRunResult& run) {
+    std::printf("VIOLATED  run %llu (%s): %s\n",
+                static_cast<unsigned long long>(run.index),
+                run.schedule.name.c_str(), run.detail.c_str());
+    std::printf("  repro: %s\n", run.repro.c_str());
+  };
+
+  if (!cli.get("schedule").empty()) {
+    // Single-schedule mode: the repro path for campaign failures.
+    chaos::ChaosSchedule schedule =
+        chaos::parse_schedule_cli("dckpt chaos", cli.get("schedule"));
+    schedule.seed = config.campaign_seed;
+    const std::uint64_t reference =
+        chaos::reference_run(config).final_hash;
+    const auto run = chaos::run_one(config, std::move(schedule), reference);
+    if (!cli.get("report-out").empty()) {
+      std::vector<util::JsonValue> lines;
+      lines.push_back(chaos::to_json(run));
+      sim::save_jsonl(cli.get("report-out"), lines);
+      std::printf("[jsonl] wrote %s\n", cli.get("report-out").c_str());
+    }
+    if (run.outcome == chaos::ChaosOutcome::Violated) {
+      print_violation(run);
+      return 1;
+    }
+    std::printf("%s  %s%s%s\n",
+                std::string(chaos::outcome_name(run.outcome)).c_str(),
+                run.schedule.spec().c_str(),
+                run.detail.empty() ? "" : ": ", run.detail.c_str());
+    std::printf("steps %llu (replayed %llu), checkpoints %llu, rollbacks "
+                "%llu, recoveries %llu, rereplications %llu, risk steps "
+                "%llu\n",
+                static_cast<unsigned long long>(run.report.steps_executed),
+                static_cast<unsigned long long>(run.report.replayed_steps),
+                static_cast<unsigned long long>(run.report.checkpoints),
+                static_cast<unsigned long long>(run.report.rollbacks),
+                static_cast<unsigned long long>(run.report.recoveries),
+                static_cast<unsigned long long>(run.report.rereplications),
+                static_cast<unsigned long long>(run.report.risk_steps));
+    return 0;
+  }
+
+  const auto summary = chaos::run_campaign(config);
+  util::TextTable table({"outcome", "runs"});
+  table.add_row({"survived", std::to_string(summary.survived)});
+  table.add_row({"fatal-detected", std::to_string(summary.fatal_detected)});
+  table.add_row({"violated", std::to_string(summary.violated)});
+  std::printf("%s", table.render().c_str());
+  std::printf("campaign: %zu runs, seed %llu\n", summary.runs.size(),
+              static_cast<unsigned long long>(config.campaign_seed));
+  for (const auto& run : summary.runs) {
+    if (run.outcome == chaos::ChaosOutcome::Violated) print_violation(run);
+  }
+  if (!cli.get("report-out").empty()) {
+    chaos::save_campaign_jsonl(cli.get("report-out"), summary);
+    std::printf("[jsonl] wrote %s (%zu records)\n",
+                cli.get("report-out").c_str(), summary.runs.size() + 1);
+  }
+  return summary.violated > 0 ? 1 : 0;
+}
+
 void print_usage() {
   std::fputs(
       "dckpt -- double/triple checkpointing toolkit\n"
@@ -502,7 +643,8 @@ void print_usage() {
       "  trace-fit   analyze a failure trace, fit distributions\n"
       "  hierarchy   two-level (buddy + stable storage) planning\n"
       "  overlap     measure the overlap factor alpha for a workload\n"
-      "  spares      spare-pool sizing\n\n"
+      "  spares      spare-pool sizing\n"
+      "  chaos       adversarial failure campaigns against the runtime\n\n"
       "run 'dckpt <command> --help' for the command's options.\n",
       stdout);
 }
@@ -527,6 +669,7 @@ int main(int argc, char** argv) {
     if (command == "hierarchy") return cmd_hierarchy(sub_argc, sub_argv);
     if (command == "overlap") return cmd_overlap(sub_argc, sub_argv);
     if (command == "spares") return cmd_spares(sub_argc, sub_argv);
+    if (command == "chaos") return cmd_chaos(sub_argc, sub_argv);
     if (command == "--help" || command == "-h" || command == "help") {
       print_usage();
       return 0;

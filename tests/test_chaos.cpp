@@ -1,0 +1,402 @@
+// Chaos campaign engine tests: schedule grammar, shadow-oracle
+// classification, the scripted danger cases, randomized campaigns
+// (the ISSUE's 200-run zero-violation acceptance bar), command-line
+// reproducibility, and thread-count-invariant JSONL export.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "chaos/chaos_api.hpp"
+#include "proptest.hpp"
+
+namespace {
+
+using namespace dckpt;
+using dckpt::ckpt::Topology;
+
+chaos::ChaosCampaignConfig small_campaign(Topology topology) {
+  chaos::ChaosCampaignConfig config;
+  config.runtime.topology = topology;
+  config.runtime.nodes = topology == Topology::Pairs ? 8 : 9;
+  config.runtime.cells_per_node = 48;
+  config.runtime.checkpoint_interval = 12;
+  config.runtime.total_steps = 96;
+  config.runtime.staging_steps = 4;
+  // The refill clock also ticks during replay, so a second hit can only
+  // land inside the window when the delay exceeds the replay distance
+  // (staging + 2 here). 8 keeps the scripted risk-window cases in-window.
+  config.runtime.rereplication_delay_steps = 8;
+  config.random_runs = 0;
+  config.threads = 2;
+  return config;
+}
+
+// ----------------------------------------------------------- grammar
+
+TEST(ChaosSchedule, SpecRoundTrips) {
+  const auto schedule = chaos::ChaosSchedule::parse("25:0,26:1,90:7");
+  EXPECT_EQ(schedule.failures.size(), 3u);
+  EXPECT_EQ(schedule.failures[1].step, 26u);
+  EXPECT_EQ(schedule.failures[1].node, 1u);
+  EXPECT_EQ(schedule.spec(), "25:0,26:1,90:7");
+  EXPECT_EQ(chaos::ChaosSchedule::parse(schedule.spec()).spec(),
+            schedule.spec());
+}
+
+TEST(ChaosSchedule, ParseRejectsMalformedSpecs) {
+  EXPECT_THROW(chaos::ChaosSchedule::parse(""), std::invalid_argument);
+  EXPECT_THROW(chaos::ChaosSchedule::parse("banana"), std::invalid_argument);
+  EXPECT_THROW(chaos::ChaosSchedule::parse("25"), std::invalid_argument);
+  EXPECT_THROW(chaos::ChaosSchedule::parse("25:"), std::invalid_argument);
+  EXPECT_THROW(chaos::ChaosSchedule::parse(":1"), std::invalid_argument);
+  EXPECT_THROW(chaos::ChaosSchedule::parse("25:1,"), std::invalid_argument);
+  EXPECT_THROW(chaos::ChaosSchedule::parse("25:1,,30:2"),
+               std::invalid_argument);
+  EXPECT_THROW(chaos::ChaosSchedule::parse("-3:1"), std::invalid_argument);
+  EXPECT_THROW(chaos::ChaosSchedule::parse("2.5:1"), std::invalid_argument);
+  EXPECT_THROW(chaos::ChaosSchedule::parse("25:1 "), std::invalid_argument);
+}
+
+TEST(ChaosScheduleDeathTest, CliParserExitsWithConvention) {
+  // Same contract as CliParser's numeric getters: message to stderr,
+  // exit(2).
+  EXPECT_EXIT(chaos::parse_schedule_cli("dckpt chaos", "banana"),
+              testing::ExitedWithCode(2),
+              "dckpt chaos: option --schedule: invalid value 'banana'");
+}
+
+TEST(ChaosSchedule, ValidateChecksRanges) {
+  const auto config = small_campaign(Topology::Pairs).runtime;
+  chaos::ChaosSchedule bad_node{"t", {{10, config.nodes}}, 0};
+  EXPECT_THROW(chaos::validate_schedule(bad_node, config),
+               std::invalid_argument);
+  chaos::ChaosSchedule bad_step{"t", {{config.total_steps, 0}}, 0};
+  EXPECT_THROW(chaos::validate_schedule(bad_step, config),
+               std::invalid_argument);
+  chaos::ChaosSchedule good{"t", {{config.total_steps - 1, 0}}, 0};
+  EXPECT_NO_THROW(chaos::validate_schedule(good, config));
+}
+
+TEST(ChaosSchedule, RandomSchedulesAreSeedDeterministicAndValid) {
+  const auto config = small_campaign(Topology::Triples).runtime;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const auto a = chaos::random_schedule(config, seed);
+    const auto b = chaos::random_schedule(config, seed);
+    EXPECT_EQ(a.spec(), b.spec());
+    EXPECT_EQ(a.seed, seed);
+    EXPECT_GE(a.failures.size(), 1u);
+    EXPECT_LE(a.failures.size(), 4u);
+    EXPECT_NO_THROW(chaos::validate_schedule(a, config));
+  }
+  EXPECT_NE(chaos::random_schedule(config, 1).spec(),
+            chaos::random_schedule(config, 2).spec());
+}
+
+// ----------------------------------------------- scripted danger cases
+
+std::map<std::string, chaos::ChaosRunResult> run_scripted(
+    const chaos::ChaosCampaignConfig& config) {
+  const std::uint64_t reference = chaos::reference_run(config).final_hash;
+  std::map<std::string, chaos::ChaosRunResult> by_name;
+  for (const auto& schedule : chaos::scripted_schedules(config.runtime)) {
+    by_name[schedule.name] = chaos::run_one(config, schedule, reference);
+  }
+  return by_name;
+}
+
+TEST(ChaosScripted, PairsOutcomesMatchTheRiskModel) {
+  const auto runs = run_scripted(small_campaign(Topology::Pairs));
+  const auto outcome = [&](const std::string& name) {
+    auto it = runs.find(name);
+    EXPECT_NE(it, runs.end()) << name;
+    return it == runs.end() ? chaos::ChaosOutcome::Violated
+                            : it->second.outcome;
+  };
+  // No run may ever be violated -- that is the engine's whole invariant.
+  for (const auto& [name, run] : runs) {
+    EXPECT_NE(run.outcome, chaos::ChaosOutcome::Violated)
+        << name << ": " << run.detail;
+  }
+  EXPECT_EQ(outcome("single-mid-run"), chaos::ChaosOutcome::Survived);
+  EXPECT_EQ(outcome("before-first-commit"), chaos::ChaosOutcome::Survived);
+  EXPECT_EQ(outcome("last-step"), chaos::ChaosOutcome::Survived);
+  EXPECT_EQ(outcome("during-exchange"), chaos::ChaosOutcome::Survived);
+  EXPECT_EQ(outcome("cross-group-simultaneous"),
+            chaos::ChaosOutcome::Survived);
+  EXPECT_EQ(outcome("cross-group-staggered"), chaos::ChaosOutcome::Survived);
+  EXPECT_EQ(outcome("repeat-offender"), chaos::ChaosOutcome::Survived);
+  // A second hit inside the group is fatal: simultaneously, inside the
+  // re-replication window, or as a whole-group wipe.
+  EXPECT_EQ(outcome("same-step-group-double"),
+            chaos::ChaosOutcome::FatalDetected);
+  EXPECT_EQ(outcome("risk-window-buddy"), chaos::ChaosOutcome::FatalDetected);
+  EXPECT_EQ(outcome("group-wipe"), chaos::ChaosOutcome::FatalDetected);
+  // Past the refill the same double hit must be masked again.
+  EXPECT_EQ(outcome("after-risk-window"), chaos::ChaosOutcome::Survived);
+}
+
+TEST(ChaosScripted, TriplesDieOnInGroupDoublesLikeTheRotationPredicts) {
+  const auto runs = run_scripted(small_campaign(Topology::Triples));
+  for (const auto& [name, run] : runs) {
+    EXPECT_NE(run.outcome, chaos::ChaosOutcome::Violated)
+        << name << ": " << run.detail;
+  }
+  const auto outcome = [&](const std::string& name) {
+    return runs.at(name).outcome;
+  };
+  EXPECT_EQ(outcome("single-mid-run"), chaos::ChaosOutcome::Survived);
+  EXPECT_EQ(outcome("cross-group-simultaneous"),
+            chaos::ChaosOutcome::Survived);
+  EXPECT_EQ(outcome("repeat-offender"), chaos::ChaosOutcome::Survived);
+  // Rotation places the third member's two replicas exactly on the other
+  // two members' stores, so *any* in-group double hit (simultaneous or
+  // inside the window) destroys both copies of someone's image.
+  EXPECT_EQ(outcome("same-step-group-double"),
+            chaos::ChaosOutcome::FatalDetected);
+  EXPECT_EQ(outcome("risk-window-buddy"),
+            chaos::ChaosOutcome::FatalDetected);
+  EXPECT_EQ(outcome("group-wipe"), chaos::ChaosOutcome::FatalDetected);
+  EXPECT_EQ(outcome("triple-cascade"), chaos::ChaosOutcome::FatalDetected);
+  // Once the refill lands, the same double hit is masked again.
+  EXPECT_EQ(outcome("after-risk-window"), chaos::ChaosOutcome::Survived);
+}
+
+TEST(ChaosScripted, FatalRunsReportCleanly) {
+  const auto runs = run_scripted(small_campaign(Topology::Pairs));
+  const auto& fatal = runs.at("risk-window-buddy");
+  EXPECT_TRUE(fatal.report.fatal);
+  EXPECT_NE(fatal.report.fatal_reason.find("no surviving replica"),
+            std::string::npos);
+  EXPECT_TRUE(fatal.predicted.fatal);
+  EXPECT_EQ(fatal.predicted.fatal_step, fatal.schedule.failures[1].step);
+}
+
+// --------------------------------------------------- randomized campaigns
+
+TEST(ChaosCampaign, TwoHundredRandomRunsPairsNeverViolate) {
+  auto config = small_campaign(Topology::Pairs);
+  config.random_runs = 200;
+  config.campaign_seed = 20260805;
+  const auto summary = chaos::run_campaign(config);
+  EXPECT_EQ(summary.runs.size(), 200u + chaos::scripted_schedules(
+                                            config.runtime).size());
+  EXPECT_EQ(summary.violated, 0u);
+  for (const auto& run : summary.runs) {
+    EXPECT_NE(run.outcome, chaos::ChaosOutcome::Violated)
+        << run.schedule.name << " seed " << run.schedule.seed << ": "
+        << run.detail << "\n  " << run.repro;
+  }
+  // The adversarial bias must actually reach both classes.
+  EXPECT_GT(summary.survived, 0u);
+  EXPECT_GT(summary.fatal_detected, 0u);
+  EXPECT_EQ(summary.survived + summary.fatal_detected, summary.runs.size());
+}
+
+TEST(ChaosCampaign, TwoHundredRandomRunsTriplesNeverViolate) {
+  auto config = small_campaign(Topology::Triples);
+  config.random_runs = 200;
+  config.campaign_seed = 20260805;
+  const auto summary = chaos::run_campaign(config);
+  EXPECT_EQ(summary.violated, 0u);
+  EXPECT_GT(summary.survived, 0u);
+  EXPECT_GT(summary.fatal_detected, 0u);
+}
+
+TEST(ChaosCampaign, SurvivedRunsAreHashVerified) {
+  auto config = small_campaign(Topology::Pairs);
+  config.random_runs = 40;
+  const auto summary = chaos::run_campaign(config);
+  for (const auto& run : summary.runs) {
+    if (run.outcome != chaos::ChaosOutcome::Survived) continue;
+    EXPECT_EQ(run.report.final_hash, summary.reference_hash);
+    // Every recovery restored an image whose hash was re-checked against
+    // the committed one inside rollback_all; a mismatch would have been
+    // fatal, so reaching here with matching counters is the verification.
+    EXPECT_EQ(run.report.recoveries, run.predicted.recoveries);
+  }
+}
+
+// ------------------------------------------------------- reproducibility
+
+TEST(ChaosCampaign, ReproCommandReproducesEveryRun) {
+  auto config = small_campaign(Topology::Pairs);
+  config.random_runs = 25;
+  const auto summary = chaos::run_campaign(config);
+  const std::uint64_t reference = summary.reference_hash;
+  for (const auto& run : summary.runs) {
+    // The repro line carries the schedule spec; replaying it through the
+    // parser (the same path `dckpt chaos --schedule=` takes) must yield an
+    // identical classification and report.
+    EXPECT_NE(run.repro.find("dckpt chaos"), std::string::npos);
+    EXPECT_NE(run.repro.find("--seed=" + std::to_string(run.schedule.seed)),
+              std::string::npos);
+    EXPECT_NE(run.repro.find("--schedule=" + run.schedule.spec()),
+              std::string::npos);
+    auto replay = chaos::ChaosSchedule::parse(run.schedule.spec());
+    const auto again = chaos::run_one(config, replay, reference);
+    EXPECT_EQ(again.outcome, run.outcome);
+    EXPECT_EQ(again.report.final_hash, run.report.final_hash);
+    EXPECT_EQ(again.report.steps_executed, run.report.steps_executed);
+    EXPECT_EQ(again.report.risk_steps, run.report.risk_steps);
+  }
+}
+
+TEST(ChaosCampaign, SummaryIsThreadCountInvariant) {
+  // Satellite: byte-identical JSONL no matter how the campaign is spread
+  // across workers.
+  auto config = small_campaign(Topology::Pairs);
+  config.random_runs = 30;
+  std::string exports[3];
+  const std::size_t threads[3] = {1, 2, 8};
+  for (int i = 0; i < 3; ++i) {
+    config.threads = threads[i];
+    std::ostringstream out;
+    chaos::write_campaign_jsonl(out, chaos::run_campaign(config));
+    exports[i] = out.str();
+  }
+  EXPECT_EQ(exports[0], exports[1]);
+  EXPECT_EQ(exports[0], exports[2]);
+}
+
+TEST(ChaosCampaign, ExportRoundTripsThroughJsonParser) {
+  auto config = small_campaign(Topology::Triples);
+  config.random_runs = 5;
+  const auto summary = chaos::run_campaign(config);
+  std::ostringstream out;
+  chaos::write_campaign_jsonl(out, summary);
+  const auto lines = dckpt::util::parse_jsonl(out.str());
+  ASSERT_EQ(lines.size(), summary.runs.size() + 1);
+  EXPECT_EQ(lines[0].at("record").as_string(), "chaos_campaign");
+  EXPECT_EQ(lines[0].at("violated").as_number(), 0.0);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_EQ(lines[i].at("record").as_string(), "chaos_run");
+    EXPECT_EQ(lines[i].at("index").as_number(),
+              static_cast<double>(i - 1));
+    const std::string outcome = lines[i].at("outcome").as_string();
+    EXPECT_TRUE(outcome == "survived" || outcome == "fatal-detected")
+        << outcome;
+    if (outcome == "survived") {
+      EXPECT_EQ(lines[i].at("report").at("final_hash").as_string(),
+                lines[0].at("reference_hash").as_string());
+    }
+  }
+}
+
+// ------------------------------------------- shadow-vs-runtime property
+
+struct DifferentialCase {
+  chaos::ChaosCampaignConfig config;
+  chaos::ChaosSchedule schedule;
+};
+
+TEST(ChaosProperty, ShadowOracleMatchesRuntimeOnRandomConfigs) {
+  // The campaign fixes one configuration; this forall also varies the
+  // runtime shape (topology, staging, window width, interval) so the
+  // oracle's control-flow mirror is exercised across the whole config
+  // space, with the counter comparison as the equivalence check.
+  proptest::ForallConfig forall_config;
+  forall_config.seed = 0xd1ffe7;
+  forall_config.iterations = 120;
+  proptest::forall<DifferentialCase>(
+      forall_config,
+      [](proptest::Gen& gen) {
+        DifferentialCase c;
+        const bool pairs = gen.boolean();
+        c.config.runtime.topology =
+            pairs ? Topology::Pairs : Topology::Triples;
+        c.config.runtime.nodes =
+            (pairs ? 2 : 3) * gen.integer(1, 4);
+        c.config.runtime.cells_per_node = 32;
+        c.config.runtime.checkpoint_interval = gen.integer(3, 16);
+        c.config.runtime.total_steps =
+            c.config.runtime.checkpoint_interval * gen.integer(2, 6);
+        c.config.runtime.staging_steps =
+            gen.integer(0, c.config.runtime.checkpoint_interval);
+        c.config.runtime.rereplication_delay_steps = gen.integer(0, 8);
+        c.config.kernel = "counter";
+        c.schedule = chaos::random_schedule(c.config.runtime,
+                                            gen.rng()(), 5);
+        return c;
+      },
+      [](const DifferentialCase& c) -> std::optional<std::string> {
+        const std::uint64_t reference =
+            chaos::reference_run(c.config).final_hash;
+        const auto run = chaos::run_one(c.config, c.schedule, reference);
+        if (run.outcome == chaos::ChaosOutcome::Violated) {
+          return run.detail + " [" + run.repro + "]";
+        }
+        return std::nullopt;
+      },
+      // Shrink by dropping one failure at a time from the schedule.
+      [](const DifferentialCase& c) {
+        std::vector<DifferentialCase> candidates;
+        for (std::size_t drop = 0; drop < c.schedule.failures.size();
+             ++drop) {
+          if (c.schedule.failures.size() == 1) break;
+          DifferentialCase smaller = c;
+          smaller.schedule.failures.erase(
+              smaller.schedule.failures.begin() +
+              static_cast<std::ptrdiff_t>(drop));
+          candidates.push_back(std::move(smaller));
+        }
+        return candidates;
+      },
+      [](const DifferentialCase& c) {
+        return chaos::repro_command(c.config, c.schedule);
+      });
+}
+
+// --------------------------------------------------- spare-pool bridge
+
+TEST(ChaosSparePool, DelayStepsTrackTheErlangModel) {
+  dckpt::model::SparePoolSpec spec;
+  spec.spares = 4;
+  spec.repair_time = 3600.0;
+  spec.detection = 30.0;
+  const double mtbf = 1800.0;
+  const std::uint64_t fine = chaos::spare_pool_delay_steps(spec, mtbf, 10.0);
+  const std::uint64_t coarse =
+      chaos::spare_pool_delay_steps(spec, mtbf, 120.0);
+  EXPECT_GE(fine, 1u);
+  EXPECT_GE(coarse, 1u);
+  EXPECT_GE(fine, coarse);  // finer steps -> more steps for the same wait
+  // Ceil of the model's effective downtime, never rounded to zero.
+  const double downtime = dckpt::model::effective_downtime(spec, mtbf);
+  EXPECT_EQ(fine, static_cast<std::uint64_t>(std::ceil(downtime / 10.0)));
+  // A big pool still costs at least the detection step.
+  spec.spares = 1024;
+  EXPECT_GE(chaos::spare_pool_delay_steps(spec, mtbf, 3600.0), 1u);
+  EXPECT_THROW(chaos::spare_pool_delay_steps(spec, mtbf, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(chaos::spare_pool_delay_steps(spec, mtbf, -1.0),
+               std::invalid_argument);
+}
+
+TEST(ChaosSparePool, DelayWidensTheObservedRiskWindow) {
+  // End to end: the same buddy double hit is masked when the spare pool
+  // refills quickly but fatal when the allocation delay keeps the window
+  // open. The failure at 25 abandons the staged set and replays from step
+  // 12, so the refill needs > 14 steps to still be pending at step 26.
+  auto config = small_campaign(Topology::Pairs);
+  chaos::ChaosSchedule schedule{"window-probe", {{25, 0}, {26, 1}}, 0};
+  {
+    auto c = config;
+    c.runtime.rereplication_delay_steps = 2;
+    const auto run =
+        chaos::run_one(c, schedule, chaos::reference_run(c).final_hash);
+    EXPECT_EQ(run.outcome, chaos::ChaosOutcome::Survived) << run.detail;
+  }
+  {
+    auto c = config;
+    c.runtime.rereplication_delay_steps = 25;
+    const auto run =
+        chaos::run_one(c, schedule, chaos::reference_run(c).final_hash);
+    EXPECT_EQ(run.outcome, chaos::ChaosOutcome::FatalDetected) << run.detail;
+  }
+}
+
+}  // namespace

@@ -270,4 +270,29 @@ TEST(ExportTest, HistogramMergeIsThreadCountInvariant) {
             to_json(b).at("histograms").dump());
 }
 
+TEST(ExportTest, MetricsJsonlIsThreadCountInvariant) {
+  // Full-line determinism, not just histograms: the exported JSONL record
+  // (running stats, success counts, everything) must be byte-identical at
+  // 1, 2, and 8 threads. Trial i always draws from the same per-trial seed,
+  // and merges happen in trial order, so thread count only changes who runs
+  // which chunk -- never the numbers.
+  std::string reference;
+  for (const std::uint64_t threads : {1u, 2u, 8u}) {
+    MonteCarloOptions options;
+    options.trials = 48;
+    options.threads = threads;
+    options.seed = 0x5eed;
+    options.metrics = MetricsSpec{};
+    const auto result = run_monte_carlo(quick_config(), options);
+    std::ostringstream out;
+    write_metrics_jsonl(out, result);
+    if (reference.empty()) {
+      reference = out.str();
+      ASSERT_FALSE(reference.empty());
+    } else {
+      EXPECT_EQ(out.str(), reference) << "threads=" << threads;
+    }
+  }
+}
+
 }  // namespace

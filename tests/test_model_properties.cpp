@@ -4,9 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <optional>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "model/model_api.hpp"
+#include "proptest.hpp"
 
 namespace {
 
@@ -228,6 +232,141 @@ TEST(CrossProtocolProperty, MeanTimeBetweenFatalExceedsPlatformMtbf) {
       }
     }
   }
+}
+
+// ------------------------------- randomized properties (proptest.hpp)
+//
+// The scenario-grid tests above pin the paper's configurations; these
+// forall properties draw whole random platforms (costs log-uniform across
+// decades, phi anywhere in [0, R], up to 10^5 nodes) so the closed forms
+// hold on the entire validated Parameters domain, not just the grid.
+
+struct ModelCase {
+  Protocol protocol = Protocol::DoubleNbl;
+  Parameters params;
+};
+
+ModelCase random_model_case(proptest::Gen& gen) {
+  ModelCase c;
+  c.protocol = gen.element(std::vector<Protocol>(kAllProtocols.begin(),
+                                                 kAllProtocols.end()));
+  c.params.downtime = gen.log_uniform(1.0, 600.0);
+  c.params.local_ckpt = gen.log_uniform(0.1, 300.0);
+  c.params.remote_blocking = gen.log_uniform(10.0, 1800.0);
+  c.params.alpha = gen.uniform(1.0, 40.0);
+  c.params.overhead = gen.uniform(0.0, 1.0) * c.params.remote_blocking;
+  c.params.nodes = gen.integer(2, 100000);
+  c.params.mtbf = gen.log_uniform(600.0, 7.0 * 86400.0);
+  c.params.validate();  // every draw must be a valid platform
+  return c;
+}
+
+std::string show_model_case(const ModelCase& c) {
+  return std::string(protocol_name(c.protocol)) + " " + c.params.describe();
+}
+
+TEST(ModelRandomProperty, WasteIsAlwaysAProbability) {
+  proptest::ForallConfig config;
+  config.iterations = 300;
+  proptest::forall<ModelCase>(
+      config, random_model_case,
+      [](const ModelCase& c) -> std::optional<std::string> {
+        for (double scale : {1.0, 1.7, 4.0, 20.0}) {
+          const double period = min_period(c.protocol, c.params) * scale;
+          const double w = waste(c.protocol, c.params, period);
+          if (!(w >= 0.0 && w <= 1.0)) {
+            return "waste(" + std::to_string(period) +
+                   ") = " + std::to_string(w) + " outside [0, 1]";
+          }
+        }
+        return std::nullopt;
+      },
+      nullptr, show_model_case);
+}
+
+TEST(ModelRandomProperty, NumericOptimumIsALocalMinimum) {
+  proptest::ForallConfig config;
+  config.iterations = 200;
+  proptest::forall<ModelCase>(
+      config, random_model_case,
+      [](const ModelCase& c) -> std::optional<std::string> {
+        const auto opt = optimal_period_numeric(c.protocol, c.params);
+        if (!opt.feasible) return std::nullopt;  // waste pinned at 1
+        // Brent terminates within a relative bracket; allow its tolerance
+        // in the comparison and probe both sides (right only if clamped to
+        // min_period, where the left neighbour is inadmissible).
+        const double eps = std::max(opt.period * 1e-3, 1e-6);
+        const double here = waste(c.protocol, c.params, opt.period);
+        const double right = waste(c.protocol, c.params, opt.period + eps);
+        if (here > right + 1e-9) {
+          return "waste rises moving right of the numeric optimum: " +
+                 std::to_string(here) + " > " + std::to_string(right);
+        }
+        if (!opt.clamped &&
+            opt.period - eps > min_period(c.protocol, c.params)) {
+          const double left = waste(c.protocol, c.params, opt.period - eps);
+          if (here > left + 1e-9) {
+            return "waste rises moving left of the numeric optimum: " +
+                   std::to_string(here) + " > " + std::to_string(left);
+          }
+        }
+        return std::nullopt;
+      },
+      nullptr, show_model_case);
+}
+
+TEST(ModelRandomProperty, ClosedFormTracksTheNumericOptimum) {
+  // The closed forms are first-order approximations, so their *waste* must
+  // sit just above the numeric minimum: never below (the numeric optimum
+  // is the true minimum, up to solver tolerance) and within a few points
+  // of waste on the whole random domain. The 0.02 band is empirical --
+  // the worst observed gap across these draws is under 1 point; a
+  // regression in either side trips it immediately.
+  proptest::ForallConfig config;
+  config.iterations = 200;
+  proptest::forall<ModelCase>(
+      config, random_model_case,
+      [](const ModelCase& c) -> std::optional<std::string> {
+        const auto closed = optimal_period_closed_form(c.protocol, c.params);
+        const auto numeric = optimal_period_numeric(c.protocol, c.params);
+        if (closed.feasible != numeric.feasible) {
+          return std::string("feasibility disagrees: closed ") +
+                 (closed.feasible ? "yes" : "no") + ", numeric " +
+                 (numeric.feasible ? "yes" : "no");
+        }
+        if (!closed.feasible) return std::nullopt;
+        if (closed.waste < numeric.waste - 1e-6) {
+          return "closed form beats the numeric minimum: " +
+                 std::to_string(closed.waste) + " < " +
+                 std::to_string(numeric.waste);
+        }
+        if (closed.waste > numeric.waste + 0.02) {
+          return "closed-form waste " + std::to_string(closed.waste) +
+                 " more than 2 points above numeric " +
+                 std::to_string(numeric.waste);
+        }
+        return std::nullopt;
+      },
+      nullptr, show_model_case);
+}
+
+TEST(ModelRandomProperty, OptimalWasteIsMonotoneInMtbf) {
+  proptest::ForallConfig config;
+  config.iterations = 150;
+  proptest::forall<ModelCase>(
+      config, random_model_case,
+      [](const ModelCase& c) -> std::optional<std::string> {
+        const auto here = optimal_period_numeric(c.protocol, c.params);
+        const auto better = optimal_period_numeric(
+            c.protocol, c.params.with_mtbf(c.params.mtbf * 2.0));
+        if (better.waste > here.waste + 1e-9) {
+          return "doubling MTBF raised the optimal waste: " +
+                 std::to_string(here.waste) + " -> " +
+                 std::to_string(better.waste);
+        }
+        return std::nullopt;
+      },
+      nullptr, show_model_case);
 }
 
 }  // namespace

@@ -1,0 +1,122 @@
+// Self-tests for the property-test harness in proptest.hpp.
+#include "proptest.hpp"
+
+#include <gtest/gtest-spi.h>
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace {
+
+using proptest::ForallConfig;
+using proptest::Gen;
+
+TEST(Proptest, GeneratorsStayInRange) {
+  Gen gen(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = gen.uniform(-3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+    const double lg = gen.log_uniform(1e-3, 1e6);
+    EXPECT_GE(lg, 1e-3);
+    EXPECT_LT(lg, 1e6 * (1.0 + 1e-12));
+    const std::uint64_t n = gen.integer(5, 9);
+    EXPECT_GE(n, 5u);
+    EXPECT_LE(n, 9u);
+  }
+}
+
+TEST(Proptest, GeneratorsAreSeedDeterministic) {
+  Gen a(123), b(123), c(124);
+  std::vector<double> draws_a, draws_b, draws_c;
+  for (int i = 0; i < 100; ++i) {
+    draws_a.push_back(a.uniform(0.0, 1.0));
+    draws_b.push_back(b.uniform(0.0, 1.0));
+    draws_c.push_back(c.uniform(0.0, 1.0));
+  }
+  EXPECT_EQ(draws_a, draws_b);
+  EXPECT_NE(draws_a, draws_c);
+}
+
+TEST(Proptest, IterationSeedsAreDistinct) {
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seeds.push_back(proptest::iteration_seed(7, i));
+  }
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::unique(seeds.begin(), seeds.end()), seeds.end());
+}
+
+TEST(Proptest, ForallPassesWhenPropertyHolds) {
+  ForallConfig config;
+  const bool ok = proptest::forall<double>(
+      config, [](Gen& gen) { return gen.uniform(0.0, 1.0); },
+      [](const double& value) -> std::optional<std::string> {
+        if (value >= 0.0 && value < 1.0) return std::nullopt;
+        return "out of range";
+      });
+  EXPECT_TRUE(ok);
+}
+
+// File-scope state: EXPECT_NONFATAL_FAILURE's statement may not reference
+// locals of the enclosing function.
+std::uint64_t g_shrunk = 0;
+bool g_forall_ok = true;
+
+void run_failing_forall() {
+  // Property "value < 100" over draws up to 100000. Candidates are the
+  // halving steps plus value - 1, so the greedy descent lands exactly on
+  // the boundary counterexample 100.
+  ForallConfig config;
+  config.iterations = 50;
+  config.max_shrink_rounds = 256;
+  g_forall_ok = proptest::forall<std::uint64_t>(
+      config, [](Gen& gen) { return gen.integer(0, 100000); },
+      [](const std::uint64_t& value) -> std::optional<std::string> {
+        if (value < 100) return std::nullopt;
+        g_shrunk = value;  // last value the property saw failing
+        return "value >= 100";
+      },
+      [](const std::uint64_t& value) {
+        auto candidates = proptest::halve_toward(value, std::uint64_t{0});
+        if (value > 0) candidates.push_back(value - 1);
+        return candidates;
+      },
+      [](const std::uint64_t& value) { return std::to_string(value); });
+}
+
+TEST(Proptest, ForallReportsAndShrinksFailures) {
+  EXPECT_NONFATAL_FAILURE(run_failing_forall(),
+                          "property failed at iteration");
+  EXPECT_FALSE(g_forall_ok);
+  EXPECT_EQ(g_shrunk, 100u);  // minimal failing value
+}
+
+TEST(Proptest, HalveTowardConverges) {
+  // Iterating "first candidate that still fails" over halve_toward alone
+  // terminates within ~log2 rounds in the half-open band [100, 200).
+  std::uint64_t value = 1u << 30;
+  int rounds = 0;
+  while (true) {
+    const auto candidates = proptest::halve_toward(value, std::uint64_t{0});
+    std::uint64_t next = value;
+    for (const std::uint64_t candidate : candidates) {
+      if (candidate >= 100) {  // "still fails"
+        next = candidate;
+        break;
+      }
+    }
+    if (next == value) break;
+    value = next;
+    ++rounds;
+  }
+  EXPECT_GE(value, 100u);
+  EXPECT_LT(value, 200u);
+  EXPECT_LE(rounds, 32);
+}
+
+}  // namespace

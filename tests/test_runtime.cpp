@@ -308,4 +308,92 @@ TEST(RuntimeTest, InjectionNodeOutOfRangeThrows) {
   EXPECT_THROW(coordinator.run(failures), std::invalid_argument);
 }
 
+// Re-replication delay: the runtime realization of the model's risk window.
+// small_config commits at steps 8/16/24/32 (staging 0), so a failure at
+// step 9 rolls back to step 8 and the refill lands `delay` executed steps
+// later.
+
+TEST(RiskWindowTest, SecondHitInsideWindowIsFatal) {
+  auto config = small_config(Topology::Pairs);
+  config.rereplication_delay_steps = 3;
+  Coordinator coordinator(config, std::make_unique<HeatKernel>());
+  // Buddy dies 2 executed steps after the rollback, refill needs 3.
+  const FailureInjection failures[] = {{9, 0}, {10, 1}};
+  const auto report = coordinator.run(failures);
+  EXPECT_TRUE(report.fatal);
+  EXPECT_NE(report.fatal_reason.find("no surviving replica of node 0"),
+            std::string::npos);
+  EXPECT_EQ(report.risk_steps, 2u);
+  EXPECT_EQ(report.rereplications, 0u);
+}
+
+TEST(RiskWindowTest, SecondHitAfterRefillIsMasked) {
+  auto config = small_config(Topology::Pairs);
+  config.rereplication_delay_steps = 3;
+  const auto expected = reference_hash(small_config(Topology::Pairs));
+  Coordinator coordinator(config, std::make_unique<HeatKernel>());
+  // Buddy dies 4 executed steps after the rollback: refill landed at 11.
+  const FailureInjection failures[] = {{9, 0}, {12, 1}};
+  const auto report = coordinator.run(failures);
+  ASSERT_FALSE(report.fatal) << report.fatal_reason;
+  EXPECT_EQ(report.final_hash, expected);
+  EXPECT_EQ(report.rereplications, 2u);  // one refill per loss
+  EXPECT_EQ(report.risk_steps, 6u);      // two 3-step windows
+  EXPECT_EQ(report.recoveries, 2u);      // each victim restored from a peer
+}
+
+TEST(RiskWindowTest, CommitClosesTheWindow) {
+  auto config = small_config(Topology::Pairs);
+  // Refill slower than the checkpoint interval: the step-16 commit
+  // re-creates every replica and must subsume the pending refill.
+  config.rereplication_delay_steps = 20;
+  const auto expected = reference_hash(small_config(Topology::Pairs));
+  Coordinator coordinator(config, std::make_unique<HeatKernel>());
+  const FailureInjection failures[] = {{9, 0}, {18, 1}};
+  const auto report = coordinator.run(failures);
+  ASSERT_FALSE(report.fatal) << report.fatal_reason;
+  EXPECT_EQ(report.final_hash, expected);
+  EXPECT_EQ(report.rereplications, 0u);  // never completed, always subsumed
+  // Window open for the 8 executed steps from the rollback to the commit,
+  // then again from the second rollback (at 16) to the step-24 commit.
+  EXPECT_EQ(report.risk_steps, 16u);
+}
+
+TEST(RiskWindowTest, ZeroDelayRefillsImmediately) {
+  auto config = small_config(Topology::Pairs);
+  const auto expected = reference_hash(config);
+  Coordinator coordinator(config, std::make_unique<HeatKernel>());
+  // The same back-to-back buddy hits that are fatal under a delay.
+  const FailureInjection failures[] = {{9, 0}, {10, 1}};
+  const auto report = coordinator.run(failures);
+  ASSERT_FALSE(report.fatal) << report.fatal_reason;
+  EXPECT_EQ(report.final_hash, expected);
+  EXPECT_EQ(report.risk_steps, 0u);
+  EXPECT_EQ(report.rereplications, 2u);
+}
+
+TEST(RiskWindowTest, TriplesLoseTheThirdImageInsideTheWindow) {
+  auto config = small_config(Topology::Triples);
+  config.rereplication_delay_steps = 3;
+  Coordinator coordinator(config, std::make_unique<HeatKernel>());
+  // Nodes 0 and 1 die 2 steps apart: node 2's image lived exactly on their
+  // two stores, and the refill of store 0 is still pending.
+  const FailureInjection failures[] = {{9, 0}, {10, 1}};
+  const auto report = coordinator.run(failures);
+  EXPECT_TRUE(report.fatal);
+  EXPECT_NE(report.fatal_reason.find("no surviving replica of node 2"),
+            std::string::npos);
+}
+
+TEST(RiskWindowTest, TriplesSurviveTheSameHitsOnceRefilled) {
+  auto config = small_config(Topology::Triples);
+  config.rereplication_delay_steps = 3;
+  const auto expected = reference_hash(small_config(Topology::Triples));
+  Coordinator coordinator(config, std::make_unique<HeatKernel>());
+  const FailureInjection failures[] = {{9, 0}, {13, 1}};
+  const auto report = coordinator.run(failures);
+  ASSERT_FALSE(report.fatal) << report.fatal_reason;
+  EXPECT_EQ(report.final_hash, expected);
+}
+
 }  // namespace
