@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
 # Fixed-seed chaos smoke: drives the `dckpt chaos` campaign engine through
 # the scripted schedule families plus a batch of seed-randomized runs on both
-# topologies, and fails if any run is classified `violated` (the CLI exits
-# non-zero in that case). Budgeted to finish in well under 30 seconds -- this
-# is the "did the runtime survival story regress" tripwire, not the full
-# randomized campaign (that lives in test_chaos.cpp under `ctest -L slow`).
+# topologies and both runtimes (1-D chain and 2-D grid), and fails if any
+# run is classified `violated` (the CLI exits non-zero in that case).
+# Budgeted to finish in well under 30 seconds -- this is the "did the runtime
+# survival story regress" tripwire, not the full randomized campaign (that
+# lives in test_chaos.cpp / test_chaos_grid.cpp under `ctest -L slow`).
+#
+# Every campaign runs even after an earlier one fails: `set -e` would stop
+# at the first violation and mask regressions on the remaining topologies,
+# so the loop aggregates exit codes explicitly and reports every campaign
+# that violated (the CLI already prints the repro line for each violation).
 #
 # Usage:
 #   scripts/run_chaos_smoke.sh           # uses ./build
@@ -20,23 +26,36 @@ if [[ ! -x "${DCKPT}" ]]; then
   exit 1
 fi
 
-echo "== chaos smoke: pairs, scripted + 40 random runs =="
-"${DCKPT}" chaos --topology=pairs --nodes=8 --cells=48 --steps=96 \
-  --interval=12 --staging=4 --rerepl-delay=8 --runs=40 --seed=20260805
+# name | dckpt chaos arguments (one campaign per line).
+CAMPAIGNS=(
+  "chain pairs, scripted + 40 random|--topology=pairs --nodes=8 --cells=48 --steps=96 --interval=12 --staging=4 --rerepl-delay=8 --runs=40 --seed=20260805"
+  "chain triples, scripted + 40 random|--topology=triples --nodes=9 --cells=48 --steps=96 --interval=12 --staging=4 --rerepl-delay=8 --runs=40 --seed=20260805"
+  "grid 4x4 pairs, scripted + 40 random|--topology=pairs --grid=4x4 --block=6 --steps=64 --interval=8 --rerepl-delay=6 --runs=40 --seed=20260805"
+  "grid 3x3 triples, scripted + 40 random|--topology=triples --grid=3x3 --block=6 --steps=64 --interval=8 --rerepl-delay=6 --runs=40 --seed=20260805"
+  "spare-pool delay from the Erlang model|--topology=pairs --nodes=8 --steps=96 --interval=12 --spares=4 --repair=1800 --mtbf=900 --step-seconds=5 --runs=20 --seed=7"
+  "single-schedule repro (risk-window double hit)|--topology=pairs --nodes=6 --steps=48 --interval=8 --rerepl-delay=6 --schedule=9:0,10:1"
+  "grid single-schedule repro (rack double hit)|--topology=pairs --grid=2x2 --block=8 --steps=48 --interval=8 --rerepl-delay=6 --schedule=9:0,10:1"
+)
 
-echo "== chaos smoke: triples, scripted + 40 random runs =="
-"${DCKPT}" chaos --topology=triples --nodes=9 --cells=48 --steps=96 \
-  --interval=12 --staging=4 --rerepl-delay=8 --runs=40 --seed=20260805
+status=0
+failed=()
+for entry in "${CAMPAIGNS[@]}"; do
+  name="${entry%%|*}"
+  args="${entry#*|}"
+  echo "== chaos smoke: ${name} =="
+  # shellcheck disable=SC2086  # args are intentionally word-split
+  if ! "${DCKPT}" chaos ${args}; then
+    status=1
+    failed+=("${name}")
+    echo "run_chaos_smoke: VIOLATED in campaign '${name}' (repro above)" >&2
+  fi
+done
 
-echo "== chaos smoke: spare-pool delay derived from the Erlang model =="
-"${DCKPT}" chaos --topology=pairs --nodes=8 --steps=96 --interval=12 \
-  --spares=4 --repair=1800 --mtbf=900 --step-seconds=5 \
-  --runs=20 --seed=7
-
-echo "== chaos smoke: single-schedule repro (risk-window double hit) =="
-# A buddy loss inside the re-replication window is fatal-but-detected, so
-# this run exits 0 with outcome fatal-detected; a `violated` would exit 1.
-"${DCKPT}" chaos --topology=pairs --nodes=6 --steps=48 --interval=8 \
-  --rerepl-delay=6 --schedule=9:0,10:1
-
+if [[ ${status} -ne 0 ]]; then
+  echo "run_chaos_smoke: ${#failed[@]} campaign(s) violated:" >&2
+  for name in "${failed[@]}"; do
+    echo "  - ${name}" >&2
+  done
+  exit "${status}"
+fi
 echo "run_chaos_smoke: all campaigns clean (zero violated)"

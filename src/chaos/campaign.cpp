@@ -52,20 +52,33 @@ std::string_view outcome_name(ChaosOutcome outcome) {
 }
 
 void ChaosCampaignConfig::validate() const {
-  runtime.validate();
-  if (kernel != "heat" && kernel != "wave" && kernel != "counter") {
-    throw std::invalid_argument("ChaosCampaignConfig: unknown kernel '" +
-                                kernel + "'");
-  }
-  if (kernel == "wave" && runtime.cells_per_node % 2 != 0) {
-    throw std::invalid_argument(
-        "ChaosCampaignConfig: wave kernel packs two time levels and needs an "
-        "even cells_per_node");
+  if (grid) {
+    grid->validate();
+    if (kernel != "heat") {
+      throw std::invalid_argument(
+          "ChaosCampaignConfig: grid campaigns support only the heat kernel, "
+          "got '" + kernel + "'");
+    }
+  } else {
+    runtime.validate();
+    if (kernel != "heat" && kernel != "wave" && kernel != "counter") {
+      throw std::invalid_argument("ChaosCampaignConfig: unknown kernel '" +
+                                  kernel + "'");
+    }
+    if (kernel == "wave" && runtime.cells_per_node % 2 != 0) {
+      throw std::invalid_argument(
+          "ChaosCampaignConfig: wave kernel packs two time levels and needs "
+          "an even cells_per_node");
+    }
   }
   if (random_runs > 0 && max_failures == 0) {
     throw std::invalid_argument(
         "ChaosCampaignConfig: max_failures must be > 0");
   }
+}
+
+ShadowConfig ChaosCampaignConfig::shadow() const {
+  return grid ? ShadowConfig(*grid) : ShadowConfig(runtime);
 }
 
 std::unique_ptr<runtime::Kernel> make_kernel(const std::string& name) {
@@ -75,35 +88,60 @@ std::unique_ptr<runtime::Kernel> make_kernel(const std::string& name) {
   throw std::invalid_argument("make_kernel: unknown kernel '" + name + "'");
 }
 
+std::unique_ptr<runtime::GridKernel> make_grid_kernel(
+    const std::string& name) {
+  if (name == "heat") return std::make_unique<runtime::HeatKernel2D>();
+  throw std::invalid_argument("make_grid_kernel: unknown kernel '" + name +
+                              "'");
+}
+
+namespace {
+
+/// Executes the campaign's target runtime through one schedule
+/// (single-threaded stepping -- the campaign parallelizes across runs).
+runtime::RunReport execute_target(
+    const ChaosCampaignConfig& config,
+    std::span<const runtime::FailureInjection> failures) {
+  if (config.grid) {
+    runtime::GridConfig gc = *config.grid;
+    gc.threads = 1;
+    runtime::GridCoordinator coordinator(gc, make_grid_kernel(config.kernel));
+    return coordinator.run(failures);
+  }
+  runtime::RuntimeConfig rc = config.runtime;
+  rc.threads = 1;
+  runtime::Coordinator coordinator(rc, make_kernel(config.kernel));
+  return coordinator.run(failures);
+}
+
+}  // namespace
+
 runtime::RunReport reference_run(const ChaosCampaignConfig& config) {
   config.validate();
-  runtime::RuntimeConfig rc = config.runtime;
-  rc.threads = 1;  // stepping is thread-count invariant; keep the pool small
-  runtime::Coordinator coordinator(rc, make_kernel(config.kernel));
-  runtime::RunReport report = coordinator.run();
+  runtime::RunReport report = execute_target(config, {});
   if (report.fatal) {
     throw std::logic_error("reference_run: failure-free run reported fatal");
   }
   return report;
 }
 
-ChaosRunResult run_one(const ChaosCampaignConfig& config,
-                       ChaosSchedule schedule, std::uint64_t reference_hash,
-                       std::uint64_t index) {
+ChaosRunResult classify_run(const ChaosCampaignConfig& config,
+                            ChaosSchedule schedule,
+                            const ShadowPrediction& predicted,
+                            std::uint64_t reference_hash,
+                            std::uint64_t index) {
   config.validate();
-  validate_schedule(schedule, config.runtime);
+  validate_schedule(schedule, config.shadow());
 
   ChaosRunResult result;
   result.index = index;
+  result.target = config.target();
   result.schedule = std::move(schedule);
   result.repro = repro_command(config, result.schedule);
-  result.predicted = predict_outcome(config.runtime, result.schedule.failures);
+  result.predicted = predicted;
 
-  runtime::RuntimeConfig rc = config.runtime;
-  rc.threads = 1;  // the campaign parallelizes across runs, not within them
   try {
-    runtime::Coordinator coordinator(rc, make_kernel(config.kernel));
-    result.report = coordinator.run(result.schedule.failures);
+    result.report = execute_target(config, result.schedule.failures);
   } catch (const std::exception& error) {
     result.outcome = ChaosOutcome::Violated;
     result.detail = std::string("runtime threw: ") + error.what();
@@ -153,19 +191,38 @@ ChaosRunResult run_one(const ChaosCampaignConfig& config,
   return result;
 }
 
+ChaosRunResult run_one(const ChaosCampaignConfig& config,
+                       ChaosSchedule schedule, std::uint64_t reference_hash,
+                       std::uint64_t index) {
+  config.validate();
+  const ShadowPrediction predicted =
+      predict_outcome(config.shadow(), schedule.failures);
+  return classify_run(config, std::move(schedule), predicted, reference_hash,
+                      index);
+}
+
 ChaosCampaignSummary run_campaign(const ChaosCampaignConfig& config) {
   config.validate();
   ChaosCampaignSummary summary;
+  summary.target = config.target();
+  if (config.grid) {
+    summary.grid_geometry = std::to_string(config.grid->grid_rows) + "x" +
+                            std::to_string(config.grid->grid_cols);
+    summary.block_geometry = std::to_string(config.grid->block_rows) + "x" +
+                             std::to_string(config.grid->block_cols);
+  }
   summary.reference_hash = reference_run(config).final_hash;
 
   std::vector<ChaosSchedule> schedules;
   if (config.include_scripted) {
-    schedules = scripted_schedules(config.runtime);
+    schedules = config.grid ? scripted_grid_schedules(*config.grid)
+                            : scripted_schedules(config.runtime);
   }
+  const ShadowConfig shape = config.shadow();
   util::SplitMix64 seeder(config.campaign_seed);
   for (std::uint64_t i = 0; i < config.random_runs; ++i) {
     schedules.push_back(
-        random_schedule(config.runtime, seeder.next(), config.max_failures));
+        random_schedule(shape, seeder.next(), config.max_failures));
   }
 
   // One task per run; results land at their index, so the summary is
@@ -193,16 +250,29 @@ ChaosCampaignSummary run_campaign(const ChaosCampaignConfig& config) {
 
 std::string repro_command(const ChaosCampaignConfig& config,
                           const ChaosSchedule& schedule) {
-  const runtime::RuntimeConfig& rc = config.runtime;
   std::string cmd = "dckpt chaos";
-  cmd += " --topology=";
-  cmd += rc.topology == ckpt::Topology::Pairs ? "pairs" : "triples";
-  cmd += " --nodes=" + std::to_string(rc.nodes);
-  cmd += " --cells=" + std::to_string(rc.cells_per_node);
-  cmd += " --steps=" + std::to_string(rc.total_steps);
-  cmd += " --interval=" + std::to_string(rc.checkpoint_interval);
-  cmd += " --staging=" + std::to_string(rc.staging_steps);
-  cmd += " --rerepl-delay=" + std::to_string(rc.rereplication_delay_steps);
+  if (config.grid) {
+    const runtime::GridConfig& gc = *config.grid;
+    cmd += " --topology=";
+    cmd += gc.topology == ckpt::Topology::Pairs ? "pairs" : "triples";
+    cmd += " --grid=" + std::to_string(gc.grid_rows) + "x" +
+           std::to_string(gc.grid_cols);
+    cmd += " --block=" + std::to_string(gc.block_rows) + "x" +
+           std::to_string(gc.block_cols);
+    cmd += " --steps=" + std::to_string(gc.total_steps);
+    cmd += " --interval=" + std::to_string(gc.checkpoint_interval);
+    cmd += " --rerepl-delay=" + std::to_string(gc.rereplication_delay_steps);
+  } else {
+    const runtime::RuntimeConfig& rc = config.runtime;
+    cmd += " --topology=";
+    cmd += rc.topology == ckpt::Topology::Pairs ? "pairs" : "triples";
+    cmd += " --nodes=" + std::to_string(rc.nodes);
+    cmd += " --cells=" + std::to_string(rc.cells_per_node);
+    cmd += " --steps=" + std::to_string(rc.total_steps);
+    cmd += " --interval=" + std::to_string(rc.checkpoint_interval);
+    cmd += " --staging=" + std::to_string(rc.staging_steps);
+    cmd += " --rerepl-delay=" + std::to_string(rc.rereplication_delay_steps);
+  }
   cmd += " --kernel=" + config.kernel;
   cmd += " --seed=" + std::to_string(schedule.seed);
   cmd += " --schedule=" + schedule.spec();

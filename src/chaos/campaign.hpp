@@ -1,5 +1,6 @@
-// Chaos campaigns: run the Coordinator through adversarial failure
-// schedules and classify every run against the shadow oracle.
+// Chaos campaigns: run a runtime coordinator (1-D chain or 2-D grid)
+// through adversarial failure schedules and classify every run against the
+// shadow oracle.
 //
 //   Survived        -- runtime finished, final hash equals the failure-free
 //                      reference, every counter matches the oracle.
@@ -17,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,6 +26,7 @@
 #include "chaos/schedule.hpp"
 #include "chaos/shadow.hpp"
 #include "runtime/coordinator.hpp"
+#include "runtime/grid.hpp"
 
 namespace dckpt::chaos {
 
@@ -33,7 +36,13 @@ std::string_view outcome_name(ChaosOutcome outcome);
 
 struct ChaosCampaignConfig {
   runtime::RuntimeConfig runtime;
-  std::string kernel = "heat";      ///< heat | wave | counter
+  /// When set, the campaign targets the 2-D GridCoordinator instead of the
+  /// 1-D chain: `runtime` is ignored, schedules come from
+  /// scripted_grid_schedules(), and the oracle predicts through the grid's
+  /// protocol shape (immediate commit, same refill clock). The kernel must
+  /// be "heat" (the only 2-D kernel).
+  std::optional<runtime::GridConfig> grid;
+  std::string kernel = "heat";      ///< heat | wave | counter (grid: heat)
   std::uint64_t random_runs = 100;  ///< randomized schedules after scripted
   std::uint64_t campaign_seed = 1;  ///< root seed for the random draws
   std::uint64_t max_failures = 4;   ///< per random schedule
@@ -41,10 +50,16 @@ struct ChaosCampaignConfig {
   std::size_t threads = 0;          ///< campaign-level pool; 0 = hardware
 
   void validate() const;  ///< throws std::invalid_argument
+
+  /// The oracle's view of whichever runtime this campaign targets.
+  ShadowConfig shadow() const;
+  /// "grid" or "chain" -- the stable target id used in exports.
+  std::string_view target() const noexcept { return grid ? "grid" : "chain"; }
 };
 
 struct ChaosRunResult {
   std::uint64_t index = 0;
+  std::string target = "chain";  ///< "chain" | "grid" (stable export id)
   ChaosSchedule schedule;
   ShadowPrediction predicted;
   runtime::RunReport report;
@@ -59,18 +74,37 @@ struct ChaosCampaignSummary {
   std::uint64_t fatal_detected = 0;
   std::uint64_t violated = 0;
   std::uint64_t reference_hash = 0;  ///< failure-free final state hash
+  std::string target = "chain";      ///< "chain" | "grid" (stable export id)
+  std::string grid_geometry;         ///< "RxC" on grid campaigns, else ""
+  std::string block_geometry;        ///< "RxC" on grid campaigns, else ""
 };
 
 /// Kernel factory for the names ChaosCampaignConfig::kernel accepts.
 /// Throws std::invalid_argument on an unknown name.
 std::unique_ptr<runtime::Kernel> make_kernel(const std::string& name);
 
-/// Failure-free reference run (single-threaded stepping; the coordinator is
-/// thread-count invariant, so this hash is *the* correct final state).
+/// 2-D kernel factory for grid campaigns ("heat" only).
+/// Throws std::invalid_argument on an unknown name.
+std::unique_ptr<runtime::GridKernel> make_grid_kernel(const std::string& name);
+
+/// Failure-free reference run (single-threaded stepping; both coordinators
+/// are thread-count invariant, so this hash is *the* correct final state).
 runtime::RunReport reference_run(const ChaosCampaignConfig& config);
 
-/// Runs and classifies one schedule. `reference_hash` comes from
-/// reference_run(); `index` only labels the result.
+/// Runs the campaign's target runtime through `schedule` and classifies the
+/// outcome against a caller-supplied oracle prediction. This is run_one()
+/// with the prediction injectable -- the seam the mutation tests use to
+/// prove the classifier actually flags divergence (feed it a prediction
+/// from a deliberately wrong protocol shape and expect Violated).
+ChaosRunResult classify_run(const ChaosCampaignConfig& config,
+                            ChaosSchedule schedule,
+                            const ShadowPrediction& predicted,
+                            std::uint64_t reference_hash,
+                            std::uint64_t index = 0);
+
+/// Runs and classifies one schedule against the real oracle prediction.
+/// `reference_hash` comes from reference_run(); `index` only labels the
+/// result.
 ChaosRunResult run_one(const ChaosCampaignConfig& config,
                        ChaosSchedule schedule, std::uint64_t reference_hash,
                        std::uint64_t index = 0);

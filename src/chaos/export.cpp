@@ -74,6 +74,7 @@ util::JsonValue to_json(const ChaosRunResult& run) {
   v.set("repro", run.repro);
   v.set("predicted", to_json(run.predicted));
   v.set("report", to_json(run.report));
+  v.set("target", run.target);  // appended: keep older consumers working
   return v;
 }
 
@@ -85,6 +86,11 @@ util::JsonValue to_json(const ChaosCampaignSummary& summary) {
   v.set("fatal_detected", summary.fatal_detected);
   v.set("violated", summary.violated);
   v.set("reference_hash", hex64(summary.reference_hash));
+  v.set("target", summary.target);  // appended: keep older consumers working
+  if (!summary.grid_geometry.empty()) {
+    v.set("grid", summary.grid_geometry);
+    v.set("block", summary.block_geometry);
+  }
   return v;
 }
 

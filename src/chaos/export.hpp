@@ -4,12 +4,19 @@
 // Schemas (documented in docs/CHAOS.md):
 //   campaign record  {"record":"chaos_campaign", "runs":..., "survived":...,
 //                     "fatal_detected":..., "violated":...,
-//                     "reference_hash":"<hex>"}
+//                     "reference_hash":"<hex>", "target":"chain|grid",
+//                     "grid":"RxC"?, "block":"RxC"?}
 //   run record       {"record":"chaos_run", "index":..., "name":...,
 //                     "seed":..., "schedule":"step:node,...",
 //                     "outcome":"survived|fatal-detected|violated",
 //                     "detail":...?, "repro":..., "predicted":{...},
-//                     "report":{..., "final_hash":"<hex>"}}
+//                     "report":{..., "final_hash":"<hex>"},
+//                     "target":"chain|grid"}
+//
+// Schema evolution is append-only: new stable ids ("target", "grid",
+// "block") are added after the existing keys and existing keys are never
+// renumbered, renamed, or reordered -- downstream JSONL consumers written
+// against an older schema keep working.
 //
 // 64-bit state hashes are serialized as fixed-width hex *strings*: JSON
 // numbers are doubles here and would silently round them.

@@ -74,7 +74,7 @@ ChaosSchedule parse_schedule_cli(const std::string& program,
 }
 
 void validate_schedule(const ChaosSchedule& schedule,
-                       const runtime::RuntimeConfig& config) {
+                       const ShadowConfig& config) {
   for (const auto& failure : schedule.failures) {
     if (failure.node >= config.nodes) {
       throw std::invalid_argument("ChaosSchedule '" + schedule.name +
@@ -89,8 +89,7 @@ void validate_schedule(const ChaosSchedule& schedule,
   }
 }
 
-std::vector<ChaosSchedule> scripted_schedules(
-    const runtime::RuntimeConfig& config) {
+std::vector<ChaosSchedule> scripted_schedules(const ShadowConfig& config) {
   const std::uint64_t interval = config.checkpoint_interval;
   const std::uint64_t total = config.total_steps;
   const std::uint64_t gs = config.topology == ckpt::Topology::Pairs ? 2 : 3;
@@ -141,8 +140,104 @@ std::vector<ChaosSchedule> scripted_schedules(
   return plans;
 }
 
-ChaosSchedule random_schedule(const runtime::RuntimeConfig& config,
-                              std::uint64_t seed,
+std::vector<ChaosSchedule> scripted_grid_schedules(
+    const runtime::GridConfig& config) {
+  const ShadowConfig shape(config);
+  std::vector<ChaosSchedule> plans = scripted_schedules(shape);
+
+  const std::uint64_t rows = config.grid_rows;
+  const std::uint64_t cols = config.grid_cols;
+  const std::uint64_t gs =
+      config.topology == ckpt::Topology::Pairs ? 2 : 3;
+  const std::uint64_t total = config.total_steps;
+  const auto step = [&](std::uint64_t s) {  // keep every plan executable
+    return std::min(s, total - 1);
+  };
+  const std::uint64_t c = step(2 * config.checkpoint_interval + 1);
+  const auto node_at = [&](std::uint64_t r, std::uint64_t col) {
+    return r * cols + col;
+  };
+
+  // Rack-aligned wipe of the group holding the grid's centre node: every
+  // replica of every member lives inside the wiped rack, so the plan is
+  // fatal no matter where the rack happens to sit in the domain -- buddy
+  // assignment follows racks, not the halo geometry.
+  {
+    const std::uint64_t centre = node_at(rows / 2, cols / 2);
+    const std::uint64_t rack = centre / gs;
+    ChaosSchedule wipe{"rack-wipe", {}, 0};
+    for (std::uint64_t member = 0; member < gs; ++member) {
+      wipe.failures.push_back({c, rack * gs + member});
+    }
+    plans.push_back(std::move(wipe));
+  }
+  // A rack whose members straddle a grid-row boundary (exists whenever the
+  // group size does not divide the row length): wiping it kills workers
+  // that never exchange a halo, yet is just as fatal.
+  if (cols % gs != 0) {
+    for (std::uint64_t rack = 0; rack < shape.nodes / gs; ++rack) {
+      if ((rack * gs) / cols != (rack * gs + gs - 1) / cols) {
+        ChaosSchedule wipe{"rack-straddles-rows", {}, 0};
+        for (std::uint64_t member = 0; member < gs; ++member) {
+          wipe.failures.push_back({c, rack * gs + member});
+        }
+        plans.push_back(std::move(wipe));
+        break;
+      }
+    }
+  }
+  // Simultaneous loss of a full grid row: spans cols/gs racks, so whenever
+  // a whole rack fits inside the row the plan is fatal -- the correlated,
+  // topology-aligned pattern of a real rack/PDU event.
+  {
+    ChaosSchedule row{"grid-row-simultaneous", {}, 0};
+    for (std::uint64_t col = 0; col < cols; ++col) {
+      row.failures.push_back({c, node_at(rows / 2, col)});
+    }
+    plans.push_back(std::move(row));
+  }
+  // Simultaneous loss of a full grid column: consecutive victims are a full
+  // row length apart, so with cols >= gs every rack loses at most one
+  // member and the rollback must recover all of them at once.
+  if (rows > 1) {
+    ChaosSchedule column{"grid-column-simultaneous", {}, 0};
+    for (std::uint64_t r = 0; r < rows; ++r) {
+      column.failures.push_back({c, node_at(r, cols / 2)});
+    }
+    plans.push_back(std::move(column));
+    // The same column lost one node per step: every hit rolls back while
+    // the previous victims' refills are still pending -- survivable (one
+    // member per rack), but it drives the refill clock through repeated
+    // rollbacks.
+    ChaosSchedule staggered{"grid-column-staggered", {}, 0};
+    for (std::uint64_t r = 0; r < rows; ++r) {
+      staggered.failures.push_back({step(c + r), node_at(r, cols / 2)});
+    }
+    plans.push_back(std::move(staggered));
+    // Two halo neighbours across a row boundary (ids a full row apart).
+    plans.push_back({"halo-neighbours-vertical",
+                     {{c, node_at(0, cols / 2)}, {c, node_at(1, cols / 2)}},
+                     0});
+  }
+  // Two same-step losses inside one grid row but in different racks.
+  if (cols > gs) {
+    plans.push_back(
+        {"row-span-two-racks", {{c, node_at(0, 0)}, {c, node_at(0, gs)}}, 0});
+  }
+  // One rack member lost, its rack-mate one step later: inside the
+  // re-replication window whenever the delay exceeds the replay distance.
+  {
+    const std::uint64_t rack = node_at(rows / 2, cols / 2) / gs;
+    plans.push_back({"rack-risk-window",
+                     {{c, rack * gs}, {step(c + 1), rack * gs + 1}},
+                     0});
+  }
+
+  for (auto& plan : plans) validate_schedule(plan, shape);
+  return plans;
+}
+
+ChaosSchedule random_schedule(const ShadowConfig& config, std::uint64_t seed,
                               std::uint64_t max_failures) {
   if (max_failures == 0) {
     throw std::invalid_argument("random_schedule: max_failures must be > 0");

@@ -1,5 +1,5 @@
 // Chaos schedules: adversarial multi-failure injection plans against the
-// runtime Coordinator.
+// runtime coordinators (1-D chain and 2-D grid).
 //
 // A ChaosSchedule is a named list of FailureInjections plus the seed that
 // generated it (0 for hand-scripted plans), with a textual round-trip form
@@ -7,11 +7,18 @@
 // `dckpt chaos --schedule` speak, so every campaign run is reproducible
 // from the command line.
 //
-// Two sources of schedules:
+// Three sources of schedules:
 //   * scripted_schedules() -- the paper's named danger cases: failures
 //     during the checkpoint exchange, double hits inside the
 //     re-replication risk window, simultaneous losses across and within
 //     groups, and back-to-back hits straddling the spare-allocation delay.
+//     Takes the oracle's ShadowConfig, so it covers any runtime whose
+//     protocol shape converts to one (both coordinators do).
+//   * scripted_grid_schedules() -- the grid-specific danger families on
+//     top of the generic set: rack-aligned buddy-group wipes (orthogonal
+//     to the halo geometry), simultaneous losses along grid rows that span
+//     several buddy groups, column wipes that take one member from many
+//     racks, and vertical halo-neighbour double hits.
 //   * random_schedule() -- seed-deterministic adversarial draws biased
 //     toward the same timing windows (uniform placement almost never lands
 //     inside a risk window by chance).
@@ -21,8 +28,10 @@
 #include <string>
 #include <vector>
 
+#include "chaos/shadow.hpp"
 #include "model/spares.hpp"
 #include "runtime/coordinator.hpp"
+#include "runtime/grid.hpp"
 
 namespace dckpt::chaos {
 
@@ -48,7 +57,7 @@ ChaosSchedule parse_schedule_cli(const std::string& program,
 /// Validates every injection against `config` (node in range, step below
 /// total_steps). Throws std::invalid_argument otherwise.
 void validate_schedule(const ChaosSchedule& schedule,
-                       const runtime::RuntimeConfig& config);
+                       const ShadowConfig& config);
 
 /// The scripted danger cases for `config` (every schedule valid for it):
 /// single hits, exchange-window hits (when staging_steps > 0), same-group
@@ -56,15 +65,24 @@ void validate_schedule(const ChaosSchedule& schedule,
 /// cross-group simultaneous losses, repeated hits on one node, and a
 /// whole-group wipe. Survivable and fatal plans are both included -- the
 /// campaign's shadow oracle decides which is which.
-std::vector<ChaosSchedule> scripted_schedules(
-    const runtime::RuntimeConfig& config);
+std::vector<ChaosSchedule> scripted_schedules(const ShadowConfig& config);
+
+/// The scripted set for the 2-D grid runtime: everything
+/// scripted_schedules() produces for the grid's protocol shape, plus the
+/// geometry-aware families ("rack-wipe", "grid-row-simultaneous",
+/// "grid-column-simultaneous", "halo-neighbours-vertical",
+/// "row-span-two-racks", "rack-straddles-rows" when the rack width does
+/// not divide the row length). Buddy groups follow consecutive row-major
+/// ids -- racks -- so these plans probe exactly the correlated,
+/// topology-aligned failures the domain decomposition never sees.
+std::vector<ChaosSchedule> scripted_grid_schedules(
+    const runtime::GridConfig& config);
 
 /// Seed-deterministic adversarial draw: picks 1..max_failures injections
 /// using a mix of strategies (uniform, buddy hit inside the risk window,
 /// simultaneous same/cross group, exchange window, repeat offender). The
 /// same (config, seed, max_failures) triple always yields the same plan.
-ChaosSchedule random_schedule(const runtime::RuntimeConfig& config,
-                              std::uint64_t seed,
+ChaosSchedule random_schedule(const ShadowConfig& config, std::uint64_t seed,
                               std::uint64_t max_failures = 4);
 
 /// Maps the spare-pool model's expected replacement wait (Erlang-C, from

@@ -8,12 +8,51 @@
 
 namespace dckpt::chaos {
 
+ShadowConfig::ShadowConfig(const runtime::RuntimeConfig& config)
+    : nodes(config.nodes), topology(config.topology),
+      checkpoint_interval(config.checkpoint_interval),
+      total_steps(config.total_steps), staging_steps(config.staging_steps),
+      rereplication_delay_steps(config.rereplication_delay_steps) {}
+
+ShadowConfig::ShadowConfig(const runtime::GridConfig& config)
+    : nodes(config.nodes()), topology(config.topology),
+      checkpoint_interval(config.checkpoint_interval),
+      total_steps(config.total_steps), staging_steps(0),
+      rereplication_delay_steps(config.rereplication_delay_steps) {}
+
+void ShadowConfig::validate() const {
+  const auto gs =
+      static_cast<std::uint64_t>(topology == ckpt::Topology::Pairs ? 2 : 3);
+  if (nodes == 0 || nodes % gs != 0) {
+    throw std::invalid_argument(
+        "ShadowConfig: nodes must be a positive multiple of the group size");
+  }
+  if (checkpoint_interval == 0 || total_steps == 0) {
+    throw std::invalid_argument("ShadowConfig: zero interval or steps");
+  }
+  if (staging_steps > checkpoint_interval) {
+    throw std::invalid_argument(
+        "ShadowConfig: staging_steps must be <= checkpoint_interval");
+  }
+}
+
 ShadowPrediction predict_outcome(
-    const runtime::RuntimeConfig& config,
+    const ShadowConfig& config,
     std::span<const runtime::FailureInjection> failures) {
   config.validate();
   const ckpt::GroupAssignment groups(config.nodes, config.topology);
   const bool pairs = config.topology == ckpt::Topology::Pairs;
+
+  // Same upfront range validation as the runtimes: a schedule naming a
+  // nonexistent node or a step past the run is a caller bug, loudly.
+  for (const auto& failure : failures) {
+    if (failure.node >= config.nodes) {
+      throw std::invalid_argument("FailureInjection: node out of range");
+    }
+    if (failure.step >= config.total_steps) {
+      throw std::invalid_argument("FailureInjection: step out of range");
+    }
+  }
 
   std::vector<runtime::FailureInjection> pending(failures.begin(),
                                                  failures.end());
@@ -47,9 +86,6 @@ ShadowPrediction predict_outcome(
     bool failed = false;
     for (auto it = pending.begin(); it != pending.end();) {
       if (it->step == step) {
-        if (it->node >= config.nodes) {
-          throw std::invalid_argument("FailureInjection: node out of range");
-        }
         store_ok[it->node] = false;  // destroy() empties the buddy store
         ++out.failures;
         failed = true;

@@ -1,5 +1,5 @@
 // Shadow oracle: an abstract replica-state machine that predicts, without
-// touching any application data, what the Coordinator must do under a
+// touching any application data, what a runtime coordinator must do under a
 // failure schedule -- survive or report fatal data loss, and with exactly
 // which accounting (rollbacks, replays, checkpoints, recoveries, refills,
 // risk-window steps).
@@ -10,19 +10,47 @@
 // and a re-replication refill restores it wholesale. A rollback is fatal
 // exactly when some node's committed image has no surviving holder.
 //
+// The machine is deliberately topology-agnostic: buddy placement follows
+// racks (consecutive row-major node ids), not the application's domain
+// decomposition, so the *same* step/commit/refill machine covers both the
+// 1-D chain Coordinator and the 2-D GridCoordinator. ShadowConfig is the
+// extracted protocol shape; it converts implicitly from either runtime
+// config so existing call sites keep reading naturally.
+//
 // This is deliberately an *independent reimplementation* of the control
-// flow in runtime/coordinator.cpp (same step/commit/refill ordering, none
-// of the data movement): the chaos campaign runs both and any divergence
-// -- outcome or counter -- is classified `violated`, i.e. a bug in one of
-// the two. Property tests drive random schedules through the pair.
+// flow in runtime/coordinator.cpp and runtime/grid.cpp (same
+// step/commit/refill ordering, none of the data movement): the chaos
+// campaign runs both and any divergence -- outcome or counter -- is
+// classified `violated`, i.e. a bug in one of the two. Property tests
+// drive random schedules through the pair.
 #pragma once
 
 #include <cstdint>
 #include <span>
 
 #include "runtime/coordinator.hpp"
+#include "runtime/grid.hpp"
 
 namespace dckpt::chaos {
+
+/// The protocol shape the oracle steps: everything the step/commit/refill
+/// machine needs, nothing the application layer adds on top. Both runtime
+/// configs convert implicitly, so `predict_outcome(config.runtime, ...)`
+/// and `predict_outcome(grid_config, ...)` both read naturally.
+struct ShadowConfig {
+  std::uint64_t nodes = 4;
+  ckpt::Topology topology = ckpt::Topology::Pairs;
+  std::uint64_t checkpoint_interval = 16;
+  std::uint64_t total_steps = 128;
+  std::uint64_t staging_steps = 0;  ///< 0 = immediate commit (the grid)
+  std::uint64_t rereplication_delay_steps = 0;
+
+  ShadowConfig() = default;
+  ShadowConfig(const runtime::RuntimeConfig& config);  // NOLINT: implicit
+  ShadowConfig(const runtime::GridConfig& config);     // NOLINT: implicit
+
+  void validate() const;  ///< throws std::invalid_argument
+};
 
 struct ShadowPrediction {
   bool fatal = false;
@@ -40,11 +68,11 @@ struct ShadowPrediction {
 };
 
 /// Runs the abstract machine for `config` under `failures` (same contract
-/// as Coordinator::run: each injection fires at most once, in step order).
-/// Throws std::invalid_argument on an out-of-range injection, like the
-/// runtime does.
+/// as the coordinators' run(): each injection fires at most once, in step
+/// order). Throws std::invalid_argument on an out-of-range injection
+/// (node or step), exactly like the runtimes do.
 ShadowPrediction predict_outcome(
-    const runtime::RuntimeConfig& config,
+    const ShadowConfig& config,
     std::span<const runtime::FailureInjection> failures);
 
 }  // namespace dckpt::chaos

@@ -34,6 +34,18 @@ std::uint64_t state_hash(std::span<const double> state) {
   return ckpt::fnv1a(std::as_bytes(state));
 }
 
+void validate_injections(std::span<const FailureInjection> failures,
+                         std::uint64_t nodes, std::uint64_t total_steps) {
+  for (const auto& failure : failures) {
+    if (failure.node >= nodes) {
+      throw std::invalid_argument("FailureInjection: node out of range");
+    }
+    if (failure.step >= total_steps) {
+      throw std::invalid_argument("FailureInjection: step out of range");
+    }
+  }
+}
+
 Coordinator::Coordinator(RuntimeConfig config, std::unique_ptr<Kernel> kernel)
     : config_(config), kernel_(std::move(kernel)),
       groups_(config.nodes, config.topology), pool_(config.threads),
@@ -146,6 +158,7 @@ void Coordinator::rollback_all(RunReport& report) {
 }
 
 RunReport Coordinator::run(std::span<const FailureInjection> failures) {
+  validate_injections(failures, config_.nodes, config_.total_steps);
   RunReport report;
   std::vector<FailureInjection> pending(failures.begin(), failures.end());
   std::stable_sort(pending.begin(), pending.end(),
@@ -163,9 +176,6 @@ RunReport Coordinator::run(std::span<const FailureInjection> failures) {
     bool failed = false;
     for (auto it = pending.begin(); it != pending.end();) {
       if (it->step == step) {
-        if (it->node >= workers_.size()) {
-          throw std::invalid_argument("FailureInjection: node out of range");
-        }
         workers_[it->node].destroy();
         ++report.failures;
         failed = true;

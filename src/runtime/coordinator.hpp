@@ -65,6 +65,14 @@ struct FailureInjection {
   std::uint64_t node = 0;
 };
 
+/// Upfront range check shared by both coordinators (and mirrored by the
+/// chaos shadow oracle): every injection must name an existing node and a
+/// step that actually executes. Throws std::invalid_argument otherwise --
+/// a schedule aimed at a nonexistent node or past the end of the run would
+/// otherwise be silently ignored and make a campaign vacuously pass.
+void validate_injections(std::span<const FailureInjection> failures,
+                         std::uint64_t nodes, std::uint64_t total_steps);
+
 struct RunReport {
   std::uint64_t steps_executed = 0;   ///< step executions incl. replays
                                       ///< (= total_steps + replayed_steps)

@@ -219,6 +219,9 @@ void GridCoordinator::checkpoint_all(RunReport& report) {
   }
   has_commit_ = true;
   ++report.checkpoints;
+  // A committed exchange re-creates every replica: any pending refill is
+  // subsumed and the risk window closes.
+  pending_refill_.clear();
 }
 
 void GridCoordinator::rollback_all(RunReport& report) {
@@ -240,7 +243,9 @@ void GridCoordinator::rollback_all(RunReport& report) {
   for (auto& block_ptr : blocks_) {
     Block& block = *block_ptr;
     block.store.discard_staged();
+    // Prefer the local copy (pairs); otherwise fetch from a group peer.
     auto local = block.store.committed_for(block.id);
+    if (!local) ++report.recoveries;
     const ckpt::Snapshot image =
         local ? *local
               : *ckpt::locate_replica(block.id, groups_, stores)
@@ -253,6 +258,7 @@ void GridCoordinator::rollback_all(RunReport& report) {
 }
 
 RunReport GridCoordinator::run(std::span<const FailureInjection> failures) {
+  validate_injections(failures, config_.nodes(), config_.total_steps);
   RunReport report;
   std::vector<FailureInjection> pending(failures.begin(), failures.end());
   std::stable_sort(pending.begin(), pending.end(),
@@ -264,9 +270,6 @@ RunReport GridCoordinator::run(std::span<const FailureInjection> failures) {
     bool failed = false;
     for (auto it = pending.begin(); it != pending.end();) {
       if (it->step == step) {
-        if (it->node >= blocks_.size()) {
-          throw std::invalid_argument("FailureInjection: node out of range");
-        }
         blocks_[it->node]->destroy();
         ++report.failures;
         failed = true;
@@ -276,14 +279,30 @@ RunReport GridCoordinator::run(std::span<const FailureInjection> failures) {
       }
     }
     if (failed) {
+      // Any half-open risk window dies with the rollback: the window is
+      // re-derived below from which stores the failure left empty.
+      pending_refill_.clear();
       try {
         rollback_all(report);
         if (has_commit_) {
-          const auto stores = store_directory();
+          // Re-replicate what the victims were storing for their peers --
+          // immediately, or after the configured risk-window delay (same
+          // clock as the 1-D coordinator: executed steps, replay included).
+          std::vector<std::uint64_t> empty;
           for (auto& block : blocks_) {
             if (block->store.committed_count() == 0) {
-              ckpt::restore_replicas(block->id, groups_, stores);
+              empty.push_back(block->id);
             }
+          }
+          if (config_.rereplication_delay_steps == 0) {
+            const auto stores = store_directory();
+            for (const std::uint64_t node : empty) {
+              ckpt::restore_replicas(node, groups_, stores);
+              ++report.rereplications;
+            }
+          } else {
+            pending_refill_ = std::move(empty);
+            refill_due_steps_ = config_.rereplication_delay_steps;
           }
         }
       } catch (const std::runtime_error& error) {
@@ -299,6 +318,19 @@ RunReport GridCoordinator::run(std::span<const FailureInjection> failures) {
     execute_step();
     ++step;
     ++report.steps_executed;
+    // Tick the open risk window: once the delay elapses the replacement
+    // nodes' buddy storage is refilled from the surviving replicas.
+    if (!pending_refill_.empty()) {
+      ++report.risk_steps;
+      if (--refill_due_steps_ == 0) {
+        const auto stores = store_directory();
+        for (const std::uint64_t node : pending_refill_) {
+          ckpt::restore_replicas(node, groups_, stores);
+          ++report.rereplications;
+        }
+        pending_refill_.clear();
+      }
+    }
     if (step % config_.checkpoint_interval == 0 &&
         step < config_.total_steps) {
       checkpoint_all(report);

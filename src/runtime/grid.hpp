@@ -5,12 +5,16 @@
 // generalizes to the standard 2-D HPC decomposition: a grid of workers,
 // each owning a block of a global field, exchanging one halo row/column
 // with each of its four neighbours per step (Jacobi-style). Checkpointing,
-// failure injection and coordinated rollback-recovery work exactly as in
-// the 1-D runtime (immediate commit).
+// failure injection, coordinated rollback-recovery and the re-replication
+// risk window work exactly as in the 1-D runtime, with one simplification:
+// the grid commits each checkpoint set immediately (no staged exchange).
 //
 // Workers are numbered row-major; the buddy topology (pairs/triples over
 // consecutive ids) is orthogonal to the grid geometry -- as in real
-// deployments, where buddy assignment follows racks, not the domain.
+// deployments, where buddy assignment follows racks, not the domain. The
+// chaos shadow oracle exploits exactly that: the same step/commit/refill
+// machine predicts this coordinator's accounting (recoveries,
+// rereplications, risk_steps) counter-for-counter.
 #pragma once
 
 #include <cstdint>
@@ -76,6 +80,12 @@ struct GridConfig {
   std::uint64_t checkpoint_interval = 16;
   std::uint64_t total_steps = 64;
   std::size_t threads = 0;
+  /// Re-replication delay: executed steps between a rollback and the refill
+  /// of the replacement node's buddy storage. Same semantics as
+  /// RuntimeConfig::rereplication_delay_steps -- while the refill is
+  /// pending the victim's group cannot survive another member loss, and a
+  /// committed checkpoint closes the window. 0 = refill immediately.
+  std::uint64_t rereplication_delay_steps = 0;
 
   std::uint64_t nodes() const noexcept {
     return static_cast<std::uint64_t>(grid_rows) * grid_cols;
@@ -111,6 +121,11 @@ class GridCoordinator {
   std::vector<std::uint64_t> committed_hashes_;
   std::uint64_t committed_step_ = 0;
   bool has_commit_ = false;
+
+  // Nodes whose buddy storage awaits re-replication, and the executed steps
+  // left until the refill completes (the open risk window).
+  std::vector<std::uint64_t> pending_refill_;
+  std::uint64_t refill_due_steps_ = 0;
 };
 
 }  // namespace dckpt::runtime

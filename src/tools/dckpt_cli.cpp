@@ -494,12 +494,42 @@ int cmd_spares(int argc, const char* const* argv) {
 
 // --------------------------------------------------------------- chaos
 
+/// Parses "RxC" (or a bare "N", meaning NxN) for --grid / --block. On
+/// malformed input prints the PR 1 error convention and exits(2).
+std::pair<std::size_t, std::size_t> parse_geometry_cli(
+    const char* program, const char* option, const std::string& text) {
+  const auto fail = [&]() -> std::pair<std::size_t, std::size_t> {
+    std::fprintf(stderr, "%s: option --%s: invalid value '%s'\n", program,
+                 option, text.c_str());
+    std::exit(2);
+  };
+  const auto parse_dim = [&](const std::string& part) {
+    if (part.empty() ||
+        part.find_first_not_of("0123456789") != std::string::npos) {
+      fail();
+    }
+    const unsigned long long value = std::stoull(part);
+    if (value == 0) fail();
+    return static_cast<std::size_t>(value);
+  };
+  const std::size_t x = text.find('x');
+  if (x == std::string::npos) {
+    const std::size_t n = parse_dim(text);
+    return {n, n};
+  }
+  return {parse_dim(text.substr(0, x)), parse_dim(text.substr(x + 1))};
+}
+
 int cmd_chaos(int argc, const char* const* argv) {
   util::CliParser cli("dckpt chaos",
                       "adversarial failure campaigns against the runtime");
   cli.add_option("topology", "pairs", "pairs | triples");
   cli.add_option("nodes", "8", "node count (multiple of the group size)");
   cli.add_option("cells", "64", "cells per node");
+  cli.add_option("grid", "",
+                 "target the 2-D grid runtime with RxC workers (row-major "
+                 "ids; overrides --nodes/--cells/--staging)");
+  cli.add_option("block", "8", "grid block size per worker, RxC or N (=NxN)");
   cli.add_option("steps", "96", "total steps");
   cli.add_option("interval", "12", "checkpoint interval, steps");
   cli.add_option("staging", "0", "staging (non-blocking exchange) steps");
@@ -554,6 +584,28 @@ int cmd_chaos(int argc, const char* const* argv) {
   config.include_scripted = !cli.get_flag("random-only");
   config.threads = static_cast<std::size_t>(cli.get_int("threads"));
 
+  if (!cli.get("grid").empty()) {
+    if (config.runtime.staging_steps > 0) {
+      std::fprintf(stderr, "dckpt chaos: --staging is not supported with "
+                   "--grid (the grid commits immediately)\n");
+      std::exit(2);
+    }
+    const auto [rows, cols] =
+        parse_geometry_cli("dckpt chaos", "grid", cli.get("grid"));
+    const auto [brows, bcols] =
+        parse_geometry_cli("dckpt chaos", "block", cli.get("block"));
+    runtime::GridConfig gc;
+    gc.topology = config.runtime.topology;
+    gc.grid_rows = rows;
+    gc.grid_cols = cols;
+    gc.block_rows = brows;
+    gc.block_cols = bcols;
+    gc.total_steps = config.runtime.total_steps;
+    gc.checkpoint_interval = config.runtime.checkpoint_interval;
+    gc.rereplication_delay_steps = config.runtime.rereplication_delay_steps;
+    config.grid = gc;
+  }
+
   if (const auto spares = cli.get_int("spares"); spares > 0) {
     // Bridge from the spare-pool model: expected allocation wait -> steps.
     model::SparePoolSpec spec;
@@ -562,6 +614,10 @@ int cmd_chaos(int argc, const char* const* argv) {
     spec.detection = cli.get_double("detection");
     config.runtime.rereplication_delay_steps = chaos::spare_pool_delay_steps(
         spec, cli.get_double("mtbf"), cli.get_double("step-seconds"));
+    if (config.grid) {
+      config.grid->rereplication_delay_steps =
+          config.runtime.rereplication_delay_steps;
+    }
     std::printf("spare pool: %lld spares -> re-replication delay %llu "
                 "steps\n",
                 static_cast<long long>(spares),

@@ -6,9 +6,12 @@
 #include <memory>
 #include <numeric>
 
+#include "chaos/chaos_api.hpp"
+
 namespace {
 
 using namespace dckpt::runtime;
+using dckpt::chaos::ShadowConfig;
 using dckpt::ckpt::Topology;
 
 GridConfig small_grid(Topology topology = Topology::Pairs) {
@@ -159,6 +162,99 @@ TEST(GridCoordinatorTest, GlobalStateHasExpectedSize) {
 TEST(GridCoordinatorTest, NullKernelRejected) {
   EXPECT_THROW(GridCoordinator(small_grid(), nullptr),
                std::invalid_argument);
+}
+
+TEST(GridCoordinatorTest, InjectionValidationMatchesChainRuntime) {
+  // Satellite parity bugfix: the grid must reject out-of-range injections
+  // exactly like the 1-D Coordinator instead of silently ignoring them.
+  const auto config = small_grid();
+  RuntimeConfig chain;
+  chain.nodes = config.nodes();
+  chain.total_steps = config.total_steps;
+  chain.checkpoint_interval = config.checkpoint_interval;
+
+  const FailureInjection bad_node[] = {{10, config.nodes()}};
+  const FailureInjection bad_step[] = {{config.total_steps, 0}};
+  const FailureInjection late_node[] = {{config.total_steps, 99}};
+  for (std::span<const FailureInjection> bad :
+       {std::span<const FailureInjection>(bad_node),
+        std::span<const FailureInjection>(bad_step),
+        std::span<const FailureInjection>(late_node)}) {
+    GridCoordinator grid(config, std::make_unique<HeatKernel2D>());
+    Coordinator coordinator(chain, std::make_unique<HeatKernel>());
+    EXPECT_THROW(grid.run(bad), std::invalid_argument);
+    EXPECT_THROW(coordinator.run(bad), std::invalid_argument);
+  }
+}
+
+TEST(GridCoordinatorTest, RereplicationDelayWidensRiskWindow) {
+  // Satellite bugfix: GridConfig::rereplication_delay_steps must be
+  // honored. The same buddy double hit is masked when the refill lands
+  // before the second failure and fatal while the window is still open.
+  auto config = small_grid();
+  const FailureInjection double_hit[] = {{13, 2}, {15, 3}};  // rack (2,3)
+  config.rereplication_delay_steps = 1;  // refill after step 13 replays
+  {
+    const auto expected = reference_hash(config);
+    GridCoordinator coordinator(config, std::make_unique<HeatKernel2D>());
+    const auto report = coordinator.run(double_hit);
+    ASSERT_FALSE(report.fatal) << report.fatal_reason;
+    EXPECT_EQ(report.final_hash, expected);
+    // Each failure opens its own one-step window and refill.
+    EXPECT_EQ(report.risk_steps, 2u);
+    EXPECT_EQ(report.rereplications, 2u);
+  }
+  config.rereplication_delay_steps = 6;  // still pending at step 15
+  {
+    GridCoordinator coordinator(config, std::make_unique<HeatKernel2D>());
+    const auto report = coordinator.run(double_hit);
+    EXPECT_TRUE(report.fatal);
+    EXPECT_NE(report.fatal_reason.find("no surviving replica"),
+              std::string::npos);
+  }
+}
+
+TEST(GridCoordinatorTest, CommitClosesRiskWindowAndOracleAgrees) {
+  // A committed checkpoint re-creates every replica, so a refill pending
+  // across a commit is subsumed -- and the shadow oracle predicts the
+  // grid's accounting counter for counter.
+  auto config = small_grid();
+  config.rereplication_delay_steps = 10;  // longer than interval - replay
+  const FailureInjection failures[] = {{13, 2}, {20, 3}};
+  GridCoordinator coordinator(config, std::make_unique<HeatKernel2D>());
+  const auto report = coordinator.run(failures);
+  ASSERT_FALSE(report.fatal) << report.fatal_reason;
+  // Window opens after the rollback to 12, ticks through steps 13..18,
+  // closes at the commit at 18 -- so the buddy hit at 20 is masked again
+  // and the refill clock never fires.
+  EXPECT_EQ(report.rereplications, 0u);
+  const auto predicted =
+      dckpt::chaos::predict_outcome(ShadowConfig(config), failures);
+  EXPECT_FALSE(predicted.fatal);
+  EXPECT_EQ(report.risk_steps, predicted.risk_steps);
+  EXPECT_EQ(report.steps_executed, predicted.steps_executed);
+  EXPECT_EQ(report.replayed_steps, predicted.replayed_steps);
+  EXPECT_EQ(report.checkpoints, predicted.checkpoints);
+  EXPECT_EQ(report.rollbacks, predicted.rollbacks);
+  EXPECT_EQ(report.recoveries, predicted.recoveries);
+  EXPECT_EQ(report.rereplications, predicted.rereplications);
+}
+
+TEST(GridChaosSmoke, ScriptedGridCampaignNeverViolates) {
+  // Fast-lane smoke for the generalized chaos engine: every scripted grid
+  // danger family plus a few random draws, zero violations.
+  dckpt::chaos::ChaosCampaignConfig campaign;
+  campaign.grid = small_grid();
+  campaign.random_runs = 10;
+  campaign.threads = 2;
+  const auto summary = dckpt::chaos::run_campaign(campaign);
+  EXPECT_EQ(summary.violated, 0u);
+  EXPECT_EQ(summary.target, "grid");
+  for (const auto& run : summary.runs) {
+    EXPECT_NE(run.outcome, dckpt::chaos::ChaosOutcome::Violated)
+        << run.schedule.name << ": " << run.detail << "\n  " << run.repro;
+    EXPECT_NE(run.repro.find("--grid=2x2"), std::string::npos) << run.repro;
+  }
 }
 
 }  // namespace
