@@ -5,6 +5,7 @@
 // full-resolution grid for external plotting or machine consumption.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -57,6 +58,14 @@ class JsonlWriter {
 struct BenchContext {
   std::optional<std::string> csv_dir;
   std::optional<std::string> jsonl_dir;
+  /// --trials override for the Monte-Carlo benches (0 = bench default);
+  /// CI's bench-smoke step uses this to keep artifact runs fast.
+  std::uint64_t trials_override = 0;
+
+  /// The bench's Monte-Carlo trial count: the override, if given.
+  std::uint64_t trials_or(std::uint64_t bench_default) const noexcept {
+    return trials_override > 0 ? trials_override : bench_default;
+  }
 
   /// Opens `<csv_dir>/<name>.csv` when --csv was passed, else nullptr.
   std::unique_ptr<util::CsvWriter> csv(
@@ -83,12 +92,17 @@ inline std::optional<BenchContext> parse_bench_args(int argc,
   parser.add_option("csv", "", "directory to write full-resolution CSV grids");
   parser.add_option("jsonl", "",
                     "directory to write full-resolution JSONL grids");
+  parser.add_option("trials", "0",
+                    "Monte-Carlo trials override (0 = bench default)");
   if (!parser.parse(argc, argv)) return std::nullopt;
   BenchContext context;
   const std::string dir = parser.get("csv");
   if (!dir.empty()) context.csv_dir = dir;
   const std::string jsonl_dir = parser.get("jsonl");
   if (!jsonl_dir.empty()) context.jsonl_dir = jsonl_dir;
+  if (const std::int64_t trials = parser.get_int("trials"); trials > 0) {
+    context.trials_override = static_cast<std::uint64_t>(trials);
+  }
   return context;
 }
 

@@ -14,14 +14,21 @@ using namespace dckpt;
 using namespace dckpt::bench;
 
 void waste_validation(const BenchContext& context) {
-  print_header("Simulation vs model: waste",
-               "Simulator: 12-node platform, 60 trials per cell, "
-               "t_base = 25 M. rel-err = (sim - model)/model.");
+  const std::uint64_t trials = context.trials_or(60);
+  // Built with += (not operator+ chains): GCC 12's -Wrestrict false-fires on
+  // char* + to_string(...) + char* at -O2.
+  std::string blurb = "Simulator: 12-node platform, ";
+  blurb += std::to_string(trials);
+  blurb += " trials per cell, t_base = 25 M. rel-err = (sim - model)/model.";
+  print_header("Simulation vs model: waste", blurb);
   util::TextTable table({"Scenario", "Protocol", "M", "phi/R", "model",
                          "sim", "+/-", "rel-err"});
-  auto csv = context.csv("sim_vs_model_waste",
-                         {"scenario", "protocol", "mtbf_s", "phi_over_R",
-                          "model_waste", "sim_waste", "sim_ci"});
+  const std::vector<std::string> keys = {"scenario",    "protocol",
+                                         "mtbf_s",      "phi_over_R",
+                                         "model_waste", "sim_waste",
+                                         "sim_ci"};
+  auto csv = context.csv("sim_vs_model_waste", keys);
+  auto jsonl = context.jsonl("sim_vs_model_waste", keys);
   for (const auto& scenario : model::paper_scenarios()) {
     for (auto protocol : model::kPaperProtocols) {
       for (double mtbf : {1800.0, 3600.0 * 4}) {
@@ -37,7 +44,7 @@ void waste_validation(const BenchContext& context) {
           config.t_base = 25.0 * mtbf;
           config.stop_on_fatal = false;
           sim::MonteCarloOptions options;
-          options.trials = 60;
+          options.trials = trials;
           options.seed = 0x5eed;
           const auto mc = sim::run_monte_carlo(config, options);
           const double sim_waste = mc.waste.mean();
@@ -60,22 +67,31 @@ void waste_validation(const BenchContext& context) {
                             util::format_fixed(sim_waste, 6),
                             util::format_fixed(ci, 6)});
           }
+          if (jsonl) {
+            jsonl->row({scenario.name, model::protocol_name(protocol), mtbf,
+                        ratio, opt.waste, sim_waste, ci});
+          }
         }
       }
     }
   }
   std::printf("%s\n", table.render().c_str());
   if (csv) std::printf("[csv] wrote %s\n", csv->path().c_str());
+  if (jsonl) std::printf("[jsonl] wrote %s\n", jsonl->path().c_str());
 }
 
 void risk_validation(const BenchContext& context) {
-  print_header("Simulation vs model: success probability",
-               "16-node (pairs) / 18-node (triples) platform, brutal MTBF, "
-               "800 trials; model evaluated at the simulated mean makespan.");
+  const std::uint64_t trials = context.trials_or(800);
+  std::string blurb =
+      "16-node (pairs) / 18-node (triples) platform, brutal MTBF, ";
+  blurb += std::to_string(trials);
+  blurb += " trials; model evaluated at the simulated mean makespan.";
+  print_header("Simulation vs model: success probability", blurb);
   util::TextTable table({"Protocol", "M", "model P", "sim P", "Wilson 95%"});
-  auto csv = context.csv("sim_vs_model_risk",
-                         {"protocol", "mtbf_s", "model_p", "sim_p", "ci_lo",
-                          "ci_hi"});
+  const std::vector<std::string> keys = {"protocol", "mtbf_s", "model_p",
+                                         "sim_p",    "ci_lo",  "ci_hi"};
+  auto csv = context.csv("sim_vs_model_risk", keys);
+  auto jsonl = context.jsonl("sim_vs_model_risk", keys);
   for (auto protocol : model::kPaperProtocols) {
     for (double mtbf : {80.0, 240.0}) {
       // phi = 0 maximizes theta, which separates the protocols' risk
@@ -90,7 +106,7 @@ void risk_validation(const BenchContext& context) {
       config.stop_on_fatal = true;
       config.max_makespan = 1e7;
       sim::MonteCarloOptions options;
-      options.trials = 800;
+      options.trials = trials;
       options.seed = 0x71;
       const auto mc = sim::run_monte_carlo(config, options);
       const double model_p = model::success_probability(
@@ -110,10 +126,15 @@ void risk_validation(const BenchContext& context) {
                         util::format_fixed(ci.lo, 6),
                         util::format_fixed(ci.hi, 6)});
       }
+      if (jsonl) {
+        jsonl->row({model::protocol_name(protocol), mtbf, model_p,
+                    mc.success.estimate(), ci.lo, ci.hi});
+      }
     }
   }
   std::printf("%s", table.render().c_str());
   if (csv) std::printf("[csv] wrote %s\n", csv->path().c_str());
+  if (jsonl) std::printf("[jsonl] wrote %s\n", jsonl->path().c_str());
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include "model/efficiency.hpp"   // IWYU pragma: export
 #include "model/hierarchical.hpp" // IWYU pragma: export
 #include "model/message_logging.hpp"  // IWYU pragma: export
+#include "model/nonexponential.hpp"  // IWYU pragma: export
 #include "model/overlap.hpp"      // IWYU pragma: export
 #include "model/parameters.hpp"   // IWYU pragma: export
 #include "model/period.hpp"       // IWYU pragma: export

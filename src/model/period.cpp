@@ -34,8 +34,9 @@ double closed_form_raw(Protocol protocol, const Parameters& params) {
   return std::nan("");
 }
 
-OptimalPeriod finalize(Protocol protocol, const Parameters& params,
-                       double raw) {
+OptimalPeriod finalize_objective(Protocol protocol, const Parameters& params,
+                                 double raw,
+                                 const std::function<double(double)>& f) {
   OptimalPeriod result;
   result.raw = raw;
   const double lo = min_period(protocol, params);
@@ -45,9 +46,16 @@ OptimalPeriod finalize(Protocol protocol, const Parameters& params,
   } else {
     result.period = raw;
   }
-  result.waste = waste(protocol, params, result.period);
+  result.waste = f(result.period);
   result.feasible = result.waste < 1.0;
   return result;
+}
+
+OptimalPeriod finalize(Protocol protocol, const Parameters& params,
+                       double raw) {
+  return finalize_objective(protocol, params, raw, [&](double period) {
+    return waste(protocol, params, period);
+  });
 }
 
 }  // namespace
@@ -61,15 +69,21 @@ OptimalPeriod optimal_period_closed_form(Protocol protocol,
 OptimalPeriod optimal_period_numeric(Protocol protocol,
                                      const Parameters& params) {
   params.validate();
+  return optimal_period_numeric_objective(
+      protocol, params,
+      [&](double period) { return waste(protocol, params, period); });
+}
+
+OptimalPeriod optimal_period_numeric_objective(
+    Protocol protocol, const Parameters& params,
+    const std::function<double(double)>& objective) {
+  params.validate();
   const double lo = min_period(protocol, params);
   // Upper bracket: generously beyond both the closed-form estimate and the
   // MTBF (waste grows once F(P) ~ M, so the optimum cannot sit far above M).
   const double guess = closed_form_raw(protocol, params);
   double hi = 4.0 * params.mtbf + 10.0 * lo;
   if (std::isfinite(guess)) hi = std::max(hi, 4.0 * guess);
-  const auto objective = [&](double period) {
-    return waste(protocol, params, period);
-  };
   // waste() saturates at 1.0, so the objective has flat plateaus wherever the
   // platform is infeasible -- near lo (period barely above the checkpoint
   // cost) and for large P (failures dominate). Brent's golden-section steps
@@ -100,9 +114,10 @@ OptimalPeriod optimal_period_numeric(Protocol protocol,
   }
   const auto brent =
       util::minimize_brent(objective, bracket_lo, bracket_hi, 1e-10, 300);
-  OptimalPeriod result = finalize(protocol, params,
-                                  objective(brent.x) <= best_f ? brent.x
-                                                               : best_x);
+  OptimalPeriod result =
+      finalize_objective(protocol, params,
+                         objective(brent.x) <= best_f ? brent.x : best_x,
+                         objective);
   // finalize() clamps; the optimizer result is already in-domain, but the
   // boundary optimum (P = lo) is common for TRIPLE at phi ~ 0.
   if (objective(lo) <= result.waste) {

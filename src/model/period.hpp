@@ -15,6 +15,8 @@
 // is used by tests and benches to certify the closed forms.
 #pragma once
 
+#include <functional>
+
 #include "model/parameters.hpp"
 #include "model/protocol.hpp"
 
@@ -40,6 +42,15 @@ OptimalPeriod optimal_period_closed_form(Protocol protocol,
 /// [min_period, P_hi] where P_hi scales with the closed-form estimate and M.
 OptimalPeriod optimal_period_numeric(Protocol protocol,
                                      const Parameters& params);
+
+/// Same scan + Brent machinery over an arbitrary waste-shaped objective
+/// (period -> value in [0, 1], saturating at 1 on infeasible plateaus like
+/// waste() does). This is what the clustered-failure model in
+/// nonexponential.hpp optimizes; `optimal_period_numeric` is the
+/// exponential-waste instantiation.
+OptimalPeriod optimal_period_numeric_objective(
+    Protocol protocol, const Parameters& params,
+    const std::function<double(double)>& objective);
 
 /// Waste evaluated at the (closed-form) optimal period -- the quantity
 /// plotted in the paper's Figures 4, 5, 7 and 8.

@@ -86,6 +86,9 @@ util::JsonValue to_json(const SweepPoint& point) {
   v.set("period", point.period);
   v.set("model_waste", point.model_waste);
   v.set("sim", to_json(point.result));
+  // Appended in PR 4 (append-only schema): clustered-failure model fields.
+  v.set("weibull_shape", point.weibull_shape);
+  v.set("model_waste_weibull", point.model_waste_weibull);
   return v;
 }
 

@@ -23,6 +23,7 @@ EmpiricalOptimum optimize_period_empirically(SimConfig config,
   MonteCarloOptions mc_options;
   mc_options.trials = options.trials_per_eval;
   mc_options.seed = options.seed;  // identical streams for every candidate
+  mc_options.weibull = options.weibull;
 
   EmpiricalOptimum best;
   int evaluations = 0;

@@ -10,9 +10,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "sim/protocol_sim.hpp"
 #include "sim/runner.hpp"
+#include "util/distributions.hpp"
 
 namespace dckpt::sim {
 
@@ -29,6 +31,8 @@ struct OptimizeOptions {
   std::size_t threads = 0;
   int max_iterations = 40;             ///< golden-section iterations
   double period_hi_factor = 6.0;       ///< upper bracket = factor * P_model
+  /// Weibull inter-failure law for the injector; unset = exponential.
+  std::optional<util::Weibull> weibull;
 };
 
 /// Minimizes simulated waste over the period, bracketing around the model's

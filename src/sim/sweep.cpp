@@ -2,8 +2,10 @@
 
 #include <chrono>
 
+#include "model/nonexponential.hpp"
 #include "model/period.hpp"
 #include "model/waste.hpp"
+#include "util/distributions.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dckpt::sim {
@@ -66,17 +68,35 @@ std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
           report(nullptr, seconds_since(point_start));
           continue;
         }
+        const double t_base = spec.t_base_in_mtbfs * mtbf;
+        point.weibull_shape = spec.weibull_shape;
+        point.model_waste_weibull = point.model_waste;
+        if (spec.weibull_shape > 0.0) {
+          // Horizon = expected makespan under the exponential model: the
+          // startup-transient correction depends on how long the mission
+          // actually runs, not on the fault-free work.
+          const model::WeibullFailures failures{
+              spec.weibull_shape,
+              model::expected_makespan(protocol, params, point.period,
+                                       t_base)};
+          point.model_waste_weibull =
+              model::waste(protocol, params, point.period, failures);
+        }
 
         SimConfig config;
         config.protocol = protocol;
         config.params = params;
         config.period = point.period;
-        config.t_base = spec.t_base_in_mtbfs * mtbf;
+        config.t_base = t_base;
         config.stop_on_fatal = false;
         MonteCarloOptions options;
         options.trials = spec.trials;
         options.seed = spec.seed;
         options.metrics = spec.metrics;
+        if (spec.weibull_shape > 0.0) {
+          options.weibull =
+              util::Weibull::from_mean(spec.weibull_shape, params.node_mtbf());
+        }
         point.result = run_monte_carlo(config, options, pool);
         rows.push_back(std::move(point));
         ++progress.points_done;

@@ -20,6 +20,10 @@ struct SweepPoint {
   double period = 0.0;        ///< period actually simulated
   double model_waste = 0.0;   ///< analytic waste at that period
   MonteCarloResult result;
+  double weibull_shape = 0.0;  ///< injector shape (0 = exponential)
+  /// Clustered-model (nonexponential.hpp) waste at the expected-makespan
+  /// horizon; equals model_waste when weibull_shape is 0.
+  double model_waste_weibull = 0.0;
 };
 
 /// Timing/throughput snapshot handed to SweepSpec::progress after every
@@ -46,6 +50,10 @@ struct SweepSpec {
   std::uint64_t trials = 60;
   std::uint64_t seed = 0x5eed;
   std::size_t threads = 0;
+  /// Weibull shape for failure injection (0 = exponential). When > 0 every
+  /// point simulates Weibull inter-failure times of matched per-node mean
+  /// and the row additionally carries the clustered-model waste.
+  double weibull_shape = 0.0;
   /// Optional period override; default: closed-form optimum per point.
   std::function<double(model::Protocol, const model::Parameters&)> period;
   /// Forwarded to MonteCarloOptions::metrics for every point.

@@ -146,7 +146,8 @@ int cmd_simulate(int argc, const char* const* argv) {
   sim::MonteCarloOptions options;
   options.trials = static_cast<std::uint64_t>(cli.get_int("trials"));
   options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  if (const double shape = cli.get_double("weibull-shape"); shape > 0.0) {
+  const double shape = cli.get_double("weibull-shape");
+  if (shape > 0.0) {
     options.weibull =
         util::Weibull::from_mean(shape, config.params.node_mtbf());
   }
@@ -177,6 +178,18 @@ int cmd_simulate(int argc, const char* const* argv) {
   util::TextTable table({"metric", "value"});
   table.add_row({"period", util::format_duration(config.period)});
   table.add_row({"model waste", util::format_percent(model_waste, 2)});
+  if (shape > 0.0) {
+    // Clustered-failure model at the expected-makespan horizon, so the
+    // row is directly comparable to the simulated Weibull waste.
+    const model::WeibullFailures failures{
+        shape, model::expected_makespan(config.protocol, config.params,
+                                        config.period, config.t_base)};
+    const double weibull_waste =
+        model::waste(config.protocol, config.params, config.period, failures);
+    table.add_row({"model waste (weibull k=" + util::format_fixed(shape, 2) +
+                       ")",
+                   util::format_percent(weibull_waste, 2)});
+  }
   table.add_row({"sim waste",
                  util::format_percent(mc.waste.mean(), 2) + " +/- " +
                      util::format_percent(mc.waste.confidence_halfwidth(), 2)});
@@ -205,6 +218,8 @@ int cmd_sweep(int argc, const char* const* argv) {
   cli.add_option("tbase-mtbfs", "25", "t_base as a multiple of each MTBF");
   cli.add_option("trials", "60", "Monte-Carlo trials per grid point");
   cli.add_option("seed", "42", "master seed");
+  cli.add_option("weibull-shape", "0",
+                 "use per-node Weibull streams with this shape (0 = exp)");
   cli.add_option("metrics-out", "", "write one JSONL sweep row per point");
   cli.add_option("metrics-bins", "64", "histogram bins for --metrics-out");
   cli.add_flag("progress", "print per-point progress and throughput");
@@ -246,6 +261,7 @@ int cmd_sweep(int argc, const char* const* argv) {
   spec.t_base_in_mtbfs = cli.get_double("tbase-mtbfs");
   spec.trials = static_cast<std::uint64_t>(cli.get_int("trials"));
   spec.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  spec.weibull_shape = cli.get_double("weibull-shape");
   if (!cli.get("metrics-out").empty()) {
     sim::MetricsSpec metrics;
     metrics.bins = static_cast<std::size_t>(cli.get_int("metrics-bins"));
@@ -262,18 +278,29 @@ int cmd_sweep(int argc, const char* const* argv) {
   }
 
   const auto rows = sim::run_sweep(spec);
-  util::TextTable table({"protocol", "M", "phi", "P", "model waste",
-                         "sim waste", "mean risk time", "survival"});
+  const bool weibull = spec.weibull_shape > 0.0;
+  std::vector<std::string> headers = {"protocol", "M", "phi", "P",
+                                      "model waste", "sim waste",
+                                      "mean risk time", "survival"};
+  if (weibull) {
+    headers.insert(headers.begin() + 5, "weibull model");
+  }
+  util::TextTable table(std::move(headers));
   for (const auto& row : rows) {
-    table.add_row(
-        {std::string(model::protocol_name(row.protocol)),
-         util::format_duration(row.mtbf), util::format_fixed(row.phi, 1),
-         util::format_duration(row.period),
-         util::format_percent(row.model_waste, 2),
-         util::format_percent(row.result.waste.mean(), 2) + " +/- " +
-             util::format_percent(row.result.waste.confidence_halfwidth(), 2),
-         util::format_duration(row.result.risk_time.mean()),
-         util::format_fixed(row.result.success.estimate(), 4)});
+    std::vector<std::string> cells = {
+        std::string(model::protocol_name(row.protocol)),
+        util::format_duration(row.mtbf), util::format_fixed(row.phi, 1),
+        util::format_duration(row.period),
+        util::format_percent(row.model_waste, 2),
+        util::format_percent(row.result.waste.mean(), 2) + " +/- " +
+            util::format_percent(row.result.waste.confidence_halfwidth(), 2),
+        util::format_duration(row.result.risk_time.mean()),
+        util::format_fixed(row.result.success.estimate(), 4)};
+    if (weibull) {
+      cells.insert(cells.begin() + 5,
+                   util::format_percent(row.model_waste_weibull, 2));
+    }
+    table.add_row(std::move(cells));
   }
   std::printf("%s", table.render().c_str());
   if (!cli.get("metrics-out").empty()) {
@@ -293,6 +320,8 @@ int cmd_optimize(int argc, const char* const* argv) {
   cli.add_option("protocol", "doublenbl", "protocol to optimize");
   cli.add_option("tbase", "50000", "application work per trial, seconds");
   cli.add_option("trials", "40", "trials per candidate period");
+  cli.add_option("weibull-shape", "0",
+                 "use per-node Weibull streams with this shape (0 = exp)");
   if (!cli.parse(argc, argv)) return 0;
 
   sim::SimConfig config;
@@ -303,6 +332,11 @@ int cmd_optimize(int argc, const char* const* argv) {
 
   sim::OptimizeOptions options;
   options.trials_per_eval = static_cast<std::uint64_t>(cli.get_int("trials"));
+  const double shape = cli.get_double("weibull-shape");
+  if (shape > 0.0) {
+    options.weibull =
+        util::Weibull::from_mean(shape, config.params.node_mtbf());
+  }
   const auto model_opt =
       model::optimal_period_closed_form(config.protocol, config.params);
   const auto empirical = sim::optimize_period_empirically(config, options);
@@ -311,6 +345,19 @@ int cmd_optimize(int argc, const char* const* argv) {
   table.add_row({"closed form (Eq. 9/10/15)",
                  util::format_duration(model_opt.period),
                  util::format_percent(model_opt.waste, 3)});
+  if (shape > 0.0) {
+    // Clustered-failure optimum at the horizon of the closed-form plan:
+    // what the corrected objective would have picked.
+    const model::WeibullFailures failures{
+        shape, model::expected_makespan(config.protocol, config.params,
+                                        model_opt.period, config.t_base)};
+    const auto weibull_opt =
+        model::optimal_period_numeric(config.protocol, config.params,
+                                      failures);
+    table.add_row({"numeric (weibull k=" + util::format_fixed(shape, 2) + ")",
+                   util::format_duration(weibull_opt.period),
+                   util::format_percent(weibull_opt.waste, 3)});
+  }
   table.add_row({"empirical (simulation)",
                  util::format_duration(empirical.period),
                  util::format_percent(empirical.waste, 3) + " +/- " +

@@ -99,6 +99,62 @@ TEST(WeibullTest, RejectsBadParameters) {
   EXPECT_THROW(Weibull(1.0, 0.0), std::invalid_argument);
 }
 
+TEST(WeibullTest, FromMeanPreservesMeanAcrossEdgeShapes) {
+  // from_mean solves scale = mean / Gamma(1 + 1/k). Shapes far from 1 push
+  // Gamma(1 + 1/k) to extreme values (k = 0.2 -> Gamma(6) = 120, k = 0.1 ->
+  // Gamma(11) = 3628800); the requested mean must survive the round trip.
+  for (double shape : {0.1, 0.2, 0.5, 1.0, 2.0, 5.0}) {
+    const auto dist = Weibull::from_mean(shape, 123.0);
+    EXPECT_NEAR(dist.mean(), 123.0, 123.0 * 1e-12) << "shape=" << shape;
+    EXPECT_GT(dist.scale(), 0.0) << "shape=" << shape;
+    EXPECT_TRUE(std::isfinite(dist.variance())) << "shape=" << shape;
+  }
+}
+
+TEST(WeibullTest, VerySmallShapeSamplesStayPositiveFinite) {
+  // k = 0.2: (-ln u)^5 spans many orders of magnitude across the open unit
+  // interval; every sample must stay strictly positive and finite (the
+  // Distribution contract the simulator's injector relies on).
+  const auto dist = Weibull::from_mean(0.2, 100.0);
+  Xoshiro256ss rng(0x77);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = dist.sample(rng);
+    ASSERT_GT(x, 0.0);
+    ASSERT_TRUE(std::isfinite(x));
+  }
+  // Heavy clustering signature: the median sits far below the mean.
+  const double median = dist.scale() * std::pow(std::log(2.0), 1.0 / 0.2);
+  EXPECT_LT(median, 0.1 * dist.mean());
+}
+
+TEST(WeibullTest, ShapeOneIsExactlyExponentialDistribution) {
+  // k = 1 must reproduce Exponential(1/mean) as a distribution: identical
+  // analytic moments and CDF, and the same inverse-CDF sample stream from
+  // identical RNG state (both reduce to -mean * ln U, up to rounding in the
+  // reciprocal rate -- hence DOUBLE_EQ, i.e. 4-ulp, not bitwise ==).
+  const double mean = 24000.0;
+  const auto weibull = Weibull::from_mean(1.0, mean);
+  const auto exponential = Exponential::from_mean(mean);
+  EXPECT_DOUBLE_EQ(weibull.mean(), exponential.mean());
+  EXPECT_DOUBLE_EQ(weibull.variance(), exponential.variance());
+  for (double x : {100.0, 5000.0, 24000.0, 100000.0}) {
+    EXPECT_DOUBLE_EQ(weibull.cdf(x), exponential.cdf(x)) << "x=" << x;
+  }
+  Xoshiro256ss a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_DOUBLE_EQ(weibull.sample(a), exponential.sample(b));
+  }
+}
+
+TEST(WeibullTest, SuperExponentialShapeConcentrates) {
+  // k > 1 regularizes arrivals: variance strictly below the exponential of
+  // the same mean (CV^2 < 1).
+  const auto dist = Weibull::from_mean(3.0, 10.0);
+  EXPECT_NEAR(dist.mean(), 10.0, 1e-9);
+  EXPECT_LT(dist.variance(), 100.0);
+  check_moments(dist);
+}
+
 TEST(LogNormalTest, Moments) {
   const auto dist = LogNormal::from_mean(0.5, 20.0);
   EXPECT_NEAR(dist.mean(), 20.0, 1e-9);

@@ -178,16 +178,27 @@ TEST(SimVsModelTest, WeibullShapeOneMatchesExponentialModel) {
       << "model=" << model_waste << " sim=" << mc.waste.mean();
 }
 
-TEST(SimVsModelTest, WeibullShapeBelowOneStaysInWidenedBand) {
+TEST(SimVsModelTest, WeibullShapeBelowOneMatchesClusteredModel) {
   // Shape 0.7 clusters failures (decreasing hazard): bursts hit the same
-  // period repeatedly, so waste drifts from the exponential model and its
-  // variance grows. The model is still the right first-order anchor -- the
-  // mean must stay inside a deliberately widened band of 30% relative plus
-  // 4 standard errors. Tightening this band is exactly how a future
-  // Weibull-aware model extension would be validated.
+  // period repeatedly, so waste drifts above the exponential closed form.
+  // The clustered-failure model (model/nonexponential.hpp) corrects both the
+  // failure count and the mid-period loss for the Weibull shape, which
+  // tightens the validation band from the old 30% + 4 sigma (against the
+  // exponential model) to 15% relative + 3 standard errors.
   const auto config = config_for(Protocol::DoubleNbl, 1.0, 2000.0, 50000.0);
-  const double model_waste =
+  const double exp_waste =
       waste(Protocol::DoubleNbl, config.params, config.period);
+  const double horizon = expected_makespan(Protocol::DoubleNbl, config.params,
+                                           config.period, config.t_base);
+  const double model_waste =
+      waste(Protocol::DoubleNbl, config.params, config.period,
+            WeibullFailures{0.7, horizon});
+  // The correction must move in the clustering direction (more waste)...
+  EXPECT_GT(model_waste, exp_waste);
+  // ...and reduce bit-identically to the exponential closed form at k = 1.
+  EXPECT_EQ(waste(Protocol::DoubleNbl, config.params, config.period,
+                  WeibullFailures{1.0, horizon}),
+            exp_waste);
   MonteCarloOptions options;
   options.trials = 80;
   options.threads = 2;
@@ -197,8 +208,9 @@ TEST(SimVsModelTest, WeibullShapeBelowOneStaysInWidenedBand) {
   const auto mc = run_monte_carlo(config, options);
   ASSERT_EQ(mc.diverged, 0u);
   EXPECT_NEAR(mc.waste.mean(), model_waste,
-              0.30 * model_waste + 4.0 * mc.waste.standard_error())
-      << "model=" << model_waste << " sim=" << mc.waste.mean();
+              0.15 * model_waste + 3.0 * mc.waste.standard_error())
+      << "clustered model=" << model_waste << " exponential=" << exp_waste
+      << " sim=" << mc.waste.mean();
   // Clustering must show up in the spread: the Weibull stream's waste
   // variance should not collapse below the exponential stream's.
   const auto exp_mc = monte_carlo(config, 80);
