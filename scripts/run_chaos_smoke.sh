@@ -35,6 +35,19 @@ CAMPAIGNS=(
   "spare-pool delay from the Erlang model|--topology=pairs --nodes=8 --steps=96 --interval=12 --spares=4 --repair=1800 --mtbf=900 --step-seconds=5 --runs=20 --seed=7"
   "single-schedule repro (risk-window double hit)|--topology=pairs --nodes=6 --steps=48 --interval=8 --rerepl-delay=6 --schedule=9:0,10:1"
   "grid single-schedule repro (rack double hit)|--topology=pairs --grid=2x2 --block=8 --steps=48 --interval=8 --rerepl-delay=6 --schedule=9:0,10:1"
+  # Corruption campaigns: tight retry policy so torn/failed refills and the
+  # exhausted-retries path are all exercised within the run length.
+  "chain pairs corruption, scripted + 40 random|--topology=pairs --nodes=8 --cells=48 --steps=96 --interval=12 --staging=4 --rerepl-delay=8 --retry-max=2 --retry-base=2 --runs=40 --seed=42424242"
+  "chain triples corruption, scripted + 40 random|--topology=triples --nodes=9 --cells=48 --steps=96 --interval=12 --staging=4 --rerepl-delay=8 --retry-max=2 --retry-base=2 --runs=40 --seed=42424242"
+  "grid 4x4 pairs corruption, scripted + 40 random|--topology=pairs --grid=4x4 --block=6 --steps=64 --interval=8 --rerepl-delay=6 --retry-max=2 --retry-base=2 --runs=40 --seed=42424242"
+  "grid 3x3 triples corruption, scripted + 40 random|--topology=triples --grid=3x3 --block=6 --steps=64 --interval=8 --rerepl-delay=6 --retry-max=2 --retry-base=2 --runs=40 --seed=42424242"
+  # The two acceptance scenarios from docs/CHAOS.md as exact repro lines:
+  # triples fail over around the corrupt preferred replica (survived),
+  # pairs detect total loss and complete degraded (fatal-detected).
+  "triples corrupt-preferred failover repro|--topology=triples --nodes=9 --cells=48 --steps=96 --interval=12 --staging=4 --rerepl-delay=8 --retry-max=3 --retry-base=1 --schedule=28:corrupt:1:0,29:0"
+  "pairs only-replica-corrupt degraded repro|--topology=pairs --nodes=8 --cells=48 --steps=96 --interval=12 --staging=4 --rerepl-delay=8 --retry-max=3 --retry-base=1 --schedule=28:corrupt:1:0,29:0"
+  "torn-refill retry repro|--topology=pairs --nodes=6 --steps=48 --interval=8 --rerepl-delay=6 --retry-max=3 --retry-base=1 --schedule=9:torn:0,9:0"
+  "grid corrupt-preferred repro|--topology=triples --grid=3x3 --block=6 --steps=64 --interval=8 --rerepl-delay=6 --retry-max=3 --retry-base=1 --schedule=15:corrupt:4:3,15:3"
 )
 
 status=0

@@ -11,9 +11,9 @@ namespace dckpt::chaos {
 namespace {
 
 /// First counter that diverges between runtime report and oracle, as a
-/// "name: runtime X, oracle Y" diagnosis ("" when they agree). On fatal runs
-/// both sides stop mid-rollback with the same partial counters, so the
-/// comparison is exact there too.
+/// "name: runtime X, oracle Y" diagnosis ("" when they agree). Fatal runs
+/// now complete in degraded mode, so every counter is compared on every
+/// run -- including the corruption/retry/degraded accounting.
 std::string counter_divergence(const runtime::RunReport& report,
                                const ShadowPrediction& predicted) {
   const struct {
@@ -29,6 +29,14 @@ std::string counter_divergence(const runtime::RunReport& report,
       {"recoveries", report.recoveries, predicted.recoveries},
       {"rereplications", report.rereplications, predicted.rereplications},
       {"risk_steps", report.risk_steps, predicted.risk_steps},
+      {"failovers", report.failovers, predicted.failovers},
+      {"transfer_retries", report.transfer_retries,
+       predicted.transfer_retries},
+      {"corrupt_images_detected", report.corrupt_images_detected,
+       predicted.corrupt_images_detected},
+      {"degraded_steps", report.degraded_steps, predicted.degraded_steps},
+      {"hash_verified_recoveries", report.hash_verified_recoveries,
+       predicted.hash_verified_recoveries},
   };
   for (const auto& counter : counters) {
     if (counter.got != counter.want) {
@@ -151,17 +159,22 @@ ChaosRunResult classify_run(const ChaosCampaignConfig& config,
   const std::string divergence =
       counter_divergence(result.report, result.predicted);
   if (result.report.fatal) {
-    const std::string expected =
-        "fatal failure: no surviving replica of node " +
-        std::to_string(result.predicted.unrecoverable_node);
     if (!result.predicted.fatal) {
       result.outcome = ChaosOutcome::Violated;
       result.detail = "runtime lost data on a survivable schedule: " +
                       result.report.fatal_reason;
-    } else if (result.report.fatal_reason != expected) {
+    } else if (result.report.fatal_node != result.predicted.unrecoverable_node ||
+               result.report.fatal_step != result.predicted.fatal_step ||
+               !result.report.degraded) {
+      // Typed comparison -- no string matching on fatal_reason.
       result.outcome = ChaosOutcome::Violated;
-      result.detail = "wrong fatal report: got '" + result.report.fatal_reason +
-                      "', want '" + expected + "'";
+      result.detail =
+          "wrong fatal report: got node " +
+          std::to_string(result.report.fatal_node) + " at step " +
+          std::to_string(result.report.fatal_step) +
+          (result.report.degraded ? "" : " (not degraded)") + ", want node " +
+          std::to_string(result.predicted.unrecoverable_node) + " at step " +
+          std::to_string(result.predicted.fatal_step);
     } else if (!divergence.empty()) {
       result.outcome = ChaosOutcome::Violated;
       result.detail = "accounting diverges from the oracle (" + divergence +
@@ -262,6 +275,9 @@ std::string repro_command(const ChaosCampaignConfig& config,
     cmd += " --steps=" + std::to_string(gc.total_steps);
     cmd += " --interval=" + std::to_string(gc.checkpoint_interval);
     cmd += " --rerepl-delay=" + std::to_string(gc.rereplication_delay_steps);
+    cmd += " --retry-max=" + std::to_string(gc.transfer_retry.max_attempts);
+    cmd += " --retry-base=" +
+           std::to_string(gc.transfer_retry.base_delay_steps);
   } else {
     const runtime::RuntimeConfig& rc = config.runtime;
     cmd += " --topology=";
@@ -272,6 +288,9 @@ std::string repro_command(const ChaosCampaignConfig& config,
     cmd += " --interval=" + std::to_string(rc.checkpoint_interval);
     cmd += " --staging=" + std::to_string(rc.staging_steps);
     cmd += " --rerepl-delay=" + std::to_string(rc.rereplication_delay_steps);
+    cmd += " --retry-max=" + std::to_string(rc.transfer_retry.max_attempts);
+    cmd += " --retry-base=" +
+           std::to_string(rc.transfer_retry.base_delay_steps);
   }
   cmd += " --kernel=" + config.kernel;
   cmd += " --seed=" + std::to_string(schedule.seed);

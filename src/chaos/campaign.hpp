@@ -3,14 +3,20 @@
 // shadow oracle.
 //
 //   Survived        -- runtime finished, final hash equals the failure-free
-//                      reference, every counter matches the oracle.
-//   FatalDetected   -- the schedule destroys every replica of some node;
-//                      the runtime reported that cleanly ("no surviving
-//                      replica"), exactly when and how the oracle predicted.
+//                      reference, every counter matches the oracle
+//                      (including failovers around corrupt replicas and
+//                      transfer retries -- surviving damage still counts as
+//                      Survived when the final state is bit-exact).
+//   FatalDetected   -- the schedule destroys or corrupts every replica of
+//                      some node; the runtime detected that, entered
+//                      degraded mode (typed fatal_node/fatal_step, no
+//                      exception), and finished exactly as the oracle
+//                      predicted, counters included.
 //   Violated        -- anything else: wrong final state, fatal on a
 //                      survivable schedule, silent survival of a fatal one,
-//                      counter divergence, or an unexpected exception. Every
-//                      violation is a bug in the runtime or the oracle.
+//                      wrong fatal node/step, counter divergence, or an
+//                      unexpected exception. Every violation is a bug in
+//                      the runtime or the oracle.
 //
 // Each run carries a one-line `dckpt chaos ...` repro command (seed and
 // schedule spelled out), so a campaign failure reproduces from the shell.

@@ -38,6 +38,12 @@ util::JsonValue to_json(const ShadowPrediction& predicted) {
   v.set("recoveries", predicted.recoveries);
   v.set("rereplications", predicted.rereplications);
   v.set("risk_steps", predicted.risk_steps);
+  // Appended (PR 5): corruption/retry/degraded accounting.
+  v.set("failovers", predicted.failovers);
+  v.set("transfer_retries", predicted.transfer_retries);
+  v.set("corrupt_images_detected", predicted.corrupt_images_detected);
+  v.set("degraded_steps", predicted.degraded_steps);
+  v.set("hash_verified_recoveries", predicted.hash_verified_recoveries);
   return v;
 }
 
@@ -57,6 +63,19 @@ util::JsonValue to_json(const runtime::RunReport& report) {
   if (report.fatal) {
     v.set("fatal_reason", report.fatal_reason);
   } else {
+    v.set("final_hash", hex64(report.final_hash));
+  }
+  // Appended (PR 5): corruption/retry/degraded accounting. Fatal runs now
+  // complete, so they carry fatal_node/fatal_step and a final hash too.
+  v.set("failovers", report.failovers);
+  v.set("transfer_retries", report.transfer_retries);
+  v.set("corrupt_images_detected", report.corrupt_images_detected);
+  v.set("degraded_steps", report.degraded_steps);
+  v.set("hash_verified_recoveries", report.hash_verified_recoveries);
+  v.set("degraded", report.degraded);
+  if (report.fatal) {
+    v.set("fatal_node", report.fatal_node);
+    v.set("fatal_step", report.fatal_step);
     v.set("final_hash", hex64(report.final_hash));
   }
   return v;

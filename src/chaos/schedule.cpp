@@ -14,13 +14,19 @@ namespace dckpt::chaos {
 
 namespace {
 
+[[noreturn]] void bad_entry(const std::string& entry) {
+  throw std::invalid_argument(
+      "ChaosSchedule: bad entry '" + entry +
+      "' (want step:node, step:corrupt:holder:owner, step:torn:node or "
+      "step:failxfer:node)");
+}
+
 std::uint64_t parse_number(std::string_view text, const std::string& entry) {
   std::uint64_t value = 0;
   const auto [ptr, ec] =
       std::from_chars(text.data(), text.data() + text.size(), value);
   if (ec != std::errc{} || ptr != text.data() + text.size() || text.empty()) {
-    throw std::invalid_argument("ChaosSchedule: bad entry '" + entry +
-                                "' (want step:node)");
+    bad_entry(entry);
   }
   return value;
 }
@@ -31,7 +37,22 @@ std::string ChaosSchedule::spec() const {
   std::string text;
   for (const auto& failure : failures) {
     if (!text.empty()) text += ',';
-    text += std::to_string(failure.step) + ':' + std::to_string(failure.node);
+    text += std::to_string(failure.step);
+    switch (failure.kind) {
+      case runtime::InjectionKind::NodeLoss:
+        text += ':' + std::to_string(failure.node);
+        break;
+      case runtime::InjectionKind::CorruptReplica:
+        text += ":corrupt:" + std::to_string(failure.node) + ':' +
+                std::to_string(failure.owner);
+        break;
+      case runtime::InjectionKind::TornTransfer:
+        text += ":torn:" + std::to_string(failure.node);
+        break;
+      case runtime::InjectionKind::FailTransfer:
+        text += ":failxfer:" + std::to_string(failure.node);
+        break;
+    }
   }
   return text;
 }
@@ -48,14 +69,37 @@ ChaosSchedule ChaosSchedule::parse(const std::string& spec) {
     const std::string entry =
         spec.substr(pos, comma == std::string::npos ? std::string::npos
                                                     : comma - pos);
-    const auto colon = entry.find(':');
-    if (colon == std::string::npos) {
-      throw std::invalid_argument("ChaosSchedule: bad entry '" + entry +
-                                  "' (want step:node)");
+    std::vector<std::string_view> fields;
+    const std::string_view view(entry);
+    std::size_t start = 0;
+    while (true) {
+      const auto colon = view.find(':', start);
+      fields.push_back(view.substr(
+          start, colon == std::string_view::npos ? std::string_view::npos
+                                                 : colon - start));
+      if (colon == std::string_view::npos) break;
+      start = colon + 1;
     }
-    schedule.failures.push_back(
-        {parse_number(std::string_view(entry).substr(0, colon), entry),
-         parse_number(std::string_view(entry).substr(colon + 1), entry)});
+    runtime::FailureInjection injection;
+    if (fields.size() == 2) {
+      injection.step = parse_number(fields[0], entry);
+      injection.node = parse_number(fields[1], entry);
+    } else if (fields.size() == 3 &&
+               (fields[1] == "torn" || fields[1] == "failxfer")) {
+      injection.step = parse_number(fields[0], entry);
+      injection.kind = fields[1] == "torn"
+                           ? runtime::InjectionKind::TornTransfer
+                           : runtime::InjectionKind::FailTransfer;
+      injection.node = parse_number(fields[2], entry);
+    } else if (fields.size() == 4 && fields[1] == "corrupt") {
+      injection.step = parse_number(fields[0], entry);
+      injection.kind = runtime::InjectionKind::CorruptReplica;
+      injection.node = parse_number(fields[2], entry);
+      injection.owner = parse_number(fields[3], entry);
+    } else {
+      bad_entry(entry);
+    }
+    schedule.failures.push_back(injection);
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
@@ -75,6 +119,8 @@ ChaosSchedule parse_schedule_cli(const std::string& program,
 
 void validate_schedule(const ChaosSchedule& schedule,
                        const ShadowConfig& config) {
+  const ckpt::GroupAssignment groups(config.nodes, config.topology);
+  const bool pairs = config.topology == ckpt::Topology::Pairs;
   for (const auto& failure : schedule.failures) {
     if (failure.node >= config.nodes) {
       throw std::invalid_argument("ChaosSchedule '" + schedule.name +
@@ -85,6 +131,24 @@ void validate_schedule(const ChaosSchedule& schedule,
       throw std::invalid_argument("ChaosSchedule '" + schedule.name +
                                   "': step " + std::to_string(failure.step) +
                                   " never executes");
+    }
+    if (failure.kind == runtime::InjectionKind::CorruptReplica) {
+      if (failure.owner >= config.nodes) {
+        throw std::invalid_argument(
+            "ChaosSchedule '" + schedule.name + "': owner " +
+            std::to_string(failure.owner) + " out of range");
+      }
+      const bool holds =
+          pairs ? (failure.node == failure.owner ||
+                   failure.node == groups.preferred_buddy(failure.owner))
+                : (failure.node == groups.preferred_buddy(failure.owner) ||
+                   failure.node == groups.secondary_buddy(failure.owner));
+      if (!holds) {
+        throw std::invalid_argument(
+            "ChaosSchedule '" + schedule.name + "': node " +
+            std::to_string(failure.node) + " does not hold node " +
+            std::to_string(failure.owner) + "'s replica");
+      }
     }
   }
 }
@@ -136,6 +200,93 @@ std::vector<ChaosSchedule> scripted_schedules(const ShadowConfig& config) {
                      {{c, 0}, {step(c + 1), 1}, {step(c + 2), 2}},
                      0});
   }
+
+  // Corruption / transfer-fault families. Helpers name the replica ladder:
+  // the victim's restore tries the local copy then the preferred buddy
+  // (pairs) or the preferred then the secondary buddy (triples).
+  using runtime::InjectionKind;
+  const ckpt::GroupAssignment groups(config.nodes, config.topology);
+  const std::uint64_t pre = c > 0 ? c - 1 : 0;  // corruption before the kill
+  // Corrupt the victim's image on its preferred buddy, then kill it: pairs
+  // lose both replicas (local died with the node) -- fatal, degraded
+  // continuation; triples fail over to the secondary and finish bit-exact.
+  plans.push_back({"corrupt-preferred-then-kill",
+                   {{pre, groups.preferred_buddy(0),
+                     InjectionKind::CorruptReplica, 0},
+                    {c, 0}},
+                   0});
+  if (config.nodes > gs) {
+    // Corrupt the first replica a *survivor* consults, then kill a node in
+    // another group: the survivor's rollback must skip the corrupt copy and
+    // fail over to the next ladder rung. Survivable on both topologies.
+    const std::uint64_t first_rung =
+        config.topology == ckpt::Topology::Pairs ? 0
+                                                 : groups.preferred_buddy(0);
+    plans.push_back({"corrupt-survivor-failover",
+                     {{pre, first_rung, InjectionKind::CorruptReplica, 0},
+                      {c, gs}},
+                     0});
+  }
+  {
+    // Every replica of the victim's image corrupted before the kill: the
+    // ladder exhausts on either topology -- always fatal, always detected.
+    ChaosSchedule both{"corrupt-both-replicas", {}, 0};
+    if (config.topology == ckpt::Topology::Pairs) {
+      both.failures.push_back({pre, 0, InjectionKind::CorruptReplica, 0});
+      both.failures.push_back(
+          {pre, groups.preferred_buddy(0), InjectionKind::CorruptReplica, 0});
+    } else {
+      both.failures.push_back(
+          {pre, groups.preferred_buddy(0), InjectionKind::CorruptReplica, 0});
+      both.failures.push_back(
+          {pre, groups.secondary_buddy(0), InjectionKind::CorruptReplica, 0});
+    }
+    both.failures.push_back({c, 0});
+    plans.push_back(std::move(both));
+  }
+  // Corruption planted, but the next committed exchange overwrites the
+  // damaged slot before anything reads it: the later kill must recover
+  // cleanly with zero detections -- latent corruption heals at commit.
+  plans.push_back(
+      {"latent-corruption-commit-heals",
+       {{c, groups.preferred_buddy(0), InjectionKind::CorruptReplica, 0},
+        {step(c + interval + config.staging_steps + 1), 0}},
+       0});
+  // The victim's refill delivery arrives torn: the receiver's hash check
+  // rejects it and the retry (backoff) extends the risk window.
+  plans.push_back({"torn-refill-in-risk-window",
+                   {{c, 0, InjectionKind::TornTransfer, 0}, {c, 0}},
+                   0});
+  {
+    // Every retry the policy allows fails outright: the refill is
+    // abandoned and the store stays empty until the next commit.
+    ChaosSchedule exhausted{"refill-retries-exhausted", {}, 0};
+    for (std::uint64_t i = 0; i < config.transfer_retry.max_attempts; ++i) {
+      exhausted.failures.push_back({c, 0, InjectionKind::FailTransfer, 0});
+    }
+    exhausted.failures.push_back({c, 0});
+    plans.push_back(std::move(exhausted));
+  }
+  {
+    // Kill a node, then corrupt one of its refill *sources* during the risk
+    // window: the delivery must skip the corrupt source and re-file what it
+    // can (partial refill -- some owners stay unavailable).
+    ChaosSchedule source{"corrupt-refill-source", {}, 0};
+    source.failures.push_back({c, 0});
+    if (config.topology == ckpt::Topology::Pairs) {
+      source.failures.push_back({step(c + 1), groups.preferred_buddy(0),
+                                 InjectionKind::CorruptReplica, 0});
+    } else {
+      const std::uint64_t owner = groups.stored_for(0).front();
+      const std::uint64_t survivor = groups.preferred_buddy(owner) == 0
+                                         ? groups.secondary_buddy(owner)
+                                         : groups.preferred_buddy(owner);
+      source.failures.push_back(
+          {step(c + 1), survivor, InjectionKind::CorruptReplica, owner});
+    }
+    plans.push_back(std::move(source));
+  }
+
   for (auto& plan : plans) validate_schedule(plan, config);
   return plans;
 }
@@ -232,6 +383,20 @@ std::vector<ChaosSchedule> scripted_grid_schedules(
                      {{c, rack * gs}, {step(c + 1), rack * gs + 1}},
                      0});
   }
+  // Corrupt the centre-rack base node's preferred replica, then kill it:
+  // the grid analogue of corrupt-preferred-then-kill (fatal for pairs,
+  // secondary failover for triples), placed on the rack the halo geometry
+  // cares about least.
+  {
+    const ckpt::GroupAssignment groups(shape.nodes, shape.topology);
+    const std::uint64_t base = (node_at(rows / 2, cols / 2) / gs) * gs;
+    const std::uint64_t pre = c > 0 ? c - 1 : 0;
+    plans.push_back({"rack-corrupt-preferred",
+                     {{pre, groups.preferred_buddy(base),
+                       runtime::InjectionKind::CorruptReplica, base},
+                      {c, base}},
+                     0});
+  }
 
   for (auto& plan : plans) validate_schedule(plan, shape);
   return plans;
@@ -256,12 +421,13 @@ ChaosSchedule random_schedule(const ShadowConfig& config, std::uint64_t seed,
     return group * gs + index;
   };
 
+  const ckpt::GroupAssignment assignment(config.nodes, config.topology);
   ChaosSchedule schedule;
   schedule.name = "random";
   schedule.seed = seed;
   const std::uint64_t count = 1 + rng.next_below(max_failures);
   while (schedule.failures.size() < count) {
-    switch (rng.next_below(5)) {
+    switch (rng.next_below(7)) {
       case 0: {  // uniform single
         schedule.failures.push_back({any_step(), any_node()});
         break;
@@ -298,12 +464,39 @@ ChaosSchedule random_schedule(const ShadowConfig& config, std::uint64_t seed,
             {std::min(boundary + offset, total - 1), any_node()});
         break;
       }
-      default: {  // repeat offender
+      case 4: {  // repeat offender
         const std::uint64_t node = any_node();
         const std::uint64_t at = any_step();
         schedule.failures.push_back({at, node});
         schedule.failures.push_back(
             {std::min(at + 1 + rng.next_below(interval), total - 1), node});
+        break;
+      }
+      case 5: {  // corrupt a replica of the victim, then kill it
+        const std::uint64_t victim = any_node();
+        const bool first_holder = rng.next_below(2) == 0;
+        const std::uint64_t holder =
+            config.topology == ckpt::Topology::Pairs
+                ? (first_holder ? victim
+                                : assignment.preferred_buddy(victim))
+                : (first_holder ? assignment.preferred_buddy(victim)
+                                : assignment.secondary_buddy(victim));
+        const std::uint64_t at = any_step();
+        schedule.failures.push_back(
+            {at, holder, runtime::InjectionKind::CorruptReplica, victim});
+        schedule.failures.push_back(
+            {std::min(at + rng.next_below(2), total - 1), victim});
+        break;
+      }
+      default: {  // kill with a transfer fault armed against the refill
+        const std::uint64_t node = any_node();
+        const std::uint64_t at = any_step();
+        schedule.failures.push_back(
+            {at, node,
+             rng.next_below(2) == 0 ? runtime::InjectionKind::TornTransfer
+                                    : runtime::InjectionKind::FailTransfer,
+             0});
+        schedule.failures.push_back({at, node});
         break;
       }
     }

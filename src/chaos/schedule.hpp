@@ -3,9 +3,13 @@
 //
 // A ChaosSchedule is a named list of FailureInjections plus the seed that
 // generated it (0 for hand-scripted plans), with a textual round-trip form
-// "step:node[,step:node...]" -- the same grammar `runtime_demo --kill` and
-// `dckpt chaos --schedule` speak, so every campaign run is reproducible
-// from the command line.
+// -- the same grammar `runtime_demo --kill` and `dckpt chaos --schedule`
+// speak, so every campaign run is reproducible from the command line:
+//   step:node                  node loss (legacy form, unchanged)
+//   step:corrupt:holder:owner  silently corrupt owner's committed image at
+//                              rest on holder's store
+//   step:torn:node             node's next refill delivery arrives torn
+//   step:failxfer:node         node's next refill delivery fails outright
 //
 // Three sources of schedules:
 //   * scripted_schedules() -- the paper's named danger cases: failures
@@ -40,11 +44,14 @@ struct ChaosSchedule {
   std::vector<runtime::FailureInjection> failures;
   std::uint64_t seed = 0;  ///< generator seed; 0 = hand-scripted
 
-  /// Round-trip textual form: "step:node,step:node" ("" when empty).
+  /// Round-trip textual form, comma-separated ("" when empty). Node losses
+  /// keep the legacy "step:node" form; the other kinds use
+  /// "step:corrupt:holder:owner" / "step:torn:node" / "step:failxfer:node".
   std::string spec() const;
 
   /// Parses the textual form. Throws std::invalid_argument naming the bad
-  /// entry on malformed input (missing colon, non-numeric, trailing junk).
+  /// entry on malformed input (missing colon, non-numeric, unknown kind,
+  /// trailing junk).
   static ChaosSchedule parse(const std::string& spec);
 };
 
@@ -55,16 +62,21 @@ ChaosSchedule parse_schedule_cli(const std::string& program,
                                  const std::string& spec);
 
 /// Validates every injection against `config` (node in range, step below
-/// total_steps). Throws std::invalid_argument otherwise.
+/// total_steps, corrupt target a store that actually holds the owner's
+/// replica under the topology). Throws std::invalid_argument otherwise.
 void validate_schedule(const ChaosSchedule& schedule,
                        const ShadowConfig& config);
 
 /// The scripted danger cases for `config` (every schedule valid for it):
 /// single hits, exchange-window hits (when staging_steps > 0), same-group
 /// double hits at the same step and inside the re-replication window,
-/// cross-group simultaneous losses, repeated hits on one node, and a
-/// whole-group wipe. Survivable and fatal plans are both included -- the
-/// campaign's shadow oracle decides which is which.
+/// cross-group simultaneous losses, repeated hits on one node, a
+/// whole-group wipe, and the corruption/transfer-fault families
+/// (corrupt-preferred-then-kill, corrupt-survivor-failover,
+/// corrupt-both-replicas, latent-corruption-commit-heals,
+/// torn-refill-in-risk-window, refill-retries-exhausted,
+/// corrupt-refill-source). Survivable, failed-over and fatal plans are all
+/// included -- the campaign's shadow oracle decides which is which.
 std::vector<ChaosSchedule> scripted_schedules(const ShadowConfig& config);
 
 /// The scripted set for the 2-D grid runtime: everything

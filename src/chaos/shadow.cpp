@@ -12,13 +12,15 @@ ShadowConfig::ShadowConfig(const runtime::RuntimeConfig& config)
     : nodes(config.nodes), topology(config.topology),
       checkpoint_interval(config.checkpoint_interval),
       total_steps(config.total_steps), staging_steps(config.staging_steps),
-      rereplication_delay_steps(config.rereplication_delay_steps) {}
+      rereplication_delay_steps(config.rereplication_delay_steps),
+      transfer_retry(config.transfer_retry) {}
 
 ShadowConfig::ShadowConfig(const runtime::GridConfig& config)
     : nodes(config.nodes()), topology(config.topology),
       checkpoint_interval(config.checkpoint_interval),
       total_steps(config.total_steps), staging_steps(0),
-      rereplication_delay_steps(config.rereplication_delay_steps) {}
+      rereplication_delay_steps(config.rereplication_delay_steps),
+      transfer_retry(config.transfer_retry) {}
 
 void ShadowConfig::validate() const {
   const auto gs =
@@ -34,7 +36,15 @@ void ShadowConfig::validate() const {
     throw std::invalid_argument(
         "ShadowConfig: staging_steps must be <= checkpoint_interval");
   }
+  transfer_retry.validate();
 }
+
+namespace {
+
+/// Abstract state of one committed image slot on one holder.
+enum class Image : unsigned char { Absent, Clean, Corrupt };
+
+}  // namespace
 
 ShadowPrediction predict_outcome(
     const ShadowConfig& config,
@@ -42,17 +52,12 @@ ShadowPrediction predict_outcome(
   config.validate();
   const ckpt::GroupAssignment groups(config.nodes, config.topology);
   const bool pairs = config.topology == ckpt::Topology::Pairs;
+  const std::uint64_t n = config.nodes;
 
-  // Same upfront range validation as the runtimes: a schedule naming a
-  // nonexistent node or a step past the run is a caller bug, loudly.
-  for (const auto& failure : failures) {
-    if (failure.node >= config.nodes) {
-      throw std::invalid_argument("FailureInjection: node out of range");
-    }
-    if (failure.step >= config.total_steps) {
-      throw std::invalid_argument("FailureInjection: step out of range");
-    }
-  }
+  // Same upfront validation as the runtimes (shared helper, so error
+  // behaviour cannot drift).
+  runtime::validate_injections(failures, n, config.total_steps,
+                               config.topology);
 
   std::vector<runtime::FailureInjection> pending(failures.begin(),
                                                  failures.end());
@@ -63,71 +68,207 @@ ShadowPrediction predict_outcome(
                    });
 
   ShadowPrediction out;
-  std::vector<bool> store_ok(config.nodes, false);  // meaningful post-commit
+  // img[holder * n + owner]: only designated slots ever leave Absent.
+  std::vector<Image> img(n * n, Image::Absent);
+  const auto slot = [&](std::uint64_t holder,
+                        std::uint64_t owner) -> Image& {
+    return img[holder * n + owner];
+  };
+  std::vector<char> lost(n, 0);
+  std::uint64_t lost_count = 0;
   bool has_commit = false;
   std::uint64_t committed_step = 0;
   bool staging = false;
   std::uint64_t snapshot_step = 0;
   std::uint64_t commit_at = 0;
-  std::vector<std::uint64_t> refill;
-  std::uint64_t refill_due = 0;
+
+  struct RefillEntry {
+    std::uint64_t node = 0;
+    std::uint64_t due = 0;
+    std::uint64_t attempt = 1;
+    bool abandoned = false;
+  };
+  std::vector<RefillEntry> refill;
+  std::vector<std::vector<runtime::InjectionKind>> armed(n);
+
+  const auto committed_count = [&](std::uint64_t holder) {
+    std::size_t count = 0;
+    for (std::uint64_t owner = 0; owner < n; ++owner) {
+      if (slot(holder, owner) != Image::Absent) ++count;  // corrupt occupies
+    }
+    return count;
+  };
+
+  // The owners `holder` is designated to store: what it keeps for its
+  // peers, plus (pairs) its own local copy -- restore_replicas order.
+  const auto designated_owners = [&](std::uint64_t holder) {
+    std::vector<std::uint64_t> owners = groups.stored_for(holder);
+    if (pairs) owners.push_back(holder);
+    return owners;
+  };
+
+  // One refill delivery attempt; mirrors RecoveryEngine::attempt_delivery.
+  const auto attempt_delivery = [&](RefillEntry& entry) {
+    auto& faults = armed[entry.node];
+    if (!faults.empty()) {
+      const runtime::InjectionKind fault = faults.front();
+      faults.erase(faults.begin());
+      if (fault == runtime::InjectionKind::TornTransfer) {
+        ++out.corrupt_images_detected;  // receiver rejects the torn bundle
+      }
+      if (entry.attempt >= config.transfer_retry.max_attempts) {
+        entry.abandoned = true;
+        return false;
+      }
+      entry.due = config.transfer_retry.backoff_steps(entry.attempt);
+      ++entry.attempt;
+      ++out.transfer_retries;
+      return false;
+    }
+    // Real delivery: for each designated owner, scan the owner's group in
+    // id order (skipping the receiver) for a clean surviving source.
+    std::size_t restored = 0;
+    for (const std::uint64_t owner : designated_owners(entry.node)) {
+      // Owners with no clean source anywhere stay absent (unavailable).
+      for (const std::uint64_t member :
+           groups.members(groups.group_of(owner))) {
+        if (member == entry.node) continue;
+        const Image source = slot(member, owner);
+        if (source == Image::Absent) continue;
+        if (source == Image::Corrupt) {
+          ++out.corrupt_images_detected;
+          continue;
+        }
+        slot(entry.node, owner) = Image::Clean;
+        ++restored;
+        break;
+      }
+    }
+    if (restored > 0) ++out.rereplications;
+    return true;
+  };
+
+  const auto deliver_due = [&] {
+    for (auto it = refill.begin(); it != refill.end();) {
+      if (!it->abandoned && it->due == 0 && attempt_delivery(*it)) {
+        it = refill.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
 
   const auto commit = [&] {
     committed_step = snapshot_step;
     has_commit = true;
     staging = false;
     ++out.checkpoints;
-    std::fill(store_ok.begin(), store_ok.end(), true);
+    // Promotion replaces every committed set: designated slots clean.
+    for (std::uint64_t owner = 0; owner < n; ++owner) {
+      if (pairs) {
+        slot(owner, owner) = Image::Clean;
+        slot(groups.preferred_buddy(owner), owner) = Image::Clean;
+      } else {
+        slot(groups.preferred_buddy(owner), owner) = Image::Clean;
+        slot(groups.secondary_buddy(owner), owner) = Image::Clean;
+      }
+    }
     refill.clear();
+    std::fill(lost.begin(), lost.end(), char{0});
+    lost_count = 0;
   };
 
   std::uint64_t step = 0;
   while (step < config.total_steps) {
+    // Fire this step's injections in the runtime's kind order.
     bool failed = false;
-    for (auto it = pending.begin(); it != pending.end();) {
-      if (it->step == step) {
-        store_ok[it->node] = false;  // destroy() empties the buddy store
-        ++out.failures;
-        failed = true;
-        it = pending.erase(it);
-      } else {
-        ++it;
+    const auto fire_kind = [&](runtime::InjectionKind kind, auto&& act) {
+      for (auto it = pending.begin(); it != pending.end();) {
+        if (it->step == step && it->kind == kind) {
+          act(*it);
+          it = pending.erase(it);
+        } else {
+          ++it;
+        }
       }
-    }
+    };
+    fire_kind(runtime::InjectionKind::CorruptReplica,
+              [&](const runtime::FailureInjection& f) {
+                Image& target = slot(f.node, f.owner);
+                if (target != Image::Absent) target = Image::Corrupt;
+              });
+    fire_kind(runtime::InjectionKind::TornTransfer,
+              [&](const runtime::FailureInjection& f) {
+                armed[f.node].push_back(runtime::InjectionKind::TornTransfer);
+              });
+    fire_kind(runtime::InjectionKind::FailTransfer,
+              [&](const runtime::FailureInjection& f) {
+                armed[f.node].push_back(runtime::InjectionKind::FailTransfer);
+              });
+    fire_kind(runtime::InjectionKind::NodeLoss,
+              [&](const runtime::FailureInjection& f) {
+                // destroy() empties the victim's buddy store.
+                for (std::uint64_t owner = 0; owner < n; ++owner) {
+                  slot(f.node, owner) = Image::Absent;
+                }
+                ++out.failures;
+                failed = true;
+              });
+
     if (failed) {
       staging = false;
-      refill.clear();
       ++out.rollbacks;
       if (has_commit) {
-        // rollback_all in worker-id order: a node restores from its local
-        // copy when the topology keeps one, else from a group peer
-        // (counted as a recovery); no peer left means fatal data loss.
-        for (std::uint64_t node = 0; node < config.nodes; ++node) {
-          const bool has_local = pairs && store_ok[node];
-          if (has_local) continue;
+        refill.clear();
+        // Rollback in node-id order: each node walks its replica ladder
+        // (pairs: local then preferred buddy; triples: preferred then
+        // secondary), skipping corrupt images. Exhausted = lost, degraded.
+        for (std::uint64_t node = 0; node < n; ++node) {
+          if (lost[node]) continue;  // blank-restarts again, no ladder
+          const std::uint64_t first =
+              pairs ? node : groups.preferred_buddy(node);
+          const std::uint64_t second = pairs
+                                           ? groups.preferred_buddy(node)
+                                           : groups.secondary_buddy(node);
+          bool recovered = false;
+          std::size_t corrupt_skipped = 0;
+          std::uint64_t source = 0;
+          for (const std::uint64_t holder : {first, second}) {
+            const Image candidate = slot(holder, node);
+            if (candidate == Image::Absent) continue;
+            if (candidate == Image::Corrupt) {
+              ++corrupt_skipped;
+              continue;
+            }
+            recovered = true;
+            source = holder;
+            break;
+          }
+          out.corrupt_images_detected += corrupt_skipped;
+          if (recovered) {
+            if (source != node) {
+              ++out.recoveries;
+              ++out.hash_verified_recoveries;
+            }
+            if (corrupt_skipped > 0) ++out.failovers;
+            continue;
+          }
           ++out.recoveries;
-          const bool survivable =
-              pairs ? store_ok[groups.preferred_buddy(node)]
-                    : store_ok[groups.preferred_buddy(node)] ||
-                          store_ok[groups.secondary_buddy(node)];
-          if (!survivable) {
+          lost[node] = 1;
+          ++lost_count;
+          if (!out.fatal) {
             out.fatal = true;
             out.fatal_step = step;
             out.unrecoverable_node = node;
-            return out;
           }
         }
-        std::vector<std::uint64_t> empty;
-        for (std::uint64_t node = 0; node < config.nodes; ++node) {
-          if (!store_ok[node]) empty.push_back(node);
+        for (std::uint64_t node = 0; node < n; ++node) {
+          if (committed_count(node) == 0) {
+            refill.push_back(RefillEntry{
+                node, config.rereplication_delay_steps, 1, false});
+          }
         }
-        if (config.rereplication_delay_steps == 0) {
-          for (const std::uint64_t node : empty) store_ok[node] = true;
-          out.rereplications += empty.size();
-        } else {
-          refill = std::move(empty);
-          refill_due = config.rereplication_delay_steps;
-        }
+        if (config.rereplication_delay_steps == 0) deliver_due();
       }
       const std::uint64_t resume = has_commit ? committed_step : 0;
       out.replayed_steps += step - resume;
@@ -139,12 +280,12 @@ ShadowPrediction predict_outcome(
     ++out.steps_executed;
     if (!refill.empty()) {
       ++out.risk_steps;
-      if (--refill_due == 0) {
-        for (const std::uint64_t node : refill) store_ok[node] = true;
-        out.rereplications += refill.size();
-        refill.clear();
+      for (RefillEntry& entry : refill) {
+        if (!entry.abandoned && entry.due > 0) --entry.due;
       }
+      deliver_due();
     }
+    if (lost_count > 0) ++out.degraded_steps;
     if (staging && step == commit_at) commit();
     if (step % config.checkpoint_interval == 0 && step < config.total_steps &&
         !staging) {

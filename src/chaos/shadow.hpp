@@ -1,14 +1,19 @@
 // Shadow oracle: an abstract replica-state machine that predicts, without
 // touching any application data, what a runtime coordinator must do under a
-// failure schedule -- survive or report fatal data loss, and with exactly
-// which accounting (rollbacks, replays, checkpoints, recoveries, refills,
-// risk-window steps).
+// failure schedule -- survive, fail over around corrupt replicas, or enter
+// degraded mode after unrecoverable data loss -- and with exactly which
+// accounting (rollbacks, replays, checkpoints, recoveries, failovers,
+// refills, retries, corruption detections, risk-window and degraded steps).
 //
-// The oracle tracks one bit per node -- "this node's buddy storage holds
-// its committed set" -- because store contents are all-or-nothing: a
-// committed exchange fills every store, a destroyed node empties its own,
-// and a re-replication refill restores it wholesale. A rollback is fatal
-// exactly when some node's committed image has no surviving holder.
+// The oracle tracks a per-(holder, owner) image state -- absent, clean, or
+// corrupt -- because corruption makes store contents no longer
+// all-or-nothing: a committed exchange sets every designated slot clean, a
+// destroyed node empties its own row, CorruptReplica flips one slot, and a
+// refill delivery re-files slots one source scan at a time (skipping
+// corrupt sources). A rollback walks each node's replica ladder exactly
+// like the runtime: corrupt images are skipped (detected), a later clean
+// candidate is a failover, and an exhausted ladder marks the node lost --
+// the run continues degraded until the next commit readmits it.
 //
 // The machine is deliberately topology-agnostic: buddy placement follows
 // racks (consecutive row-major node ids), not the application's domain
@@ -44,6 +49,7 @@ struct ShadowConfig {
   std::uint64_t total_steps = 128;
   std::uint64_t staging_steps = 0;  ///< 0 = immediate commit (the grid)
   std::uint64_t rereplication_delay_steps = 0;
+  ckpt::RetryPolicy transfer_retry;  ///< refill retry/backoff policy
 
   ShadowConfig() = default;
   ShadowConfig(const runtime::RuntimeConfig& config);  // NOLINT: implicit
@@ -53,8 +59,8 @@ struct ShadowConfig {
 };
 
 struct ShadowPrediction {
-  bool fatal = false;
-  std::uint64_t fatal_step = 0;          ///< step of the unsurvivable rollback
+  bool fatal = false;                    ///< run enters degraded mode
+  std::uint64_t fatal_step = 0;          ///< step of the exhausted rollback
   std::uint64_t unrecoverable_node = 0;  ///< first node with no replica left
   // Mirrors of the RunReport counters the oracle can derive.
   std::uint64_t steps_executed = 0;
@@ -65,12 +71,18 @@ struct ShadowPrediction {
   std::uint64_t recoveries = 0;
   std::uint64_t rereplications = 0;
   std::uint64_t risk_steps = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t transfer_retries = 0;
+  std::uint64_t corrupt_images_detected = 0;
+  std::uint64_t degraded_steps = 0;
+  std::uint64_t hash_verified_recoveries = 0;
 };
 
 /// Runs the abstract machine for `config` under `failures` (same contract
 /// as the coordinators' run(): each injection fires at most once, in step
-/// order). Throws std::invalid_argument on an out-of-range injection
-/// (node or step), exactly like the runtimes do.
+/// order, corruption before transfer-fault arming before losses within a
+/// step). Throws std::invalid_argument on a malformed injection (node,
+/// step, or corrupt target), exactly like the runtimes do.
 ShadowPrediction predict_outcome(
     const ShadowConfig& config,
     std::span<const runtime::FailureInjection> failures);

@@ -49,6 +49,13 @@ void BuddyStore::restore_committed(const Snapshot& image) {
   committed_version_ = std::max(committed_version_, image.version());
 }
 
+bool BuddyStore::corrupt_committed(std::uint64_t owner, bool torn) {
+  auto it = committed_.find(owner);
+  if (it == committed_.end()) return false;
+  it->second = torn ? torn_copy(it->second) : corrupt_copy(it->second);
+  return true;
+}
+
 std::optional<Snapshot> BuddyStore::committed_for(std::uint64_t owner) const {
   auto it = committed_.find(owner);
   if (it == committed_.end()) return std::nullopt;

@@ -44,6 +44,14 @@ class BuddyStore {
   /// Capacity-checked like stage().
   void restore_committed(const Snapshot& image);
 
+  /// Fault injection (chaos harness): replaces the committed image of
+  /// `owner` with a damaged copy -- a silent bit-flip, or a torn
+  /// (prefix-only) image when `torn` is set. Returns false when this node
+  /// holds no committed image of `owner` (nothing to damage). The slot
+  /// stays occupied: corruption is only discovered when a restore path
+  /// verifies the content hash.
+  bool corrupt_committed(std::uint64_t owner, bool torn = false);
+
   /// Committed image of `owner`, if this node stores one.
   std::optional<Snapshot> committed_for(std::uint64_t owner) const;
 

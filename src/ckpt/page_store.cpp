@@ -49,6 +49,51 @@ std::vector<std::byte> Snapshot::to_bytes() const {
   return out;
 }
 
+Snapshot corrupt_copy(const Snapshot& image) {
+  if (image.empty()) {
+    throw std::invalid_argument("corrupt_copy: empty image");
+  }
+  std::vector<Snapshot::Page> pages = image.pages();
+  auto damaged = std::make_shared<std::vector<std::byte>>(*pages.front());
+  if (damaged->empty()) {
+    throw std::invalid_argument("corrupt_copy: zero-sized page");
+  }
+  (*damaged)[0] ^= std::byte{0x5a};
+  pages.front() = std::move(damaged);
+  return Snapshot(std::move(pages), image.size_bytes(), image.version(),
+                  image.owner());
+}
+
+Snapshot torn_copy(const Snapshot& image) {
+  if (image.empty()) {
+    throw std::invalid_argument("torn_copy: empty image");
+  }
+  std::vector<Snapshot::Page> pages = image.pages();
+  // Prefix-only delivery: pages past the halfway point never arrived and
+  // read back as zeros. Keeping the page count intact keeps the image
+  // structurally restorable -- detection must come from the content hash.
+  for (std::size_t i = std::max<std::size_t>(pages.size() / 2, 1);
+       i < pages.size(); ++i) {
+    pages[i] =
+        std::make_shared<std::vector<std::byte>>(pages[i]->size(),
+                                                 std::byte{0});
+  }
+  // Mangle the first byte too (a torn stream header), so the tear is
+  // detectable even when the lost tail happened to be all zeros already.
+  auto head = std::make_shared<std::vector<std::byte>>(*pages.front());
+  if (head->empty()) {
+    throw std::invalid_argument("torn_copy: zero-sized page");
+  }
+  if (pages.size() == 1) {  // single page: the tear hits its second half
+    std::fill(head->begin() + static_cast<std::ptrdiff_t>(head->size() / 2),
+              head->end(), std::byte{0});
+  }
+  (*head)[0] ^= std::byte{0xa5};
+  pages.front() = std::move(head);
+  return Snapshot(std::move(pages), image.size_bytes(), image.version(),
+                  image.owner());
+}
+
 // ----------------------------------------------------------------- PageStore
 
 PageStore::PageStore(std::size_t size_bytes, std::size_t page_size)

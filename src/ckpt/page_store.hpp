@@ -40,6 +40,13 @@ class Snapshot {
   /// FNV-1a over the content; cached after the first call.
   std::uint64_t content_hash() const;
 
+  /// Integrity check at a restore point: does the content still hash to
+  /// what the producer recorded at snapshot time? A torn (prefix-only)
+  /// image fails this too -- the hash runs over fewer meaningful bytes.
+  bool verify(std::uint64_t expected_hash) const {
+    return content_hash() == expected_hash;
+  }
+
   /// Copies the image back into a flat buffer (restore path).
   std::vector<std::byte> to_bytes() const;
 
@@ -99,5 +106,16 @@ class PageStore {
 /// FNV-1a 64-bit over a byte range (exposed for tests and recovery checks).
 std::uint64_t fnv1a(std::span<const std::byte> data,
                     std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// Fault-injection helpers (chaos harness): both return a *fresh* Snapshot
+/// with its own pages and an unset hash cache, so verify() recomputes over
+/// the damaged content instead of trusting the original's cached value.
+///
+/// corrupt_copy flips one byte of the first page -- a silent bit-flip in a
+/// stored replica. torn_copy models a transfer that delivered only a
+/// prefix: the first half of the pages survive, the rest read as zeros
+/// (the layout stays restorable; the content does not verify).
+Snapshot corrupt_copy(const Snapshot& image);
+Snapshot torn_copy(const Snapshot& image);
 
 }  // namespace dckpt::ckpt

@@ -1,7 +1,6 @@
 #include "ckpt/recovery.hpp"
 
 #include <stdexcept>
-#include <string>
 
 namespace dckpt::ckpt {
 
@@ -17,72 +16,86 @@ void check_directory(const GroupAssignment& groups,
   }
 }
 
-/// Searches the group's surviving stores (excluding `exclude`) for a
-/// committed image of `owner`. Returns nullptr when none exists.
-BuddyStore* find_holder(std::uint64_t owner, std::uint64_t exclude,
-                        const GroupAssignment& groups,
-                        std::span<BuddyStore* const> stores) {
-  for (std::uint64_t member : groups.members(groups.group_of(owner))) {
-    if (member == exclude) continue;
-    if (stores[member]->committed_for(owner)) return stores[member];
+/// The ordered list of nodes that may hold `node`'s committed image:
+/// pairs keep a local copy (preferred on restore -- no transfer), then the
+/// preferred buddy; triples store on the preferred and secondary buddies.
+std::vector<std::uint64_t> replica_ladder(std::uint64_t node,
+                                          const GroupAssignment& groups) {
+  if (groups.topology() == Topology::Pairs) {
+    return {node, groups.preferred_buddy(node)};
   }
-  return nullptr;
+  return {groups.preferred_buddy(node), groups.secondary_buddy(node)};
 }
 
 }  // namespace
 
-const BuddyStore& locate_replica(std::uint64_t node,
-                                 const GroupAssignment& groups,
-                                 std::span<BuddyStore* const> stores) {
+RecoveryOutcome select_replica(std::uint64_t node,
+                               const GroupAssignment& groups,
+                               std::span<BuddyStore* const> stores,
+                               std::uint64_t expected_hash) {
   check_directory(groups, stores);
-  const BuddyStore* holder = find_holder(node, node, groups, stores);
-  if (!holder) {
-    throw std::runtime_error(
-        "fatal failure: no surviving replica of node " + std::to_string(node));
-  }
-  return *holder;
-}
-
-RecoveryReport recover_node(std::uint64_t node, const GroupAssignment& groups,
-                            std::span<BuddyStore* const> stores,
-                            PageStore& memory, std::uint64_t expected_hash) {
-  const BuddyStore& holder = locate_replica(node, groups, stores);
-  const Snapshot image = *holder.committed_for(node);
-  if (image.content_hash() != expected_hash) {
-    throw std::runtime_error("recovery: checkpoint hash mismatch for node " +
-                             std::to_string(node));
-  }
-  memory.restore(image);
-  RecoveryReport report;
-  report.node = node;
-  report.source = holder.node();
-  report.version = image.version();
-  report.hash_verified = true;
-  return report;
-}
-
-std::size_t restore_replicas(std::uint64_t node, const GroupAssignment& groups,
-                             std::span<BuddyStore* const> stores) {
-  check_directory(groups, stores);
-  std::size_t restored = 0;
-  for (std::uint64_t owner : groups.stored_for(node)) {
-    const BuddyStore* holder = find_holder(owner, node, groups, stores);
-    if (!holder) {
-      throw std::runtime_error(
-          "fatal failure: no surviving replica of node " +
-          std::to_string(owner));
+  RecoveryOutcome outcome;
+  for (const std::uint64_t holder : replica_ladder(node, groups)) {
+    auto image = stores[holder]->committed_for(node);
+    if (!image) continue;
+    ++outcome.candidates_tried;
+    if (!image->verify(expected_hash)) {
+      ++outcome.corrupt_skipped;
+      continue;
     }
-    stores[node]->restore_committed(*holder->committed_for(owner));
-    ++restored;
+    outcome.status = outcome.corrupt_skipped > 0 ? RecoveryStatus::FailedOver
+                                                 : RecoveryStatus::Ok;
+    outcome.report.node = node;
+    outcome.report.source = holder;
+    outcome.report.version = image->version();
+    outcome.report.hash_verified = true;
+    outcome.image = std::move(*image);
+    return outcome;
   }
+  outcome.status = RecoveryStatus::Exhausted;
+  outcome.report.node = node;
+  return outcome;
+}
+
+RecoveryOutcome recover_node(std::uint64_t node, const GroupAssignment& groups,
+                             std::span<BuddyStore* const> stores,
+                             PageStore& memory, std::uint64_t expected_hash) {
+  RecoveryOutcome outcome = select_replica(node, groups, stores,
+                                           expected_hash);
+  if (outcome.ok()) memory.restore(*outcome.image);
+  return outcome;
+}
+
+ReplicationOutcome restore_replicas(
+    std::uint64_t node, const GroupAssignment& groups,
+    std::span<BuddyStore* const> stores,
+    std::span<const std::uint64_t> expected_hashes) {
+  check_directory(groups, stores);
+  if (expected_hashes.size() != groups.nodes()) {
+    throw std::invalid_argument("recovery: expected-hash directory size");
+  }
+  ReplicationOutcome outcome;
+  // For each image the node should hold, scan its group peers in id order
+  // (the same order the oracle mirrors) for a clean surviving copy.
+  const auto refill_one = [&](std::uint64_t owner) {
+    for (std::uint64_t member : groups.members(groups.group_of(owner))) {
+      if (member == node) continue;
+      auto image = stores[member]->committed_for(owner);
+      if (!image) continue;
+      if (!image->verify(expected_hashes[owner])) {
+        ++outcome.corrupt_skipped;
+        continue;
+      }
+      stores[node]->restore_committed(*image);
+      ++outcome.restored;
+      return;
+    }
+    ++outcome.unavailable;
+  };
+  for (std::uint64_t owner : groups.stored_for(node)) refill_one(owner);
   // Pair topology keeps a local copy of the node's own image too.
-  if (groups.topology() == Topology::Pairs) {
-    if (const BuddyStore* holder = find_holder(node, node, groups, stores)) {
-      stores[node]->restore_committed(*holder->committed_for(node));
-      ++restored;
-    }
-  }
-  return restored;
+  if (groups.topology() == Topology::Pairs) refill_one(node);
+  return outcome;
 }
 
 }  // namespace dckpt::ckpt

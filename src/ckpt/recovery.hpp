@@ -1,12 +1,19 @@
 // Recovery paths: rebuild a failed node's state from the surviving replicas.
 //
 // After node p fails, its replacement must (paper Sec. II/IV):
-//   1. fetch p's own committed image (from the buddy that stores it) and
-//      restore it -- recover_node();
+//   1. fetch p's own committed image from a surviving replica and restore
+//      it -- select_replica()/recover_node();
 //   2. re-replicate the images p was storing for its buddies, so a later
 //      buddy failure stays survivable -- restore_replicas().
 // Step 2 is exactly what the risk window measures: until it completes, the
 // group cannot take another hit.
+//
+// Every restore point verifies the image's content hash: a corrupt or torn
+// replica is *skipped*, not restored, and the ladder falls through to the
+// next surviving copy -- the local copy first for pairs, then the preferred
+// buddy, then (triples) the secondary. Outcomes are typed, never thrown:
+// exhausting the ladder is a normal (degraded-mode) result the runtimes
+// account for, not an exception a campaign has to string-match.
 //
 // Stores are addressed through a span of pointers indexed by node id, so
 // callers can keep BuddyStores wherever they live (test vectors, runtime
@@ -14,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -23,31 +31,62 @@
 
 namespace dckpt::ckpt {
 
-struct RecoveryReport {
-  std::uint64_t node = 0;          ///< recovered node
-  std::uint64_t source = 0;        ///< node that supplied the image
-  std::uint64_t version = 0;       ///< committed version restored
-  bool hash_verified = false;      ///< content hash matched
+/// How a replica lookup ended.
+enum class RecoveryStatus {
+  Ok,         ///< first surviving candidate verified and was used
+  FailedOver, ///< a corrupt/torn copy was skipped; a later candidate served
+  Exhausted,  ///< no surviving clean replica -- data loss (degraded mode)
 };
 
-/// Finds the committed image of `node` on one of its group peers. Throws
-/// std::runtime_error when no surviving replica exists (a fatal failure).
-const BuddyStore& locate_replica(std::uint64_t node,
-                                 const GroupAssignment& groups,
-                                 std::span<BuddyStore* const> stores);
+struct RecoveryReport {
+  std::uint64_t node = 0;      ///< recovered node
+  std::uint64_t source = 0;    ///< node that supplied the image
+  std::uint64_t version = 0;   ///< committed version restored
+  bool hash_verified = false;  ///< content hash matched (always, on success)
+};
 
-/// Restores `node`'s memory from the surviving replica and verifies the
-/// content hash against `expected_hash`. Throws std::runtime_error on fatal
-/// loss or hash mismatch.
-RecoveryReport recover_node(std::uint64_t node, const GroupAssignment& groups,
-                            std::span<BuddyStore* const> stores,
-                            PageStore& memory, std::uint64_t expected_hash);
+/// Result of walking the replica ladder for one node.
+struct RecoveryOutcome {
+  RecoveryStatus status = RecoveryStatus::Exhausted;
+  RecoveryReport report;            ///< meaningful unless Exhausted
+  std::optional<Snapshot> image;    ///< the verified image, unless Exhausted
+  std::size_t corrupt_skipped = 0;  ///< replicas rejected by the hash check
+  std::size_t candidates_tried = 0; ///< replicas examined (present images)
+
+  bool ok() const noexcept { return status != RecoveryStatus::Exhausted; }
+};
+
+/// Walks `node`'s replica ladder -- pairs: local copy then preferred buddy;
+/// triples: preferred then secondary buddy -- verifying each present image
+/// against `expected_hash` and returning the first clean one. Corrupt or
+/// torn images are counted and skipped. Never throws on data loss; throws
+/// std::invalid_argument only on a malformed directory.
+RecoveryOutcome select_replica(std::uint64_t node,
+                               const GroupAssignment& groups,
+                               std::span<BuddyStore* const> stores,
+                               std::uint64_t expected_hash);
+
+/// select_replica() plus the restore into `memory` on success.
+RecoveryOutcome recover_node(std::uint64_t node, const GroupAssignment& groups,
+                             std::span<BuddyStore* const> stores,
+                             PageStore& memory, std::uint64_t expected_hash);
+
+/// Result of re-filling a replacement node's buddy storage.
+struct ReplicationOutcome {
+  std::size_t restored = 0;         ///< images re-filed into the store
+  std::size_t corrupt_skipped = 0;  ///< source copies rejected by the hash
+  std::size_t unavailable = 0;      ///< owners with no clean surviving copy
+};
 
 /// Step 2: re-files into `node`'s (replacement) storage the committed images
 /// it was holding for its peers -- and, for pair topologies, the node's own
-/// local copy -- fetched from the peers' surviving copies. Returns how many
-/// images were restored.
-std::size_t restore_replicas(std::uint64_t node, const GroupAssignment& groups,
-                             std::span<BuddyStore* const> stores);
+/// local copy -- fetched from the peers' surviving copies. Each candidate
+/// source is verified against `expected_hashes[owner]` (indexed by node id);
+/// corrupt sources are skipped, and an owner with no clean copy anywhere is
+/// counted `unavailable` instead of aborting the whole refill.
+ReplicationOutcome restore_replicas(
+    std::uint64_t node, const GroupAssignment& groups,
+    std::span<BuddyStore* const> stores,
+    std::span<const std::uint64_t> expected_hashes);
 
 }  // namespace dckpt::ckpt

@@ -42,6 +42,42 @@ TransferPlan plan_transfer(const TransferSpec& spec, double phi) {
   return plan;
 }
 
+void RetryPolicy::validate() const {
+  if (max_attempts == 0) {
+    throw std::invalid_argument("RetryPolicy: max_attempts must be >= 1");
+  }
+}
+
+std::uint64_t RetryPolicy::backoff_steps(std::uint64_t retry_index) const {
+  if (retry_index == 0) {
+    throw std::invalid_argument("RetryPolicy: retry_index is 1-based");
+  }
+  const std::uint64_t shift = retry_index - 1;
+  if (shift >= 64 ||
+      (base_delay_steps != 0 &&
+       base_delay_steps > (~std::uint64_t{0} >> shift))) {
+    return ~std::uint64_t{0};  // saturate: effectively "wait forever"
+  }
+  const std::uint64_t delay = base_delay_steps << shift;
+  return delay == 0 ? 1 : delay;
+}
+
+double RetryPolicy::expected_transfer_attempts(double failure_rate) const {
+  validate();
+  if (!(failure_rate >= 0.0) || failure_rate >= 1.0) {
+    throw std::invalid_argument(
+        "RetryPolicy: failure_rate must be in [0, 1)");
+  }
+  // Truncated geometric: E[attempts] = sum_{i=0}^{A-1} p^i.
+  double expected = 0.0;
+  double p_i = 1.0;
+  for (std::uint64_t i = 0; i < max_attempts; ++i) {
+    expected += p_i;
+    p_i *= failure_rate;
+  }
+  return expected;
+}
+
 double phi_for_deadline(const TransferSpec& spec, double deadline) {
   check_spec(spec);
   const double theta_min = blocking_transfer_time(spec);

@@ -46,4 +46,30 @@ TransferPlan plan_transfer(const TransferSpec& spec, double phi);
 /// Throws when the deadline is shorter than the blocking time.
 double phi_for_deadline(const TransferSpec& spec, double deadline);
 
+/// Bounded retry with exponential backoff for checkpoint transfers.
+///
+/// A re-replication transfer can fail outright or deliver a torn
+/// (prefix-only) image that the content-hash check rejects. Either way the
+/// runtime re-issues it: retry i (1-based) waits base_delay_steps * 2^(i-1)
+/// executed steps before the next attempt, and after `max_attempts` total
+/// delivery attempts the refill is abandoned until the next committed
+/// exchange re-creates every replica. Every waiting step extends the risk
+/// window, so the waste accounting stays honest.
+struct RetryPolicy {
+  std::uint64_t max_attempts = 3;      ///< total delivery attempts (>= 1)
+  std::uint64_t base_delay_steps = 1;  ///< backoff base, in executed steps
+
+  void validate() const;  ///< throws std::invalid_argument
+
+  /// Steps to wait before retry `retry_index` (1-based: the first retry is
+  /// index 1). Always at least 1 -- a re-issued transfer cannot complete
+  /// within the step that saw it fail. Saturates instead of overflowing.
+  std::uint64_t backoff_steps(std::uint64_t retry_index) const;
+
+  /// Expected delivery attempts when each attempt independently fails with
+  /// probability `failure_rate` (capped by max_attempts) -- the bridge to
+  /// the model's risk-window widening.
+  double expected_transfer_attempts(double failure_rate) const;
+};
+
 }  // namespace dckpt::ckpt

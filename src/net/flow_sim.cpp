@@ -17,6 +17,10 @@ void FlowSimulator::submit(const FlowRequest& request) {
   if (!(request.start >= 0.0) || !std::isfinite(request.start)) {
     throw std::invalid_argument("FlowSimulator: start must be >= 0");
   }
+  if (!(request.deliver_fraction > 0.0) || request.deliver_fraction > 1.0) {
+    throw std::invalid_argument(
+        "FlowSimulator: deliver_fraction must be in (0, 1]");
+  }
   pending_.push_back(request);
 }
 
@@ -30,7 +34,10 @@ std::vector<FlowCompletion> FlowSimulator::run() {
   std::vector<Live> live;
   live.reserve(pending_.size());
   for (const auto& request : pending_) {
-    live.push_back({request, request.bytes, false, false});
+    // A torn delivery only moves (and only occupies the network for) the
+    // surviving prefix.
+    live.push_back(
+        {request, request.bytes * request.deliver_fraction, false, false});
   }
   pending_.clear();
 
@@ -88,8 +95,15 @@ std::vector<FlowCompletion> FlowSimulator::run() {
       entry.remaining -= rates[k] * dt;
       if (entry.remaining <= entry.request.bytes * 1e-12) {
         entry.done = true;
-        completions.push_back({entry.request.tag, entry.request.start,
-                               horizon, entry.request.bytes});
+        FlowCompletion completion;
+        completion.tag = entry.request.tag;
+        completion.start = entry.request.start;
+        completion.finish = horizon;
+        completion.bytes = entry.request.bytes;
+        completion.delivered_bytes =
+            entry.request.bytes * entry.request.deliver_fraction;
+        completion.torn = entry.request.deliver_fraction < 1.0;
+        completions.push_back(completion);
       }
     }
     now = horizon;

@@ -16,17 +16,27 @@ struct FlowRequest {
   double bytes = 0.0;   ///< transfer size
   double start = 0.0;   ///< arrival time
   std::uint64_t tag = 0;  ///< caller's identifier
+  /// Fraction of `bytes` that actually arrives, in (0, 1]. Below 1 the
+  /// sender dies mid-transfer: the flow occupies the network only for the
+  /// delivered prefix and completes *torn* -- the flow-level analogue of
+  /// the checkpoint layer's torn replica images (appended; default keeps
+  /// older callers whole).
+  double deliver_fraction = 1.0;
 };
 
 struct FlowCompletion {
   std::uint64_t tag = 0;
   double start = 0.0;
   double finish = 0.0;
-  double bytes = 0.0;
+  double bytes = 0.0;  ///< requested size (what the caller asked to move)
+  // Appended: torn-delivery accounting. delivered_bytes == bytes and
+  // torn == false for every whole transfer.
+  double delivered_bytes = 0.0;
+  bool torn = false;
 
   double duration() const noexcept { return finish - start; }
   double mean_rate() const noexcept {
-    return duration() > 0.0 ? bytes / duration() : 0.0;
+    return duration() > 0.0 ? delivered_bytes / duration() : 0.0;
   }
 };
 

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "ckpt/recovery.hpp"
-
 namespace dckpt::runtime {
 
 void RuntimeConfig::validate() const {
@@ -28,6 +26,7 @@ void RuntimeConfig::validate() const {
     throw std::invalid_argument(
         "RuntimeConfig: staging_steps must be <= checkpoint_interval");
   }
+  transfer_retry.validate();
 }
 
 std::uint64_t state_hash(std::span<const double> state) {
@@ -35,7 +34,9 @@ std::uint64_t state_hash(std::span<const double> state) {
 }
 
 void validate_injections(std::span<const FailureInjection> failures,
-                         std::uint64_t nodes, std::uint64_t total_steps) {
+                         std::uint64_t nodes, std::uint64_t total_steps,
+                         ckpt::Topology topology) {
+  const ckpt::GroupAssignment groups(nodes, topology);
   for (const auto& failure : failures) {
     if (failure.node >= nodes) {
       throw std::invalid_argument("FailureInjection: node out of range");
@@ -43,13 +44,34 @@ void validate_injections(std::span<const FailureInjection> failures,
     if (failure.step >= total_steps) {
       throw std::invalid_argument("FailureInjection: step out of range");
     }
+    if (failure.kind == InjectionKind::CorruptReplica) {
+      if (failure.owner >= nodes) {
+        throw std::invalid_argument("FailureInjection: owner out of range");
+      }
+      // The holder must be a node that actually stores the owner's
+      // committed image under this topology, or the injection could never
+      // damage anything and the schedule would pass vacuously.
+      const bool holds =
+          topology == ckpt::Topology::Pairs
+              ? (failure.node == failure.owner ||
+                 failure.node == groups.preferred_buddy(failure.owner))
+              : (failure.node == groups.preferred_buddy(failure.owner) ||
+                 failure.node == groups.secondary_buddy(failure.owner));
+      if (!holds) {
+        throw std::invalid_argument(
+            "FailureInjection: corrupt target does not hold the owner's "
+            "replica");
+      }
+    }
   }
 }
 
 Coordinator::Coordinator(RuntimeConfig config, std::unique_ptr<Kernel> kernel)
     : config_(config), kernel_(std::move(kernel)),
       groups_(config.nodes, config.topology), pool_(config.threads),
-      committed_hashes_(config.nodes, 0) {
+      committed_hashes_(config.nodes, 0),
+      engine_(groups_, config.rereplication_delay_steps,
+              config.transfer_retry) {
   config_.validate();
   if (!kernel_) throw std::invalid_argument("Coordinator: null kernel");
   workers_.reserve(config_.nodes);
@@ -102,6 +124,9 @@ void Coordinator::begin_checkpoint(std::uint64_t step) {
   staging_hashes_.assign(workers_.size(), 0);
   for (std::uint64_t node = 0; node < workers_.size(); ++node) {
     const ckpt::Snapshot& image = images[node];
+    // Hash before staging, so every filed copy carries the cached digest
+    // the restore paths verify against.
+    staging_hashes_[node] = image.content_hash();
     if (config_.topology == ckpt::Topology::Pairs) {
       workers_[node].store().stage(image);  // local copy
       workers_[groups_.preferred_buddy(node)].store().stage(image);
@@ -111,12 +136,23 @@ void Coordinator::begin_checkpoint(std::uint64_t step) {
       workers_[groups_.secondary_buddy(node)].store().stage(image);
       staged_bytes_ += 2 * image.size_bytes();
     }
-    staging_hashes_[node] = image.content_hash();
   }
   staging_ = true;
 }
 
 void Coordinator::commit_checkpoint(RunReport& report) {
+  // Integrity gate before promotion: every node's staged image on its
+  // preferred buddy must still hash to its snapshot-time digest. Staging is
+  // process-local here, so a mismatch is a broken invariant, not a chaos
+  // outcome the run could survive.
+  for (std::uint64_t node = 0; node < workers_.size(); ++node) {
+    const auto staged =
+        workers_[groups_.preferred_buddy(node)].store().staged_for(node);
+    if (!staged || !staged->verify(staging_hashes_[node])) {
+      throw std::logic_error(
+          "commit_checkpoint: staged image failed verification");
+    }
+  }
   // Atomic promotion of the completed set on every node.
   for (Worker& worker : workers_) worker.store().promote(staging_version_);
   committed_hashes_ = staging_hashes_;
@@ -125,13 +161,16 @@ void Coordinator::commit_checkpoint(RunReport& report) {
   staging_ = false;
   report.bytes_replicated += staged_bytes_;
   ++report.checkpoints;
-  // A committed exchange re-creates every replica: any pending refill is
-  // subsumed and the risk window closes.
-  pending_refill_.clear();
+  // A committed exchange re-creates every replica: pending refills are
+  // subsumed, the risk window closes, and lost nodes rejoin.
+  engine_.on_commit();
 }
 
-void Coordinator::rollback_all(RunReport& report) {
+void Coordinator::rollback_all(RunReport& report, std::uint64_t step) {
   ++report.rollbacks;
+  // Any in-flight staging set is lost with its victims; abandon it and fall
+  // back to the last committed set (it will be retaken on replay).
+  staging_ = false;
   if (!has_commit_) {
     // The starting configuration is the implicit first checkpoint set.
     for (Worker& worker : workers_) {
@@ -141,24 +180,18 @@ void Coordinator::rollback_all(RunReport& report) {
     return;
   }
   const auto stores = store_directory();
-  for (Worker& worker : workers_) {
-    worker.store().discard_staged();
-    // Prefer the local copy (pairs); otherwise fetch from a group peer.
-    auto local = worker.store().committed_for(worker.id());
-    if (!local) ++report.recoveries;
-    const ckpt::Snapshot image =
-        local ? *local
-              : *ckpt::locate_replica(worker.id(), groups_, stores)
-                     .committed_for(worker.id());
-    if (image.content_hash() != committed_hashes_[worker.id()]) {
-      throw std::runtime_error("rollback: committed image hash mismatch");
-    }
-    worker.restore(image);
-  }
+  engine_.rollback_and_refill(
+      step, stores, committed_hashes_,
+      [&](std::uint64_t node, const ckpt::Snapshot& image) {
+        workers_[node].restore(image);
+      },
+      [&](std::uint64_t node) { workers_[node].initialize(*kernel_); },
+      report);
 }
 
 RunReport Coordinator::run(std::span<const FailureInjection> failures) {
-  validate_injections(failures, config_.nodes, config_.total_steps);
+  validate_injections(failures, config_.nodes, config_.total_steps,
+                      config_.topology);
   RunReport report;
   std::vector<FailureInjection> pending(failures.begin(), failures.end());
   std::stable_sort(pending.begin(), pending.end(),
@@ -166,59 +199,19 @@ RunReport Coordinator::run(std::span<const FailureInjection> failures) {
                      return a.step < b.step;
                    });
 
+  const auto stores = store_directory();
   std::uint64_t step = 0;
   while (step < config_.total_steps) {
     // Fire the injections scheduled for this step (each at most once).
-    // destroy() wipes the victim's memory and buddy storage; the rollback
-    // below then restores *every* node from the last committed set -- the
-    // victim necessarily from a surviving peer replica (recovery), the
-    // survivors from their local copy when the topology keeps one.
-    bool failed = false;
-    for (auto it = pending.begin(); it != pending.end();) {
-      if (it->step == step) {
-        workers_[it->node].destroy();
-        ++report.failures;
-        failed = true;
-        it = pending.erase(it);
-      } else {
-        ++it;
-      }
-    }
+    // NodeLoss wipes the victim's memory and buddy storage; the rollback
+    // then restores every node through its replica ladder -- skipping
+    // corrupt images, failing over to later candidates, and
+    // blank-restarting (degraded mode) any node whose ladder is exhausted.
+    const bool failed = engine_.fire_injections(
+        pending, step, stores,
+        [&](std::uint64_t node) { workers_[node].destroy(); }, report);
     if (failed) {
-      // Any in-flight staging set is lost with its victims; abandon it and
-      // fall back to the last committed set (it will be retaken on replay).
-      staging_ = false;
-      pending_refill_.clear();
-      try {
-        rollback_all(report);
-        if (has_commit_) {
-          // Re-replicate what the victims were storing for their peers, so
-          // the group can survive the next failure (this is the action whose
-          // duration defines the model's risk window). With a configured
-          // delay the refill completes only after `rereplication_delay_steps`
-          // executed steps -- until then the group is one hit from fatal.
-          std::vector<std::uint64_t> empty;
-          for (Worker& worker : workers_) {
-            if (worker.store().committed_count() == 0) {
-              empty.push_back(worker.id());
-            }
-          }
-          if (config_.rereplication_delay_steps == 0) {
-            const auto stores = store_directory();
-            for (const std::uint64_t node : empty) {
-              ckpt::restore_replicas(node, groups_, stores);
-              ++report.rereplications;
-            }
-          } else {
-            pending_refill_ = std::move(empty);
-            refill_due_steps_ = config_.rereplication_delay_steps;
-          }
-        }
-      } catch (const std::runtime_error& error) {
-        report.fatal = true;
-        report.fatal_reason = error.what();
-        return report;
-      }
+      rollback_all(report, step);
       const std::uint64_t resume = has_commit_ ? committed_step_ : 0;
       report.replayed_steps += step - resume;
       step = resume;
@@ -228,19 +221,10 @@ RunReport Coordinator::run(std::span<const FailureInjection> failures) {
     execute_step();
     ++step;
     ++report.steps_executed;
-    // Tick the open risk window: once the delay elapses the replacement
-    // nodes' buddy storage is refilled from the surviving replicas.
-    if (!pending_refill_.empty()) {
-      ++report.risk_steps;
-      if (--refill_due_steps_ == 0) {
-        const auto stores = store_directory();
-        for (const std::uint64_t node : pending_refill_) {
-          ckpt::restore_replicas(node, groups_, stores);
-          ++report.rereplications;
-        }
-        pending_refill_.clear();
-      }
-    }
+    // Risk-window / refill / degraded-mode bookkeeping: due refills deliver
+    // (consuming any armed transfer faults, retrying with backoff), and
+    // every step some node runs blank-restarted counts as degraded.
+    engine_.tick(stores, committed_hashes_, report);
     // Commit an in-flight set before possibly starting the next one (the
     // two coincide when staging_steps == checkpoint_interval).
     if (staging_ && step == staging_commit_at_) {

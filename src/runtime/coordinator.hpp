@@ -28,7 +28,9 @@
 #include <vector>
 
 #include "ckpt/ring.hpp"
+#include "ckpt/transfer.hpp"  // RetryPolicy
 #include "runtime/kernel.hpp"
+#include "runtime/recovery_engine.hpp"
 #include "runtime/worker.hpp"
 #include "util/thread_pool.hpp"
 
@@ -55,23 +57,44 @@ struct RuntimeConfig {
   /// risk window (paper Sec. III/IV). A committed checkpoint also closes
   /// the window (it re-creates every replica). 0 = refill immediately.
   std::uint64_t rereplication_delay_steps = 0;
+  /// Retry-with-backoff policy for re-replication transfers (failed or torn
+  /// deliveries are re-issued; each waiting step extends the risk window).
+  ckpt::RetryPolicy transfer_retry;
 
   void validate() const;
 };
 
-/// A failure injected just before executing step `step` (0-based).
+/// What a chaos injection does to the runtime.
+enum class InjectionKind {
+  NodeLoss,       ///< destroy the node's memory and buddy storage
+  CorruptReplica, ///< silently damage a committed image at rest
+  TornTransfer,   ///< next refill delivery for `node` arrives prefix-only
+  FailTransfer,   ///< next refill delivery for `node` fails outright
+};
+
+/// An injection fired when the run first reaches step `step` (0-based).
+/// NodeLoss and CorruptReplica act immediately (corruption before losses
+/// within a step); Torn/FailTransfer arm and are consumed by the next
+/// re-replication delivery attempt for `node`'s storage. For
+/// CorruptReplica, `node` is the holder whose store is damaged and `owner`
+/// selects which committed image.
 struct FailureInjection {
   std::uint64_t step = 0;
   std::uint64_t node = 0;
+  InjectionKind kind = InjectionKind::NodeLoss;
+  std::uint64_t owner = 0;  ///< CorruptReplica only
 };
 
 /// Upfront range check shared by both coordinators (and mirrored by the
 /// chaos shadow oracle): every injection must name an existing node and a
-/// step that actually executes. Throws std::invalid_argument otherwise --
-/// a schedule aimed at a nonexistent node or past the end of the run would
-/// otherwise be silently ignored and make a campaign vacuously pass.
+/// step that actually executes, and a CorruptReplica must aim at a store
+/// that actually holds the owner's image under `topology`. Throws
+/// std::invalid_argument otherwise -- a schedule aimed at a nonexistent
+/// node or past the end of the run would otherwise be silently ignored and
+/// make a campaign vacuously pass.
 void validate_injections(std::span<const FailureInjection> failures,
-                         std::uint64_t nodes, std::uint64_t total_steps);
+                         std::uint64_t nodes, std::uint64_t total_steps,
+                         ckpt::Topology topology);
 
 struct RunReport {
   std::uint64_t steps_executed = 0;   ///< step executions incl. replays
@@ -82,12 +105,27 @@ struct RunReport {
   std::uint64_t rollbacks = 0;
   std::uint64_t bytes_replicated = 0; ///< checkpoint bytes sent to buddies
   std::uint64_t cow_copies = 0;       ///< pages duplicated by COW
-  std::uint64_t recoveries = 0;       ///< images restored from a peer replica
-                                      ///< (each one hash-verified)
-  std::uint64_t rereplications = 0;   ///< buddy stores refilled after a loss
+  std::uint64_t recoveries = 0;       ///< restores that had to go beyond a
+                                      ///< clean local copy (incl. exhausted
+                                      ///< attempts)
+  std::uint64_t rereplications = 0;   ///< refill deliveries that restored
+                                      ///< at least one image
   std::uint64_t risk_steps = 0;       ///< executed steps with a refill pending
                                       ///< (degraded redundancy)
-  bool fatal = false;                 ///< unrecoverable data loss
+  std::uint64_t failovers = 0;        ///< recoveries that skipped >= 1
+                                      ///< corrupt replica and still succeeded
+  std::uint64_t transfer_retries = 0; ///< refill deliveries re-issued after a
+                                      ///< failed or torn transfer
+  std::uint64_t corrupt_images_detected = 0;  ///< hash-check rejections at
+                                              ///< any restore point
+  std::uint64_t degraded_steps = 0;   ///< executed steps while some node ran
+                                      ///< on from a blank restart (data loss)
+  std::uint64_t hash_verified_recoveries = 0; ///< successful peer restores
+                                              ///< whose content hash matched
+  bool fatal = false;                 ///< unrecoverable data loss occurred
+  bool degraded = false;              ///< run continued past the loss
+  std::uint64_t fatal_node = 0;       ///< first node with no clean replica
+  std::uint64_t fatal_step = 0;       ///< step of the exhausted rollback
   std::string fatal_reason;
   std::uint64_t final_hash = 0;       ///< FNV-1a over the global state
 };
@@ -97,8 +135,10 @@ class Coordinator {
   Coordinator(RuntimeConfig config, std::unique_ptr<Kernel> kernel);
 
   /// Runs to completion, injecting `failures` (each fires at most once, in
-  /// step order). Returns the report; on fatal data loss, `fatal` is set and
-  /// execution stops.
+  /// step order). Returns the report; on fatal data loss, `fatal` is set,
+  /// the lost nodes restart blank and the run *continues* in degraded mode
+  /// (every such step counted in `degraded_steps`) -- it never throws for
+  /// data loss.
   RunReport run(std::span<const FailureInjection> failures = {});
 
   /// Global state concatenated across workers (after run()).
@@ -109,7 +149,7 @@ class Coordinator {
  private:
   void begin_checkpoint(std::uint64_t step);
   void commit_checkpoint(RunReport& report);
-  void rollback_all(RunReport& report);
+  void rollback_all(RunReport& report, std::uint64_t step);
   void execute_step();
   std::vector<ckpt::BuddyStore*> store_directory();
 
@@ -130,10 +170,8 @@ class Coordinator {
   std::vector<std::uint64_t> staging_hashes_;
   std::uint64_t staged_bytes_ = 0;
 
-  // Nodes whose buddy storage awaits re-replication, and the executed steps
-  // left until the refill completes (the open risk window).
-  std::vector<std::uint64_t> pending_refill_;
-  std::uint64_t refill_due_steps_ = 0;
+  // Refill/retry/degraded-mode machine shared with the grid coordinator.
+  RecoveryEngine engine_;
 };
 
 /// Hash of a full global state vector (for cross-run comparisons).

@@ -6,8 +6,6 @@
 #include <limits>
 #include <stdexcept>
 
-#include "ckpt/recovery.hpp"
-
 namespace dckpt::runtime {
 
 // ---------------------------------------------------------------- kernel
@@ -82,6 +80,7 @@ void GridConfig::validate() const {
   if (checkpoint_interval == 0 || total_steps == 0) {
     throw std::invalid_argument("GridConfig: zero interval or steps");
   }
+  transfer_retry.validate();
 }
 
 // ----------------------------------------------------------------- block
@@ -135,7 +134,9 @@ GridCoordinator::GridCoordinator(GridConfig config,
                                  std::unique_ptr<GridKernel> kernel)
     : config_(config), kernel_(std::move(kernel)),
       groups_(config.nodes(), config.topology), pool_(config.threads),
-      committed_hashes_(config.nodes(), 0) {
+      committed_hashes_(config.nodes(), 0),
+      engine_(groups_, config.rereplication_delay_steps,
+              config.transfer_retry) {
   config_.validate();
   if (!kernel_) throw std::invalid_argument("GridCoordinator: null kernel");
   blocks_.reserve(config_.nodes());
@@ -203,6 +204,9 @@ void GridCoordinator::checkpoint_all(RunReport& report) {
   const std::uint64_t version = images.front().version();
   for (std::uint64_t node = 0; node < blocks_.size(); ++node) {
     const ckpt::Snapshot& image = images[node];
+    // Hash before staging, so every filed copy carries the cached digest
+    // the restore paths verify against.
+    committed_hashes_[node] = image.content_hash();
     if (config_.topology == ckpt::Topology::Pairs) {
       blocks_[node]->store.stage(image);
       blocks_[groups_.preferred_buddy(node)]->store.stage(image);
@@ -214,102 +218,61 @@ void GridCoordinator::checkpoint_all(RunReport& report) {
     }
   }
   for (auto& block : blocks_) block->store.promote(version);
-  for (std::uint64_t node = 0; node < blocks_.size(); ++node) {
-    committed_hashes_[node] = images[node].content_hash();
-  }
   has_commit_ = true;
   ++report.checkpoints;
-  // A committed exchange re-creates every replica: any pending refill is
-  // subsumed and the risk window closes.
-  pending_refill_.clear();
+  // A committed exchange re-creates every replica: pending refills are
+  // subsumed, the risk window closes, and lost nodes rejoin.
+  engine_.on_commit();
 }
 
-void GridCoordinator::rollback_all(RunReport& report) {
+void GridCoordinator::blank_restart(std::uint64_t node) {
+  Block& block = *blocks_[node];
+  const std::size_t gr = node / config_.grid_cols;
+  const std::size_t gc = node % config_.grid_cols;
+  kernel_->initialize(gr * config_.block_rows, gc * config_.block_cols,
+                      config_.block_rows, config_.block_cols, block.next);
+  block.save(block.next);
+}
+
+void GridCoordinator::rollback_all(RunReport& report, std::uint64_t step) {
   ++report.rollbacks;
   if (!has_commit_) {
     for (std::uint64_t node = 0; node < blocks_.size(); ++node) {
-      Block& block = *blocks_[node];
-      block.store.discard_staged();
-      const std::size_t gr = node / config_.grid_cols;
-      const std::size_t gc = node % config_.grid_cols;
-      kernel_->initialize(gr * config_.block_rows, gc * config_.block_cols,
-                          config_.block_rows, config_.block_cols,
-                          block.next);
-      block.save(block.next);
+      blocks_[node]->store.discard_staged();
+      blank_restart(node);
     }
     return;
   }
   const auto stores = store_directory();
-  for (auto& block_ptr : blocks_) {
-    Block& block = *block_ptr;
-    block.store.discard_staged();
-    // Prefer the local copy (pairs); otherwise fetch from a group peer.
-    auto local = block.store.committed_for(block.id);
-    if (!local) ++report.recoveries;
-    const ckpt::Snapshot image =
-        local ? *local
-              : *ckpt::locate_replica(block.id, groups_, stores)
-                     .committed_for(block.id);
-    if (image.content_hash() != committed_hashes_[block.id]) {
-      throw std::runtime_error("grid rollback: image hash mismatch");
-    }
-    block.memory.restore(image);
-  }
+  engine_.rollback_and_refill(
+      step, stores, committed_hashes_,
+      [&](std::uint64_t node, const ckpt::Snapshot& image) {
+        blocks_[node]->memory.restore(image);
+      },
+      [&](std::uint64_t node) { blank_restart(node); }, report);
 }
 
 RunReport GridCoordinator::run(std::span<const FailureInjection> failures) {
-  validate_injections(failures, config_.nodes(), config_.total_steps);
+  validate_injections(failures, config_.nodes(), config_.total_steps,
+                      config_.topology);
   RunReport report;
   std::vector<FailureInjection> pending(failures.begin(), failures.end());
   std::stable_sort(pending.begin(), pending.end(),
                    [](const FailureInjection& a, const FailureInjection& b) {
                      return a.step < b.step;
                    });
+  const auto stores = store_directory();
   std::uint64_t step = 0;
   while (step < config_.total_steps) {
-    bool failed = false;
-    for (auto it = pending.begin(); it != pending.end();) {
-      if (it->step == step) {
-        blocks_[it->node]->destroy();
-        ++report.failures;
-        failed = true;
-        it = pending.erase(it);
-      } else {
-        ++it;
-      }
-    }
+    // Fire this step's injections (corruption, then transfer-fault arming,
+    // then losses). A loss triggers the coordinated rollback: every node
+    // restores through its replica ladder, corrupt images are skipped, and
+    // an exhausted ladder blank-restarts the node in degraded mode.
+    const bool failed = engine_.fire_injections(
+        pending, step, stores,
+        [&](std::uint64_t node) { blocks_[node]->destroy(); }, report);
     if (failed) {
-      // Any half-open risk window dies with the rollback: the window is
-      // re-derived below from which stores the failure left empty.
-      pending_refill_.clear();
-      try {
-        rollback_all(report);
-        if (has_commit_) {
-          // Re-replicate what the victims were storing for their peers --
-          // immediately, or after the configured risk-window delay (same
-          // clock as the 1-D coordinator: executed steps, replay included).
-          std::vector<std::uint64_t> empty;
-          for (auto& block : blocks_) {
-            if (block->store.committed_count() == 0) {
-              empty.push_back(block->id);
-            }
-          }
-          if (config_.rereplication_delay_steps == 0) {
-            const auto stores = store_directory();
-            for (const std::uint64_t node : empty) {
-              ckpt::restore_replicas(node, groups_, stores);
-              ++report.rereplications;
-            }
-          } else {
-            pending_refill_ = std::move(empty);
-            refill_due_steps_ = config_.rereplication_delay_steps;
-          }
-        }
-      } catch (const std::runtime_error& error) {
-        report.fatal = true;
-        report.fatal_reason = error.what();
-        return report;
-      }
+      rollback_all(report, step);
       const std::uint64_t resume = has_commit_ ? committed_step_ : 0;
       report.replayed_steps += step - resume;
       step = resume;
@@ -318,19 +281,9 @@ RunReport GridCoordinator::run(std::span<const FailureInjection> failures) {
     execute_step();
     ++step;
     ++report.steps_executed;
-    // Tick the open risk window: once the delay elapses the replacement
-    // nodes' buddy storage is refilled from the surviving replicas.
-    if (!pending_refill_.empty()) {
-      ++report.risk_steps;
-      if (--refill_due_steps_ == 0) {
-        const auto stores = store_directory();
-        for (const std::uint64_t node : pending_refill_) {
-          ckpt::restore_replicas(node, groups_, stores);
-          ++report.rereplications;
-        }
-        pending_refill_.clear();
-      }
-    }
+    // Risk-window / refill / degraded-mode bookkeeping (same clock as the
+    // 1-D coordinator: executed steps, replay included).
+    engine_.tick(stores, committed_hashes_, report);
     if (step % config_.checkpoint_interval == 0 &&
         step < config_.total_steps) {
       checkpoint_all(report);

@@ -86,6 +86,9 @@ struct GridConfig {
   /// pending the victim's group cannot survive another member loss, and a
   /// committed checkpoint closes the window. 0 = refill immediately.
   std::uint64_t rereplication_delay_steps = 0;
+  /// Retry-with-backoff policy for re-replication transfers (same semantics
+  /// as RuntimeConfig::transfer_retry).
+  ckpt::RetryPolicy transfer_retry;
 
   std::uint64_t nodes() const noexcept {
     return static_cast<std::uint64_t>(grid_rows) * grid_cols;
@@ -109,7 +112,8 @@ class GridCoordinator {
   struct Block;
 
   void checkpoint_all(RunReport& report);
-  void rollback_all(RunReport& report);
+  void rollback_all(RunReport& report, std::uint64_t step);
+  void blank_restart(std::uint64_t node);
   void execute_step();
   std::vector<ckpt::BuddyStore*> store_directory();
 
@@ -122,10 +126,8 @@ class GridCoordinator {
   std::uint64_t committed_step_ = 0;
   bool has_commit_ = false;
 
-  // Nodes whose buddy storage awaits re-replication, and the executed steps
-  // left until the refill completes (the open risk window).
-  std::vector<std::uint64_t> pending_refill_;
-  std::uint64_t refill_due_steps_ = 0;
+  // Refill/retry/degraded-mode machine shared with the 1-D coordinator.
+  RecoveryEngine engine_;
 };
 
 }  // namespace dckpt::runtime

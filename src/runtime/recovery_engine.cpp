@@ -1,0 +1,179 @@
+#include "runtime/recovery_engine.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "ckpt/recovery.hpp"
+#include "runtime/coordinator.hpp"
+
+namespace dckpt::runtime {
+
+RecoveryEngine::RecoveryEngine(ckpt::GroupAssignment groups,
+                               std::uint64_t rereplication_delay_steps,
+                               ckpt::RetryPolicy retry)
+    : groups_(std::move(groups)), delay_steps_(rereplication_delay_steps),
+      retry_(retry), armed_(groups_.nodes()),
+      lost_(groups_.nodes(), 0) {
+  retry_.validate();
+}
+
+bool RecoveryEngine::fire_injections(
+    std::vector<FailureInjection>& pending, std::uint64_t step,
+    std::span<ckpt::BuddyStore* const> stores,
+    const std::function<void(std::uint64_t)>& destroy, RunReport& report) {
+  // Kind order within a step: silent corruption exists at rest before the
+  // crash that exposes it, and a transfer fault arms before the loss whose
+  // refill it will sabotage.
+  const auto fire_kind = [&](InjectionKind kind, auto&& act) {
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (it->step == step && it->kind == kind) {
+        act(*it);
+        it = pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  fire_kind(InjectionKind::CorruptReplica, [&](const FailureInjection& f) {
+    // No-op when the holder has no committed image of the owner yet (e.g.
+    // before the first commit): there is nothing at rest to damage.
+    stores[f.node]->corrupt_committed(f.owner);
+  });
+  fire_kind(InjectionKind::TornTransfer, [&](const FailureInjection& f) {
+    armed_[f.node].push_back(InjectionKind::TornTransfer);
+  });
+  fire_kind(InjectionKind::FailTransfer, [&](const FailureInjection& f) {
+    armed_[f.node].push_back(InjectionKind::FailTransfer);
+  });
+  bool any_loss = false;
+  fire_kind(InjectionKind::NodeLoss, [&](const FailureInjection& f) {
+    destroy(f.node);
+    ++report.failures;
+    any_loss = true;
+  });
+  return any_loss;
+}
+
+void RecoveryEngine::rollback_and_refill(
+    std::uint64_t step, std::span<ckpt::BuddyStore* const> stores,
+    std::span<const std::uint64_t> committed_hashes, const RestoreFn& restore,
+    const BlankRestartFn& blank_restart, RunReport& report) {
+  // In-flight refills die with the rollback; the set is re-derived below
+  // from whichever stores the failure left empty.
+  refill_.clear();
+  const std::uint64_t nodes = groups_.nodes();
+  for (std::uint64_t node = 0; node < nodes; ++node) {
+    stores[node]->discard_staged();
+    if (lost_[node]) {
+      // Already running degraded: the node has no committed image anywhere,
+      // so there is no ladder to walk until the next commit readmits it.
+      blank_restart(node);
+      continue;
+    }
+    auto outcome =
+        ckpt::select_replica(node, groups_, stores, committed_hashes[node]);
+    report.corrupt_images_detected += outcome.corrupt_skipped;
+    if (outcome.ok()) {
+      if (outcome.report.source != node) {
+        ++report.recoveries;
+        ++report.hash_verified_recoveries;
+      }
+      if (outcome.status == ckpt::RecoveryStatus::FailedOver) {
+        ++report.failovers;
+      }
+      restore(node, *outcome.image);
+      continue;
+    }
+    // Ladder exhausted: unrecoverable data loss. Mark the node lost, record
+    // the first loss as the fatal event, blank-restart it from the kernel's
+    // initial condition, and let the run continue in degraded mode.
+    ++report.recoveries;
+    lost_[node] = 1;
+    ++lost_count_;
+    if (!report.fatal) {
+      report.fatal = true;
+      report.degraded = true;
+      report.fatal_node = node;
+      report.fatal_step = step;
+      report.fatal_reason = "fatal failure: no surviving replica of node " +
+                            std::to_string(node);
+    }
+    blank_restart(node);
+  }
+  // Re-replication: every store the failure emptied must be refilled before
+  // its group can take another hit (the model's risk window). A zero delay
+  // delivers inside the rollback, exactly like the blocking protocol.
+  for (std::uint64_t node = 0; node < nodes; ++node) {
+    if (stores[node]->committed_count() == 0) {
+      refill_.push_back(RefillEntry{node, delay_steps_, 1, false});
+    }
+  }
+  if (delay_steps_ == 0) deliver_due(stores, committed_hashes, report);
+}
+
+void RecoveryEngine::tick(std::span<ckpt::BuddyStore* const> stores,
+                          std::span<const std::uint64_t> committed_hashes,
+                          RunReport& report) {
+  if (!refill_.empty()) {
+    ++report.risk_steps;
+    for (RefillEntry& entry : refill_) {
+      if (!entry.abandoned && entry.due > 0) --entry.due;
+    }
+    deliver_due(stores, committed_hashes, report);
+  }
+  if (lost_count_ > 0) ++report.degraded_steps;
+}
+
+void RecoveryEngine::deliver_due(std::span<ckpt::BuddyStore* const> stores,
+                                 std::span<const std::uint64_t> committed_hashes,
+                                 RunReport& report) {
+  for (auto it = refill_.begin(); it != refill_.end();) {
+    if (!it->abandoned && it->due == 0 &&
+        attempt_delivery(*it, stores, committed_hashes, report)) {
+      it = refill_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool RecoveryEngine::attempt_delivery(
+    RefillEntry& entry, std::span<ckpt::BuddyStore* const> stores,
+    std::span<const std::uint64_t> committed_hashes, RunReport& report) {
+  // An armed transfer fault consumes exactly one delivery attempt.
+  auto& faults = armed_[entry.node];
+  if (!faults.empty()) {
+    const InjectionKind fault = faults.front();
+    faults.erase(faults.begin());
+    if (fault == InjectionKind::TornTransfer) {
+      // The bundle arrived prefix-only; the receiver's hash check rejects
+      // the whole delivery rather than filing a silently damaged image.
+      ++report.corrupt_images_detected;
+    }
+    if (entry.attempt >= retry_.max_attempts) {
+      // Out of retries: the store stays empty (and the risk window stays
+      // open) until the next committed exchange re-creates every replica.
+      entry.abandoned = true;
+      return false;
+    }
+    entry.due = retry_.backoff_steps(entry.attempt);
+    ++entry.attempt;
+    ++report.transfer_retries;
+    return false;
+  }
+  const auto outcome =
+      ckpt::restore_replicas(entry.node, groups_, stores, committed_hashes);
+  report.corrupt_images_detected += outcome.corrupt_skipped;
+  if (outcome.restored > 0) ++report.rereplications;
+  return true;
+}
+
+void RecoveryEngine::on_commit() {
+  refill_.clear();
+  if (lost_count_ > 0) {
+    std::fill(lost_.begin(), lost_.end(), char{0});
+    lost_count_ = 0;
+  }
+}
+
+}  // namespace dckpt::runtime

@@ -1,0 +1,117 @@
+// The corruption-tolerant rollback/refill machine shared by both runtime
+// coordinators (1-D chain and 2-D grid).
+//
+// The two coordinators differ in how they step and checkpoint; everything
+// that happens *after* a failure is identical protocol machinery: walk each
+// node's replica ladder skipping corrupt images, blank-restart nodes whose
+// ladder is exhausted (degraded mode -- the run continues), schedule
+// re-replication refills, deliver them after the configured delay with
+// bounded retry-with-backoff when a transfer fails or arrives torn, and
+// account every step of open risk window. Keeping that machine in one place
+// keeps the two runtimes counter-identical -- the chaos shadow oracle is an
+// independent reimplementation of exactly this logic, and any divergence is
+// classified `violated`.
+//
+// The engine owns no application data: restores and blank restarts go
+// through caller-supplied callbacks, stores through a directory span.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "ckpt/buddy_store.hpp"
+#include "ckpt/ring.hpp"
+#include "ckpt/transfer.hpp"
+
+namespace dckpt::runtime {
+
+struct RunReport;           // coordinator.hpp
+struct FailureInjection;    // coordinator.hpp
+enum class InjectionKind;   // coordinator.hpp
+
+class RecoveryEngine {
+ public:
+  /// Restores `node` from the verified committed image.
+  using RestoreFn =
+      std::function<void(std::uint64_t node, const ckpt::Snapshot& image)>;
+  /// Degraded mode: re-initializes `node` from the kernel's initial
+  /// condition (deterministic -- no NaN poison leaking through halos).
+  using BlankRestartFn = std::function<void(std::uint64_t node)>;
+
+  RecoveryEngine(ckpt::GroupAssignment groups,
+                 std::uint64_t rereplication_delay_steps,
+                 ckpt::RetryPolicy retry);
+
+  /// Fires every injection scheduled for `step`, in kind order within the
+  /// step: CorruptReplica damages committed images first, Torn/FailTransfer
+  /// arm against the node's next refill delivery, NodeLoss destroys last
+  /// (via `destroy`). Fired injections are erased from `pending`. Returns
+  /// true when at least one NodeLoss fired (callers roll back).
+  bool fire_injections(std::vector<FailureInjection>& pending,
+                       std::uint64_t step,
+                       std::span<ckpt::BuddyStore* const> stores,
+                       const std::function<void(std::uint64_t)>& destroy,
+                       RunReport& report);
+
+  /// The coordinated rollback after a NodeLoss (committed set exists):
+  /// every node restores through its replica ladder; corrupt images are
+  /// skipped and counted; a node with no clean replica blank-restarts and
+  /// is marked lost (first one sets the fatal fields; the run continues).
+  /// Then re-derives the refill set from the stores the failure emptied --
+  /// immediately delivered when the delay is 0, else enqueued.
+  void rollback_and_refill(std::uint64_t step,
+                           std::span<ckpt::BuddyStore* const> stores,
+                           std::span<const std::uint64_t> committed_hashes,
+                           const RestoreFn& restore,
+                           const BlankRestartFn& blank_restart,
+                           RunReport& report);
+
+  /// Per-executed-step bookkeeping: ticks the open risk window, performs
+  /// due refill deliveries (consuming armed transfer injections; failed or
+  /// torn deliveries are retried with exponential backoff until the policy
+  /// abandons them), and counts degraded steps while any node is lost.
+  void tick(std::span<ckpt::BuddyStore* const> stores,
+            std::span<const std::uint64_t> committed_hashes,
+            RunReport& report);
+
+  /// A committed exchange re-creates every replica: pending and abandoned
+  /// refills are subsumed, the risk window closes, and lost nodes rejoin
+  /// (their blank-restarted state is now the committed truth).
+  void on_commit();
+
+  bool any_lost() const noexcept { return lost_count_ > 0; }
+  bool refill_pending() const noexcept { return !refill_.empty(); }
+
+ private:
+  struct RefillEntry {
+    std::uint64_t node = 0;
+    std::uint64_t due = 0;      ///< executed steps until the next attempt
+    std::uint64_t attempt = 1;  ///< 1-based delivery attempt counter
+    bool abandoned = false;     ///< retries exhausted; wait for a commit
+  };
+
+  /// One delivery attempt for `entry`. Returns true when the entry is done
+  /// (delivered); false re-arms it (retry scheduled or abandoned in place).
+  bool attempt_delivery(RefillEntry& entry,
+                        std::span<ckpt::BuddyStore* const> stores,
+                        std::span<const std::uint64_t> committed_hashes,
+                        RunReport& report);
+
+  /// Attempts every live entry whose countdown reached zero, erasing the
+  /// delivered ones.
+  void deliver_due(std::span<ckpt::BuddyStore* const> stores,
+                   std::span<const std::uint64_t> committed_hashes,
+                   RunReport& report);
+
+  ckpt::GroupAssignment groups_;
+  std::uint64_t delay_steps_;
+  ckpt::RetryPolicy retry_;
+  std::vector<RefillEntry> refill_;
+  std::vector<std::vector<InjectionKind>> armed_;  ///< per-node FIFO
+  std::vector<char> lost_;
+  std::uint64_t lost_count_ = 0;
+};
+
+}  // namespace dckpt::runtime

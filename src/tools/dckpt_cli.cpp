@@ -582,13 +582,19 @@ int cmd_chaos(int argc, const char* const* argv) {
   cli.add_option("staging", "0", "staging (non-blocking exchange) steps");
   cli.add_option("rerepl-delay", "3",
                  "re-replication delay, steps (the risk window; 0 = instant)");
+  cli.add_option("retry-max", "3",
+                 "refill delivery attempts before the transfer is abandoned");
+  cli.add_option("retry-base", "1",
+                 "refill retry backoff base, steps (doubles per retry)");
   cli.add_option("kernel", "heat", "heat | wave | counter");
   cli.add_option("runs", "100", "randomized schedules after the scripted set");
   cli.add_option("seed", "1", "campaign seed (or schedule seed with "
                  "--schedule, informational)");
   cli.add_option("max-failures", "4", "failures per random schedule");
   cli.add_option("schedule", "",
-                 "run one schedule 'step:node,...' instead of a campaign");
+                 "run one schedule instead of a campaign; entries are "
+                 "'step:node' (loss), 'step:corrupt:holder:owner', "
+                 "'step:torn:node', 'step:failxfer:node'");
   cli.add_option("spares", "0",
                  "derive --rerepl-delay from an Erlang-C pool of this many "
                  "spares (0 = use --rerepl-delay)");
@@ -623,6 +629,10 @@ int cmd_chaos(int argc, const char* const* argv) {
       static_cast<std::uint64_t>(cli.get_int("staging"));
   config.runtime.rereplication_delay_steps =
       static_cast<std::uint64_t>(cli.get_int("rerepl-delay"));
+  config.runtime.transfer_retry.max_attempts =
+      static_cast<std::uint64_t>(cli.get_int("retry-max"));
+  config.runtime.transfer_retry.base_delay_steps =
+      static_cast<std::uint64_t>(cli.get_int("retry-base"));
   config.kernel = cli.get("kernel");
   config.random_runs = static_cast<std::uint64_t>(cli.get_int("runs"));
   config.campaign_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
@@ -650,6 +660,7 @@ int cmd_chaos(int argc, const char* const* argv) {
     gc.total_steps = config.runtime.total_steps;
     gc.checkpoint_interval = config.runtime.checkpoint_interval;
     gc.rereplication_delay_steps = config.runtime.rereplication_delay_steps;
+    gc.transfer_retry = config.runtime.transfer_retry;
     config.grid = gc;
   }
 
@@ -711,6 +722,16 @@ int cmd_chaos(int argc, const char* const* argv) {
                 static_cast<unsigned long long>(run.report.recoveries),
                 static_cast<unsigned long long>(run.report.rereplications),
                 static_cast<unsigned long long>(run.report.risk_steps));
+    std::printf("failovers %llu, transfer retries %llu, corrupt images "
+                "detected %llu, degraded steps %llu, hash-verified "
+                "recoveries %llu\n",
+                static_cast<unsigned long long>(run.report.failovers),
+                static_cast<unsigned long long>(run.report.transfer_retries),
+                static_cast<unsigned long long>(
+                    run.report.corrupt_images_detected),
+                static_cast<unsigned long long>(run.report.degraded_steps),
+                static_cast<unsigned long long>(
+                    run.report.hash_verified_recoveries));
     return 0;
   }
 

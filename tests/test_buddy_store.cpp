@@ -129,4 +129,70 @@ TEST(BuddyStoreTest, ZeroCapacityRejected) {
   EXPECT_THROW(BuddyStore(0, 0), std::invalid_argument);
 }
 
+TEST(BuddyStoreTest, DiscardAfterPartialStageLeavesNoResidue) {
+  // A node that fails mid-exchange leaves a half-filled staging set; the
+  // rollback's discard must drop it entirely while the committed set (and
+  // its version) stay live for the restore.
+  PageStore mem_a(512), mem_b(512);
+  BuddyStore store(0);
+  store.stage(image_of(mem_a, 0));  // v1
+  store.stage(image_of(mem_b, 1));  // v1
+  store.promote(1);
+  store.stage(image_of(mem_a, 0));  // v2: only one of two owners staged
+  EXPECT_EQ(store.staged_count(), 1u);
+  store.discard_staged();
+  EXPECT_EQ(store.staged_count(), 0u);
+  EXPECT_EQ(store.resident_bytes(), 1024u);  // just the committed pair
+  EXPECT_EQ(store.committed_version(), 1u);
+  EXPECT_TRUE(store.committed_for(0));
+  EXPECT_TRUE(store.committed_for(1));
+  // The next full round still promotes cleanly.
+  (void)mem_b.snapshot(1);          // line mem_b's version counter up (v2)
+  store.stage(image_of(mem_a, 0));  // v3
+  store.stage(image_of(mem_b, 1));  // v3
+  store.promote(3);
+  EXPECT_EQ(store.committed_count(), 2u);
+}
+
+TEST(BuddyStoreTest, FailedPromoteLeavesCommittedSetIntact) {
+  // promote() of a version nothing was staged under must throw *without*
+  // touching either set -- the committed images are what every recovery
+  // ladder walks, so a failed promotion must be side-effect free.
+  PageStore mem(512);
+  BuddyStore store(0);
+  store.stage(image_of(mem, 0));  // v1
+  store.promote(1);
+  const std::uint64_t hash = store.committed_for(0)->content_hash();
+  store.stage(image_of(mem, 0));  // v2 staged
+  EXPECT_THROW(store.promote(7), std::logic_error);
+  EXPECT_EQ(store.committed_count(), 1u);
+  EXPECT_EQ(store.committed_version(), 1u);
+  EXPECT_EQ(store.committed_for(0)->content_hash(), hash);
+  EXPECT_EQ(store.staged_count(), 1u);  // staging also untouched
+  EXPECT_NO_THROW(store.promote(2));    // and still promotable
+}
+
+TEST(BuddyStoreTest, CorruptCommittedFlipsContentNotOccupancy) {
+  PageStore mem(512);
+  BuddyStore store(0);
+  store.stage(image_of(mem, 0));
+  store.promote(1);
+  const std::uint64_t hash = store.committed_for(0)->content_hash();
+  EXPECT_TRUE(store.corrupt_committed(0));
+  ASSERT_TRUE(store.committed_for(0));  // slot still occupied: silent damage
+  EXPECT_FALSE(store.committed_for(0)->verify(hash));
+  // Nothing committed for owner 5: nothing to damage.
+  EXPECT_FALSE(store.corrupt_committed(5));
+}
+
+TEST(BuddyStoreTest, TornCorruptionShortensTheImage) {
+  PageStore mem(512);
+  BuddyStore store(0);
+  store.stage(image_of(mem, 0));
+  store.promote(1);
+  const std::uint64_t hash = store.committed_for(0)->content_hash();
+  EXPECT_TRUE(store.corrupt_committed(0, /*torn=*/true));
+  EXPECT_FALSE(store.committed_for(0)->verify(hash));
+}
+
 }  // namespace

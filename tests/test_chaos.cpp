@@ -61,6 +61,38 @@ TEST(ChaosSchedule, ParseRejectsMalformedSpecs) {
   EXPECT_THROW(chaos::ChaosSchedule::parse("25:1 "), std::invalid_argument);
 }
 
+TEST(ChaosSchedule, CorruptionGrammarRoundTrips) {
+  using runtime::InjectionKind;
+  const auto schedule =
+      chaos::ChaosSchedule::parse("10:corrupt:1:0,12:torn:3,14:failxfer:2,20:5");
+  ASSERT_EQ(schedule.failures.size(), 4u);
+  EXPECT_EQ(schedule.failures[0].kind, InjectionKind::CorruptReplica);
+  EXPECT_EQ(schedule.failures[0].node, 1u);   // holder
+  EXPECT_EQ(schedule.failures[0].owner, 0u);
+  EXPECT_EQ(schedule.failures[1].kind, InjectionKind::TornTransfer);
+  EXPECT_EQ(schedule.failures[1].node, 3u);
+  EXPECT_EQ(schedule.failures[2].kind, InjectionKind::FailTransfer);
+  EXPECT_EQ(schedule.failures[3].kind, InjectionKind::NodeLoss);
+  EXPECT_EQ(schedule.spec(), "10:corrupt:1:0,12:torn:3,14:failxfer:2,20:5");
+  EXPECT_EQ(chaos::ChaosSchedule::parse(schedule.spec()).spec(),
+            schedule.spec());
+}
+
+TEST(ChaosSchedule, CorruptionGrammarRejectsMalformedEntries) {
+  EXPECT_THROW(chaos::ChaosSchedule::parse("10:corrupt:1"),
+               std::invalid_argument);  // missing owner
+  EXPECT_THROW(chaos::ChaosSchedule::parse("10:corrupt:x:0"),
+               std::invalid_argument);
+  EXPECT_THROW(chaos::ChaosSchedule::parse("10:torn"),
+               std::invalid_argument);  // missing node
+  EXPECT_THROW(chaos::ChaosSchedule::parse("10:torn:1:2"),
+               std::invalid_argument);  // trailing field
+  EXPECT_THROW(chaos::ChaosSchedule::parse("10:banana:1"),
+               std::invalid_argument);  // unknown kind
+  EXPECT_THROW(chaos::ChaosSchedule::parse("10:failxfer:"),
+               std::invalid_argument);
+}
+
 TEST(ChaosScheduleDeathTest, CliParserExitsWithConvention) {
   // Same contract as CliParser's numeric getters: message to stderr,
   // exit(2).
@@ -79,6 +111,24 @@ TEST(ChaosSchedule, ValidateChecksRanges) {
                std::invalid_argument);
   chaos::ChaosSchedule good{"t", {{config.total_steps - 1, 0}}, 0};
   EXPECT_NO_THROW(chaos::validate_schedule(good, config));
+}
+
+TEST(ChaosSchedule, ValidateChecksCorruptTargetHoldsTheReplica) {
+  using runtime::InjectionKind;
+  const auto config = small_campaign(Topology::Pairs).runtime;
+  // Node 1 is node 0's pair buddy: a legal holder (so is node 0 itself).
+  chaos::ChaosSchedule good{
+      "t", {{10, 1, InjectionKind::CorruptReplica, 0}}, 0};
+  EXPECT_NO_THROW(chaos::validate_schedule(good, config));
+  // Node 2 is in another pair: it never holds node 0's image.
+  chaos::ChaosSchedule wrong_holder{
+      "t", {{10, 2, InjectionKind::CorruptReplica, 0}}, 0};
+  EXPECT_THROW(chaos::validate_schedule(wrong_holder, config),
+               std::invalid_argument);
+  chaos::ChaosSchedule bad_owner{
+      "t", {{10, 1, InjectionKind::CorruptReplica, config.nodes}}, 0};
+  EXPECT_THROW(chaos::validate_schedule(bad_owner, config),
+               std::invalid_argument);
 }
 
 TEST(ChaosSchedule, RandomSchedulesAreSeedDeterministicAndValid) {
@@ -135,6 +185,22 @@ TEST(ChaosScripted, PairsOutcomesMatchTheRiskModel) {
             chaos::ChaosOutcome::FatalDetected);
   EXPECT_EQ(outcome("risk-window-buddy"), chaos::ChaosOutcome::FatalDetected);
   EXPECT_EQ(outcome("group-wipe"), chaos::ChaosOutcome::FatalDetected);
+  // Corruption families: pairs keep a single remote replica, so corrupting
+  // it (or both copies) before the kill is fatal-but-detected; transfer
+  // faults only delay the refill and stay survivable.
+  EXPECT_EQ(outcome("corrupt-preferred-then-kill"),
+            chaos::ChaosOutcome::FatalDetected);
+  EXPECT_EQ(outcome("corrupt-survivor-failover"),
+            chaos::ChaosOutcome::Survived);
+  EXPECT_EQ(outcome("corrupt-both-replicas"),
+            chaos::ChaosOutcome::FatalDetected);
+  EXPECT_EQ(outcome("latent-corruption-commit-heals"),
+            chaos::ChaosOutcome::Survived);
+  EXPECT_EQ(outcome("torn-refill-in-risk-window"),
+            chaos::ChaosOutcome::Survived);
+  EXPECT_EQ(outcome("refill-retries-exhausted"),
+            chaos::ChaosOutcome::Survived);
+  EXPECT_EQ(outcome("corrupt-refill-source"), chaos::ChaosOutcome::Survived);
   // Past the refill the same double hit must be masked again.
   EXPECT_EQ(outcome("after-risk-window"), chaos::ChaosOutcome::Survived);
 }
@@ -161,6 +227,25 @@ TEST(ChaosScripted, TriplesDieOnInGroupDoublesLikeTheRotationPredicts) {
             chaos::ChaosOutcome::FatalDetected);
   EXPECT_EQ(outcome("group-wipe"), chaos::ChaosOutcome::FatalDetected);
   EXPECT_EQ(outcome("triple-cascade"), chaos::ChaosOutcome::FatalDetected);
+  // Triples carry a second remote replica: a corrupt preferred image fails
+  // over to the secondary instead of degrading the run.
+  EXPECT_EQ(outcome("corrupt-preferred-then-kill"),
+            chaos::ChaosOutcome::Survived);
+  EXPECT_EQ(outcome("corrupt-survivor-failover"),
+            chaos::ChaosOutcome::Survived);
+  EXPECT_EQ(outcome("corrupt-both-replicas"),
+            chaos::ChaosOutcome::FatalDetected);
+  EXPECT_EQ(outcome("latent-corruption-commit-heals"),
+            chaos::ChaosOutcome::Survived);
+  EXPECT_EQ(outcome("torn-refill-in-risk-window"),
+            chaos::ChaosOutcome::Survived);
+  EXPECT_EQ(outcome("refill-retries-exhausted"),
+            chaos::ChaosOutcome::Survived);
+  EXPECT_EQ(outcome("corrupt-refill-source"), chaos::ChaosOutcome::Survived);
+  {
+    const auto& run = runs.at("corrupt-preferred-then-kill");
+    EXPECT_EQ(run.report.failovers, 1u) << run.detail;
+  }
   // Once the refill lands, the same double hit is masked again.
   EXPECT_EQ(outcome("after-risk-window"), chaos::ChaosOutcome::Survived);
 }
@@ -171,8 +256,15 @@ TEST(ChaosScripted, FatalRunsReportCleanly) {
   EXPECT_TRUE(fatal.report.fatal);
   EXPECT_NE(fatal.report.fatal_reason.find("no surviving replica"),
             std::string::npos);
+  // Typed degraded-mode report: the run completed (no exception), carries
+  // the fatal coordinates as fields, and the classifier matched them
+  // against the oracle without string matching.
+  EXPECT_TRUE(fatal.report.degraded);
+  EXPECT_GT(fatal.report.degraded_steps, 0u);
+  EXPECT_EQ(fatal.report.fatal_step, fatal.schedule.failures[1].step);
   EXPECT_TRUE(fatal.predicted.fatal);
   EXPECT_EQ(fatal.predicted.fatal_step, fatal.schedule.failures[1].step);
+  EXPECT_EQ(fatal.report.fatal_node, fatal.predicted.unrecoverable_node);
 }
 
 // --------------------------------------------------- randomized campaigns

@@ -134,6 +134,16 @@ TEST(GridChaosScripted, PairsOutcomesMatchTheRackModel) {
   // Rack-mate lost while the first victim's refill is still pending.
   EXPECT_EQ(outcome("rack-risk-window"),
             chaos::ChaosOutcome::FatalDetected);
+  // Pairs keep one remote replica: corrupting the centre rack's preferred
+  // copy before the kill leaves nothing clean to restore from.
+  EXPECT_EQ(outcome("rack-corrupt-preferred"),
+            chaos::ChaosOutcome::FatalDetected);
+  // The corruption families from the generic scripted set ride along on
+  // the grid runtime too.
+  EXPECT_EQ(outcome("torn-refill-in-risk-window"),
+            chaos::ChaosOutcome::Survived);
+  EXPECT_EQ(outcome("refill-retries-exhausted"),
+            chaos::ChaosOutcome::Survived);
 }
 
 TEST(GridChaosScripted, TriplesOutcomesMatchTheRackModel) {
@@ -152,6 +162,10 @@ TEST(GridChaosScripted, TriplesOutcomesMatchTheRackModel) {
   // One member per rack: triples mask simultaneous cross-rack losses.
   EXPECT_EQ(outcome("grid-column-simultaneous"),
             chaos::ChaosOutcome::Survived);
+  // The secondary replica absorbs the corrupted preferred copy.
+  EXPECT_EQ(outcome("rack-corrupt-preferred"),
+            chaos::ChaosOutcome::Survived);
+  EXPECT_EQ(runs.at("rack-corrupt-preferred").report.failovers, 1u);
 }
 
 TEST(GridChaosScripted, RackRiskWindowIsMaskedOnceTheWindowCloses) {

@@ -121,4 +121,56 @@ TEST(FlowSimulatorTest, TripleForwardingPattern) {
   }
 }
 
+TEST(FlowSimulatorTest, WholeDeliveryIsNotTorn) {
+  auto sim = make_sim();
+  sim.submit({{0, 1, kUncapped}, 1000.0, 0.0, 1});
+  const auto done = sim.run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_FALSE(done[0].torn);
+  EXPECT_DOUBLE_EQ(done[0].delivered_bytes, done[0].bytes);
+}
+
+TEST(FlowSimulatorTest, TornDeliveryMovesOnlyThePrefix) {
+  // A sender dying 40% into the transfer frees the link early and marks
+  // the completion torn -- the consumer (checkpoint refill) must detect
+  // and re-issue, exactly like the runtime's TornTransfer injection.
+  auto sim = make_sim();
+  FlowRequest request{{0, 1, kUncapped}, 1000.0, 0.0, 9};
+  request.deliver_fraction = 0.4;
+  sim.submit(request);
+  const auto done = sim.run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_TRUE(done[0].torn);
+  EXPECT_DOUBLE_EQ(done[0].bytes, 1000.0);           // what was asked
+  EXPECT_DOUBLE_EQ(done[0].delivered_bytes, 400.0);  // what arrived
+  EXPECT_DOUBLE_EQ(done[0].finish, 4.0);             // link freed early
+  EXPECT_DOUBLE_EQ(done[0].mean_rate(), 100.0);
+}
+
+TEST(FlowSimulatorTest, TornDeliveryFreesBandwidthForContenders) {
+  // Two contenders on one egress port share 50/50; when the torn flow
+  // stops at its prefix, the survivor speeds up -- 250B delivered at t=5,
+  // then 750B remaining at full rate: done at t=12.5.
+  auto sim = make_sim();
+  FlowRequest torn{{0, 1, kUncapped}, 500.0, 0.0, 1};
+  torn.deliver_fraction = 0.5;
+  sim.submit(torn);
+  sim.submit({{0, 2, kUncapped}, 1000.0, 0.0, 2});
+  const auto done = sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].tag, 1u);
+  EXPECT_DOUBLE_EQ(done[0].finish, 5.0);
+  EXPECT_EQ(done[1].tag, 2u);
+  EXPECT_DOUBLE_EQ(done[1].finish, 12.5);
+}
+
+TEST(FlowSimulatorTest, DeliverFractionValidated) {
+  auto sim = make_sim();
+  FlowRequest request{{0, 1, kUncapped}, 1000.0, 0.0, 1};
+  request.deliver_fraction = 0.0;
+  EXPECT_THROW(sim.submit(request), std::invalid_argument);
+  request.deliver_fraction = 1.5;
+  EXPECT_THROW(sim.submit(request), std::invalid_argument);
+}
+
 }  // namespace

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include <cstring>
+#include <cstddef>
 #include <memory>
 #include <vector>
 
@@ -15,7 +15,7 @@ using namespace dckpt::ckpt;
 class Cluster {
  public:
   Cluster(std::uint64_t nodes, Topology topology)
-      : groups_(nodes, topology) {
+      : groups_(nodes, topology), hashes_(nodes, 0) {
     for (std::uint64_t node = 0; node < nodes; ++node) {
       memories_.push_back(std::make_unique<PageStore>(1024, 256));
       stores_.push_back(std::make_unique<BuddyStore>(node));
@@ -59,32 +59,95 @@ class Cluster {
   const GroupAssignment& groups() const { return groups_; }
   PageStore& memory(std::uint64_t node) { return *memories_[node]; }
   BuddyStore& store(std::uint64_t node) { return *stores_[node]; }
-  std::uint64_t hash(std::uint64_t node) const { return hashes_.at(node); }
+  std::uint64_t hash(std::uint64_t node) const { return hashes_[node]; }
+  std::span<const std::uint64_t> hashes() const { return hashes_; }
 
  private:
   GroupAssignment groups_;
   std::vector<std::unique_ptr<PageStore>> memories_;
   std::vector<std::unique_ptr<BuddyStore>> stores_;
-  std::map<std::uint64_t, std::uint64_t> hashes_;
+  std::vector<std::uint64_t> hashes_;
 };
 
-TEST(LocateReplicaTest, PairBuddyHoldsImage) {
+TEST(SelectReplicaTest, PairsPreferTheLocalCopy) {
   Cluster cluster(4, Topology::Pairs);
   cluster.checkpoint_round();
   const auto dir = cluster.directory();
-  EXPECT_EQ(locate_replica(0, cluster.groups(), dir).node(), 1u);
-  EXPECT_EQ(locate_replica(1, cluster.groups(), dir).node(), 0u);
+  const auto outcome = select_replica(0, cluster.groups(), dir,
+                                      cluster.hash(0));
+  EXPECT_EQ(outcome.status, RecoveryStatus::Ok);
+  EXPECT_EQ(outcome.report.source, 0u);
+  EXPECT_EQ(outcome.corrupt_skipped, 0u);
+  EXPECT_EQ(outcome.candidates_tried, 1u);
 }
 
-TEST(LocateReplicaTest, ThrowsWhenNoReplicaSurvives) {
+TEST(SelectReplicaTest, PairsFallBackToTheBuddyAfterLoss) {
   Cluster cluster(4, Topology::Pairs);
   cluster.checkpoint_round();
-  cluster.fail_node(1);  // node 0's only replica holder gone
-  const auto dir = cluster.directory();
-  // Node 0's own local copy still exists in its own store, but recovery of
-  // node 0 *after its failure* excludes itself:
   cluster.fail_node(0);
-  EXPECT_THROW(locate_replica(0, cluster.groups(), dir), std::runtime_error);
+  const auto dir = cluster.directory();
+  const auto outcome = select_replica(0, cluster.groups(), dir,
+                                      cluster.hash(0));
+  // An *absent* first rung is not a failover -- only a corrupt one is.
+  EXPECT_EQ(outcome.status, RecoveryStatus::Ok);
+  EXPECT_EQ(outcome.report.source, 1u);
+  EXPECT_TRUE(outcome.report.hash_verified);
+  EXPECT_EQ(outcome.corrupt_skipped, 0u);
+}
+
+TEST(SelectReplicaTest, CorruptLocalCopyFailsOverToTheBuddy) {
+  Cluster cluster(4, Topology::Pairs);
+  cluster.checkpoint_round();
+  ASSERT_TRUE(cluster.store(0).corrupt_committed(0));
+  const auto dir = cluster.directory();
+  const auto outcome = select_replica(0, cluster.groups(), dir,
+                                      cluster.hash(0));
+  EXPECT_EQ(outcome.status, RecoveryStatus::FailedOver);
+  EXPECT_EQ(outcome.report.source, 1u);
+  EXPECT_EQ(outcome.corrupt_skipped, 1u);
+  EXPECT_EQ(outcome.candidates_tried, 2u);
+}
+
+TEST(SelectReplicaTest, TornImageIsSkippedLikeCorruption) {
+  Cluster cluster(4, Topology::Pairs);
+  cluster.checkpoint_round();
+  ASSERT_TRUE(cluster.store(0).corrupt_committed(0, /*torn=*/true));
+  const auto dir = cluster.directory();
+  const auto outcome = select_replica(0, cluster.groups(), dir,
+                                      cluster.hash(0));
+  EXPECT_EQ(outcome.status, RecoveryStatus::FailedOver);
+  EXPECT_EQ(outcome.report.source, 1u);
+}
+
+TEST(SelectReplicaTest, ExhaustedWhenEveryCopyIsCorrupt) {
+  Cluster cluster(4, Topology::Pairs);
+  cluster.checkpoint_round();
+  ASSERT_TRUE(cluster.store(0).corrupt_committed(0));
+  ASSERT_TRUE(cluster.store(1).corrupt_committed(0));
+  const auto dir = cluster.directory();
+  const auto outcome = select_replica(0, cluster.groups(), dir,
+                                      cluster.hash(0));
+  EXPECT_EQ(outcome.status, RecoveryStatus::Exhausted);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_FALSE(outcome.image.has_value());
+  EXPECT_EQ(outcome.corrupt_skipped, 2u);
+}
+
+TEST(SelectReplicaTest, TriplesWalkPreferredThenSecondary) {
+  Cluster cluster(6, Topology::Triples);
+  cluster.checkpoint_round();
+  const auto dir = cluster.directory();
+  // Intact: the preferred buddy serves.
+  auto outcome = select_replica(0, cluster.groups(), dir, cluster.hash(0));
+  EXPECT_EQ(outcome.status, RecoveryStatus::Ok);
+  EXPECT_EQ(outcome.report.source, cluster.groups().preferred_buddy(0));
+  // Corrupt preferred copy: the secondary serves, counted as a failover.
+  ASSERT_TRUE(
+      cluster.store(cluster.groups().preferred_buddy(0)).corrupt_committed(0));
+  outcome = select_replica(0, cluster.groups(), dir, cluster.hash(0));
+  EXPECT_EQ(outcome.status, RecoveryStatus::FailedOver);
+  EXPECT_EQ(outcome.report.source, cluster.groups().secondary_buddy(0));
+  EXPECT_EQ(outcome.corrupt_skipped, 1u);
 }
 
 TEST(RecoverNodeTest, RestoresContentAndVerifiesHash) {
@@ -92,25 +155,32 @@ TEST(RecoverNodeTest, RestoresContentAndVerifiesHash) {
   cluster.checkpoint_round();
   cluster.fail_node(2);
   const auto dir = cluster.directory();
-  const auto report = recover_node(2, cluster.groups(), dir,
-                                   cluster.memory(2), cluster.hash(2));
-  EXPECT_EQ(report.node, 2u);
-  EXPECT_EQ(report.source, 3u);
-  EXPECT_TRUE(report.hash_verified);
+  const auto outcome = recover_node(2, cluster.groups(), dir,
+                                    cluster.memory(2), cluster.hash(2));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.report.node, 2u);
+  EXPECT_EQ(outcome.report.source, 3u);
+  EXPECT_TRUE(outcome.report.hash_verified);
   // Memory content is back.
   std::vector<std::byte> probe(4);
   cluster.memory(2).read(0, probe);
   EXPECT_EQ(probe[0], static_cast<std::byte>(3));
 }
 
-TEST(RecoverNodeTest, HashMismatchThrows) {
+TEST(RecoverNodeTest, WrongExpectedHashExhaustsWithoutRestoring) {
   Cluster cluster(4, Topology::Pairs);
   cluster.checkpoint_round();
   cluster.fail_node(0);
   const auto dir = cluster.directory();
-  EXPECT_THROW(
-      recover_node(0, cluster.groups(), dir, cluster.memory(0), 0xdeadbeef),
-      std::runtime_error);
+  const auto outcome = recover_node(0, cluster.groups(), dir,
+                                    cluster.memory(0), 0xdeadbeef);
+  EXPECT_EQ(outcome.status, RecoveryStatus::Exhausted);
+  // Only the buddy's copy was present -- and it failed the check.
+  EXPECT_EQ(outcome.corrupt_skipped, 1u);
+  // Memory keeps the junk the failure left: nothing was restored.
+  std::vector<std::byte> probe(4);
+  cluster.memory(0).read(0, probe);
+  EXPECT_EQ(probe[0], std::byte{0xFF});
 }
 
 TEST(RecoverNodeTest, TripleRecoversFromEitherBuddy) {
@@ -118,11 +188,11 @@ TEST(RecoverNodeTest, TripleRecoversFromEitherBuddy) {
   cluster.checkpoint_round();
   cluster.fail_node(0);
   const auto dir = cluster.directory();
-  const auto report =
-      recover_node(0, cluster.groups(), dir, cluster.memory(0),
-                   cluster.hash(0));
-  EXPECT_TRUE(report.hash_verified);
-  EXPECT_TRUE(report.source == 1 || report.source == 2);
+  const auto outcome = recover_node(0, cluster.groups(), dir,
+                                    cluster.memory(0), cluster.hash(0));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome.report.hash_verified);
+  EXPECT_TRUE(outcome.report.source == 1 || outcome.report.source == 2);
 }
 
 TEST(RecoverNodeTest, TripleSurvivesTwoFailures) {
@@ -133,22 +203,25 @@ TEST(RecoverNodeTest, TripleSurvivesTwoFailures) {
   const auto dir = cluster.directory();
   // Node 2 still holds copies for both victims (it stores images of its
   // peers per the rotation).
-  EXPECT_NO_THROW(recover_node(0, cluster.groups(), dir, cluster.memory(0),
-                               cluster.hash(0)));
-  EXPECT_NO_THROW(recover_node(1, cluster.groups(), dir, cluster.memory(1),
-                               cluster.hash(1)));
+  EXPECT_TRUE(recover_node(0, cluster.groups(), dir, cluster.memory(0),
+                           cluster.hash(0))
+                  .ok());
+  EXPECT_TRUE(recover_node(1, cluster.groups(), dir, cluster.memory(1),
+                           cluster.hash(1))
+                  .ok());
 }
 
-TEST(RecoverNodeTest, TripleDiesOnThreeFailures) {
+TEST(RecoverNodeTest, TripleExhaustedOnThreeFailuresWithoutThrowing) {
   Cluster cluster(3, Topology::Triples);
   cluster.checkpoint_round();
   cluster.fail_node(0);
   cluster.fail_node(1);
   cluster.fail_node(2);
   const auto dir = cluster.directory();
-  EXPECT_THROW(recover_node(0, cluster.groups(), dir, cluster.memory(0),
-                            cluster.hash(0)),
-               std::runtime_error);
+  const auto outcome = recover_node(0, cluster.groups(), dir,
+                                    cluster.memory(0), cluster.hash(0));
+  EXPECT_EQ(outcome.status, RecoveryStatus::Exhausted);
+  EXPECT_EQ(outcome.candidates_tried, 0u);
 }
 
 TEST(RestoreReplicasTest, PairRefillsBuddyImageAndLocalCopy) {
@@ -156,9 +229,10 @@ TEST(RestoreReplicasTest, PairRefillsBuddyImageAndLocalCopy) {
   cluster.checkpoint_round();
   cluster.fail_node(0);
   auto dir = cluster.directory();
-  const std::size_t restored =
-      restore_replicas(0, cluster.groups(), dir);
-  EXPECT_EQ(restored, 2u);  // buddy's image + own local copy
+  const auto outcome =
+      restore_replicas(0, cluster.groups(), dir, cluster.hashes());
+  EXPECT_EQ(outcome.restored, 2u);  // buddy's image + own local copy
+  EXPECT_EQ(outcome.unavailable, 0u);
   EXPECT_TRUE(cluster.store(0).committed_for(1));
   EXPECT_TRUE(cluster.store(0).committed_for(0));
 }
@@ -168,12 +242,35 @@ TEST(RestoreReplicasTest, TripleRefillsBothHeldImages) {
   cluster.checkpoint_round();
   cluster.fail_node(1);
   auto dir = cluster.directory();
-  const std::size_t restored = restore_replicas(1, cluster.groups(), dir);
-  EXPECT_EQ(restored, 2u);
+  const auto outcome =
+      restore_replicas(1, cluster.groups(), dir, cluster.hashes());
+  EXPECT_EQ(outcome.restored, 2u);
   // Node 1 stores images of the nodes listed by stored_for(1).
   for (std::uint64_t owner : cluster.groups().stored_for(1)) {
     EXPECT_TRUE(cluster.store(1).committed_for(owner)) << owner;
   }
+}
+
+TEST(RestoreReplicasTest, CorruptSourceIsSkippedAndCountedUnavailable) {
+  Cluster cluster(3, Topology::Triples);
+  cluster.checkpoint_round();
+  cluster.fail_node(1);
+  // The only other copy of one owner held by node 1 is corrupt: that owner
+  // stays unavailable, the other still refills -- a partial refill, not an
+  // abort.
+  const std::uint64_t owner = cluster.groups().stored_for(1).front();
+  const std::uint64_t survivor =
+      cluster.groups().preferred_buddy(owner) == 1
+          ? cluster.groups().secondary_buddy(owner)
+          : cluster.groups().preferred_buddy(owner);
+  ASSERT_TRUE(cluster.store(survivor).corrupt_committed(owner));
+  auto dir = cluster.directory();
+  const auto outcome =
+      restore_replicas(1, cluster.groups(), dir, cluster.hashes());
+  EXPECT_EQ(outcome.restored, 1u);
+  EXPECT_EQ(outcome.corrupt_skipped, 1u);
+  EXPECT_EQ(outcome.unavailable, 1u);
+  EXPECT_FALSE(cluster.store(1).committed_for(owner));
 }
 
 TEST(RestoreReplicasTest, ClosesTheRiskWindow) {
@@ -184,12 +281,15 @@ TEST(RestoreReplicasTest, ClosesTheRiskWindow) {
   cluster.checkpoint_round();
   cluster.fail_node(0);
   auto dir = cluster.directory();
-  recover_node(0, cluster.groups(), dir, cluster.memory(0), cluster.hash(0));
-  restore_replicas(0, cluster.groups(), dir);
+  ASSERT_TRUE(recover_node(0, cluster.groups(), dir, cluster.memory(0),
+                           cluster.hash(0))
+                  .ok());
+  restore_replicas(0, cluster.groups(), dir, cluster.hashes());
   // Now the buddy dies.
   cluster.fail_node(1);
-  EXPECT_NO_THROW(recover_node(1, cluster.groups(), dir, cluster.memory(1),
-                               cluster.hash(1)));
+  EXPECT_TRUE(recover_node(1, cluster.groups(), dir, cluster.memory(1),
+                           cluster.hash(1))
+                  .ok());
 }
 
 TEST(RecoveryTest, DirectoryValidation) {
@@ -197,11 +297,11 @@ TEST(RecoveryTest, DirectoryValidation) {
   cluster.checkpoint_round();
   auto dir = cluster.directory();
   dir.pop_back();
-  EXPECT_THROW(locate_replica(0, cluster.groups(), dir),
+  EXPECT_THROW(select_replica(0, cluster.groups(), dir, cluster.hash(0)),
                std::invalid_argument);
   dir = cluster.directory();
   dir[1] = nullptr;
-  EXPECT_THROW(locate_replica(0, cluster.groups(), dir),
+  EXPECT_THROW(select_replica(0, cluster.groups(), dir, cluster.hash(0)),
                std::invalid_argument);
 }
 

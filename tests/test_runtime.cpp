@@ -321,9 +321,20 @@ TEST(RiskWindowTest, SecondHitInsideWindowIsFatal) {
   const FailureInjection failures[] = {{9, 0}, {10, 1}};
   const auto report = coordinator.run(failures);
   EXPECT_TRUE(report.fatal);
+  EXPECT_TRUE(report.degraded);
+  EXPECT_EQ(report.fatal_node, 0u);
+  EXPECT_EQ(report.fatal_step, 10u);
   EXPECT_NE(report.fatal_reason.find("no surviving replica of node 0"),
             std::string::npos);
-  EXPECT_EQ(report.risk_steps, 2u);
+  // Fatal runs continue in degraded mode instead of aborting: the full 40
+  // steps complete (plus 1 + 2 replayed), the 2-tick window before the
+  // second hit is joined by 3 more ticks until the re-derived refill's
+  // empty delivery, and the blank-restarted pair runs degraded until the
+  // step-16 commit re-establishes every replica.
+  EXPECT_EQ(report.steps_executed, 43u);
+  EXPECT_EQ(report.replayed_steps, 3u);
+  EXPECT_EQ(report.risk_steps, 5u);
+  EXPECT_EQ(report.degraded_steps, 8u);
   EXPECT_EQ(report.rereplications, 0u);
 }
 
@@ -393,6 +404,105 @@ TEST(RiskWindowTest, TriplesSurviveTheSameHitsOnceRefilled) {
   const FailureInjection failures[] = {{9, 0}, {13, 1}};
   const auto report = coordinator.run(failures);
   ASSERT_FALSE(report.fatal) << report.fatal_reason;
+  EXPECT_EQ(report.final_hash, expected);
+}
+
+// Corruption-tolerant recovery: silent replica corruption must be detected
+// at restore time; the ladder fails over to the next intact image, and only
+// a node with *no* intact image anywhere degrades the run -- it never
+// aborts it.
+
+TEST(CorruptionTest, TriplesFailOverToSecondaryWhenPreferredCorrupt) {
+  const auto config = small_config(Topology::Triples);
+  const auto expected = reference_hash(config);
+  Coordinator coordinator(config, std::make_unique<HeatKernel>());
+  // Node 0's preferred replica (on node 1) is silently corrupted after the
+  // step-8 commit; node 0 then dies. The rollback must detect the damage
+  // and restore node 0 from its secondary copy on node 2.
+  const FailureInjection failures[] = {
+      {10, 1, InjectionKind::CorruptReplica, 0},
+      {12, 0},
+  };
+  const auto report = coordinator.run(failures);
+  ASSERT_FALSE(report.fatal) << report.fatal_reason;
+  EXPECT_EQ(report.failovers, 1u);
+  EXPECT_EQ(report.corrupt_images_detected, 1u);
+  EXPECT_EQ(report.transfer_retries, 0u);
+  EXPECT_FALSE(report.degraded);
+  EXPECT_EQ(report.final_hash, expected);
+}
+
+TEST(CorruptionTest, PairsOnlyReplicaCorruptedIsDegradedNotThrown) {
+  const auto config = small_config(Topology::Pairs);
+  const auto expected = reference_hash(config);
+  Coordinator coordinator(config, std::make_unique<HeatKernel>());
+  // Pairs keep one remote replica. Corrupt it, then kill the owner: the
+  // ladder is exhausted, the run enters degraded mode (typed fatal fields)
+  // and still completes every step without throwing.
+  const FailureInjection failures[] = {
+      {10, 1, InjectionKind::CorruptReplica, 0},
+      {12, 0},
+  };
+  const auto report = coordinator.run(failures);
+  EXPECT_TRUE(report.fatal);
+  EXPECT_TRUE(report.degraded);
+  EXPECT_EQ(report.fatal_node, 0u);
+  EXPECT_EQ(report.fatal_step, 12u);
+  EXPECT_NE(report.fatal_reason.find("no surviving replica of node 0"),
+            std::string::npos);
+  // The rollback examines the corrupt ladder rung; the inline refill of
+  // store 0 scans it again looking for a clean source of node 0's image.
+  EXPECT_EQ(report.corrupt_images_detected, 2u);
+  // 40 steps plus the 4 replayed from the step-8 commit, all executed.
+  EXPECT_EQ(report.steps_executed, 44u);
+  // Blank-restarted node 0 runs degraded until the step-16 commit.
+  EXPECT_EQ(report.degraded_steps, 8u);
+  EXPECT_NE(report.final_hash, expected);
+}
+
+TEST(CorruptionTest, TornRefillDeliveryIsRetriedWithBackoff) {
+  auto config = small_config(Topology::Pairs);
+  config.rereplication_delay_steps = 3;
+  config.transfer_retry = {/*max_attempts=*/3, /*base_delay_steps=*/1};
+  const auto expected = reference_hash(small_config(Topology::Pairs));
+  Coordinator coordinator(config, std::make_unique<HeatKernel>());
+  // The refill triggered by the step-9 loss arrives torn; the engine must
+  // detect the tear, retry one backoff step later, and succeed.
+  const FailureInjection failures[] = {
+      {9, 0, InjectionKind::TornTransfer, 0},
+      {9, 0},
+  };
+  const auto report = coordinator.run(failures);
+  ASSERT_FALSE(report.fatal) << report.fatal_reason;
+  EXPECT_EQ(report.transfer_retries, 1u);
+  EXPECT_EQ(report.corrupt_images_detected, 1u);
+  EXPECT_EQ(report.rereplications, 1u);
+  // 3 delay ticks plus 1 backoff tick with the window open.
+  EXPECT_EQ(report.risk_steps, 4u);
+  EXPECT_EQ(report.final_hash, expected);
+}
+
+TEST(CorruptionTest, RefillRetriesExhaustedKeepsWindowOpenUntilCommit) {
+  auto config = small_config(Topology::Pairs);
+  config.rereplication_delay_steps = 2;
+  config.transfer_retry = {/*max_attempts=*/2, /*base_delay_steps=*/1};
+  const auto expected = reference_hash(small_config(Topology::Pairs));
+  Coordinator coordinator(config, std::make_unique<HeatKernel>());
+  // Every delivery attempt for node 0's refill fails outright: the refill
+  // is abandoned and the risk window stays open until the next commit
+  // re-creates the replicas. Nothing else dies, so the run is still exact.
+  const FailureInjection failures[] = {
+      {9, 0, InjectionKind::FailTransfer, 0},
+      {9, 0, InjectionKind::FailTransfer, 0},
+      {9, 0},
+  };
+  const auto report = coordinator.run(failures);
+  ASSERT_FALSE(report.fatal) << report.fatal_reason;
+  EXPECT_EQ(report.transfer_retries, 1u);  // re-issues only, not attempts
+  EXPECT_EQ(report.rereplications, 0u);    // never delivered
+  // Window open for the 8 executed steps from the rollback at 9 to the
+  // step-16 commit (2 delay ticks, 1 backoff tick, then abandoned).
+  EXPECT_EQ(report.risk_steps, 8u);
   EXPECT_EQ(report.final_hash, expected);
 }
 

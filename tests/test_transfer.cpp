@@ -102,4 +102,46 @@ TEST(TransferTest, ExaScenarioNumbers) {
   EXPECT_DOUBLE_EQ(plan_transfer(spec, 0.0).theta, 660.0);
 }
 
+// ------------------------------------------- retry policy (re-replication)
+
+TEST(RetryPolicyTest, ValidateRejectsZeroAttempts) {
+  RetryPolicy policy;
+  EXPECT_NO_THROW(policy.validate());
+  policy.max_attempts = 0;
+  EXPECT_THROW(policy.validate(), std::invalid_argument);
+}
+
+TEST(RetryPolicyTest, BackoffDoublesFromTheBase) {
+  const RetryPolicy policy{/*max_attempts=*/5, /*base_delay_steps=*/2};
+  EXPECT_EQ(policy.backoff_steps(1), 2u);
+  EXPECT_EQ(policy.backoff_steps(2), 4u);
+  EXPECT_EQ(policy.backoff_steps(3), 8u);
+  EXPECT_THROW(policy.backoff_steps(0), std::invalid_argument);
+}
+
+TEST(RetryPolicyTest, BackoffNeverWaitsZeroSteps) {
+  // A re-issued transfer cannot land inside the step that saw it fail.
+  const RetryPolicy policy{/*max_attempts=*/3, /*base_delay_steps=*/0};
+  EXPECT_EQ(policy.backoff_steps(1), 1u);
+  EXPECT_EQ(policy.backoff_steps(2), 1u);
+}
+
+TEST(RetryPolicyTest, BackoffSaturatesInsteadOfOverflowing) {
+  const RetryPolicy policy{/*max_attempts=*/100, /*base_delay_steps=*/3};
+  EXPECT_EQ(policy.backoff_steps(65), ~std::uint64_t{0});  // shift >= 64
+  EXPECT_EQ(policy.backoff_steps(64), ~std::uint64_t{0});  // 3 << 63 overflows
+  EXPECT_EQ(policy.backoff_steps(63), std::uint64_t{3} << 62);  // still exact
+}
+
+TEST(RetryPolicyTest, ExpectedAttemptsIsTruncatedGeometric) {
+  const RetryPolicy policy{/*max_attempts=*/3, /*base_delay_steps=*/1};
+  EXPECT_DOUBLE_EQ(policy.expected_transfer_attempts(0.0), 1.0);
+  // 1 + p + p^2 with p = 0.5.
+  EXPECT_DOUBLE_EQ(policy.expected_transfer_attempts(0.5), 1.75);
+  EXPECT_THROW(policy.expected_transfer_attempts(1.0),
+               std::invalid_argument);
+  EXPECT_THROW(policy.expected_transfer_attempts(-0.1),
+               std::invalid_argument);
+}
+
 }  // namespace
