@@ -2,9 +2,21 @@
 // distribution sampling throughput, failure-injector event rates, the
 // discrete-event protocol simulator, and the PageStore snapshot/COW path.
 // These bound how large a Monte-Carlo campaign a laptop supports.
+//
+// Extra mode for CI: `bench_micro_engine --engine-json=PATH [--trials=N]`
+// skips google-benchmark and instead times the scalar vs batched Monte-Carlo
+// engines head-to-head on the reference campaign, writing
+// {scalar_trials_per_sec, batched_trials_per_sec, speedup, trials} to PATH.
+// scripts/check_bench_regression.py compares that file against the committed
+// BENCH_engine.json baseline.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "ckpt/delta.hpp"
@@ -14,6 +26,7 @@
 #include "sim/protocol_sim.hpp"
 #include "sim/runner.hpp"
 #include "util/distributions.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -82,6 +95,42 @@ void BM_ProtocolSimulationTrial(benchmark::State& state) {
 BENCHMARK(BM_ProtocolSimulationTrial)
     ->Arg(static_cast<int>(model::Protocol::DoubleNbl))
     ->Arg(static_cast<int>(model::Protocol::Triple));
+
+/// The reference Monte-Carlo campaign for engine comparisons: the paper's
+/// base platform at phi/theta = 0.25, 1026 nodes with a one-day platform
+/// MTBF (node MTBF ~2.8 years -- realistic, unlike the failure-saturated
+/// mtbf=600 stress configuration BM_ProtocolSimulationTrial uses) and an
+/// 18-day workload. Roughly 2300 periods and 19 failures per trial; no
+/// fatal stop, so every trial runs the full t_base.
+sim::SimConfig engine_reference_config() {
+  sim::SimConfig config;
+  config.protocol = model::Protocol::DoubleNbl;
+  config.params = model::base_scenario().at_phi_ratio(0.25);
+  config.params.nodes = 1026;  // divisible by both group sizes
+  config.params.mtbf = 86400.0;
+  config.period =
+      model::optimal_period_closed_form(config.protocol, config.params).period;
+  config.t_base = 1600000.0;
+  config.stop_on_fatal = false;
+  return config;
+}
+
+void BM_MonteCarloEngine(benchmark::State& state) {
+  const auto config = engine_reference_config();
+  sim::MonteCarloOptions options;
+  options.engine = state.range(0) == 0 ? sim::SimEngine::kScalar
+                                       : sim::SimEngine::kBatched;
+  options.trials = 64;
+  options.threads = 1;
+  options.seed = 42;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_monte_carlo(config, options));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(options.trials));
+  state.SetLabel(state.range(0) == 0 ? "scalar" : "batched");
+}
+BENCHMARK(BM_MonteCarloEngine)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_OptimalPeriodNumeric(benchmark::State& state) {
   const auto params = model::base_scenario().at_phi_ratio(0.5);
@@ -156,6 +205,82 @@ void BM_MaxMinFairRates(benchmark::State& state) {
 }
 BENCHMARK(BM_MaxMinFairRates)->Arg(8)->Arg(64)->Arg(256);
 
+/// Times `trials` trials through one engine (single thread, fixed seed) and
+/// returns trials per second. One small untimed warmup run absorbs lazy
+/// allocations; best-of-3 repetitions filters scheduler noise, which
+/// otherwise dwarfs real regressions on shared CI runners.
+double engine_trials_per_sec(sim::SimEngine engine, std::uint64_t trials) {
+  const auto config = engine_reference_config();
+  sim::MonteCarloOptions options;
+  options.engine = engine;
+  options.threads = 1;
+  options.seed = 42;
+  options.trials = 64;
+  benchmark::DoNotOptimize(sim::run_monte_carlo(config, options));  // warmup
+  options.trials = trials;
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(sim::run_monte_carlo(config, options));
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    best = std::max(best, static_cast<double>(trials) / seconds);
+  }
+  return best;
+}
+
+int run_engine_comparison(const std::string& json_path,
+                          std::uint64_t trials) {
+  const double scalar =
+      engine_trials_per_sec(sim::SimEngine::kScalar, trials);
+  const double batched =
+      engine_trials_per_sec(sim::SimEngine::kBatched, trials);
+  auto v = dckpt::util::JsonValue::object();
+  v.set("record", "bench_engine");
+  v.set("trials", trials);
+  v.set("scalar_trials_per_sec", scalar);
+  v.set("batched_trials_per_sec", batched);
+  v.set("speedup", batched / scalar);
+  const std::string text = v.dump();
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "%s\n", text.c_str());
+  std::fclose(out);
+  std::printf("%s\n", text.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string engine_json;
+  std::uint64_t trials = 2000;
+  std::vector<char*> passthrough{argv, argv + argc};
+  for (auto it = passthrough.begin(); it != passthrough.end();) {
+    if (std::strncmp(*it, "--engine-json=", 14) == 0) {
+      engine_json = *it + 14;
+      it = passthrough.erase(it);
+    } else if (std::strncmp(*it, "--trials=", 9) == 0) {
+      trials = std::strtoull(*it + 9, nullptr, 10);
+      it = passthrough.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!engine_json.empty()) {
+    return run_engine_comparison(engine_json, trials == 0 ? 2000 : trials);
+  }
+  int filtered_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&filtered_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

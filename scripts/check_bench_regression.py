@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Guards the batched Monte-Carlo engine against performance regressions.
+
+Compares a freshly measured engine-comparison record (written by
+`bench_micro_engine --engine-json=PATH`) against the committed baseline
+`BENCH_engine.json`. Absolute trials/sec numbers are machine-dependent, so
+the gate is the scalar-vs-batched *speedup* measured on the same machine in
+the same run: it cancels out host speed and only moves when the batched
+kernel itself gets slower (or the scalar oracle gets faster, which is also
+worth knowing about).
+
+Exit 1 when the fresh speedup drops below --min-ratio (default 0.8, i.e. a
+>20% regression) of the baseline speedup.
+
+Usage:
+  scripts/check_bench_regression.py FRESH.json [--baseline BENCH_engine.json]
+      [--min-ratio 0.8]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_record(path):
+    with open(path, encoding="utf-8") as handle:
+        record = json.load(handle)
+    if record.get("record") != "bench_engine":
+        raise ValueError(f"{path}: not a bench_engine record")
+    for key in ("scalar_trials_per_sec", "batched_trials_per_sec", "speedup"):
+        if not isinstance(record.get(key), (int, float)) or record[key] <= 0:
+            raise ValueError(f"{path}: missing or non-positive '{key}'")
+    return record
+
+
+def main():
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    parser = argparse.ArgumentParser(
+        description="fail on batched-engine speedup regressions")
+    parser.add_argument("fresh", help="freshly measured bench_engine JSON")
+    parser.add_argument("--baseline",
+                        default=str(repo_root / "BENCH_engine.json"),
+                        help="committed baseline record")
+    parser.add_argument("--min-ratio", type=float, default=0.8,
+                        help="minimum fresh/baseline speedup ratio")
+    args = parser.parse_args()
+
+    fresh = load_record(args.fresh)
+    baseline = load_record(args.baseline)
+    ratio = fresh["speedup"] / baseline["speedup"]
+
+    print(f"baseline speedup: {baseline['speedup']:.2f}x "
+          f"({baseline['batched_trials_per_sec']:.0f} vs "
+          f"{baseline['scalar_trials_per_sec']:.0f} trials/s)")
+    print(f"fresh speedup:    {fresh['speedup']:.2f}x "
+          f"({fresh['batched_trials_per_sec']:.0f} vs "
+          f"{fresh['scalar_trials_per_sec']:.0f} trials/s)")
+    print(f"ratio: {ratio:.3f} (gate: >= {args.min_ratio})")
+
+    if ratio < args.min_ratio:
+        print(f"FAIL: batched-engine speedup regressed by "
+              f"{(1.0 - ratio) * 100.0:.1f}% against the committed baseline",
+              file=sys.stderr)
+        return 1
+    print("OK: batched-engine speedup within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,4 +36,15 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" "$@"
 # far harder than any single unit test, so run it under ASan+UBSan too.
 BUILD_DIR="${BUILD_DIR}" "${REPO_ROOT}/scripts/run_chaos_smoke.sh"
 
+# Serve smoke: drives the line protocol end-to-end (parser, LRU cache,
+# batched SoA sim kernel, stats encoder) through the sanitized CLI. The
+# sim request is sized to hit both the fast path and exact failure steps.
+printf '%s\n' \
+  'EVAL kind=period protocol=Triple mtbf=3600' \
+  'EVAL kind=waste protocol=DoubleNBL mtbf=7200 period=600' \
+  'EVAL kind=sim protocol=DoubleNBL mtbf=900 nodes=12 tbase=4000 period=100 trials=40' \
+  'EVAL kind=sim protocol=Triple mtbf=900 nodes=12 tbase=4000 period=100 trials=40 weibull-shape=0.7' \
+  'STATS' 'QUIT' \
+  | "${BUILD_DIR}/src/tools/dckpt" serve > /dev/null
+
 echo "check_ubsan: all tests clean under ASan+UBSan"

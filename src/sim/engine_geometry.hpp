@@ -1,0 +1,104 @@
+// Static per-run protocol geometry shared by the scalar reference engine
+// (protocol_sim.cpp) and the batched SoA kernel (batch_kernel.cpp).
+//
+// Both engines must advance a trial through *exactly* the same arithmetic:
+// the batched kernel's contract is bit-identical TrialResults on the same
+// RNG stream. Deriving the geometry once, in one translation-unit-shared
+// function, guarantees the two paths agree on every derived constant
+// (per-phase lengths, work rates, recovery windows) down to the last ulp.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "model/parameters.hpp"
+#include "model/protocol.hpp"
+#include "model/risk.hpp"
+#include "model/waste.hpp"
+
+namespace dckpt::sim::engine {
+
+/// Per-run constants of the period state machine.
+struct Geometry {
+  double part1 = 0.0;
+  double part2 = 0.0;
+  double part3 = 0.0;
+  double rate1 = 0.0;  ///< work rate during part 1
+  double rate2 = 0.0;  ///< work rate during part 2
+  double downtime = 0.0;
+  double recover = 0.0;         ///< blocking recovery transfer time
+  double reexec_overlap = 0.0;  ///< degraded window at re-execution start
+  double overlap_rate = 0.0;    ///< work rate inside that window
+  double risk = 0.0;            ///< exposure window length
+  bool commit_after_part1 = false;  ///< triple protocols commit early
+};
+
+inline Geometry make_geometry(model::Protocol protocol,
+                              const model::Parameters& params, double period) {
+  using model::Protocol;
+  const auto parts = model::period_parts(protocol, params, period);
+  const auto transfer = model::effective_transfer(protocol, params);
+  const double theta = transfer.theta;
+  const double phi = transfer.phi;
+  const double transfer_rate = (theta - phi) / theta;
+
+  Geometry g;
+  g.part1 = parts.part1;
+  g.part2 = parts.part2;
+  g.part3 = parts.part3;
+  g.rate1 = model::is_triple(protocol) ? transfer_rate : 0.0;
+  g.rate2 = transfer_rate;
+  g.downtime = params.downtime;
+  g.risk = model::risk_window(protocol, params);
+  g.commit_after_part1 = model::is_triple(protocol);
+  g.overlap_rate = transfer_rate;
+  switch (protocol) {
+    case Protocol::DoubleNbl:
+      g.recover = params.recovery();
+      g.reexec_overlap = theta;
+      break;
+    case Protocol::DoubleBof:
+    case Protocol::DoubleBlocking:
+      g.recover = 2.0 * params.recovery();
+      g.reexec_overlap = 0.0;
+      break;
+    case Protocol::Triple:
+      g.recover = params.recovery();
+      g.reexec_overlap = 2.0 * theta;
+      break;
+    case Protocol::TripleBof:
+      g.recover = 3.0 * params.recovery();
+      g.reexec_overlap = 0.0;
+      break;
+  }
+  return g;
+}
+
+/// Work threshold below which a trial counts as complete; shared so the
+/// batched kernel terminates on exactly the same comparison.
+inline constexpr double kWorkEpsilon = 1e-9;
+
+/// Phase-remaining threshold that triggers a phase transition.
+inline constexpr double kPhaseEpsilon = 1e-12;
+
+/// Time to re-gain `deficit` units of work: degraded window first, then
+/// full speed. Shared between the engines (same formula, same rounding).
+inline double reexec_duration(const Geometry& geo, double deficit) {
+  const double window = geo.reexec_overlap;
+  const double degraded_gain = window * geo.overlap_rate;
+  if (deficit <= degraded_gain || window == 0.0) {
+    return geo.overlap_rate > 0.0
+               ? deficit / (window > 0.0 ? geo.overlap_rate : 1.0)
+               : (window > 0.0 ? std::numeric_limits<double>::infinity()
+                               : deficit);
+  }
+  return window + (deficit - degraded_gain);
+}
+
+/// Livelock guard used by both engines.
+inline double makespan_cap(double max_makespan, double t_base, double period) {
+  return max_makespan > 0.0 ? max_makespan
+                            : 1e4 * std::max(t_base, period);
+}
+
+}  // namespace dckpt::sim::engine

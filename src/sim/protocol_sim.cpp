@@ -7,70 +7,19 @@
 
 #include "model/risk.hpp"
 #include "model/waste.hpp"
+#include "sim/engine_geometry.hpp"
 
 namespace dckpt::sim {
 
 namespace {
 
-constexpr double kWorkEpsilon = 1e-9;
+using engine::Geometry;
+using engine::kWorkEpsilon;
 
 enum class Phase { Part1, Part2, Part3, Down, Recover, Reexec };
 
-/// Static per-run protocol geometry, derived once from the config.
-struct Geometry {
-  double part1 = 0.0;
-  double part2 = 0.0;
-  double part3 = 0.0;
-  double rate1 = 0.0;  ///< work rate during part 1
-  double rate2 = 0.0;  ///< work rate during part 2
-  double downtime = 0.0;
-  double recover = 0.0;        ///< blocking recovery transfer time
-  double reexec_overlap = 0.0; ///< degraded window at re-execution start
-  double overlap_rate = 0.0;   ///< work rate inside that window
-  double risk = 0.0;           ///< exposure window length
-  bool commit_after_part1 = false;  ///< triple protocols commit early
-};
-
 Geometry make_geometry(const SimConfig& config) {
-  using model::Protocol;
-  const auto& params = config.params;
-  const auto parts =
-      model::period_parts(config.protocol, params, config.period);
-  const auto transfer = model::effective_transfer(config.protocol, params);
-  const double theta = transfer.theta;
-  const double phi = transfer.phi;
-  const double transfer_rate = (theta - phi) / theta;
-
-  Geometry g;
-  g.part1 = parts.part1;
-  g.part2 = parts.part2;
-  g.part3 = parts.part3;
-  g.rate1 = model::is_triple(config.protocol) ? transfer_rate : 0.0;
-  g.rate2 = transfer_rate;
-  g.downtime = params.downtime;
-  g.risk = model::risk_window(config.protocol, params);
-  g.commit_after_part1 = model::is_triple(config.protocol);
-  g.overlap_rate = transfer_rate;
-  switch (config.protocol) {
-    case Protocol::DoubleNbl:
-      g.recover = params.recovery();
-      g.reexec_overlap = theta;
-      break;
-    case Protocol::DoubleBof:
-    case Protocol::DoubleBlocking:
-      g.recover = 2.0 * params.recovery();
-      g.reexec_overlap = 0.0;
-      break;
-    case Protocol::Triple:
-      g.recover = params.recovery();
-      g.reexec_overlap = 2.0 * theta;
-      break;
-    case Protocol::TripleBof:
-      g.recover = 3.0 * params.recovery();
-      g.reexec_overlap = 0.0;
-      break;
-  }
-  return g;
+  return engine::make_geometry(config.protocol, config.params, config.period);
 }
 
 /// Full mutable engine state.
@@ -142,13 +91,20 @@ struct Engine {
   /// and the loss breakdown.
   void advance(double dt) {
     const double rate = current_rate();
-    work += rate * dt;
+    // Multiply-then-add through named temporaries: keeps the arithmetic a
+    // plain rounded product plus a rounded sum even under -ffp-contract=fast
+    // (no silent FMA fusion), so the batched kernel can reproduce it
+    // bit-exactly from precomputed per-phase products.
+    const double gained = rate * dt;
+    work += gained;
     now += dt;
     switch (phase) {
       case Phase::Part1:
-      case Phase::Part2:
-        result.time_checkpointing += (1.0 - rate) * dt;
+      case Phase::Part2: {
+        const double lost = (1.0 - rate) * dt;
+        result.time_checkpointing += lost;
         break;
+      }
       case Phase::Part3:
         break;
       case Phase::Down:
@@ -215,15 +171,7 @@ struct Engine {
   }
 
   double reexec_duration(double deficit) const {
-    const double window = geo.reexec_overlap;
-    const double degraded_gain = window * geo.overlap_rate;
-    if (deficit <= degraded_gain || window == 0.0) {
-      return geo.overlap_rate > 0.0
-                 ? deficit / (window > 0.0 ? geo.overlap_rate : 1.0)
-                 : (window > 0.0 ? std::numeric_limits<double>::infinity()
-                                 : deficit);
-    }
-    return window + (deficit - degraded_gain);
+    return engine::reexec_duration(geo, deficit);
   }
 
   void resume_interrupted() {
@@ -273,9 +221,8 @@ struct Engine {
 
   TrialResult run() {
     result.t_base = config.t_base;
-    const double cap = config.max_makespan > 0.0
-                           ? config.max_makespan
-                           : 1e4 * std::max(config.t_base, config.period);
+    const double cap =
+        engine::makespan_cap(config.max_makespan, config.t_base, config.period);
     start_period();
     while (config.t_base - work > kWorkEpsilon) {
       if (now > cap) {

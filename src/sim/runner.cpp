@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "sim/batch_kernel.hpp"
+
 namespace dckpt::sim {
 
 void MetricsSpec::validate() const {
@@ -23,11 +25,18 @@ MonteCarloMetrics::MonteCarloMetrics(const MetricsSpec& spec)
       risk_fraction(0.0, 1.0, spec.bins) {}
 
 void MonteCarloMetrics::add(const TrialResult& trial) {
+  // A trial with no positive baseline or makespan has no defined slowdown
+  // or risk fraction; recording a sentinel 0.0 would silently land in the
+  // slowdown underflow bucket (its range starts at 1.0) and pull the
+  // risk-fraction quantiles toward zero. Count it instead of polluting.
+  if (!(trial.t_base > 0.0) || !(trial.makespan > 0.0)) {
+    ++degenerate;
+    return;
+  }
   waste.add(trial.waste());
-  slowdown.add(trial.t_base > 0.0 ? trial.makespan / trial.t_base : 0.0);
+  slowdown.add(trial.makespan / trial.t_base);
   failures.add(static_cast<double>(trial.failures));
-  risk_fraction.add(trial.makespan > 0.0 ? trial.time_at_risk / trial.makespan
-                                         : 0.0);
+  risk_fraction.add(trial.time_at_risk / trial.makespan);
 }
 
 void MonteCarloMetrics::merge(const MonteCarloMetrics& other) {
@@ -35,6 +44,20 @@ void MonteCarloMetrics::merge(const MonteCarloMetrics& other) {
   slowdown.merge(other.slowdown);
   failures.merge(other.failures);
   risk_fraction.merge(other.risk_fraction);
+  degenerate += other.degenerate;
+}
+
+void accumulate_trial(MonteCarloResult& result, const TrialResult& trial) {
+  if (trial.diverged) {
+    ++result.diverged;
+    return;
+  }
+  result.waste.add(trial.waste());
+  result.makespan.add(trial.makespan);
+  result.failures.add(static_cast<double>(trial.failures));
+  result.risk_time.add(trial.time_at_risk);
+  result.success.add(!trial.fatal);
+  if (result.metrics) result.metrics->add(trial);
 }
 
 namespace {
@@ -65,6 +88,8 @@ MonteCarloResult run_monte_carlo(const SimConfig& config,
   // last ulp between -j1 and -j8 runs.
   constexpr std::size_t kChunks = 64;
   const std::size_t chunks = std::min<std::uint64_t>(options.trials, kChunks);
+  // With trials == 0 there are no chunks; `partial` keeps one default slot
+  // so the merge below runs and yields an empty (all-counts-zero) result.
   std::vector<MonteCarloResult> partial(std::max<std::size_t>(chunks, 1));
 
   util::parallel_for_chunked(
@@ -72,6 +97,13 @@ MonteCarloResult run_monte_carlo(const SimConfig& config,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         MonteCarloResult& local = partial[chunk];
         if (options.metrics) local.metrics.emplace(*options.metrics);
+        if (options.engine == SimEngine::kBatched) {
+          run_trials_batched(
+              config, options, begin, end,
+              [&local](const TrialResult& r) { accumulate_trial(local, r); },
+              local.kernel);
+          return;
+        }
         for (std::size_t trial = begin; trial < end; ++trial) {
           // Per-trial stream derived by seed mixing (SplitMix64 inside the
           // Xoshiro constructor): trial k gets the same stream regardless of
@@ -80,17 +112,7 @@ MonteCarloResult run_monte_carlo(const SimConfig& config,
               options.seed ^ (0x9e3779b97f4a7c15ULL * (trial + 1)));
           ProtocolSimulation simulation(config,
                                         make_injector(config, options, stream));
-          const TrialResult r = simulation.run();
-          if (r.diverged) {
-            ++local.diverged;
-            continue;
-          }
-          local.waste.add(r.waste());
-          local.makespan.add(r.makespan);
-          local.failures.add(static_cast<double>(r.failures));
-          local.risk_time.add(r.time_at_risk);
-          local.success.add(!r.fatal);
-          if (local.metrics) local.metrics->add(r);
+          accumulate_trial(local, simulation.run());
         }
       });
 
@@ -103,6 +125,7 @@ MonteCarloResult run_monte_carlo(const SimConfig& config,
     total.risk_time.merge(p.risk_time);
     total.success.merge(p.success);
     total.diverged += p.diverged;
+    total.kernel.merge(p.kernel);
     if (total.metrics && p.metrics) total.metrics->merge(*p.metrics);
   }
   return total;

@@ -37,11 +37,47 @@ struct MonteCarloMetrics {
   util::Histogram slowdown;
   util::Histogram failures;
   util::Histogram risk_fraction;
+  /// Trials whose slowdown/risk-fraction ratios are undefined (t_base <= 0
+  /// or makespan <= 0). Counted here instead of recording a sentinel 0.0
+  /// that would land in the underflow bucket and skew quantiles.
+  std::uint64_t degenerate = 0;
 
   explicit MonteCarloMetrics(const MetricsSpec& spec);
 
   void add(const TrialResult& trial);
   void merge(const MonteCarloMetrics& other);
+};
+
+/// Which trial-execution engine run_monte_carlo dispatches to. Both produce
+/// bit-identical results (enforced by the scalar-vs-SoA equivalence tests);
+/// the scalar path is kept as the slow reference oracle.
+enum class SimEngine {
+  kBatched,  ///< SoA batch kernel: pre-sampled variates, branch-light loop
+  kScalar,   ///< one ProtocolSimulation object per trial (reference oracle)
+};
+
+/// Occupancy/throughput counters from the batched kernel, merged across
+/// chunks. All zero when the scalar engine ran.
+struct BatchKernelStats {
+  std::uint64_t waves = 0;         ///< lane-batches launched
+  std::uint64_t lanes = 0;         ///< trials placed into lanes
+  std::uint64_t fast_periods = 0;  ///< periods advanced on the fast path
+  std::uint64_t exact_steps = 0;   ///< micro-steps in the exact state machine
+
+  /// Mean fraction of lanes filled per wave (1.0 = fully occupied).
+  double occupancy(std::size_t lanes_per_wave) const noexcept {
+    return waves == 0 ? 0.0
+                      : static_cast<double>(lanes) /
+                            (static_cast<double>(waves) *
+                             static_cast<double>(lanes_per_wave));
+  }
+
+  void merge(const BatchKernelStats& other) noexcept {
+    waves += other.waves;
+    lanes += other.lanes;
+    fast_periods += other.fast_periods;
+    exact_steps += other.exact_steps;
+  }
 };
 
 struct MonteCarloOptions {
@@ -54,6 +90,9 @@ struct MonteCarloOptions {
   /// Enables distribution collection; unset keeps the hot loop free of any
   /// histogram work.
   std::optional<MetricsSpec> metrics;
+  /// Trial-execution engine. The batched SoA kernel is the default; the
+  /// scalar object-at-a-time path is the bit-identical reference oracle.
+  SimEngine engine = SimEngine::kBatched;
 };
 
 struct MonteCarloResult {
@@ -65,7 +104,15 @@ struct MonteCarloResult {
   std::uint64_t diverged = 0;          ///< trials that hit the makespan cap
   /// Present iff MonteCarloOptions::metrics was set.
   std::optional<MonteCarloMetrics> metrics;
+  /// Batched-kernel occupancy counters (all zero under SimEngine::kScalar).
+  BatchKernelStats kernel;
 };
+
+/// Folds one finished trial into the aggregate result, in trial order.
+/// Shared by the scalar chunk loop and the batched kernel so both paths
+/// feed RunningStats/histograms through the exact same sequence of adds
+/// (Welford updates are order-sensitive; this keeps them bit-identical).
+void accumulate_trial(MonteCarloResult& result, const TrialResult& trial);
 
 /// Runs `options.trials` independent executions of `config`.
 MonteCarloResult run_monte_carlo(const SimConfig& config,

@@ -1,0 +1,340 @@
+#include "sim/service.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "model/model_api.hpp"
+#include "sim/batch_kernel.hpp"
+
+namespace dckpt::sim {
+
+namespace {
+
+/// Latency histogram layout: log10(microseconds + 1) over [0, 7) -- from
+/// sub-microsecond cache hits to multi-second Monte-Carlo campaigns at
+/// 0.05-decade resolution. Documented in docs/SERVE.md; keep in sync.
+constexpr double kLatencyLogLo = 0.0;
+constexpr double kLatencyLogHi = 7.0;
+constexpr std::size_t kLatencyBins = 140;
+
+/// Quantizes one numeric request parameter for the cache key. %.6g folds
+/// noise beyond six significant digits (1e-6 relative), so clients sending
+/// 25200.0000001 and 25200 share an entry; it is also exactly the rounding
+/// a planner UI slider produces.
+std::string quantize(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return buf;
+}
+
+struct Request {
+  std::string kind;
+  std::string protocol = "triple";
+  std::string scenario = "base";
+  double mtbf = 25200.0;
+  double phi_ratio = 0.25;
+  double nodes = 0.0;
+  double period = 0.0;   ///< 0 = closed-form optimum
+  double tbase = 100000.0;
+  double trials = 0.0;   ///< 0 = service default
+  double seed = 42.0;
+  double weibull_shape = 0.0;
+  double mission_hours = 24.0;
+};
+
+double parse_number(const std::string& key, const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad numeric value for '" + key +
+                                "': " + text);
+  }
+}
+
+Request parse_request(const std::string& line) {
+  Request req;
+  std::istringstream in(line);
+  std::string token;
+  in >> token;  // consume "EVAL"
+  while (in >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("expected key=value, got '" + token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "kind") {
+      req.kind = value;
+    } else if (key == "protocol") {
+      req.protocol = value;
+    } else if (key == "scenario") {
+      req.scenario = value;
+    } else if (key == "mtbf") {
+      req.mtbf = parse_number(key, value);
+    } else if (key == "phi-ratio") {
+      req.phi_ratio = parse_number(key, value);
+    } else if (key == "nodes") {
+      req.nodes = parse_number(key, value);
+    } else if (key == "period") {
+      req.period = parse_number(key, value);
+    } else if (key == "tbase") {
+      req.tbase = parse_number(key, value);
+    } else if (key == "trials") {
+      req.trials = parse_number(key, value);
+    } else if (key == "seed") {
+      req.seed = parse_number(key, value);
+    } else if (key == "weibull-shape") {
+      req.weibull_shape = parse_number(key, value);
+    } else if (key == "mission-hours") {
+      req.mission_hours = parse_number(key, value);
+    } else {
+      throw std::invalid_argument("unknown key '" + key + "'");
+    }
+  }
+  if (req.kind.empty()) {
+    throw std::invalid_argument("missing kind= (waste|period|risk|sim)");
+  }
+  if (req.scenario != "base" && req.scenario != "exa") {
+    throw std::invalid_argument("scenario must be base or exa");
+  }
+  return req;
+}
+
+model::Parameters params_from(const Request& req) {
+  const auto scenario = req.scenario == "exa" ? model::exa_scenario()
+                                              : model::base_scenario();
+  auto params =
+      scenario.at_phi_ratio(req.phi_ratio).with_mtbf(req.mtbf);
+  if (req.nodes > 0.0) {
+    params.nodes = static_cast<std::uint64_t>(req.nodes);
+  }
+  params.validate();
+  return params;
+}
+
+/// Canonical cache key: every parameter that influences the answer, in a
+/// fixed order, quantized. period=0 keys the "optimal period" variant.
+std::string cache_key(const Request& req) {
+  std::string key = req.kind;
+  key += '|';
+  key += req.protocol;
+  key += '|';
+  key += req.scenario;
+  for (const double v :
+       {req.mtbf, req.phi_ratio, req.nodes, req.period, req.tbase, req.trials,
+        req.seed, req.weibull_shape, req.mission_hours}) {
+    key += '|';
+    key += quantize(v);
+  }
+  return key;
+}
+
+double resolve_period(model::Protocol protocol,
+                      const model::Parameters& params, double requested) {
+  if (requested > 0.0) return requested;
+  const auto opt = model::optimal_period_closed_form(protocol, params);
+  if (!opt.feasible) {
+    throw std::invalid_argument(
+        "platform stalls at the closed-form optimum; pass period= explicitly");
+  }
+  return opt.period;
+}
+
+}  // namespace
+
+void EvalServiceOptions::validate() const {
+  if (cache_capacity == 0) {
+    throw std::invalid_argument("EvalServiceOptions: zero cache_capacity");
+  }
+  if (default_trials == 0 || max_trials < default_trials) {
+    throw std::invalid_argument(
+        "EvalServiceOptions: need 0 < default_trials <= max_trials");
+  }
+}
+
+EvalService::EvalService(EvalServiceOptions options)
+    : options_(options),
+      pool_(options.threads),
+      cache_((options.validate(), options.cache_capacity)),
+      latency_log_us_(kLatencyLogLo, kLatencyLogHi, kLatencyBins),
+      started_(std::chrono::steady_clock::now()) {}
+
+std::string EvalService::handle_line(const std::string& line) {
+  const auto start = std::chrono::steady_clock::now();
+  ++requests_;
+  std::istringstream in(line);
+  std::string command;
+  in >> command;
+  std::string response;
+  if (command == "EVAL") {
+    ++evals_;
+    try {
+      response = handle_eval(line).dump();
+    } catch (const std::exception& error) {
+      ++errors_;
+      auto v = util::JsonValue::object();
+      v.set("record", "eval_error");
+      v.set("error", error.what());
+      response = v.dump();
+    }
+  } else if (command == "STATS") {
+    response = stats_json().dump();
+  } else if (command == "QUIT") {
+    auto v = util::JsonValue::object();
+    v.set("record", "bye");
+    response = v.dump();
+  } else {
+    ++errors_;
+    auto v = util::JsonValue::object();
+    v.set("record", "eval_error");
+    v.set("error", "unknown command '" + command +
+                       "' (expected EVAL, STATS or QUIT)");
+    response = v.dump();
+  }
+  record_latency(start);
+  return response;
+}
+
+util::JsonValue EvalService::handle_eval(const std::string& line) {
+  const Request req = parse_request(line);
+  const std::string key = cache_key(req);
+  if (util::JsonValue* hit = cache_.get(key)) {
+    util::JsonValue response = *hit;
+    response.set("cached", true);
+    return response;
+  }
+
+  const auto protocol = model::parse_protocol_name(req.protocol);
+  const auto params = params_from(req);
+  auto v = util::JsonValue::object();
+  v.set("record", "eval");
+  v.set("kind", req.kind);
+  v.set("protocol", model::protocol_name(protocol));
+
+  if (req.kind == "waste") {
+    const double period = resolve_period(protocol, params, req.period);
+    v.set("period", period);
+    v.set("waste", model::waste(protocol, params, period));
+    v.set("min_period", model::min_period(protocol, params));
+  } else if (req.kind == "period") {
+    const auto opt = model::optimal_period_closed_form(protocol, params);
+    v.set("period", opt.period);
+    v.set("waste", opt.waste);
+    v.set("feasible", opt.feasible);
+  } else if (req.kind == "risk") {
+    const double mission = req.mission_hours * 3600.0;
+    v.set("risk_window", model::risk_window(protocol, params));
+    v.set("success_probability",
+          model::success_probability(protocol, params, mission));
+    v.set("mission_hours", req.mission_hours);
+  } else if (req.kind == "sim") {
+    if (params.nodes > 100000) {
+      throw std::invalid_argument(
+          "nodes too large for kind=sim (keep <= 100000)");
+    }
+    SimConfig config;
+    config.protocol = protocol;
+    config.params = params;
+    config.t_base = req.tbase;
+    config.stop_on_fatal = false;
+    config.period = resolve_period(protocol, params, req.period);
+
+    MonteCarloOptions mc_options;
+    const std::uint64_t trials =
+        req.trials > 0.0 ? static_cast<std::uint64_t>(req.trials)
+                         : options_.default_trials;
+    if (trials > options_.max_trials) {
+      throw std::invalid_argument("trials exceeds the service limit");
+    }
+    mc_options.trials = trials;
+    mc_options.seed = static_cast<std::uint64_t>(req.seed);
+    mc_options.threads = options_.threads;
+    if (req.weibull_shape > 0.0) {
+      mc_options.weibull = util::Weibull::from_mean(req.weibull_shape,
+                                                    params.node_mtbf());
+    }
+    const auto mc = run_monte_carlo(config, mc_options, pool_);
+    kernel_.merge(mc.kernel);
+    sim_trials_ += trials;
+    v.set("period", config.period);
+    v.set("trials", trials);
+    v.set("waste_mean", mc.waste.mean());
+    v.set("waste_halfwidth", mc.waste.confidence_halfwidth());
+    v.set("makespan_mean", mc.makespan.mean());
+    v.set("failures_mean", mc.failures.mean());
+    v.set("survival", mc.success.estimate());
+    v.set("diverged", mc.diverged);
+  } else {
+    throw std::invalid_argument("unknown kind '" + req.kind +
+                                "' (waste|period|risk|sim)");
+  }
+
+  cache_.put(key, v);
+  v.set("cached", false);
+  return v;
+}
+
+void EvalService::record_latency(
+    std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const double us =
+      std::chrono::duration<double, std::micro>(elapsed).count();
+  latency_log_us_.add(std::log10(us + 1.0));
+}
+
+util::JsonValue EvalService::stats_json() const {
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_)
+          .count();
+  auto v = util::JsonValue::object();
+  v.set("record", "serve_stats");
+  v.set("uptime_s", uptime);
+  v.set("requests", requests_);
+  v.set("evals", evals_);
+  v.set("errors", errors_);
+  v.set("qps", uptime > 0.0 ? static_cast<double>(requests_) / uptime : 0.0);
+
+  auto cache = util::JsonValue::object();
+  cache.set("hits", cache_.hits());
+  cache.set("misses", cache_.misses());
+  cache.set("evictions", cache_.evictions());
+  cache.set("hit_rate", cache_.hit_rate());
+  cache.set("size", static_cast<std::uint64_t>(cache_.size()));
+  cache.set("capacity", static_cast<std::uint64_t>(cache_.capacity()));
+  v.set("cache", std::move(cache));
+
+  auto kernel = util::JsonValue::object();
+  kernel.set("waves", kernel_.waves);
+  kernel.set("lanes", kernel_.lanes);
+  kernel.set("fast_periods", kernel_.fast_periods);
+  kernel.set("exact_steps", kernel_.exact_steps);
+  kernel.set("occupancy", kernel_.occupancy(kBatchLanes));
+  v.set("kernel", std::move(kernel));
+
+  auto latency = util::JsonValue::object();
+  const std::uint64_t in_range = latency_log_us_.total_count() -
+                                 latency_log_us_.underflow() -
+                                 latency_log_us_.overflow() -
+                                 latency_log_us_.nonfinite();
+  latency.set("count", latency_log_us_.total_count());
+  if (in_range > 0) {
+    // Stored as log10(us + 1); undo the transform for the exported values.
+    latency.set("p50_us",
+                std::pow(10.0, latency_log_us_.quantile(0.5)) - 1.0);
+    latency.set("p99_us",
+                std::pow(10.0, latency_log_us_.quantile(0.99)) - 1.0);
+  }
+  v.set("latency", std::move(latency));
+  v.set("sim_trials", sim_trials_);
+  return v;
+}
+
+}  // namespace dckpt::sim

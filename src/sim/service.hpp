@@ -1,0 +1,73 @@
+// Long-running evaluation service behind `dckpt serve`.
+//
+// Answers waste / optimal-period / risk / Monte-Carlo queries over a
+// line-oriented request protocol (one request line in, one JSON line out),
+// so a planner frontend can keep a single warm process instead of paying
+// CLI startup per what-if question. Requests are memoized through an LRU
+// cache keyed on quantized scenario parameters, and kind=sim requests are
+// batched onto the SoA Monte-Carlo kernel. Perf counters (qps, cache hit
+// rate, kernel batch occupancy, latency quantiles) are exported in the
+// repo's JSONL observability format. Protocol details: docs/SERVE.md.
+//
+// The class is transport-agnostic (no I/O): `dckpt serve` wraps it around
+// stdin/stdout or a TCP socket, and tests drive it directly.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "sim/runner.hpp"
+#include "util/histogram.hpp"
+#include "util/json.hpp"
+#include "util/lru.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dckpt::sim {
+
+struct EvalServiceOptions {
+  /// Distinct quantized scenarios kept memoized.
+  std::size_t cache_capacity = 1024;
+  /// Monte-Carlo trials for kind=sim when the request does not say.
+  std::uint64_t default_trials = 400;
+  /// Upper bound on per-request trials (a service must not let one query
+  /// monopolize the process).
+  std::uint64_t max_trials = 200000;
+  /// Worker threads for kind=sim campaigns (0 = hardware concurrency).
+  std::size_t threads = 1;
+
+  void validate() const;
+};
+
+class EvalService {
+ public:
+  explicit EvalService(EvalServiceOptions options = {});
+
+  /// Handles one request line ("EVAL k=v ..." or "STATS") and returns
+  /// exactly one JSON document, no trailing newline. Malformed requests
+  /// yield an eval_error record; this never throws.
+  std::string handle_line(const std::string& line);
+
+  /// The serve_stats record (same JSON the STATS request returns).
+  util::JsonValue stats_json() const;
+
+  /// Kernel counters accumulated over every kind=sim request served.
+  const BatchKernelStats& kernel_stats() const noexcept { return kernel_; }
+
+ private:
+  util::JsonValue handle_eval(const std::string& line);
+  void record_latency(std::chrono::steady_clock::time_point start);
+
+  EvalServiceOptions options_;
+  util::ThreadPool pool_;
+  util::LruCache<std::string, util::JsonValue> cache_;
+  BatchKernelStats kernel_;
+  util::Histogram latency_log_us_;  ///< log10(us + 1) per request
+  std::uint64_t requests_ = 0;
+  std::uint64_t evals_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t sim_trials_ = 0;
+  std::chrono::steady_clock::time_point started_;
+};
+
+}  // namespace dckpt::sim

@@ -10,12 +10,20 @@
 //   dckpt hierarchy  two-level (buddy + stable storage) planning
 //   dckpt spares     spare-pool sizing and its effect on downtime/waste
 //   dckpt chaos      adversarial failure campaigns against the runtime
+//   dckpt serve      long-running evaluation service (stdin or TCP)
 //
 // Every subcommand accepts --help.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -118,6 +126,8 @@ int cmd_simulate(int argc, const char* const* argv) {
   cli.add_option("period", "0", "checkpoint period (0 = model optimum)");
   cli.add_option("weibull-shape", "0",
                  "use per-node Weibull streams with this shape (0 = exp)");
+  cli.add_option("engine", "batched",
+                 "batched | scalar trial engine (bit-identical results)");
   cli.add_option("metrics-out", "",
                  "write a JSONL metrics record (with per-trial histograms)");
   cli.add_option("trace-out", "",
@@ -146,6 +156,12 @@ int cmd_simulate(int argc, const char* const* argv) {
   sim::MonteCarloOptions options;
   options.trials = static_cast<std::uint64_t>(cli.get_int("trials"));
   options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  if (const auto engine = cli.get("engine"); engine == "scalar") {
+    options.engine = sim::SimEngine::kScalar;
+  } else if (engine != "batched") {
+    throw std::invalid_argument("option --engine: invalid value '" + engine +
+                                "' (expected batched or scalar)");
+  }
   const double shape = cli.get_double("weibull-shape");
   if (shape > 0.0) {
     options.weibull =
@@ -754,6 +770,137 @@ int cmd_chaos(int argc, const char* const* argv) {
   return summary.violated > 0 ? 1 : 0;
 }
 
+// --------------------------------------------------------------- serve
+
+/// Appends one serve_stats JSONL record to `path` (no-op when empty).
+void serve_append_stats(const sim::EvalService& service,
+                        const std::string& path) {
+  if (path.empty()) return;
+  if (std::FILE* out = std::fopen(path.c_str(), "a")) {
+    std::fprintf(out, "%s\n", service.stats_json().dump().c_str());
+    std::fclose(out);
+  } else {
+    std::fprintf(stderr, "serve: cannot append to %s\n", path.c_str());
+  }
+}
+
+/// Reads newline-terminated requests from stdin and answers on stdout.
+int serve_stdin(sim::EvalService& service, std::uint64_t stats_every,
+                const std::string& stats_out) {
+  std::string line;
+  std::uint64_t handled = 0;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    std::printf("%s\n", service.handle_line(line).c_str());
+    std::fflush(stdout);
+    if (stats_every > 0 && ++handled % stats_every == 0) {
+      serve_append_stats(service, stats_out);
+    }
+    if (line == "QUIT") break;
+  }
+  serve_append_stats(service, stats_out);
+  return 0;
+}
+
+/// Serves the same line protocol over a loopback TCP socket. One client at
+/// a time (requests are CPU-bound; fairness between clients buys nothing).
+/// QUIT ends the client's connection; with --once the server then exits.
+int serve_tcp(sim::EvalService& service, int port, bool once,
+              std::uint64_t stats_every, const std::string& stats_out) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("serve: socket");
+    return 1;
+  }
+  const int reuse = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(listener, 4) < 0) {
+    std::perror("serve: bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  std::printf("serving on 127.0.0.1:%d\n", ntohs(addr.sin_port));
+  std::fflush(stdout);
+
+  std::uint64_t handled = 0;
+  for (;;) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) continue;
+    std::string pending;
+    char chunk[4096];
+    bool quit = false;
+    while (!quit) {
+      const auto got = ::recv(conn, chunk, sizeof(chunk), 0);
+      if (got <= 0) break;
+      pending.append(chunk, static_cast<std::size_t>(got));
+      std::size_t nl;
+      while (!quit && (nl = pending.find('\n')) != std::string::npos) {
+        std::string line = pending.substr(0, nl);
+        pending.erase(0, nl + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (line.empty()) continue;
+        const std::string reply = service.handle_line(line) + "\n";
+        // MSG_NOSIGNAL: an abruptly-gone client must not SIGPIPE the server.
+        if (::send(conn, reply.data(), reply.size(), MSG_NOSIGNAL) < 0) {
+          quit = true;
+        }
+        if (stats_every > 0 && ++handled % stats_every == 0) {
+          serve_append_stats(service, stats_out);
+        }
+        if (line == "QUIT") quit = true;
+      }
+    }
+    ::close(conn);
+    if (once) break;
+  }
+  ::close(listener);
+  serve_append_stats(service, stats_out);
+  return 0;
+}
+
+int cmd_serve(int argc, const char* const* argv) {
+  util::CliParser cli("dckpt serve",
+                      "long-running evaluation service (line protocol; see "
+                      "docs/SERVE.md)");
+  cli.add_option("port", "-1",
+                 "listen on 127.0.0.1:PORT (0 = auto-pick; -1 = stdin mode)");
+  cli.add_flag("once", "TCP mode: exit after the first connection closes");
+  cli.add_option("trials", "400", "default trials for kind=sim requests");
+  cli.add_option("max-trials", "200000", "reject sim requests above this");
+  cli.add_option("threads", "1", "worker threads for sim requests");
+  cli.add_option("cache-capacity", "1024", "LRU answer-cache entries");
+  cli.add_option("stats-out", "",
+                 "append serve_stats JSONL records to this file");
+  cli.add_option("stats-every", "0",
+                 "emit a stats record every N requests (0 = only at exit)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  sim::EvalServiceOptions options;
+  options.default_trials = static_cast<std::uint64_t>(cli.get_int("trials"));
+  options.max_trials = static_cast<std::uint64_t>(cli.get_int("max-trials"));
+  options.threads = static_cast<std::size_t>(cli.get_int("threads"));
+  options.cache_capacity =
+      static_cast<std::size_t>(cli.get_int("cache-capacity"));
+  sim::EvalService service(options);
+
+  const int port = static_cast<int>(cli.get_int("port"));
+  const auto stats_every =
+      static_cast<std::uint64_t>(cli.get_int("stats-every"));
+  if (port < 0) {
+    return serve_stdin(service, stats_every, cli.get("stats-out"));
+  }
+  return serve_tcp(service, port, cli.get_flag("once"), stats_every,
+                   cli.get("stats-out"));
+}
+
 void print_usage() {
   std::fputs(
       "dckpt -- double/triple checkpointing toolkit\n"
@@ -768,7 +915,8 @@ void print_usage() {
       "  hierarchy   two-level (buddy + stable storage) planning\n"
       "  overlap     measure the overlap factor alpha for a workload\n"
       "  spares      spare-pool sizing\n"
-      "  chaos       adversarial failure campaigns against the runtime\n\n"
+      "  chaos       adversarial failure campaigns against the runtime\n"
+      "  serve       long-running evaluation service (stdin or TCP)\n\n"
       "run 'dckpt <command> --help' for the command's options.\n",
       stdout);
 }
@@ -794,6 +942,7 @@ int main(int argc, char** argv) {
     if (command == "overlap") return cmd_overlap(sub_argc, sub_argv);
     if (command == "spares") return cmd_spares(sub_argc, sub_argv);
     if (command == "chaos") return cmd_chaos(sub_argc, sub_argv);
+    if (command == "serve") return cmd_serve(sub_argc, sub_argv);
     if (command == "--help" || command == "-h" || command == "help") {
       print_usage();
       return 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -52,7 +53,7 @@ double Histogram::bin_lower_edge(std::size_t i) const noexcept {
 double Histogram::quantile(double q) const {
   q = std::clamp(q, 0.0, 1.0);
   const std::uint64_t in_range = total_ - underflow_ - overflow_ - nonfinite_;
-  if (in_range == 0) return lo_;
+  if (in_range == 0) return std::numeric_limits<double>::quiet_NaN();
   const double target = q * static_cast<double>(in_range);
   double cumulative = 0.0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {

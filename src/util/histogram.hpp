@@ -33,7 +33,11 @@ class Histogram {
   double bin_width() const noexcept { return width_; }
 
   /// Quantile estimate by linear interpolation within the containing bin.
-  /// q in [0, 1]. In-range samples only (under/overflow excluded).
+  /// q in [0, 1]. In-range samples only (under/overflow excluded). When no
+  /// in-range mass exists (empty histogram, or every sample landed in the
+  /// underflow/overflow/nonfinite buckets) there is no distribution to
+  /// invert: returns quiet NaN so callers cannot mistake the result for a
+  /// real value at the lower edge.
   double quantile(double q) const;
 
   /// Multi-line ASCII rendering (for traces/examples), widest bar = `width`.

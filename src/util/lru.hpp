@@ -1,0 +1,80 @@
+// Bounded least-recently-used cache with hit/miss/eviction counters.
+//
+// Backs the evaluation service's memoized model answers: queries cluster on
+// a handful of hot scenarios (the same platform asked about again and
+// again), so a small LRU in front of the closed-form/Monte-Carlo evaluators
+// absorbs most of the load. Counters are first-class because cache hit rate
+// is an exported perf metric, not a debugging afterthought.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+namespace dckpt::util {
+
+template <typename Key, typename Value>
+class LruCache {
+ public:
+  /// `capacity` must be >= 1; the cache never holds more entries than this.
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("LruCache: zero capacity");
+    }
+  }
+
+  /// Returns the cached value and marks it most-recently-used, or nullptr
+  /// on a miss. The pointer stays valid until the next put().
+  Value* get(const Key& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts or overwrites; evicts the least-recently-used entry when full.
+  void put(const Key& key, Value value) {
+    if (const auto it = index_.find(key); it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (order_.size() >= capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_.emplace(key, order_.begin());
+  }
+
+  std::size_t size() const noexcept { return order_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+  double hit_rate() const noexcept {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) /
+                            static_cast<double>(total);
+  }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::pair<Key, Value>> order_;  ///< front = most recently used
+  std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator>
+      index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace dckpt::util

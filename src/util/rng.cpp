@@ -29,6 +29,24 @@ std::uint64_t Xoshiro256ss::next_below(std::uint64_t bound) noexcept {
   return static_cast<std::uint64_t>(m >> 64);
 }
 
+void Xoshiro256ss::fill(std::uint64_t* out, std::size_t n) noexcept {
+  std::uint64_t s0 = state_[0];
+  std::uint64_t s1 = state_[1];
+  std::uint64_t s2 = state_[2];
+  std::uint64_t s3 = state_[3];
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = rotl(s1 * 5, 7) * 9;
+    const std::uint64_t t = s1 << 17;
+    s2 ^= s0;
+    s3 ^= s1;
+    s1 ^= s2;
+    s0 ^= s3;
+    s2 ^= t;
+    s3 = rotl(s3, 45);
+  }
+  state_ = {s0, s1, s2, s3};
+}
+
 void Xoshiro256ss::jump() noexcept {
   static constexpr std::uint64_t kJump[] = {
       0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,

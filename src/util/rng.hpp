@@ -13,6 +13,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace dckpt::util {
@@ -68,6 +69,12 @@ class Xoshiro256ss {
 
   /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
   std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Bulk generation: writes the next `n` raw draws into `out`, exactly the
+  /// words `n` calls of operator()() would return. Hoists the state into
+  /// locals so wide fills pipeline instead of round-tripping through memory
+  /// per draw -- the batched simulator pre-samples variate blocks with this.
+  void fill(std::uint64_t* out, std::size_t n) noexcept;
 
   /// Advances the state by 2^128 generator steps.
   void jump() noexcept;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
 
 #include "util/rng.hpp"
@@ -81,6 +82,22 @@ TEST(HistogramTest, QuantileClampsArgument) {
   h.add(0.5);
   EXPECT_NO_THROW(h.quantile(-1.0));
   EXPECT_NO_THROW(h.quantile(2.0));
+}
+
+TEST(HistogramTest, QuantileIsNanWithoutInRangeMass) {
+  Histogram h(0.0, 1.0, 4);
+  // Empty histogram: no mass at all.
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+  // Out-of-range and non-finite samples contribute no in-range mass either.
+  h.add(-5.0);
+  h.add(7.0);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_TRUE(std::isnan(h.quantile(0.0)));
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(h.quantile(1.0)));
+  // The first in-range sample makes quantiles well-defined again.
+  h.add(0.25);
+  EXPECT_FALSE(std::isnan(h.quantile(0.5)));
 }
 
 TEST(HistogramTest, MergeAddsCounts) {

@@ -1,0 +1,89 @@
+#include "util/lru.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace {
+
+using dckpt::util::LruCache;
+
+TEST(LruCache, RejectsZeroCapacity) {
+  EXPECT_THROW((LruCache<int, int>(0)), std::invalid_argument);
+}
+
+TEST(LruCache, MissThenHit) {
+  LruCache<std::string, int> cache(4);
+  EXPECT_EQ(cache.get("a"), nullptr);
+  cache.put("a", 1);
+  auto* hit = cache.get("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 1);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  ASSERT_NE(cache.get(1), nullptr);  // 1 is now most recent
+  cache.put(3, 30);                  // evicts 2
+  EXPECT_EQ(cache.get(2), nullptr);
+  EXPECT_NE(cache.get(1), nullptr);
+  EXPECT_NE(cache.get(3), nullptr);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCache, GetRefreshesRecency) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  ASSERT_NE(cache.get(1), nullptr);
+  cache.put(3, 30);  // 2 was least recent after the get(1) touch
+  EXPECT_NE(cache.get(1), nullptr);
+  EXPECT_EQ(cache.get(2), nullptr);
+}
+
+TEST(LruCache, OverwriteKeepsSingleEntry) {
+  LruCache<int, std::string> cache(2);
+  cache.put(1, "a");
+  cache.put(1, "b");
+  EXPECT_EQ(cache.size(), 1u);
+  auto* v = cache.get(1);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, "b");
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(LruCache, OverwriteRefreshesRecency) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  cache.put(1, 11);  // overwrite marks 1 most recent
+  cache.put(3, 30);  // evicts 2
+  EXPECT_EQ(cache.get(2), nullptr);
+  auto* v = cache.get(1);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 11);
+}
+
+TEST(LruCache, HitRateZeroWhenUntouched) {
+  LruCache<int, int> cache(1);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.0);
+}
+
+TEST(LruCache, CapacityOneChurns) {
+  LruCache<int, int> cache(1);
+  for (int i = 0; i < 10; ++i) cache.put(i, i);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 9u);
+  auto* v = cache.get(9);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 9);
+}
+
+}  // namespace

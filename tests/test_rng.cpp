@@ -106,6 +106,18 @@ TEST(Xoshiro256Test, SplitDoesNotPerturbParent) {
   EXPECT_EQ(base, copy);
 }
 
+TEST(Xoshiro256Test, FillMatchesSequentialDraws) {
+  Xoshiro256ss a(99), b(99);
+  std::vector<std::uint64_t> out(67);  // odd size exercises the tail loop
+  a.fill(out.data(), out.size());
+  for (const auto word : out) EXPECT_EQ(word, b());
+  // fill(.., 0) is a no-op; the stream continues where it left off.
+  a.fill(out.data(), 0);
+  EXPECT_EQ(a(), b());
+  a.fill(out.data(), 3);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], b());
+}
+
 TEST(Xoshiro256Test, SatisfiesUniformRandomBitGenerator) {
   static_assert(Xoshiro256ss::min() == 0);
   static_assert(Xoshiro256ss::max() == ~std::uint64_t{0});

@@ -120,6 +120,58 @@ TEST(MonteCarloTest, MetricsSpecIsValidated) {
                std::invalid_argument);
 }
 
+TEST(MonteCarloTest, DegenerateTrialsAreCountedNotRecorded) {
+  MonteCarloMetrics metrics{MetricsSpec{}};
+  TrialResult no_work;  // t_base <= 0: slowdown/risk ratios are undefined
+  no_work.t_base = 0.0;
+  no_work.makespan = 100.0;
+  metrics.add(no_work);
+  TrialResult no_time;  // makespan <= 0: same story
+  no_time.t_base = 50.0;
+  no_time.makespan = 0.0;
+  metrics.add(no_time);
+  EXPECT_EQ(metrics.degenerate, 2u);
+  // Neither trial may leak a sentinel 0.0 into any histogram: the old bug
+  // recorded slowdown = 0 which landed in the underflow bucket (range
+  // starts at 1.0) and skewed every quantile of small campaigns.
+  EXPECT_EQ(metrics.waste.total_count(), 0u);
+  EXPECT_EQ(metrics.slowdown.total_count(), 0u);
+  EXPECT_EQ(metrics.slowdown.underflow(), 0u);
+  EXPECT_EQ(metrics.risk_fraction.total_count(), 0u);
+  EXPECT_EQ(metrics.failures.total_count(), 0u);
+
+  MonteCarloMetrics other{MetricsSpec{}};
+  TrialResult good;
+  good.t_base = 50.0;
+  good.makespan = 60.0;
+  other.add(good);
+  other.merge(metrics);  // degenerate counts survive chunk merges
+  EXPECT_EQ(other.degenerate, 2u);
+  EXPECT_EQ(other.slowdown.total_count(), 1u);
+}
+
+TEST(MonteCarloTest, ZeroTrialsYieldEmptyResult) {
+  MonteCarloOptions options;
+  options.trials = 0;
+  options.metrics = MetricsSpec{};
+  const auto result = run_monte_carlo(quick_config(), options);
+  EXPECT_EQ(result.waste.count(), 0u);
+  EXPECT_EQ(result.success.trials(), 0u);
+  EXPECT_EQ(result.diverged, 0u);
+  ASSERT_TRUE(result.metrics.has_value());
+  EXPECT_EQ(result.metrics->waste.total_count(), 0u);
+  EXPECT_EQ(result.kernel.lanes, 0u);
+
+  // The pool-reusing overload must agree (it once indexed partial[0] out of
+  // an empty chunk vector when trials == 0).
+  dckpt::util::ThreadPool pool(2);
+  const auto pooled = run_monte_carlo(quick_config(), options, pool);
+  EXPECT_EQ(pooled.waste.count(), 0u);
+  EXPECT_EQ(pooled.success.trials(), 0u);
+  ASSERT_TRUE(pooled.metrics.has_value());
+  EXPECT_EQ(pooled.metrics->slowdown.total_count(), 0u);
+}
+
 TEST(MonteCarloTest, FatalRunsCountAgainstSuccess) {
   auto config = quick_config();
   config.params.mtbf = 20.0;  // brutal failure rate: fatalities happen

@@ -1,0 +1,161 @@
+// Drives the EvalService directly (no transport): request parsing, answer
+// correctness against the model layer, cache-key quantization, error
+// records, and the serve_stats counter schema documented in docs/SERVE.md.
+#include "sim/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "model/model_api.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace dckpt;
+
+util::JsonValue respond(sim::EvalService& service, const std::string& line) {
+  return util::parse_json(service.handle_line(line));
+}
+
+TEST(EvalService, AnswersOptimalPeriod) {
+  sim::EvalService service;
+  const auto v = respond(
+      service, "EVAL kind=period protocol=DoubleNBL mtbf=3600 phi-ratio=0.5");
+  EXPECT_EQ(v.at("record").as_string(), "eval");
+  EXPECT_EQ(v.at("protocol").as_string(), "DoubleNBL");
+  EXPECT_FALSE(v.at("cached").as_bool());
+  const auto params =
+      model::base_scenario().at_phi_ratio(0.5).with_mtbf(3600.0);
+  const auto opt = model::optimal_period_closed_form(
+      model::Protocol::DoubleNbl, params);
+  EXPECT_DOUBLE_EQ(v.at("period").as_number(), opt.period);
+  EXPECT_DOUBLE_EQ(v.at("waste").as_number(), opt.waste);
+}
+
+TEST(EvalService, WasteMatchesModel) {
+  sim::EvalService service;
+  const auto v = respond(
+      service,
+      "EVAL kind=waste protocol=Triple mtbf=7200 phi-ratio=0.25 period=600");
+  const auto params =
+      model::base_scenario().at_phi_ratio(0.25).with_mtbf(7200.0);
+  EXPECT_DOUBLE_EQ(
+      v.at("waste").as_number(),
+      model::waste(model::Protocol::Triple, params, 600.0));
+}
+
+TEST(EvalService, RiskReportsWindowAndSurvival) {
+  sim::EvalService service;
+  const auto v = respond(
+      service, "EVAL kind=risk protocol=Triple mtbf=3600 mission-hours=48");
+  EXPECT_GT(v.at("risk_window").as_number(), 0.0);
+  const double survival = v.at("success_probability").as_number();
+  EXPECT_GT(survival, 0.0);
+  EXPECT_LE(survival, 1.0);
+  EXPECT_DOUBLE_EQ(v.at("mission_hours").as_number(), 48.0);
+}
+
+TEST(EvalService, SecondIdenticalQueryIsCached) {
+  sim::EvalService service;
+  const std::string line = "EVAL kind=period protocol=Triple mtbf=3600";
+  const auto first = respond(service, line);
+  const auto second = respond(service, line);
+  EXPECT_FALSE(first.at("cached").as_bool());
+  EXPECT_TRUE(second.at("cached").as_bool());
+  EXPECT_EQ(first.at("period").as_number(), second.at("period").as_number());
+  const auto stats = respond(service, "STATS");
+  EXPECT_EQ(stats.at("record").as_string(), "serve_stats");
+  EXPECT_EQ(stats.at("cache").at("hits").as_number(), 1.0);
+}
+
+TEST(EvalService, QuantizationFoldsParameterNoise) {
+  sim::EvalService service;
+  (void)respond(service, "EVAL kind=period protocol=Triple mtbf=3600");
+  // 1e-7 relative jitter is below the %.6g cache-key resolution.
+  const auto jittered = respond(
+      service, "EVAL kind=period protocol=Triple mtbf=3600.0003");
+  EXPECT_TRUE(jittered.at("cached").as_bool());
+}
+
+TEST(EvalService, SimRunsBatchedKernelAndCounts) {
+  sim::EvalServiceOptions options;
+  options.default_trials = 60;
+  sim::EvalService service(options);
+  const auto v = respond(service,
+                         "EVAL kind=sim protocol=DoubleNBL scenario=base "
+                         "mtbf=900 nodes=12 tbase=5000 period=100");
+  ASSERT_EQ(v.at("record").as_string(), "eval") << service.handle_line(
+      "EVAL kind=sim mtbf=900 nodes=12 tbase=5000 period=100");
+  EXPECT_EQ(v.at("trials").as_number(), 60.0);
+  const double waste = v.at("waste_mean").as_number();
+  EXPECT_GT(waste, 0.0);
+  EXPECT_LT(waste, 1.0);
+  EXPECT_GT(service.kernel_stats().lanes, 0u);
+  const auto stats = respond(service, "STATS");
+  EXPECT_EQ(stats.at("sim_trials").as_number(), 60.0);
+  EXPECT_GT(stats.at("kernel").at("occupancy").as_number(), 0.0);
+}
+
+TEST(EvalService, SimResultsAreCachedBySeed) {
+  sim::EvalServiceOptions options;
+  options.default_trials = 40;
+  sim::EvalService service(options);
+  const std::string line =
+      "EVAL kind=sim protocol=Triple mtbf=900 nodes=12 tbase=4000 "
+      "period=90 seed=7";
+  const auto first = respond(service, line);
+  const auto second = respond(service, line);
+  EXPECT_FALSE(first.at("cached").as_bool());
+  EXPECT_TRUE(second.at("cached").as_bool());
+  // The cached answer replays; the kernel must not have run twice.
+  const auto stats = respond(service, "STATS");
+  EXPECT_EQ(stats.at("sim_trials").as_number(), 40.0);
+}
+
+TEST(EvalService, ErrorsAreRecordsNotThrows) {
+  sim::EvalService service;
+  EXPECT_EQ(respond(service, "EVAL kind=nonsense").at("record").as_string(),
+            "eval_error");
+  EXPECT_EQ(respond(service, "EVAL protocol=Triple").at("record").as_string(),
+            "eval_error");
+  EXPECT_EQ(respond(service, "EVAL kind=waste mtbf=banana")
+                .at("record")
+                .as_string(),
+            "eval_error");
+  EXPECT_EQ(respond(service, "FROBNICATE").at("record").as_string(),
+            "eval_error");
+  EXPECT_EQ(
+      respond(service, "EVAL kind=sim trials=999999999").at("record").as_string(),
+      "eval_error");
+  const auto stats = respond(service, "STATS");
+  EXPECT_EQ(stats.at("errors").as_number(), 5.0);
+  EXPECT_EQ(stats.at("requests").as_number(), 6.0);
+}
+
+TEST(EvalService, QuitYieldsByeRecord) {
+  sim::EvalService service;
+  EXPECT_EQ(respond(service, "QUIT").at("record").as_string(), "bye");
+}
+
+TEST(EvalService, StatsLatencyAppearsAfterRequests) {
+  sim::EvalService service;
+  (void)respond(service, "EVAL kind=period protocol=Triple mtbf=3600");
+  const auto stats = respond(service, "STATS");
+  const auto& latency = stats.at("latency");
+  EXPECT_GE(latency.at("count").as_number(), 1.0);
+  EXPECT_GE(latency.at("p99_us").as_number(), latency.at("p50_us").as_number());
+  EXPECT_GE(latency.at("p50_us").as_number(), 0.0);
+}
+
+TEST(EvalService, OptionsAreValidated) {
+  sim::EvalServiceOptions zero_cache;
+  zero_cache.cache_capacity = 0;
+  EXPECT_THROW(sim::EvalService{zero_cache}, std::invalid_argument);
+  sim::EvalServiceOptions bad_trials;
+  bad_trials.default_trials = 100;
+  bad_trials.max_trials = 10;
+  EXPECT_THROW(sim::EvalService{bad_trials}, std::invalid_argument);
+}
+
+}  // namespace
