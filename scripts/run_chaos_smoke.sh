@@ -48,6 +48,18 @@ CAMPAIGNS=(
   "pairs only-replica-corrupt degraded repro|--topology=pairs --nodes=8 --cells=48 --steps=96 --interval=12 --staging=4 --rerepl-delay=8 --retry-max=3 --retry-base=1 --schedule=28:corrupt:1:0,29:0"
   "torn-refill retry repro|--topology=pairs --nodes=6 --steps=48 --interval=8 --rerepl-delay=6 --retry-max=3 --retry-base=1 --schedule=9:torn:0,9:0"
   "grid corrupt-preferred repro|--topology=triples --grid=3x3 --block=6 --steps=64 --interval=8 --rerepl-delay=6 --retry-max=3 --retry-base=1 --schedule=15:corrupt:4:3,15:3"
+  # Silent-error campaigns (verification enabled adds the sdc-* scripted
+  # families and an sdc motif to the random draws): both topologies, both
+  # runtimes, plus the two acceptance scenarios from docs/CHAOS.md as exact
+  # repro lines -- keep-last-3 survives the latent strike via a depth-2
+  # rollback, keep-last-2 accepts a *detected* fatal (never a violation).
+  "chain pairs sdc, scripted + 40 random|--topology=pairs --nodes=8 --cells=48 --steps=96 --interval=12 --staging=4 --rerepl-delay=8 --verify-every=4 --keep-last=3 --runs=40 --seed=20260809"
+  "chain triples sdc, scripted + 40 random|--topology=triples --nodes=9 --cells=48 --steps=96 --interval=12 --staging=4 --rerepl-delay=8 --verify-every=4 --keep-last=3 --runs=40 --seed=20260809"
+  "grid 4x4 pairs sdc, scripted + 40 random|--topology=pairs --grid=4x4 --block=6 --steps=64 --interval=8 --rerepl-delay=6 --verify-every=4 --keep-last=3 --runs=40 --seed=20260809"
+  "grid 3x3 triples sdc, scripted + 40 random|--topology=triples --grid=3x3 --block=6 --steps=64 --interval=8 --rerepl-delay=6 --verify-every=4 --keep-last=3 --runs=40 --seed=20260809"
+  "sdc survivable rollback repro|--topology=pairs --nodes=8 --cells=48 --steps=96 --interval=12 --verify-every=4 --keep-last=3 --schedule=13:sdc:0"
+  "sdc fatal-detected shallow-retention repro|--topology=pairs --nodes=8 --cells=48 --steps=96 --interval=12 --verify-every=4 --keep-last=2 --schedule=13:sdc:0"
+  "grid sdc survivable rollback repro|--topology=pairs --grid=4x4 --block=6 --steps=96 --interval=12 --verify-every=4 --keep-last=3 --schedule=13:sdc:0"
 )
 
 status=0

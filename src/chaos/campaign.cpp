@@ -37,6 +37,11 @@ std::string counter_divergence(const runtime::RunReport& report,
       {"degraded_steps", report.degraded_steps, predicted.degraded_steps},
       {"hash_verified_recoveries", report.hash_verified_recoveries,
        predicted.hash_verified_recoveries},
+      {"sdc_injected", report.sdc_injected, predicted.sdc_injected},
+      {"verifications_run", report.verifications_run,
+       predicted.verifications_run},
+      {"sdc_detected", report.sdc_detected, predicted.sdc_detected},
+      {"rollback_depth", report.rollback_depth, predicted.rollback_depth},
   };
   for (const auto& counter : counters) {
     if (counter.got != counter.want) {
@@ -278,6 +283,8 @@ std::string repro_command(const ChaosCampaignConfig& config,
     cmd += " --retry-max=" + std::to_string(gc.transfer_retry.max_attempts);
     cmd += " --retry-base=" +
            std::to_string(gc.transfer_retry.base_delay_steps);
+    cmd += " --verify-every=" + std::to_string(gc.verify_every);
+    cmd += " --keep-last=" + std::to_string(gc.keep_last);
   } else {
     const runtime::RuntimeConfig& rc = config.runtime;
     cmd += " --topology=";
@@ -291,6 +298,8 @@ std::string repro_command(const ChaosCampaignConfig& config,
     cmd += " --retry-max=" + std::to_string(rc.transfer_retry.max_attempts);
     cmd += " --retry-base=" +
            std::to_string(rc.transfer_retry.base_delay_steps);
+    cmd += " --verify-every=" + std::to_string(rc.verify_every);
+    cmd += " --keep-last=" + std::to_string(rc.keep_last);
   }
   cmd += " --kernel=" + config.kernel;
   cmd += " --seed=" + std::to_string(schedule.seed);

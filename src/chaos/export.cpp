@@ -44,6 +44,11 @@ util::JsonValue to_json(const ShadowPrediction& predicted) {
   v.set("corrupt_images_detected", predicted.corrupt_images_detected);
   v.set("degraded_steps", predicted.degraded_steps);
   v.set("hash_verified_recoveries", predicted.hash_verified_recoveries);
+  // Appended (PR 7): silent-error accounting.
+  v.set("sdc_injected", predicted.sdc_injected);
+  v.set("verifications_run", predicted.verifications_run);
+  v.set("sdc_detected", predicted.sdc_detected);
+  v.set("rollback_depth", predicted.rollback_depth);
   return v;
 }
 
@@ -78,6 +83,11 @@ util::JsonValue to_json(const runtime::RunReport& report) {
     v.set("fatal_step", report.fatal_step);
     v.set("final_hash", hex64(report.final_hash));
   }
+  // Appended (PR 7): silent-error accounting.
+  v.set("sdc_injected", report.sdc_injected);
+  v.set("verifications_run", report.verifications_run);
+  v.set("sdc_detected", report.sdc_detected);
+  v.set("rollback_depth", report.rollback_depth);
   return v;
 }
 

@@ -17,8 +17,8 @@ namespace {
 [[noreturn]] void bad_entry(const std::string& entry) {
   throw std::invalid_argument(
       "ChaosSchedule: bad entry '" + entry +
-      "' (want step:node, step:corrupt:holder:owner, step:torn:node or "
-      "step:failxfer:node)");
+      "' (want step:node, step:corrupt:holder:owner, step:torn:node, "
+      "step:failxfer:node or step:sdc:node)");
 }
 
 std::uint64_t parse_number(std::string_view text, const std::string& entry) {
@@ -51,6 +51,9 @@ std::string ChaosSchedule::spec() const {
         break;
       case runtime::InjectionKind::FailTransfer:
         text += ":failxfer:" + std::to_string(failure.node);
+        break;
+      case runtime::InjectionKind::SilentError:
+        text += ":sdc:" + std::to_string(failure.node);
         break;
     }
   }
@@ -85,11 +88,14 @@ ChaosSchedule ChaosSchedule::parse(const std::string& spec) {
       injection.step = parse_number(fields[0], entry);
       injection.node = parse_number(fields[1], entry);
     } else if (fields.size() == 3 &&
-               (fields[1] == "torn" || fields[1] == "failxfer")) {
+               (fields[1] == "torn" || fields[1] == "failxfer" ||
+                fields[1] == "sdc")) {
       injection.step = parse_number(fields[0], entry);
       injection.kind = fields[1] == "torn"
                            ? runtime::InjectionKind::TornTransfer
-                           : runtime::InjectionKind::FailTransfer;
+                       : fields[1] == "failxfer"
+                           ? runtime::InjectionKind::FailTransfer
+                           : runtime::InjectionKind::SilentError;
       injection.node = parse_number(fields[2], entry);
     } else if (fields.size() == 4 && fields[1] == "corrupt") {
       injection.step = parse_number(fields[0], entry);
@@ -131,6 +137,12 @@ void validate_schedule(const ChaosSchedule& schedule,
       throw std::invalid_argument("ChaosSchedule '" + schedule.name +
                                   "': step " + std::to_string(failure.step) +
                                   " never executes");
+    }
+    if (failure.kind == runtime::InjectionKind::SilentError &&
+        config.verify_every == 0) {
+      throw std::invalid_argument(
+          "ChaosSchedule '" + schedule.name +
+          "': silent error requires verification enabled (verify_every > 0)");
     }
     if (failure.kind == runtime::InjectionKind::CorruptReplica) {
       if (failure.owner >= config.nodes) {
@@ -287,6 +299,35 @@ std::vector<ChaosSchedule> scripted_schedules(const ShadowConfig& config) {
     plans.push_back(std::move(source));
   }
 
+  // Silent-error families -- only when the config can detect them
+  // (verify_every > 0), so existing configs keep their exact plan list.
+  if (config.verify_every > 0) {
+    using runtime::InjectionKind;
+    const auto sdc = [&](std::uint64_t at, std::uint64_t node) {
+      return runtime::FailureInjection{step(at), node,
+                                       InjectionKind::SilentError, 0};
+    };
+    // One latent flip mid-period: the following commits capture it and the
+    // next verification must either roll back past the corruption or
+    // declare the detected loss fatal -- the ladder depth decides.
+    plans.push_back({"sdc-single", {sdc(interval + 1, 0)}, 0});
+    // Corruption before any commit exists: only the virtual initial entry
+    // can save the run (and only while it is still inside the ladder).
+    plans.push_back({"sdc-before-first-commit", {sdc(interval / 2, 0)}, 0});
+    // A fail-stop loss lands while the corruption is still latent: the
+    // rollback restores the tainted committed set, and the epoch must snap
+    // back with it -- detection still happens at the next verification.
+    plans.push_back({"sdc-then-kill", {sdc(c, 0), {step(c + 1), 0}}, 0});
+    // Two nodes corrupted in one step: one verification, one rollback.
+    plans.push_back({"sdc-double-node", {sdc(c, 0), sdc(c, 1)}, 0});
+    // Corruption on the last executed step: only the end-of-run audit can
+    // catch it -- nothing may escape into the final answer silently.
+    plans.push_back({"sdc-last-step", {sdc(total - 1, 0)}, 0});
+    // Repeated flips a period apart: epochs accumulate, every retained set
+    // between them is tainted at a different level.
+    plans.push_back({"sdc-repeat", {sdc(c, 0), sdc(c + interval, 0)}, 0});
+  }
+
   for (auto& plan : plans) validate_schedule(plan, config);
   return plans;
 }
@@ -426,8 +467,12 @@ ChaosSchedule random_schedule(const ShadowConfig& config, std::uint64_t seed,
   schedule.name = "random";
   schedule.seed = seed;
   const std::uint64_t count = 1 + rng.next_below(max_failures);
+  // The silent-error motif only exists when the config can detect it; the
+  // draw range stays 7 otherwise, so pre-existing (config, seed) pairs
+  // reproduce their exact historical plans.
+  const std::uint64_t motifs = config.verify_every > 0 ? 8 : 7;
   while (schedule.failures.size() < count) {
-    switch (rng.next_below(7)) {
+    switch (rng.next_below(motifs)) {
       case 0: {  // uniform single
         schedule.failures.push_back({any_step(), any_node()});
         break;
@@ -488,7 +533,7 @@ ChaosSchedule random_schedule(const ShadowConfig& config, std::uint64_t seed,
             {std::min(at + rng.next_below(2), total - 1), victim});
         break;
       }
-      default: {  // kill with a transfer fault armed against the refill
+      case 6: {  // kill with a transfer fault armed against the refill
         const std::uint64_t node = any_node();
         const std::uint64_t at = any_step();
         schedule.failures.push_back(
@@ -497,6 +542,18 @@ ChaosSchedule random_schedule(const ShadowConfig& config, std::uint64_t seed,
                                     : runtime::InjectionKind::FailTransfer,
              0});
         schedule.failures.push_back({at, node});
+        break;
+      }
+      default: {  // silent error, sometimes chased by a fail-stop loss
+        const std::uint64_t node = any_node();
+        const std::uint64_t at = any_step();
+        schedule.failures.push_back(
+            {at, node, runtime::InjectionKind::SilentError, 0});
+        if (rng.next_below(2) == 0) {
+          schedule.failures.push_back(
+              {std::min(at + 1 + rng.next_below(interval), total - 1),
+               any_node()});
+        }
         break;
       }
     }

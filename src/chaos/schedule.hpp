@@ -10,6 +10,9 @@
 //                              rest on holder's store
 //   step:torn:node             node's next refill delivery arrives torn
 //   step:failxfer:node         node's next refill delivery fails outright
+//   step:sdc:node              latent silent corruption of node's live
+//                              memory (captured by later checkpoints; only
+//                              valid when verification is enabled)
 //
 // Three sources of schedules:
 //   * scripted_schedules() -- the paper's named danger cases: failures

@@ -1,6 +1,7 @@
 #include "chaos/shadow.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <stdexcept>
 #include <vector>
 
@@ -13,14 +14,16 @@ ShadowConfig::ShadowConfig(const runtime::RuntimeConfig& config)
       checkpoint_interval(config.checkpoint_interval),
       total_steps(config.total_steps), staging_steps(config.staging_steps),
       rereplication_delay_steps(config.rereplication_delay_steps),
-      transfer_retry(config.transfer_retry) {}
+      transfer_retry(config.transfer_retry),
+      verify_every(config.verify_every), keep_last(config.keep_last) {}
 
 ShadowConfig::ShadowConfig(const runtime::GridConfig& config)
     : nodes(config.nodes()), topology(config.topology),
       checkpoint_interval(config.checkpoint_interval),
       total_steps(config.total_steps), staging_steps(0),
       rereplication_delay_steps(config.rereplication_delay_steps),
-      transfer_retry(config.transfer_retry) {}
+      transfer_retry(config.transfer_retry),
+      verify_every(config.verify_every), keep_last(config.keep_last) {}
 
 void ShadowConfig::validate() const {
   const auto gs =
@@ -35,6 +38,9 @@ void ShadowConfig::validate() const {
   if (staging_steps > checkpoint_interval) {
     throw std::invalid_argument(
         "ShadowConfig: staging_steps must be <= checkpoint_interval");
+  }
+  if (keep_last == 0) {
+    throw std::invalid_argument("ShadowConfig: keep_last must be >= 1");
   }
   transfer_retry.validate();
 }
@@ -57,7 +63,7 @@ ShadowPrediction predict_outcome(
   // Same upfront validation as the runtimes (shared helper, so error
   // behaviour cannot drift).
   runtime::validate_injections(failures, n, config.total_steps,
-                               config.topology);
+                               config.topology, config.verify_every);
 
   std::vector<runtime::FailureInjection> pending(failures.begin(),
                                                  failures.end());
@@ -81,6 +87,30 @@ ShadowPrediction predict_outcome(
   bool staging = false;
   std::uint64_t snapshot_step = 0;
   std::uint64_t commit_at = 0;
+
+  // Silent-error mirror of the RecoveryEngine: live per-node corruption
+  // epochs, the epochs the in-flight staged set captured, the retained-set
+  // metadata ladder (front = committed, seeded with the virtual initial
+  // entry), and -- mirroring the stores' keep-last ring -- the aged image
+  // matrices at depth >= 1 (history[d-1] is depth d; corrupt slots age into
+  // history when a corrupted committed image survives to the next commit).
+  std::vector<std::uint64_t> sdc_epoch(n, 0);
+  std::vector<std::uint64_t> staging_epochs(n, 0);
+  struct RetainedSet {
+    std::uint64_t step = 0;
+    std::vector<std::uint64_t> epochs;
+    bool initial = false;
+  };
+  std::deque<RetainedSet> sets;
+  sets.push_back(RetainedSet{0, std::vector<std::uint64_t>(n, 0), true});
+  std::deque<std::vector<Image>> history;
+  std::uint64_t periods_since_verify = 0;
+  const auto reset_to_initial = [&] {
+    std::fill(sdc_epoch.begin(), sdc_epoch.end(), std::uint64_t{0});
+    sets.clear();
+    sets.push_back(RetainedSet{0, std::vector<std::uint64_t>(n, 0), true});
+    history.clear();
+  };
 
   struct RefillEntry {
     std::uint64_t node = 0;
@@ -163,6 +193,15 @@ ShadowPrediction predict_outcome(
     has_commit = true;
     staging = false;
     ++out.checkpoints;
+    // The outgoing committed matrix ages to depth 1 (every store pushes its
+    // ring on every commit, even when empty) and the new set joins the
+    // metadata ladder with its snapshot-time epochs.
+    if (config.keep_last > 1) {
+      history.push_front(img);
+      while (history.size() > config.keep_last - 1) history.pop_back();
+    }
+    sets.push_front(RetainedSet{snapshot_step, staging_epochs, false});
+    while (sets.size() > config.keep_last) sets.pop_back();
     // Promotion replaces every committed set: designated slots clean.
     for (std::uint64_t owner = 0; owner < n; ++owner) {
       if (pairs) {
@@ -192,6 +231,11 @@ ShadowPrediction predict_outcome(
         }
       }
     };
+    fire_kind(runtime::InjectionKind::SilentError,
+              [&](const runtime::FailureInjection& f) {
+                ++sdc_epoch[f.node];
+                ++out.sdc_injected;
+              });
     fire_kind(runtime::InjectionKind::CorruptReplica,
               [&](const runtime::FailureInjection& f) {
                 Image& target = slot(f.node, f.owner);
@@ -207,9 +251,13 @@ ShadowPrediction predict_outcome(
               });
     fire_kind(runtime::InjectionKind::NodeLoss,
               [&](const runtime::FailureInjection& f) {
-                // destroy() empties the victim's buddy store.
+                // destroy() replaces the victim's buddy store wholesale --
+                // every retained depth goes with it.
                 for (std::uint64_t owner = 0; owner < n; ++owner) {
                   slot(f.node, owner) = Image::Absent;
+                  for (auto& depth : history) {
+                    depth[f.node * n + owner] = Image::Absent;
+                  }
                 }
                 ++out.failures;
                 failed = true;
@@ -224,7 +272,10 @@ ShadowPrediction predict_outcome(
         // (pairs: local then preferred buddy; triples: preferred then
         // secondary), skipping corrupt images. Exhausted = lost, degraded.
         for (std::uint64_t node = 0; node < n; ++node) {
-          if (lost[node]) continue;  // blank-restarts again, no ladder
+          if (lost[node]) {
+            sdc_epoch[node] = 0;  // blank-restarts again, no ladder
+            continue;
+          }
           const std::uint64_t first =
               pairs ? node : groups.preferred_buddy(node);
           const std::uint64_t second = pairs
@@ -251,6 +302,8 @@ ShadowPrediction predict_outcome(
               ++out.hash_verified_recoveries;
             }
             if (corrupt_skipped > 0) ++out.failovers;
+            // The live epoch snaps back to what the committed set captured.
+            sdc_epoch[node] = sets.front().epochs[node];
             continue;
           }
           ++out.recoveries;
@@ -261,6 +314,7 @@ ShadowPrediction predict_outcome(
             out.fatal_step = step;
             out.unrecoverable_node = node;
           }
+          sdc_epoch[node] = 0;  // fresh initial condition, no corruption
         }
         for (std::uint64_t node = 0; node < n; ++node) {
           if (committed_count(node) == 0) {
@@ -269,6 +323,10 @@ ShadowPrediction predict_outcome(
           }
         }
         if (config.rereplication_delay_steps == 0) deliver_due();
+      } else {
+        // Pre-first-commit rollback: everything re-initializes, so latent
+        // corruption clears with it.
+        reset_to_initial();
       }
       const std::uint64_t resume = has_commit ? committed_step : 0;
       out.replayed_steps += step - resume;
@@ -287,10 +345,130 @@ ShadowPrediction predict_outcome(
     }
     if (lost_count > 0) ++out.degraded_steps;
     if (staging && step == commit_at) commit();
-    if (step % config.checkpoint_interval == 0 && step < config.total_steps &&
-        !staging) {
+    const bool boundary = step % config.checkpoint_interval == 0 &&
+                          step < config.total_steps;
+    if (config.verify_every > 0) {
+      // Mirror of RecoveryEngine::verify_checkpoints and the coordinators'
+      // cadence: every verify_every periods, after the period's commit and
+      // before the next set stages, plus a final audit at step == total.
+      if (boundary) ++periods_since_verify;
+      const bool due =
+          (boundary && periods_since_verify >= config.verify_every) ||
+          step == config.total_steps;
+      if (due) {
+        periods_since_verify = 0;
+        ++out.verifications_run;
+        const bool dirty = std::any_of(
+            sdc_epoch.begin(), sdc_epoch.end(),
+            [](std::uint64_t e) { return e != 0; });
+        if (dirty) {
+          ++out.sdc_detected;
+          // Ladder walk: shallowest retained set captured before every
+          // live epoch and restorable by every node (a Clean ladder image
+          // at that depth). The virtual initial entry is always usable.
+          const auto matrix_at =
+              [&](std::size_t depth) -> const std::vector<Image>& {
+            return depth == 0 ? img : history[depth - 1];
+          };
+          const auto usable = [&](std::size_t depth) {
+            const RetainedSet& set = sets[depth];
+            if (set.initial) return true;
+            if (std::any_of(set.epochs.begin(), set.epochs.end(),
+                            [](std::uint64_t e) { return e != 0; })) {
+              return false;
+            }
+            const std::vector<Image>& m = matrix_at(depth);
+            for (std::uint64_t node = 0; node < n; ++node) {
+              const std::uint64_t first =
+                  pairs ? node : groups.preferred_buddy(node);
+              const std::uint64_t second =
+                  pairs ? groups.preferred_buddy(node)
+                        : groups.secondary_buddy(node);
+              if (m[first * n + node] != Image::Clean &&
+                  m[second * n + node] != Image::Clean) {
+                return false;
+              }
+            }
+            return true;
+          };
+          std::size_t depth = 0;
+          bool found = false;
+          for (; depth < sets.size(); ++depth) {
+            if (usable(depth)) {
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            // Detected but unrecoverable: accept the corruption as the new
+            // truth (fatal fields, run continues) -- fatal-accept.
+            if (!out.fatal) {
+              std::uint64_t culprit = 0;
+              for (std::uint64_t node = 0; node < n; ++node) {
+                if (sdc_epoch[node] != 0) {
+                  culprit = node;
+                  break;
+                }
+              }
+              out.fatal = true;
+              out.fatal_step = step;
+              out.unrecoverable_node = culprit;
+            }
+            std::fill(sdc_epoch.begin(), sdc_epoch.end(), std::uint64_t{0});
+          } else {
+            ++out.rollbacks;
+            out.rollback_depth += depth;
+            staging = false;
+            refill.clear();
+            for (std::size_t i = 0; i < depth; ++i) {
+              // drop_newest: the next-oldest matrix becomes committed.
+              if (history.empty()) {
+                std::fill(img.begin(), img.end(), Image::Absent);
+              } else {
+                img = std::move(history.front());
+                history.pop_front();
+              }
+              sets.pop_front();
+            }
+            if (sets.front().initial) {
+              reset_to_initial();
+              std::fill(img.begin(), img.end(), Image::Absent);
+              std::fill(lost.begin(), lost.end(), char{0});
+              lost_count = 0;
+              has_commit = false;
+              committed_step = 0;
+              out.replayed_steps += step;
+              step = 0;
+              continue;
+            }
+            // Install the selected set: restores are hash-verified time
+            // travel, not peer recovery -- only rollback counters moved.
+            for (std::uint64_t node = 0; node < n; ++node) {
+              sdc_epoch[node] = sets.front().epochs[node];
+            }
+            committed_step = sets.front().step;
+            std::fill(lost.begin(), lost.end(), char{0});
+            lost_count = 0;
+            for (std::uint64_t node = 0; node < n; ++node) {
+              if (committed_count(node) == 0) {
+                refill.push_back(RefillEntry{
+                    node, config.rereplication_delay_steps, 1, false});
+              }
+            }
+            if (config.rereplication_delay_steps == 0 && !refill.empty()) {
+              deliver_due();
+            }
+            out.replayed_steps += step - committed_step;
+            step = committed_step;
+            continue;
+          }
+        }
+      }
+    }
+    if (boundary && !staging) {
       snapshot_step = step;
       staging = true;
+      staging_epochs = sdc_epoch;
       commit_at = step + config.staging_steps;
       if (config.staging_steps == 0) commit();
     }

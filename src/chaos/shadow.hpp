@@ -50,6 +50,8 @@ struct ShadowConfig {
   std::uint64_t staging_steps = 0;  ///< 0 = immediate commit (the grid)
   std::uint64_t rereplication_delay_steps = 0;
   ckpt::RetryPolicy transfer_retry;  ///< refill retry/backoff policy
+  std::uint64_t verify_every = 0;    ///< verification cadence; 0 = off
+  std::uint64_t keep_last = 1;       ///< retained-set ladder depth (>= 1)
 
   ShadowConfig() = default;
   ShadowConfig(const runtime::RuntimeConfig& config);  // NOLINT: implicit
@@ -76,6 +78,10 @@ struct ShadowPrediction {
   std::uint64_t corrupt_images_detected = 0;
   std::uint64_t degraded_steps = 0;
   std::uint64_t hash_verified_recoveries = 0;
+  std::uint64_t sdc_injected = 0;
+  std::uint64_t verifications_run = 0;
+  std::uint64_t sdc_detected = 0;
+  std::uint64_t rollback_depth = 0;
 };
 
 /// Runs the abstract machine for `config` under `failures` (same contract

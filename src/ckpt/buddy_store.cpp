@@ -5,10 +5,14 @@
 
 namespace dckpt::ckpt {
 
-BuddyStore::BuddyStore(std::uint64_t node, std::size_t capacity_images)
-    : node_(node), capacity_(capacity_images) {
+BuddyStore::BuddyStore(std::uint64_t node, std::size_t capacity_images,
+                       std::size_t retain_sets)
+    : node_(node), capacity_(capacity_images), retain_(retain_sets) {
   if (capacity_images == 0) {
     throw std::invalid_argument("BuddyStore: zero capacity");
+  }
+  if (retain_sets == 0) {
+    throw std::invalid_argument("BuddyStore: zero retention");
   }
 }
 
@@ -31,6 +35,14 @@ void BuddyStore::stage(const Snapshot& image) {
 void BuddyStore::promote(std::uint64_t version) {
   if (staged_.empty() || staged_.begin()->second.version() != version) {
     throw std::logic_error("BuddyStore: no staged set of that version");
+  }
+  if (retain_ > 1) {
+    // Outgoing committed set becomes history depth 1. The push happens even
+    // for an empty set (a freshly replaced node): every store advances its
+    // ring on every commit, so a given depth means the same commit on all
+    // stores.
+    history_.push_front(RetainedSet{std::move(committed_), committed_version_});
+    while (history_.size() > retain_ - 1) history_.pop_back();
   }
   committed_ = std::move(staged_);
   staged_.clear();
@@ -62,16 +74,42 @@ std::optional<Snapshot> BuddyStore::committed_for(std::uint64_t owner) const {
   return it->second;
 }
 
+std::optional<Snapshot> BuddyStore::committed_at(std::size_t depth,
+                                                 std::uint64_t owner) const {
+  if (depth == 0) return committed_for(owner);
+  if (depth - 1 >= history_.size()) return std::nullopt;
+  const auto& images = history_[depth - 1].images;
+  auto it = images.find(owner);
+  if (it == images.end()) return std::nullopt;
+  return it->second;
+}
+
 std::optional<Snapshot> BuddyStore::staged_for(std::uint64_t owner) const {
   auto it = staged_.find(owner);
   if (it == staged_.end()) return std::nullopt;
   return it->second;
 }
 
+void BuddyStore::drop_newest(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (history_.empty()) {
+      committed_.clear();
+      committed_version_ = 0;
+    } else {
+      committed_ = std::move(history_.front().images);
+      committed_version_ = history_.front().version;
+      history_.pop_front();
+    }
+  }
+}
+
 std::size_t BuddyStore::resident_bytes() const {
   std::size_t total = 0;
   for (const auto& [owner, image] : committed_) total += image.size_bytes();
   for (const auto& [owner, image] : staged_) total += image.size_bytes();
+  for (const auto& set : history_) {
+    for (const auto& [owner, image] : set.images) total += image.size_bytes();
+  }
   return total;
 }
 

@@ -98,4 +98,40 @@ ReplicationOutcome restore_replicas(
   return outcome;
 }
 
+RollbackOutcome select_rollback_set(
+    std::size_t retained, const std::function<bool(std::size_t)>& usable) {
+  RollbackOutcome outcome;
+  for (std::size_t depth = 0; depth < retained; ++depth) {
+    if (!usable(depth)) continue;
+    outcome.status =
+        depth == 0 ? RollbackStatus::Ok : RollbackStatus::RolledBack;
+    outcome.depth = depth;
+    return outcome;
+  }
+  outcome.status = RollbackStatus::Exhausted;
+  outcome.depth = retained;
+  return outcome;
+}
+
+bool set_restorable(std::size_t depth, const GroupAssignment& groups,
+                    std::span<BuddyStore* const> stores,
+                    std::span<const std::uint64_t> expected_hashes) {
+  check_directory(groups, stores);
+  if (expected_hashes.size() != groups.nodes()) {
+    throw std::invalid_argument("recovery: expected-hash directory size");
+  }
+  for (std::uint64_t node = 0; node < groups.nodes(); ++node) {
+    bool found = false;
+    for (const std::uint64_t holder : replica_ladder(node, groups)) {
+      auto image = stores[holder]->committed_at(depth, node);
+      if (!image) continue;
+      if (!image->verify(expected_hashes[node])) continue;
+      found = true;
+      break;
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
 }  // namespace dckpt::ckpt

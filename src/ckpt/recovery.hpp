@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <vector>
@@ -88,5 +89,39 @@ ReplicationOutcome restore_replicas(
     std::uint64_t node, const GroupAssignment& groups,
     std::span<BuddyStore* const> stores,
     std::span<const std::uint64_t> expected_hashes);
+
+/// How a rollback-ladder walk over the retained checkpoint sets ended.
+/// Used by silent-error recovery: when a verification proves the committed
+/// set carries corruption, recovery walks *back in time* through the
+/// keep-last-l retention ring instead of sideways through replicas.
+enum class RollbackStatus {
+  Ok,          ///< the committed set (depth 0) itself is usable
+  RolledBack,  ///< an older retained set was selected (depth > 0)
+  Exhausted,   ///< no retained set qualifies -- detected-but-unrecoverable
+};
+
+/// Typed result of the ladder walk -- no exception path. `depth` counts the
+/// sets that must be dropped to make the selected set the committed one.
+struct RollbackOutcome {
+  RollbackStatus status = RollbackStatus::Exhausted;
+  std::size_t depth = 0;  ///< meaningful unless Exhausted
+
+  bool ok() const noexcept { return status != RollbackStatus::Exhausted; }
+};
+
+/// Walks the rollback ladder newest -> oldest over `retained` restore
+/// points (depth 0 first) and returns the shallowest depth accepted by
+/// `usable`. Ok at depth 0, RolledBack at depth > 0, Exhausted when no
+/// depth qualifies.
+RollbackOutcome select_rollback_set(
+    std::size_t retained, const std::function<bool(std::size_t)>& usable);
+
+/// True when every node of the platform can restore a hash-verified image
+/// of itself from retained set `depth` through its replica ladder (pairs:
+/// local copy then preferred buddy; triples: preferred then secondary).
+/// `expected_hashes[node]` is the content hash recorded for that set.
+bool set_restorable(std::size_t depth, const GroupAssignment& groups,
+                    std::span<BuddyStore* const> stores,
+                    std::span<const std::uint64_t> expected_hashes);
 
 }  // namespace dckpt::ckpt

@@ -15,6 +15,7 @@
 #include "model/restart.hpp"      // IWYU pragma: export
 #include "model/risk.hpp"         // IWYU pragma: export
 #include "model/scenario.hpp"     // IWYU pragma: export
+#include "model/sdc.hpp"          // IWYU pragma: export
 #include "model/spares.hpp"       // IWYU pragma: export
 #include "model/waste.hpp"        // IWYU pragma: export
 #include "model/young_daly.hpp"   // IWYU pragma: export

@@ -26,6 +26,9 @@ void RuntimeConfig::validate() const {
     throw std::invalid_argument(
         "RuntimeConfig: staging_steps must be <= checkpoint_interval");
   }
+  if (keep_last == 0) {
+    throw std::invalid_argument("RuntimeConfig: keep_last must be >= 1");
+  }
   transfer_retry.validate();
 }
 
@@ -35,7 +38,8 @@ std::uint64_t state_hash(std::span<const double> state) {
 
 void validate_injections(std::span<const FailureInjection> failures,
                          std::uint64_t nodes, std::uint64_t total_steps,
-                         ckpt::Topology topology) {
+                         ckpt::Topology topology,
+                         std::uint64_t verify_every) {
   const ckpt::GroupAssignment groups(nodes, topology);
   for (const auto& failure : failures) {
     if (failure.node >= nodes) {
@@ -43,6 +47,13 @@ void validate_injections(std::span<const FailureInjection> failures,
     }
     if (failure.step >= total_steps) {
       throw std::invalid_argument("FailureInjection: step out of range");
+    }
+    if (failure.kind == InjectionKind::SilentError && verify_every == 0) {
+      // With verification off, a silent error can never be observed and
+      // the schedule would pass vacuously.
+      throw std::invalid_argument(
+          "FailureInjection: silent error requires verification enabled "
+          "(verify_every > 0)");
     }
     if (failure.kind == InjectionKind::CorruptReplica) {
       if (failure.owner >= nodes) {
@@ -71,13 +82,14 @@ Coordinator::Coordinator(RuntimeConfig config, std::unique_ptr<Kernel> kernel)
       groups_(config.nodes, config.topology), pool_(config.threads),
       committed_hashes_(config.nodes, 0),
       engine_(groups_, config.rereplication_delay_steps,
-              config.transfer_retry) {
+              config.transfer_retry, config.keep_last) {
   config_.validate();
   if (!kernel_) throw std::invalid_argument("Coordinator: null kernel");
   workers_.reserve(config_.nodes);
   for (std::uint64_t node = 0; node < config_.nodes; ++node) {
     workers_.emplace_back(node, config_.cells_per_node,
-                          node * config_.cells_per_node, *kernel_);
+                          node * config_.cells_per_node, *kernel_,
+                          config_.keep_last);
   }
 }
 
@@ -122,6 +134,8 @@ void Coordinator::begin_checkpoint(std::uint64_t step) {
   staging_snapshot_step_ = step;
   staged_bytes_ = 0;
   staging_hashes_.assign(workers_.size(), 0);
+  const auto epochs = engine_.current_epochs();
+  staging_epochs_.assign(epochs.begin(), epochs.end());
   for (std::uint64_t node = 0; node < workers_.size(); ++node) {
     const ckpt::Snapshot& image = images[node];
     // Hash before staging, so every filed copy carries the cached digest
@@ -162,8 +176,9 @@ void Coordinator::commit_checkpoint(RunReport& report) {
   report.bytes_replicated += staged_bytes_;
   ++report.checkpoints;
   // A committed exchange re-creates every replica: pending refills are
-  // subsumed, the risk window closes, and lost nodes rejoin.
-  engine_.on_commit();
+  // subsumed, the risk window closes, lost nodes rejoin, and the set joins
+  // the rollback ladder with its snapshot-time corruption epochs.
+  engine_.on_commit(committed_step_, committed_hashes_, staging_epochs_);
 }
 
 void Coordinator::rollback_all(RunReport& report, std::uint64_t step) {
@@ -177,6 +192,8 @@ void Coordinator::rollback_all(RunReport& report, std::uint64_t step) {
       worker.store().discard_staged();
       worker.initialize(*kernel_);
     }
+    // Re-initializing clears any latent corruption too.
+    engine_.reset_to_initial();
     return;
   }
   const auto stores = store_directory();
@@ -191,7 +208,7 @@ void Coordinator::rollback_all(RunReport& report, std::uint64_t step) {
 
 RunReport Coordinator::run(std::span<const FailureInjection> failures) {
   validate_injections(failures, config_.nodes, config_.total_steps,
-                      config_.topology);
+                      config_.topology, config_.verify_every);
   RunReport report;
   std::vector<FailureInjection> pending(failures.begin(), failures.end());
   std::stable_sort(pending.begin(), pending.end(),
@@ -209,7 +226,8 @@ RunReport Coordinator::run(std::span<const FailureInjection> failures) {
     // blank-restarting (degraded mode) any node whose ladder is exhausted.
     const bool failed = engine_.fire_injections(
         pending, step, stores,
-        [&](std::uint64_t node) { workers_[node].destroy(); }, report);
+        [&](std::uint64_t node) { workers_[node].destroy(); },
+        [&](std::uint64_t node) { workers_[node].inject_sdc(); }, report);
     if (failed) {
       rollback_all(report, step);
       const std::uint64_t resume = has_commit_ ? committed_step_ : 0;
@@ -230,8 +248,41 @@ RunReport Coordinator::run(std::span<const FailureInjection> failures) {
     if (staging_ && step == staging_commit_at_) {
       commit_checkpoint(report);
     }
-    if (step % config_.checkpoint_interval == 0 &&
-        step < config_.total_steps && !staging_) {
+    const bool boundary = step % config_.checkpoint_interval == 0 &&
+                          step < config_.total_steps;
+    if (config_.verify_every > 0) {
+      // Verification runs every `verify_every` checkpoint periods, after
+      // the period's commit and before the next set stages -- plus one
+      // final audit at the end of the run, so a late silent error cannot
+      // escape into the final answer undetected.
+      if (boundary) ++periods_since_verify_;
+      const bool due =
+          (boundary && periods_since_verify_ >= config_.verify_every) ||
+          step == config_.total_steps;
+      if (due) {
+        periods_since_verify_ = 0;
+        const auto action = engine_.verify_checkpoints(
+            step, stores, committed_hashes_,
+            [&](std::uint64_t node, const ckpt::Snapshot& image) {
+              workers_[node].restore(image);
+            },
+            [&](std::uint64_t node) { workers_[node].initialize(*kernel_); },
+            report);
+        if (action.rolled_back) {
+          staging_ = false;
+          committed_step_ = action.resume_step;
+          if (action.to_initial) {
+            has_commit_ = false;
+            std::fill(committed_hashes_.begin(), committed_hashes_.end(),
+                      std::uint64_t{0});
+          }
+          report.replayed_steps += step - action.resume_step;
+          step = action.resume_step;
+          continue;
+        }
+      }
+    }
+    if (boundary && !staging_) {
       begin_checkpoint(step);
       staging_commit_at_ = step + config_.staging_steps;
       if (config_.staging_steps == 0) commit_checkpoint(report);

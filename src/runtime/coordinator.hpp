@@ -60,6 +60,17 @@ struct RuntimeConfig {
   /// Retry-with-backoff policy for re-replication transfers (failed or torn
   /// deliveries are re-issued; each waiting step extends the risk window).
   ckpt::RetryPolicy transfer_retry;
+  /// Silent-error verification cadence: every `verify_every` checkpoint
+  /// periods the run pays a verification (a full state audit) that detects
+  /// latent corruption captured into committed sets. 0 = verification off
+  /// (silent errors, if injected, stay silent). A final verification always
+  /// runs at the end of the run when enabled.
+  std::uint64_t verify_every = 0;
+  /// Keep-last-l checkpoint retention: how many committed sets each buddy
+  /// store retains (>= 1). Detected silent corruption rolls back through
+  /// this ladder to the newest set whose capture predates every live
+  /// corruption epoch.
+  std::size_t keep_last = 1;
 
   void validate() const;
 };
@@ -70,11 +81,14 @@ enum class InjectionKind {
   CorruptReplica, ///< silently damage a committed image at rest
   TornTransfer,   ///< next refill delivery for `node` arrives prefix-only
   FailTransfer,   ///< next refill delivery for `node` fails outright
+  SilentError,    ///< latent in-memory corruption (captured by checkpoints)
 };
 
 /// An injection fired when the run first reaches step `step` (0-based).
-/// NodeLoss and CorruptReplica act immediately (corruption before losses
-/// within a step); Torn/FailTransfer arm and are consumed by the next
+/// SilentError flips live memory first (the node keeps running and the
+/// damage rides into every later snapshot until detected); NodeLoss and
+/// CorruptReplica act immediately (corruption before losses within a
+/// step); Torn/FailTransfer arm and are consumed by the next
 /// re-replication delivery attempt for `node`'s storage. For
 /// CorruptReplica, `node` is the holder whose store is damaged and `owner`
 /// selects which committed image.
@@ -87,14 +101,15 @@ struct FailureInjection {
 
 /// Upfront range check shared by both coordinators (and mirrored by the
 /// chaos shadow oracle): every injection must name an existing node and a
-/// step that actually executes, and a CorruptReplica must aim at a store
-/// that actually holds the owner's image under `topology`. Throws
-/// std::invalid_argument otherwise -- a schedule aimed at a nonexistent
-/// node or past the end of the run would otherwise be silently ignored and
-/// make a campaign vacuously pass.
+/// step that actually executes, a CorruptReplica must aim at a store
+/// that actually holds the owner's image under `topology`, and a
+/// SilentError requires verification enabled (`verify_every` > 0) -- an
+/// undetectable silent error would make a campaign vacuously pass. Throws
+/// std::invalid_argument otherwise.
 void validate_injections(std::span<const FailureInjection> failures,
                          std::uint64_t nodes, std::uint64_t total_steps,
-                         ckpt::Topology topology);
+                         ckpt::Topology topology,
+                         std::uint64_t verify_every = 0);
 
 struct RunReport {
   std::uint64_t steps_executed = 0;   ///< step executions incl. replays
@@ -122,6 +137,11 @@ struct RunReport {
                                       ///< on from a blank restart (data loss)
   std::uint64_t hash_verified_recoveries = 0; ///< successful peer restores
                                               ///< whose content hash matched
+  std::uint64_t sdc_injected = 0;     ///< silent-error injections fired
+  std::uint64_t verifications_run = 0;///< checkpoint verifications executed
+  std::uint64_t sdc_detected = 0;     ///< verifications that found corruption
+  std::uint64_t rollback_depth = 0;   ///< retained sets dropped across all
+                                      ///< silent-error rollbacks
   bool fatal = false;                 ///< unrecoverable data loss occurred
   bool degraded = false;              ///< run continued past the loss
   std::uint64_t fatal_node = 0;       ///< first node with no clean replica
@@ -168,7 +188,14 @@ class Coordinator {
   std::uint64_t staging_commit_at_ = 0;
   std::uint64_t staging_version_ = 0;
   std::vector<std::uint64_t> staging_hashes_;
+  // Corruption epochs at snapshot time: an SDC landing between snapshot and
+  // commit is *not* captured by the staged set, so the commit must record
+  // the epochs the images actually carry.
+  std::vector<std::uint64_t> staging_epochs_;
   std::uint64_t staged_bytes_ = 0;
+
+  // Verification cadence: checkpoint periods since the last verification.
+  std::uint64_t periods_since_verify_ = 0;
 
   // Refill/retry/degraded-mode machine shared with the grid coordinator.
   RecoveryEngine engine_;

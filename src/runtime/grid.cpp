@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstring>
 #include <limits>
 #include <stdexcept>
@@ -80,6 +81,9 @@ void GridConfig::validate() const {
   if (checkpoint_interval == 0 || total_steps == 0) {
     throw std::invalid_argument("GridConfig: zero interval or steps");
   }
+  if (keep_last == 0) {
+    throw std::invalid_argument("GridConfig: keep_last must be >= 1");
+  }
   transfer_retry.validate();
 }
 
@@ -88,14 +92,17 @@ void GridConfig::validate() const {
 struct GridCoordinator::Block {
   std::uint64_t id;
   std::size_t rows, cols;
+  std::size_t retain;
   ckpt::PageStore memory;
   ckpt::BuddyStore store;
   std::vector<double> prev, next;
 
-  Block(std::uint64_t node, std::size_t block_rows, std::size_t block_cols)
-      : id(node), rows(block_rows), cols(block_cols),
-        memory(block_rows * block_cols * sizeof(double)), store(node),
-        prev(block_rows * block_cols), next(block_rows * block_cols) {}
+  Block(std::uint64_t node, std::size_t block_rows, std::size_t block_cols,
+        std::size_t retain_sets)
+      : id(node), rows(block_rows), cols(block_cols), retain(retain_sets),
+        memory(block_rows * block_cols * sizeof(double)),
+        store(node, 2, retain_sets), prev(block_rows * block_cols),
+        next(block_rows * block_cols) {}
 
   void load(std::span<double> out) const {
     memory.read(0, std::as_writable_bytes(out));
@@ -124,7 +131,15 @@ struct GridCoordinator::Block {
     std::vector<double> poison(rows * cols,
                                std::numeric_limits<double>::quiet_NaN());
     save(poison);
-    store = ckpt::BuddyStore(id);
+    store = ckpt::BuddyStore(id, 2, retain);
+  }
+  void inject_sdc() {
+    // Same latent damage as the 1-D worker: flip the low mantissa byte of
+    // cell 0 through the COW write path.
+    std::byte low{};
+    memory.read(0, std::span(&low, 1));
+    low ^= std::byte{0x5a};
+    memory.write(0, std::span<const std::byte>(&low, 1));
   }
 };
 
@@ -136,13 +151,14 @@ GridCoordinator::GridCoordinator(GridConfig config,
       groups_(config.nodes(), config.topology), pool_(config.threads),
       committed_hashes_(config.nodes(), 0),
       engine_(groups_, config.rereplication_delay_steps,
-              config.transfer_retry) {
+              config.transfer_retry, config.keep_last) {
   config_.validate();
   if (!kernel_) throw std::invalid_argument("GridCoordinator: null kernel");
   blocks_.reserve(config_.nodes());
   for (std::uint64_t node = 0; node < config_.nodes(); ++node) {
     auto block = std::make_unique<Block>(node, config_.block_rows,
-                                         config_.block_cols);
+                                         config_.block_cols,
+                                         config_.keep_last);
     const std::size_t grid_r = node / config_.grid_cols;
     const std::size_t grid_c = node % config_.grid_cols;
     kernel_->initialize(grid_r * config_.block_rows,
@@ -221,8 +237,11 @@ void GridCoordinator::checkpoint_all(RunReport& report) {
   has_commit_ = true;
   ++report.checkpoints;
   // A committed exchange re-creates every replica: pending refills are
-  // subsumed, the risk window closes, and lost nodes rejoin.
-  engine_.on_commit();
+  // subsumed, the risk window closes, lost nodes rejoin, and the set joins
+  // the rollback ladder. The grid commits at snapshot time, so the live
+  // epochs are exactly what the images carry.
+  engine_.on_commit(committed_step_, committed_hashes_,
+                    engine_.current_epochs());
 }
 
 void GridCoordinator::blank_restart(std::uint64_t node) {
@@ -241,6 +260,8 @@ void GridCoordinator::rollback_all(RunReport& report, std::uint64_t step) {
       blocks_[node]->store.discard_staged();
       blank_restart(node);
     }
+    // Re-initializing clears any latent corruption too.
+    engine_.reset_to_initial();
     return;
   }
   const auto stores = store_directory();
@@ -254,7 +275,7 @@ void GridCoordinator::rollback_all(RunReport& report, std::uint64_t step) {
 
 RunReport GridCoordinator::run(std::span<const FailureInjection> failures) {
   validate_injections(failures, config_.nodes(), config_.total_steps,
-                      config_.topology);
+                      config_.topology, config_.verify_every);
   RunReport report;
   std::vector<FailureInjection> pending(failures.begin(), failures.end());
   std::stable_sort(pending.begin(), pending.end(),
@@ -270,7 +291,8 @@ RunReport GridCoordinator::run(std::span<const FailureInjection> failures) {
     // an exhausted ladder blank-restarts the node in degraded mode.
     const bool failed = engine_.fire_injections(
         pending, step, stores,
-        [&](std::uint64_t node) { blocks_[node]->destroy(); }, report);
+        [&](std::uint64_t node) { blocks_[node]->destroy(); },
+        [&](std::uint64_t node) { blocks_[node]->inject_sdc(); }, report);
     if (failed) {
       rollback_all(report, step);
       const std::uint64_t resume = has_commit_ ? committed_step_ : 0;
@@ -284,10 +306,41 @@ RunReport GridCoordinator::run(std::span<const FailureInjection> failures) {
     // Risk-window / refill / degraded-mode bookkeeping (same clock as the
     // 1-D coordinator: executed steps, replay included).
     engine_.tick(stores, committed_hashes_, report);
-    if (step % config_.checkpoint_interval == 0 &&
-        step < config_.total_steps) {
-      checkpoint_all(report);
+    const bool boundary = step % config_.checkpoint_interval == 0 &&
+                          step < config_.total_steps;
+    if (config_.verify_every > 0) {
+      // Same cadence and ordering as the 1-D coordinator: verification
+      // runs at the boundary *before* the boundary's own set commits (so
+      // both topologies see the same rollback ladder for the same
+      // schedule), plus a final audit at the end of the run.
+      if (boundary) ++periods_since_verify_;
+      const bool due =
+          (boundary && periods_since_verify_ >= config_.verify_every) ||
+          step == config_.total_steps;
+      if (due) {
+        periods_since_verify_ = 0;
+        const auto action = engine_.verify_checkpoints(
+            step, stores, committed_hashes_,
+            [&](std::uint64_t node, const ckpt::Snapshot& image) {
+              blocks_[node]->memory.restore(image);
+            },
+            [&](std::uint64_t node) { blank_restart(node); }, report);
+        if (action.rolled_back) {
+          committed_step_ = action.resume_step;
+          if (action.to_initial) {
+            has_commit_ = false;
+            std::fill(committed_hashes_.begin(), committed_hashes_.end(),
+                      std::uint64_t{0});
+          }
+          report.replayed_steps += step - action.resume_step;
+          step = action.resume_step;
+          continue;
+        }
+      }
+    }
+    if (boundary) {
       committed_step_ = step;
+      checkpoint_all(report);
     }
   }
   for (const auto& block : blocks_) {

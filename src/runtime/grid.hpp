@@ -89,6 +89,12 @@ struct GridConfig {
   /// Retry-with-backoff policy for re-replication transfers (same semantics
   /// as RuntimeConfig::transfer_retry).
   ckpt::RetryPolicy transfer_retry;
+  /// Silent-error verification cadence (same semantics as
+  /// RuntimeConfig::verify_every). 0 = off.
+  std::uint64_t verify_every = 0;
+  /// Keep-last-l checkpoint retention (same semantics as
+  /// RuntimeConfig::keep_last). Must be >= 1.
+  std::size_t keep_last = 1;
 
   std::uint64_t nodes() const noexcept {
     return static_cast<std::uint64_t>(grid_rows) * grid_cols;
@@ -125,6 +131,9 @@ class GridCoordinator {
   std::vector<std::uint64_t> committed_hashes_;
   std::uint64_t committed_step_ = 0;
   bool has_commit_ = false;
+
+  // Verification cadence: checkpoint periods since the last verification.
+  std::uint64_t periods_since_verify_ = 0;
 
   // Refill/retry/degraded-mode machine shared with the 1-D coordinator.
   RecoveryEngine engine_;

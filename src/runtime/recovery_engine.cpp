@@ -1,6 +1,7 @@
 #include "runtime/recovery_engine.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <string>
 
 #include "ckpt/recovery.hpp"
@@ -10,17 +11,27 @@ namespace dckpt::runtime {
 
 RecoveryEngine::RecoveryEngine(ckpt::GroupAssignment groups,
                                std::uint64_t rereplication_delay_steps,
-                               ckpt::RetryPolicy retry)
+                               ckpt::RetryPolicy retry, std::size_t keep_last)
     : groups_(std::move(groups)), delay_steps_(rereplication_delay_steps),
-      retry_(retry), armed_(groups_.nodes()),
-      lost_(groups_.nodes(), 0) {
+      retry_(retry), keep_last_(keep_last), armed_(groups_.nodes()),
+      lost_(groups_.nodes(), 0), sdc_epoch_(groups_.nodes(), 0) {
   retry_.validate();
+  if (keep_last_ == 0) {
+    throw std::invalid_argument("RecoveryEngine: zero retention");
+  }
+  // The starting configuration is the implicit first restore point.
+  RetainedSet initial;
+  initial.epochs.assign(groups_.nodes(), 0);
+  initial.initial = true;
+  sets_.push_back(std::move(initial));
 }
 
 bool RecoveryEngine::fire_injections(
     std::vector<FailureInjection>& pending, std::uint64_t step,
     std::span<ckpt::BuddyStore* const> stores,
-    const std::function<void(std::uint64_t)>& destroy, RunReport& report) {
+    const std::function<void(std::uint64_t)>& destroy,
+    const std::function<void(std::uint64_t)>& silent_corrupt,
+    RunReport& report) {
   // Kind order within a step: silent corruption exists at rest before the
   // crash that exposes it, and a transfer fault arms before the loss whose
   // refill it will sabotage.
@@ -34,6 +45,13 @@ bool RecoveryEngine::fire_injections(
       }
     }
   };
+  fire_kind(InjectionKind::SilentError, [&](const FailureInjection& f) {
+    // Latent in-memory damage: the node keeps computing on the corrupted
+    // state and every snapshot taken from now on carries the epoch.
+    silent_corrupt(f.node);
+    ++sdc_epoch_[f.node];
+    ++report.sdc_injected;
+  });
   fire_kind(InjectionKind::CorruptReplica, [&](const FailureInjection& f) {
     // No-op when the holder has no committed image of the owner yet (e.g.
     // before the first commit): there is nothing at rest to damage.
@@ -68,6 +86,7 @@ void RecoveryEngine::rollback_and_refill(
       // Already running degraded: the node has no committed image anywhere,
       // so there is no ladder to walk until the next commit readmits it.
       blank_restart(node);
+      sdc_epoch_[node] = 0;
       continue;
     }
     auto outcome =
@@ -82,6 +101,9 @@ void RecoveryEngine::rollback_and_refill(
         ++report.failovers;
       }
       restore(node, *outcome.image);
+      // The restored image carries whatever corruption the committed set
+      // captured -- the live epoch snaps back to the set's record.
+      sdc_epoch_[node] = sets_.front().epochs[node];
       continue;
     }
     // Ladder exhausted: unrecoverable data loss. Mark the node lost, record
@@ -99,6 +121,7 @@ void RecoveryEngine::rollback_and_refill(
                             std::to_string(node);
     }
     blank_restart(node);
+    sdc_epoch_[node] = 0;  // fresh initial condition carries no corruption
   }
   // Re-replication: every store the failure emptied must be refilled before
   // its group can take another hit (the model's risk window). A zero delay
@@ -168,12 +191,138 @@ bool RecoveryEngine::attempt_delivery(
   return true;
 }
 
-void RecoveryEngine::on_commit() {
+void RecoveryEngine::on_commit(std::uint64_t snapshot_step,
+                               std::span<const std::uint64_t> hashes,
+                               std::span<const std::uint64_t> epochs) {
   refill_.clear();
   if (lost_count_ > 0) {
     std::fill(lost_.begin(), lost_.end(), char{0});
     lost_count_ = 0;
   }
+  // The new committed set becomes ladder depth 0; older sets age one rung
+  // and the ring trims to the configured retention (the virtual initial
+  // entry ages out like any other set).
+  RetainedSet set;
+  set.step = snapshot_step;
+  set.hashes.assign(hashes.begin(), hashes.end());
+  set.epochs.assign(epochs.begin(), epochs.end());
+  sets_.push_front(std::move(set));
+  while (sets_.size() > keep_last_) sets_.pop_back();
+}
+
+void RecoveryEngine::reset_to_initial() {
+  std::fill(sdc_epoch_.begin(), sdc_epoch_.end(), std::uint64_t{0});
+  sets_.clear();
+  RetainedSet initial;
+  initial.epochs.assign(groups_.nodes(), 0);
+  initial.initial = true;
+  sets_.push_back(std::move(initial));
+}
+
+RecoveryEngine::VerifyAction RecoveryEngine::verify_checkpoints(
+    std::uint64_t step, std::span<ckpt::BuddyStore* const> stores,
+    std::vector<std::uint64_t>& committed_hashes, const RestoreFn& restore,
+    const BlankRestartFn& blank_restart, RunReport& report) {
+  ++report.verifications_run;
+  VerifyAction action;
+  const bool clean = std::all_of(sdc_epoch_.begin(), sdc_epoch_.end(),
+                                 [](std::uint64_t e) { return e == 0; });
+  if (clean) return action;
+  ++report.sdc_detected;
+
+  // Walk the ladder newest -> oldest for a set captured before every live
+  // corruption epoch *and* fully restorable through the replica ladders.
+  // The virtual initial entry is always usable: re-initializing is a
+  // restore point that needs no stored images.
+  const auto usable = [&](std::size_t depth) {
+    const RetainedSet& set = sets_[depth];
+    if (set.initial) return true;
+    const bool untainted = std::all_of(set.epochs.begin(), set.epochs.end(),
+                                       [](std::uint64_t e) { return e == 0; });
+    return untainted &&
+           ckpt::set_restorable(depth, groups_, stores, set.hashes);
+  };
+  const auto outcome = ckpt::select_rollback_set(sets_.size(), usable);
+  if (!outcome.ok()) {
+    // Detected but unrecoverable: accept the corrupted state as the new
+    // truth and run on degraded -- exactly the fail-stop data-loss policy,
+    // with the *detection* recorded instead of a silent wrong answer.
+    if (!report.fatal) {
+      std::uint64_t culprit = 0;
+      for (std::uint64_t node = 0; node < sdc_epoch_.size(); ++node) {
+        if (sdc_epoch_[node] != 0) {
+          culprit = node;
+          break;
+        }
+      }
+      report.fatal = true;
+      report.degraded = true;
+      report.fatal_node = culprit;
+      report.fatal_step = step;
+      report.fatal_reason =
+          "silent corruption detected on node " + std::to_string(culprit) +
+          ": no clean retained checkpoint set";
+    }
+    std::fill(sdc_epoch_.begin(), sdc_epoch_.end(), std::uint64_t{0});
+    return action;
+  }
+
+  ++report.rollbacks;
+  report.rollback_depth += outcome.depth;
+  action.rolled_back = true;
+  // Any in-flight staging set was captured after the corruption (or is
+  // about to be replayed); it dies with the rollback, as do in-flight
+  // refills -- re-derived below against the installed set.
+  refill_.clear();
+  for (ckpt::BuddyStore* store : stores) store->discard_staged();
+  for (ckpt::BuddyStore* store : stores) store->drop_newest(outcome.depth);
+  for (std::size_t i = 0; i < outcome.depth; ++i) sets_.pop_front();
+
+  if (sets_.front().initial) {
+    // Rolled all the way back to the starting configuration: every store
+    // empties and every node re-initializes.
+    for (std::uint64_t node = 0; node < groups_.nodes(); ++node) {
+      blank_restart(node);
+    }
+    reset_to_initial();
+    if (lost_count_ > 0) {
+      std::fill(lost_.begin(), lost_.end(), char{0});
+      lost_count_ = 0;
+    }
+    action.to_initial = true;
+    action.resume_step = 0;
+    return action;
+  }
+
+  // Install the selected set: set_restorable() already proved every node
+  // has a clean hash-verified image, so these walks cannot exhaust. Only
+  // the rollback counters move -- this is time travel, not peer recovery.
+  const RetainedSet& target = sets_.front();
+  for (std::uint64_t node = 0; node < groups_.nodes(); ++node) {
+    auto selected =
+        ckpt::select_replica(node, groups_, stores, target.hashes[node]);
+    restore(node, *selected.image);
+    sdc_epoch_[node] = target.epochs[node];
+  }
+  committed_hashes.assign(target.hashes.begin(), target.hashes.end());
+  if (lost_count_ > 0) {
+    // Every node now runs verified committed data; nobody is blank.
+    std::fill(lost_.begin(), lost_.end(), char{0});
+    lost_count_ = 0;
+  }
+  // A store whose depth ring ran out of sets is empty after the drop (e.g.
+  // a replacement node refilled only at depth 0): schedule its refill like
+  // any post-rollback re-replication.
+  for (std::uint64_t node = 0; node < groups_.nodes(); ++node) {
+    if (stores[node]->committed_count() == 0) {
+      refill_.push_back(RefillEntry{node, delay_steps_, 1, false});
+    }
+  }
+  if (delay_steps_ == 0 && !refill_.empty()) {
+    deliver_due(stores, committed_hashes, report);
+  }
+  action.resume_step = target.step;
+  return action;
 }
 
 }  // namespace dckpt::runtime

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <span>
 #include <vector>
@@ -40,20 +41,25 @@ class RecoveryEngine {
   /// condition (deterministic -- no NaN poison leaking through halos).
   using BlankRestartFn = std::function<void(std::uint64_t node)>;
 
+  /// `keep_last` is the retained-set ladder depth the engine tracks for
+  /// silent-error rollback; it must match the stores' retention.
   RecoveryEngine(ckpt::GroupAssignment groups,
                  std::uint64_t rereplication_delay_steps,
-                 ckpt::RetryPolicy retry);
+                 ckpt::RetryPolicy retry, std::size_t keep_last = 1);
 
   /// Fires every injection scheduled for `step`, in kind order within the
-  /// step: CorruptReplica damages committed images first, Torn/FailTransfer
-  /// arm against the node's next refill delivery, NodeLoss destroys last
-  /// (via `destroy`). Fired injections are erased from `pending`. Returns
-  /// true when at least one NodeLoss fired (callers roll back).
-  bool fire_injections(std::vector<FailureInjection>& pending,
-                       std::uint64_t step,
-                       std::span<ckpt::BuddyStore* const> stores,
-                       const std::function<void(std::uint64_t)>& destroy,
-                       RunReport& report);
+  /// step: SilentError flips live memory first (via `silent_corrupt`; the
+  /// node keeps running, its corruption epoch advances), CorruptReplica
+  /// damages committed images, Torn/FailTransfer arm against the node's
+  /// next refill delivery, NodeLoss destroys last (via `destroy`). Fired
+  /// injections are erased from `pending`. Returns true when at least one
+  /// NodeLoss fired (callers roll back).
+  bool fire_injections(
+      std::vector<FailureInjection>& pending, std::uint64_t step,
+      std::span<ckpt::BuddyStore* const> stores,
+      const std::function<void(std::uint64_t)>& destroy,
+      const std::function<void(std::uint64_t)>& silent_corrupt,
+      RunReport& report);
 
   /// The coordinated rollback after a NodeLoss (committed set exists):
   /// every node restores through its replica ladder; corrupt images are
@@ -78,13 +84,65 @@ class RecoveryEngine {
 
   /// A committed exchange re-creates every replica: pending and abandoned
   /// refills are subsumed, the risk window closes, and lost nodes rejoin
-  /// (their blank-restarted state is now the committed truth).
-  void on_commit();
+  /// (their blank-restarted state is now the committed truth). The commit
+  /// also pushes the new set onto the retained-set ladder: `snapshot_step`
+  /// is the step the images were captured at, `hashes` their per-node
+  /// content digests, and `epochs` the corruption epochs *at capture time*
+  /// (a staged commit may have absorbed corruption the live epochs no
+  /// longer show first).
+  void on_commit(std::uint64_t snapshot_step,
+                 std::span<const std::uint64_t> hashes,
+                 std::span<const std::uint64_t> epochs);
+
+  /// How a verification round changed the run.
+  struct VerifyAction {
+    bool rolled_back = false;   ///< a retained set was (re)installed
+    bool to_initial = false;    ///< rolled all the way to the initial state
+    std::uint64_t resume_step = 0;  ///< step to resume from when rolled_back
+  };
+
+  /// One verification round (cost accounted by the caller). No live
+  /// corruption -> no-op. Otherwise walks the rollback ladder newest ->
+  /// oldest for the shallowest retained set that (a) was captured before
+  /// every live corruption epoch and (b) every node can restore
+  /// hash-verified through its replica ladder. Exhausted ladder =
+  /// detected-but-unrecoverable: the corruption is *accepted* as the new
+  /// truth (fatal fields set, run continues) -- no exception path. On
+  /// rollback, `committed_hashes` is rewritten to the installed set's
+  /// digests and deeper refills are rescheduled for emptied stores.
+  VerifyAction verify_checkpoints(std::uint64_t step,
+                                  std::span<ckpt::BuddyStore* const> stores,
+                                  std::vector<std::uint64_t>& committed_hashes,
+                                  const RestoreFn& restore,
+                                  const BlankRestartFn& blank_restart,
+                                  RunReport& report);
+
+  /// Live per-node corruption epochs (monotonic; 0 = clean since capture).
+  std::span<const std::uint64_t> current_epochs() const noexcept {
+    return sdc_epoch_;
+  }
+
+  /// Pre-first-commit rollback (or a verified rollback to the initial
+  /// state): every node re-initializes, so all corruption epochs clear and
+  /// the retained-set ladder resets to the virtual initial entry.
+  void reset_to_initial();
 
   bool any_lost() const noexcept { return lost_count_ > 0; }
   bool refill_pending() const noexcept { return !refill_.empty(); }
 
  private:
+  /// One rung of the rollback ladder: a committed set's capture step, its
+  /// per-node content hashes, and the corruption epochs its images carry.
+  /// The ladder is seeded with a *virtual initial entry* (the starting
+  /// configuration, epochs all zero) so a run corrupted before its first
+  /// clean commit can still roll back to a restart instead of dying.
+  struct RetainedSet {
+    std::uint64_t step = 0;
+    std::vector<std::uint64_t> hashes;
+    std::vector<std::uint64_t> epochs;
+    bool initial = false;
+  };
+
   struct RefillEntry {
     std::uint64_t node = 0;
     std::uint64_t due = 0;      ///< executed steps until the next attempt
@@ -108,10 +166,13 @@ class RecoveryEngine {
   ckpt::GroupAssignment groups_;
   std::uint64_t delay_steps_;
   ckpt::RetryPolicy retry_;
+  std::size_t keep_last_;
   std::vector<RefillEntry> refill_;
   std::vector<std::vector<InjectionKind>> armed_;  ///< per-node FIFO
   std::vector<char> lost_;
   std::uint64_t lost_count_ = 0;
+  std::vector<std::uint64_t> sdc_epoch_;  ///< live corruption epochs
+  std::deque<RetainedSet> sets_;          ///< front = committed (depth 0)
 };
 
 }  // namespace dckpt::runtime

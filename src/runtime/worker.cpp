@@ -20,10 +20,10 @@ std::span<std::byte> as_writable_bytes(std::span<double> data) {
 }  // namespace
 
 Worker::Worker(std::uint64_t id, std::size_t cells, std::size_t global_offset,
-               const Kernel& kernel)
+               const Kernel& kernel, std::size_t retain_sets)
     : id_(id), cells_(cells), global_offset_(global_offset),
-      memory_(cells * sizeof(double)), store_(id),
-      scratch_prev_(cells), scratch_next_(cells) {
+      retain_sets_(retain_sets), memory_(cells * sizeof(double)),
+      store_(id, 2, retain_sets), scratch_prev_(cells), scratch_next_(cells) {
   initialize(kernel);
 }
 
@@ -72,6 +72,17 @@ void Worker::destroy() {
   reset_store();
 }
 
-void Worker::reset_store() { store_ = ckpt::BuddyStore(id_); }
+void Worker::inject_sdc() {
+  // Low mantissa byte of cell 0: the value changes (never to inf/NaN), so
+  // the corruption flows through subsequent kernel steps and content hashes.
+  std::byte low{};
+  memory_.read(0, std::span(&low, 1));
+  low ^= std::byte{0x5a};
+  memory_.write(0, std::span<const std::byte>(&low, 1));
+}
+
+void Worker::reset_store() {
+  store_ = ckpt::BuddyStore(id_, 2, retain_sets_);
+}
 
 }  // namespace dckpt::runtime

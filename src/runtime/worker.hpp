@@ -14,8 +14,9 @@ namespace dckpt::runtime {
 
 class Worker {
  public:
+  /// `retain_sets` is the buddy store's keep-last-l retention depth.
   Worker(std::uint64_t id, std::size_t cells, std::size_t global_offset,
-         const Kernel& kernel);
+         const Kernel& kernel, std::size_t retain_sets = 1);
 
   std::uint64_t id() const noexcept { return id_; }
   std::size_t cells() const noexcept { return cells_; }
@@ -43,6 +44,12 @@ class Worker {
   /// poison pattern) and the buddy storage is emptied.
   void destroy();
 
+  /// Silent data corruption: flips one bit pattern (low mantissa byte of
+  /// cell 0) in live memory through the COW write path. Unlike destroy()
+  /// this leaves the node running -- the damage is latent and gets captured
+  /// into every subsequent snapshot until a restore overwrites it.
+  void inject_sdc();
+
   ckpt::BuddyStore& store() noexcept { return store_; }
   const ckpt::BuddyStore& store() const noexcept { return store_; }
 
@@ -58,6 +65,7 @@ class Worker {
   std::uint64_t id_;
   std::size_t cells_;
   std::size_t global_offset_;
+  std::size_t retain_sets_;
   ckpt::PageStore memory_;
   ckpt::BuddyStore store_;
   std::vector<double> scratch_prev_;

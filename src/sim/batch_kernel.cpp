@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -42,7 +43,9 @@ constexpr double kMultiMargin = 1.0 + 2e-9;
 constexpr double kInvMultiMargin = 1.0 / kMultiMargin;
 constexpr std::size_t kMaxFastRun = 65536;
 
-enum class Phase : std::uint8_t { Part1, Part2, Part3, Down, Recover, Reexec };
+enum class Phase : std::uint8_t {
+  Part1, Part2, Part3, Down, Recover, Reexec, Verify
+};
 
 /// Open exposure window, the flat-vector mirror of RiskTracker's per-group
 /// map. Failure times are strictly increasing within a trial, so pruning
@@ -188,6 +191,20 @@ struct LaneCold {
   bool diverged = false;
   bool done = true;
   std::vector<RiskWin> risk;  ///< buffer reused across trials
+
+  // Silent-error mirror of the scalar engine (cold: SDC lanes never take
+  // the fast path, so none of this sits on the event-free hot loop).
+  util::Xoshiro256ss sdc_rng{0};
+  std::uint64_t live_taint = 0;
+  std::uint64_t pending_taint = 0;
+  engine::SdcLadder ladder;  ///< rung buffer reused across trials
+  std::uint64_t periods_since_verify = 0;
+  bool resume_fresh_period = false;
+  double time_verifying = 0.0;
+  std::uint64_t sdc_injected = 0;
+  std::uint64_t verifications_run = 0;
+  std::uint64_t sdc_detected = 0;
+  std::uint64_t rollback_depth = 0;
 };
 
 template <class Source>
@@ -204,7 +221,11 @@ class WaveRunner {
         nodes_(config.params.nodes),
         seed_(options.seed),
         group_size_(
-            static_cast<std::uint64_t>(model::group_size(config.protocol))) {
+            static_cast<std::uint64_t>(model::group_size(config.protocol))),
+        sdc_rate_(config.sdc_rate),
+        verify_cost_(config.verify_cost),
+        verify_every_(config.verify_every),
+        keep_last_(config.keep_last) {
     // Precomputed per-phase constants. Each gain/loss is the product of the
     // exact operands the scalar advance() multiplies, so applying them in
     // phase order reproduces its rounded += sequence bit-for-bit.
@@ -222,6 +243,10 @@ class WaveRunner {
     // guard anyway).
     fast_ok_ = geo_.part1 > 0.0 && geo_.part2 > 0.0 && geo_.part3 > 0.0 &&
                gain_ > 0.0;
+    // Verification splices extra phases into the period structure and
+    // strikes are events the horizon guard knows nothing about, so SDC
+    // trials always run the exact state machine.
+    fast_ok_ = fast_ok_ && verify_every_ == 0 && sdc_rate_ == 0.0;
     rates_le_one_ = geo_.rate1 <= 1.0 && geo_.rate2 <= 1.0 &&
                     geo_.overlap_rate <= 1.0;
     if (fast_ok_) {
@@ -292,6 +317,21 @@ class WaveRunner {
     c.diverged = false;
     c.done = false;
     c.risk.clear();
+    c.live_taint = 0;
+    c.pending_taint = 0;
+    c.periods_since_verify = 0;
+    c.resume_fresh_period = false;
+    c.time_verifying = 0.0;
+    c.sdc_injected = 0;
+    c.verifications_run = 0;
+    c.sdc_detected = 0;
+    c.rollback_depth = 0;
+    next_sdc_[lane] = std::numeric_limits<double>::infinity();
+    if (verify_every_ > 0) c.ladder.reset(keep_last_);
+    if (sdc_rate_ > 0.0) {
+      c.sdc_rng = util::Xoshiro256ss(stream_seed ^ engine::kSdcSeedSalt);
+      next_sdc_[lane] = engine::next_strike_time(0.0, c.sdc_rng, sdc_rate_);
+    }
     next_fail_[lane] = sources_[lane].peek_time();
     start_period(lane);
   }
@@ -310,6 +350,11 @@ class WaveRunner {
     r.time_recovering = c.time_recovering;
     r.time_reexecuting = c.time_reexecuting;
     r.time_at_risk = c.time_at_risk;
+    r.time_verifying = c.time_verifying;
+    r.sdc_injected = c.sdc_injected;
+    r.verifications_run = c.verifications_run;
+    r.sdc_detected = c.sdc_detected;
+    r.rollback_depth = c.rollback_depth;
     return r;
   }
 
@@ -388,6 +433,7 @@ class WaveRunner {
         return 1.0;
       case Phase::Down:
       case Phase::Recover:
+      case Phase::Verify:
         return 0.0;
       case Phase::Reexec:
         return c.overlap > 0.0 ? geo_.overlap_rate : 1.0;
@@ -419,6 +465,9 @@ class WaveRunner {
       case Phase::Reexec:
         c.time_reexecuting += dt;
         break;
+      case Phase::Verify:
+        c.time_verifying += dt;
+        break;
     }
     c.rem -= dt;
     if (c.phase == Phase::Reexec && c.overlap > 0.0) c.overlap -= dt;
@@ -429,6 +478,7 @@ class WaveRunner {
   bool start_period(std::size_t lane) {
     LaneCold& c = cold_[lane];
     pending_[lane] = work_[lane];
+    c.pending_taint = c.live_taint;
     c.phase = Phase::Part1;
     c.rem = geo_.part1;
     if (geo_.part1 == 0.0) return end_of_phase(lane);
@@ -437,10 +487,34 @@ class WaveRunner {
 
   bool resume_interrupted(std::size_t lane) {
     LaneCold& c = cold_[lane];
+    if (c.resume_fresh_period) {
+      c.resume_fresh_period = false;
+      return start_period(lane);
+    }
     c.phase = c.resume_phase;
     c.rem = c.resume_rem;
     if (c.rem <= 0.0) return end_of_phase(lane);
     return false;
+  }
+
+  /// Exact port of Engine::commit_snapshot.
+  void commit_snapshot(std::size_t lane) {
+    LaneCold& c = cold_[lane];
+    committed_[lane] = pending_[lane];
+    if (verify_every_ > 0) c.ladder.push(pending_[lane], c.pending_taint);
+  }
+
+  /// Exact port of Engine::end_of_period (park semantics of end_of_phase).
+  bool end_of_period(std::size_t lane) {
+    LaneCold& c = cold_[lane];
+    if (verify_every_ > 0 && ++c.periods_since_verify >= verify_every_) {
+      c.periods_since_verify = 0;
+      c.phase = Phase::Verify;
+      c.rem = verify_cost_;
+      if (c.rem == 0.0) return end_of_phase(lane);
+      return false;
+    }
+    return start_period(lane);
   }
 
   /// Exact port of Engine::end_of_phase. Returns true when the transition
@@ -449,18 +523,18 @@ class WaveRunner {
     LaneCold& c = cold_[lane];
     switch (c.phase) {
       case Phase::Part1:
-        if (geo_.commit_after_part1) committed_[lane] = pending_[lane];
+        if (geo_.commit_after_part1) commit_snapshot(lane);
         c.phase = Phase::Part2;
         c.rem = geo_.part2;
         return false;
       case Phase::Part2:
-        if (!geo_.commit_after_part1) committed_[lane] = pending_[lane];
+        if (!geo_.commit_after_part1) commit_snapshot(lane);
         c.phase = Phase::Part3;
         c.rem = geo_.part3;
-        if (geo_.part3 == 0.0) return start_period(lane);
+        if (geo_.part3 == 0.0) return end_of_period(lane);
         return false;
       case Phase::Part3:
-        return start_period(lane);
+        return end_of_period(lane);
       case Phase::Down:
         c.phase = Phase::Recover;
         c.rem = geo_.recover;
@@ -478,7 +552,38 @@ class WaveRunner {
       }
       case Phase::Reexec:
         return resume_interrupted(lane);
+      case Phase::Verify:
+        return finish_verification(lane);
     }
+    return false;
+  }
+
+  /// Exact port of Engine::finish_verification.
+  bool finish_verification(std::size_t lane) {
+    LaneCold& c = cold_[lane];
+    ++c.verifications_run;
+    if (c.live_taint == 0) return start_period(lane);
+    ++c.sdc_detected;
+    const std::size_t depth = c.ladder.first_clean();
+    if (depth == engine::SdcLadder::npos) {
+      if (!c.fatal) {
+        c.fatal = true;
+        c.fatal_time = now_[lane];
+      }
+      c.live_taint = 0;
+      return start_period(lane);
+    }
+    c.rollback_depth += depth;
+    c.pre_failure_work = work_[lane];
+    work_[lane] = c.ladder.rungs[depth].level;
+    committed_[lane] = work_[lane];
+    c.live_taint = 0;
+    c.ladder.drop(depth);
+    c.resume_fresh_period = true;
+    c.overlap = 0.0;
+    c.phase = Phase::Recover;
+    c.rem = geo_.recover;
+    if (c.rem == 0.0) return end_of_phase(lane);
     return false;
   }
 
@@ -544,6 +649,7 @@ class WaveRunner {
       c.pre_failure_work = work_[lane];
     }
     work_[lane] = committed_[lane];
+    if (verify_every_ > 0) c.live_taint = c.ladder.front_taint();
     c.phase = Phase::Down;
     c.rem = geo_.downtime;
     c.overlap = 0.0;
@@ -579,9 +685,18 @@ class WaveRunner {
           dt = std::min(dt, room / rate);
         }
       }
-      if (next_fail_[lane] < now_[lane] + dt) {
-        advance(lane, rate, next_fail_[lane] - now_[lane]);
-        if (!handle_failure(lane)) {
+      // Strikes win ties, mirroring the scalar loop's event selection.
+      const bool strike_first = next_sdc_[lane] <= next_fail_[lane];
+      const double event_time =
+          strike_first ? next_sdc_[lane] : next_fail_[lane];
+      if (event_time < now_[lane] + dt) {
+        advance(lane, rate, event_time - now_[lane]);
+        if (strike_first) {
+          ++c.sdc_injected;
+          ++c.live_taint;
+          next_sdc_[lane] =
+              engine::next_strike_time(next_sdc_[lane], c.sdc_rng, sdc_rate_);
+        } else if (!handle_failure(lane)) {
           c.done = true;
           return;
         }
@@ -593,7 +708,14 @@ class WaveRunner {
         return;
       }
       if (c.rem <= kPhaseEpsilon) {
-        if (end_of_phase(lane)) return;  // parked at a fresh period start
+        const bool parked = end_of_phase(lane);
+        // A verification can end the run too (fatal-accept with
+        // stop_on_fatal); mirror the scalar loop's post-transition check.
+        if (c.fatal && stop_on_fatal_) {
+          c.done = true;
+          return;
+        }
+        if (parked) return;  // parked at a fresh period start
       }
     }
   }
@@ -606,6 +728,10 @@ class WaveRunner {
   const std::uint64_t nodes_;
   const std::uint64_t seed_;
   const std::uint64_t group_size_;
+  const double sdc_rate_;
+  const double verify_cost_;
+  const std::uint64_t verify_every_;
+  const std::uint64_t keep_last_;
 
   double gain_ = 0.0;  ///< work gained per whole period
   double inv_sum_parts_ = 0.0, inv_gain_ = 0.0;  ///< set when fast_ok_
@@ -623,6 +749,7 @@ class WaveRunner {
   std::array<double, kBatchLanes> pending_{};
   std::array<double, kBatchLanes> tc_{};
   std::array<double, kBatchLanes> next_fail_{};
+  std::array<double, kBatchLanes> next_sdc_{};
   std::array<Source, kBatchLanes> sources_{};
   std::array<LaneCold, kBatchLanes> cold_{};
 };

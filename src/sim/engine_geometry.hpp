@@ -9,12 +9,16 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "model/parameters.hpp"
 #include "model/protocol.hpp"
 #include "model/risk.hpp"
 #include "model/waste.hpp"
+#include "util/rng.hpp"
 
 namespace dckpt::sim::engine {
 
@@ -100,5 +104,71 @@ inline double makespan_cap(double max_makespan, double t_base, double period) {
   return max_makespan > 0.0 ? max_makespan
                             : 1e4 * std::max(t_base, period);
 }
+
+/// Seed salt deriving the silent-error strike stream from a trial's master
+/// stream seed: strikes and fail-stop failures draw from independent
+/// generators, so enabling SDC never perturbs the failure arrival sequence
+/// (nor vice versa). Shared so both engines salt identically.
+inline constexpr std::uint64_t kSdcSeedSalt = 0xa24baed4963ee407ULL;
+
+/// Advances the platform-wide Poisson strike clock: same literal ops as the
+/// scalar exponential injector (one open-zero uniform, one log, one divide),
+/// shared so both engines round identically.
+inline double next_strike_time(double current, util::Xoshiro256ss& rng,
+                               double sdc_rate) {
+  return current + -std::log(rng.next_double_open_zero()) / sdc_rate;
+}
+
+/// Retained-checkpoint ladder for verified rollback, the simulator's analog
+/// of the runtime's keep-last-l retention ring. Rung 0 is the newest commit;
+/// the ladder is seeded with the pristine initial state {level 0, taint 0}.
+/// `taint` counts the silent strikes whose corruption the rung's snapshot
+/// captured (the continuous-time mirror of the runtime's per-set epoch
+/// bookkeeping); a rung is restorable iff its taint is zero. Shared by the
+/// scalar engine and the batched kernel so ladder decisions are identical by
+/// construction.
+struct SdcLadder {
+  struct Rung {
+    double level = 0.0;        ///< work level the snapshot captured
+    std::uint64_t taint = 0;   ///< strikes baked into the snapshot
+  };
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  std::vector<Rung> rungs;  ///< index 0 = newest
+  std::size_t capacity = 1;
+
+  void reset(std::size_t keep_last) {
+    capacity = keep_last;
+    rungs.clear();
+    rungs.push_back(Rung{});
+  }
+
+  /// Records a committed snapshot; the oldest rung past `capacity` is
+  /// evicted (after which the initial state is no longer reachable).
+  void push(double level, std::uint64_t taint) {
+    rungs.insert(rungs.begin(), Rung{level, taint});
+    if (rungs.size() > capacity) rungs.resize(capacity);
+  }
+
+  /// Taint of the newest rung (what a fail-stop rollback restores).
+  std::uint64_t front_taint() const noexcept { return rungs.front().taint; }
+
+  /// Shallowest restorable rung, or npos when every retained snapshot
+  /// captured some strike.
+  std::size_t first_clean() const noexcept {
+    for (std::size_t d = 0; d < rungs.size(); ++d) {
+      if (rungs[d].taint == 0) return d;
+    }
+    return npos;
+  }
+
+  /// Discards the `depth` newest rungs (they captured the corruption being
+  /// rolled back over).
+  void drop(std::size_t depth) {
+    rungs.erase(rungs.begin(),
+                rungs.begin() + static_cast<std::ptrdiff_t>(depth));
+  }
+};
 
 }  // namespace dckpt::sim::engine

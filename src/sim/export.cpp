@@ -66,6 +66,11 @@ util::JsonValue to_json(const MonteCarloResult& result) {
   v.set("failures", to_json(result.failures));
   v.set("risk_time", to_json(result.risk_time));
   v.set("success", to_json(result.success));
+  // Appended in PR 7 (append-only schema): silent-error aggregates.
+  v.set("sdc_injected", to_json(result.sdc_injected));
+  v.set("sdc_detected", to_json(result.sdc_detected));
+  v.set("verify_time", to_json(result.verify_time));
+  v.set("rollback_depth", to_json(result.rollback_depth));
   if (result.metrics) {
     auto histograms = util::JsonValue::object();
     histograms.set("waste", to_json(result.metrics->waste));
@@ -89,6 +94,8 @@ util::JsonValue to_json(const SweepPoint& point) {
   // Appended in PR 4 (append-only schema): clustered-failure model fields.
   v.set("weibull_shape", point.weibull_shape);
   v.set("model_waste_weibull", point.model_waste_weibull);
+  // Appended in PR 7 (append-only schema): verified-checkpoint model waste.
+  v.set("model_waste_sdc", point.model_waste_sdc);
   return v;
 }
 

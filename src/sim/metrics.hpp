@@ -11,11 +11,13 @@ struct TrialResult {
   double makespan = 0.0;       ///< wall-clock to finish t_base work
   double t_base = 0.0;         ///< useful work requested
   std::uint64_t failures = 0;  ///< non-fatal failures endured
-  bool fatal = false;          ///< a group lost all copies of a checkpoint
+  bool fatal = false;          ///< a group lost every copy of a checkpoint,
+                               ///< or detected SDC had no clean rung left
   double fatal_time = 0.0;     ///< when the fatal failure struck (if fatal)
   bool diverged = false;       ///< hit the makespan cap before finishing
 
-  /// Time-loss breakdown (sums to makespan - t_base for non-fatal runs).
+  /// Time-loss breakdown (with time_verifying, sums to makespan - t_base
+  /// for non-fatal runs).
   double time_checkpointing = 0.0;  ///< part1/part2 slowdown + local ckpt
   double time_down = 0.0;           ///< downtime D accumulated
   double time_recovering = 0.0;     ///< recovery transfers
@@ -25,6 +27,13 @@ struct TrialResult {
   /// Wall-clock with at least one risk window open (union of the per-failure
   /// exposure windows; a buddy failure in this time would have been fatal).
   double time_at_risk = 0.0;
+
+  // Silent-error accounting (all zero when SimConfig::verify_every is 0).
+  double time_verifying = 0.0;        ///< wall-clock spent in Verify phases
+  std::uint64_t sdc_injected = 0;     ///< silent strikes that hit the trial
+  std::uint64_t verifications_run = 0;  ///< completed verification phases
+  std::uint64_t sdc_detected = 0;     ///< verifications that found corruption
+  std::uint64_t rollback_depth = 0;   ///< summed verified-rollback depths
 
   double waste() const noexcept {
     return makespan > 0.0 ? 1.0 - t_base / makespan : 0.0;

@@ -16,7 +16,7 @@ namespace {
 using engine::Geometry;
 using engine::kWorkEpsilon;
 
-enum class Phase { Part1, Part2, Part3, Down, Recover, Reexec };
+enum class Phase { Part1, Part2, Part3, Down, Recover, Reexec, Verify };
 
 Geometry make_geometry(const SimConfig& config) {
   return engine::make_geometry(config.protocol, config.params, config.period);
@@ -45,13 +45,30 @@ struct Engine {
   double overlap_remaining = 0.0;      ///< degraded re-execution window left
   double risk_open_until = 0.0;        ///< latest risk-window expiry seen
 
+  // Silent-error state (active when verify_every > 0 / sdc_rate > 0).
+  util::Xoshiro256ss sdc_rng;
+  double next_sdc = std::numeric_limits<double>::infinity();
+  std::uint64_t live_taint = 0;     ///< strikes present in the live state
+  std::uint64_t pending_taint = 0;  ///< live_taint when `pending` was captured
+  engine::SdcLadder ladder;
+  std::uint64_t periods_since_verify = 0;
+  /// Set by a verified rollback: its Recover/Reexec chain ends in a fresh
+  /// period, not a saved phase (resuming Part3-with-zero-remaining instead
+  /// would re-enter the boundary hook and double-count the period).
+  bool resume_fresh_period = false;
+
   TrialResult result;
 
   Engine(const SimConfig& cfg, std::unique_ptr<FailureInjector>& inj,
-         Trace* tr)
+         std::uint64_t stream_seed, Trace* tr)
       : config(cfg), geo(make_geometry(cfg)), injector(*inj),
         risk_tracker(cfg.params.nodes, model::group_size(cfg.protocol)),
-        trace(tr) {}
+        trace(tr), sdc_rng(stream_seed ^ engine::kSdcSeedSalt) {
+    if (config.verify_every > 0) ladder.reset(config.keep_last);
+    if (config.sdc_rate > 0.0) {
+      next_sdc = engine::next_strike_time(0.0, sdc_rng, config.sdc_rate);
+    }
+  }
 
   void record(TraceKind kind, std::uint64_t node = 0) {
     if (trace) trace->record(now, kind, node, work);
@@ -67,6 +84,7 @@ struct Engine {
         return 1.0;
       case Phase::Down:
       case Phase::Recover:
+      case Phase::Verify:
         return 0.0;
       case Phase::Reexec:
         return overlap_remaining > 0.0 ? geo.overlap_rate : 1.0;
@@ -81,6 +99,7 @@ struct Engine {
 
   void start_period() {
     pending = work;
+    pending_taint = live_taint;
     phase = Phase::Part1;
     phase_remaining = geo.part1;
     record(TraceKind::PeriodStart);
@@ -116,6 +135,9 @@ struct Engine {
       case Phase::Reexec:
         result.time_reexecuting += dt;
         break;
+      case Phase::Verify:
+        result.time_verifying += dt;
+        break;
     }
     phase_remaining -= dt;
     if (phase == Phase::Reexec && overlap_remaining > 0.0) {
@@ -123,11 +145,32 @@ struct Engine {
     }
   }
 
+  /// Commits the in-flight snapshot and records it on the retention ladder
+  /// (with the taint it captured) when verification is enabled.
+  void commit_snapshot() {
+    committed = pending;
+    if (config.verify_every > 0) ladder.push(pending, pending_taint);
+  }
+
+  /// Period-boundary hook: runs the blocking verification when one is due,
+  /// otherwise starts the next period directly.
+  void end_of_period() {
+    if (config.verify_every > 0 &&
+        ++periods_since_verify >= config.verify_every) {
+      periods_since_verify = 0;
+      phase = Phase::Verify;
+      phase_remaining = config.verify_cost;
+      if (phase_remaining == 0.0) end_of_phase();
+      return;
+    }
+    start_period();
+  }
+
   void end_of_phase() {
     switch (phase) {
       case Phase::Part1:
         if (geo.commit_after_part1) {
-          committed = pending;
+          commit_snapshot();
           record(TraceKind::PreferredCopyDone);
         } else {
           record(TraceKind::LocalCheckpointDone);
@@ -136,14 +179,14 @@ struct Engine {
         phase_remaining = geo.part2;
         break;
       case Phase::Part2:
-        if (!geo.commit_after_part1) committed = pending;
+        if (!geo.commit_after_part1) commit_snapshot();
         record(TraceKind::RemoteExchangeDone);
         phase = Phase::Part3;
         phase_remaining = geo.part3;
-        if (geo.part3 == 0.0) start_period();
+        if (geo.part3 == 0.0) end_of_period();
         break;
       case Phase::Part3:
-        start_period();
+        end_of_period();
         break;
       case Phase::Down:
         record(TraceKind::DowntimeEnd);
@@ -167,7 +210,47 @@ struct Engine {
         record(TraceKind::ReexecutionEnd);
         resume_interrupted();
         break;
+      case Phase::Verify:
+        finish_verification();
+        break;
     }
+  }
+
+  /// Verification decision at the end of a Verify phase. A clean live state
+  /// starts the next period; detected corruption rolls back to the
+  /// shallowest clean ladder rung (recovery transfer, then re-execution of
+  /// the discarded work); with no clean rung left the run is fatal and the
+  /// corrupt state is accepted as the new truth (mirroring the runtime's
+  /// fatal-accept semantics).
+  void finish_verification() {
+    ++result.verifications_run;
+    if (live_taint == 0) {
+      start_period();
+      return;
+    }
+    ++result.sdc_detected;
+    const std::size_t depth = ladder.first_clean();
+    if (depth == engine::SdcLadder::npos) {
+      if (!result.fatal) {
+        result.fatal = true;
+        result.fatal_time = now;
+      }
+      live_taint = 0;
+      start_period();
+      return;
+    }
+    result.rollback_depth += depth;
+    record(TraceKind::Rollback);
+    pre_failure_work = work;
+    work = ladder.rungs[depth].level;
+    committed = work;
+    live_taint = 0;  // the selected rung is clean by construction
+    ladder.drop(depth);
+    resume_fresh_period = true;
+    overlap_remaining = 0.0;
+    phase = Phase::Recover;
+    phase_remaining = geo.recover;
+    if (phase_remaining == 0.0) end_of_phase();
   }
 
   double reexec_duration(double deficit) const {
@@ -175,6 +258,11 @@ struct Engine {
   }
 
   void resume_interrupted() {
+    if (resume_fresh_period) {
+      resume_fresh_period = false;
+      start_period();
+      return;
+    }
     phase = resume_phase;
     phase_remaining = resume_remaining;
     if (phase_remaining <= 0.0) {
@@ -213,10 +301,21 @@ struct Engine {
     // rollback target and deficit are unchanged.
     record(TraceKind::Rollback, event.node);
     work = committed;
+    // Restoring the newest committed snapshot re-introduces whatever silent
+    // corruption it captured (and sheds strikes it predates).
+    if (config.verify_every > 0) live_taint = ladder.front_taint();
     phase = Phase::Down;
     phase_remaining = geo.downtime;
     overlap_remaining = 0.0;
     if (phase_remaining == 0.0) end_of_phase();
+  }
+
+  /// A silent strike: taints the live state invisibly (no rollback, no
+  /// downtime -- detection waits for the next verification).
+  void handle_strike() {
+    ++result.sdc_injected;
+    ++live_taint;
+    next_sdc = engine::next_strike_time(next_sdc, sdc_rng, config.sdc_rate);
   }
 
   TrialResult run() {
@@ -241,15 +340,29 @@ struct Engine {
         dt = std::min(dt, (config.t_base - work) / rate);
       }
       const FailureEvent next_failure = injector.peek();
-      if (next_failure.time < now + dt) {
-        advance(next_failure.time - now);
-        handle_failure(next_failure);
-        if (result.fatal && config.stop_on_fatal) break;
+      // Strikes win ties: a simultaneous strike + fail-stop failure taints
+      // the state first, so the failure's rollback decides its fate.
+      const bool strike_first = next_sdc <= next_failure.time;
+      const double event_time = strike_first ? next_sdc : next_failure.time;
+      if (event_time < now + dt) {
+        advance(event_time - now);
+        if (strike_first) {
+          handle_strike();
+        } else {
+          handle_failure(next_failure);
+          if (result.fatal && config.stop_on_fatal) break;
+        }
         continue;
       }
       advance(dt);
       if (config.t_base - work <= kWorkEpsilon) break;
-      if (phase_remaining <= 1e-12) end_of_phase();
+      if (phase_remaining <= 1e-12) {
+        end_of_phase();
+        // A verification can end the run too: detected corruption with no
+        // clean retained checkpoint left (no-op for fail-stop-only runs,
+        // where fatal is only ever set inside handle_failure).
+        if (result.fatal && config.stop_on_fatal) break;
+      }
     }
     result.makespan = now;
     record(TraceKind::ApplicationDone);
@@ -273,11 +386,28 @@ void SimConfig::validate() const {
     throw std::invalid_argument(
         "SimConfig: nodes must be a multiple of the group size");
   }
+  if (!(sdc_rate >= 0.0) || !std::isfinite(sdc_rate)) {
+    throw std::invalid_argument("SimConfig: sdc_rate must be finite and >= 0");
+  }
+  if (!(verify_cost >= 0.0) || !std::isfinite(verify_cost)) {
+    throw std::invalid_argument(
+        "SimConfig: verify_cost must be finite and >= 0");
+  }
+  if (keep_last == 0) {
+    throw std::invalid_argument("SimConfig: keep_last must be >= 1");
+  }
+  if (sdc_rate > 0.0 && verify_every == 0) {
+    throw std::invalid_argument(
+        "SimConfig: silent errors require verification enabled "
+        "(verify_every > 0)");
+  }
 }
 
 ProtocolSimulation::ProtocolSimulation(SimConfig config,
-                                       std::unique_ptr<FailureInjector> injector)
-    : config_(config), injector_(std::move(injector)) {
+                                       std::unique_ptr<FailureInjector> injector,
+                                       std::uint64_t stream_seed)
+    : config_(config), injector_(std::move(injector)),
+      stream_seed_(stream_seed) {
   config_.validate();
   if (!injector_) {
     throw std::invalid_argument("ProtocolSimulation: null injector");
@@ -289,7 +419,7 @@ ProtocolSimulation::ProtocolSimulation(SimConfig config,
 }
 
 TrialResult ProtocolSimulation::run(Trace* trace) {
-  Engine engine(config_, injector_, trace);
+  Engine engine(config_, injector_, stream_seed_, trace);
   return engine.run();
 }
 
@@ -297,7 +427,7 @@ TrialResult simulate_exponential(const SimConfig& config, std::uint64_t seed,
                                  Trace* trace) {
   auto injector = std::make_unique<PlatformExponentialInjector>(
       config.params.mtbf, config.params.nodes, util::Xoshiro256ss(seed));
-  ProtocolSimulation simulation(config, std::move(injector));
+  ProtocolSimulation simulation(config, std::move(injector), seed);
   return simulation.run(trace);
 }
 

@@ -9,6 +9,10 @@
 //   failure (any phase)   rollback to committed level, then
 //                         Down(D) -> Recover -> Reexec -> resume the
 //                         interrupted phase at its saved offset
+//   verification          every k periods a blocking Verify(V) phase runs at
+//                         the period boundary; detected silent corruption
+//                         rolls back to the shallowest clean retained
+//                         checkpoint (Recover -> Reexec -> fresh period)
 //
 // Work rates per phase follow the overlap model: 0 during a blocking local
 // checkpoint, (theta - phi)/theta during overlapped transfers, 1 at full
@@ -43,15 +47,35 @@ struct SimConfig {
   bool stop_on_fatal = true;   ///< end the run at the first fatal failure
   double max_makespan = 0.0;   ///< livelock guard; 0 = 10^4 * t_base
 
+  // Silent-error (SDC) extension with verified checkpoints. Strikes arrive
+  // as a platform-wide Poisson process at rate `sdc_rate` (drawn from a
+  // salted copy of the trial's RNG stream, so enabling them never perturbs
+  // the fail-stop arrival sequence). A strike silently taints the live
+  // state; every snapshot captured afterwards inherits the taint, and a
+  // fail-stop rollback re-introduces whatever taint the restored snapshot
+  // carries. Every `verify_every` completed periods the run blocks for
+  // `verify_cost` seconds of verification; a verification that finds the
+  // live state tainted rolls back to the shallowest clean rung of the
+  // keep-last-`keep_last` retained-checkpoint ladder (recovery transfer R,
+  // then re-execution), or -- when every retained snapshot is tainted --
+  // reports a fatal run and accepts the corrupt state as the new truth.
+  double sdc_rate = 0.0;     ///< platform silent-error rate, strikes/s
+  double verify_cost = 0.0;  ///< V: blocking verification time, s
+  std::uint64_t verify_every = 0;  ///< k: periods per verification (0 = off)
+  std::uint64_t keep_last = 1;     ///< l: retained committed checkpoint sets
+
   void validate() const;
 };
 
 class ProtocolSimulation {
  public:
   /// The injector's node count must match params.nodes and be a multiple of
-  /// the protocol's group size.
+  /// the protocol's group size. `stream_seed` must be the same seed the
+  /// injector's RNG stream was built from -- the silent-error strike stream
+  /// is derived from it by salting (only consulted when sdc_rate > 0).
   ProtocolSimulation(SimConfig config,
-                     std::unique_ptr<FailureInjector> injector);
+                     std::unique_ptr<FailureInjector> injector,
+                     std::uint64_t stream_seed = 0);
 
   /// Runs one complete execution. Pass a Trace to capture the event log.
   TrialResult run(Trace* trace = nullptr);
@@ -59,6 +83,7 @@ class ProtocolSimulation {
  private:
   SimConfig config_;
   std::unique_ptr<FailureInjector> injector_;
+  std::uint64_t stream_seed_ = 0;
 };
 
 /// Convenience: simulate with a platform-level exponential injector seeded

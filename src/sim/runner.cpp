@@ -1,7 +1,9 @@
 #include "sim/runner.hpp"
 
+#include <cstdlib>
 #include <mutex>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 #include "sim/batch_kernel.hpp"
@@ -57,7 +59,20 @@ void accumulate_trial(MonteCarloResult& result, const TrialResult& trial) {
   result.failures.add(static_cast<double>(trial.failures));
   result.risk_time.add(trial.time_at_risk);
   result.success.add(!trial.fatal);
+  result.sdc_injected.add(static_cast<double>(trial.sdc_injected));
+  result.sdc_detected.add(static_cast<double>(trial.sdc_detected));
+  result.verify_time.add(trial.time_verifying);
+  result.rollback_depth.add(static_cast<double>(trial.rollback_depth));
   if (result.metrics) result.metrics->add(trial);
+}
+
+SimEngine engine_from_env(SimEngine fallback) {
+  const char* value = std::getenv("DCKPT_ENGINE");
+  if (value == nullptr) return fallback;
+  const std::string_view name(value);
+  if (name == "scalar") return SimEngine::kScalar;
+  if (name == "batched") return SimEngine::kBatched;
+  return fallback;
 }
 
 namespace {
@@ -108,10 +123,11 @@ MonteCarloResult run_monte_carlo(const SimConfig& config,
           // Per-trial stream derived by seed mixing (SplitMix64 inside the
           // Xoshiro constructor): trial k gets the same stream regardless of
           // chunking or thread count.
-          const util::Xoshiro256ss stream(
-              options.seed ^ (0x9e3779b97f4a7c15ULL * (trial + 1)));
-          ProtocolSimulation simulation(config,
-                                        make_injector(config, options, stream));
+          const std::uint64_t stream_seed =
+              options.seed ^ (0x9e3779b97f4a7c15ULL * (trial + 1));
+          const util::Xoshiro256ss stream(stream_seed);
+          ProtocolSimulation simulation(
+              config, make_injector(config, options, stream), stream_seed);
           accumulate_trial(local, simulation.run());
         }
       });
@@ -125,6 +141,10 @@ MonteCarloResult run_monte_carlo(const SimConfig& config,
     total.risk_time.merge(p.risk_time);
     total.success.merge(p.success);
     total.diverged += p.diverged;
+    total.sdc_injected.merge(p.sdc_injected);
+    total.sdc_detected.merge(p.sdc_detected);
+    total.verify_time.merge(p.verify_time);
+    total.rollback_depth.merge(p.rollback_depth);
     total.kernel.merge(p.kernel);
     if (total.metrics && p.metrics) total.metrics->merge(*p.metrics);
   }

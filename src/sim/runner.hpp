@@ -80,6 +80,12 @@ struct BatchKernelStats {
   }
 };
 
+/// Engine override from the DCKPT_ENGINE environment variable ("scalar" or
+/// "batched"); `fallback` when unset or unrecognized. Seeds the default of
+/// MonteCarloOptions::engine, so CI can re-run the whole test suite under
+/// the reference oracle without code changes.
+SimEngine engine_from_env(SimEngine fallback = SimEngine::kBatched);
+
 struct MonteCarloOptions {
   std::uint64_t trials = 1000;
   std::uint64_t seed = 0xdc4b7;
@@ -90,9 +96,10 @@ struct MonteCarloOptions {
   /// Enables distribution collection; unset keeps the hot loop free of any
   /// histogram work.
   std::optional<MetricsSpec> metrics;
-  /// Trial-execution engine. The batched SoA kernel is the default; the
-  /// scalar object-at-a-time path is the bit-identical reference oracle.
-  SimEngine engine = SimEngine::kBatched;
+  /// Trial-execution engine. The batched SoA kernel is the default (unless
+  /// DCKPT_ENGINE overrides it); the scalar object-at-a-time path is the
+  /// bit-identical reference oracle. Explicit assignment always wins.
+  SimEngine engine = engine_from_env();
 };
 
 struct MonteCarloResult {
@@ -102,6 +109,11 @@ struct MonteCarloResult {
   util::RunningStats risk_time;        ///< per-trial exposed wall-clock, s
   util::ProportionEstimate success;    ///< trial finished without fatal
   std::uint64_t diverged = 0;          ///< trials that hit the makespan cap
+  // Silent-error aggregates (all zero when SimConfig::verify_every is 0).
+  util::RunningStats sdc_injected;     ///< silent strikes per trial
+  util::RunningStats sdc_detected;     ///< detecting verifications per trial
+  util::RunningStats verify_time;      ///< per-trial verification wall-clock
+  util::RunningStats rollback_depth;   ///< summed rollback depth per trial
   /// Present iff MonteCarloOptions::metrics was set.
   std::optional<MonteCarloMetrics> metrics;
   /// Batched-kernel occupancy counters (all zero under SimEngine::kScalar).

@@ -256,6 +256,7 @@ util::JsonValue EvalService::handle_eval(const std::string& line) {
     mc_options.trials = trials;
     mc_options.seed = static_cast<std::uint64_t>(req.seed);
     mc_options.threads = options_.threads;
+    mc_options.engine = options_.engine;
     if (req.weibull_shape > 0.0) {
       mc_options.weibull = util::Weibull::from_mean(req.weibull_shape,
                                                     params.node_mtbf());

@@ -35,6 +35,9 @@ struct EvalServiceOptions {
   std::uint64_t max_trials = 200000;
   /// Worker threads for kind=sim campaigns (0 = hardware concurrency).
   std::size_t threads = 1;
+  /// Monte-Carlo engine for kind=sim requests. Defaults like every other
+  /// entry point: batched unless DCKPT_ENGINE overrides it.
+  SimEngine engine = engine_from_env();
 
   void validate() const;
 };

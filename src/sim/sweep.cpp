@@ -4,6 +4,7 @@
 
 #include "model/nonexponential.hpp"
 #include "model/period.hpp"
+#include "model/sdc.hpp"
 #include "model/waste.hpp"
 #include "util/distributions.hpp"
 #include "util/thread_pool.hpp"
@@ -82,6 +83,13 @@ std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
           point.model_waste_weibull =
               model::waste(protocol, params, point.period, failures);
         }
+        point.model_waste_sdc = point.model_waste;
+        if (spec.verify_every > 0) {
+          const model::SdcSpec sdc{spec.sdc_rate, spec.verify_cost,
+                                   spec.verify_every};
+          point.model_waste_sdc =
+              model::waste_with_sdc(protocol, params, point.period, sdc);
+        }
 
         SimConfig config;
         config.protocol = protocol;
@@ -89,6 +97,10 @@ std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
         config.period = point.period;
         config.t_base = t_base;
         config.stop_on_fatal = false;
+        config.sdc_rate = spec.sdc_rate;
+        config.verify_cost = spec.verify_cost;
+        config.verify_every = spec.verify_every;
+        config.keep_last = spec.keep_last;
         MonteCarloOptions options;
         options.trials = spec.trials;
         options.seed = spec.seed;

@@ -24,6 +24,9 @@ struct SweepPoint {
   /// Clustered-model (nonexponential.hpp) waste at the expected-makespan
   /// horizon; equals model_waste when weibull_shape is 0.
   double model_waste_weibull = 0.0;
+  /// Verified-checkpoint model (sdc.hpp) waste at the simulated period;
+  /// equals model_waste when the sweep runs without verification.
+  double model_waste_sdc = 0.0;
 };
 
 /// Timing/throughput snapshot handed to SweepSpec::progress after every
@@ -54,6 +57,13 @@ struct SweepSpec {
   /// point simulates Weibull inter-failure times of matched per-node mean
   /// and the row additionally carries the clustered-model waste.
   double weibull_shape = 0.0;
+  /// Silent-error axis (verify_every == 0 disables it, matching SimConfig).
+  /// When enabled every point simulates verified checkpoints and the row
+  /// additionally carries the (V, k, P) model waste.
+  double sdc_rate = 0.0;           ///< platform strike rate, 1/s
+  double verify_cost = 0.0;        ///< V: blocking verification time, s
+  std::uint64_t verify_every = 0;  ///< k: periods per verification (0 = off)
+  std::uint64_t keep_last = 1;     ///< l: retained committed checkpoint sets
   /// Optional period override; default: closed-form optimum per point.
   std::function<double(model::Protocol, const model::Parameters&)> period;
   /// Forwarded to MonteCarloOptions::metrics for every point.

@@ -58,6 +58,22 @@ model::Parameters platform_from(const util::CliParser& cli) {
   return params;
 }
 
+void add_sdc_options(util::CliParser& cli) {
+  cli.add_option("sdc-rate", "0",
+                 "platform silent-error rate, strikes/s (0 = off)");
+  cli.add_option("verify-cost", "0", "blocking verification time V, seconds");
+  cli.add_option("verify-every", "0",
+                 "periods between verifications k (0 = verification off)");
+  cli.add_option("keep-last", "1", "retained committed checkpoint sets l");
+}
+
+void apply_sdc_options(const util::CliParser& cli, sim::SimConfig& config) {
+  config.sdc_rate = cli.get_double("sdc-rate");
+  config.verify_cost = cli.get_double("verify-cost");
+  config.verify_every = static_cast<std::uint64_t>(cli.get_int("verify-every"));
+  config.keep_last = static_cast<std::uint64_t>(cli.get_int("keep-last"));
+}
+
 /// Splits a comma-separated list ("60,3600,86400") into doubles.
 std::vector<double> parse_double_list(const std::string& text) {
   std::vector<double> values;
@@ -128,6 +144,7 @@ int cmd_simulate(int argc, const char* const* argv) {
                  "use per-node Weibull streams with this shape (0 = exp)");
   cli.add_option("engine", "batched",
                  "batched | scalar trial engine (bit-identical results)");
+  add_sdc_options(cli);
   cli.add_option("metrics-out", "",
                  "write a JSONL metrics record (with per-trial histograms)");
   cli.add_option("trace-out", "",
@@ -146,6 +163,7 @@ int cmd_simulate(int argc, const char* const* argv) {
   }
   config.t_base = cli.get_double("tbase");
   config.stop_on_fatal = false;
+  apply_sdc_options(cli, config);
   const double period = cli.get_double("period");
   config.period =
       period > 0.0
@@ -206,12 +224,32 @@ int cmd_simulate(int argc, const char* const* argv) {
                        ")",
                    util::format_percent(weibull_waste, 2)});
   }
+  if (config.verify_every > 0) {
+    const model::SdcSpec sdc{config.sdc_rate, config.verify_cost,
+                             config.verify_every};
+    table.add_row(
+        {"model waste (verified ckpt)",
+         util::format_percent(model::waste_with_sdc(config.protocol,
+                                                    config.params,
+                                                    config.period, sdc),
+                              2)});
+  }
   table.add_row({"sim waste",
                  util::format_percent(mc.waste.mean(), 2) + " +/- " +
                      util::format_percent(mc.waste.confidence_halfwidth(), 2)});
   table.add_row({"mean makespan", util::format_duration(mc.makespan.mean())});
   table.add_row({"mean failures/run",
                  util::format_fixed(mc.failures.mean(), 2)});
+  if (config.verify_every > 0) {
+    table.add_row({"mean strikes/run",
+                   util::format_fixed(mc.sdc_injected.mean(), 2)});
+    table.add_row({"mean detections/run",
+                   util::format_fixed(mc.sdc_detected.mean(), 2)});
+    table.add_row({"mean verify time/run",
+                   util::format_duration(mc.verify_time.mean())});
+    table.add_row({"mean rollback depth/run",
+                   util::format_fixed(mc.rollback_depth.mean(), 2)});
+  }
   table.add_row({"survival rate",
                  util::format_fixed(mc.success.estimate(), 4)});
   table.add_row({"diverged trials", std::to_string(mc.diverged)});
@@ -236,6 +274,7 @@ int cmd_sweep(int argc, const char* const* argv) {
   cli.add_option("seed", "42", "master seed");
   cli.add_option("weibull-shape", "0",
                  "use per-node Weibull streams with this shape (0 = exp)");
+  add_sdc_options(cli);
   cli.add_option("metrics-out", "", "write one JSONL sweep row per point");
   cli.add_option("metrics-bins", "64", "histogram bins for --metrics-out");
   cli.add_flag("progress", "print per-point progress and throughput");
@@ -278,6 +317,10 @@ int cmd_sweep(int argc, const char* const* argv) {
   spec.trials = static_cast<std::uint64_t>(cli.get_int("trials"));
   spec.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   spec.weibull_shape = cli.get_double("weibull-shape");
+  spec.sdc_rate = cli.get_double("sdc-rate");
+  spec.verify_cost = cli.get_double("verify-cost");
+  spec.verify_every = static_cast<std::uint64_t>(cli.get_int("verify-every"));
+  spec.keep_last = static_cast<std::uint64_t>(cli.get_int("keep-last"));
   if (!cli.get("metrics-out").empty()) {
     sim::MetricsSpec metrics;
     metrics.bins = static_cast<std::size_t>(cli.get_int("metrics-bins"));
@@ -295,9 +338,13 @@ int cmd_sweep(int argc, const char* const* argv) {
 
   const auto rows = sim::run_sweep(spec);
   const bool weibull = spec.weibull_shape > 0.0;
+  const bool sdc = spec.verify_every > 0;
   std::vector<std::string> headers = {"protocol", "M", "phi", "P",
                                       "model waste", "sim waste",
                                       "mean risk time", "survival"};
+  if (sdc) {
+    headers.insert(headers.begin() + 5, "sdc model");
+  }
   if (weibull) {
     headers.insert(headers.begin() + 5, "weibull model");
   }
@@ -312,6 +359,10 @@ int cmd_sweep(int argc, const char* const* argv) {
             util::format_percent(row.result.waste.confidence_halfwidth(), 2),
         util::format_duration(row.result.risk_time.mean()),
         util::format_fixed(row.result.success.estimate(), 4)};
+    if (sdc) {
+      cells.insert(cells.begin() + 5,
+                   util::format_percent(row.model_waste_sdc, 2));
+    }
     if (weibull) {
       cells.insert(cells.begin() + 5,
                    util::format_percent(row.model_waste_weibull, 2));
@@ -338,6 +389,7 @@ int cmd_optimize(int argc, const char* const* argv) {
   cli.add_option("trials", "40", "trials per candidate period");
   cli.add_option("weibull-shape", "0",
                  "use per-node Weibull streams with this shape (0 = exp)");
+  add_sdc_options(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   sim::SimConfig config;
@@ -345,6 +397,7 @@ int cmd_optimize(int argc, const char* const* argv) {
   config.params = platform_from(cli);
   if (config.params.nodes > 100000) config.params.nodes = 99996;
   config.t_base = cli.get_double("tbase");
+  apply_sdc_options(cli, config);
 
   sim::OptimizeOptions options;
   options.trials_per_eval = static_cast<std::uint64_t>(cli.get_int("trials"));
@@ -373,6 +426,17 @@ int cmd_optimize(int argc, const char* const* argv) {
     table.add_row({"numeric (weibull k=" + util::format_fixed(shape, 2) + ")",
                    util::format_duration(weibull_opt.period),
                    util::format_percent(weibull_opt.waste, 3)});
+  }
+  if (config.verify_every > 0) {
+    // Verified-checkpoint objective: where the (V, k, P) model says the
+    // period should move once verification overhead and strike losses bite.
+    const model::SdcSpec sdc{config.sdc_rate, config.verify_cost,
+                             config.verify_every};
+    const auto sdc_opt =
+        model::optimal_period_with_sdc(config.protocol, config.params, sdc);
+    table.add_row({"numeric (verified ckpt)",
+                   util::format_duration(sdc_opt.period),
+                   util::format_percent(sdc_opt.waste, 3)});
   }
   table.add_row({"empirical (simulation)",
                  util::format_duration(empirical.period),
@@ -602,6 +666,11 @@ int cmd_chaos(int argc, const char* const* argv) {
                  "refill delivery attempts before the transfer is abandoned");
   cli.add_option("retry-base", "1",
                  "refill retry backoff base, steps (doubles per retry)");
+  cli.add_option("verify-every", "0",
+                 "verify checkpoints every N periods (0 = off; required for "
+                 "sdc injections)");
+  cli.add_option("keep-last", "1",
+                 "retained committed checkpoint sets (rollback ladder depth)");
   cli.add_option("kernel", "heat", "heat | wave | counter");
   cli.add_option("runs", "100", "randomized schedules after the scripted set");
   cli.add_option("seed", "1", "campaign seed (or schedule seed with "
@@ -610,7 +679,7 @@ int cmd_chaos(int argc, const char* const* argv) {
   cli.add_option("schedule", "",
                  "run one schedule instead of a campaign; entries are "
                  "'step:node' (loss), 'step:corrupt:holder:owner', "
-                 "'step:torn:node', 'step:failxfer:node'");
+                 "'step:torn:node', 'step:failxfer:node', 'step:sdc:node'");
   cli.add_option("spares", "0",
                  "derive --rerepl-delay from an Erlang-C pool of this many "
                  "spares (0 = use --rerepl-delay)");
@@ -649,6 +718,10 @@ int cmd_chaos(int argc, const char* const* argv) {
       static_cast<std::uint64_t>(cli.get_int("retry-max"));
   config.runtime.transfer_retry.base_delay_steps =
       static_cast<std::uint64_t>(cli.get_int("retry-base"));
+  config.runtime.verify_every =
+      static_cast<std::uint64_t>(cli.get_int("verify-every"));
+  config.runtime.keep_last =
+      static_cast<std::size_t>(cli.get_int("keep-last"));
   config.kernel = cli.get("kernel");
   config.random_runs = static_cast<std::uint64_t>(cli.get_int("runs"));
   config.campaign_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
@@ -677,6 +750,8 @@ int cmd_chaos(int argc, const char* const* argv) {
     gc.checkpoint_interval = config.runtime.checkpoint_interval;
     gc.rereplication_delay_steps = config.runtime.rereplication_delay_steps;
     gc.transfer_retry = config.runtime.transfer_retry;
+    gc.verify_every = config.runtime.verify_every;
+    gc.keep_last = config.runtime.keep_last;
     config.grid = gc;
   }
 
@@ -748,6 +823,12 @@ int cmd_chaos(int argc, const char* const* argv) {
                 static_cast<unsigned long long>(run.report.degraded_steps),
                 static_cast<unsigned long long>(
                     run.report.hash_verified_recoveries));
+    std::printf("sdc injected %llu, verifications %llu, sdc detected %llu, "
+                "rollback depth %llu\n",
+                static_cast<unsigned long long>(run.report.sdc_injected),
+                static_cast<unsigned long long>(run.report.verifications_run),
+                static_cast<unsigned long long>(run.report.sdc_detected),
+                static_cast<unsigned long long>(run.report.rollback_depth));
     return 0;
   }
 

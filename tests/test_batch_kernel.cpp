@@ -46,8 +46,9 @@ std::vector<sim::TrialResult> scalar_trials(const sim::SimConfig& config,
                                             std::size_t trials) {
   std::vector<sim::TrialResult> results;
   for (std::size_t trial = 0; trial < trials; ++trial) {
-    const util::Xoshiro256ss stream(options.seed ^
-                                    (0x9e3779b97f4a7c15ULL * (trial + 1)));
+    const std::uint64_t stream_seed =
+        options.seed ^ (0x9e3779b97f4a7c15ULL * (trial + 1));
+    const util::Xoshiro256ss stream(stream_seed);
     std::unique_ptr<sim::FailureInjector> injector;
     if (options.weibull) {
       injector = std::make_unique<sim::PerNodeInjector>(
@@ -56,7 +57,8 @@ std::vector<sim::TrialResult> scalar_trials(const sim::SimConfig& config,
       injector = std::make_unique<sim::PlatformExponentialInjector>(
           config.params.mtbf, config.params.nodes, stream);
     }
-    sim::ProtocolSimulation simulation(config, std::move(injector));
+    sim::ProtocolSimulation simulation(config, std::move(injector),
+                                       stream_seed);
     results.push_back(simulation.run());
   }
   return results;
@@ -114,6 +116,26 @@ std::optional<std::string> compare_trial(const sim::TrialResult& s,
   if (s.time_at_risk != b.time_at_risk) {
     return mismatch("time_at_risk", s.time_at_risk, b.time_at_risk);
   }
+  if (s.time_verifying != b.time_verifying) {
+    return mismatch("time_verifying", s.time_verifying, b.time_verifying);
+  }
+  if (s.sdc_injected != b.sdc_injected) {
+    return mismatch("sdc_injected", static_cast<double>(s.sdc_injected),
+                    static_cast<double>(b.sdc_injected));
+  }
+  if (s.verifications_run != b.verifications_run) {
+    return mismatch("verifications_run",
+                    static_cast<double>(s.verifications_run),
+                    static_cast<double>(b.verifications_run));
+  }
+  if (s.sdc_detected != b.sdc_detected) {
+    return mismatch("sdc_detected", static_cast<double>(s.sdc_detected),
+                    static_cast<double>(b.sdc_detected));
+  }
+  if (s.rollback_depth != b.rollback_depth) {
+    return mismatch("rollback_depth", static_cast<double>(s.rollback_depth),
+                    static_cast<double>(b.rollback_depth));
+  }
   return std::nullopt;
 }
 
@@ -151,6 +173,62 @@ TEST(BatchKernel, BitIdenticalToScalarWeibullAllProtocols) {
     options.weibull =
         util::Weibull::from_mean(0.7, config.params.node_mtbf());
     expect_equivalent(config, options, 50);
+  }
+}
+
+TEST(BatchKernel, BitIdenticalWithSilentErrorsExponentialAllProtocols) {
+  // Verification on: the batched kernel must leave its fast path and still
+  // reproduce strike arrivals, Verify phases, rollback ladders, and
+  // fatal-accept bookkeeping event-for-event.
+  for (const model::Protocol protocol : model::kAllProtocols) {
+    auto config = make_config(protocol, 500.0, 12, 100.0, 5000.0,
+                              /*stop_on_fatal=*/false);
+    config.sdc_rate = 1.0 / 800.0;
+    config.verify_cost = 0.5;
+    config.verify_every = 3;
+    config.keep_last = 3;
+    sim::MonteCarloOptions options;
+    options.seed = 20260809;
+    expect_equivalent(config, options, 50);
+  }
+}
+
+TEST(BatchKernel, BitIdenticalWithSilentErrorsWeibull) {
+  // Strike stream and Weibull failure stream interleave; the tie-break
+  // (strikes first) must agree across engines.
+  for (const model::Protocol protocol :
+       {model::Protocol::DoubleNbl, model::Protocol::DoubleBof,
+        model::Protocol::Triple}) {
+    auto config = make_config(protocol, 500.0, 12, 100.0, 5000.0,
+                              /*stop_on_fatal=*/false);
+    config.sdc_rate = 1.0 / 600.0;
+    config.verify_cost = 1.0;
+    config.verify_every = 2;
+    config.keep_last = 2;
+    sim::MonteCarloOptions options;
+    options.seed = 424243;
+    options.weibull =
+        util::Weibull::from_mean(0.7, config.params.node_mtbf());
+    expect_equivalent(config, options, 50);
+  }
+}
+
+TEST(BatchKernel, BitIdenticalWithSilentErrorsStopOnFatal) {
+  // keep_last=1 makes detected corruption frequently un-rollbackable, so
+  // fatal-accept and stop_on_fatal interact with the Verify phase.
+  for (const model::Protocol protocol :
+       {model::Protocol::DoubleNbl, model::Protocol::Triple}) {
+    auto config = make_config(protocol, 400.0, 6, 0.0, 6000.0,
+                              /*stop_on_fatal=*/true);
+    config.period =
+        1.25 * model::min_period(protocol, config.params);
+    config.sdc_rate = 1.0 / 400.0;
+    config.verify_cost = 0.25;
+    config.verify_every = 4;
+    config.keep_last = 1;
+    sim::MonteCarloOptions options;
+    options.seed = 31337;
+    expect_equivalent(config, options, 80);
   }
 }
 
@@ -246,6 +324,10 @@ struct DrawnPlatform {
   bool stop_on_fatal = false;
   bool weibull = false;
   double shape = 0.7;
+  bool sdc = false;
+  double sdc_mtbf = 800.0;
+  std::uint64_t verify_every = 3;
+  std::uint64_t keep_last = 2;
   std::uint64_t seed = 1;
 };
 
@@ -265,6 +347,10 @@ TEST(BatchKernel, PropertyBitIdenticalOnRandomPlatforms) {
     p.stop_on_fatal = gen.boolean();
     p.weibull = gen.boolean();
     p.shape = gen.uniform(0.5, 1.5);
+    p.sdc = gen.boolean();
+    p.sdc_mtbf = gen.log_uniform(100.0, 20000.0);
+    p.verify_every = gen.integer(1, 6);
+    p.keep_last = gen.integer(1, 4);
     p.seed = gen.integer(1, 1u << 20);
     return p;
   };
@@ -275,6 +361,12 @@ TEST(BatchKernel, PropertyBitIdenticalOnRandomPlatforms) {
     const auto opt =
         model::optimal_period_closed_form(config.protocol, config.params);
     config.period = opt.period;
+    if (p.sdc) {
+      config.sdc_rate = 1.0 / p.sdc_mtbf;
+      config.verify_cost = 0.5;
+      config.verify_every = p.verify_every;
+      config.keep_last = p.keep_last;
+    }
     try {
       config.validate();
     } catch (const std::exception&) {
@@ -301,7 +393,9 @@ TEST(BatchKernel, PropertyBitIdenticalOnRandomPlatforms) {
         << " mtbf=" << p.mtbf << " nodes=" << p.nodes
         << " t_base=" << p.t_base << " stop_on_fatal=" << p.stop_on_fatal
         << " weibull=" << p.weibull << " shape=" << p.shape
-        << " seed=" << p.seed;
+        << " sdc=" << p.sdc << " sdc_mtbf=" << p.sdc_mtbf
+        << " verify_every=" << p.verify_every
+        << " keep_last=" << p.keep_last << " seed=" << p.seed;
     return out.str();
   };
   proptest::forall<DrawnPlatform>(config, draw, property, nullptr, show);

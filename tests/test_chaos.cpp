@@ -442,6 +442,155 @@ TEST(ChaosProperty, ShadowOracleMatchesRuntimeOnRandomConfigs) {
       });
 }
 
+// ---------------------------------------------- silent-error detection
+
+chaos::ChaosCampaignConfig sdc_campaign(Topology topology,
+                                        std::uint64_t keep_last) {
+  auto config = small_campaign(topology);
+  config.runtime.verify_every = 4;
+  config.runtime.keep_last = keep_last;
+  return config;
+}
+
+TEST(ChaosSdc, GrammarRoundTripsAndValidates) {
+  using runtime::InjectionKind;
+  const auto schedule = chaos::ChaosSchedule::parse("13:sdc:0,20:5");
+  ASSERT_EQ(schedule.failures.size(), 2u);
+  EXPECT_EQ(schedule.failures[0].kind, InjectionKind::SilentError);
+  EXPECT_EQ(schedule.failures[0].node, 0u);
+  EXPECT_EQ(schedule.spec(), "13:sdc:0,20:5");
+  EXPECT_EQ(chaos::ChaosSchedule::parse(schedule.spec()).spec(),
+            schedule.spec());
+  EXPECT_THROW(chaos::ChaosSchedule::parse("13:sdc"), std::invalid_argument);
+  EXPECT_THROW(chaos::ChaosSchedule::parse("13:sdc:0:1"),
+               std::invalid_argument);
+}
+
+TEST(ChaosSdc, LatentStrikeSurvivesViaRollbackLadder) {
+  // Strike at step 13 (period [12, 24)): commits at 24/36/48 capture the
+  // taint, the commit at 12 predates it. The verification at step 48 (k = 4
+  // periods of 12) walks the keep-last-3 ladder {36, 24, 12}: two tainted
+  // rungs, then the clean one -> rollback depth 2, replay from step 12.
+  const auto config = sdc_campaign(Topology::Pairs, 3);
+  const auto schedule = chaos::ChaosSchedule::parse("13:sdc:0");
+  const auto run = chaos::run_one(config, schedule,
+                                  chaos::reference_run(config).final_hash);
+  EXPECT_EQ(run.outcome, chaos::ChaosOutcome::Survived) << run.detail;
+  EXPECT_EQ(run.report.sdc_injected, 1u);
+  EXPECT_EQ(run.report.sdc_detected, 1u);
+  EXPECT_EQ(run.report.rollback_depth, 2u);
+  EXPECT_GT(run.report.verifications_run, 0u);
+  EXPECT_EQ(run.report.replayed_steps, 36u);
+}
+
+TEST(ChaosSdc, RetentionTooShallowIsFatalButDetected) {
+  // Same strike, keep-last-2: the ladder holds only tainted rungs when the
+  // verification fires, so the runtime must accept the loss (degraded),
+  // exactly as the oracle predicts -- detected, never silent.
+  const auto config = sdc_campaign(Topology::Pairs, 2);
+  const auto schedule = chaos::ChaosSchedule::parse("13:sdc:0");
+  const auto run = chaos::run_one(config, schedule,
+                                  chaos::reference_run(config).final_hash);
+  EXPECT_EQ(run.outcome, chaos::ChaosOutcome::FatalDetected) << run.detail;
+  EXPECT_EQ(run.report.sdc_injected, 1u);
+  EXPECT_EQ(run.report.sdc_detected, 1u);
+  EXPECT_TRUE(run.report.fatal);
+}
+
+TEST(ChaosSdc, ScriptedSdcFamiliesNeverViolate) {
+  for (const Topology topology : {Topology::Pairs, Topology::Triples}) {
+    const auto config = sdc_campaign(topology, 3);
+    const auto runs = run_scripted(config);
+    // Verification enabled adds the sdc-* scripted families.
+    EXPECT_TRUE(runs.count("sdc-single"));
+    EXPECT_TRUE(runs.count("sdc-before-first-commit"));
+    for (const auto& [name, run] : runs) {
+      EXPECT_NE(run.outcome, chaos::ChaosOutcome::Violated)
+          << name << ": " << run.detail << "\n  " << run.repro;
+    }
+  }
+}
+
+TEST(ChaosSdc, RandomizedSdcCampaignNeverViolates) {
+  for (const Topology topology : {Topology::Pairs, Topology::Triples}) {
+    auto config = sdc_campaign(topology, 3);
+    config.random_runs = 100;
+    config.campaign_seed = 20260809;
+    const auto summary = chaos::run_campaign(config);
+    EXPECT_EQ(summary.violated, 0u);
+    for (const auto& run : summary.runs) {
+      EXPECT_NE(run.outcome, chaos::ChaosOutcome::Violated)
+          << run.schedule.name << " seed " << run.schedule.seed << ": "
+          << run.detail << "\n  " << run.repro;
+    }
+  }
+}
+
+// ----------------------------------------- mutation-style oracle checks
+//
+// classify_run with a deliberately tampered prediction: if flipping one SDC
+// counter by one does NOT flip the outcome to Violated, that counter is not
+// actually guarded by the classifier and a silent-survival bug could hide
+// behind it.
+
+struct SdcCounterMutation {
+  const char* name;
+  std::uint64_t chaos::ShadowPrediction::* field;
+};
+
+constexpr SdcCounterMutation kSdcMutations[] = {
+    {"sdc_injected", &chaos::ShadowPrediction::sdc_injected},
+    {"verifications_run", &chaos::ShadowPrediction::verifications_run},
+    {"sdc_detected", &chaos::ShadowPrediction::sdc_detected},
+    {"rollback_depth", &chaos::ShadowPrediction::rollback_depth},
+};
+
+TEST(ChaosSdcMutation, EachCounterIsGuardedOnSurvivableSchedule) {
+  const auto config = sdc_campaign(Topology::Pairs, 3);
+  const auto schedule = chaos::ChaosSchedule::parse("13:sdc:0");
+  const std::uint64_t reference = chaos::reference_run(config).final_hash;
+  const auto predicted =
+      chaos::predict_outcome(config.shadow(), schedule.failures);
+  // Control: the untampered prediction classifies clean.
+  const auto clean =
+      chaos::classify_run(config, schedule, predicted, reference);
+  ASSERT_EQ(clean.outcome, chaos::ChaosOutcome::Survived) << clean.detail;
+  for (const auto& mutation : kSdcMutations) {
+    auto tampered = predicted;
+    tampered.*(mutation.field) += 1;
+    const auto run =
+        chaos::classify_run(config, schedule, tampered, reference);
+    EXPECT_EQ(run.outcome, chaos::ChaosOutcome::Violated)
+        << "counter " << mutation.name
+        << " not guarded: tampering it went unnoticed";
+    EXPECT_NE(run.detail.find(mutation.name), std::string::npos)
+        << "violation detail should name the diverging counter; got: "
+        << run.detail;
+  }
+}
+
+TEST(ChaosSdcMutation, EachCounterIsGuardedOnFatalSchedule) {
+  // Guard must hold on the degraded path too: the fatal-accept outcome
+  // carries its own counter story (detections without a matching rollback).
+  const auto config = sdc_campaign(Topology::Pairs, 2);
+  const auto schedule = chaos::ChaosSchedule::parse("13:sdc:0");
+  const std::uint64_t reference = chaos::reference_run(config).final_hash;
+  const auto predicted =
+      chaos::predict_outcome(config.shadow(), schedule.failures);
+  const auto clean =
+      chaos::classify_run(config, schedule, predicted, reference);
+  ASSERT_EQ(clean.outcome, chaos::ChaosOutcome::FatalDetected)
+      << clean.detail;
+  for (const auto& mutation : kSdcMutations) {
+    auto tampered = predicted;
+    tampered.*(mutation.field) += 1;
+    const auto run =
+        chaos::classify_run(config, schedule, tampered, reference);
+    EXPECT_EQ(run.outcome, chaos::ChaosOutcome::Violated)
+        << "counter " << mutation.name << " not guarded on the fatal path";
+  }
+}
+
 // --------------------------------------------------- spare-pool bridge
 
 TEST(ChaosSparePool, DelayStepsTrackTheErlangModel) {

@@ -365,4 +365,47 @@ TEST(GridChaosExport, ChainRecordsKeepTheChainTargetId) {
   EXPECT_EQ(lines[1].at("target").as_string(), "chain");
 }
 
+// ------------------------------------------------------ silent errors
+
+TEST(GridChaosSdc, LatentStrikeMatchesTheChainLadderMath) {
+  // Same geometry-free ladder arithmetic as the chain test: interval 12,
+  // k = 4, strike at 13 -> verification at 48 walks {36, 24, 12}, rollback
+  // depth 2, replay 36 steps. The grid commits immediately, so commit steps
+  // line up with the chain's.
+  auto config = grid_campaign(Topology::Pairs);
+  config.grid->checkpoint_interval = 12;
+  config.grid->total_steps = 96;
+  config.grid->verify_every = 4;
+  config.grid->keep_last = 3;
+  const auto schedule = chaos::ChaosSchedule::parse("13:sdc:0");
+  const auto run = chaos::run_one(config, schedule,
+                                  chaos::reference_run(config).final_hash);
+  EXPECT_EQ(run.outcome, chaos::ChaosOutcome::Survived) << run.detail;
+  EXPECT_EQ(run.report.sdc_injected, 1u);
+  EXPECT_EQ(run.report.sdc_detected, 1u);
+  EXPECT_EQ(run.report.rollback_depth, 2u);
+  EXPECT_EQ(run.report.replayed_steps, 36u);
+  // Shallow retention flips the same schedule to detected-fatal.
+  config.grid->keep_last = 2;
+  const auto fatal = chaos::run_one(config, schedule,
+                                    chaos::reference_run(config).final_hash);
+  EXPECT_EQ(fatal.outcome, chaos::ChaosOutcome::FatalDetected)
+      << fatal.detail;
+}
+
+TEST(GridChaosSdc, RandomizedSdcGridCampaignNeverViolates) {
+  auto config = grid_campaign(Topology::Triples);
+  config.grid->verify_every = 2;
+  config.grid->keep_last = 3;
+  config.random_runs = 60;
+  config.campaign_seed = 20260809;
+  const auto summary = chaos::run_campaign(config);
+  EXPECT_EQ(summary.violated, 0u);
+  for (const auto& run : summary.runs) {
+    EXPECT_NE(run.outcome, chaos::ChaosOutcome::Violated)
+        << run.schedule.name << " seed " << run.schedule.seed << ": "
+        << run.detail << "\n  " << run.repro;
+  }
+}
+
 }  // namespace

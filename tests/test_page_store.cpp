@@ -2,8 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
+#include <optional>
+#include <sstream>
+#include <string>
 #include <vector>
+
+#include "proptest.hpp"
 
 namespace {
 
@@ -180,6 +186,113 @@ TEST(SnapshotTest, TornCopyFailsVerifyEvenOnAllZeroTail) {
   const Snapshot torn = torn_copy(snap);
   EXPECT_FALSE(torn.verify(hash));
   EXPECT_EQ(torn.to_bytes().size(), snap.to_bytes().size());
+}
+
+// ------------------------------------------- adversarial verification
+//
+// Snapshot::verify backs the verified-checkpoint machinery: a hash that can
+// be fooled turns a detected SDC into a silent one. These cases target the
+// classic weaknesses of additive/XOR checksums to document that FNV-1a (an
+// order-sensitive multiply-xor fold) does not share them.
+
+TEST(SnapshotVerifyTest, CancellingByteSwapIsStillDetected) {
+  // Swapping the values of two bytes preserves both the byte-sum and the
+  // byte-XOR of the image -- a parity checksum would accept it.
+  PageStore store(1024, 256);
+  store.write(0, bytes_of("abcdefgh"));
+  const std::uint64_t hash = store.snapshot(1).content_hash();
+  store.write(1, bytes_of("c"));  // 'b' and 'c' trade places
+  store.write(2, bytes_of("b"));
+  EXPECT_FALSE(store.snapshot(1).verify(hash));
+}
+
+TEST(SnapshotVerifyTest, CancellingXorFlipsAcrossPagesAreDetected) {
+  // The same bit pattern XORed into two different pages: XOR-fold checksums
+  // cancel, position-sensitive ones must not.
+  PageStore store(1024, 256);
+  store.write(0, bytes_of("base"));
+  const std::uint64_t hash = store.snapshot(1).content_hash();
+  std::vector<std::byte> flipped(1);
+  store.read(10, flipped);
+  flipped[0] ^= std::byte{0x5a};
+  store.write(10, flipped);  // page 0
+  store.read(522, flipped);
+  flipped[0] ^= std::byte{0x5a};
+  store.write(522, flipped);  // page 2, same mask
+  EXPECT_FALSE(store.snapshot(1).verify(hash));
+}
+
+TEST(SnapshotVerifyTest, FinalPartialPageCorruptionIsDetected) {
+  // 1000 bytes over 256-byte pages: the last page is partial; its tail must
+  // still be covered by the hash.
+  PageStore store(1000, 256);
+  store.write(0, bytes_of("head"));
+  const std::uint64_t hash = store.snapshot(1).content_hash();
+  std::vector<std::byte> last(1);
+  store.read(999, last);
+  last[0] ^= std::byte{0x01};
+  store.write(999, last);
+  EXPECT_FALSE(store.snapshot(1).verify(hash));
+}
+
+TEST(SnapshotVerifyTest, EmptySnapshotVerifiesItsOwnHashOnly) {
+  const Snapshot empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_TRUE(empty.verify(empty.content_hash()));
+  EXPECT_FALSE(empty.verify(empty.content_hash() ^ 1));
+}
+
+TEST(SnapshotVerifyTest, PropertyAnySingleByteFlipIsDetected) {
+  struct Flip {
+    std::uint64_t size = 1;
+    std::uint64_t page = 64;
+    std::uint64_t offset = 0;
+    std::uint8_t mask = 1;
+    std::uint64_t fill_seed = 0;
+  };
+  proptest::ForallConfig config;
+  config.seed = 0xf1a9;
+  config.iterations = 200;
+  const std::vector<std::uint64_t> pages{64, 256, 512};
+  proptest::forall<Flip>(
+      config,
+      [&](proptest::Gen& gen) {
+        Flip f;
+        f.size = gen.integer(1, 2048);
+        f.page = gen.element(pages);
+        f.offset = gen.integer(0, f.size - 1);
+        f.mask = static_cast<std::uint8_t>(gen.integer(1, 255));
+        f.fill_seed = gen.integer(0, 1u << 20);
+        return f;
+      },
+      [](const Flip& f) -> std::optional<std::string> {
+        PageStore store(f.size, f.page);
+        // Deterministic pseudo-random content so flips hit varied bytes.
+        std::vector<std::byte> content(f.size);
+        std::uint64_t state = f.fill_seed * 0x9e3779b97f4a7c15ULL + 1;
+        for (auto& b : content) {
+          state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+          b = static_cast<std::byte>(state >> 56);
+        }
+        store.write(0, content);
+        const std::uint64_t hash = store.snapshot(1).content_hash();
+        std::vector<std::byte> one(1);
+        store.read(f.offset, one);
+        one[0] ^= std::byte{f.mask};
+        store.write(f.offset, one);
+        if (store.snapshot(1).verify(hash)) {
+          return "undetected single-byte flip";
+        }
+        return std::nullopt;
+      },
+      nullptr,
+      [](const Flip& f) {
+        std::ostringstream out;
+        out << "size=" << f.size << " page=" << f.page
+            << " offset=" << f.offset << " mask=" << static_cast<int>(f.mask)
+            << " fill_seed=" << f.fill_seed;
+        return out.str();
+      });
 }
 
 }  // namespace

@@ -381,4 +381,107 @@ TEST(EdgeCaseTest, ZeroDowntimeAndImmediateChains) {
   EXPECT_NEAR(result.makespan, 104.0, 1e-6);
 }
 
+// ---------------------------------------------------------- silent errors
+
+TEST(SilentErrorTest, ValidationRejectsBadSdcConfigs) {
+  auto config = make_config(Protocol::DoubleNbl, 100.0, 97.0);
+  config.sdc_rate = 1e-3;  // strikes without any verification: undetectable
+  config.verify_every = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = make_config(Protocol::DoubleNbl, 100.0, 97.0);
+  config.sdc_rate = -1.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = make_config(Protocol::DoubleNbl, 100.0, 97.0);
+  config.sdc_rate = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = make_config(Protocol::DoubleNbl, 100.0, 97.0);
+  config.verify_cost = -0.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = make_config(Protocol::DoubleNbl, 100.0, 97.0);
+  config.keep_last = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  // Verification without strikes is a legal (pure-overhead) configuration.
+  config = make_config(Protocol::DoubleNbl, 100.0, 97.0);
+  config.verify_cost = 1.0;
+  config.verify_every = 2;
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(SilentErrorTest, VerificationCostAccountedExactly) {
+  // sdc_rate = 0, V = 3, k = 2 on a fault-free run: verification is pure
+  // blocking overhead. t_base = 450 spans periods 1-4 fully (work 388) plus
+  // 62 units into period 5, so verifications fire after periods 2 and 4.
+  // Makespan = 4*100 + 2*3 (verify) + 2 (part1) + 34 (part2) + 29 (part3).
+  auto config = make_config(Protocol::DoubleNbl, 100.0, 450.0);
+  config.verify_cost = 3.0;
+  config.verify_every = 2;
+  config.keep_last = 2;
+  const auto result = run_scripted(config, {});
+  EXPECT_EQ(result.verifications_run, 2u);
+  EXPECT_NEAR(result.time_verifying, 6.0, 1e-9);
+  EXPECT_NEAR(result.makespan, 400.0 + 6.0 + 2.0 + 34.0 + 29.0, 1e-6);
+  EXPECT_EQ(result.sdc_injected, 0u);
+  EXPECT_EQ(result.sdc_detected, 0u);
+  EXPECT_EQ(result.rollback_depth, 0u);
+  EXPECT_FALSE(result.fatal);
+}
+
+TEST(SilentErrorTest, VerificationSkippedWhenDisabled) {
+  auto config = make_config(Protocol::DoubleNbl, 100.0, 450.0);
+  config.verify_cost = 3.0;  // cost configured but k = 0 disables the phase
+  config.verify_every = 0;
+  const auto result = run_scripted(config, {});
+  EXPECT_EQ(result.verifications_run, 0u);
+  EXPECT_NEAR(result.time_verifying, 0.0, 1e-12);
+}
+
+TEST(SilentErrorTest, CounterInvariantsUnderExponentialCampaign) {
+  // Hot platform with strikes enabled: every counter relationship the
+  // aggregates rely on must hold trial by trial.
+  auto config = make_config(Protocol::DoubleNbl, 100.0, 4000.0);
+  config.params.mtbf = 500.0;
+  config.stop_on_fatal = false;
+  config.sdc_rate = 1.0 / 300.0;
+  config.verify_cost = 0.5;
+  config.verify_every = 2;
+  config.keep_last = 3;
+  bool saw_detection = false;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const auto result = simulate_exponential(config, seed);
+    EXPECT_LE(result.sdc_detected, result.verifications_run)
+        << "seed " << seed;
+    // Each completed verification blocked for exactly V; interrupted ones
+    // only add time, so the total is bounded below by count * V.
+    EXPECT_GE(result.time_verifying + 1e-9,
+              static_cast<double>(result.verifications_run) *
+                  config.verify_cost)
+        << "seed " << seed;
+    if (result.sdc_detected > 0) saw_detection = true;
+    if (!result.diverged) {
+      EXPECT_GE(result.makespan, result.t_base) << "seed " << seed;
+    }
+  }
+  EXPECT_TRUE(saw_detection)
+      << "campaign too quiet to exercise the detection path";
+}
+
+TEST(SilentErrorTest, StrikeStreamIsDeterministicPerSeed) {
+  auto config = make_config(Protocol::DoubleNbl, 100.0, 2000.0);
+  config.params.mtbf = 800.0;
+  config.stop_on_fatal = false;
+  config.sdc_rate = 1.0 / 250.0;
+  config.verify_cost = 1.0;
+  config.verify_every = 3;
+  config.keep_last = 2;
+  const auto a = simulate_exponential(config, 7);
+  const auto b = simulate_exponential(config, 7);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.sdc_injected, b.sdc_injected);
+  EXPECT_EQ(a.sdc_detected, b.sdc_detected);
+  EXPECT_EQ(a.rollback_depth, b.rollback_depth);
+  const auto c = simulate_exponential(config, 8);
+  EXPECT_TRUE(a.sdc_injected != c.sdc_injected || a.makespan != c.makespan)
+      << "distinct seeds produced identical strike histories";
+}
+
 }  // namespace

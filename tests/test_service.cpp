@@ -81,6 +81,10 @@ TEST(EvalService, QuantizationFoldsParameterNoise) {
 TEST(EvalService, SimRunsBatchedKernelAndCounts) {
   sim::EvalServiceOptions options;
   options.default_trials = 60;
+  // This test asserts batched-kernel occupancy specifically, so pin the
+  // engine: under DCKPT_ENGINE=scalar the default would (correctly) leave
+  // the kernel counters at zero.
+  options.engine = sim::SimEngine::kBatched;
   sim::EvalService service(options);
   const auto v = respond(service,
                          "EVAL kind=sim protocol=DoubleNBL scenario=base "

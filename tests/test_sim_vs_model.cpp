@@ -217,6 +217,55 @@ TEST(SimVsModelTest, WeibullShapeBelowOneMatchesClusteredModel) {
   EXPECT_GT(mc.waste.stddev(), 0.5 * exp_mc.waste.stddev());
 }
 
+TEST(SimVsModelTest, VerifiedCheckpointWasteTracksSdcModel) {
+  // Silent errors + verified checkpoints: the (V, k, P) first-order model of
+  // model/sdc.hpp vs exact simulation. The model neglects strike/failure
+  // interaction and retention exhaustion, so the band is 15% relative plus
+  // 3 Monte-Carlo standard errors (the issue's acceptance band).
+  for (const Protocol protocol : {Protocol::DoubleNbl, Protocol::Triple}) {
+    auto config = config_for(protocol, 1.0, 3600.0, 50000.0);
+    config.sdc_rate = 2e-4;
+    config.verify_cost = 10.0;
+    config.verify_every = 2;
+    config.keep_last = 3;
+    const SdcSpec spec{config.sdc_rate, config.verify_cost,
+                       config.verify_every};
+    const double model_waste =
+        waste_with_sdc(protocol, config.params, config.period, spec);
+    ASSERT_LT(model_waste, 1.0) << protocol_name(protocol);
+    const auto mc = monte_carlo(config, 80, 0x5dc);
+    ASSERT_EQ(mc.diverged, 0u);
+    EXPECT_NEAR(mc.waste.mean(), model_waste,
+                0.15 * model_waste + 3.0 * mc.waste.standard_error())
+        << protocol_name(protocol) << " model=" << model_waste
+        << " sim=" << mc.waste.mean();
+    // The strike campaign must actually have exercised the machinery.
+    EXPECT_GT(mc.sdc_injected.mean(), 0.0) << protocol_name(protocol);
+    EXPECT_GT(mc.verify_time.mean(), 0.0) << protocol_name(protocol);
+  }
+}
+
+TEST(SimVsModelTest, PureVerificationOverheadTracksSdcModel) {
+  // No strikes: the only SDC term left is V/(kP), which the simulator pays
+  // exactly (one blocking verification every k periods). Tight band: the
+  // model error is the same first-order one as the fail-stop test (12%),
+  // since the verification factor itself is exact.
+  auto config = config_for(Protocol::DoubleNbl, 1.0, 2000.0, 50000.0);
+  config.verify_cost = 15.0;
+  config.verify_every = 3;
+  config.keep_last = 2;
+  const SdcSpec spec{0.0, config.verify_cost, config.verify_every};
+  const double model_waste =
+      waste_with_sdc(Protocol::DoubleNbl, config.params, config.period, spec);
+  const auto mc = monte_carlo(config, 80);
+  ASSERT_EQ(mc.diverged, 0u);
+  EXPECT_NEAR(mc.waste.mean(), model_waste,
+              0.12 * model_waste + 3.0 * mc.waste.standard_error())
+      << "model=" << model_waste << " sim=" << mc.waste.mean();
+  EXPECT_EQ(mc.sdc_injected.mean(), 0.0);
+  EXPECT_EQ(mc.sdc_detected.mean(), 0.0);
+}
+
 TEST(SimVsModelTest, WeibullFailuresStillComplete) {
   // The analytic model assumes exponential failures; the simulator also runs
   // Weibull (shape < 1, clustered) streams. Sanity: runs complete, waste is
