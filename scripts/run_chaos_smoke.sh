@@ -60,6 +60,13 @@ CAMPAIGNS=(
   "sdc survivable rollback repro|--topology=pairs --nodes=8 --cells=48 --steps=96 --interval=12 --verify-every=4 --keep-last=3 --schedule=13:sdc:0"
   "sdc fatal-detected shallow-retention repro|--topology=pairs --nodes=8 --cells=48 --steps=96 --interval=12 --verify-every=4 --keep-last=2 --schedule=13:sdc:0"
   "grid sdc survivable rollback repro|--topology=pairs --grid=4x4 --block=6 --steps=96 --interval=12 --verify-every=4 --keep-last=3 --schedule=13:sdc:0"
+  # Fault-prediction campaigns: the scripted set now includes the alarm
+  # families (predicted kill, same-step alarm, false-alarm storm during a
+  # risk window, missed prediction at a commit boundary); the exact repro
+  # lines pin the proactive-commit path on both runtimes.
+  "chain pairs alarms, scripted + 40 random|--topology=pairs --nodes=8 --cells=48 --steps=96 --interval=12 --staging=4 --rerepl-delay=8 --runs=40 --seed=20260811"
+  "alarm proactive-commit repro|--topology=pairs --nodes=8 --cells=48 --steps=96 --interval=12 --rerepl-delay=8 --schedule=26:alarm:0:2,27:0"
+  "grid alarm proactive-commit repro|--topology=pairs --grid=2x2 --block=8 --steps=48 --interval=8 --rerepl-delay=6 --schedule=17:alarm:1:3,19:1"
 )
 
 status=0

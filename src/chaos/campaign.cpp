@@ -42,6 +42,12 @@ std::string counter_divergence(const runtime::RunReport& report,
        predicted.verifications_run},
       {"sdc_detected", report.sdc_detected, predicted.sdc_detected},
       {"rollback_depth", report.rollback_depth, predicted.rollback_depth},
+      {"alarms_raised", report.alarms_raised, predicted.alarms_raised},
+      {"proactive_ckpts", report.proactive_ckpts, predicted.proactive_ckpts},
+      {"true_predictions", report.true_predictions,
+       predicted.true_predictions},
+      {"missed_failures", report.missed_failures,
+       predicted.missed_failures},
   };
   for (const auto& counter : counters) {
     if (counter.got != counter.want) {

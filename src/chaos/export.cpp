@@ -49,6 +49,11 @@ util::JsonValue to_json(const ShadowPrediction& predicted) {
   v.set("verifications_run", predicted.verifications_run);
   v.set("sdc_detected", predicted.sdc_detected);
   v.set("rollback_depth", predicted.rollback_depth);
+  // Appended (PR 8): fault-prediction accounting.
+  v.set("alarms_raised", predicted.alarms_raised);
+  v.set("proactive_ckpts", predicted.proactive_ckpts);
+  v.set("true_predictions", predicted.true_predictions);
+  v.set("missed_failures", predicted.missed_failures);
   return v;
 }
 
@@ -88,6 +93,11 @@ util::JsonValue to_json(const runtime::RunReport& report) {
   v.set("verifications_run", report.verifications_run);
   v.set("sdc_detected", report.sdc_detected);
   v.set("rollback_depth", report.rollback_depth);
+  // Appended (PR 8): fault-prediction accounting.
+  v.set("alarms_raised", report.alarms_raised);
+  v.set("proactive_ckpts", report.proactive_ckpts);
+  v.set("true_predictions", report.true_predictions);
+  v.set("missed_failures", report.missed_failures);
   return v;
 }
 

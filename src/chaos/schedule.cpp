@@ -18,7 +18,7 @@ namespace {
   throw std::invalid_argument(
       "ChaosSchedule: bad entry '" + entry +
       "' (want step:node, step:corrupt:holder:owner, step:torn:node, "
-      "step:failxfer:node or step:sdc:node)");
+      "step:failxfer:node, step:sdc:node or step:alarm:node[:window])");
 }
 
 std::uint64_t parse_number(std::string_view text, const std::string& entry) {
@@ -55,6 +55,11 @@ std::string ChaosSchedule::spec() const {
       case runtime::InjectionKind::SilentError:
         text += ":sdc:" + std::to_string(failure.node);
         break;
+      case runtime::InjectionKind::Alarm:
+        text += ":alarm:" + std::to_string(failure.node);
+        // The 3-field form round-trips a same-step prediction.
+        if (failure.window > 0) text += ':' + std::to_string(failure.window);
+        break;
     }
   }
   return text;
@@ -89,14 +94,21 @@ ChaosSchedule ChaosSchedule::parse(const std::string& spec) {
       injection.node = parse_number(fields[1], entry);
     } else if (fields.size() == 3 &&
                (fields[1] == "torn" || fields[1] == "failxfer" ||
-                fields[1] == "sdc")) {
+                fields[1] == "sdc" || fields[1] == "alarm")) {
       injection.step = parse_number(fields[0], entry);
       injection.kind = fields[1] == "torn"
                            ? runtime::InjectionKind::TornTransfer
                        : fields[1] == "failxfer"
                            ? runtime::InjectionKind::FailTransfer
-                           : runtime::InjectionKind::SilentError;
+                       : fields[1] == "sdc"
+                           ? runtime::InjectionKind::SilentError
+                           : runtime::InjectionKind::Alarm;
       injection.node = parse_number(fields[2], entry);
+    } else if (fields.size() == 4 && fields[1] == "alarm") {
+      injection.step = parse_number(fields[0], entry);
+      injection.kind = runtime::InjectionKind::Alarm;
+      injection.node = parse_number(fields[2], entry);
+      injection.window = parse_number(fields[3], entry);
     } else if (fields.size() == 4 && fields[1] == "corrupt") {
       injection.step = parse_number(fields[0], entry);
       injection.kind = runtime::InjectionKind::CorruptReplica;
@@ -326,6 +338,46 @@ std::vector<ChaosSchedule> scripted_schedules(const ShadowConfig& config) {
     // Repeated flips a period apart: epochs accumulate, every retained set
     // between them is tainted at a different level.
     plans.push_back({"sdc-repeat", {sdc(c, 0), sdc(c + interval, 0)}, 0});
+  }
+
+  // Fault-prediction families: alarms and the proactive checkpoints they
+  // trigger. Valid under every config (no gating -- an alarm needs nothing
+  // beyond an existing node and step).
+  {
+    using runtime::InjectionKind;
+    const auto alarm = [&](std::uint64_t at, std::uint64_t node,
+                           std::uint64_t window) {
+      return runtime::FailureInjection{step(at), node, InjectionKind::Alarm,
+                                       0, window};
+    };
+    // A true prediction: the alarm lands one step before the kill with a
+    // window that covers it, so the proactive commit saves every step since
+    // the last boundary and the scoreboard records a true prediction.
+    plans.push_back({"alarm-predicts-kill", {alarm(pre, 0, 2), {c, 0}}, 0});
+    // The just-in-time limit: alarm and loss in the same step. Alarms fire
+    // at the top of the loop, before the step's losses, so even a window of
+    // 0 commits ahead of the hit.
+    plans.push_back({"alarm-same-step-kill", {alarm(c, 0, 0), {c, 0}}, 0});
+    // False-alarm storm during a risk window: a kill opens the
+    // re-replication window, then alarms hammer a survivor on consecutive
+    // steps with no matching loss. Each proactive commit inside the window
+    // closes it early -- the storm must not corrupt the refill bookkeeping,
+    // and every alarm scores as false (the one real loss as missed).
+    plans.push_back({"false-alarm-storm-risk-window",
+                     {{c, 0},
+                      alarm(c + 1, 1, 0),
+                      alarm(c + 2, 1, 0),
+                      alarm(c + 3, 1, 0)},
+                     0});
+    // Missed prediction at the commit boundary: the alarm fires on the
+    // step right after a fresh periodic commit (when the exchange is
+    // unstaged, skip-if-just-committed suppresses the proactive
+    // checkpoint), and the kill arrives past the prediction window -- a
+    // miss on the scoreboard either way.
+    plans.push_back({"missed-prediction-at-commit-boundary",
+                     {alarm(2 * interval, 1, 1),
+                      {step(2 * interval + interval / 2 + 2), 1}},
+                     0});
   }
 
   for (auto& plan : plans) validate_schedule(plan, config);

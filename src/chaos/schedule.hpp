@@ -13,6 +13,11 @@
 //   step:sdc:node              latent silent corruption of node's live
 //                              memory (captured by later checkpoints; only
 //                              valid when verification is enabled)
+//   step:alarm:node            fault-predictor alarm: node is predicted to
+//                              fail this step (proactive checkpoint fires
+//                              before the step's losses)
+//   step:alarm:node:window     same, predicting a loss anywhere within
+//                              [step, step + window]
 //
 // Three sources of schedules:
 //   * scripted_schedules() -- the paper's named danger cases: failures

@@ -217,8 +217,68 @@ ShadowPrediction predict_outcome(
     lost_count = 0;
   };
 
+  // Prediction scoreboard, recomputed independently of the runtimes'
+  // score_predictions: each alarm (step s, node v, window w) greedily
+  // consumes the earliest unconsumed loss of node v with s <= step <= s + w;
+  // every unconsumed loss is a missed failure. Static upfront computation is
+  // valid because injections fire exactly once even across replays.
+  {
+    std::vector<runtime::FailureInjection> losses;
+    std::vector<runtime::FailureInjection> alarms;
+    for (const auto& failure : pending) {
+      if (failure.kind == runtime::InjectionKind::NodeLoss) {
+        losses.push_back(failure);
+      } else if (failure.kind == runtime::InjectionKind::Alarm) {
+        alarms.push_back(failure);
+      }
+    }
+    std::vector<char> consumed(losses.size(), 0);
+    for (const auto& alarm : alarms) {
+      for (std::size_t i = 0; i < losses.size(); ++i) {
+        if (consumed[i] || losses[i].node != alarm.node) continue;
+        if (losses[i].step < alarm.step ||
+            losses[i].step > alarm.step + alarm.window) {
+          continue;
+        }
+        consumed[i] = 1;
+        ++out.true_predictions;
+        break;
+      }
+    }
+    for (const char hit : consumed) {
+      if (!hit) ++out.missed_failures;
+    }
+  }
+
   std::uint64_t step = 0;
   while (step < config.total_steps) {
+    // Fault-predictor alarms fire at the top of the loop, before the
+    // step's other injections, exactly as in both runtimes: the proactive
+    // checkpoint they trigger commits ahead of the loss it predicts. The
+    // skip rule (nothing committed yet at step 0, or a commit already
+    // landed at exactly this step) and the supersession of any in-flight
+    // staged exchange mirror Coordinator::proactive_checkpoint.
+    {
+      std::uint64_t fired = 0;
+      for (auto it = pending.begin(); it != pending.end();) {
+        if (it->step == step && it->kind == runtime::InjectionKind::Alarm) {
+          ++fired;
+          it = pending.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (fired > 0) {
+        out.alarms_raised += fired;
+        if (step != 0 && !(has_commit && committed_step == step)) {
+          snapshot_step = step;
+          staging_epochs = sdc_epoch;
+          commit();
+          ++out.proactive_ckpts;
+        }
+      }
+    }
+
     // Fire this step's injections in the runtime's kind order.
     bool failed = false;
     const auto fire_kind = [&](runtime::InjectionKind kind, auto&& act) {

@@ -82,6 +82,10 @@ struct ShadowPrediction {
   std::uint64_t verifications_run = 0;
   std::uint64_t sdc_detected = 0;
   std::uint64_t rollback_depth = 0;
+  std::uint64_t alarms_raised = 0;
+  std::uint64_t proactive_ckpts = 0;
+  std::uint64_t true_predictions = 0;
+  std::uint64_t missed_failures = 0;
 };
 
 /// Runs the abstract machine for `config` under `failures` (same contract

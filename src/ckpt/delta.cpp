@@ -1,5 +1,6 @@
 #include "ckpt/delta.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace dckpt::ckpt {
@@ -13,8 +14,14 @@ SnapshotDelta::SnapshotDelta(std::uint64_t owner, std::uint64_t base_version,
       pages_(std::move(pages)) {}
 
 std::size_t SnapshotDelta::delta_bytes() const {
+  // Clamp the dirty tail page to the logical remainder (content_hash and
+  // to_bytes do the same); the allocated size over-reports transfer volume
+  // whenever size_bytes % page_size != 0.
   std::size_t total = 0;
-  for (const auto& entry : pages_) total += entry.page->size();
+  for (const auto& entry : pages_) {
+    const std::size_t page_span = entry.page->size();
+    total += std::min(page_span, size_bytes_ - entry.index * page_span);
+  }
   return total;
 }
 

@@ -109,7 +109,9 @@ PageStore::PageStore(std::size_t size_bytes, std::size_t page_size)
 }
 
 void PageStore::read(std::size_t offset, std::span<std::byte> out) const {
-  if (offset + out.size() > size_bytes_) {
+  // Subtraction-safe: `offset + out.size()` can wrap for huge offsets,
+  // passing the naive guard and running an out-of-bounds memcpy.
+  if (offset > size_bytes_ || out.size() > size_bytes_ - offset) {
     throw std::out_of_range("PageStore::read past end");
   }
   std::size_t cursor = 0;
@@ -135,7 +137,8 @@ std::vector<std::byte>& PageStore::writable_page(std::size_t index) {
 }
 
 void PageStore::write(std::size_t offset, std::span<const std::byte> data) {
-  if (offset + data.size() > size_bytes_) {
+  // Subtraction-safe for the same wrap hazard as read().
+  if (offset > size_bytes_ || data.size() > size_bytes_ - offset) {
     throw std::out_of_range("PageStore::write past end");
   }
   std::size_t cursor = 0;
@@ -168,6 +171,10 @@ void PageStore::restore(const Snapshot& snapshot_image) {
     pages_[i] = std::const_pointer_cast<std::vector<std::byte>>(
         snapshot_image.pages()[i]);
   }
+  // A snapshot taken after restoring a higher-versioned image must still
+  // order after it, or make_delta rejects a legitimate post-failover delta
+  // with "base must precede current".
+  version_ = std::max(version_, snapshot_image.version());
 }
 
 }  // namespace dckpt::ckpt

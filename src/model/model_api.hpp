@@ -11,6 +11,7 @@
 #include "model/overlap.hpp"      // IWYU pragma: export
 #include "model/parameters.hpp"   // IWYU pragma: export
 #include "model/period.hpp"       // IWYU pragma: export
+#include "model/predictor.hpp"    // IWYU pragma: export
 #include "model/protocol.hpp"     // IWYU pragma: export
 #include "model/restart.hpp"      // IWYU pragma: export
 #include "model/risk.hpp"         // IWYU pragma: export

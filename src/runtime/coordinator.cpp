@@ -77,6 +77,50 @@ void validate_injections(std::span<const FailureInjection> failures,
   }
 }
 
+std::uint64_t consume_alarms(std::vector<FailureInjection>& pending,
+                             std::uint64_t step) {
+  std::uint64_t fired = 0;
+  for (auto it = pending.begin(); it != pending.end();) {
+    if (it->kind == InjectionKind::Alarm && it->step == step) {
+      ++fired;
+      it = pending.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return fired;
+}
+
+void score_predictions(std::span<const FailureInjection> failures,
+                       RunReport& report) {
+  std::vector<const FailureInjection*> losses;
+  std::vector<const FailureInjection*> alarms;
+  for (const auto& failure : failures) {
+    if (failure.kind == InjectionKind::NodeLoss) losses.push_back(&failure);
+    if (failure.kind == InjectionKind::Alarm) alarms.push_back(&failure);
+  }
+  const auto by_step = [](const FailureInjection* a,
+                          const FailureInjection* b) {
+    return a->step < b->step;
+  };
+  std::stable_sort(losses.begin(), losses.end(), by_step);
+  std::stable_sort(alarms.begin(), alarms.end(), by_step);
+  std::vector<bool> consumed(losses.size(), false);
+  for (const FailureInjection* alarm : alarms) {
+    for (std::size_t i = 0; i < losses.size(); ++i) {
+      if (consumed[i] || losses[i]->node != alarm->node) continue;
+      if (losses[i]->step < alarm->step) continue;
+      if (losses[i]->step > alarm->step + alarm->window) continue;
+      consumed[i] = true;
+      ++report.true_predictions;
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < losses.size(); ++i) {
+    if (!consumed[i]) ++report.missed_failures;
+  }
+}
+
 Coordinator::Coordinator(RuntimeConfig config, std::unique_ptr<Kernel> kernel)
     : config_(config), kernel_(std::move(kernel)),
       groups_(config.nodes, config.topology), pool_(config.threads),
@@ -181,6 +225,20 @@ void Coordinator::commit_checkpoint(RunReport& report) {
   engine_.on_commit(committed_step_, committed_hashes_, staging_epochs_);
 }
 
+void Coordinator::proactive_checkpoint(RunReport& report, std::uint64_t step) {
+  // Skip-if-just-committed: nothing new to save when the committed set (or
+  // the implicit initial checkpoint at step 0) already captures this state.
+  if (step == 0 || (has_commit_ && committed_step_ == step)) return;
+  // The proactive commit captures a strictly newer state than any staged
+  // set, superseding it; drop the in-flight exchange and run a blocking
+  // snapshot-and-promote, exactly the staging_steps == 0 path.
+  staging_ = false;
+  for (Worker& worker : workers_) worker.store().discard_staged();
+  begin_checkpoint(step);
+  commit_checkpoint(report);
+  ++report.proactive_ckpts;
+}
+
 void Coordinator::rollback_all(RunReport& report, std::uint64_t step) {
   ++report.rollbacks;
   // Any in-flight staging set is lost with its victims; abandon it and fall
@@ -216,9 +274,19 @@ RunReport Coordinator::run(std::span<const FailureInjection> failures) {
                      return a.step < b.step;
                    });
 
+  score_predictions(failures, report);
+
   const auto stores = store_directory();
   std::uint64_t step = 0;
   while (step < config_.total_steps) {
+    // Predictor alarms fire first: the proactive checkpoint they trigger
+    // commits before this step's loss (if any) lands, which is exactly how
+    // a same-step true prediction saves the work since the last commit.
+    const std::uint64_t alarms = consume_alarms(pending, step);
+    if (alarms > 0) {
+      report.alarms_raised += alarms;
+      proactive_checkpoint(report, step);
+    }
     // Fire the injections scheduled for this step (each at most once).
     // NodeLoss wipes the victim's memory and buddy storage; the rollback
     // then restores every node through its replica ladder -- skipping

@@ -82,6 +82,7 @@ enum class InjectionKind {
   TornTransfer,   ///< next refill delivery for `node` arrives prefix-only
   FailTransfer,   ///< next refill delivery for `node` fails outright
   SilentError,    ///< latent in-memory corruption (captured by checkpoints)
+  Alarm,          ///< fault-predictor alarm: proactive checkpoint trigger
 };
 
 /// An injection fired when the run first reaches step `step` (0-based).
@@ -97,7 +98,30 @@ struct FailureInjection {
   std::uint64_t node = 0;
   InjectionKind kind = InjectionKind::NodeLoss;
   std::uint64_t owner = 0;  ///< CorruptReplica only
+  /// Alarm only: prediction-window width in steps. The alarm claims `node`
+  /// will be lost within [step, step + window]; 0 = a same-step prediction.
+  std::uint64_t window = 0;
 };
+
+/// Consumes (erases) every Alarm injection scheduled for `step`, returning
+/// how many fired. Shared by both coordinators: alarms fire at the top of
+/// the step loop, before the step's other injections, so the proactive
+/// checkpoint they trigger can land ahead of the loss they predict (and,
+/// being erased, each alarm fires exactly once even across replays).
+std::uint64_t consume_alarms(std::vector<FailureInjection>& pending,
+                             std::uint64_t step);
+
+struct RunReport;
+
+/// Static alarm <-> loss matching for the prediction scoreboard: each alarm
+/// (step s, node v, window w) consumes the earliest unconsumed NodeLoss of
+/// node v with s <= step <= s + w; every unconsumed loss counts as missed.
+/// Valid as an upfront computation because injections fire exactly once --
+/// replays never re-deliver either side. Adds to report.true_predictions
+/// and report.missed_failures; shared by both coordinators (the chaos
+/// shadow oracle mirrors it independently).
+void score_predictions(std::span<const FailureInjection> failures,
+                       RunReport& report);
 
 /// Upfront range check shared by both coordinators (and mirrored by the
 /// chaos shadow oracle): every injection must name an existing node and a
@@ -142,6 +166,12 @@ struct RunReport {
   std::uint64_t sdc_detected = 0;     ///< verifications that found corruption
   std::uint64_t rollback_depth = 0;   ///< retained sets dropped across all
                                       ///< silent-error rollbacks
+  std::uint64_t alarms_raised = 0;    ///< predictor alarms delivered
+  std::uint64_t proactive_ckpts = 0;  ///< alarm-triggered commits taken
+                                      ///< (skip-if-just-committed excluded)
+  std::uint64_t true_predictions = 0; ///< node losses matched by an alarm
+                                      ///< within its prediction window
+  std::uint64_t missed_failures = 0;  ///< node losses no alarm announced
   bool fatal = false;                 ///< unrecoverable data loss occurred
   bool degraded = false;              ///< run continued past the loss
   std::uint64_t fatal_node = 0;       ///< first node with no clean replica
@@ -169,6 +199,7 @@ class Coordinator {
  private:
   void begin_checkpoint(std::uint64_t step);
   void commit_checkpoint(RunReport& report);
+  void proactive_checkpoint(RunReport& report, std::uint64_t step);
   void rollback_all(RunReport& report, std::uint64_t step);
   void execute_step();
   std::vector<ckpt::BuddyStore*> store_directory();

@@ -244,6 +244,18 @@ void GridCoordinator::checkpoint_all(RunReport& report) {
                     engine_.current_epochs());
 }
 
+void GridCoordinator::proactive_checkpoint(RunReport& report,
+                                           std::uint64_t step) {
+  // Skip-if-just-committed, mirroring the 1-D coordinator: nothing new to
+  // save when the committed set (or the implicit initial checkpoint at
+  // step 0) already captures this state. The grid commits at snapshot time,
+  // so the proactive commit is a plain checkpoint_all at this step.
+  if (step == 0 || (has_commit_ && committed_step_ == step)) return;
+  committed_step_ = step;
+  checkpoint_all(report);
+  ++report.proactive_ckpts;
+}
+
 void GridCoordinator::blank_restart(std::uint64_t node) {
   Block& block = *blocks_[node];
   const std::size_t gr = node / config_.grid_cols;
@@ -282,9 +294,17 @@ RunReport GridCoordinator::run(std::span<const FailureInjection> failures) {
                    [](const FailureInjection& a, const FailureInjection& b) {
                      return a.step < b.step;
                    });
+  score_predictions(failures, report);
   const auto stores = store_directory();
   std::uint64_t step = 0;
   while (step < config_.total_steps) {
+    // Predictor alarms fire first, exactly as in the 1-D coordinator: the
+    // proactive commit precedes this step's loss (if any).
+    const std::uint64_t alarms = consume_alarms(pending, step);
+    if (alarms > 0) {
+      report.alarms_raised += alarms;
+      proactive_checkpoint(report, step);
+    }
     // Fire this step's injections (corruption, then transfer-fault arming,
     // then losses). A loss triggers the coordinated rollback: every node
     // restores through its replica ladder, corrupt images are skipped, and

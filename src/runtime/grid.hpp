@@ -118,6 +118,7 @@ class GridCoordinator {
   struct Block;
 
   void checkpoint_all(RunReport& report);
+  void proactive_checkpoint(RunReport& report, std::uint64_t step);
   void rollback_all(RunReport& report, std::uint64_t step);
   void blank_restart(std::uint64_t node);
   void execute_step();

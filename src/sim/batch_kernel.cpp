@@ -44,7 +44,7 @@ constexpr double kInvMultiMargin = 1.0 / kMultiMargin;
 constexpr std::size_t kMaxFastRun = 65536;
 
 enum class Phase : std::uint8_t {
-  Part1, Part2, Part3, Down, Recover, Reexec, Verify
+  Part1, Part2, Part3, Down, Recover, Reexec, Verify, Proactive
 };
 
 /// Open exposure window, the flat-vector mirror of RiskTracker's per-group
@@ -205,6 +205,23 @@ struct LaneCold {
   std::uint64_t verifications_run = 0;
   std::uint64_t sdc_detected = 0;
   std::uint64_t rollback_depth = 0;
+
+  // Fault-prediction mirror of the scalar engine (cold: prediction lanes
+  // never take the fast path either -- proactive commits splice into the
+  // period structure just like verification does).
+  util::Xoshiro256ss pred_rng{0};
+  util::Xoshiro256ss false_rng{0};
+  double next_true_alarm = 0.0;
+  double next_false_alarm = 0.0;
+  double pred_decided_for = 0.0;
+  bool next_fail_predicted = false;
+  Phase proactive_resume_phase = Phase::Part1;
+  double proactive_resume_rem = 0.0;
+  double time_proactive = 0.0;
+  std::uint64_t alarms_raised = 0;
+  std::uint64_t proactive_ckpts = 0;
+  std::uint64_t true_predictions = 0;
+  std::uint64_t missed_failures = 0;
 };
 
 template <class Source>
@@ -225,7 +242,15 @@ class WaveRunner {
         sdc_rate_(config.sdc_rate),
         verify_cost_(config.verify_cost),
         verify_every_(config.verify_every),
-        keep_last_(config.keep_last) {
+        keep_last_(config.keep_last),
+        pred_recall_(config.pred_recall),
+        pred_window_(config.pred_window),
+        proactive_cost_(config.proactive_cost),
+        false_rate_(config.pred_recall > 0.0
+                        ? engine::false_alarm_rate(config.params.mtbf,
+                                                   config.pred_precision,
+                                                   config.pred_recall)
+                        : 0.0) {
     // Precomputed per-phase constants. Each gain/loss is the product of the
     // exact operands the scalar advance() multiplies, so applying them in
     // phase order reproduces its rounded += sequence bit-for-bit.
@@ -245,8 +270,10 @@ class WaveRunner {
                gain_ > 0.0;
     // Verification splices extra phases into the period structure and
     // strikes are events the horizon guard knows nothing about, so SDC
-    // trials always run the exact state machine.
-    fast_ok_ = fast_ok_ && verify_every_ == 0 && sdc_rate_ == 0.0;
+    // trials always run the exact state machine. Same for prediction:
+    // alarms are events and proactive commits splice into periods.
+    fast_ok_ = fast_ok_ && verify_every_ == 0 && sdc_rate_ == 0.0 &&
+               pred_recall_ == 0.0;
     rates_le_one_ = geo_.rate1 <= 1.0 && geo_.rate2 <= 1.0 &&
                     geo_.overlap_rate <= 1.0;
     if (fast_ok_) {
@@ -326,11 +353,31 @@ class WaveRunner {
     c.verifications_run = 0;
     c.sdc_detected = 0;
     c.rollback_depth = 0;
+    c.next_true_alarm = std::numeric_limits<double>::infinity();
+    c.next_false_alarm = std::numeric_limits<double>::infinity();
+    c.pred_decided_for = -std::numeric_limits<double>::infinity();
+    c.next_fail_predicted = false;
+    c.proactive_resume_phase = zero;
+    c.proactive_resume_rem = 0.0;
+    c.time_proactive = 0.0;
+    c.alarms_raised = 0;
+    c.proactive_ckpts = 0;
+    c.true_predictions = 0;
+    c.missed_failures = 0;
     next_sdc_[lane] = std::numeric_limits<double>::infinity();
     if (verify_every_ > 0) c.ladder.reset(keep_last_);
     if (sdc_rate_ > 0.0) {
       c.sdc_rng = util::Xoshiro256ss(stream_seed ^ engine::kSdcSeedSalt);
       next_sdc_[lane] = engine::next_strike_time(0.0, c.sdc_rng, sdc_rate_);
+    }
+    if (pred_recall_ > 0.0) {
+      c.pred_rng = util::Xoshiro256ss(stream_seed ^ engine::kPredSeedSalt);
+      c.false_rng =
+          util::Xoshiro256ss(stream_seed ^ engine::kFalseAlarmSeedSalt);
+      if (false_rate_ > 0.0) {
+        c.next_false_alarm =
+            engine::next_strike_time(0.0, c.false_rng, false_rate_);
+      }
     }
     next_fail_[lane] = sources_[lane].peek_time();
     start_period(lane);
@@ -355,6 +402,11 @@ class WaveRunner {
     r.verifications_run = c.verifications_run;
     r.sdc_detected = c.sdc_detected;
     r.rollback_depth = c.rollback_depth;
+    r.time_proactive = c.time_proactive;
+    r.alarms_raised = c.alarms_raised;
+    r.proactive_ckpts = c.proactive_ckpts;
+    r.true_predictions = c.true_predictions;
+    r.missed_failures = c.missed_failures;
     return r;
   }
 
@@ -434,6 +486,7 @@ class WaveRunner {
       case Phase::Down:
       case Phase::Recover:
       case Phase::Verify:
+      case Phase::Proactive:
         return 0.0;
       case Phase::Reexec:
         return c.overlap > 0.0 ? geo_.overlap_rate : 1.0;
@@ -468,6 +521,9 @@ class WaveRunner {
       case Phase::Verify:
         c.time_verifying += dt;
         break;
+      case Phase::Proactive:
+        c.time_proactive += dt;
+        break;
     }
     c.rem -= dt;
     if (c.phase == Phase::Reexec && c.overlap > 0.0) c.overlap -= dt;
@@ -497,9 +553,11 @@ class WaveRunner {
     return false;
   }
 
-  /// Exact port of Engine::commit_snapshot.
+  /// Exact port of Engine::commit_snapshot (a proactive commit taken after
+  /// the period's snapshot was captured supersedes it).
   void commit_snapshot(std::size_t lane) {
     LaneCold& c = cold_[lane];
+    if (pending_[lane] < committed_[lane]) return;
     committed_[lane] = pending_[lane];
     if (verify_every_ > 0) c.ladder.push(pending_[lane], c.pending_taint);
   }
@@ -554,6 +612,14 @@ class WaveRunner {
         return resume_interrupted(lane);
       case Phase::Verify:
         return finish_verification(lane);
+      case Phase::Proactive:
+        committed_[lane] = work_[lane];
+        if (verify_every_ > 0) c.ladder.push(work_[lane], c.live_taint);
+        ++c.proactive_ckpts;
+        c.phase = c.proactive_resume_phase;
+        c.rem = c.proactive_resume_rem;
+        if (c.rem <= 0.0) return end_of_phase(lane);
+        return false;
     }
     return false;
   }
@@ -629,6 +695,15 @@ class WaveRunner {
     const std::uint64_t node = src.peek_node();
     src.pop();
     ++c.failures;
+    if (pred_recall_ > 0.0) {
+      // The decision for this failure was drawn when it first became the
+      // pending event; settle the prediction scoreboard.
+      if (c.next_fail_predicted) {
+        ++c.true_predictions;
+      } else {
+        ++c.missed_failures;
+      }
+    }
     const bool fatal = risk_on_failure(c, node, t);
     const double window_close = t + geo_.risk;
     c.time_at_risk += std::min(geo_.risk, window_close - c.risk_open_until);
@@ -644,8 +719,15 @@ class WaveRunner {
                                      c.phase == Phase::Recover ||
                                      c.phase == Phase::Reexec;
     if (!in_failure_handling) {
-      c.resume_phase = c.phase;
-      c.resume_rem = c.rem;
+      if (c.phase == Phase::Proactive) {
+        // The failure kills the in-flight proactive checkpoint; after
+        // repair the run resumes the phase the alarm had interrupted.
+        c.resume_phase = c.proactive_resume_phase;
+        c.resume_rem = c.proactive_resume_rem;
+      } else {
+        c.resume_phase = c.phase;
+        c.resume_rem = c.rem;
+      }
       c.pre_failure_work = work_[lane];
     }
     work_[lane] = committed_[lane];
@@ -655,6 +737,46 @@ class WaveRunner {
     c.overlap = 0.0;
     if (c.rem == 0.0) end_of_phase(lane);
     return true;
+  }
+
+  /// Exact port of Engine::decide_prediction (same RNG consumption: one
+  /// decision per distinct pending-failure time, idempotent in between).
+  void decide_prediction(std::size_t lane) {
+    LaneCold& c = cold_[lane];
+    const double fail_time = next_fail_[lane];
+    if (fail_time == c.pred_decided_for) return;
+    c.pred_decided_for = fail_time;
+    c.next_fail_predicted = false;
+    c.next_true_alarm = std::numeric_limits<double>::infinity();
+    if (!std::isfinite(fail_time)) return;
+    if (c.pred_rng.next_double_open_zero() > pred_recall_) return;
+    c.next_fail_predicted = true;
+    const double lead =
+        pred_window_ > 0.0
+            ? pred_window_ * c.pred_rng.next_double_open_zero()
+            : proactive_cost_;
+    c.next_true_alarm = std::max(fail_time - lead, now_[lane]);
+  }
+
+  /// Exact port of Engine::handle_alarm.
+  void handle_alarm(std::size_t lane, bool true_alarm) {
+    LaneCold& c = cold_[lane];
+    ++c.alarms_raised;
+    if (true_alarm) {
+      c.next_true_alarm = std::numeric_limits<double>::infinity();
+    } else {
+      c.next_false_alarm = engine::next_strike_time(c.next_false_alarm,
+                                                    c.false_rng, false_rate_);
+    }
+    const bool busy = c.phase == Phase::Down || c.phase == Phase::Recover ||
+                      c.phase == Phase::Reexec || c.phase == Phase::Verify ||
+                      c.phase == Phase::Proactive;
+    if (busy || work_[lane] - committed_[lane] <= kWorkEpsilon) return;
+    c.proactive_resume_phase = c.phase;
+    c.proactive_resume_rem = c.rem;
+    c.phase = Phase::Proactive;
+    c.rem = proactive_cost_;
+    if (c.rem == 0.0) end_of_phase(lane);
   }
 
   /// Exact port of Engine::run's event loop, entered from a park point.
@@ -685,13 +807,23 @@ class WaveRunner {
           dt = std::min(dt, room / rate);
         }
       }
-      // Strikes win ties, mirroring the scalar loop's event selection.
-      const bool strike_first = next_sdc_[lane] <= next_fail_[lane];
+      if (pred_recall_ > 0.0) decide_prediction(lane);
+      // Event ordering on ties mirrors the scalar loop exactly:
+      // alarm > strike > failure.
+      const double next_alarm =
+          std::min(c.next_true_alarm, c.next_false_alarm);
+      const bool alarm_first = next_alarm <= next_sdc_[lane] &&
+                               next_alarm <= next_fail_[lane];
+      const bool strike_first =
+          !alarm_first && next_sdc_[lane] <= next_fail_[lane];
       const double event_time =
-          strike_first ? next_sdc_[lane] : next_fail_[lane];
+          alarm_first ? next_alarm
+                      : (strike_first ? next_sdc_[lane] : next_fail_[lane]);
       if (event_time < now_[lane] + dt) {
         advance(lane, rate, event_time - now_[lane]);
-        if (strike_first) {
+        if (alarm_first) {
+          handle_alarm(lane, c.next_true_alarm <= c.next_false_alarm);
+        } else if (strike_first) {
           ++c.sdc_injected;
           ++c.live_taint;
           next_sdc_[lane] =
@@ -732,6 +864,10 @@ class WaveRunner {
   const double verify_cost_;
   const std::uint64_t verify_every_;
   const std::uint64_t keep_last_;
+  const double pred_recall_;
+  const double pred_window_;
+  const double proactive_cost_;
+  const double false_rate_;
 
   double gain_ = 0.0;  ///< work gained per whole period
   double inv_sum_parts_ = 0.0, inv_gain_ = 0.0;  ///< set when fast_ok_

@@ -119,6 +119,23 @@ inline double next_strike_time(double current, util::Xoshiro256ss& rng,
   return current + -std::log(rng.next_double_open_zero()) / sdc_rate;
 }
 
+/// Seed salts deriving the fault-predictor streams from a trial's master
+/// stream seed (same discipline as kSdcSeedSalt): the per-failure
+/// predicted/missed decision stream and the false-alarm Poisson clock are
+/// independent of each other and of the failure/strike streams, so enabling
+/// prediction never perturbs the arrival sequences. Shared so both engines
+/// salt identically.
+inline constexpr std::uint64_t kPredSeedSalt = 0x6a09e667f3bcc909ULL;
+inline constexpr std::uint64_t kFalseAlarmSeedSalt = 0xbb67ae8584caa73bULL;
+
+/// Platform false-alarm rate of a (p, r) predictor: true alarms arrive at
+/// rate r/M, and precision p means a fraction (1 - p) of all alarms are
+/// false, so false alarms arrive at (r/M)(1 - p)/p. Shared so both engines
+/// round identically.
+inline double false_alarm_rate(double mtbf, double precision, double recall) {
+  return recall * (1.0 - precision) / precision / mtbf;
+}
+
 /// Retained-checkpoint ladder for verified rollback, the simulator's analog
 /// of the runtime's keep-last-l retention ring. Rung 0 is the newest commit;
 /// the ladder is seeded with the pristine initial state {level 0, taint 0}.

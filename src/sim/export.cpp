@@ -71,6 +71,12 @@ util::JsonValue to_json(const MonteCarloResult& result) {
   v.set("sdc_detected", to_json(result.sdc_detected));
   v.set("verify_time", to_json(result.verify_time));
   v.set("rollback_depth", to_json(result.rollback_depth));
+  // Appended in PR 8 (append-only schema): fault-prediction aggregates.
+  v.set("alarms_raised", to_json(result.alarms_raised));
+  v.set("proactive_ckpts", to_json(result.proactive_ckpts));
+  v.set("true_predictions", to_json(result.true_predictions));
+  v.set("missed_failures", to_json(result.missed_failures));
+  v.set("proactive_time", to_json(result.proactive_time));
   if (result.metrics) {
     auto histograms = util::JsonValue::object();
     histograms.set("waste", to_json(result.metrics->waste));
@@ -96,6 +102,8 @@ util::JsonValue to_json(const SweepPoint& point) {
   v.set("model_waste_weibull", point.model_waste_weibull);
   // Appended in PR 7 (append-only schema): verified-checkpoint model waste.
   v.set("model_waste_sdc", point.model_waste_sdc);
+  // Appended in PR 8 (append-only schema): fault-prediction model waste.
+  v.set("model_waste_pred", point.model_waste_pred);
   return v;
 }
 

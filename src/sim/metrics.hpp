@@ -35,6 +35,13 @@ struct TrialResult {
   std::uint64_t sdc_detected = 0;     ///< verifications that found corruption
   std::uint64_t rollback_depth = 0;   ///< summed verified-rollback depths
 
+  // Fault-prediction accounting (all zero when SimConfig::pred_recall is 0).
+  double time_proactive = 0.0;        ///< wall-clock in proactive checkpoints
+  std::uint64_t alarms_raised = 0;    ///< alarms delivered (true + false)
+  std::uint64_t proactive_ckpts = 0;  ///< proactive commits actually taken
+  std::uint64_t true_predictions = 0;  ///< failures announced by an alarm
+  std::uint64_t missed_failures = 0;  ///< failures the predictor missed
+
   double waste() const noexcept {
     return makespan > 0.0 ? 1.0 - t_base / makespan : 0.0;
   }

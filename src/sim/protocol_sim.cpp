@@ -16,7 +16,9 @@ namespace {
 using engine::Geometry;
 using engine::kWorkEpsilon;
 
-enum class Phase { Part1, Part2, Part3, Down, Recover, Reexec, Verify };
+enum class Phase {
+  Part1, Part2, Part3, Down, Recover, Reexec, Verify, Proactive
+};
 
 Geometry make_geometry(const SimConfig& config) {
   return engine::make_geometry(config.protocol, config.params, config.period);
@@ -57,16 +59,39 @@ struct Engine {
   /// would re-enter the boundary hook and double-count the period).
   bool resume_fresh_period = false;
 
+  // Fault-prediction state (active when pred_recall > 0).
+  util::Xoshiro256ss pred_rng;   ///< per-failure decision + lead draws
+  util::Xoshiro256ss false_rng;  ///< false-alarm Poisson clock
+  double false_rate = 0.0;
+  double next_true_alarm = std::numeric_limits<double>::infinity();
+  double next_false_alarm = std::numeric_limits<double>::infinity();
+  /// Failure time the last predictor decision was drawn for (one decision
+  /// per distinct pending-failure time; -inf = none yet).
+  double pred_decided_for = -std::numeric_limits<double>::infinity();
+  bool next_fail_predicted = false;
+  Phase proactive_resume_phase = Phase::Part1;  ///< interrupted by the alarm
+  double proactive_resume_remaining = 0.0;
+
   TrialResult result;
 
   Engine(const SimConfig& cfg, std::unique_ptr<FailureInjector>& inj,
          std::uint64_t stream_seed, Trace* tr)
       : config(cfg), geo(make_geometry(cfg)), injector(*inj),
         risk_tracker(cfg.params.nodes, model::group_size(cfg.protocol)),
-        trace(tr), sdc_rng(stream_seed ^ engine::kSdcSeedSalt) {
+        trace(tr), sdc_rng(stream_seed ^ engine::kSdcSeedSalt),
+        pred_rng(stream_seed ^ engine::kPredSeedSalt),
+        false_rng(stream_seed ^ engine::kFalseAlarmSeedSalt) {
     if (config.verify_every > 0) ladder.reset(config.keep_last);
     if (config.sdc_rate > 0.0) {
       next_sdc = engine::next_strike_time(0.0, sdc_rng, config.sdc_rate);
+    }
+    if (config.pred_recall > 0.0) {
+      false_rate = engine::false_alarm_rate(
+          config.params.mtbf, config.pred_precision, config.pred_recall);
+      if (false_rate > 0.0) {
+        next_false_alarm =
+            engine::next_strike_time(0.0, false_rng, false_rate);
+      }
     }
   }
 
@@ -85,6 +110,7 @@ struct Engine {
       case Phase::Down:
       case Phase::Recover:
       case Phase::Verify:
+      case Phase::Proactive:
         return 0.0;
       case Phase::Reexec:
         return overlap_remaining > 0.0 ? geo.overlap_rate : 1.0;
@@ -138,6 +164,9 @@ struct Engine {
       case Phase::Verify:
         result.time_verifying += dt;
         break;
+      case Phase::Proactive:
+        result.time_proactive += dt;
+        break;
     }
     phase_remaining -= dt;
     if (phase == Phase::Reexec && overlap_remaining > 0.0) {
@@ -146,8 +175,12 @@ struct Engine {
   }
 
   /// Commits the in-flight snapshot and records it on the retention ladder
-  /// (with the taint it captured) when verification is enabled.
+  /// (with the taint it captured) when verification is enabled. A proactive
+  /// commit taken after this period's snapshot was captured supersedes it:
+  /// committed never regresses (a no-op without prediction, where pending
+  /// is always >= committed).
   void commit_snapshot() {
+    if (pending < committed) return;
     committed = pending;
     if (config.verify_every > 0) ladder.push(pending, pending_taint);
   }
@@ -213,6 +246,17 @@ struct Engine {
       case Phase::Verify:
         finish_verification();
         break;
+      case Phase::Proactive:
+        // The proactive snapshot commits at the alarm's work level and
+        // lands on the retention ladder like any other commit.
+        committed = work;
+        if (config.verify_every > 0) ladder.push(work, live_taint);
+        ++result.proactive_ckpts;
+        record(TraceKind::ProactiveCommit);
+        phase = proactive_resume_phase;
+        phase_remaining = proactive_resume_remaining;
+        if (phase_remaining <= 0.0) end_of_phase();
+        break;
     }
   }
 
@@ -273,6 +317,15 @@ struct Engine {
   void handle_failure(const FailureEvent& event) {
     injector.pop();
     ++result.failures;
+    if (config.pred_recall > 0.0) {
+      // The decision for this failure was drawn when it first became the
+      // pending event; settle the prediction scoreboard.
+      if (next_fail_predicted) {
+        ++result.true_predictions;
+      } else {
+        ++result.missed_failures;
+      }
+    }
     record(TraceKind::Failure, event.node);
     const bool fatal =
         risk_tracker.on_failure(event.node, event.time, geo.risk);
@@ -292,9 +345,17 @@ struct Engine {
       if (config.stop_on_fatal) return;
     }
     if (!in_failure_handling()) {
-      // Save the interrupted phase; it resumes at its offset after repair.
-      resume_phase = phase;
-      resume_remaining = phase_remaining;
+      if (phase == Phase::Proactive) {
+        // The failure kills the in-flight proactive checkpoint; after
+        // repair the run resumes the phase the alarm had interrupted.
+        resume_phase = proactive_resume_phase;
+        resume_remaining = proactive_resume_remaining;
+      } else {
+        // Save the interrupted phase; it resumes at its offset after
+        // repair.
+        resume_phase = phase;
+        resume_remaining = phase_remaining;
+      }
       pre_failure_work = work;
     }
     // Failures inside Down/Recover/Reexec keep the saved context; the
@@ -316,6 +377,50 @@ struct Engine {
     ++result.sdc_injected;
     ++live_taint;
     next_sdc = engine::next_strike_time(next_sdc, sdc_rng, config.sdc_rate);
+  }
+
+  /// One predictor decision per distinct pending-failure time: with
+  /// probability r the failure is predicted and a true alarm is scheduled
+  /// `lead` seconds ahead of it -- lead uniform in (0, w) when the window w
+  /// is positive, exactly C_p when w == 0 (the alarm arrives just in time
+  /// for the proactive checkpoint to complete as the failure lands).
+  void decide_prediction(double fail_time) {
+    if (fail_time == pred_decided_for) return;
+    pred_decided_for = fail_time;
+    next_fail_predicted = false;
+    next_true_alarm = std::numeric_limits<double>::infinity();
+    if (!std::isfinite(fail_time)) return;
+    if (pred_rng.next_double_open_zero() > config.pred_recall) return;
+    next_fail_predicted = true;
+    const double lead =
+        config.pred_window > 0.0
+            ? config.pred_window * pred_rng.next_double_open_zero()
+            : config.proactive_cost;
+    next_true_alarm = std::max(fail_time - lead, now);
+  }
+
+  /// An alarm (true or false): unless the run is repairing/verifying, or a
+  /// proactive checkpoint is already in flight, or nothing new would be
+  /// saved (skip-if-just-committed), the current work level is captured by
+  /// a blocking proactive checkpoint of cost C_p.
+  void handle_alarm(bool true_alarm) {
+    ++result.alarms_raised;
+    record(TraceKind::Alarm);
+    if (true_alarm) {
+      next_true_alarm = std::numeric_limits<double>::infinity();
+    } else {
+      next_false_alarm =
+          engine::next_strike_time(next_false_alarm, false_rng, false_rate);
+    }
+    if (in_failure_handling() || phase == Phase::Verify ||
+        phase == Phase::Proactive || work - committed <= kWorkEpsilon) {
+      return;
+    }
+    proactive_resume_phase = phase;
+    proactive_resume_remaining = phase_remaining;
+    phase = Phase::Proactive;
+    phase_remaining = config.proactive_cost;
+    if (phase_remaining == 0.0) end_of_phase();
   }
 
   TrialResult run() {
@@ -340,13 +445,24 @@ struct Engine {
         dt = std::min(dt, (config.t_base - work) / rate);
       }
       const FailureEvent next_failure = injector.peek();
-      // Strikes win ties: a simultaneous strike + fail-stop failure taints
-      // the state first, so the failure's rollback decides its fate.
-      const bool strike_first = next_sdc <= next_failure.time;
-      const double event_time = strike_first ? next_sdc : next_failure.time;
+      if (config.pred_recall > 0.0) decide_prediction(next_failure.time);
+      // Event ordering on ties: alarm > strike > failure. The alarm must
+      // win its own failure's tie or a w=0 predictor could never save it; a
+      // simultaneous strike + fail-stop failure taints the state first, so
+      // the failure's rollback decides its fate.
+      const double next_alarm = std::min(next_true_alarm, next_false_alarm);
+      const bool alarm_first =
+          next_alarm <= next_sdc && next_alarm <= next_failure.time;
+      const bool strike_first = !alarm_first && next_sdc <= next_failure.time;
+      const double event_time = alarm_first
+                                    ? next_alarm
+                                    : (strike_first ? next_sdc
+                                                    : next_failure.time);
       if (event_time < now + dt) {
         advance(event_time - now);
-        if (strike_first) {
+        if (alarm_first) {
+          handle_alarm(next_true_alarm <= next_false_alarm);
+        } else if (strike_first) {
           handle_strike();
         } else {
           handle_failure(next_failure);
@@ -400,6 +516,28 @@ void SimConfig::validate() const {
     throw std::invalid_argument(
         "SimConfig: silent errors require verification enabled "
         "(verify_every > 0)");
+  }
+  if (!(pred_recall >= 0.0) || !std::isfinite(pred_recall) ||
+      pred_recall > 1.0) {
+    throw std::invalid_argument(
+        "SimConfig: pred_recall must be finite and in [0, 1]");
+  }
+  if (!(pred_precision >= 0.0) || !std::isfinite(pred_precision) ||
+      pred_precision > 1.0) {
+    throw std::invalid_argument(
+        "SimConfig: pred_precision must be finite and in [0, 1]");
+  }
+  if (pred_recall > 0.0 && !(pred_precision > 0.0)) {
+    throw std::invalid_argument(
+        "SimConfig: prediction requires pred_precision > 0");
+  }
+  if (!(pred_window >= 0.0) || !std::isfinite(pred_window)) {
+    throw std::invalid_argument(
+        "SimConfig: pred_window must be finite and >= 0");
+  }
+  if (!(proactive_cost >= 0.0) || !std::isfinite(proactive_cost)) {
+    throw std::invalid_argument(
+        "SimConfig: proactive_cost must be finite and >= 0");
   }
 }
 

@@ -64,6 +64,20 @@ struct SimConfig {
   std::uint64_t verify_every = 0;  ///< k: periods per verification (0 = off)
   std::uint64_t keep_last = 1;     ///< l: retained committed checkpoint sets
 
+  // Fault prediction (arXiv:1207.6936 / arXiv:1302.4558). A predictor with
+  // recall r announces each upcoming failure independently with probability
+  // r (one decision per pending failure, drawn from a salted copy of the
+  // trial's RNG stream); precision p tunes an independent Poisson stream of
+  // false alarms at platform rate (r/M)(1-p)/p. A true alarm leads its
+  // failure by `proactive_cost` exactly when pred_window == 0 (just in
+  // time), or by a uniform draw in (0, pred_window) otherwise. Every alarm
+  // triggers a blocking proactive checkpoint of cost `proactive_cost`,
+  // skipped while repairing/verifying or when nothing new would be saved.
+  double pred_precision = 1.0;  ///< p: fraction of alarms that are true
+  double pred_recall = 0.0;     ///< r: fraction of failures predicted (0=off)
+  double pred_window = 0.0;     ///< w: alarm lead-time window width, s
+  double proactive_cost = 0.0;  ///< C_p: blocking proactive checkpoint, s
+
   void validate() const;
 };
 

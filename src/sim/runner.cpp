@@ -63,6 +63,11 @@ void accumulate_trial(MonteCarloResult& result, const TrialResult& trial) {
   result.sdc_detected.add(static_cast<double>(trial.sdc_detected));
   result.verify_time.add(trial.time_verifying);
   result.rollback_depth.add(static_cast<double>(trial.rollback_depth));
+  result.alarms_raised.add(static_cast<double>(trial.alarms_raised));
+  result.proactive_ckpts.add(static_cast<double>(trial.proactive_ckpts));
+  result.true_predictions.add(static_cast<double>(trial.true_predictions));
+  result.missed_failures.add(static_cast<double>(trial.missed_failures));
+  result.proactive_time.add(trial.time_proactive);
   if (result.metrics) result.metrics->add(trial);
 }
 
@@ -145,6 +150,11 @@ MonteCarloResult run_monte_carlo(const SimConfig& config,
     total.sdc_detected.merge(p.sdc_detected);
     total.verify_time.merge(p.verify_time);
     total.rollback_depth.merge(p.rollback_depth);
+    total.alarms_raised.merge(p.alarms_raised);
+    total.proactive_ckpts.merge(p.proactive_ckpts);
+    total.true_predictions.merge(p.true_predictions);
+    total.missed_failures.merge(p.missed_failures);
+    total.proactive_time.merge(p.proactive_time);
     total.kernel.merge(p.kernel);
     if (total.metrics && p.metrics) total.metrics->merge(*p.metrics);
   }

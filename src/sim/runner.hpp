@@ -114,6 +114,12 @@ struct MonteCarloResult {
   util::RunningStats sdc_detected;     ///< detecting verifications per trial
   util::RunningStats verify_time;      ///< per-trial verification wall-clock
   util::RunningStats rollback_depth;   ///< summed rollback depth per trial
+  // Fault-prediction aggregates (all zero when SimConfig::pred_recall is 0).
+  util::RunningStats alarms_raised;    ///< alarms per trial (true + false)
+  util::RunningStats proactive_ckpts;  ///< proactive commits per trial
+  util::RunningStats true_predictions; ///< predicted failures per trial
+  util::RunningStats missed_failures;  ///< unpredicted failures per trial
+  util::RunningStats proactive_time;   ///< per-trial proactive wall-clock
   /// Present iff MonteCarloOptions::metrics was set.
   std::optional<MonteCarloMetrics> metrics;
   /// Batched-kernel occupancy counters (all zero under SimEngine::kScalar).

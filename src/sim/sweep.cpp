@@ -4,6 +4,7 @@
 
 #include "model/nonexponential.hpp"
 #include "model/period.hpp"
+#include "model/predictor.hpp"
 #include "model/sdc.hpp"
 #include "model/waste.hpp"
 #include "util/distributions.hpp"
@@ -90,6 +91,15 @@ std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
           point.model_waste_sdc =
               model::waste_with_sdc(protocol, params, point.period, sdc);
         }
+        point.model_waste_pred = point.model_waste;
+        if (spec.pred_recall > 0.0) {
+          const model::PredictorSpec pred{spec.pred_precision,
+                                          spec.pred_recall, spec.pred_window,
+                                          spec.proactive_cost};
+          point.model_waste_pred =
+              model::waste_with_predictor(protocol, params, point.period,
+                                          pred);
+        }
 
         SimConfig config;
         config.protocol = protocol;
@@ -101,6 +111,10 @@ std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
         config.verify_cost = spec.verify_cost;
         config.verify_every = spec.verify_every;
         config.keep_last = spec.keep_last;
+        config.pred_precision = spec.pred_precision;
+        config.pred_recall = spec.pred_recall;
+        config.pred_window = spec.pred_window;
+        config.proactive_cost = spec.proactive_cost;
         MonteCarloOptions options;
         options.trials = spec.trials;
         options.seed = spec.seed;

@@ -27,6 +27,9 @@ struct SweepPoint {
   /// Verified-checkpoint model (sdc.hpp) waste at the simulated period;
   /// equals model_waste when the sweep runs without verification.
   double model_waste_sdc = 0.0;
+  /// Fault-prediction model (predictor.hpp) waste at the simulated period;
+  /// equals model_waste when the sweep runs without prediction.
+  double model_waste_pred = 0.0;
 };
 
 /// Timing/throughput snapshot handed to SweepSpec::progress after every
@@ -64,6 +67,14 @@ struct SweepSpec {
   double verify_cost = 0.0;        ///< V: blocking verification time, s
   std::uint64_t verify_every = 0;  ///< k: periods per verification (0 = off)
   std::uint64_t keep_last = 1;     ///< l: retained committed checkpoint sets
+  /// Fault-prediction axis (pred_recall == 0 disables it, matching
+  /// SimConfig). When enabled every point simulates a (p, r, w) predictor
+  /// with proactive checkpoints and the row additionally carries the
+  /// predictor-model waste.
+  double pred_precision = 1.0;  ///< p: fraction of alarms that are true
+  double pred_recall = 0.0;     ///< r: fraction of failures predicted
+  double pred_window = 0.0;     ///< w: alarm lead-time window width, s
+  double proactive_cost = 0.0;  ///< C_p: blocking proactive checkpoint, s
   /// Optional period override; default: closed-form optimum per point.
   std::function<double(model::Protocol, const model::Parameters&)> period;
   /// Forwarded to MonteCarloOptions::metrics for every point.

@@ -33,6 +33,10 @@ const char* trace_kind_name(TraceKind kind) noexcept {
       return "FATAL-failure";
     case TraceKind::ApplicationDone:
       return "application-done";
+    case TraceKind::Alarm:
+      return "alarm";
+    case TraceKind::ProactiveCommit:
+      return "proactive-commit";
   }
   return "?";
 }
@@ -65,6 +69,10 @@ const char* trace_kind_id(TraceKind kind) noexcept {
       return "fatal_failure";
     case TraceKind::ApplicationDone:
       return "application_done";
+    case TraceKind::Alarm:
+      return "alarm";
+    case TraceKind::ProactiveCommit:
+      return "proactive_commit";
   }
   return "unknown";
 }
@@ -77,7 +85,8 @@ std::optional<TraceKind> parse_trace_kind_id(std::string_view id) noexcept {
       TraceKind::DowntimeEnd,    TraceKind::RecoveryEnd,
       TraceKind::ReexecutionEnd, TraceKind::RiskWindowOpen,
       TraceKind::RiskWindowClose, TraceKind::FatalFailure,
-      TraceKind::ApplicationDone};
+      TraceKind::ApplicationDone, TraceKind::Alarm,
+      TraceKind::ProactiveCommit};
   for (TraceKind kind : kinds) {
     if (id == trace_kind_id(kind)) return kind;
   }

@@ -25,6 +25,9 @@ enum class TraceKind {
   RiskWindowClose,
   FatalFailure,
   ApplicationDone,
+  // Appended in PR 8 (stable ids are extend-only): fault prediction.
+  Alarm,            ///< predictor alarm delivered (true or false)
+  ProactiveCommit,  ///< proactive checkpoint completed and committed
 };
 
 /// Human-oriented label for rendered traces (may change cosmetically).

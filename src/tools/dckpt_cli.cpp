@@ -74,6 +74,30 @@ void apply_sdc_options(const util::CliParser& cli, sim::SimConfig& config) {
   config.keep_last = static_cast<std::uint64_t>(cli.get_int("keep-last"));
 }
 
+void add_predictor_options(util::CliParser& cli) {
+  cli.add_option("pred-recall", "0",
+                 "fault-predictor recall r in [0,1] (0 = predictor off)");
+  cli.add_option("pred-precision", "1",
+                 "fault-predictor precision p in (0,1]");
+  cli.add_option("pred-window", "0",
+                 "prediction-window width w, seconds (0 = just-in-time)");
+  cli.add_option("proactive-cost", "0",
+                 "proactive checkpoint cost C_p, seconds");
+}
+
+void apply_predictor_options(const util::CliParser& cli,
+                             sim::SimConfig& config) {
+  config.pred_recall = cli.get_double("pred-recall");
+  config.pred_precision = cli.get_double("pred-precision");
+  config.pred_window = cli.get_double("pred-window");
+  config.proactive_cost = cli.get_double("proactive-cost");
+}
+
+model::PredictorSpec predictor_from(const sim::SimConfig& config) {
+  return model::PredictorSpec{config.pred_precision, config.pred_recall,
+                              config.pred_window, config.proactive_cost};
+}
+
 /// Splits a comma-separated list ("60,3600,86400") into doubles.
 std::vector<double> parse_double_list(const std::string& text) {
   std::vector<double> values;
@@ -145,6 +169,7 @@ int cmd_simulate(int argc, const char* const* argv) {
   cli.add_option("engine", "batched",
                  "batched | scalar trial engine (bit-identical results)");
   add_sdc_options(cli);
+  add_predictor_options(cli);
   cli.add_option("metrics-out", "",
                  "write a JSONL metrics record (with per-trial histograms)");
   cli.add_option("trace-out", "",
@@ -164,6 +189,7 @@ int cmd_simulate(int argc, const char* const* argv) {
   config.t_base = cli.get_double("tbase");
   config.stop_on_fatal = false;
   apply_sdc_options(cli, config);
+  apply_predictor_options(cli, config);
   const double period = cli.get_double("period");
   config.period =
       period > 0.0
@@ -234,6 +260,15 @@ int cmd_simulate(int argc, const char* const* argv) {
                                                     config.period, sdc),
                               2)});
   }
+  if (config.pred_recall > 0.0) {
+    table.add_row({"model waste (predictor)",
+                   util::format_percent(
+                       model::waste_with_predictor(config.protocol,
+                                                   config.params,
+                                                   config.period,
+                                                   predictor_from(config)),
+                       2)});
+  }
   table.add_row({"sim waste",
                  util::format_percent(mc.waste.mean(), 2) + " +/- " +
                      util::format_percent(mc.waste.confidence_halfwidth(), 2)});
@@ -249,6 +284,16 @@ int cmd_simulate(int argc, const char* const* argv) {
                    util::format_duration(mc.verify_time.mean())});
     table.add_row({"mean rollback depth/run",
                    util::format_fixed(mc.rollback_depth.mean(), 2)});
+  }
+  if (config.pred_recall > 0.0) {
+    table.add_row({"mean alarms/run",
+                   util::format_fixed(mc.alarms_raised.mean(), 2)});
+    table.add_row({"mean proactive ckpts/run",
+                   util::format_fixed(mc.proactive_ckpts.mean(), 2)});
+    table.add_row({"mean true predictions/run",
+                   util::format_fixed(mc.true_predictions.mean(), 2)});
+    table.add_row({"mean missed failures/run",
+                   util::format_fixed(mc.missed_failures.mean(), 2)});
   }
   table.add_row({"survival rate",
                  util::format_fixed(mc.success.estimate(), 4)});
@@ -275,6 +320,7 @@ int cmd_sweep(int argc, const char* const* argv) {
   cli.add_option("weibull-shape", "0",
                  "use per-node Weibull streams with this shape (0 = exp)");
   add_sdc_options(cli);
+  add_predictor_options(cli);
   cli.add_option("metrics-out", "", "write one JSONL sweep row per point");
   cli.add_option("metrics-bins", "64", "histogram bins for --metrics-out");
   cli.add_flag("progress", "print per-point progress and throughput");
@@ -321,6 +367,10 @@ int cmd_sweep(int argc, const char* const* argv) {
   spec.verify_cost = cli.get_double("verify-cost");
   spec.verify_every = static_cast<std::uint64_t>(cli.get_int("verify-every"));
   spec.keep_last = static_cast<std::uint64_t>(cli.get_int("keep-last"));
+  spec.pred_recall = cli.get_double("pred-recall");
+  spec.pred_precision = cli.get_double("pred-precision");
+  spec.pred_window = cli.get_double("pred-window");
+  spec.proactive_cost = cli.get_double("proactive-cost");
   if (!cli.get("metrics-out").empty()) {
     sim::MetricsSpec metrics;
     metrics.bins = static_cast<std::size_t>(cli.get_int("metrics-bins"));
@@ -339,9 +389,13 @@ int cmd_sweep(int argc, const char* const* argv) {
   const auto rows = sim::run_sweep(spec);
   const bool weibull = spec.weibull_shape > 0.0;
   const bool sdc = spec.verify_every > 0;
+  const bool pred = spec.pred_recall > 0.0;
   std::vector<std::string> headers = {"protocol", "M", "phi", "P",
                                       "model waste", "sim waste",
                                       "mean risk time", "survival"};
+  if (pred) {
+    headers.insert(headers.begin() + 5, "pred model");
+  }
   if (sdc) {
     headers.insert(headers.begin() + 5, "sdc model");
   }
@@ -359,6 +413,10 @@ int cmd_sweep(int argc, const char* const* argv) {
             util::format_percent(row.result.waste.confidence_halfwidth(), 2),
         util::format_duration(row.result.risk_time.mean()),
         util::format_fixed(row.result.success.estimate(), 4)};
+    if (pred) {
+      cells.insert(cells.begin() + 5,
+                   util::format_percent(row.model_waste_pred, 2));
+    }
     if (sdc) {
       cells.insert(cells.begin() + 5,
                    util::format_percent(row.model_waste_sdc, 2));
@@ -390,6 +448,7 @@ int cmd_optimize(int argc, const char* const* argv) {
   cli.add_option("weibull-shape", "0",
                  "use per-node Weibull streams with this shape (0 = exp)");
   add_sdc_options(cli);
+  add_predictor_options(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   sim::SimConfig config;
@@ -398,6 +457,7 @@ int cmd_optimize(int argc, const char* const* argv) {
   if (config.params.nodes > 100000) config.params.nodes = 99996;
   config.t_base = cli.get_double("tbase");
   apply_sdc_options(cli, config);
+  apply_predictor_options(cli, config);
 
   sim::OptimizeOptions options;
   options.trials_per_eval = static_cast<std::uint64_t>(cli.get_int("trials"));
@@ -437,6 +497,15 @@ int cmd_optimize(int argc, const char* const* argv) {
     table.add_row({"numeric (verified ckpt)",
                    util::format_duration(sdc_opt.period),
                    util::format_percent(sdc_opt.waste, 3)});
+  }
+  if (config.pred_recall > 0.0) {
+    // Predictor objective: handled failures cost a proactive checkpoint
+    // instead of a rollback, so the optimum stretches by 1/sqrt(1 - r_t).
+    const auto pred_opt = model::optimal_period_with_predictor(
+        config.protocol, config.params, predictor_from(config));
+    table.add_row({"numeric (predictor)",
+                   util::format_duration(pred_opt.period),
+                   util::format_percent(pred_opt.waste, 3)});
   }
   table.add_row({"empirical (simulation)",
                  util::format_duration(empirical.period),
@@ -679,7 +748,8 @@ int cmd_chaos(int argc, const char* const* argv) {
   cli.add_option("schedule", "",
                  "run one schedule instead of a campaign; entries are "
                  "'step:node' (loss), 'step:corrupt:holder:owner', "
-                 "'step:torn:node', 'step:failxfer:node', 'step:sdc:node'");
+                 "'step:torn:node', 'step:failxfer:node', 'step:sdc:node', "
+                 "'step:alarm:node[:window]'");
   cli.add_option("spares", "0",
                  "derive --rerepl-delay from an Erlang-C pool of this many "
                  "spares (0 = use --rerepl-delay)");
@@ -829,6 +899,12 @@ int cmd_chaos(int argc, const char* const* argv) {
                 static_cast<unsigned long long>(run.report.verifications_run),
                 static_cast<unsigned long long>(run.report.sdc_detected),
                 static_cast<unsigned long long>(run.report.rollback_depth));
+    std::printf("alarms %llu, proactive ckpts %llu, true predictions %llu, "
+                "missed failures %llu\n",
+                static_cast<unsigned long long>(run.report.alarms_raised),
+                static_cast<unsigned long long>(run.report.proactive_ckpts),
+                static_cast<unsigned long long>(run.report.true_predictions),
+                static_cast<unsigned long long>(run.report.missed_failures));
     return 0;
   }
 

@@ -136,6 +136,28 @@ std::optional<std::string> compare_trial(const sim::TrialResult& s,
     return mismatch("rollback_depth", static_cast<double>(s.rollback_depth),
                     static_cast<double>(b.rollback_depth));
   }
+  if (s.time_proactive != b.time_proactive) {
+    return mismatch("time_proactive", s.time_proactive, b.time_proactive);
+  }
+  if (s.alarms_raised != b.alarms_raised) {
+    return mismatch("alarms_raised", static_cast<double>(s.alarms_raised),
+                    static_cast<double>(b.alarms_raised));
+  }
+  if (s.proactive_ckpts != b.proactive_ckpts) {
+    return mismatch("proactive_ckpts",
+                    static_cast<double>(s.proactive_ckpts),
+                    static_cast<double>(b.proactive_ckpts));
+  }
+  if (s.true_predictions != b.true_predictions) {
+    return mismatch("true_predictions",
+                    static_cast<double>(s.true_predictions),
+                    static_cast<double>(b.true_predictions));
+  }
+  if (s.missed_failures != b.missed_failures) {
+    return mismatch("missed_failures",
+                    static_cast<double>(s.missed_failures),
+                    static_cast<double>(b.missed_failures));
+  }
   return std::nullopt;
 }
 
@@ -247,6 +269,61 @@ TEST(BatchKernel, BitIdenticalWithStopOnFatal) {
     options.seed = 99;
     expect_equivalent(config, options, 80);
   }
+}
+
+TEST(BatchKernel, BitIdenticalWithFaultPredictionAllProtocols) {
+  // Fault prediction on: per-failure predictor draws, true-alarm leads,
+  // Poisson false alarms, Proactive phases and the prediction scoreboard
+  // must agree bit-for-bit (prediction disables the fast path).
+  for (const model::Protocol protocol : model::kAllProtocols) {
+    auto config = make_config(protocol, 500.0, 12, 100.0, 5000.0,
+                              /*stop_on_fatal=*/false);
+    config.pred_precision = 0.7;
+    config.pred_recall = 0.6;
+    config.pred_window = 30.0;
+    config.proactive_cost = 2.0;
+    sim::MonteCarloOptions options;
+    options.seed = 0xabcd;
+    expect_equivalent(config, options, 50);
+  }
+}
+
+TEST(BatchKernel, BitIdenticalWithJustInTimePrediction) {
+  // w = 0: every true alarm leads by exactly C_p, the tightest interleaving
+  // of Proactive phases with strikes and failures. Verification on too, so
+  // alarm > strike > failure tie ordering is fully exercised.
+  for (const model::Protocol protocol :
+       {model::Protocol::DoubleNbl, model::Protocol::Triple}) {
+    auto config = make_config(protocol, 500.0, 12, 100.0, 5000.0,
+                              /*stop_on_fatal=*/false);
+    config.pred_precision = 0.5;  // false-alarm heavy
+    config.pred_recall = 0.8;
+    config.pred_window = 0.0;
+    config.proactive_cost = 1.5;
+    config.sdc_rate = 1.0 / 800.0;
+    config.verify_cost = 0.5;
+    config.verify_every = 3;
+    config.keep_last = 3;
+    sim::MonteCarloOptions options;
+    options.seed = 0x5eed;
+    expect_equivalent(config, options, 50);
+  }
+}
+
+TEST(BatchKernel, BitIdenticalWithPredictionWeibull) {
+  // Per-node Weibull failure streams under prediction: the predictor keys
+  // its decision on the pending failure time, which replays after rollbacks
+  // -- the decide-once-per-failure-time idempotence must hold identically.
+  auto config = make_config(model::Protocol::DoubleNbl, 500.0, 12, 100.0,
+                            5000.0, /*stop_on_fatal=*/false);
+  config.pred_precision = 0.9;
+  config.pred_recall = 0.5;
+  config.pred_window = 50.0;
+  config.proactive_cost = 3.0;
+  sim::MonteCarloOptions options;
+  options.seed = 321;
+  options.weibull = util::Weibull::from_mean(0.7, config.params.node_mtbf());
+  expect_equivalent(config, options, 50);
 }
 
 TEST(BatchKernel, BitIdenticalOnFastPathDominatedCampaign) {

@@ -93,6 +93,63 @@ TEST(ChaosSchedule, CorruptionGrammarRejectsMalformedEntries) {
                std::invalid_argument);
 }
 
+TEST(ChaosSchedule, AlarmGrammarRoundTrips) {
+  using runtime::InjectionKind;
+  const auto schedule =
+      chaos::ChaosSchedule::parse("20:alarm:2,24:alarm:1:3,30:0");
+  ASSERT_EQ(schedule.failures.size(), 3u);
+  EXPECT_EQ(schedule.failures[0].kind, InjectionKind::Alarm);
+  EXPECT_EQ(schedule.failures[0].node, 2u);
+  EXPECT_EQ(schedule.failures[0].window, 0u);  // 3-field = same-step
+  EXPECT_EQ(schedule.failures[1].kind, InjectionKind::Alarm);
+  EXPECT_EQ(schedule.failures[1].node, 1u);
+  EXPECT_EQ(schedule.failures[1].window, 3u);
+  EXPECT_EQ(schedule.failures[2].kind, InjectionKind::NodeLoss);
+  EXPECT_EQ(schedule.spec(), "20:alarm:2,24:alarm:1:3,30:0");
+  EXPECT_EQ(chaos::ChaosSchedule::parse(schedule.spec()).spec(),
+            schedule.spec());
+}
+
+TEST(ChaosSchedule, AlarmGrammarRejectsMalformedEntries) {
+  EXPECT_THROW(chaos::ChaosSchedule::parse("10:alarm"),
+               std::invalid_argument);  // missing node
+  EXPECT_THROW(chaos::ChaosSchedule::parse("10:alarm:x"),
+               std::invalid_argument);
+  EXPECT_THROW(chaos::ChaosSchedule::parse("10:alarm:1:x"),
+               std::invalid_argument);  // non-numeric window
+  EXPECT_THROW(chaos::ChaosSchedule::parse("10:alarm:1:2:3"),
+               std::invalid_argument);  // trailing field
+  EXPECT_THROW(chaos::ChaosSchedule::parse("10:alarm:"),
+               std::invalid_argument);
+}
+
+TEST(ChaosOracle, AlarmScheduleMatchesRuntimeCounterForCounter) {
+  // Counter parity on an alarm-heavy schedule mixing a predicted kill, a
+  // false-alarm storm on a survivor and an unannounced loss -- the oracle
+  // must mirror alarm firing, the proactive commit (and its effect on the
+  // rollback resume step) and the prediction scoreboard exactly.
+  auto config = small_campaign(Topology::Pairs);
+  const std::uint64_t reference = chaos::reference_run(config).final_hash;
+  using runtime::InjectionKind;
+  chaos::ChaosSchedule schedule{
+      "alarm-parity",
+      {{30, 2, InjectionKind::Alarm, 0, 1},
+       {31, 2},
+       {33, 1, InjectionKind::Alarm, 0, 0},
+       {34, 1, InjectionKind::Alarm, 0, 0},
+       {50, 0}},
+      0};
+  const auto run = chaos::run_one(config, schedule, reference);
+  EXPECT_NE(run.outcome, chaos::ChaosOutcome::Violated) << run.detail;
+  EXPECT_EQ(run.report.alarms_raised, 3u);
+  EXPECT_EQ(run.report.true_predictions, 1u);
+  EXPECT_EQ(run.report.missed_failures, 1u);
+  EXPECT_EQ(run.report.alarms_raised, run.predicted.alarms_raised);
+  EXPECT_EQ(run.report.proactive_ckpts, run.predicted.proactive_ckpts);
+  EXPECT_EQ(run.report.true_predictions, run.predicted.true_predictions);
+  EXPECT_EQ(run.report.missed_failures, run.predicted.missed_failures);
+}
+
 TEST(ChaosScheduleDeathTest, CliParserExitsWithConvention) {
   // Same contract as CliParser's numeric getters: message to stderr,
   // exit(2).

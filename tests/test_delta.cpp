@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
+#include <optional>
+#include <sstream>
 #include <vector>
+
+#include "proptest.hpp"
 
 namespace {
 
@@ -115,6 +120,114 @@ TEST(DeltaTest, DirtyRatioTracksWorkingSetSize) {
   }
   const auto delta = make_delta(base, store.snapshot(1));
   EXPECT_DOUBLE_EQ(delta.dirty_ratio(), 8.0 / 64.0);
+}
+
+TEST(DeltaTest, DeltaBytesClampsDirtyTailPage) {
+  // Regression: 1000 bytes over 256-byte pages leaves a 232-byte logical
+  // tail; delta_bytes counted the full 256-byte allocation, over-reporting
+  // the buddy transfer volume.
+  PageStore store(1000, 256);
+  const Snapshot base = store.snapshot(1);
+  store.write(999, bytes_of("z"));  // dirties only the tail page
+  const auto delta = make_delta(base, store.snapshot(1));
+  ASSERT_EQ(delta.changed_pages(), 1u);
+  EXPECT_EQ(delta.delta_bytes(), 1000u - 3u * 256u);
+  // A full-page entry is still counted whole.
+  store.write(0, bytes_of("a"));
+  const auto both = make_delta(base, store.snapshot(1));
+  ASSERT_EQ(both.changed_pages(), 2u);
+  EXPECT_EQ(both.delta_bytes(), 256u + (1000u - 3u * 256u));
+}
+
+TEST(DeltaTest, PostFailoverDeltaAfterRestoreOfNewerImage) {
+  // Regression companion to PageStore::restore's version bump: a
+  // replacement node restores the committed image and must be able to ship
+  // an incremental delta against it afterwards.
+  PageStore source(4 * 256, 256);
+  source.write(0, bytes_of("origin"));
+  Snapshot committed;
+  for (int i = 0; i < 3; ++i) committed = source.snapshot(1);
+  PageStore replacement(4 * 256, 256);
+  replacement.restore(committed);
+  replacement.write(256, bytes_of("post-failover"));
+  const Snapshot next = replacement.snapshot(1);
+  const auto delta = make_delta(committed, next);  // threw before the fix
+  EXPECT_EQ(delta.changed_pages(), 1u);
+  EXPECT_EQ(apply_delta(committed, delta).content_hash(),
+            next.content_hash());
+}
+
+TEST(DeltaTest, PropertyRoundTripReconstructsAnyWritePattern) {
+  // forall random layouts (including non-page-aligned) and write patterns:
+  // apply_delta(base, make_delta(base, cur)) must reconstruct cur exactly,
+  // with delta_bytes never exceeding the logical image size -- also through
+  // a restore()-then-diverge chain (the rollback path).
+  struct Case {
+    std::uint64_t size = 1;
+    std::uint64_t page = 1;
+    std::uint64_t seed = 0;
+    std::uint64_t writes = 0;
+    bool via_restore = false;
+  };
+  proptest::ForallConfig config;
+  config.seed = 0xde17a;
+  config.iterations = 150;
+  proptest::forall<Case>(
+      config,
+      [](proptest::Gen& gen) {
+        Case c;
+        c.size = gen.integer(1, 4096);
+        c.page = gen.integer(1, 512);
+        c.seed = gen.integer(0, 1u << 30);
+        c.writes = gen.integer(0, 24);
+        c.via_restore = gen.boolean();
+        return c;
+      },
+      [](const Case& c) -> std::optional<std::string> {
+        PageStore store(c.size, c.page);
+        proptest::Gen g(c.seed ^ 0x5eedULL);
+        const auto scribble = [&](std::uint64_t count) {
+          for (std::uint64_t i = 0; i < count; ++i) {
+            const auto offset =
+                static_cast<std::size_t>(g.integer(0, c.size - 1));
+            const auto len = static_cast<std::size_t>(
+                g.integer(1, std::min<std::uint64_t>(c.size - offset, 64)));
+            std::vector<std::byte> data(len);
+            for (auto& b : data) {
+              b = static_cast<std::byte>(g.integer(0, 255));
+            }
+            store.write(offset, data);
+          }
+        };
+        scribble(c.writes);
+        const Snapshot base = store.snapshot(1);
+        if (c.via_restore) {
+          scribble(3);          // doomed work...
+          store.restore(base);  // ...rolled back before diverging again
+        }
+        scribble(c.writes / 2 + 1);
+        const Snapshot current = store.snapshot(1);
+        const auto delta = make_delta(base, current);
+        if (delta.delta_bytes() > c.size) {
+          return "delta_bytes exceeds the logical image size";
+        }
+        const Snapshot rebuilt = apply_delta(base, delta);
+        if (rebuilt.content_hash() != current.content_hash()) {
+          return "round-trip content hash mismatch";
+        }
+        if (rebuilt.to_bytes() != current.to_bytes()) {
+          return "round-trip byte mismatch";
+        }
+        return std::nullopt;
+      },
+      nullptr,
+      [](const Case& c) {
+        std::ostringstream out;
+        out << "size=" << c.size << " page=" << c.page << " seed=" << c.seed
+            << " writes=" << c.writes
+            << " via_restore=" << (c.via_restore ? "yes" : "no");
+        return out.str();
+      });
 }
 
 }  // namespace

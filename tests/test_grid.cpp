@@ -240,6 +240,34 @@ TEST(GridCoordinatorTest, CommitClosesRiskWindowAndOracleAgrees) {
   EXPECT_EQ(report.rereplications, predicted.rereplications);
 }
 
+TEST(GridCoordinatorTest, AlarmProactiveCheckpointMasksLoss) {
+  // A predicted failure triggers a proactive commit one step ahead, so the
+  // kill replays a single step instead of the whole interval -- and the
+  // shadow oracle mirrors the alarm accounting exactly.
+  const auto config = small_grid();
+  const auto expected = reference_hash(config);
+  GridCoordinator coordinator(config, std::make_unique<HeatKernel2D>());
+  const FailureInjection failures[] = {
+      {14, 3, InjectionKind::Alarm, 0, 1}, {15, 3}};
+  const auto report = coordinator.run(failures);
+  ASSERT_FALSE(report.fatal) << report.fatal_reason;
+  EXPECT_EQ(report.alarms_raised, 1u);
+  EXPECT_EQ(report.proactive_ckpts, 1u);
+  EXPECT_EQ(report.true_predictions, 1u);
+  EXPECT_EQ(report.missed_failures, 0u);
+  EXPECT_EQ(report.replayed_steps, 1u);  // 15 -> proactive commit at 14
+  EXPECT_EQ(report.final_hash, expected);
+  const auto predicted =
+      dckpt::chaos::predict_outcome(ShadowConfig(config), failures);
+  EXPECT_EQ(report.alarms_raised, predicted.alarms_raised);
+  EXPECT_EQ(report.proactive_ckpts, predicted.proactive_ckpts);
+  EXPECT_EQ(report.true_predictions, predicted.true_predictions);
+  EXPECT_EQ(report.missed_failures, predicted.missed_failures);
+  EXPECT_EQ(report.checkpoints, predicted.checkpoints);
+  EXPECT_EQ(report.replayed_steps, predicted.replayed_steps);
+  EXPECT_EQ(report.rollbacks, predicted.rollbacks);
+}
+
 TEST(GridChaosSmoke, ScriptedGridCampaignNeverViolates) {
   // Fast-lane smoke for the generalized chaos engine: every scripted grid
   // danger family plus a few random draws, zero violations.

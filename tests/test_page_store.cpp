@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -61,6 +62,35 @@ TEST(PageStoreTest, OutOfRangeAccessesThrow) {
   EXPECT_THROW(store.write(95, buf), std::out_of_range);
   EXPECT_THROW(PageStore(0, 64), std::invalid_argument);
   EXPECT_THROW(PageStore(10, 0), std::invalid_argument);
+}
+
+TEST(PageStoreTest, HugeOffsetWrapIsRejected) {
+  // Regression: `offset + len` wraps past SIZE_MAX back into range, so the
+  // naive guard accepted the access and memcpy'd out of bounds.
+  PageStore store(100, 64);
+  std::vector<std::byte> buf(16);
+  const std::size_t wrap = std::numeric_limits<std::size_t>::max() - 8;
+  EXPECT_THROW(store.read(wrap, buf), std::out_of_range);
+  EXPECT_THROW(store.write(wrap, buf), std::out_of_range);
+  // An offset just past the end with a tiny length must also be rejected.
+  std::vector<std::byte> one(1);
+  EXPECT_THROW(store.read(101, one), std::out_of_range);
+  EXPECT_THROW(store.write(101, one), std::out_of_range);
+}
+
+TEST(PageStoreTest, RestoreAdvancesVersionPastRestoredImage) {
+  // Regression: restoring a higher-versioned image (the failover path: a
+  // replacement node adopts a buddy's snapshot) left version_ behind, so
+  // the next snapshot ordered *before* the restored one and make_delta
+  // rejected a legitimate post-failover delta.
+  PageStore source(512, 256);
+  Snapshot committed;
+  for (int i = 0; i < 5; ++i) committed = source.snapshot(9);
+  ASSERT_EQ(committed.version(), 5u);
+  PageStore replacement(512, 256);
+  replacement.restore(committed);
+  const Snapshot after = replacement.snapshot(9);
+  EXPECT_GT(after.version(), committed.version());
 }
 
 TEST(PageStoreTest, SnapshotIsImmutableUnderLaterWrites) {

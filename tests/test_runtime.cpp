@@ -506,4 +506,122 @@ TEST(CorruptionTest, RefillRetriesExhaustedKeepsWindowOpenUntilCommit) {
   EXPECT_EQ(report.final_hash, expected);
 }
 
+// --- Fault prediction: alarms and proactive checkpoints -------------------
+
+TEST(FaultPredictionTest, AlarmPredictsLossAndShortensReplay) {
+  const auto config = small_config(Topology::Pairs);
+  const auto expected = reference_hash(config);
+  Coordinator coordinator(config, std::make_unique<HeatKernel>());
+  // The alarm lands one step ahead of the kill: the proactive checkpoint
+  // at step 20 commits, so the rollback replays 1 step instead of the 5
+  // since the step-16 boundary.
+  const FailureInjection failures[] = {
+      {20, 2, InjectionKind::Alarm, 0, 1},
+      {21, 2},
+  };
+  const auto report = coordinator.run(failures);
+  ASSERT_FALSE(report.fatal) << report.fatal_reason;
+  EXPECT_EQ(report.alarms_raised, 1u);
+  EXPECT_EQ(report.proactive_ckpts, 1u);
+  EXPECT_EQ(report.checkpoints, 5u);  // 4 periodic + 1 proactive
+  EXPECT_EQ(report.true_predictions, 1u);
+  EXPECT_EQ(report.missed_failures, 0u);
+  EXPECT_EQ(report.replayed_steps, 1u);
+  EXPECT_EQ(report.final_hash, expected);
+}
+
+TEST(FaultPredictionTest, FalseAlarmCommitsAndStaysExact) {
+  const auto config = small_config(Topology::Pairs);
+  const auto expected = reference_hash(config);
+  Coordinator coordinator(config, std::make_unique<HeatKernel>());
+  // No loss follows: the alarm costs one extra checkpoint and nothing else.
+  const FailureInjection failures[] = {{13, 1, InjectionKind::Alarm, 0, 0}};
+  const auto report = coordinator.run(failures);
+  ASSERT_FALSE(report.fatal) << report.fatal_reason;
+  EXPECT_EQ(report.alarms_raised, 1u);
+  EXPECT_EQ(report.proactive_ckpts, 1u);
+  EXPECT_EQ(report.true_predictions, 0u);
+  EXPECT_EQ(report.missed_failures, 0u);
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_EQ(report.replayed_steps, 0u);
+  EXPECT_EQ(report.final_hash, expected);
+}
+
+TEST(FaultPredictionTest, AlarmAtStepZeroIsSkipped) {
+  const auto config = small_config(Topology::Pairs);
+  Coordinator coordinator(config, std::make_unique<HeatKernel>());
+  // The implicit initial checkpoint already captures step 0's state.
+  const FailureInjection failures[] = {{0, 1, InjectionKind::Alarm, 0, 0}};
+  const auto report = coordinator.run(failures);
+  EXPECT_EQ(report.alarms_raised, 1u);
+  EXPECT_EQ(report.proactive_ckpts, 0u);
+  EXPECT_EQ(report.checkpoints, 4u);
+}
+
+TEST(FaultPredictionTest, AlarmRightAfterBoundaryCommitIsSkipped) {
+  const auto config = small_config(Topology::Pairs);
+  Coordinator coordinator(config, std::make_unique<HeatKernel>());
+  // With an unstaged exchange the step-8 boundary commits as step 8 is
+  // reached, so an alarm firing at step 8 has nothing new to save.
+  const FailureInjection failures[] = {{8, 1, InjectionKind::Alarm, 0, 0}};
+  const auto report = coordinator.run(failures);
+  EXPECT_EQ(report.alarms_raised, 1u);
+  EXPECT_EQ(report.proactive_ckpts, 0u);
+  EXPECT_EQ(report.checkpoints, 4u);
+}
+
+TEST(FaultPredictionTest, UnannouncedLossScoresMissed) {
+  const auto config = small_config(Topology::Pairs);
+  Coordinator coordinator(config, std::make_unique<HeatKernel>());
+  const FailureInjection failures[] = {{21, 2}};
+  const auto report = coordinator.run(failures);
+  ASSERT_FALSE(report.fatal) << report.fatal_reason;
+  EXPECT_EQ(report.alarms_raised, 0u);
+  EXPECT_EQ(report.true_predictions, 0u);
+  EXPECT_EQ(report.missed_failures, 1u);
+}
+
+TEST(FaultPredictionTest, AlarmOutsideItsWindowScoresMissed) {
+  const auto config = small_config(Topology::Pairs);
+  const auto expected = reference_hash(config);
+  Coordinator coordinator(config, std::make_unique<HeatKernel>());
+  // The alarm's window [10, 12] closes before the step-21 loss: the
+  // proactive checkpoint still happens (and is later superseded by the
+  // step-16 boundary), but the scoreboard records a miss.
+  const FailureInjection failures[] = {
+      {10, 2, InjectionKind::Alarm, 0, 2},
+      {21, 2},
+  };
+  const auto report = coordinator.run(failures);
+  ASSERT_FALSE(report.fatal) << report.fatal_reason;
+  EXPECT_EQ(report.alarms_raised, 1u);
+  EXPECT_EQ(report.proactive_ckpts, 1u);
+  EXPECT_EQ(report.true_predictions, 0u);
+  EXPECT_EQ(report.missed_failures, 1u);
+  EXPECT_EQ(report.replayed_steps, 5u);  // back to the step-16 boundary
+  EXPECT_EQ(report.final_hash, expected);
+}
+
+TEST(FaultPredictionTest, ProactiveCommitSupersedesStagedExchange) {
+  auto config = small_config(Topology::Pairs);
+  config.staging_steps = 4;
+  const auto expected = reference_hash(config);
+  Coordinator coordinator(config, std::make_unique<HeatKernel>());
+  // The step-16 boundary's staged exchange is in flight (commit due at 20)
+  // when the alarm fires at 18: the proactive commit captures the strictly
+  // newer step-18 state, discards the staged set, and the kill at 19 rolls
+  // back just one step.
+  const FailureInjection failures[] = {
+      {18, 2, InjectionKind::Alarm, 0, 1},
+      {19, 2},
+  };
+  const auto report = coordinator.run(failures);
+  ASSERT_FALSE(report.fatal) << report.fatal_reason;
+  EXPECT_EQ(report.alarms_raised, 1u);
+  EXPECT_EQ(report.proactive_ckpts, 1u);
+  EXPECT_EQ(report.true_predictions, 1u);
+  EXPECT_EQ(report.replayed_steps, 1u);
+  EXPECT_EQ(report.final_hash, expected);
+}
+
 }  // namespace

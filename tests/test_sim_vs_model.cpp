@@ -245,6 +245,63 @@ TEST(SimVsModelTest, VerifiedCheckpointWasteTracksSdcModel) {
   }
 }
 
+TEST(SimVsModelTest, FaultPredictionWasteTracksPredictorModel) {
+  // Fault prediction + proactive checkpoints: the (p, r, w) first-order
+  // model of model/predictor.hpp vs exact simulation. The model neglects
+  // alarm/failure interaction and the skip-if-just-committed optimization,
+  // so the band is 15% relative plus 3 Monte-Carlo standard errors (the
+  // issue's acceptance band). Just-in-time (w = 0) and windowed predictors
+  // both validate.
+  for (const Protocol protocol : {Protocol::DoubleNbl, Protocol::Triple}) {
+    auto config = config_for(protocol, 1.0, 3600.0, 50000.0);
+    config.pred_precision = 0.7;
+    config.pred_recall = 0.6;
+    config.pred_window = 0.0;  // just-in-time limit
+    config.proactive_cost = 5.0;
+    const PredictorSpec spec{config.pred_precision, config.pred_recall,
+                             config.pred_window, config.proactive_cost};
+    const double model_waste =
+        waste_with_predictor(protocol, config.params, config.period, spec);
+    ASSERT_LT(model_waste, 1.0) << protocol_name(protocol);
+    const auto mc = monte_carlo(config, 80, 0x9ed);
+    ASSERT_EQ(mc.diverged, 0u);
+    EXPECT_NEAR(mc.waste.mean(), model_waste,
+                0.15 * model_waste + 3.0 * mc.waste.standard_error())
+        << protocol_name(protocol) << " model=" << model_waste
+        << " sim=" << mc.waste.mean();
+    // The predictor must actually have fired: alarms raised, proactive
+    // commits taken, and most failures intercepted (recall 0.6).
+    EXPECT_GT(mc.alarms_raised.mean(), 0.0) << protocol_name(protocol);
+    EXPECT_GT(mc.proactive_ckpts.mean(), 0.0) << protocol_name(protocol);
+    EXPECT_GT(mc.true_predictions.mean(), 0.0) << protocol_name(protocol);
+  }
+}
+
+TEST(SimVsModelTest, WindowedPredictionWasteTracksPredictorModel) {
+  // A positive prediction window: leads draw uniform in (0, w), only those
+  // past C_p are handled (r_t = r (w - C_p)/w) and the handled failures
+  // still lose the post-commit residual. Same 15% + 3 sigma band.
+  auto config = config_for(Protocol::DoubleNbl, 1.0, 3600.0, 50000.0);
+  config.pred_precision = 0.8;
+  config.pred_recall = 0.7;
+  config.pred_window = 60.0;
+  config.proactive_cost = 10.0;
+  const PredictorSpec spec{config.pred_precision, config.pred_recall,
+                           config.pred_window, config.proactive_cost};
+  const double model_waste = waste_with_predictor(
+      Protocol::DoubleNbl, config.params, config.period, spec);
+  ASSERT_LT(model_waste, 1.0);
+  const auto mc = monte_carlo(config, 80, 0x9ee);
+  ASSERT_EQ(mc.diverged, 0u);
+  EXPECT_NEAR(mc.waste.mean(), model_waste,
+              0.15 * model_waste + 3.0 * mc.waste.standard_error())
+      << "model=" << model_waste << " sim=" << mc.waste.mean();
+  // With w > C_p some predicted failures still land before the proactive
+  // commit finishes: both scoreboard sides must be populated.
+  EXPECT_GT(mc.true_predictions.mean(), 0.0);
+  EXPECT_GT(mc.missed_failures.mean(), 0.0);
+}
+
 TEST(SimVsModelTest, PureVerificationOverheadTracksSdcModel) {
   // No strikes: the only SDC term left is V/(kP), which the simulator pays
   // exactly (one blocking verification every k periods). Tight band: the
