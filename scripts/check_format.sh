@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Format/lint gate over the C++ tree (src/, tests/, bench/). Two layers:
+#
+#   1. Portable lint rules that need no tooling: no tab characters, no
+#      trailing whitespace, no CRLF line endings, every file ends with a
+#      newline. These always run and fail the gate on the first offender.
+#   2. clang-format --dry-run --Werror against the repo's .clang-format.
+#      Runs when a clang-format binary is available (CI installs one); a
+#      box without the tool skips this layer with a notice instead of
+#      failing, so the lint layer still guards local pre-push runs.
+#
+# Usage:
+#   scripts/check_format.sh                 # gate the tree
+#   CLANG_FORMAT=clang-format-18 scripts/check_format.sh
+set -uo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${REPO_ROOT}"
+
+mapfile -t FILES < <(find src tests bench \( -name '*.cpp' -o -name '*.hpp' \) | sort)
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "check_format: no C++ sources found under src/ tests/ bench/" >&2
+  exit 1
+fi
+
+status=0
+
+# --- layer 1: portable lint rules -----------------------------------------
+if offenders=$(grep -rlP '\t' "${FILES[@]}"); then
+  echo "check_format: tab characters in:" >&2
+  echo "${offenders}" >&2
+  status=1
+fi
+if offenders=$(grep -rlP '[ \t]+$' "${FILES[@]}"); then
+  echo "check_format: trailing whitespace in:" >&2
+  echo "${offenders}" >&2
+  status=1
+fi
+if offenders=$(grep -rlP '\r' "${FILES[@]}"); then
+  echo "check_format: CRLF line endings in:" >&2
+  echo "${offenders}" >&2
+  status=1
+fi
+for f in "${FILES[@]}"; do
+  if [[ -s "$f" && -n "$(tail -c 1 "$f")" ]]; then
+    echo "check_format: missing final newline in ${f}" >&2
+    status=1
+  fi
+done
+
+# --- layer 2: clang-format against .clang-format --------------------------
+CLANG_FORMAT="${CLANG_FORMAT:-}"
+if [[ -z "${CLANG_FORMAT}" ]]; then
+  for candidate in clang-format clang-format-19 clang-format-18 \
+                   clang-format-17 clang-format-16 clang-format-15 \
+                   clang-format-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      CLANG_FORMAT="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -n "${CLANG_FORMAT}" ]]; then
+  echo "check_format: ${CLANG_FORMAT} $(${CLANG_FORMAT} --version | tr -d '\n')"
+  if ! "${CLANG_FORMAT}" --style=file --dry-run --Werror "${FILES[@]}"; then
+    echo "check_format: clang-format violations (fix with" \
+         "'${CLANG_FORMAT} --style=file -i <file>')" >&2
+    status=1
+  fi
+else
+  echo "check_format: clang-format not found -- skipping layer 2 (CI runs it)"
+fi
+
+if [[ ${status} -ne 0 ]]; then
+  echo "check_format: FAILED" >&2
+  exit "${status}"
+fi
+echo "check_format: ${#FILES[@]} files clean"

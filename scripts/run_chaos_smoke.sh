@@ -15,11 +15,12 @@
 # Usage:
 #   scripts/run_chaos_smoke.sh           # uses ./build
 #   BUILD_DIR=build-sanitize scripts/run_chaos_smoke.sh
+#   DCKPT_BIN=/path/to/dckpt scripts/run_chaos_smoke.sh   # explicit binary
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
-DCKPT="${BUILD_DIR}/src/tools/dckpt"
+DCKPT="${DCKPT_BIN:-${BUILD_DIR}/src/tools/dckpt}"
 
 if [[ ! -x "${DCKPT}" ]]; then
   echo "run_chaos_smoke: ${DCKPT} not found -- build first" >&2
@@ -67,6 +68,16 @@ CAMPAIGNS=(
   "chain pairs alarms, scripted + 40 random|--topology=pairs --nodes=8 --cells=48 --steps=96 --interval=12 --staging=4 --rerepl-delay=8 --runs=40 --seed=20260811"
   "alarm proactive-commit repro|--topology=pairs --nodes=8 --cells=48 --steps=96 --interval=12 --rerepl-delay=8 --schedule=26:alarm:0:2,27:0"
   "grid alarm proactive-commit repro|--topology=pairs --grid=2x2 --block=8 --steps=48 --interval=8 --rerepl-delay=6 --schedule=17:alarm:1:3,19:1"
+  # Differential-checkpoint campaigns (--dcp-stack enables the delta cadence,
+  # the dcp-* scripted families and a torndelta motif in the random draws):
+  # both topologies, both runtimes, plus the acceptance scenario from
+  # docs/DCP.md as an exact repro line -- a layer torn in transfer fails
+  # over to the buddy's intact chain (survived, one torn-chain failover).
+  "chain pairs dcp, scripted + 40 random|--topology=pairs --nodes=8 --cells=48 --steps=96 --interval=12 --rerepl-delay=8 --dcp-stack=3 --runs=40 --seed=20260812"
+  "chain triples dcp, scripted + 40 random|--topology=triples --nodes=9 --cells=48 --steps=96 --interval=12 --rerepl-delay=8 --dcp-stack=3 --runs=40 --seed=20260812"
+  "grid 4x4 pairs dcp, scripted + 40 random|--topology=pairs --grid=4x4 --block=6 --steps=64 --interval=8 --rerepl-delay=6 --dcp-stack=3 --runs=40 --seed=20260812"
+  "grid 3x3 triples dcp, scripted + 40 random|--topology=triples --grid=3x3 --block=6 --steps=64 --interval=8 --rerepl-delay=6 --dcp-stack=3 --runs=40 --seed=20260812"
+  "torn-chain failover repro|--topology=triples --nodes=9 --cells=48 --steps=96 --interval=12 --rerepl-delay=8 --dcp-stack=3 --schedule=25:torndelta:0:1,25:0"
 )
 
 status=0
@@ -90,4 +101,4 @@ if [[ ${status} -ne 0 ]]; then
   done
   exit "${status}"
 fi
-echo "run_chaos_smoke: all campaigns clean (zero violated)"
+echo "run_chaos_smoke: all ${#CAMPAIGNS[@]} campaigns clean (zero violated)"

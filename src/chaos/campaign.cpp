@@ -48,6 +48,13 @@ std::string counter_divergence(const runtime::RunReport& report,
        predicted.true_predictions},
       {"missed_failures", report.missed_failures,
        predicted.missed_failures},
+      {"delta_commits", report.delta_commits, predicted.delta_commits},
+      {"full_commits", report.full_commits, predicted.full_commits},
+      {"chain_replays", report.chain_replays, predicted.chain_replays},
+      {"chain_replay_depth", report.chain_replay_depth,
+       predicted.chain_replay_depth},
+      {"torn_chain_failovers", report.torn_chain_failovers,
+       predicted.torn_chain_failovers},
   };
   for (const auto& counter : counters) {
     if (counter.got != counter.want) {
@@ -291,6 +298,8 @@ std::string repro_command(const ChaosCampaignConfig& config,
            std::to_string(gc.transfer_retry.base_delay_steps);
     cmd += " --verify-every=" + std::to_string(gc.verify_every);
     cmd += " --keep-last=" + std::to_string(gc.keep_last);
+    cmd += " --dcp-stack=" + std::to_string(gc.dcp_stack_size);
+    cmd += " --dcp-block=" + std::to_string(gc.dcp_block_size);
   } else {
     const runtime::RuntimeConfig& rc = config.runtime;
     cmd += " --topology=";
@@ -306,6 +315,8 @@ std::string repro_command(const ChaosCampaignConfig& config,
            std::to_string(rc.transfer_retry.base_delay_steps);
     cmd += " --verify-every=" + std::to_string(rc.verify_every);
     cmd += " --keep-last=" + std::to_string(rc.keep_last);
+    cmd += " --dcp-stack=" + std::to_string(rc.dcp_stack_size);
+    cmd += " --dcp-block=" + std::to_string(rc.dcp_block_size);
   }
   cmd += " --kernel=" + config.kernel;
   cmd += " --seed=" + std::to_string(schedule.seed);

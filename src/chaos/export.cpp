@@ -54,6 +54,12 @@ util::JsonValue to_json(const ShadowPrediction& predicted) {
   v.set("proactive_ckpts", predicted.proactive_ckpts);
   v.set("true_predictions", predicted.true_predictions);
   v.set("missed_failures", predicted.missed_failures);
+  // Appended (PR 9): differential-checkpoint accounting.
+  v.set("delta_commits", predicted.delta_commits);
+  v.set("full_commits", predicted.full_commits);
+  v.set("chain_replays", predicted.chain_replays);
+  v.set("chain_replay_depth", predicted.chain_replay_depth);
+  v.set("torn_chain_failovers", predicted.torn_chain_failovers);
   return v;
 }
 
@@ -98,6 +104,12 @@ util::JsonValue to_json(const runtime::RunReport& report) {
   v.set("proactive_ckpts", report.proactive_ckpts);
   v.set("true_predictions", report.true_predictions);
   v.set("missed_failures", report.missed_failures);
+  // Appended (PR 9): differential-checkpoint accounting.
+  v.set("delta_commits", report.delta_commits);
+  v.set("full_commits", report.full_commits);
+  v.set("chain_replays", report.chain_replays);
+  v.set("chain_replay_depth", report.chain_replay_depth);
+  v.set("torn_chain_failovers", report.torn_chain_failovers);
   return v;
 }
 

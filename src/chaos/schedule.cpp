@@ -18,7 +18,8 @@ namespace {
   throw std::invalid_argument(
       "ChaosSchedule: bad entry '" + entry +
       "' (want step:node, step:corrupt:holder:owner, step:torn:node, "
-      "step:failxfer:node, step:sdc:node or step:alarm:node[:window])");
+      "step:failxfer:node, step:sdc:node, step:alarm:node[:window] or "
+      "step:torndelta:node:depth)");
 }
 
 std::uint64_t parse_number(std::string_view text, const std::string& entry) {
@@ -59,6 +60,10 @@ std::string ChaosSchedule::spec() const {
         text += ":alarm:" + std::to_string(failure.node);
         // The 3-field form round-trips a same-step prediction.
         if (failure.window > 0) text += ':' + std::to_string(failure.window);
+        break;
+      case runtime::InjectionKind::TornDelta:
+        text += ":torndelta:" + std::to_string(failure.node) + ':' +
+                std::to_string(failure.window);
         break;
     }
   }
@@ -109,6 +114,11 @@ ChaosSchedule ChaosSchedule::parse(const std::string& spec) {
       injection.kind = runtime::InjectionKind::Alarm;
       injection.node = parse_number(fields[2], entry);
       injection.window = parse_number(fields[3], entry);
+    } else if (fields.size() == 4 && fields[1] == "torndelta") {
+      injection.step = parse_number(fields[0], entry);
+      injection.kind = runtime::InjectionKind::TornDelta;
+      injection.node = parse_number(fields[2], entry);
+      injection.window = parse_number(fields[3], entry);
     } else if (fields.size() == 4 && fields[1] == "corrupt") {
       injection.step = parse_number(fields[0], entry);
       injection.kind = runtime::InjectionKind::CorruptReplica;
@@ -155,6 +165,20 @@ void validate_schedule(const ChaosSchedule& schedule,
       throw std::invalid_argument(
           "ChaosSchedule '" + schedule.name +
           "': silent error requires verification enabled (verify_every > 0)");
+    }
+    if (failure.kind == runtime::InjectionKind::TornDelta) {
+      if (config.dcp_stack_size == 0) {
+        throw std::invalid_argument(
+            "ChaosSchedule '" + schedule.name +
+            "': torn delta requires differential checkpointing enabled "
+            "(dcp_stack_size > 0)");
+      }
+      if (failure.window == 0 || failure.window >= config.dcp_stack_size) {
+        throw std::invalid_argument(
+            "ChaosSchedule '" + schedule.name + "': delta depth " +
+            std::to_string(failure.window) + " outside [1, " +
+            std::to_string(config.dcp_stack_size - 1) + "]");
+      }
     }
     if (failure.kind == runtime::InjectionKind::CorruptReplica) {
       if (failure.owner >= config.nodes) {
@@ -380,6 +404,70 @@ std::vector<ChaosSchedule> scripted_schedules(const ShadowConfig& config) {
                      0});
   }
 
+  // Differential-chain families -- only when the config commits deltas
+  // (dcp_stack_size > 1; a stack of 1 never grows a chain), so existing
+  // configs keep their exact plan list. By step c the first full exchange
+  // and at least one delta commit have both happened, so every ladder rung
+  // carries a live chain.
+  if (config.dcp_stack_size > 1) {
+    using runtime::InjectionKind;
+    // First rung of node 0's restore ladder (where TornDelta lands) and
+    // the rung the walk falls back to.
+    const std::uint64_t first_rung =
+        config.topology == ckpt::Topology::Pairs ? 0
+                                                 : groups.preferred_buddy(0);
+    const std::uint64_t second_rung =
+        config.topology == ckpt::Topology::Pairs
+            ? groups.preferred_buddy(0)
+            : groups.secondary_buddy(0);
+    const auto torn = [&](std::uint64_t at, std::uint64_t node,
+                          std::uint64_t depth) {
+      return runtime::FailureInjection{step(at), node,
+                                       InjectionKind::TornDelta, 0, depth};
+    };
+    // Tear the oldest delta layer of the victim's chain on its first
+    // ladder rung, then kill it: triples fail over to the secondary's
+    // intact chain; pairs lose the torn local copy with the node and
+    // recover cleanly from the buddy -- either way the replayed tip must
+    // match the committed hash bit-exact.
+    plans.push_back({"dcp-torn-then-kill", {torn(c, 0, 1), {c, 0}}, 0});
+    if (config.nodes > gs) {
+      // A survivor's own first rung is torn when a loss elsewhere forces
+      // the coordinated rollback: the walk must detect the torn layer
+      // mid-chain, count the failover, and replay the next rung's chain.
+      plans.push_back(
+          {"dcp-torn-survivor-failover", {torn(pre, 0, 1), {c, gs}}, 0});
+    }
+    // Corrupt the diff *base* under live deltas: the chain's stored base
+    // hash must reject the rung before any replay touches the damage.
+    plans.push_back({"dcp-corrupt-base-then-kill",
+                     {{c, first_rung, InjectionKind::CorruptReplica, 0},
+                      {c, 0}},
+                     0});
+    // Every rung poisoned a different way -- torn chain on the first,
+    // corrupt base on the second: the ladder exhausts, always fatal,
+    // always detected.
+    plans.push_back({"dcp-chain-exhausted",
+                     {torn(c, 0, 1),
+                      {c, second_rung, InjectionKind::CorruptReplica, 0},
+                      {c, 0}},
+                     0});
+    // Second group member hit right after a chain replay, while the
+    // victim's refill is still pending: the risk-window logic must hold
+    // with chains exactly as with full images, and the pending refill
+    // forces the next commit back to a full exchange.
+    plans.push_back(
+        {"dcp-replay-in-risk-window", {{c, 0}, {step(c + 1), 1}}, 0});
+    // Torn layer planted, but the next full exchange clears every chain
+    // before anything replays it: the later kill must recover cleanly
+    // with zero torn-chain detections -- latent tears heal at the full.
+    plans.push_back(
+        {"dcp-torn-heals-at-full",
+         {torn(c, 0, 1),
+          {step(c + config.dcp_stack_size * interval + 1), 0}},
+         0});
+  }
+
   for (auto& plan : plans) validate_schedule(plan, config);
   return plans;
 }
@@ -519,12 +607,17 @@ ChaosSchedule random_schedule(const ShadowConfig& config, std::uint64_t seed,
   schedule.name = "random";
   schedule.seed = seed;
   const std::uint64_t count = 1 + rng.next_below(max_failures);
-  // The silent-error motif only exists when the config can detect it; the
-  // draw range stays 7 otherwise, so pre-existing (config, seed) pairs
-  // reproduce their exact historical plans.
-  const std::uint64_t motifs = config.verify_every > 0 ? 8 : 7;
+  // The silent-error and torn-delta motifs only exist when the config can
+  // express them; the draw range stays 7 otherwise, so pre-existing
+  // (config, seed) pairs reproduce their exact historical plans. Slot 7 is
+  // the silent-error motif; when verification is off the slot passes
+  // through to the torn-delta motif instead.
+  const std::uint64_t motifs = 7 + (config.verify_every > 0 ? 1 : 0) +
+                               (config.dcp_stack_size > 1 ? 1 : 0);
   while (schedule.failures.size() < count) {
-    switch (rng.next_below(motifs)) {
+    std::uint64_t motif = rng.next_below(motifs);
+    if (motif == 7 && config.verify_every == 0) motif = 8;
+    switch (motif) {
       case 0: {  // uniform single
         schedule.failures.push_back({any_step(), any_node()});
         break;
@@ -596,7 +689,7 @@ ChaosSchedule random_schedule(const ShadowConfig& config, std::uint64_t seed,
         schedule.failures.push_back({at, node});
         break;
       }
-      default: {  // silent error, sometimes chased by a fail-stop loss
+      case 7: {  // silent error, sometimes chased by a fail-stop loss
         const std::uint64_t node = any_node();
         const std::uint64_t at = any_step();
         schedule.failures.push_back(
@@ -606,6 +699,17 @@ ChaosSchedule random_schedule(const ShadowConfig& config, std::uint64_t seed,
               {std::min(at + 1 + rng.next_below(interval), total - 1),
                any_node()});
         }
+        break;
+      }
+      default: {  // torn delta layer at a random depth, then kill the owner
+        const std::uint64_t node = any_node();
+        const std::uint64_t at = any_step();
+        const std::uint64_t depth =
+            1 + rng.next_below(config.dcp_stack_size - 1);
+        schedule.failures.push_back(
+            {at, node, runtime::InjectionKind::TornDelta, 0, depth});
+        schedule.failures.push_back(
+            {std::min(at + rng.next_below(2), total - 1), node});
         break;
       }
     }

@@ -18,6 +18,9 @@
 //                              before the step's losses)
 //   step:alarm:node:window     same, predicting a loss anywhere within
 //                              [step, step + window]
+//   step:torndelta:node:depth  tear delta layer `depth` (1-based) of node's
+//                              differential chain on its first replica
+//                              holder (only valid when dcp is enabled)
 //
 // Three sources of schedules:
 //   * scripted_schedules() -- the paper's named danger cases: failures

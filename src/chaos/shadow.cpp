@@ -15,7 +15,8 @@ ShadowConfig::ShadowConfig(const runtime::RuntimeConfig& config)
       total_steps(config.total_steps), staging_steps(config.staging_steps),
       rereplication_delay_steps(config.rereplication_delay_steps),
       transfer_retry(config.transfer_retry),
-      verify_every(config.verify_every), keep_last(config.keep_last) {}
+      verify_every(config.verify_every), keep_last(config.keep_last),
+      dcp_stack_size(config.dcp_stack_size) {}
 
 ShadowConfig::ShadowConfig(const runtime::GridConfig& config)
     : nodes(config.nodes()), topology(config.topology),
@@ -23,7 +24,8 @@ ShadowConfig::ShadowConfig(const runtime::GridConfig& config)
       total_steps(config.total_steps), staging_steps(0),
       rereplication_delay_steps(config.rereplication_delay_steps),
       transfer_retry(config.transfer_retry),
-      verify_every(config.verify_every), keep_last(config.keep_last) {}
+      verify_every(config.verify_every), keep_last(config.keep_last),
+      dcp_stack_size(config.dcp_stack_size) {}
 
 void ShadowConfig::validate() const {
   const auto gs =
@@ -41,6 +43,12 @@ void ShadowConfig::validate() const {
   }
   if (keep_last == 0) {
     throw std::invalid_argument("ShadowConfig: keep_last must be >= 1");
+  }
+  if (dcp_stack_size > 0 &&
+      (staging_steps != 0 || verify_every != 0 || keep_last != 1)) {
+    throw std::invalid_argument(
+        "ShadowConfig: dcp requires staging_steps == 0, verify_every == 0 "
+        "and keep_last == 1");
   }
   transfer_retry.validate();
 }
@@ -63,7 +71,8 @@ ShadowPrediction predict_outcome(
   // Same upfront validation as the runtimes (shared helper, so error
   // behaviour cannot drift).
   runtime::validate_injections(failures, n, config.total_steps,
-                               config.topology, config.verify_every);
+                               config.topology, config.verify_every,
+                               config.dcp_stack_size);
 
   std::vector<runtime::FailureInjection> pending(failures.begin(),
                                                  failures.end());
@@ -80,6 +89,21 @@ ShadowPrediction predict_outcome(
                         std::uint64_t owner) -> Image& {
     return img[holder * n + owner];
   };
+  // dcp chains hanging off the committed slots: chain[holder * n + owner]
+  // is one entry per delta layer, 0 = intact, 1 = torn. Empty everywhere
+  // when the axis is off. Mirrors BuddyStore's chains_: a full commit
+  // (promote) clears every chain, destroy drops the holder's row, a refill
+  // files the flattened tip (receiver chain cleared).
+  std::vector<std::vector<char>> chain(n * n);
+  const auto chain_at = [&](std::uint64_t holder,
+                            std::uint64_t owner) -> std::vector<char>& {
+    return chain[holder * n + owner];
+  };
+  const auto chain_torn = [](const std::vector<char>& layers) {
+    return std::any_of(layers.begin(), layers.end(),
+                       [](char torn) { return torn != 0; });
+  };
+  std::uint64_t dcp_layers = 0;
   std::vector<char> lost(n, 0);
   std::uint64_t lost_count = 0;
   bool has_commit = false;
@@ -169,7 +193,21 @@ ShadowPrediction predict_outcome(
           ++out.corrupt_images_detected;
           continue;
         }
+        const std::vector<char>& src_chain = chain_at(member, owner);
+        if (chain_torn(src_chain)) {
+          // flatten_rung rejects a torn layer; the refill path counts the
+          // rung as a corrupt source and keeps scanning.
+          ++out.corrupt_images_detected;
+          continue;
+        }
+        // Refills deliver the flattened tip: the receiver's slot restarts
+        // its dcp lineage from a full image.
         slot(entry.node, owner) = Image::Clean;
+        chain_at(entry.node, owner).clear();
+        if (!src_chain.empty()) {
+          ++out.chain_replays;
+          out.chain_replay_depth += src_chain.size();
+        }
         ++restored;
         break;
       }
@@ -193,6 +231,11 @@ ShadowPrediction predict_outcome(
     has_commit = true;
     staging = false;
     ++out.checkpoints;
+    ++out.full_commits;
+    // promote() drops every chain on every store; the new full set
+    // restarts all dcp lineages.
+    for (auto& layers : chain) layers.clear();
+    dcp_layers = 0;
     // The outgoing committed matrix ages to depth 1 (every store pushes its
     // ring on every commit, even when empty) and the new set joins the
     // metadata ladder with its snapshot-time epochs.
@@ -301,6 +344,17 @@ ShadowPrediction predict_outcome(
                 Image& target = slot(f.node, f.owner);
                 if (target != Image::Absent) target = Image::Corrupt;
               });
+    fire_kind(runtime::InjectionKind::TornDelta,
+              [&](const runtime::FailureInjection& f) {
+                // Tears the layer at 1-based depth f.window on the victim's
+                // first ladder rung; no-op when the chain is shorter.
+                const std::uint64_t holder =
+                    pairs ? f.node : groups.preferred_buddy(f.node);
+                std::vector<char>& layers = chain_at(holder, f.node);
+                if (f.window > 0 && layers.size() >= f.window) {
+                  layers[f.window - 1] = 1;
+                }
+              });
     fire_kind(runtime::InjectionKind::TornTransfer,
               [&](const runtime::FailureInjection& f) {
                 armed[f.node].push_back(runtime::InjectionKind::TornTransfer);
@@ -315,6 +369,7 @@ ShadowPrediction predict_outcome(
                 // every retained depth goes with it.
                 for (std::uint64_t owner = 0; owner < n; ++owner) {
                   slot(f.node, owner) = Image::Absent;
+                  chain_at(f.node, owner).clear();
                   for (auto& depth : history) {
                     depth[f.node * n + owner] = Image::Absent;
                   }
@@ -343,25 +398,41 @@ ShadowPrediction predict_outcome(
                                            : groups.secondary_buddy(node);
           bool recovered = false;
           std::size_t corrupt_skipped = 0;
+          std::size_t torn_skipped = 0;
+          std::size_t replayed_layers = 0;
           std::uint64_t source = 0;
           for (const std::uint64_t holder : {first, second}) {
             const Image candidate = slot(holder, node);
             if (candidate == Image::Absent) continue;
             if (candidate == Image::Corrupt) {
+              // A corrupt base fails the oldest layer's base_hash before
+              // any torn check, so the rung counts exactly one skip.
               ++corrupt_skipped;
+              continue;
+            }
+            const std::vector<char>& layers = chain_at(holder, node);
+            if (chain_torn(layers)) {
+              ++corrupt_skipped;
+              ++torn_skipped;
               continue;
             }
             recovered = true;
             source = holder;
+            replayed_layers = layers.size();
             break;
           }
           out.corrupt_images_detected += corrupt_skipped;
+          out.torn_chain_failovers += torn_skipped;
           if (recovered) {
             if (source != node) {
               ++out.recoveries;
               ++out.hash_verified_recoveries;
             }
             if (corrupt_skipped > 0) ++out.failovers;
+            if (replayed_layers > 0) {
+              ++out.chain_replays;
+              out.chain_replay_depth += replayed_layers;
+            }
             // The live epoch snaps back to what the committed set captured.
             sdc_epoch[node] = sets.front().epochs[node];
             continue;
@@ -526,11 +597,40 @@ ShadowPrediction predict_outcome(
       }
     }
     if (boundary && !staging) {
-      snapshot_step = step;
-      staging = true;
-      staging_epochs = sdc_epoch;
-      commit_at = step + config.staging_steps;
-      if (config.staging_steps == 0) commit();
+      // dcp cadence, same predicate as both coordinators: deltas between
+      // full exchanges while the chain has room and the platform is whole
+      // (no lost node, no pending refill -- only a full commit re-creates
+      // every replica and closes the risk window).
+      const bool delta_commit =
+          config.dcp_stack_size > 0 && has_commit &&
+          dcp_layers + 1 < config.dcp_stack_size && lost_count == 0 &&
+          refill.empty();
+      if (delta_commit) {
+        committed_step = step;
+        ++out.checkpoints;
+        ++out.delta_commits;
+        ++dcp_layers;
+        // append_delta files the layer on every designated holder that
+        // still has a committed base (even a corrupt one -- the store
+        // cannot know); a destroyed store has nothing to chain on.
+        for (std::uint64_t owner = 0; owner < n; ++owner) {
+          const std::uint64_t h1 =
+              pairs ? owner : groups.preferred_buddy(owner);
+          const std::uint64_t h2 = pairs ? groups.preferred_buddy(owner)
+                                         : groups.secondary_buddy(owner);
+          for (const std::uint64_t holder : {h1, h2}) {
+            if (slot(holder, owner) != Image::Absent) {
+              chain_at(holder, owner).push_back(0);
+            }
+          }
+        }
+      } else {
+        snapshot_step = step;
+        staging = true;
+        staging_epochs = sdc_epoch;
+        commit_at = step + config.staging_steps;
+        if (config.staging_steps == 0) commit();
+      }
     }
   }
   return out;

@@ -52,6 +52,7 @@ struct ShadowConfig {
   ckpt::RetryPolicy transfer_retry;  ///< refill retry/backoff policy
   std::uint64_t verify_every = 0;    ///< verification cadence; 0 = off
   std::uint64_t keep_last = 1;       ///< retained-set ladder depth (>= 1)
+  std::uint64_t dcp_stack_size = 0;  ///< dcp commits per full exchange; 0 = off
 
   ShadowConfig() = default;
   ShadowConfig(const runtime::RuntimeConfig& config);  // NOLINT: implicit
@@ -86,6 +87,11 @@ struct ShadowPrediction {
   std::uint64_t proactive_ckpts = 0;
   std::uint64_t true_predictions = 0;
   std::uint64_t missed_failures = 0;
+  std::uint64_t delta_commits = 0;
+  std::uint64_t full_commits = 0;
+  std::uint64_t chain_replays = 0;
+  std::uint64_t chain_replay_depth = 0;
+  std::uint64_t torn_chain_failovers = 0;
 };
 
 /// Runs the abstract machine for `config` under `failures` (same contract

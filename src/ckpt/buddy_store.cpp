@@ -46,6 +46,7 @@ void BuddyStore::promote(std::uint64_t version) {
   }
   committed_ = std::move(staged_);
   staged_.clear();
+  chains_.clear();  // a fresh full set supersedes every differential chain
   committed_version_ = version;
 }
 
@@ -58,6 +59,7 @@ void BuddyStore::restore_committed(const Snapshot& image) {
     throw std::logic_error("BuddyStore: committed capacity exceeded");
   }
   committed_.insert_or_assign(image.owner(), image);
+  chains_.erase(image.owner());  // refills deliver flattened images
   committed_version_ = std::max(committed_version_, image.version());
 }
 
@@ -84,6 +86,29 @@ std::optional<Snapshot> BuddyStore::committed_at(std::size_t depth,
   return it->second;
 }
 
+bool BuddyStore::append_delta(const BlockDelta& layer) {
+  if (committed_.find(layer.owner()) == committed_.end()) return false;
+  chains_[layer.owner()].push_back(layer);
+  return true;
+}
+
+const std::vector<BlockDelta>& BuddyStore::chain_for(
+    std::uint64_t owner) const {
+  static const std::vector<BlockDelta> kEmpty;
+  auto it = chains_.find(owner);
+  return it == chains_.end() ? kEmpty : it->second;
+}
+
+bool BuddyStore::corrupt_delta(std::uint64_t owner, std::size_t depth) {
+  auto it = chains_.find(owner);
+  if (it == chains_.end() || depth == 0 || it->second.size() < depth) {
+    return false;
+  }
+  BlockDelta& layer = it->second[depth - 1];
+  layer = torn_layer_copy(layer);
+  return true;
+}
+
 std::optional<Snapshot> BuddyStore::staged_for(std::uint64_t owner) const {
   auto it = staged_.find(owner);
   if (it == staged_.end()) return std::nullopt;
@@ -91,6 +116,7 @@ std::optional<Snapshot> BuddyStore::staged_for(std::uint64_t owner) const {
 }
 
 void BuddyStore::drop_newest(std::size_t count) {
+  if (count > 0) chains_.clear();  // chains belong to the discarded set
   for (std::size_t i = 0; i < count; ++i) {
     if (history_.empty()) {
       committed_.clear();
@@ -109,6 +135,9 @@ std::size_t BuddyStore::resident_bytes() const {
   for (const auto& [owner, image] : staged_) total += image.size_bytes();
   for (const auto& set : history_) {
     for (const auto& [owner, image] : set.images) total += image.size_bytes();
+  }
+  for (const auto& [owner, chain] : chains_) {
+    for (const BlockDelta& layer : chain) total += layer.delta_bytes();
   }
   return total;
 }

@@ -23,7 +23,9 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <vector>
 
+#include "ckpt/dcp.hpp"
 #include "ckpt/page_store.hpp"
 
 namespace dckpt::ckpt {
@@ -77,6 +79,28 @@ class BuddyStore {
   /// Staged image of `owner`, if present.
   std::optional<Snapshot> staged_for(std::uint64_t owner) const;
 
+  // -- Differential chains (content-hash dcp) --------------------------
+  //
+  // Between full exchanges a dcp-enabled coordinator commits BlockDelta
+  // layers on the same designated holders. The chain hangs off the
+  // committed base image: promote() (a new full set) clears every chain,
+  // restore_committed() files a *flattened* image so the receiver's chain
+  // resets, and losing the node drops chains with the rest of the store.
+
+  /// Appends a differential layer to `owner`'s chain. Returns false (and
+  /// files nothing) when this node holds no committed base for `owner` --
+  /// a chain cannot grow on a missing base.
+  bool append_delta(const BlockDelta& layer);
+
+  /// Differential layers currently chained on `owner`'s committed base,
+  /// oldest first (empty when none).
+  const std::vector<BlockDelta>& chain_for(std::uint64_t owner) const;
+
+  /// Fault injection (chaos harness): tears the chain layer at 1-based
+  /// `depth` counted from the base (depth 1 = oldest layer). Returns false
+  /// when `owner`'s chain is shorter than `depth`.
+  bool corrupt_delta(std::uint64_t owner, std::size_t depth);
+
   /// Rolls the retention ring back `count` sets: the committed set is
   /// discarded and the next-oldest retained set becomes committed. Rolling
   /// past the oldest retained set leaves the store empty.
@@ -109,6 +133,7 @@ class BuddyStore {
   std::map<std::uint64_t, Snapshot> committed_;  ///< keyed by owner
   std::map<std::uint64_t, Snapshot> staged_;
   std::deque<RetainedSet> history_;  ///< front = next-newest after committed
+  std::map<std::uint64_t, std::vector<BlockDelta>> chains_;  ///< keyed by owner
   std::uint64_t committed_version_ = 0;
 };
 

@@ -1,0 +1,207 @@
+#include "ckpt/dcp.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace dckpt::ckpt {
+
+namespace {
+
+/// Folds a 64-bit word into an FNV-1a chain byte by byte (little-endian),
+/// so the self hash is deterministic across platforms.
+std::uint64_t fnv1a_u64(std::uint64_t value, std::uint64_t seed) {
+  std::byte bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<std::byte>((value >> (8 * i)) & 0xffU);
+  }
+  return fnv1a({bytes, 8}, seed);
+}
+
+std::size_t block_count(std::size_t size_bytes, std::size_t block_size) {
+  return size_bytes == 0 ? 0 : (size_bytes + block_size - 1) / block_size;
+}
+
+}  // namespace
+
+BlockDelta::BlockDelta(std::uint64_t owner, std::uint64_t base_version,
+                       std::uint64_t version, std::size_t size_bytes,
+                       std::size_t block_size, std::uint64_t base_hash,
+                       std::uint64_t result_hash, std::vector<DcpBlock> blocks)
+    : owner_(owner),
+      base_version_(base_version),
+      version_(version),
+      size_bytes_(size_bytes),
+      block_size_(block_size),
+      base_hash_(base_hash),
+      result_hash_(result_hash),
+      blocks_(std::move(blocks)) {
+  if (block_size_ == 0) {
+    throw std::invalid_argument("BlockDelta: block_size must be > 0");
+  }
+  stored_self_hash_ = self_hash();
+}
+
+std::size_t BlockDelta::delta_bytes() const {
+  std::size_t total = 0;
+  for (const DcpBlock& block : blocks_) total += block.payload.size();
+  return total;
+}
+
+double BlockDelta::dirty_ratio() const noexcept {
+  const std::size_t count = block_count(size_bytes_, block_size_);
+  return count ? static_cast<double>(blocks_.size()) /
+                     static_cast<double>(count)
+               : 0.0;
+}
+
+std::uint64_t BlockDelta::self_hash() const {
+  std::uint64_t h = fnv1a_u64(owner_, 0xcbf29ce484222325ULL);
+  h = fnv1a_u64(base_version_, h);
+  h = fnv1a_u64(version_, h);
+  h = fnv1a_u64(size_bytes_, h);
+  h = fnv1a_u64(block_size_, h);
+  h = fnv1a_u64(base_hash_, h);
+  h = fnv1a_u64(result_hash_, h);
+  h = fnv1a_u64(blocks_.size(), h);
+  for (const DcpBlock& block : blocks_) {
+    h = fnv1a_u64(block.index, h);
+    h = fnv1a_u64(block.payload.size(), h);
+    h = fnv1a({block.payload.data(), block.payload.size()}, h);
+  }
+  return h;
+}
+
+bool BlockDelta::verify_self() const {
+  return self_hash() == stored_self_hash_;
+}
+
+std::vector<std::uint64_t> block_hashes(const Snapshot& image,
+                                        std::size_t block_size) {
+  if (block_size == 0) {
+    throw std::invalid_argument("block_hashes: block_size must be > 0");
+  }
+  const std::vector<std::byte> bytes = image.to_bytes();
+  const std::size_t count = block_count(bytes.size(), block_size);
+  std::vector<std::uint64_t> hashes;
+  hashes.reserve(count);
+  for (std::size_t b = 0; b < count; ++b) {
+    const std::size_t offset = b * block_size;
+    const std::size_t len = std::min(block_size, bytes.size() - offset);
+    hashes.push_back(fnv1a({bytes.data() + offset, len}));
+  }
+  return hashes;
+}
+
+BlockDelta make_block_delta(const std::vector<std::uint64_t>& base_hashes,
+                            std::uint64_t base_version,
+                            std::uint64_t base_hash, const Snapshot& current,
+                            std::size_t block_size) {
+  if (block_size == 0) {
+    throw std::invalid_argument("make_block_delta: block_size must be > 0");
+  }
+  if (base_version >= current.version()) {
+    throw std::invalid_argument(
+        "make_block_delta: base must predate current (base v" +
+        std::to_string(base_version) + ", current v" +
+        std::to_string(current.version()) + ")");
+  }
+  const std::vector<std::byte> bytes = current.to_bytes();
+  const std::size_t count = block_count(bytes.size(), block_size);
+  if (base_hashes.size() != count) {
+    throw std::invalid_argument(
+        "make_block_delta: base hash array has " +
+        std::to_string(base_hashes.size()) + " entries, want " +
+        std::to_string(count));
+  }
+  std::vector<DcpBlock> blocks;
+  for (std::size_t b = 0; b < count; ++b) {
+    const std::size_t offset = b * block_size;
+    const std::size_t len = std::min(block_size, bytes.size() - offset);
+    if (fnv1a({bytes.data() + offset, len}) == base_hashes[b]) continue;
+    blocks.push_back({b, std::vector<std::byte>(
+                             bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+                             bytes.begin() +
+                                 static_cast<std::ptrdiff_t>(offset + len))});
+  }
+  return BlockDelta(current.owner(), base_version, current.version(),
+                    bytes.size(), block_size, base_hash,
+                    current.content_hash(), std::move(blocks));
+}
+
+BlockDelta make_block_delta(const Snapshot& base,
+                            const std::vector<std::uint64_t>& base_hashes,
+                            const Snapshot& current, std::size_t block_size) {
+  if (base.owner() != current.owner()) {
+    throw std::invalid_argument("make_block_delta: owner mismatch");
+  }
+  if (base.size_bytes() != current.size_bytes() ||
+      base.page_count() != current.page_count()) {
+    throw std::invalid_argument("make_block_delta: layout mismatch");
+  }
+  return make_block_delta(base_hashes, base.version(), base.content_hash(),
+                          current, block_size);
+}
+
+BlockDelta make_block_delta(const Snapshot& base, const Snapshot& current,
+                            std::size_t block_size) {
+  return make_block_delta(base, block_hashes(base, block_size), current,
+                          block_size);
+}
+
+Snapshot apply_block_delta(const Snapshot& base, const BlockDelta& delta) {
+  if (base.owner() != delta.owner()) {
+    throw std::invalid_argument("apply_block_delta: owner mismatch");
+  }
+  if (base.size_bytes() != delta.size_bytes()) {
+    throw std::invalid_argument("apply_block_delta: layout mismatch");
+  }
+  if (base.version() != delta.base_version()) {
+    throw std::invalid_argument(
+        "apply_block_delta: delta diffed against v" +
+        std::to_string(delta.base_version()) + ", base is v" +
+        std::to_string(base.version()));
+  }
+  std::vector<std::byte> bytes = base.to_bytes();
+  for (const DcpBlock& block : delta.blocks()) {
+    const std::size_t offset = block.index * delta.block_size();
+    if (offset > bytes.size() ||
+        block.payload.size() > bytes.size() - offset) {
+      throw std::invalid_argument(
+          "apply_block_delta: block " + std::to_string(block.index) +
+          " exceeds the image");
+    }
+    std::memcpy(bytes.data() + offset, block.payload.data(),
+                block.payload.size());
+  }
+  // Repage on the base's exact per-page layout (pages may be allocated
+  // larger than their meaningful tail), so the tip restores anywhere the
+  // base would.
+  std::vector<Snapshot::Page> pages;
+  pages.reserve(base.page_count());
+  std::size_t offset = 0;
+  for (const Snapshot::Page& original : base.pages()) {
+    auto page = std::make_shared<std::vector<std::byte>>(original->size(),
+                                                         std::byte{0});
+    const std::size_t take = std::min(page->size(), bytes.size() - offset);
+    std::memcpy(page->data(), bytes.data() + offset, take);
+    offset += take;
+    pages.push_back(std::move(page));
+  }
+  return Snapshot(std::move(pages), bytes.size(), delta.version(),
+                  delta.owner());
+}
+
+BlockDelta torn_layer_copy(const BlockDelta& layer) {
+  BlockDelta torn = layer;
+  if (torn.blocks_.empty()) {
+    torn.stored_self_hash_ ^= 1;  // nothing to truncate; still detectable
+    return torn;
+  }
+  std::vector<std::byte>& payload = torn.blocks_.back().payload;
+  payload.resize(payload.size() / 2);  // prefix-only delivery
+  return torn;
+}
+
+}  // namespace dckpt::ckpt

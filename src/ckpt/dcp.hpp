@@ -1,0 +1,133 @@
+// Content-hash differential checkpoints (dcpScalable-style).
+//
+// A full checkpoint moves the whole image; a differential checkpoint moves
+// only the blocks whose content changed since the last commit. Dirty blocks
+// are detected by comparing per-block FNV-1a hashes against the hash array
+// recorded at the previous commit -- no caller-supplied dirty set and no
+// dependence on COW pointer identity, so a page rewritten with identical
+// bytes does *not* count as dirty (unlike delta.hpp's mprotect-style
+// tracking). The block size is independent of the page size: coarser blocks
+// cut hash-array memory at the cost of amplifying small writes.
+//
+// Restores replay a chain: one full base image plus up to K - 1 differential
+// layers, where K is the dcp stack size (a full checkpoint every K commits
+// bounds the chain). Each layer carries
+//   * base_hash    -- content hash of the exact image it was diffed against,
+//                     so a corrupt base is detected before replay even when a
+//                     later layer would happen to overwrite the damage;
+//   * result_hash  -- content hash of the image the replay must produce;
+//   * a self hash over the layer's own metadata and payloads, so a torn
+//     layer (truncated transfer) is detected without replaying anything.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ckpt/page_store.hpp"
+
+namespace dckpt::ckpt {
+
+/// Default differential block size (one OS page, like dcpBlockSize's
+/// default granularity).
+inline constexpr std::size_t kDefaultDcpBlockSize = kDefaultPageSize;
+
+/// One dirty block: `index * block_size` is its byte offset; the tail block
+/// may be shorter than block_size.
+struct DcpBlock {
+  std::size_t index = 0;
+  std::vector<std::byte> payload;
+};
+
+/// One differential layer of a dcp chain.
+class BlockDelta {
+ public:
+  BlockDelta() = default;
+  BlockDelta(std::uint64_t owner, std::uint64_t base_version,
+             std::uint64_t version, std::size_t size_bytes,
+             std::size_t block_size, std::uint64_t base_hash,
+             std::uint64_t result_hash, std::vector<DcpBlock> blocks);
+
+  std::uint64_t owner() const noexcept { return owner_; }
+  std::uint64_t base_version() const noexcept { return base_version_; }
+  std::uint64_t version() const noexcept { return version_; }
+  std::size_t size_bytes() const noexcept { return size_bytes_; }
+  std::size_t block_size() const noexcept { return block_size_; }
+
+  /// Content hash of the image this layer was diffed against.
+  std::uint64_t base_hash() const noexcept { return base_hash_; }
+  /// Content hash of the image replaying this layer must produce.
+  std::uint64_t result_hash() const noexcept { return result_hash_; }
+
+  std::size_t dirty_blocks() const noexcept { return blocks_.size(); }
+  const std::vector<DcpBlock>& blocks() const noexcept { return blocks_; }
+
+  /// Bytes a buddy transfer must actually move for this layer.
+  std::size_t delta_bytes() const;
+
+  /// Dirty fraction: dirty blocks / total blocks of the image.
+  double dirty_ratio() const noexcept;
+
+  /// Per-layer integrity: recomputes the self hash over the layer's
+  /// metadata and payloads and compares it to the value recorded at
+  /// construction. A torn layer fails this without any replay.
+  bool verify_self() const;
+
+ private:
+  friend BlockDelta torn_layer_copy(const BlockDelta& layer);
+
+  std::uint64_t self_hash() const;
+
+  std::uint64_t owner_ = 0;
+  std::uint64_t base_version_ = 0;
+  std::uint64_t version_ = 0;
+  std::size_t size_bytes_ = 0;
+  std::size_t block_size_ = kDefaultDcpBlockSize;
+  std::uint64_t base_hash_ = 0;
+  std::uint64_t result_hash_ = 0;
+  std::vector<DcpBlock> blocks_;
+  std::uint64_t stored_self_hash_ = 0;
+};
+
+/// Per-block FNV-1a hash array of `image` (the dcpScalable hashArray): one
+/// hash per block_size-sized block, tail block over the remaining bytes.
+/// Throws std::invalid_argument when block_size == 0.
+std::vector<std::uint64_t> block_hashes(const Snapshot& image,
+                                        std::size_t block_size);
+
+/// Diffs `current` against a base known only by its cached hash array --
+/// the coordinator commit path, where the previous image itself is gone but
+/// its block_hashes(), version and content hash were recorded at commit
+/// time. `base_version` must predate current.version() and `base_hashes`
+/// must cover current's layout exactly.
+BlockDelta make_block_delta(const std::vector<std::uint64_t>& base_hashes,
+                            std::uint64_t base_version,
+                            std::uint64_t base_hash, const Snapshot& current,
+                            std::size_t block_size);
+
+/// Diffs `current` against `base` by per-block content hash.
+/// `base_hashes` must be block_hashes(base, block_size) -- callers cache it
+/// across commits so each diff scans only the new image. Both snapshots must
+/// share owner and layout, with base.version() < current.version().
+BlockDelta make_block_delta(const Snapshot& base,
+                            const std::vector<std::uint64_t>& base_hashes,
+                            const Snapshot& current, std::size_t block_size);
+
+/// Convenience overload that rescans `base` for its hash array.
+BlockDelta make_block_delta(const Snapshot& base, const Snapshot& current,
+                            std::size_t block_size);
+
+/// Replays one layer: base + delta = the image `delta` was diffed from.
+/// Verifies owner, layout and version chaining (base.version() must equal
+/// delta.base_version()); content verification against base_hash() /
+/// result_hash() is the *caller's* job (the recovery ladder decides how to
+/// react). Throws std::invalid_argument on a structural mismatch.
+Snapshot apply_block_delta(const Snapshot& base, const BlockDelta& delta);
+
+/// Fault injection (chaos harness): a copy of `layer` whose last dirty
+/// block lost the tail half of its payload while the recorded self hash is
+/// kept -- a torn (truncated) layer transfer. verify_self() on the copy
+/// fails. A layer with no dirty blocks gets its recorded self hash flipped
+/// instead (still detected, nothing to truncate).
+BlockDelta torn_layer_copy(const BlockDelta& layer);
+
+}  // namespace dckpt::ckpt

@@ -27,6 +27,50 @@ std::vector<std::uint64_t> replica_ladder(std::uint64_t node,
   return {groups.preferred_buddy(node), groups.secondary_buddy(node)};
 }
 
+/// Outcome of flattening one rung: the base image plus its differential
+/// chain, or the typed reason the rung must be skipped.
+enum class RungState { Clean, CorruptBase, TornLayer, BadTip };
+
+struct RungImage {
+  RungState state = RungState::BadTip;
+  std::optional<Snapshot> tip;
+  std::size_t layers = 0;
+};
+
+/// Replays `holder`'s chain for `owner` onto the committed base and
+/// verifies the tip against `expected_hash`. An empty chain degenerates to
+/// the plain full-image hash check. nullopt when the holder has no base.
+std::optional<RungImage> flatten_rung(const BuddyStore& holder,
+                                      std::uint64_t owner,
+                                      std::uint64_t expected_hash) {
+  auto base = holder.committed_for(owner);
+  if (!base) return std::nullopt;
+  RungImage rung;
+  const std::vector<BlockDelta>& chain = holder.chain_for(owner);
+  if (!chain.empty() && !base->verify(chain.front().base_hash())) {
+    rung.state = RungState::CorruptBase;
+    return rung;
+  }
+  for (const BlockDelta& layer : chain) {
+    if (!layer.verify_self()) {
+      rung.state = RungState::TornLayer;
+      return rung;
+    }
+  }
+  Snapshot tip = std::move(*base);
+  for (const BlockDelta& layer : chain) {
+    tip = apply_block_delta(tip, layer);
+  }
+  if (!tip.verify(expected_hash)) {
+    rung.state = RungState::BadTip;
+    return rung;
+  }
+  rung.state = RungState::Clean;
+  rung.tip = std::move(tip);
+  rung.layers = chain.size();
+  return rung;
+}
+
 }  // namespace
 
 RecoveryOutcome select_replica(std::uint64_t node,
@@ -36,20 +80,22 @@ RecoveryOutcome select_replica(std::uint64_t node,
   check_directory(groups, stores);
   RecoveryOutcome outcome;
   for (const std::uint64_t holder : replica_ladder(node, groups)) {
-    auto image = stores[holder]->committed_for(node);
-    if (!image) continue;
+    auto rung = flatten_rung(*stores[holder], node, expected_hash);
+    if (!rung) continue;
     ++outcome.candidates_tried;
-    if (!image->verify(expected_hash)) {
+    if (rung->state != RungState::Clean) {
       ++outcome.corrupt_skipped;
+      if (rung->state == RungState::TornLayer) ++outcome.torn_skipped;
       continue;
     }
     outcome.status = outcome.corrupt_skipped > 0 ? RecoveryStatus::FailedOver
                                                  : RecoveryStatus::Ok;
     outcome.report.node = node;
     outcome.report.source = holder;
-    outcome.report.version = image->version();
+    outcome.report.version = rung->tip->version();
     outcome.report.hash_verified = true;
-    outcome.image = std::move(*image);
+    outcome.replayed_layers = rung->layers;
+    outcome.image = std::move(rung->tip);
     return outcome;
   }
   outcome.status = RecoveryStatus::Exhausted;
@@ -80,14 +126,21 @@ ReplicationOutcome restore_replicas(
   const auto refill_one = [&](std::uint64_t owner) {
     for (std::uint64_t member : groups.members(groups.group_of(owner))) {
       if (member == node) continue;
-      auto image = stores[member]->committed_for(owner);
-      if (!image) continue;
-      if (!image->verify(expected_hashes[owner])) {
+      auto rung = flatten_rung(*stores[member], owner,
+                               expected_hashes[owner]);
+      if (!rung) continue;
+      if (rung->state != RungState::Clean) {
         ++outcome.corrupt_skipped;
         continue;
       }
-      stores[node]->restore_committed(*image);
+      // Refills always deliver the flattened tip, never the raw chain: the
+      // receiver restarts its dcp lineage from a full image.
+      stores[node]->restore_committed(*rung->tip);
       ++outcome.restored;
+      if (rung->layers > 0) {
+        ++outcome.chains_replayed;
+        outcome.layers_replayed += rung->layers;
+      }
       return;
     }
     ++outcome.unavailable;

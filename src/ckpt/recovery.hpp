@@ -53,6 +53,8 @@ struct RecoveryOutcome {
   std::optional<Snapshot> image;    ///< the verified image, unless Exhausted
   std::size_t corrupt_skipped = 0;  ///< replicas rejected by the hash check
   std::size_t candidates_tried = 0; ///< replicas examined (present images)
+  std::size_t torn_skipped = 0;     ///< rungs rejected for a torn dcp layer
+  std::size_t replayed_layers = 0;  ///< dcp layers replayed on success
 
   bool ok() const noexcept { return status != RecoveryStatus::Exhausted; }
 };
@@ -62,6 +64,13 @@ struct RecoveryOutcome {
 /// against `expected_hash` and returning the first clean one. Corrupt or
 /// torn images are counted and skipped. Never throws on data loss; throws
 /// std::invalid_argument only on a malformed directory.
+///
+/// When a rung carries a differential chain (dcp), the rung's image is the
+/// replay base + every chained layer, and the rung is rejected -- one
+/// corrupt_skipped, like a damaged full image -- when the base no longer
+/// hashes to the oldest layer's recorded base_hash (corrupt base), any
+/// layer fails its self hash (torn layer; additionally counted in
+/// torn_skipped), or the replayed tip misses `expected_hash`.
 RecoveryOutcome select_replica(std::uint64_t node,
                                const GroupAssignment& groups,
                                std::span<BuddyStore* const> stores,
@@ -77,6 +86,8 @@ struct ReplicationOutcome {
   std::size_t restored = 0;         ///< images re-filed into the store
   std::size_t corrupt_skipped = 0;  ///< source copies rejected by the hash
   std::size_t unavailable = 0;      ///< owners with no clean surviving copy
+  std::size_t chains_replayed = 0;  ///< sources flattened from a dcp chain
+  std::size_t layers_replayed = 0;  ///< total dcp layers those replays walked
 };
 
 /// Step 2: re-files into `node`'s (replacement) storage the committed images

@@ -4,6 +4,7 @@
 // waste/period/risk models, baselines and the paper's scenarios.
 #pragma once
 
+#include "model/dcp.hpp"          // IWYU pragma: export
 #include "model/efficiency.hpp"   // IWYU pragma: export
 #include "model/hierarchical.hpp" // IWYU pragma: export
 #include "model/message_logging.hpp"  // IWYU pragma: export

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "ckpt/dcp.hpp"
+
 namespace dckpt::runtime {
 
 void RuntimeConfig::validate() const {
@@ -29,6 +31,20 @@ void RuntimeConfig::validate() const {
   if (keep_last == 0) {
     throw std::invalid_argument("RuntimeConfig: keep_last must be >= 1");
   }
+  if (dcp_stack_size > 0) {
+    if (dcp_block_size == 0) {
+      throw std::invalid_argument(
+          "RuntimeConfig: dcp_block_size must be > 0 when dcp is enabled");
+    }
+    // Chains hang off the single committed set: a staged exchange, a
+    // rollback ladder deeper than 1, or a verification-triggered rollback
+    // would all need per-set chains the substrate does not model.
+    if (staging_steps != 0 || verify_every != 0 || keep_last != 1) {
+      throw std::invalid_argument(
+          "RuntimeConfig: dcp requires staging_steps == 0, verify_every == 0 "
+          "and keep_last == 1");
+    }
+  }
   transfer_retry.validate();
 }
 
@@ -39,7 +55,8 @@ std::uint64_t state_hash(std::span<const double> state) {
 void validate_injections(std::span<const FailureInjection> failures,
                          std::uint64_t nodes, std::uint64_t total_steps,
                          ckpt::Topology topology,
-                         std::uint64_t verify_every) {
+                         std::uint64_t verify_every,
+                         std::uint64_t dcp_stack_size) {
   const ckpt::GroupAssignment groups(nodes, topology);
   for (const auto& failure : failures) {
     if (failure.node >= nodes) {
@@ -54,6 +71,21 @@ void validate_injections(std::span<const FailureInjection> failures,
       throw std::invalid_argument(
           "FailureInjection: silent error requires verification enabled "
           "(verify_every > 0)");
+    }
+    if (failure.kind == InjectionKind::TornDelta) {
+      // A chain never grows past K - 1 layers, so a depth outside
+      // [1, K - 1] (or any TornDelta with dcp off) could never tear
+      // anything and the schedule would pass vacuously.
+      if (dcp_stack_size == 0) {
+        throw std::invalid_argument(
+            "FailureInjection: torn delta requires dcp enabled "
+            "(dcp_stack_size > 0)");
+      }
+      if (failure.window == 0 || failure.window >= dcp_stack_size) {
+        throw std::invalid_argument(
+            "FailureInjection: torn-delta depth must be in [1, "
+            "dcp_stack_size - 1]");
+      }
     }
     if (failure.kind == InjectionKind::CorruptReplica) {
       if (failure.owner >= nodes) {
@@ -180,11 +212,20 @@ void Coordinator::begin_checkpoint(std::uint64_t step) {
   staging_hashes_.assign(workers_.size(), 0);
   const auto epochs = engine_.current_epochs();
   staging_epochs_.assign(epochs.begin(), epochs.end());
+  if (config_.dcp_stack_size > 0) {
+    // Refresh the per-node hash arrays for the full base these deltas will
+    // chain on. Safe to overwrite here: dcp forbids staging, so this
+    // snapshot set commits before anything can roll back past it.
+    hash_arrays_.assign(workers_.size(), {});
+  }
   for (std::uint64_t node = 0; node < workers_.size(); ++node) {
     const ckpt::Snapshot& image = images[node];
     // Hash before staging, so every filed copy carries the cached digest
     // the restore paths verify against.
     staging_hashes_[node] = image.content_hash();
+    if (config_.dcp_stack_size > 0) {
+      hash_arrays_[node] = ckpt::block_hashes(image, config_.dcp_block_size);
+    }
     if (config_.topology == ckpt::Topology::Pairs) {
       workers_[node].store().stage(image);  // local copy
       workers_[groups_.preferred_buddy(node)].store().stage(image);
@@ -219,10 +260,55 @@ void Coordinator::commit_checkpoint(RunReport& report) {
   staging_ = false;
   report.bytes_replicated += staged_bytes_;
   ++report.checkpoints;
+  ++report.full_commits;
+  // A full exchange restarts every dcp lineage: promote() dropped the old
+  // chains, and the hash arrays captured at begin_checkpoint() describe the
+  // new base the next deltas diff against.
+  dcp_layers_ = 0;
+  dcp_tip_version_ = staging_version_;
   // A committed exchange re-creates every replica: pending refills are
   // subsumed, the risk window closes, lost nodes rejoin, and the set joins
   // the rollback ladder with its snapshot-time corruption epochs.
   engine_.on_commit(committed_step_, committed_hashes_, staging_epochs_);
+}
+
+void Coordinator::commit_delta_checkpoint(RunReport& report,
+                                          std::uint64_t step) {
+  // Differential commit: every worker snapshots, diffs against the cached
+  // hash array of the last committed image, and appends the resulting layer
+  // on the same replica holders a full image would go to. Blocking (like
+  // staging_steps == 0) and atomic from the run's point of view: the commit
+  // markers advance to the new tip.
+  std::vector<ckpt::Snapshot> images;
+  images.reserve(workers_.size());
+  for (Worker& worker : workers_) images.push_back(worker.take_snapshot());
+
+  for (std::uint64_t node = 0; node < workers_.size(); ++node) {
+    const ckpt::Snapshot& image = images[node];
+    const ckpt::BlockDelta layer = ckpt::make_block_delta(
+        hash_arrays_[node], dcp_tip_version_, committed_hashes_[node], image,
+        config_.dcp_block_size);
+    if (config_.topology == ckpt::Topology::Pairs) {
+      workers_[node].store().append_delta(layer);  // local copy
+      workers_[groups_.preferred_buddy(node)].store().append_delta(layer);
+      report.bytes_replicated += layer.delta_bytes();
+    } else {
+      workers_[groups_.preferred_buddy(node)].store().append_delta(layer);
+      workers_[groups_.secondary_buddy(node)].store().append_delta(layer);
+      report.bytes_replicated += 2 * layer.delta_bytes();
+    }
+    committed_hashes_[node] = image.content_hash();
+    hash_arrays_[node] = ckpt::block_hashes(image, config_.dcp_block_size);
+  }
+  committed_step_ = step;
+  dcp_tip_version_ = images.front().version();
+  ++dcp_layers_;
+  ++report.checkpoints;
+  ++report.delta_commits;
+  // Deliberately *not* engine_.on_commit(): a delta exchange moves only
+  // dirty blocks, so it does not re-create every replica -- it neither
+  // closes a pending risk window, clears pending refills, nor readmits
+  // lost nodes. Only a full exchange does.
 }
 
 void Coordinator::proactive_checkpoint(RunReport& report, std::uint64_t step) {
@@ -266,7 +352,8 @@ void Coordinator::rollback_all(RunReport& report, std::uint64_t step) {
 
 RunReport Coordinator::run(std::span<const FailureInjection> failures) {
   validate_injections(failures, config_.nodes, config_.total_steps,
-                      config_.topology, config_.verify_every);
+                      config_.topology, config_.verify_every,
+                      config_.dcp_stack_size);
   RunReport report;
   std::vector<FailureInjection> pending(failures.begin(), failures.end());
   std::stable_sort(pending.begin(), pending.end(),
@@ -351,9 +438,22 @@ RunReport Coordinator::run(std::span<const FailureInjection> failures) {
       }
     }
     if (boundary && !staging_) {
-      begin_checkpoint(step);
-      staging_commit_at_ = step + config_.staging_steps;
-      if (config_.staging_steps == 0) commit_checkpoint(report);
+      // dcp cadence: between full exchanges, commit block deltas -- but
+      // only while the chain has room (K - 1 layers) and the platform is
+      // whole. A lost node or a pending refill forces a full exchange,
+      // because only a full commit re-creates every replica and closes the
+      // risk window (deltas skip engine_.on_commit()).
+      const bool delta_commit =
+          config_.dcp_stack_size > 0 && has_commit_ &&
+          dcp_layers_ + 1 < config_.dcp_stack_size && !engine_.any_lost() &&
+          !engine_.refill_pending();
+      if (delta_commit) {
+        commit_delta_checkpoint(report, step);
+      } else {
+        begin_checkpoint(step);
+        staging_commit_at_ = step + config_.staging_steps;
+        if (config_.staging_steps == 0) commit_checkpoint(report);
+      }
     }
   }
 

@@ -71,6 +71,15 @@ struct RuntimeConfig {
   /// this ladder to the newest set whose capture predates every live
   /// corruption epoch.
   std::size_t keep_last = 1;
+  /// Differential-checkpoint (dcp) stack size K: when > 0, only every K-th
+  /// commit exchanges full images; the K - 1 commits in between send
+  /// content-hash block deltas chained on the committed base, and a restore
+  /// replays base + <= K - 1 layers. 0 = every commit is full (dcp off).
+  /// Requires staging_steps == 0, verify_every == 0 and keep_last == 1
+  /// (chains hang off the committed set, not the retention ring).
+  std::uint64_t dcp_stack_size = 0;
+  /// Differential block size in bytes (per-block FNV hash granularity).
+  std::size_t dcp_block_size = ckpt::kDefaultDcpBlockSize;
 
   void validate() const;
 };
@@ -83,6 +92,7 @@ enum class InjectionKind {
   FailTransfer,   ///< next refill delivery for `node` fails outright
   SilentError,    ///< latent in-memory corruption (captured by checkpoints)
   Alarm,          ///< fault-predictor alarm: proactive checkpoint trigger
+  TornDelta,      ///< tear a dcp chain layer at rest (depth in `window`)
 };
 
 /// An injection fired when the run first reaches step `step` (0-based).
@@ -98,8 +108,11 @@ struct FailureInjection {
   std::uint64_t node = 0;
   InjectionKind kind = InjectionKind::NodeLoss;
   std::uint64_t owner = 0;  ///< CorruptReplica only
-  /// Alarm only: prediction-window width in steps. The alarm claims `node`
+  /// Alarm: prediction-window width in steps -- the alarm claims `node`
   /// will be lost within [step, step + window]; 0 = a same-step prediction.
+  /// TornDelta: 1-based chain depth of the layer to tear, counted from the
+  /// base (the field is overloaded; the two kinds never coexist on one
+  /// injection).
   std::uint64_t window = 0;
 };
 
@@ -128,12 +141,15 @@ void score_predictions(std::span<const FailureInjection> failures,
 /// step that actually executes, a CorruptReplica must aim at a store
 /// that actually holds the owner's image under `topology`, and a
 /// SilentError requires verification enabled (`verify_every` > 0) -- an
-/// undetectable silent error would make a campaign vacuously pass. Throws
+/// undetectable silent error would make a campaign vacuously pass -- and a
+/// TornDelta requires dcp enabled with 1 <= depth <= dcp_stack_size - 1
+/// (a chain never grows longer than K - 1 layers). Throws
 /// std::invalid_argument otherwise.
 void validate_injections(std::span<const FailureInjection> failures,
                          std::uint64_t nodes, std::uint64_t total_steps,
                          ckpt::Topology topology,
-                         std::uint64_t verify_every = 0);
+                         std::uint64_t verify_every = 0,
+                         std::uint64_t dcp_stack_size = 0);
 
 struct RunReport {
   std::uint64_t steps_executed = 0;   ///< step executions incl. replays
@@ -172,6 +188,13 @@ struct RunReport {
   std::uint64_t true_predictions = 0; ///< node losses matched by an alarm
                                       ///< within its prediction window
   std::uint64_t missed_failures = 0;  ///< node losses no alarm announced
+  std::uint64_t delta_commits = 0;    ///< commits that sent block deltas
+  std::uint64_t full_commits = 0;     ///< commits that sent full images
+  std::uint64_t chain_replays = 0;    ///< restores that replayed >= 1 layer
+  std::uint64_t chain_replay_depth = 0;  ///< total layers replayed across
+                                         ///< all chain replays
+  std::uint64_t torn_chain_failovers = 0;  ///< ladder rungs skipped for a
+                                           ///< torn dcp layer
   bool fatal = false;                 ///< unrecoverable data loss occurred
   bool degraded = false;              ///< run continued past the loss
   std::uint64_t fatal_node = 0;       ///< first node with no clean replica
@@ -199,6 +222,7 @@ class Coordinator {
  private:
   void begin_checkpoint(std::uint64_t step);
   void commit_checkpoint(RunReport& report);
+  void commit_delta_checkpoint(RunReport& report, std::uint64_t step);
   void proactive_checkpoint(RunReport& report, std::uint64_t step);
   void rollback_all(RunReport& report, std::uint64_t step);
   void execute_step();
@@ -227,6 +251,13 @@ class Coordinator {
 
   // Verification cadence: checkpoint periods since the last verification.
   std::uint64_t periods_since_verify_ = 0;
+
+  // Differential-checkpoint state (dcp_stack_size > 0): per-node block hash
+  // arrays of the last committed image (the dcpScalable hashArray) and the
+  // number of delta layers chained since the last full commit.
+  std::vector<std::vector<std::uint64_t>> hash_arrays_;
+  std::uint64_t dcp_layers_ = 0;
+  std::uint64_t dcp_tip_version_ = 0;  ///< snapshot version of the last commit
 
   // Refill/retry/degraded-mode machine shared with the grid coordinator.
   RecoveryEngine engine_;

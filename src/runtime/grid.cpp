@@ -84,6 +84,18 @@ void GridConfig::validate() const {
   if (keep_last == 0) {
     throw std::invalid_argument("GridConfig: keep_last must be >= 1");
   }
+  if (dcp_stack_size > 0) {
+    if (dcp_block_size == 0) {
+      throw std::invalid_argument(
+          "GridConfig: dcp_block_size must be > 0 when dcp is enabled");
+    }
+    // Same substrate constraint as RuntimeConfig: chains hang off the
+    // single committed set.
+    if (verify_every != 0 || keep_last != 1) {
+      throw std::invalid_argument(
+          "GridConfig: dcp requires verify_every == 0 and keep_last == 1");
+    }
+  }
   transfer_retry.validate();
 }
 
@@ -218,11 +230,17 @@ void GridCoordinator::checkpoint_all(RunReport& report) {
   images.reserve(blocks_.size());
   for (auto& block : blocks_) images.push_back(block->memory.snapshot(block->id));
   const std::uint64_t version = images.front().version();
+  if (config_.dcp_stack_size > 0) {
+    hash_arrays_.assign(blocks_.size(), {});
+  }
   for (std::uint64_t node = 0; node < blocks_.size(); ++node) {
     const ckpt::Snapshot& image = images[node];
     // Hash before staging, so every filed copy carries the cached digest
     // the restore paths verify against.
     committed_hashes_[node] = image.content_hash();
+    if (config_.dcp_stack_size > 0) {
+      hash_arrays_[node] = ckpt::block_hashes(image, config_.dcp_block_size);
+    }
     if (config_.topology == ckpt::Topology::Pairs) {
       blocks_[node]->store.stage(image);
       blocks_[groups_.preferred_buddy(node)]->store.stage(image);
@@ -236,12 +254,52 @@ void GridCoordinator::checkpoint_all(RunReport& report) {
   for (auto& block : blocks_) block->store.promote(version);
   has_commit_ = true;
   ++report.checkpoints;
+  ++report.full_commits;
+  // A full exchange restarts every dcp lineage (see Coordinator).
+  dcp_layers_ = 0;
+  dcp_tip_version_ = version;
   // A committed exchange re-creates every replica: pending refills are
   // subsumed, the risk window closes, lost nodes rejoin, and the set joins
   // the rollback ladder. The grid commits at snapshot time, so the live
   // epochs are exactly what the images carry.
   engine_.on_commit(committed_step_, committed_hashes_,
                     engine_.current_epochs());
+}
+
+void GridCoordinator::delta_checkpoint_all(RunReport& report) {
+  // Differential commit, mirroring Coordinator::commit_delta_checkpoint:
+  // diff every block against the cached hash array of the last committed
+  // image and append the layer on the holders a full image would go to.
+  // committed_step_ was already advanced by the caller (the grid commits at
+  // snapshot time).
+  std::vector<ckpt::Snapshot> images;
+  images.reserve(blocks_.size());
+  for (auto& block : blocks_) {
+    images.push_back(block->memory.snapshot(block->id));
+  }
+  for (std::uint64_t node = 0; node < blocks_.size(); ++node) {
+    const ckpt::Snapshot& image = images[node];
+    const ckpt::BlockDelta layer = ckpt::make_block_delta(
+        hash_arrays_[node], dcp_tip_version_, committed_hashes_[node], image,
+        config_.dcp_block_size);
+    if (config_.topology == ckpt::Topology::Pairs) {
+      blocks_[node]->store.append_delta(layer);  // local copy
+      blocks_[groups_.preferred_buddy(node)]->store.append_delta(layer);
+      report.bytes_replicated += layer.delta_bytes();
+    } else {
+      blocks_[groups_.preferred_buddy(node)]->store.append_delta(layer);
+      blocks_[groups_.secondary_buddy(node)]->store.append_delta(layer);
+      report.bytes_replicated += 2 * layer.delta_bytes();
+    }
+    committed_hashes_[node] = image.content_hash();
+    hash_arrays_[node] = ckpt::block_hashes(image, config_.dcp_block_size);
+  }
+  dcp_tip_version_ = images.front().version();
+  ++dcp_layers_;
+  ++report.checkpoints;
+  ++report.delta_commits;
+  // No engine_.on_commit(): a delta exchange neither closes a pending risk
+  // window, clears pending refills, nor readmits lost nodes.
 }
 
 void GridCoordinator::proactive_checkpoint(RunReport& report,
@@ -287,7 +345,8 @@ void GridCoordinator::rollback_all(RunReport& report, std::uint64_t step) {
 
 RunReport GridCoordinator::run(std::span<const FailureInjection> failures) {
   validate_injections(failures, config_.nodes(), config_.total_steps,
-                      config_.topology, config_.verify_every);
+                      config_.topology, config_.verify_every,
+                      config_.dcp_stack_size);
   RunReport report;
   std::vector<FailureInjection> pending(failures.begin(), failures.end());
   std::stable_sort(pending.begin(), pending.end(),
@@ -359,8 +418,18 @@ RunReport GridCoordinator::run(std::span<const FailureInjection> failures) {
       }
     }
     if (boundary) {
+      // dcp cadence, same predicate as the 1-D coordinator: deltas between
+      // full exchanges while the chain has room and the platform is whole.
+      const bool delta_commit =
+          config_.dcp_stack_size > 0 && has_commit_ &&
+          dcp_layers_ + 1 < config_.dcp_stack_size && !engine_.any_lost() &&
+          !engine_.refill_pending();
       committed_step_ = step;
-      checkpoint_all(report);
+      if (delta_commit) {
+        delta_checkpoint_all(report);
+      } else {
+        checkpoint_all(report);
+      }
     }
   }
   for (const auto& block : blocks_) {

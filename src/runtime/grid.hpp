@@ -95,6 +95,13 @@ struct GridConfig {
   /// Keep-last-l checkpoint retention (same semantics as
   /// RuntimeConfig::keep_last). Must be >= 1.
   std::size_t keep_last = 1;
+  /// Differential-checkpoint stack size K (same semantics as
+  /// RuntimeConfig::dcp_stack_size). 0 = every commit is full. Requires
+  /// verify_every == 0 and keep_last == 1.
+  std::uint64_t dcp_stack_size = 0;
+  /// Differential block size in bytes (same semantics as
+  /// RuntimeConfig::dcp_block_size).
+  std::size_t dcp_block_size = ckpt::kDefaultDcpBlockSize;
 
   std::uint64_t nodes() const noexcept {
     return static_cast<std::uint64_t>(grid_rows) * grid_cols;
@@ -118,6 +125,7 @@ class GridCoordinator {
   struct Block;
 
   void checkpoint_all(RunReport& report);
+  void delta_checkpoint_all(RunReport& report);
   void proactive_checkpoint(RunReport& report, std::uint64_t step);
   void rollback_all(RunReport& report, std::uint64_t step);
   void blank_restart(std::uint64_t node);
@@ -135,6 +143,13 @@ class GridCoordinator {
 
   // Verification cadence: checkpoint periods since the last verification.
   std::uint64_t periods_since_verify_ = 0;
+
+  // Differential-checkpoint state (see Coordinator): per-node block hash
+  // arrays of the last committed image, chained layers since the last full
+  // exchange, and the snapshot version of the current commit tip.
+  std::vector<std::vector<std::uint64_t>> hash_arrays_;
+  std::uint64_t dcp_layers_ = 0;
+  std::uint64_t dcp_tip_version_ = 0;
 
   // Refill/retry/degraded-mode machine shared with the 1-D coordinator.
   RecoveryEngine engine_;

@@ -57,6 +57,17 @@ bool RecoveryEngine::fire_injections(
     // before the first commit): there is nothing at rest to damage.
     stores[f.node]->corrupt_committed(f.owner);
   });
+  fire_kind(InjectionKind::TornDelta, [&](const FailureInjection& f) {
+    // Tears the layer at 1-based depth f.window in the victim's chain on
+    // its *first* ladder rung (pairs: the local copy; triples: the
+    // preferred buddy) -- the copy a restore consults first. No-op when
+    // the chain is shorter (e.g. right after a full commit).
+    const std::uint64_t holder =
+        groups_.topology() == ckpt::Topology::Pairs
+            ? f.node
+            : groups_.preferred_buddy(f.node);
+    stores[holder]->corrupt_delta(f.node, f.window);
+  });
   fire_kind(InjectionKind::TornTransfer, [&](const FailureInjection& f) {
     armed_[f.node].push_back(InjectionKind::TornTransfer);
   });
@@ -92,6 +103,9 @@ void RecoveryEngine::rollback_and_refill(
     auto outcome =
         ckpt::select_replica(node, groups_, stores, committed_hashes[node]);
     report.corrupt_images_detected += outcome.corrupt_skipped;
+    if (outcome.torn_skipped > 0) {
+      report.torn_chain_failovers += outcome.torn_skipped;
+    }
     if (outcome.ok()) {
       if (outcome.report.source != node) {
         ++report.recoveries;
@@ -99,6 +113,10 @@ void RecoveryEngine::rollback_and_refill(
       }
       if (outcome.status == ckpt::RecoveryStatus::FailedOver) {
         ++report.failovers;
+      }
+      if (outcome.replayed_layers > 0) {
+        ++report.chain_replays;
+        report.chain_replay_depth += outcome.replayed_layers;
       }
       restore(node, *outcome.image);
       // The restored image carries whatever corruption the committed set
@@ -188,6 +206,8 @@ bool RecoveryEngine::attempt_delivery(
       ckpt::restore_replicas(entry.node, groups_, stores, committed_hashes);
   report.corrupt_images_detected += outcome.corrupt_skipped;
   if (outcome.restored > 0) ++report.rereplications;
+  report.chain_replays += outcome.chains_replayed;
+  report.chain_replay_depth += outcome.layers_replayed;
   return true;
 }
 

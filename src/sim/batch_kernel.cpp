@@ -229,7 +229,7 @@ class WaveRunner {
  public:
   WaveRunner(const SimConfig& config, const MonteCarloOptions& options)
       : geo_(engine::make_geometry(config.protocol, config.params,
-                                   config.period)),
+                                   config.period, config.dcp)),
         t_base_(config.t_base),
         cap_(engine::makespan_cap(config.max_makespan, config.t_base,
                                   config.period)),

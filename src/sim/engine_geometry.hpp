@@ -14,6 +14,7 @@
 #include <limits>
 #include <vector>
 
+#include "model/dcp.hpp"
 #include "model/parameters.hpp"
 #include "model/protocol.hpp"
 #include "model/risk.hpp"
@@ -38,7 +39,8 @@ struct Geometry {
 };
 
 inline Geometry make_geometry(model::Protocol protocol,
-                              const model::Parameters& params, double period) {
+                              const model::Parameters& params, double period,
+                              const model::DcpSpec& dcp = {}) {
   using model::Protocol;
   const auto parts = model::period_parts(protocol, params, period);
   const auto transfer = model::effective_transfer(protocol, params);
@@ -74,6 +76,19 @@ inline Geometry make_geometry(model::Protocol protocol,
       g.recover = 3.0 * params.recovery();
       g.reexec_overlap = 0.0;
       break;
+  }
+  // Differential checkpointing: the exchange phases shrink to the
+  // effective dirty fraction m of their full-image length -- the compute
+  // phase absorbs the difference so the period length stays exactly P
+  // (the model's P/2 lost-work term is untouched) -- and the recovery
+  // transfer grows by the expected base-plus-chain replay factor g.
+  if (dcp.enabled()) {
+    const double m = model::checkpoint_volume_multiplier(dcp);
+    const double replay = model::recovery_multiplier(dcp);
+    g.part1 = parts.part1 * m;
+    g.part2 = parts.part2 * m;
+    g.part3 = std::max(0.0, period - g.part1 - g.part2);
+    g.recover *= replay;
   }
   return g;
 }

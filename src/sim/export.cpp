@@ -104,6 +104,9 @@ util::JsonValue to_json(const SweepPoint& point) {
   v.set("model_waste_sdc", point.model_waste_sdc);
   // Appended in PR 8 (append-only schema): fault-prediction model waste.
   v.set("model_waste_pred", point.model_waste_pred);
+  // Appended in PR 9 (append-only schema): differential-checkpoint model
+  // waste.
+  v.set("model_waste_dcp", point.model_waste_dcp);
   return v;
 }
 

@@ -21,7 +21,8 @@ enum class Phase {
 };
 
 Geometry make_geometry(const SimConfig& config) {
-  return engine::make_geometry(config.protocol, config.params, config.period);
+  return engine::make_geometry(config.protocol, config.params, config.period,
+                               config.dcp);
 }
 
 /// Full mutable engine state.
@@ -539,6 +540,7 @@ void SimConfig::validate() const {
     throw std::invalid_argument(
         "SimConfig: proactive_cost must be finite and >= 0");
   }
+  dcp.validate();
 }
 
 ProtocolSimulation::ProtocolSimulation(SimConfig config,

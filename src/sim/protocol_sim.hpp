@@ -30,6 +30,7 @@
 
 #include <memory>
 
+#include "model/dcp.hpp"
 #include "model/parameters.hpp"
 #include "model/protocol.hpp"
 #include "sim/failure_injector.hpp"
@@ -77,6 +78,14 @@ struct SimConfig {
   double pred_recall = 0.0;     ///< r: fraction of failures predicted (0=off)
   double pred_window = 0.0;     ///< w: alarm lead-time window width, s
   double proactive_cost = 0.0;  ///< C_p: blocking proactive checkpoint, s
+
+  // Differential checkpointing (model/dcp.hpp). When enabled
+  // (dcp.stack_size > 0) the exchange phases shrink to the effective dirty
+  // fraction m of their full-image length (the compute phase absorbs the
+  // difference, keeping the period length at P) and recovery transfers
+  // grow by the expected base-plus-chain replay factor g. Composes with
+  // every other axis (Weibull arrivals, SDC, prediction).
+  model::DcpSpec dcp;
 
   void validate() const;
 };

@@ -100,6 +100,11 @@ std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
               model::waste_with_predictor(protocol, params, point.period,
                                           pred);
         }
+        point.model_waste_dcp = point.model_waste;
+        if (spec.dcp.enabled()) {
+          point.model_waste_dcp =
+              model::waste_with_dcp(protocol, params, point.period, spec.dcp);
+        }
 
         SimConfig config;
         config.protocol = protocol;
@@ -115,6 +120,7 @@ std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
         config.pred_recall = spec.pred_recall;
         config.pred_window = spec.pred_window;
         config.proactive_cost = spec.proactive_cost;
+        config.dcp = spec.dcp;
         MonteCarloOptions options;
         options.trials = spec.trials;
         options.seed = spec.seed;

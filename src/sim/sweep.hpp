@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "model/dcp.hpp"
 #include "model/protocol.hpp"
 #include "sim/runner.hpp"
 
@@ -30,6 +31,9 @@ struct SweepPoint {
   /// Fault-prediction model (predictor.hpp) waste at the simulated period;
   /// equals model_waste when the sweep runs without prediction.
   double model_waste_pred = 0.0;
+  /// Differential-checkpoint model (dcp.hpp) waste at the simulated period;
+  /// equals model_waste when the sweep runs without dcp.
+  double model_waste_dcp = 0.0;
 };
 
 /// Timing/throughput snapshot handed to SweepSpec::progress after every
@@ -75,6 +79,13 @@ struct SweepSpec {
   double pred_recall = 0.0;     ///< r: fraction of failures predicted
   double pred_window = 0.0;     ///< w: alarm lead-time window width, s
   double proactive_cost = 0.0;  ///< C_p: blocking proactive checkpoint, s
+  /// Differential-checkpoint axis (dcp.stack_size == 0 disables it,
+  /// matching SimConfig). When enabled every point simulates dcp-scaled
+  /// exchange/recovery geometry and the row additionally carries the
+  /// dirty-fraction model waste. The default period stays the full-image
+  /// closed form, so model_waste_dcp and the simulation read the *same*
+  /// period -- pass `period` to study the dcp optimum instead.
+  model::DcpSpec dcp;
   /// Optional period override; default: closed-form optimum per point.
   std::function<double(model::Protocol, const model::Parameters&)> period;
   /// Forwarded to MonteCarloOptions::metrics for every point.

@@ -98,6 +98,25 @@ model::PredictorSpec predictor_from(const sim::SimConfig& config) {
                               config.pred_window, config.proactive_cost};
 }
 
+void add_dcp_options(util::CliParser& cli) {
+  cli.add_option("dirty-fraction", "1",
+                 "per-page dirty fraction per period d in [0,1]");
+  cli.add_option("dcp-block", "4096", "differential block size B, bytes");
+  cli.add_option("dcp-stack", "0",
+                 "commits per full exchange K (0 = every commit full)");
+  cli.add_option("hash-overhead", "0",
+                 "content-hash scan cost h, fraction of a full image");
+}
+
+model::DcpSpec dcp_from(const util::CliParser& cli) {
+  model::DcpSpec dcp;
+  dcp.dirty_fraction = cli.get_double("dirty-fraction");
+  dcp.block_size = static_cast<std::size_t>(cli.get_int("dcp-block"));
+  dcp.stack_size = static_cast<std::uint64_t>(cli.get_int("dcp-stack"));
+  dcp.hash_overhead = cli.get_double("hash-overhead");
+  return dcp;
+}
+
 /// Splits a comma-separated list ("60,3600,86400") into doubles.
 std::vector<double> parse_double_list(const std::string& text) {
   std::vector<double> values;
@@ -170,6 +189,7 @@ int cmd_simulate(int argc, const char* const* argv) {
                  "batched | scalar trial engine (bit-identical results)");
   add_sdc_options(cli);
   add_predictor_options(cli);
+  add_dcp_options(cli);
   cli.add_option("metrics-out", "",
                  "write a JSONL metrics record (with per-trial histograms)");
   cli.add_option("trace-out", "",
@@ -190,6 +210,7 @@ int cmd_simulate(int argc, const char* const* argv) {
   config.stop_on_fatal = false;
   apply_sdc_options(cli, config);
   apply_predictor_options(cli, config);
+  config.dcp = dcp_from(cli);
   const double period = cli.get_double("period");
   config.period =
       period > 0.0
@@ -269,6 +290,13 @@ int cmd_simulate(int argc, const char* const* argv) {
                                                    predictor_from(config)),
                        2)});
   }
+  if (config.dcp.enabled()) {
+    table.add_row({"model waste (dcp)",
+                   util::format_percent(
+                       model::waste_with_dcp(config.protocol, config.params,
+                                             config.period, config.dcp),
+                       2)});
+  }
   table.add_row({"sim waste",
                  util::format_percent(mc.waste.mean(), 2) + " +/- " +
                      util::format_percent(mc.waste.confidence_halfwidth(), 2)});
@@ -321,6 +349,7 @@ int cmd_sweep(int argc, const char* const* argv) {
                  "use per-node Weibull streams with this shape (0 = exp)");
   add_sdc_options(cli);
   add_predictor_options(cli);
+  add_dcp_options(cli);
   cli.add_option("metrics-out", "", "write one JSONL sweep row per point");
   cli.add_option("metrics-bins", "64", "histogram bins for --metrics-out");
   cli.add_flag("progress", "print per-point progress and throughput");
@@ -371,6 +400,7 @@ int cmd_sweep(int argc, const char* const* argv) {
   spec.pred_precision = cli.get_double("pred-precision");
   spec.pred_window = cli.get_double("pred-window");
   spec.proactive_cost = cli.get_double("proactive-cost");
+  spec.dcp = dcp_from(cli);
   if (!cli.get("metrics-out").empty()) {
     sim::MetricsSpec metrics;
     metrics.bins = static_cast<std::size_t>(cli.get_int("metrics-bins"));
@@ -390,9 +420,13 @@ int cmd_sweep(int argc, const char* const* argv) {
   const bool weibull = spec.weibull_shape > 0.0;
   const bool sdc = spec.verify_every > 0;
   const bool pred = spec.pred_recall > 0.0;
+  const bool dcp = spec.dcp.enabled();
   std::vector<std::string> headers = {"protocol", "M", "phi", "P",
                                       "model waste", "sim waste",
                                       "mean risk time", "survival"};
+  if (dcp) {
+    headers.insert(headers.begin() + 5, "dcp model");
+  }
   if (pred) {
     headers.insert(headers.begin() + 5, "pred model");
   }
@@ -413,6 +447,10 @@ int cmd_sweep(int argc, const char* const* argv) {
             util::format_percent(row.result.waste.confidence_halfwidth(), 2),
         util::format_duration(row.result.risk_time.mean()),
         util::format_fixed(row.result.success.estimate(), 4)};
+    if (dcp) {
+      cells.insert(cells.begin() + 5,
+                   util::format_percent(row.model_waste_dcp, 2));
+    }
     if (pred) {
       cells.insert(cells.begin() + 5,
                    util::format_percent(row.model_waste_pred, 2));
@@ -449,6 +487,7 @@ int cmd_optimize(int argc, const char* const* argv) {
                  "use per-node Weibull streams with this shape (0 = exp)");
   add_sdc_options(cli);
   add_predictor_options(cli);
+  add_dcp_options(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   sim::SimConfig config;
@@ -458,6 +497,7 @@ int cmd_optimize(int argc, const char* const* argv) {
   config.t_base = cli.get_double("tbase");
   apply_sdc_options(cli, config);
   apply_predictor_options(cli, config);
+  config.dcp = dcp_from(cli);
 
   sim::OptimizeOptions options;
   options.trials_per_eval = static_cast<std::uint64_t>(cli.get_int("trials"));
@@ -506,6 +546,15 @@ int cmd_optimize(int argc, const char* const* argv) {
     table.add_row({"numeric (predictor)",
                    util::format_duration(pred_opt.period),
                    util::format_percent(pred_opt.waste, 3)});
+  }
+  if (config.dcp.enabled()) {
+    // dcp objective: cheaper commits pull the optimum down, costlier
+    // chain-replay recovery pushes it back up.
+    const auto dcp_opt = model::optimal_period_with_dcp(
+        config.protocol, config.params, config.dcp);
+    table.add_row({"numeric (dcp)",
+                   util::format_duration(dcp_opt.period),
+                   util::format_percent(dcp_opt.waste, 3)});
   }
   table.add_row({"empirical (simulation)",
                  util::format_duration(empirical.period),
@@ -740,6 +789,11 @@ int cmd_chaos(int argc, const char* const* argv) {
                  "sdc injections)");
   cli.add_option("keep-last", "1",
                  "retained committed checkpoint sets (rollback ladder depth)");
+  cli.add_option("dcp-stack", "0",
+                 "differential-checkpoint stack size K: commits per full "
+                 "exchange (0 = every commit full; requires --staging 0, "
+                 "--verify-every 0, --keep-last 1)");
+  cli.add_option("dcp-block", "4096", "differential block size, bytes");
   cli.add_option("kernel", "heat", "heat | wave | counter");
   cli.add_option("runs", "100", "randomized schedules after the scripted set");
   cli.add_option("seed", "1", "campaign seed (or schedule seed with "
@@ -749,7 +803,7 @@ int cmd_chaos(int argc, const char* const* argv) {
                  "run one schedule instead of a campaign; entries are "
                  "'step:node' (loss), 'step:corrupt:holder:owner', "
                  "'step:torn:node', 'step:failxfer:node', 'step:sdc:node', "
-                 "'step:alarm:node[:window]'");
+                 "'step:alarm:node[:window]', 'step:torndelta:node:depth'");
   cli.add_option("spares", "0",
                  "derive --rerepl-delay from an Erlang-C pool of this many "
                  "spares (0 = use --rerepl-delay)");
@@ -792,6 +846,10 @@ int cmd_chaos(int argc, const char* const* argv) {
       static_cast<std::uint64_t>(cli.get_int("verify-every"));
   config.runtime.keep_last =
       static_cast<std::size_t>(cli.get_int("keep-last"));
+  config.runtime.dcp_stack_size =
+      static_cast<std::uint64_t>(cli.get_int("dcp-stack"));
+  config.runtime.dcp_block_size =
+      static_cast<std::size_t>(cli.get_int("dcp-block"));
   config.kernel = cli.get("kernel");
   config.random_runs = static_cast<std::uint64_t>(cli.get_int("runs"));
   config.campaign_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
@@ -822,6 +880,8 @@ int cmd_chaos(int argc, const char* const* argv) {
     gc.transfer_retry = config.runtime.transfer_retry;
     gc.verify_every = config.runtime.verify_every;
     gc.keep_last = config.runtime.keep_last;
+    gc.dcp_stack_size = config.runtime.dcp_stack_size;
+    gc.dcp_block_size = config.runtime.dcp_block_size;
     config.grid = gc;
   }
 
@@ -905,6 +965,15 @@ int cmd_chaos(int argc, const char* const* argv) {
                 static_cast<unsigned long long>(run.report.proactive_ckpts),
                 static_cast<unsigned long long>(run.report.true_predictions),
                 static_cast<unsigned long long>(run.report.missed_failures));
+    std::printf("delta commits %llu, full commits %llu, chain replays %llu, "
+                "chain replay depth %llu, torn-chain failovers %llu\n",
+                static_cast<unsigned long long>(run.report.delta_commits),
+                static_cast<unsigned long long>(run.report.full_commits),
+                static_cast<unsigned long long>(run.report.chain_replays),
+                static_cast<unsigned long long>(
+                    run.report.chain_replay_depth),
+                static_cast<unsigned long long>(
+                    run.report.torn_chain_failovers));
     return 0;
   }
 

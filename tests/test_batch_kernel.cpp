@@ -326,6 +326,49 @@ TEST(BatchKernel, BitIdenticalWithPredictionWeibull) {
   expect_equivalent(config, options, 50);
 }
 
+TEST(BatchKernel, BitIdenticalWithDifferentialCheckpointsAllProtocols) {
+  // The dcp axis reshapes the period geometry (shorter exchange parts,
+  // longer recovery) before any event fires; both engines must build the
+  // same geometry from SimConfig::dcp and stay event-for-event identical.
+  for (const model::Protocol protocol : model::kAllProtocols) {
+    auto config = make_config(protocol, 500.0, 12, 100.0, 5000.0,
+                              /*stop_on_fatal=*/false);
+    config.dcp.stack_size = 6;
+    config.dcp.dirty_fraction = 0.15;
+    config.dcp.hash_overhead = 0.02;
+    sim::MonteCarloOptions options;
+    options.seed = 909090;
+    expect_equivalent(config, options, 50);
+  }
+}
+
+TEST(BatchKernel, BitIdenticalWithDcpWeibullSdcAndPredictorMix) {
+  // The acceptance mix: dirty-fraction geometry composing with clustered
+  // (Weibull) failures, silent-error verification and fault prediction in
+  // one campaign -- every axis at once, still bit-identical.
+  for (const model::Protocol protocol :
+       {model::Protocol::DoubleNbl, model::Protocol::Triple}) {
+    auto config = make_config(protocol, 500.0, 12, 100.0, 5000.0,
+                              /*stop_on_fatal=*/false);
+    config.dcp.stack_size = 4;
+    config.dcp.dirty_fraction = 0.2;
+    config.dcp.hash_overhead = 0.01;
+    config.sdc_rate = 1.0 / 700.0;
+    config.verify_cost = 0.5;
+    config.verify_every = 3;
+    config.keep_last = 2;
+    config.pred_precision = 0.7;
+    config.pred_recall = 0.5;
+    config.pred_window = 30.0;
+    config.proactive_cost = 2.0;
+    sim::MonteCarloOptions options;
+    options.seed = 515151;
+    options.weibull =
+        util::Weibull::from_mean(0.7, config.params.node_mtbf());
+    expect_equivalent(config, options, 50);
+  }
+}
+
 TEST(BatchKernel, BitIdenticalOnFastPathDominatedCampaign) {
   // Sparse failures: long event-free stretches exercise the multi-period
   // fast runs, including their interaction with completion and cap guards.

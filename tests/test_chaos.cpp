@@ -648,6 +648,165 @@ TEST(ChaosSdcMutation, EachCounterIsGuardedOnFatalSchedule) {
   }
 }
 
+// ------------------------------------- differential checkpoints (dcp)
+
+chaos::ChaosCampaignConfig dcp_campaign(Topology topology) {
+  auto config = small_campaign(topology);
+  // dcp composes with the blocking exchange only: chains hang off the
+  // committed base, so no staging, no verification ladder, keep-last-1.
+  config.runtime.staging_steps = 0;
+  config.runtime.dcp_stack_size = 3;
+  return config;
+}
+
+TEST(ChaosDcp, TornDeltaGrammarRoundTrips) {
+  using runtime::InjectionKind;
+  const auto schedule =
+      chaos::ChaosSchedule::parse("25:torndelta:0:1,30:torndelta:3:2,40:1");
+  ASSERT_EQ(schedule.failures.size(), 3u);
+  EXPECT_EQ(schedule.failures[0].kind, InjectionKind::TornDelta);
+  EXPECT_EQ(schedule.failures[0].node, 0u);
+  EXPECT_EQ(schedule.failures[0].window, 1u);  // depth rides in window
+  EXPECT_EQ(schedule.failures[1].window, 2u);
+  EXPECT_EQ(schedule.failures[2].kind, InjectionKind::NodeLoss);
+  EXPECT_EQ(schedule.spec(), "25:torndelta:0:1,30:torndelta:3:2,40:1");
+  EXPECT_EQ(chaos::ChaosSchedule::parse(schedule.spec()).spec(),
+            schedule.spec());
+}
+
+TEST(ChaosDcp, TornDeltaGrammarRejectsMalformedEntries) {
+  EXPECT_THROW(chaos::ChaosSchedule::parse("25:torndelta:0"),
+               std::invalid_argument);  // missing depth
+  EXPECT_THROW(chaos::ChaosSchedule::parse("25:torndelta:0:x"),
+               std::invalid_argument);
+  EXPECT_THROW(chaos::ChaosSchedule::parse("25:torndelta:0:1:2"),
+               std::invalid_argument);  // trailing field
+  EXPECT_THROW(chaos::ChaosSchedule::parse("25:torndelta:"),
+               std::invalid_argument);
+}
+
+TEST(ChaosDcp, ValidateRequiresDcpAndBoundsTheDepth) {
+  const auto dcp_config = dcp_campaign(Topology::Pairs).runtime;
+  const auto plain_config = small_campaign(Topology::Pairs).runtime;
+  const auto schedule = chaos::ChaosSchedule::parse("25:torndelta:0:1");
+  EXPECT_NO_THROW(chaos::validate_schedule(schedule, dcp_config));
+  // Without dcp there are no chains to tear.
+  EXPECT_THROW(chaos::validate_schedule(schedule, plain_config),
+               std::invalid_argument);
+  // Depth 0 and depth >= K address no layer a K-chain can hold.
+  EXPECT_THROW(
+      chaos::validate_schedule(chaos::ChaosSchedule::parse("25:torndelta:0:0"),
+                               dcp_config),
+      std::invalid_argument);
+  EXPECT_THROW(
+      chaos::validate_schedule(chaos::ChaosSchedule::parse("25:torndelta:0:3"),
+                               dcp_config),
+      std::invalid_argument);
+}
+
+TEST(ChaosDcp, TornChainFailsOverCounterForCounter) {
+  // Triples: tearing the sole delta layer on node 0's preferred holder
+  // forces the post-kill recovery onto the secondary's intact chain -- one
+  // torn-chain failover, with every dcp counter mirrored by the oracle.
+  const auto config = dcp_campaign(Topology::Triples);
+  const auto schedule = chaos::ChaosSchedule::parse("25:torndelta:0:1,25:0");
+  const auto run = chaos::run_one(config, schedule,
+                                  chaos::reference_run(config).final_hash);
+  EXPECT_EQ(run.outcome, chaos::ChaosOutcome::Survived) << run.detail;
+  EXPECT_EQ(run.report.torn_chain_failovers, 1u);
+  EXPECT_GT(run.report.delta_commits, 0u);
+  EXPECT_GT(run.report.full_commits, 0u);
+  EXPECT_GT(run.report.chain_replays, 0u);
+  EXPECT_GE(run.report.chain_replay_depth, run.report.chain_replays);
+  EXPECT_EQ(run.report.delta_commits, run.predicted.delta_commits);
+  EXPECT_EQ(run.report.full_commits, run.predicted.full_commits);
+  EXPECT_EQ(run.report.chain_replays, run.predicted.chain_replays);
+  EXPECT_EQ(run.report.chain_replay_depth, run.predicted.chain_replay_depth);
+  EXPECT_EQ(run.report.torn_chain_failovers,
+            run.predicted.torn_chain_failovers);
+}
+
+TEST(ChaosDcp, CommitCadenceFollowsTheStack) {
+  // K = 3: every third commit is full (the first exchange included), the
+  // rest ship deltas -- 96 steps at interval 12 commit 7 times (steps
+  // 12..84), split F D D F D D F: 3 full + 4 delta.
+  const auto config = dcp_campaign(Topology::Pairs);
+  const auto schedule = chaos::ChaosSchedule::parse("90:7");
+  const auto run = chaos::run_one(config, schedule,
+                                  chaos::reference_run(config).final_hash);
+  EXPECT_EQ(run.outcome, chaos::ChaosOutcome::Survived) << run.detail;
+  EXPECT_EQ(run.report.delta_commits + run.report.full_commits, 7u);
+  EXPECT_EQ(run.report.full_commits, 3u);
+  EXPECT_EQ(run.report.delta_commits, run.predicted.delta_commits);
+  EXPECT_EQ(run.report.full_commits, run.predicted.full_commits);
+}
+
+TEST(ChaosDcp, ScriptedDcpFamiliesNeverViolate) {
+  for (const Topology topology : {Topology::Pairs, Topology::Triples}) {
+    const auto runs = run_scripted(dcp_campaign(topology));
+    // dcp enabled adds the dcp-* scripted families.
+    EXPECT_TRUE(runs.count("dcp-torn-then-kill"));
+    EXPECT_TRUE(runs.count("dcp-chain-exhausted"));
+    EXPECT_TRUE(runs.count("dcp-torn-heals-at-full"));
+    for (const auto& [name, run] : runs) {
+      EXPECT_NE(run.outcome, chaos::ChaosOutcome::Violated)
+          << name << ": " << run.detail << "\n  " << run.repro;
+    }
+    // Exhausting every rung's chain is fatal -- but detected, never silent.
+    EXPECT_EQ(runs.at("dcp-chain-exhausted").outcome,
+              chaos::ChaosOutcome::FatalDetected);
+    // A full exchange clears the torn chain before the late kill lands.
+    EXPECT_EQ(runs.at("dcp-torn-heals-at-full").outcome,
+              chaos::ChaosOutcome::Survived);
+  }
+}
+
+TEST(ChaosDcp, RandomizedDcpCampaignNeverViolates) {
+  for (const Topology topology : {Topology::Pairs, Topology::Triples}) {
+    auto config = dcp_campaign(topology);
+    config.random_runs = 100;
+    config.campaign_seed = 20260809;
+    const auto summary = chaos::run_campaign(config);
+    EXPECT_EQ(summary.violated, 0u);
+    for (const auto& run : summary.runs) {
+      EXPECT_NE(run.outcome, chaos::ChaosOutcome::Violated)
+          << run.schedule.name << " seed " << run.schedule.seed << ": "
+          << run.detail << "\n  " << run.repro;
+    }
+  }
+}
+
+constexpr SdcCounterMutation kDcpMutations[] = {
+    {"delta_commits", &chaos::ShadowPrediction::delta_commits},
+    {"full_commits", &chaos::ShadowPrediction::full_commits},
+    {"chain_replays", &chaos::ShadowPrediction::chain_replays},
+    {"chain_replay_depth", &chaos::ShadowPrediction::chain_replay_depth},
+    {"torn_chain_failovers", &chaos::ShadowPrediction::torn_chain_failovers},
+};
+
+TEST(ChaosDcpMutation, EachCounterIsGuardedOnTornChainSchedule) {
+  const auto config = dcp_campaign(Topology::Triples);
+  const auto schedule = chaos::ChaosSchedule::parse("25:torndelta:0:1,25:0");
+  const std::uint64_t reference = chaos::reference_run(config).final_hash;
+  const auto predicted =
+      chaos::predict_outcome(config.shadow(), schedule.failures);
+  const auto clean =
+      chaos::classify_run(config, schedule, predicted, reference);
+  ASSERT_EQ(clean.outcome, chaos::ChaosOutcome::Survived) << clean.detail;
+  for (const auto& mutation : kDcpMutations) {
+    auto tampered = predicted;
+    tampered.*(mutation.field) += 1;
+    const auto run =
+        chaos::classify_run(config, schedule, tampered, reference);
+    EXPECT_EQ(run.outcome, chaos::ChaosOutcome::Violated)
+        << "counter " << mutation.name
+        << " not guarded: tampering it went unnoticed";
+    EXPECT_NE(run.detail.find(mutation.name), std::string::npos)
+        << "violation detail should name the diverging counter; got: "
+        << run.detail;
+  }
+}
+
 // --------------------------------------------------- spare-pool bridge
 
 TEST(ChaosSparePool, DelayStepsTrackTheErlangModel) {

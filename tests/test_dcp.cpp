@@ -1,0 +1,399 @@
+// Content-hash differential checkpoints: block hash arrays, delta
+// construction/replay, torn-layer detection, BuddyStore chain lifecycle,
+// the recovery ladder's chain replay, and the analytic dcp model.
+#include "ckpt/dcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "ckpt/buddy_store.hpp"
+#include "ckpt/page_store.hpp"
+#include "ckpt/recovery.hpp"
+#include "model/dcp.hpp"
+#include "model/scenario.hpp"
+#include "model/waste.hpp"
+
+namespace {
+
+using namespace dckpt::ckpt;
+
+constexpr std::size_t kPage = 64;
+constexpr std::size_t kBytes = kPage * 8;
+
+std::vector<std::byte> fill(std::size_t n, unsigned value) {
+  return std::vector<std::byte>(n, static_cast<std::byte>(value));
+}
+
+PageStore make_memory(unsigned value = 1) {
+  PageStore memory(kBytes, kPage);
+  memory.write(0, fill(kBytes, value));
+  return memory;
+}
+
+TEST(BlockHashesTest, OneHashPerBlockIncludingShortTail) {
+  auto memory = make_memory();
+  const auto image = memory.snapshot(0);
+  EXPECT_EQ(block_hashes(image, kPage).size(), kBytes / kPage);
+  // Coarser blocks: ceil(512 / 96) = 6, the tail block spanning 32 bytes.
+  EXPECT_EQ(block_hashes(image, 96).size(), (kBytes + 95) / 96);
+  EXPECT_EQ(block_hashes(image, kBytes).size(), 1u);
+  EXPECT_THROW(block_hashes(image, 0), std::invalid_argument);
+}
+
+TEST(BlockHashesTest, OnlyTheTouchedBlockChangesItsHash) {
+  auto memory = make_memory();
+  const auto before = block_hashes(memory.snapshot(0), kPage);
+  memory.write(3 * kPage + 5, fill(1, 0xEE));
+  const auto after = block_hashes(memory.snapshot(0), kPage);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (i == 3) {
+      EXPECT_NE(before[i], after[i]);
+    } else {
+      EXPECT_EQ(before[i], after[i]) << "block " << i;
+    }
+  }
+}
+
+TEST(BlockDeltaTest, DetectsDirtyBlocksByContentNotByWrite) {
+  auto memory = make_memory();
+  const auto base = memory.snapshot(0);
+  // Rewrite a page with identical bytes, change one byte of another.
+  memory.write(2 * kPage, fill(kPage, 1));
+  memory.write(5 * kPage, fill(1, 0xAB));
+  const auto current = memory.snapshot(0);
+  const auto delta = make_block_delta(base, current, kPage);
+  // The identical rewrite is *not* dirty -- content hashes, not COW.
+  ASSERT_EQ(delta.dirty_blocks(), 1u);
+  EXPECT_EQ(delta.blocks().front().index, 5u);
+  EXPECT_EQ(delta.delta_bytes(), kPage);
+  EXPECT_DOUBLE_EQ(delta.dirty_ratio(), 1.0 / 8.0);
+  EXPECT_EQ(delta.base_hash(), base.content_hash());
+  EXPECT_EQ(delta.result_hash(), current.content_hash());
+}
+
+TEST(BlockDeltaTest, CoarseBlocksAmplifySmallWrites) {
+  auto memory = make_memory();
+  const auto base = memory.snapshot(0);
+  memory.write(0, fill(1, 0xAB));  // one byte touched
+  const auto current = memory.snapshot(0);
+  const auto delta = make_block_delta(base, current, 2 * kPage);
+  // The whole two-page block ships for a one-byte write.
+  ASSERT_EQ(delta.dirty_blocks(), 1u);
+  EXPECT_EQ(delta.delta_bytes(), 2 * kPage);
+}
+
+TEST(BlockDeltaTest, CachedHashArrayOverloadMatchesRescan) {
+  auto memory = make_memory();
+  const auto base = memory.snapshot(0);
+  const auto hashes = block_hashes(base, kPage);
+  memory.write(kPage, fill(kPage, 7));
+  const auto current = memory.snapshot(0);
+  const auto rescan = make_block_delta(base, current, kPage);
+  const auto cached = make_block_delta(hashes, base.version(),
+                                       base.content_hash(), current, kPage);
+  ASSERT_EQ(cached.dirty_blocks(), rescan.dirty_blocks());
+  EXPECT_EQ(cached.base_hash(), rescan.base_hash());
+  EXPECT_EQ(cached.result_hash(), rescan.result_hash());
+  EXPECT_EQ(cached.base_version(), rescan.base_version());
+}
+
+TEST(BlockDeltaTest, ApplyRoundTripsAcrossChainedLayers) {
+  auto memory = make_memory();
+  const auto v1 = memory.snapshot(0);
+  memory.write(kPage, fill(kPage, 2));
+  const auto v2 = memory.snapshot(0);
+  memory.write(6 * kPage, fill(10, 3));
+  const auto v3 = memory.snapshot(0);
+  const auto d12 = make_block_delta(v1, v2, kPage);
+  const auto d23 = make_block_delta(v2, v3, kPage);
+  const auto r2 = apply_block_delta(v1, d12);
+  EXPECT_EQ(r2.content_hash(), v2.content_hash());
+  EXPECT_TRUE(r2.verify(d12.result_hash()));
+  const auto r3 = apply_block_delta(r2, d23);
+  EXPECT_EQ(r3.content_hash(), v3.content_hash());
+  EXPECT_EQ(r3.version(), v3.version());
+}
+
+TEST(BlockDeltaTest, ApplyRejectsStructuralMismatches) {
+  auto memory = make_memory();
+  const auto v1 = memory.snapshot(0);
+  memory.write(0, fill(1, 9));
+  const auto v2 = memory.snapshot(0);
+  memory.write(0, fill(1, 10));
+  const auto v3 = memory.snapshot(0);
+  const auto d23 = make_block_delta(v2, v3, kPage);
+  // Version chaining: v1 is not d23's base.
+  EXPECT_THROW(apply_block_delta(v1, d23), std::invalid_argument);
+  // Owner mismatch.
+  PageStore other(kBytes, kPage);
+  const auto foreign = other.snapshot(1);
+  EXPECT_THROW(make_block_delta(foreign, v3, kPage), std::invalid_argument);
+}
+
+TEST(BlockDeltaTest, TornLayerCopyFailsSelfVerification) {
+  auto memory = make_memory();
+  const auto v1 = memory.snapshot(0);
+  memory.write(kPage, fill(kPage, 2));
+  const auto v2 = memory.snapshot(0);
+  const auto delta = make_block_delta(v1, v2, kPage);
+  ASSERT_TRUE(delta.verify_self());
+  EXPECT_FALSE(torn_layer_copy(delta).verify_self());
+  // An empty delta (nothing dirty) still tears detectably.
+  const auto empty = make_block_delta(v2, memory.snapshot(0), kPage);
+  ASSERT_EQ(empty.dirty_blocks(), 0u);
+  ASSERT_TRUE(empty.verify_self());
+  EXPECT_FALSE(torn_layer_copy(empty).verify_self());
+}
+
+TEST(BuddyStoreChainTest, ChainNeedsABaseAndClearsOnPromote) {
+  auto memory = make_memory();
+  BuddyStore store(0);
+  const auto v1 = memory.snapshot(0);
+  memory.write(0, fill(1, 5));
+  const auto v2 = memory.snapshot(0);
+  const auto delta = make_block_delta(v1, v2, kPage);
+  // No committed base yet: the layer is refused.
+  EXPECT_FALSE(store.append_delta(delta));
+  store.stage(v1);
+  store.promote(v1.version());
+  EXPECT_TRUE(store.append_delta(delta));
+  EXPECT_EQ(store.chain_for(0).size(), 1u);
+  // A new full set clears the chain.
+  memory.write(0, fill(1, 6));
+  const auto v3 = memory.snapshot(0);
+  store.stage(v3);
+  store.promote(v3.version());
+  EXPECT_TRUE(store.chain_for(0).empty());
+}
+
+TEST(BuddyStoreChainTest, CorruptDeltaTearsExactlyTheAddressedLayer) {
+  auto memory = make_memory();
+  BuddyStore store(0);
+  const auto v1 = memory.snapshot(0);
+  store.stage(v1);
+  store.promote(v1.version());
+  memory.write(0, fill(1, 2));
+  const auto v2 = memory.snapshot(0);
+  memory.write(kPage, fill(1, 3));
+  const auto v3 = memory.snapshot(0);
+  ASSERT_TRUE(store.append_delta(make_block_delta(v1, v2, kPage)));
+  ASSERT_TRUE(store.append_delta(make_block_delta(v2, v3, kPage)));
+  // Depth past the chain: refused, nothing damaged.
+  EXPECT_FALSE(store.corrupt_delta(0, 3));
+  ASSERT_TRUE(store.corrupt_delta(0, 2));
+  EXPECT_TRUE(store.chain_for(0)[0].verify_self());
+  EXPECT_FALSE(store.chain_for(0)[1].verify_self());
+}
+
+/// Pairs cluster with a committed full set plus one chained delta layer on
+/// node 0's two holders (itself and its buddy).
+struct ChainedCluster {
+  ChainedCluster() : groups(4, Topology::Pairs) {
+    for (std::uint64_t node = 0; node < 4; ++node) {
+      memories.push_back(std::make_unique<PageStore>(kBytes, kPage));
+      stores.push_back(std::make_unique<BuddyStore>(node));
+      memories[node]->write(0, fill(kBytes, static_cast<unsigned>(node + 1)));
+    }
+    std::uint64_t version = 0;
+    for (std::uint64_t node = 0; node < 4; ++node) {
+      const auto image = memories[node]->snapshot(node);
+      version = image.version();
+      stores[node]->stage(image);
+      stores[groups.preferred_buddy(node)]->stage(image);
+    }
+    for (auto& store : stores) store->promote(version);
+    const auto base = *stores[0]->committed_for(0);
+    memories[0]->write(2 * kPage, fill(kPage, 0xCD));
+    const auto current = memories[0]->snapshot(0);
+    tip_hash = current.content_hash();
+    const auto delta = make_block_delta(base, current, kPage);
+    for (const std::uint64_t holder : {std::uint64_t{0}, std::uint64_t{1}}) {
+      EXPECT_TRUE(stores[holder]->append_delta(delta)) << holder;
+    }
+  }
+
+  std::vector<BuddyStore*> directory() {
+    std::vector<BuddyStore*> out;
+    for (auto& store : stores) out.push_back(store.get());
+    return out;
+  }
+
+  GroupAssignment groups;
+  std::vector<std::unique_ptr<PageStore>> memories;
+  std::vector<std::unique_ptr<BuddyStore>> stores;
+  std::uint64_t tip_hash = 0;
+};
+
+TEST(ChainRecoveryTest, ReplaysBasePlusChainToTheTip) {
+  ChainedCluster cluster;
+  const auto outcome = select_replica(0, cluster.groups, cluster.directory(),
+                                      cluster.tip_hash);
+  ASSERT_EQ(outcome.status, RecoveryStatus::Ok);
+  EXPECT_EQ(outcome.replayed_layers, 1u);
+  ASSERT_TRUE(outcome.image.has_value());
+  EXPECT_EQ(outcome.image->content_hash(), cluster.tip_hash);
+}
+
+TEST(ChainRecoveryTest, TornLayerFailsOverToTheBuddyChain) {
+  ChainedCluster cluster;
+  ASSERT_TRUE(cluster.stores[0]->corrupt_delta(0, 1));
+  const auto outcome = select_replica(0, cluster.groups, cluster.directory(),
+                                      cluster.tip_hash);
+  ASSERT_EQ(outcome.status, RecoveryStatus::FailedOver);
+  EXPECT_EQ(outcome.report.source, 1u);
+  EXPECT_EQ(outcome.torn_skipped, 1u);
+  EXPECT_EQ(outcome.corrupt_skipped, 1u);  // the torn rung counts as corrupt
+  EXPECT_EQ(outcome.replayed_layers, 1u);
+  EXPECT_EQ(outcome.image->content_hash(), cluster.tip_hash);
+}
+
+TEST(ChainRecoveryTest, CorruptBaseIsDetectedBeforeReplay) {
+  ChainedCluster cluster;
+  // Damage the *base* under the chain: base_hash mismatches pre-replay.
+  ASSERT_TRUE(cluster.stores[0]->corrupt_committed(0));
+  const auto outcome = select_replica(0, cluster.groups, cluster.directory(),
+                                      cluster.tip_hash);
+  ASSERT_EQ(outcome.status, RecoveryStatus::FailedOver);
+  EXPECT_EQ(outcome.report.source, 1u);
+  EXPECT_GE(outcome.corrupt_skipped, 1u);
+  EXPECT_EQ(outcome.torn_skipped, 0u);
+}
+
+TEST(ChainRecoveryTest, ExhaustedWhenEveryChainIsDamaged) {
+  ChainedCluster cluster;
+  ASSERT_TRUE(cluster.stores[0]->corrupt_delta(0, 1));
+  ASSERT_TRUE(cluster.stores[1]->corrupt_committed(0));
+  const auto outcome = select_replica(0, cluster.groups, cluster.directory(),
+                                      cluster.tip_hash);
+  EXPECT_EQ(outcome.status, RecoveryStatus::Exhausted);
+  EXPECT_FALSE(outcome.image.has_value());
+}
+
+TEST(ChainRecoveryTest, RefillFlattensTheSourceChain) {
+  ChainedCluster cluster;
+  // Node 1 (node 0's holder) is replaced; its refill must flatten node 0's
+  // chain into a full image at the tip -- the receiver starts chain-free.
+  std::vector<std::uint64_t> hashes(4);
+  for (std::uint64_t node = 0; node < 4; ++node) {
+    hashes[node] = node == 0
+                       ? cluster.tip_hash
+                       : cluster.stores[node]->committed_for(node)->content_hash();
+  }
+  *cluster.stores[1] = BuddyStore(1);
+  auto dir = cluster.directory();
+  const auto outcome = restore_replicas(1, cluster.groups, dir, hashes);
+  EXPECT_EQ(outcome.unavailable, 0u);
+  EXPECT_EQ(outcome.chains_replayed, 1u);
+  EXPECT_EQ(outcome.layers_replayed, 1u);
+  const auto refilled = cluster.stores[1]->committed_for(0);
+  ASSERT_TRUE(refilled.has_value());
+  EXPECT_EQ(refilled->content_hash(), cluster.tip_hash);
+  EXPECT_TRUE(cluster.stores[1]->chain_for(0).empty());
+}
+
+// ---- Analytic model ----------------------------------------------------
+
+TEST(DcpModelTest, BlockDirtyFractionFollowsTheClosedForm) {
+  dckpt::model::DcpSpec spec;
+  spec.dirty_fraction = 0.1;
+  spec.stack_size = 4;
+  spec.block_size = 4096;
+  spec.page_size = 4096;
+  EXPECT_DOUBLE_EQ(dckpt::model::block_dirty_fraction(spec), 0.1);
+  spec.block_size = 4 * 4096;  // 4 pages per block
+  EXPECT_DOUBLE_EQ(dckpt::model::block_dirty_fraction(spec),
+                   1.0 - std::pow(0.9, 4.0));
+  // Sub-page blocks cannot be cleaner than the page granularity.
+  spec.block_size = 1024;
+  EXPECT_DOUBLE_EQ(dckpt::model::block_dirty_fraction(spec), 0.1);
+}
+
+TEST(DcpModelTest, VolumeAndRecoveryMultipliers) {
+  dckpt::model::DcpSpec spec;
+  spec.dirty_fraction = 0.2;
+  spec.stack_size = 5;
+  spec.hash_overhead = 0.01;
+  // m = (1/K)(1 + h) + (1 - 1/K)(d + h); g = 1 + d (K - 1) / 2.
+  EXPECT_NEAR(dckpt::model::checkpoint_volume_multiplier(spec),
+              0.2 * 1.01 + 0.8 * 0.21, 1e-12);
+  EXPECT_NEAR(dckpt::model::recovery_multiplier(spec), 1.0 + 0.2 * 2.0,
+              1e-12);
+  // K = 1: every commit is full, only the hash scan remains.
+  spec.stack_size = 1;
+  EXPECT_NEAR(dckpt::model::checkpoint_volume_multiplier(spec), 1.01, 1e-12);
+  EXPECT_DOUBLE_EQ(dckpt::model::recovery_multiplier(spec), 1.0);
+  // Disabled: exact identity.
+  spec.stack_size = 0;
+  EXPECT_DOUBLE_EQ(dckpt::model::checkpoint_volume_multiplier(spec), 1.0);
+  EXPECT_DOUBLE_EQ(dckpt::model::recovery_multiplier(spec), 1.0);
+}
+
+TEST(DcpModelTest, WasteReducesToFailStopWhenDisabled) {
+  const auto params = dckpt::model::base_scenario().params;
+  dckpt::model::DcpSpec off;
+  for (const auto protocol : dckpt::model::kPaperProtocols) {
+    EXPECT_EQ(dckpt::model::waste_with_dcp(protocol, params, 600.0, off),
+              dckpt::model::waste(protocol, params, 600.0))
+        << dckpt::model::protocol_name(protocol);
+  }
+}
+
+TEST(DcpModelTest, SmallDirtyFractionCutsWaste) {
+  const auto params = dckpt::model::base_scenario().params;
+  const auto protocol = dckpt::model::Protocol::DoubleNbl;
+  const double period =
+      dckpt::model::optimal_period_closed_form(protocol, params).period;
+  dckpt::model::DcpSpec spec;
+  spec.stack_size = 8;
+  spec.dirty_fraction = 0.05;
+  const double full = dckpt::model::waste(protocol, params, period);
+  const double dcp =
+      dckpt::model::waste_with_dcp(protocol, params, period, spec);
+  EXPECT_LT(dcp, full);
+  // Dirtier workloads pay more; d = 1 costs at least the full-image waste
+  // (the chain replay makes recovery strictly dearer).
+  spec.dirty_fraction = 1.0;
+  EXPECT_GE(dckpt::model::waste_with_dcp(protocol, params, period, spec),
+            full);
+}
+
+TEST(DcpModelTest, NumericOptimumBeatsTheFullImagePeriod) {
+  const auto params = dckpt::model::base_scenario().params;
+  const auto protocol = dckpt::model::Protocol::DoubleNbl;
+  dckpt::model::DcpSpec spec;
+  spec.stack_size = 8;
+  spec.dirty_fraction = 0.1;
+  const auto opt = dckpt::model::optimal_period_with_dcp(protocol, params,
+                                                         spec);
+  ASSERT_TRUE(opt.feasible);
+  const double at_opt =
+      dckpt::model::waste_with_dcp(protocol, params, opt.period, spec);
+  const double closed =
+      dckpt::model::optimal_period_closed_form(protocol, params).period;
+  EXPECT_LE(at_opt, dckpt::model::waste_with_dcp(protocol, params, closed,
+                                                 spec) +
+                        1e-9);
+  // Cheaper commits pull the optimal period below the full-image one.
+  EXPECT_LT(opt.period, closed);
+}
+
+TEST(DcpModelTest, SpecValidation) {
+  dckpt::model::DcpSpec spec;
+  spec.stack_size = 4;
+  EXPECT_NO_THROW(spec.validate());
+  spec.dirty_fraction = 1.5;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.dirty_fraction = 0.5;
+  spec.block_size = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.block_size = 4096;
+  spec.hash_overhead = -0.1;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+}  // namespace

@@ -124,6 +124,42 @@ sim::SweepPoint golden_sweep_point() {
   return rows.empty() ? sim::SweepPoint{} : rows.front();
 }
 
+/// Fixed-seed chaos run with differential checkpointing engaged (delta
+/// cadence, a torn layer, chain replay with failover), so every PR 9
+/// counter is nonzero in the byte-stable record.
+chaos::ChaosRunResult golden_dcp_chaos_run() {
+  chaos::ChaosCampaignConfig config;
+  config.runtime.topology = ckpt::Topology::Triples;
+  config.runtime.nodes = 9;
+  config.runtime.cells_per_node = 48;
+  config.runtime.checkpoint_interval = 12;
+  config.runtime.total_steps = 96;
+  config.runtime.rereplication_delay_steps = 8;
+  config.runtime.dcp_stack_size = 3;
+  auto schedule = chaos::ChaosSchedule::parse("25:torndelta:0:1,25:0");
+  return chaos::run_one(config, std::move(schedule),
+                        chaos::reference_run(config).final_hash);
+}
+
+/// Fixed-seed one-point sweep with the dcp axis enabled.
+sim::SweepPoint golden_dcp_sweep_point() {
+  sim::SweepSpec spec;
+  spec.protocols = {model::Protocol::DoubleNbl};
+  spec.mtbfs = {2000.0};
+  spec.phi_ratios = {0.25};
+  spec.base = model::base_scenario().params;
+  spec.t_base_in_mtbfs = 5.0;
+  spec.trials = 8;
+  spec.seed = 0x9dc;
+  spec.threads = 1;
+  spec.dcp.stack_size = 6;
+  spec.dcp.dirty_fraction = 0.1;
+  spec.dcp.hash_overhead = 0.02;
+  auto rows = sim::run_sweep(spec);
+  EXPECT_EQ(rows.size(), 1u);
+  return rows.empty() ? sim::SweepPoint{} : rows.front();
+}
+
 // ---------------------------------------------------------- field guards
 
 TEST(GoldenSchema, ChaosRunFieldSets) {
@@ -170,6 +206,25 @@ TEST(GoldenSchema, SweepPointRecordIsByteStable) {
   std::ostringstream out;
   sim::write_sweep_jsonl(out, {point});
   expect_matches_golden("sweep_point.jsonl", out.str());
+}
+
+TEST(GoldenSchema, DcpChaosRunRecordIsByteStable) {
+  const auto run = golden_dcp_chaos_run();
+  ASSERT_NE(run.outcome, chaos::ChaosOutcome::Violated) << run.detail;
+  // The fixture must actually exercise the dcp counters it guards.
+  ASSERT_GT(run.report.delta_commits, 0u);
+  ASSERT_GT(run.report.chain_replays, 0u);
+  ASSERT_GT(run.report.torn_chain_failovers, 0u);
+  expect_matches_golden("chaos_run.dcp.jsonl",
+                        chaos::to_json(run).dump() + "\n");
+}
+
+TEST(GoldenSchema, DcpSweepPointRecordIsByteStable) {
+  const auto point = golden_dcp_sweep_point();
+  EXPECT_NE(point.model_waste_dcp, point.model_waste);
+  std::ostringstream out;
+  sim::write_sweep_jsonl(out, {point});
+  expect_matches_golden("sweep_point.dcp.jsonl", out.str());
 }
 
 }  // namespace

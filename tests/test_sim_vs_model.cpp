@@ -323,6 +323,52 @@ TEST(SimVsModelTest, PureVerificationOverheadTracksSdcModel) {
   EXPECT_EQ(mc.sdc_detected.mean(), 0.0);
 }
 
+TEST(SimVsModelTest, DifferentialCheckpointWasteTracksDcpModel) {
+  // Differential checkpoints: the (d, B, K, h) model of model/dcp.hpp vs
+  // the simulator's dcp-scaled geometry. The fault-free part of the
+  // composition is exact (part 3 absorbs the shorter exchange, so the
+  // period stays P); the failure terms carry the usual first-order error,
+  // so the band is 15% relative plus 3 Monte-Carlo standard errors (the
+  // issue's acceptance band).
+  for (const Protocol protocol : {Protocol::DoubleNbl, Protocol::Triple}) {
+    auto config = config_for(protocol, 1.0, 2000.0, 50000.0);
+    config.dcp.stack_size = 6;
+    config.dcp.dirty_fraction = 0.1;
+    config.dcp.hash_overhead = 0.02;
+    const double full_waste = waste(protocol, config.params, config.period);
+    const double model_waste =
+        waste_with_dcp(protocol, config.params, config.period, config.dcp);
+    // A mostly-clean workload must beat the full-image waste outright.
+    ASSERT_LT(model_waste, full_waste) << protocol_name(protocol);
+    const auto mc = monte_carlo(config, 80, 0xdc9);
+    ASSERT_EQ(mc.diverged, 0u);
+    EXPECT_NEAR(mc.waste.mean(), model_waste,
+                0.15 * model_waste + 3.0 * mc.waste.standard_error())
+        << protocol_name(protocol) << " model=" << model_waste
+        << " sim=" << mc.waste.mean();
+    EXPECT_LT(mc.waste.mean(), full_waste) << protocol_name(protocol);
+  }
+}
+
+TEST(SimVsModelTest, FullyDirtyDcpReducesTowardTheFullImageModel) {
+  // d = 1, h = 0: every delta ships the whole image, so the exchange parts
+  // keep their full-image length and only the chain replay (g > 1) should
+  // separate dcp from the baseline -- the simulated waste must not drop
+  // below the full-image model's band.
+  auto config = config_for(Protocol::DoubleNbl, 1.0, 2000.0, 50000.0);
+  config.dcp.stack_size = 4;
+  config.dcp.dirty_fraction = 1.0;
+  const double model_waste = waste_with_dcp(
+      Protocol::DoubleNbl, config.params, config.period, config.dcp);
+  EXPECT_GE(model_waste,
+            waste(Protocol::DoubleNbl, config.params, config.period));
+  const auto mc = monte_carlo(config, 80, 0xdca);
+  ASSERT_EQ(mc.diverged, 0u);
+  EXPECT_NEAR(mc.waste.mean(), model_waste,
+              0.15 * model_waste + 3.0 * mc.waste.standard_error())
+      << "model=" << model_waste << " sim=" << mc.waste.mean();
+}
+
 TEST(SimVsModelTest, WeibullFailuresStillComplete) {
   // The analytic model assumes exponential failures; the simulator also runs
   // Weibull (shape < 1, clustered) streams. Sanity: runs complete, waste is
