@@ -47,4 +47,10 @@ printf '%s\n' \
   'STATS' 'QUIT' \
   | "${BUILD_DIR}/src/tools/dckpt" serve > /dev/null
 
+# Serve torture under sanitizers: the poll()-loop TCP front end (partial
+# writes, shed and overlong paths, deadline sweeps, drain races) attacked
+# by the seeded adversarial scenario suite. Transport-layer UB or a leak
+# on any close path fires here, not in production.
+"${BUILD_DIR}/tests/serve_torture" --seed 1
+
 echo "check_ubsan: all tests clean under ASan+UBSan"

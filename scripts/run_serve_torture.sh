@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Torture-tests the `dckpt serve` TCP front end.
+#
+# Two layers:
+#   1. tests/serve_torture -- in-process sim::Server attacked by seeded
+#      adversarial clients (framing splits, overload bursts, slow/stalled
+#      readers, mid-request disconnects, drain races, fuzz). Scenarios
+#      assert exact counter values; a built-in watchdog turns any hang
+#      into exit 124.
+#   2. Real-binary smokes -- spawn the actual `dckpt serve` process on an
+#      auto-picked port, drive it over bash's /dev/tcp (no external client
+#      dependency), and check both shutdown paths: SIGTERM must drain
+#      gracefully (exit 0, final serve_stats flushed with the server
+#      counter block) and --once must retire after its first connection.
+#
+# Usage:
+#   scripts/run_serve_torture.sh              # build + both layers
+#   SEEDS="1 2 7" scripts/run_serve_torture.sh
+#
+# Env overrides: BUILD_DIR (default build), JOBS (default nproc),
+# SEEDS (default "1 2").
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
+JOBS="${JOBS:-$(nproc)}"
+SEEDS="${SEEDS:-1 2}"
+
+if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+  cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target serve_torture dckpt
+
+TORTURE="${BUILD_DIR}/tests/serve_torture"
+DCKPT="${BUILD_DIR}/src/tools/dckpt"
+WORK_DIR="$(mktemp -d)"
+trap 'rm -rf "${WORK_DIR}"' EXIT
+
+# ---- layer 1: the in-process adversarial scenario suite, per seed ------
+for seed in ${SEEDS}; do
+  echo "== serve_torture --seed ${seed} =="
+  "${TORTURE}" --seed "${seed}"
+done
+
+# ---- layer 2: real-binary smokes over /dev/tcp -------------------------
+
+# Starts `dckpt serve` with the given extra flags, waits for the banner,
+# and leaves the port in ${PORT} and the pid in ${SERVE_PID}.
+start_server() {
+  : > "${WORK_DIR}/serve.out"
+  "${DCKPT}" serve --port 0 "$@" > "${WORK_DIR}/serve.out" &
+  SERVE_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's/^serving on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "${WORK_DIR}/serve.out")"
+    [[ -n "${PORT}" ]] && return 0
+    sleep 0.05
+  done
+  echo "serve did not print its banner" >&2
+  kill "${SERVE_PID}" 2>/dev/null || true
+  return 1
+}
+
+echo "== real-binary smoke: SIGTERM drains gracefully =="
+start_server --stats-out "${WORK_DIR}/stats.jsonl" --queue-depth 2
+exec 3<>"/dev/tcp/127.0.0.1/${PORT}"
+printf 'HEALTH\nEVAL kind=period protocol=Triple mtbf=3600\nSTATS\n' >&3
+IFS= read -r health <&3
+IFS= read -r reply <&3
+IFS= read -r stats <&3
+exec 3<&- 3>&-
+grep -q '"record":"health"' <<<"${health}"
+grep -q '"record":"eval"' <<<"${reply}"
+grep -q '"server":{' <<<"${stats}"
+kill -TERM "${SERVE_PID}"
+wait "${SERVE_PID}" || { echo "SIGTERM drain exited nonzero" >&2; exit 1; }
+# The final flush owes us a serve_stats record carrying the transport
+# counters (the connection above closed without QUIT: one disconnect).
+grep -q '"record":"serve_stats"' "${WORK_DIR}/stats.jsonl"
+grep -q '"disconnects":1' "${WORK_DIR}/stats.jsonl"
+
+echo "== real-binary smoke: --once retires after one connection =="
+start_server --once --stats-out "${WORK_DIR}/stats_once.jsonl"
+exec 3<>"/dev/tcp/127.0.0.1/${PORT}"
+printf 'EVAL kind=waste protocol=DoubleNBL mtbf=7200 period=600\nQUIT\n' >&3
+IFS= read -r reply <&3
+IFS= read -r bye <&3
+exec 3<&- 3>&-
+grep -q '"record":"eval"' <<<"${reply}"
+grep -q '"record":"bye"' <<<"${bye}"
+wait "${SERVE_PID}" || { echo "--once exited nonzero" >&2; exit 1; }
+grep -q '"record":"serve_stats"' "${WORK_DIR}/stats_once.jsonl"
+
+echo "run_serve_torture: all seeds and smokes passed"

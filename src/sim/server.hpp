@@ -1,0 +1,172 @@
+// poll()-based TCP front end for the evaluation service.
+//
+// `dckpt serve` used to handle one blocking client at a time; this server
+// multiplexes N concurrent loopback connections over a single poll() loop
+// while EvalService stays the pure request brain (src/sim/service.hpp).
+// The transport concerns live here, and only here:
+//
+//   * per-connection read buffers with a max-line guard -- an overlong
+//     line answers a typed eval_error (code=overlong) and the connection
+//     survives, discarding until the next newline;
+//   * per-connection deadlines -- read-idle (no request arriving) and
+//     write-stall (a reader that stopped draining its replies);
+//   * correct partial-write handling -- replies queue per connection and
+//     flush as the socket drains, with a high-water mark that pauses
+//     reading from a client whose replies are piling up;
+//   * admission control -- light requests (closed-form answers, cached
+//     sims, errors) are answered inline; heavy ones (uncached kind=sim)
+//     enter a bounded FIFO and are shed with code=busy when it is full;
+//   * graceful drain -- SIGINT/SIGTERM (via the async-signal-safe
+//     request_stop()) or the DRAIN verb stop the listener, finish
+//     in-flight heavy work, flush every reply, then exit.
+//
+// Replies always leave in request order: a heavy request occupies a
+// pending output slot that blocks the flush of everything queued behind
+// it until its job completes. Counters (shed, read_timeouts, ...) are
+// exported in every serve_stats record under "server"; the chaos-style
+// regression harness for all of this is tests/serve_torture.cpp.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/service.hpp"
+
+namespace dckpt::sim {
+
+struct ServerOptions {
+  /// Loopback port to listen on; 0 lets the kernel pick (port() tells).
+  int port = 0;
+  /// Concurrent connections; the listener is not polled while at the cap,
+  /// so further clients queue in the accept backlog.
+  std::size_t max_conns = 64;
+  /// Longest accepted request line in bytes (newline excluded). Beyond it
+  /// the line answers code=overlong and is discarded.
+  std::size_t max_line = 65536;
+  /// Close a connection with nothing in flight after this long without a
+  /// byte from the client (code=timeout farewell, best effort).
+  int read_idle_ms = 30000;
+  /// Close a connection whose queued replies made no progress toward the
+  /// socket for this long.
+  int write_stall_ms = 10000;
+  /// Bounded heavy (uncached kind=sim) FIFO; at the bound new heavy
+  /// requests answer code=busy instead of queueing.
+  std::size_t queue_depth = 4;
+  /// Pause reading from a connection once this many reply bytes are
+  /// queued for it; reading resumes when the queue drains.
+  std::size_t high_water = 262144;
+  /// Per-connection SO_SNDBUF override; 0 keeps the kernel default. The
+  /// torture harness shrinks it to force partial writes.
+  int sndbuf = 0;
+  /// Exit after the first accepted connection closes (tests, one-shot
+  /// drivers); remaining connections drain gracefully.
+  bool once = false;
+
+  void validate() const;
+};
+
+/// Runs the poll loop around an EvalService. Single-threaded: light
+/// requests and heavy jobs execute on the loop thread (requests are
+/// CPU-bound; the win of the event loop is connection fairness and
+/// bounded buffering, not parallel simulation).
+class Server {
+ public:
+  /// Registers counters_ with the service so STATS answers include them;
+  /// the service must outlive the server.
+  Server(EvalService& service, ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens on 127.0.0.1 and arms the self-pipe. Returns false
+  /// (with a perror line) on socket failures.
+  bool start();
+
+  /// The bound port (valid after start()).
+  int port() const noexcept { return port_; }
+
+  /// Serves until drain completes (request_stop(), DRAIN, or --once).
+  /// Returns 0 on a clean drain, 1 if start() was not called.
+  int run();
+
+  /// Async-signal-safe: begins a graceful drain from any thread or from a
+  /// signal handler (writes one byte to the self-pipe).
+  void request_stop() noexcept;
+
+  bool draining() const noexcept { return draining_; }
+  const ServerCounters& counters() const noexcept { return counters_; }
+
+  /// Invokes `hook` on the loop thread every `every` answered requests
+  /// (the --stats-every cadence); the caller owns the final flush.
+  void set_stats_hook(std::uint64_t every, std::function<void()> hook) {
+    stats_every_ = every;
+    stats_hook_ = std::move(hook);
+  }
+
+ private:
+  /// One queued reply. Heavy requests enqueue a not-ready slot that the
+  /// finished job fills; flushing stops at the first not-ready slot so
+  /// replies keep request order.
+  struct OutSlot {
+    std::string data;
+    std::size_t sent = 0;
+    bool ready = false;
+  };
+
+  struct Connection {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::string input;                ///< bytes without a newline yet
+    std::deque<OutSlot> output;
+    std::uint64_t next_slot_id = 0;   ///< id of the next slot pushed
+    std::uint64_t popped_slots = 0;   ///< slots flushed and popped so far
+    std::size_t ready_bytes = 0;      ///< unsent bytes in ready slots
+    std::size_t pending_jobs = 0;     ///< heavy jobs still owed to us
+    bool discarding = false;          ///< dropping an overlong line
+    bool closing = false;             ///< close once output flushes
+    bool saw_quit = false;            ///< peer ended the session politely
+    std::int64_t last_read_ms = 0;    ///< read-idle deadline base
+    std::int64_t last_progress_ms = 0;  ///< write-stall deadline base
+  };
+
+  struct Job {
+    std::uint64_t conn_id = 0;
+    std::uint64_t slot_id = 0;
+    std::string line;
+  };
+
+  std::int64_t now_ms() const;
+  void accept_ready();
+  void read_ready(Connection& conn);
+  void parse_lines(Connection& conn);
+  void dispatch(Connection& conn, const std::string& line);
+  void push_reply(Connection& conn, std::string reply);
+  void flush(Connection& conn);
+  void run_one_job();
+  void sweep_deadlines();
+  void begin_drain();
+  void close_conn(std::uint64_t id, bool peer_initiated);
+  void note_answered();
+  int poll_timeout_ms() const;
+
+  EvalService& service_;
+  ServerOptions options_;
+  ServerCounters counters_;
+  int listener_ = -1;
+  int port_ = 0;
+  int stop_pipe_[2] = {-1, -1};     ///< self-pipe; write end is signal-safe
+  bool draining_ = false;
+  std::map<std::uint64_t, Connection> conns_;
+  std::deque<Job> jobs_;
+  std::uint64_t next_conn_id_ = 1;
+  std::uint64_t answered_ = 0;
+  std::uint64_t stats_every_ = 0;
+  std::function<void()> stats_hook_;
+  std::vector<std::uint64_t> doomed_;  ///< conns to close after the sweep
+};
+
+}  // namespace dckpt::sim

@@ -46,15 +46,36 @@ struct Request {
   double mission_hours = 24.0;
 };
 
+/// Largest double that casts to an integer type without UB headroom
+/// worries: every integer up to 2^53 is exactly representable.
+constexpr double kMaxExactInteger = 9007199254740992.0;  // 2^53
+
 double parse_number(const std::string& key, const std::string& text) {
+  double value = 0.0;
   try {
     std::size_t used = 0;
-    const double value = std::stod(text, &used);
+    value = std::stod(text, &used);
     if (used != text.size()) throw std::invalid_argument(text);
-    return value;
   } catch (const std::exception&) {
-    throw std::invalid_argument("bad numeric value for '" + key +
-                                "': " + text);
+    throw EvalError("parse",
+                    "bad numeric value for '" + key + "': " + text);
+  }
+  // std::stod happily accepts "nan" and "inf"; every request parameter is
+  // a physical quantity, so non-finite values are always client errors
+  // (and would otherwise flow into casts and comparisons as poison).
+  if (!std::isfinite(value)) {
+    throw EvalError("parse",
+                    "non-finite value for '" + key + "': " + text);
+  }
+  return value;
+}
+
+/// Guards the double -> uint64 casts: a negative or over-2^53 double makes
+/// the cast undefined behavior, so reject the request instead.
+void require_castable_count(const std::string& key, double value) {
+  if (value < 0.0 || value > kMaxExactInteger) {
+    throw EvalError("parse", "'" + key +
+                                 "' must be a non-negative integer <= 2^53");
   }
 }
 
@@ -104,6 +125,12 @@ Request parse_request(const std::string& line) {
   if (req.scenario != "base" && req.scenario != "exa") {
     throw std::invalid_argument("scenario must be base or exa");
   }
+  require_castable_count("seed", req.seed);
+  require_castable_count("trials", req.trials);
+  require_castable_count("nodes", req.nodes);
+  if (req.period < 0.0) {
+    throw EvalError("parse", "'period' must be >= 0 (0 = closed-form)");
+  }
   return req;
 }
 
@@ -149,6 +176,28 @@ double resolve_period(model::Protocol protocol,
 
 }  // namespace
 
+util::JsonValue eval_error_json(const std::string& code,
+                                const std::string& message) {
+  auto v = util::JsonValue::object();
+  v.set("record", "eval_error");
+  v.set("code", code);
+  v.set("error", message);
+  return v;
+}
+
+util::JsonValue ServerCounters::to_json() const {
+  auto v = util::JsonValue::object();
+  v.set("accepted", accepted);
+  v.set("shed", shed);
+  v.set("read_timeouts", read_timeouts);
+  v.set("write_timeouts", write_timeouts);
+  v.set("overlong_lines", overlong_lines);
+  v.set("disconnects", disconnects);
+  v.set("peak_connections", peak_connections);
+  v.set("drained", drained);
+  return v;
+}
+
 void EvalServiceOptions::validate() const {
   if (cache_capacity == 0) {
     throw std::invalid_argument("EvalServiceOptions: zero cache_capacity");
@@ -177,12 +226,17 @@ std::string EvalService::handle_line(const std::string& line) {
     ++evals_;
     try {
       response = handle_eval(line).dump();
+    } catch (const EvalError& error) {
+      ++errors_;
+      response = eval_error_json(error.code(), error.what()).dump();
+    } catch (const std::invalid_argument& error) {
+      // Argument validation below the service (model parameter checks,
+      // protocol-name parsing) is still the client's fault.
+      ++errors_;
+      response = eval_error_json("parse", error.what()).dump();
     } catch (const std::exception& error) {
       ++errors_;
-      auto v = util::JsonValue::object();
-      v.set("record", "eval_error");
-      v.set("error", error.what());
-      response = v.dump();
+      response = eval_error_json("internal", error.what()).dump();
     }
   } else if (command == "STATS") {
     response = stats_json().dump();
@@ -192,14 +246,30 @@ std::string EvalService::handle_line(const std::string& line) {
     response = v.dump();
   } else {
     ++errors_;
-    auto v = util::JsonValue::object();
-    v.set("record", "eval_error");
-    v.set("error", "unknown command '" + command +
-                       "' (expected EVAL, STATS or QUIT)");
-    response = v.dump();
+    response = eval_error_json("parse", "unknown command '" + command +
+                                            "' (expected EVAL, STATS or QUIT)")
+                   .dump();
   }
   record_latency(start);
   return response;
+}
+
+EvalService::RequestClass EvalService::classify_line(
+    const std::string& line) const {
+  std::istringstream in(line);
+  std::string command;
+  in >> command;
+  if (command != "EVAL") return RequestClass::kLight;
+  try {
+    const Request req = parse_request(line);
+    if (req.kind != "sim") return RequestClass::kLight;
+    // A cached sim replays in microseconds: admit it inline rather than
+    // burning a queue slot (and possibly a busy rejection) on it.
+    return cache_.contains(cache_key(req)) ? RequestClass::kLight
+                                           : RequestClass::kHeavy;
+  } catch (const std::exception&) {
+    return RequestClass::kLight;  // the error record is cheap to produce
+  }
 }
 
 util::JsonValue EvalService::handle_eval(const std::string& line) {
@@ -236,8 +306,7 @@ util::JsonValue EvalService::handle_eval(const std::string& line) {
     v.set("mission_hours", req.mission_hours);
   } else if (req.kind == "sim") {
     if (params.nodes > 100000) {
-      throw std::invalid_argument(
-          "nodes too large for kind=sim (keep <= 100000)");
+      throw EvalError("limit", "nodes too large for kind=sim (keep <= 100000)");
     }
     SimConfig config;
     config.protocol = protocol;
@@ -251,7 +320,7 @@ util::JsonValue EvalService::handle_eval(const std::string& line) {
         req.trials > 0.0 ? static_cast<std::uint64_t>(req.trials)
                          : options_.default_trials;
     if (trials > options_.max_trials) {
-      throw std::invalid_argument("trials exceeds the service limit");
+      throw EvalError("limit", "trials exceeds the service limit");
     }
     mc_options.trials = trials;
     mc_options.seed = static_cast<std::uint64_t>(req.seed);
@@ -335,6 +404,9 @@ util::JsonValue EvalService::stats_json() const {
   }
   v.set("latency", std::move(latency));
   v.set("sim_trials", sim_trials_);
+
+  static const ServerCounters kNoTransport{};
+  v.set("server", (transport_ ? *transport_ : kNoTransport).to_json());
   return v;
 }
 

@@ -15,6 +15,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "sim/runner.hpp"
@@ -24,6 +25,42 @@
 #include "util/thread_pool.hpp"
 
 namespace dckpt::sim {
+
+/// Typed request failure. `code` lands in the `code` field of the
+/// eval_error record (docs/SERVE.md error taxonomy): the service throws
+/// `parse` (malformed request), `limit` (service cap exceeded) and
+/// `internal`; transports reuse eval_error_json() for the conditions only
+/// they can see (`busy`, `overlong`, `timeout`, `shutdown`).
+class EvalError : public std::runtime_error {
+ public:
+  EvalError(std::string code, const std::string& what)
+      : std::runtime_error(what), code_(std::move(code)) {}
+  const std::string& code() const noexcept { return code_; }
+
+ private:
+  std::string code_;
+};
+
+/// One eval_error record: {"code": ..., "error": ..., "record": "eval_error"}.
+util::JsonValue eval_error_json(const std::string& code,
+                                const std::string& message);
+
+/// Transport-level counters appended to every serve_stats record under the
+/// "server" key (append-only, like every exported schema). The transport
+/// (sim::Server) owns the values and registers the struct with
+/// EvalService::set_transport_counters so STATS answers include them; in
+/// stdin mode they stay zero.
+struct ServerCounters {
+  std::uint64_t accepted = 0;         ///< connections accepted
+  std::uint64_t shed = 0;             ///< heavy requests refused (code=busy)
+  std::uint64_t read_timeouts = 0;    ///< idle connections reaped
+  std::uint64_t write_timeouts = 0;   ///< stalled writers reaped
+  std::uint64_t overlong_lines = 0;   ///< lines over --max-line dropped
+  std::uint64_t disconnects = 0;      ///< peers gone with unfinished business
+  std::uint64_t peak_connections = 0; ///< high-water mark of open conns
+  std::uint64_t drained = 0;          ///< heavy jobs finished after drain began
+  util::JsonValue to_json() const;
+};
 
 struct EvalServiceOptions {
   /// Distinct quantized scenarios kept memoized.
@@ -44,12 +81,30 @@ struct EvalServiceOptions {
 
 class EvalService {
  public:
+  /// Admission-control classes. Light requests (closed-form answers,
+  /// cached sims, errors, STATS/QUIT) are answered inline; heavy requests
+  /// (uncached kind=sim) go through the transport's bounded queue.
+  enum class RequestClass { kLight, kHeavy };
+
   explicit EvalService(EvalServiceOptions options = {});
 
   /// Handles one request line ("EVAL k=v ..." or "STATS") and returns
   /// exactly one JSON document, no trailing newline. Malformed requests
   /// yield an eval_error record; this never throws.
   std::string handle_line(const std::string& line);
+
+  /// Classifies a line without executing it: kHeavy iff it is a
+  /// well-formed kind=sim EVAL whose answer is not already cached.
+  /// Anything that would fail to parse is kLight (the error is cheap to
+  /// produce). Never throws; does not touch cache counters.
+  RequestClass classify_line(const std::string& line) const;
+
+  /// Registers the transport's counter block; stats_json() embeds it under
+  /// "server" (zeros when no transport registered). The pointee must
+  /// outlive the service or be reset to nullptr.
+  void set_transport_counters(const ServerCounters* counters) noexcept {
+    transport_ = counters;
+  }
 
   /// The serve_stats record (same JSON the STATS request returns).
   util::JsonValue stats_json() const;
@@ -71,6 +126,7 @@ class EvalService {
   std::uint64_t errors_ = 0;
   std::uint64_t sim_trials_ = 0;
   std::chrono::steady_clock::time_point started_;
+  const ServerCounters* transport_ = nullptr;
 };
 
 }  // namespace dckpt::sim

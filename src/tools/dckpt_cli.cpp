@@ -18,6 +18,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <csignal>
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -1028,68 +1030,51 @@ int serve_stdin(sim::EvalService& service, std::uint64_t stats_every,
   return 0;
 }
 
-/// Serves the same line protocol over a loopback TCP socket. One client at
-/// a time (requests are CPU-bound; fairness between clients buys nothing).
-/// QUIT ends the client's connection; with --once the server then exits.
-int serve_tcp(sim::EvalService& service, int port, bool once,
-              std::uint64_t stats_every, const std::string& stats_out) {
-  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) {
-    std::perror("serve: socket");
-    return 1;
-  }
-  const int reuse = 1;
-  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) < 0 ||
-      ::listen(listener, 4) < 0) {
-    std::perror("serve: bind/listen");
-    ::close(listener);
-    return 1;
-  }
-  socklen_t addr_len = sizeof(addr);
-  ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &addr_len);
-  std::printf("serving on 127.0.0.1:%d\n", ntohs(addr.sin_port));
-  std::fflush(stdout);
+/// SIGINT/SIGTERM turn into a graceful drain of the running server. The
+/// pointer is only non-null between sigaction install and restore below,
+/// and request_stop() is async-signal-safe (one write to a self-pipe).
+sim::Server* g_serve_server = nullptr;
 
-  std::uint64_t handled = 0;
-  for (;;) {
-    const int conn = ::accept(listener, nullptr, nullptr);
-    if (conn < 0) continue;
-    std::string pending;
-    char chunk[4096];
-    bool quit = false;
-    while (!quit) {
-      const auto got = ::recv(conn, chunk, sizeof(chunk), 0);
-      if (got <= 0) break;
-      pending.append(chunk, static_cast<std::size_t>(got));
-      std::size_t nl;
-      while (!quit && (nl = pending.find('\n')) != std::string::npos) {
-        std::string line = pending.substr(0, nl);
-        pending.erase(0, nl + 1);
-        if (!line.empty() && line.back() == '\r') line.pop_back();
-        if (line.empty()) continue;
-        const std::string reply = service.handle_line(line) + "\n";
-        // MSG_NOSIGNAL: an abruptly-gone client must not SIGPIPE the server.
-        if (::send(conn, reply.data(), reply.size(), MSG_NOSIGNAL) < 0) {
-          quit = true;
-        }
-        if (stats_every > 0 && ++handled % stats_every == 0) {
-          serve_append_stats(service, stats_out);
-        }
-        if (line == "QUIT") quit = true;
-      }
-    }
-    ::close(conn);
-    if (once) break;
+void serve_signal_handler(int) {
+  if (g_serve_server != nullptr) g_serve_server->request_stop();
+}
+
+/// Serves the line protocol over loopback TCP: a poll()-based event loop
+/// multiplexing up to --max-conns clients, with per-connection deadlines,
+/// bounded reply queues, and busy-shedding of heavy work (sim::Server;
+/// concurrency model in docs/SERVE.md). QUIT ends a client's connection;
+/// with --once the server drains after the first connection closes.
+int serve_tcp(sim::EvalService& service, const sim::ServerOptions& options,
+              std::uint64_t stats_every, const std::string& stats_out) {
+  sim::Server server(service, options);
+  if (!server.start()) return 1;
+  std::printf("serving on 127.0.0.1:%d\n", server.port());
+  std::fflush(stdout);
+  if (stats_every > 0 && !stats_out.empty()) {
+    server.set_stats_hook(stats_every, [&service, &stats_out] {
+      serve_append_stats(service, stats_out);
+    });
   }
-  ::close(listener);
+
+  g_serve_server = &server;
+  struct sigaction action{};
+  action.sa_handler = serve_signal_handler;
+  sigemptyset(&action.sa_mask);
+  struct sigaction old_int{};
+  struct sigaction old_term{};
+  ::sigaction(SIGINT, &action, &old_int);
+  ::sigaction(SIGTERM, &action, &old_term);
+
+  const int rc = server.run();
+
+  ::sigaction(SIGINT, &old_int, nullptr);
+  ::sigaction(SIGTERM, &old_term, nullptr);
+  g_serve_server = nullptr;
+
+  // The drain has flushed every connection; this is the final stats
+  // record the shutdown contract promises (counters still registered).
   serve_append_stats(service, stats_out);
-  return 0;
+  return rc;
 }
 
 int cmd_serve(int argc, const char* const* argv) {
@@ -1107,6 +1092,18 @@ int cmd_serve(int argc, const char* const* argv) {
                  "append serve_stats JSONL records to this file");
   cli.add_option("stats-every", "0",
                  "emit a stats record every N requests (0 = only at exit)");
+  cli.add_option("max-conns", "64", "TCP: concurrent connections");
+  cli.add_option("max-line", "65536",
+                 "TCP: longest request line in bytes (overlong lines answer "
+                 "code=overlong)");
+  cli.add_option("read-timeout", "30000",
+                 "TCP: close a connection idle for this many ms");
+  cli.add_option("write-timeout", "10000",
+                 "TCP: close a connection whose replies stall this many ms");
+  cli.add_option("queue-depth", "4",
+                 "TCP: bounded in-flight sim queue (full = code=busy)");
+  cli.add_option("high-water", "262144",
+                 "TCP: queued reply bytes before a client's reads pause");
   if (!cli.parse(argc, argv)) return 0;
 
   sim::EvalServiceOptions options;
@@ -1123,8 +1120,20 @@ int cmd_serve(int argc, const char* const* argv) {
   if (port < 0) {
     return serve_stdin(service, stats_every, cli.get("stats-out"));
   }
-  return serve_tcp(service, port, cli.get_flag("once"), stats_every,
-                   cli.get("stats-out"));
+  sim::ServerOptions server_options;
+  server_options.port = port;
+  server_options.once = cli.get_flag("once");
+  server_options.max_conns =
+      static_cast<std::size_t>(cli.get_int("max-conns"));
+  server_options.max_line = static_cast<std::size_t>(cli.get_int("max-line"));
+  server_options.read_idle_ms = static_cast<int>(cli.get_int("read-timeout"));
+  server_options.write_stall_ms =
+      static_cast<int>(cli.get_int("write-timeout"));
+  server_options.queue_depth =
+      static_cast<std::size_t>(cli.get_int("queue-depth"));
+  server_options.high_water =
+      static_cast<std::size_t>(cli.get_int("high-water"));
+  return serve_tcp(service, server_options, stats_every, cli.get("stats-out"));
 }
 
 void print_usage() {

@@ -55,6 +55,13 @@ class LruCache {
     index_.emplace(key, order_.begin());
   }
 
+  /// True when `key` is cached. No promotion, no counter updates: admission
+  /// control probes with this to classify a request as light (cached) or
+  /// heavy without distorting the exported hit-rate metric.
+  bool contains(const Key& key) const {
+    return index_.find(key) != index_.end();
+  }
+
   std::size_t size() const noexcept { return order_.size(); }
   std::size_t capacity() const noexcept { return capacity_; }
   std::uint64_t hits() const noexcept { return hits_; }

@@ -25,6 +25,7 @@
 #include "chaos/chaos_api.hpp"
 #include "model/model_api.hpp"
 #include "sim/export.hpp"
+#include "sim/service.hpp"
 #include "sim/sweep.hpp"
 #include "util/json.hpp"
 
@@ -191,6 +192,37 @@ TEST(GoldenSchema, SweepPointFieldSets) {
   const auto v = sim::to_json(point);
   expect_matches_golden("sweep_point.fields", sorted_keys(v));
   expect_matches_golden("sweep_point.sim.fields", sorted_keys(v.at("sim")));
+}
+
+TEST(GoldenSchema, ServeStatsFieldSets) {
+  // The serve_stats record is the service's operational contract: scrapers
+  // tail it from --stats-out, so the key set (including every nested
+  // object) is append-only. The fixture answers one EVAL first so the
+  // latency block carries its full percentile key set, and registers
+  // transport counters so the server block is the real one, not a stub.
+  sim::EvalService service;
+  sim::ServerCounters counters;
+  service.set_transport_counters(&counters);
+  (void)service.handle_line("EVAL kind=period protocol=Triple mtbf=3600");
+  const auto v = util::parse_json(service.handle_line("STATS"));
+  expect_matches_golden("serve_stats.fields", sorted_keys(v));
+  expect_matches_golden("serve_stats.cache.fields",
+                        sorted_keys(v.at("cache")));
+  expect_matches_golden("serve_stats.kernel.fields",
+                        sorted_keys(v.at("kernel")));
+  expect_matches_golden("serve_stats.latency.fields",
+                        sorted_keys(v.at("latency")));
+  expect_matches_golden("serve_stats.server.fields",
+                        sorted_keys(v.at("server")));
+  service.set_transport_counters(nullptr);
+}
+
+TEST(GoldenSchema, EvalErrorFieldSet) {
+  // Typed errors are part of the wire contract too: record, code, error.
+  sim::EvalService service;
+  const auto v = util::parse_json(service.handle_line("EVAL kind=banana"));
+  EXPECT_EQ(v.at("record").as_string(), "eval_error");
+  expect_matches_golden("eval_error.fields", sorted_keys(v));
 }
 
 // ---------------------------------------------------------- value guards

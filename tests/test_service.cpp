@@ -137,6 +137,94 @@ TEST(EvalService, ErrorsAreRecordsNotThrows) {
   EXPECT_EQ(stats.at("requests").as_number(), 6.0);
 }
 
+TEST(EvalService, ErrorRecordsCarryTypedCodes) {
+  sim::EvalService service;
+  // Taxonomy documented in docs/SERVE.md: every eval_error names a machine
+  // readable code so clients can branch without string-matching messages.
+  EXPECT_EQ(respond(service, "EVAL kind=nonsense").at("code").as_string(),
+            "parse");
+  EXPECT_EQ(respond(service, "FROBNICATE").at("code").as_string(), "parse");
+  EXPECT_EQ(respond(service, "EVAL kind=sim trials=999999999")
+                .at("code")
+                .as_string(),
+            "limit");
+  EXPECT_EQ(respond(service, "EVAL kind=sim nodes=999999")
+                .at("code")
+                .as_string(),
+            "limit");
+}
+
+TEST(EvalService, RejectsNonFiniteAndNonCastableNumerics) {
+  sim::EvalService service;
+  // A negative double cast to an unsigned is UB; nan/inf pass std::stod.
+  // All of these must come back as typed parse errors, never as garbage
+  // answers or sanitizer traps.
+  const char* bad[] = {
+      "EVAL kind=sim protocol=Triple mtbf=900 tbase=4000 period=90 seed=-1",
+      "EVAL kind=sim protocol=Triple mtbf=900 tbase=4000 period=90 trials=nan",
+      "EVAL kind=period protocol=Triple mtbf=inf",
+      "EVAL kind=period protocol=Triple mtbf=-inf",
+      "EVAL kind=waste protocol=Triple mtbf=3600 period=nan",
+      "EVAL kind=sim protocol=Triple mtbf=900 tbase=4000 period=90 trials=-5",
+      "EVAL kind=sim protocol=Triple mtbf=900 tbase=4000 period=90 "
+      "nodes=1e300",
+      "EVAL kind=waste protocol=Triple mtbf=3600 period=-10",
+  };
+  for (const char* line : bad) {
+    const auto v = respond(service, line);
+    EXPECT_EQ(v.at("record").as_string(), "eval_error") << line;
+    EXPECT_EQ(v.at("code").as_string(), "parse") << line;
+  }
+}
+
+TEST(EvalService, ClassifiesRequestsForAdmissionControl) {
+  sim::EvalServiceOptions options;
+  options.default_trials = 20;
+  sim::EvalService service(options);
+  using RequestClass = sim::EvalService::RequestClass;
+  // Closed-form kinds, malformed lines, and non-EVAL verbs are light: the
+  // transport answers them inline and only uncached sims hit the bounded
+  // queue.
+  EXPECT_EQ(service.classify_line("EVAL kind=period protocol=Triple mtbf=3600"),
+            RequestClass::kLight);
+  EXPECT_EQ(service.classify_line("STATS"), RequestClass::kLight);
+  EXPECT_EQ(service.classify_line("EVAL kind=banana"), RequestClass::kLight);
+  EXPECT_EQ(service.classify_line("EVAL kind=sim trials=nan"),
+            RequestClass::kLight);
+  const std::string sim_request =
+      "EVAL kind=sim protocol=Triple mtbf=900 nodes=12 tbase=4000 "
+      "period=90 seed=3";
+  EXPECT_EQ(service.classify_line(sim_request), RequestClass::kHeavy);
+  (void)respond(service, sim_request);
+  // Once answered it is cached, hence light -- and the classification
+  // probe itself must not have perturbed the hit/miss counters.
+  EXPECT_EQ(service.classify_line(sim_request), RequestClass::kLight);
+  const auto stats = respond(service, "STATS");
+  EXPECT_EQ(stats.at("cache").at("hits").as_number(), 0.0);
+}
+
+TEST(EvalService, StatsCarryServerCountersFromTransport) {
+  sim::EvalService service;
+  // Without a transport the server block is all zeros (stdin mode)...
+  const auto idle = respond(service, "STATS");
+  EXPECT_EQ(idle.at("server").at("shed").as_number(), 0.0);
+  EXPECT_EQ(idle.at("server").at("accepted").as_number(), 0.0);
+  // ...and with one registered, STATS mirrors the live counters.
+  sim::ServerCounters counters;
+  counters.accepted = 3;
+  counters.shed = 2;
+  counters.overlong_lines = 1;
+  counters.peak_connections = 3;
+  service.set_transport_counters(&counters);
+  const auto live = respond(service, "STATS");
+  EXPECT_EQ(live.at("server").at("accepted").as_number(), 3.0);
+  EXPECT_EQ(live.at("server").at("shed").as_number(), 2.0);
+  EXPECT_EQ(live.at("server").at("overlong_lines").as_number(), 1.0);
+  service.set_transport_counters(nullptr);
+  const auto detached = respond(service, "STATS");
+  EXPECT_EQ(detached.at("server").at("accepted").as_number(), 0.0);
+}
+
 TEST(EvalService, QuitYieldsByeRecord) {
   sim::EvalService service;
   EXPECT_EQ(respond(service, "QUIT").at("record").as_string(), "bye");
